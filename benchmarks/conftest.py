@@ -1,0 +1,39 @@
+"""Shared session-scoped experiment runs for the benchmark suite.
+
+The accuracy experiment (Figures 11-13 and the hop sweep) and the wild run
+(Figure 15, Tables 2-3) are expensive; each is simulated once per session
+and reused by every bench that needs it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import AccuracyData, accuracy_data, wild_data
+from repro.util.timebase import MSEC
+
+
+def pytest_configure(config):
+    # Make bench output readable: each bench prints the paper-format
+    # rows/series, so surface captured stdout for passing tests too.
+    reportchars = getattr(config.option, "reportchars", "") or ""
+    if "P" not in reportchars:
+        config.option.reportchars = reportchars + "P"
+
+
+@pytest.fixture(scope="session")
+def shared_accuracy() -> AccuracyData:
+    """One full section-6.2 run: 5 bursts, 5 interrupts, 5 bug triggers."""
+    return accuracy_data(seed=2, duration_ns=320 * MSEC)
+
+
+@pytest.fixture(scope="session")
+def shared_wild() -> dict:
+    """One section-6.5 wild run at high load with natural noise."""
+    return wild_data(seed=7, duration_ns=200 * MSEC)
+
+
+def print_series(title: str, rows) -> None:
+    print(f"\n=== {title} ===")
+    for row in rows:
+        print(row)

@@ -1,0 +1,65 @@
+"""Multi-server clock alignment (section 7).
+
+The paper notes that multi-machine deployments need microsecond-level
+clock synchronisation (PTP / Huygens) before records can be compared
+across servers.  This bench skews one "server's" records by a large
+offset, shows reconstruction collapse, then recovers the offset from the
+records themselves (min-delay clustering) and shows reconstruction return
+to perfect.
+"""
+
+from repro.collector.clock import ClockSkew, align_records, apply_clock_skew, estimate_offsets
+from repro.collector.reconstruct import EdgeSpec, TraceReconstructor
+from repro.collector.runtime import RuntimeCollector
+from repro.nfv import Nat, Simulator, Topology, TrafficSource, Vpn, constant_target
+from repro.traffic import IpidSpace, PidAllocator
+from repro.traffic.caida import CaidaLikeTraffic
+from repro.util.rng import generator
+from repro.util.timebase import MSEC
+
+EDGES = [EdgeSpec("src", "nat1", 500), EdgeSpec("nat1", "vpn1", 500)]
+SKEW_NS = -60 * MSEC
+
+
+def run_skewed():
+    topo = Topology()
+    topo.add_nf(Nat("nat1", router=lambda p: "vpn1"))
+    topo.add_nf(Vpn("vpn1", router=lambda p: None))
+    topo.add_source("src")
+    topo.connect("src", "nat1")
+    topo.connect("nat1", "vpn1")
+    pids = PidAllocator()
+    ipids = IpidSpace(generator(23))
+    trace = CaidaLikeTraffic(rate_pps=300_000, duration_ns=15 * MSEC, seed=23).generate(
+        pids, ipids
+    )
+    collector = RuntimeCollector()
+    src = TrafficSource("src", trace.schedule, constant_target("nat1"))
+    result = Simulator(topo, [src], extra_hooks=[collector]).run()
+    skewed = apply_clock_skew(collector.data, {"vpn1": ClockSkew(SKEW_NS)})
+    return result, skewed
+
+
+def test_clock_alignment(benchmark):
+    result, skewed = benchmark.pedantic(run_skewed, rounds=1, iterations=1)
+    total = len(result.completed_packets())
+
+    broken = TraceReconstructor(skewed, EDGES)
+    broken.reconstruct()
+    alignment = estimate_offsets(skewed, EDGES, reference="src")
+    aligned = align_records(skewed, alignment)
+    fixed = TraceReconstructor(aligned, EDGES)
+    rebuilt = fixed.reconstruct()
+
+    recovered = alignment.offsets_ns["vpn1"]
+    print("\n=== Clock alignment across servers ===")
+    print(f"injected skew at vpn1's server: {SKEW_NS/1e6:.1f} ms")
+    print(f"recovered offset: {recovered/1e6:.3f} ms "
+          f"(error {(recovered - SKEW_NS)/1e3:.1f} us)")
+    print(f"chains broken before alignment: {broken.stats.chains_broken}/{total}")
+    print(f"chains broken after alignment : {fixed.stats.chains_broken}/{total}")
+
+    assert broken.stats.chains_broken > total * 0.5  # skew is fatal
+    assert abs(recovered - SKEW_NS) < 50_000  # recovered within 50 us
+    assert fixed.stats.chains_broken == 0
+    assert len(rebuilt) == total

@@ -1,0 +1,44 @@
+"""Figure 1: a microsecond-scale burst has a multi-millisecond impact.
+
+Paper: CAIDA traffic to a Firewall; a 340 us burst injected at 570 us makes
+all flows arriving in the next ~3 ms suffer long latency (a), because the
+input queue builds instantly but takes ~3 ms to drain (b).
+"""
+
+from repro.experiments.figures import fig01_data
+from repro.util.timebase import MSEC, USEC
+
+
+def test_fig01_burst_latency(benchmark):
+    data = benchmark.pedantic(fig01_data, kwargs=dict(seed=0), rounds=1, iterations=1)
+    burst_start, burst_end = data["burst_window_ns"]
+    latency = data["latency_series"]
+    queue = data["queue_series"]
+
+    def mean_latency_us(lo_ns, hi_ns):
+        window = [l for t, l in latency if lo_ns <= t < hi_ns]
+        return sum(window) / len(window) / 1_000 if window else 0.0
+
+    print("\n=== Figure 1a: background-flow latency at the Firewall ===")
+    print(f"burst window: {burst_start/1e3:.0f}-{burst_end/1e3:.0f} us")
+    for lo_ms in (0.0, 0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 5.0):
+        lo = int(lo_ms * MSEC)
+        print(f"  t={lo_ms:4.1f}ms  mean latency {mean_latency_us(lo, lo + MSEC // 2):8.1f} us")
+    print("=== Figure 1b: queue length ===")
+    for t, q in queue[:: max(1, len(queue) // 20)]:
+        print(f"  t={t/1e6:5.2f}ms  queue={q}")
+
+    before = mean_latency_us(0, burst_start)
+    during_drain = mean_latency_us(burst_end, burst_end + 2 * MSEC)
+    after = mean_latency_us(4_500 * USEC, 6_000 * USEC)
+
+    # Shape assertions: flows arriving long after the burst still suffer.
+    assert during_drain > 10 * max(before, 1.0)
+    assert after < during_drain / 3
+    peak_queue = max(q for _, q in queue)
+    assert peak_queue > 200
+    # Queue stays elevated for at least 2 ms after the burst ends.
+    late_queue = [q for t, q in queue if t > burst_end + 2 * MSEC]
+    drained_by = max((t for t, q in queue if q > 20), default=0)
+    assert drained_by > burst_end + 2 * MSEC
+    assert min(late_queue[-3:]) < 20  # but it does eventually drain

@@ -1,0 +1,91 @@
+"""Figure 9 / section 5: packet-trace reconstruction under IPID ambiguity.
+
+Two upstream NFs write packets with colliding IPIDs into one downstream
+queue; the reconstructor resolves identity using paths, timing, and packet
+order, and its output matches the simulator's ground truth.
+"""
+
+from repro.collector.reconstruct import EdgeSpec, TraceReconstructor
+from repro.collector.runtime import RuntimeCollector
+from repro.nfv import (
+    FiveTuple,
+    Monitor,
+    Nat,
+    Packet,
+    Simulator,
+    Topology,
+    TrafficSource,
+    Vpn,
+    constant_target,
+)
+from repro.util.rng import generator
+
+FLOW_A = FiveTuple.of("1.0.0.1", "9.0.0.1", 100, 80)
+FLOW_B = FiveTuple.of("2.0.0.2", "9.0.0.1", 200, 80)
+
+
+def run_and_reconstruct(n_packets=3_000, ipid_space=64, seed=5):
+    topo = Topology()
+    topo.add_nf(Nat("up1", router=lambda p: "down", cost_ns=500))
+    topo.add_nf(Monitor("up2", router=lambda p: "down", cost_ns=500))
+    topo.add_nf(Vpn("down", router=lambda p: None, cost_ns=400))
+    topo.add_source("srcA")
+    topo.add_source("srcB")
+    for a, b in (("srcA", "up1"), ("srcB", "up2"), ("up1", "down"), ("up2", "down")):
+        topo.connect(a, b)
+    rng = generator(seed)
+    schedule_a, schedule_b = [], []
+    t = 0
+    for i in range(n_packets):
+        t += int(rng.integers(300, 2_500))
+        ipid = int(rng.integers(0, ipid_space))  # deliberately tiny => collisions
+        if rng.random() < 0.5:
+            schedule_a.append((t, Packet(pid=i, flow=FLOW_A, ipid=ipid)))
+        else:
+            schedule_b.append((t, Packet(pid=i, flow=FLOW_B, ipid=ipid)))
+    collector = RuntimeCollector()
+    result = Simulator(
+        topo,
+        [
+            TrafficSource("srcA", schedule_a, constant_target("up1")),
+            TrafficSource("srcB", schedule_b, constant_target("up2")),
+        ],
+        extra_hooks=[collector],
+    ).run()
+    edges = [
+        EdgeSpec("srcA", "up1", 500),
+        EdgeSpec("srcB", "up2", 500),
+        EdgeSpec("up1", "down", 500),
+        EdgeSpec("up2", "down", 500),
+    ]
+    reconstructor = TraceReconstructor(collector.data, edges)
+    packets = reconstructor.reconstruct()
+    return result, reconstructor, packets
+
+
+def test_fig09_reconstruction(benchmark):
+    result, reconstructor, packets = benchmark.pedantic(
+        run_and_reconstruct, rounds=1, iterations=1
+    )
+    truth = sorted(result.completed_packets(), key=lambda p: (p.exited_ns, p.pid))
+    rebuilt = sorted(packets, key=lambda p: p.exited_ns)
+    exact = sum(
+        1
+        for g, r in zip(truth, rebuilt)
+        if g.flow == r.flow
+        and tuple(h.nf for h in g.hops) == r.nf_path()
+        and all(
+            gh.enqueue_ns == rh.arrival_ns and gh.read_ns == rh.read_ns
+            for gh, rh in zip(g.hops, r.hops)
+        )
+    )
+    accuracy = exact / len(truth)
+    print("\n=== Figure 9: IPID-ambiguity reconstruction ===")
+    print(f"packets: {len(truth)}  ipid space: 64 (heavy collisions)")
+    print(f"chains built: {reconstructor.stats.chains_built}"
+          f"  broken: {reconstructor.stats.chains_broken}")
+    print(f"ambiguities resolved by order lookahead: "
+          f"{reconstructor.stats.ambiguous_resolved}")
+    print(f"exact hop-timing accuracy: {accuracy:.3%}")
+    assert len(rebuilt) == len(truth)
+    assert accuracy >= 0.99

@@ -1,0 +1,45 @@
+"""Figure 12: per-culprit diagnostic accuracy.
+
+Paper:
+  (a) traffic bursts — Microscope 99.8% rank-1; NetMedic 3.7% rank-1 and
+      39.9% rank-2 (it blames local processing first),
+  (b) interrupts — Microscope 85.0% rank-1; NetMedic 52.8%,
+  (c) NF bugs — Microscope 73.0% rank-1 / 95.5% rank<=2; NetMedic 63.3%.
+"""
+
+from repro.experiments.accuracy import correct_rate, rank_at_most
+from repro.experiments.figures import fig12_data
+
+PAPER = {
+    "burst": dict(microscope=0.998, netmedic=0.037),
+    "interrupt": dict(microscope=0.850, netmedic=0.528),
+    "bug": dict(microscope=0.730, netmedic=0.633),
+}
+
+
+def test_fig12_per_culprit(benchmark, shared_accuracy):
+    per_kind = benchmark.pedantic(
+        fig12_data, args=(shared_accuracy,), rounds=1, iterations=1
+    )
+    print("\n=== Figure 12: accuracy per injected culprit type ===")
+    print(f"{'culprit':>10} {'n':>5} {'microscope r1':>14} {'netmedic r1':>12}"
+          f"  (paper: micro/net)")
+    for kind, stats in per_kind.items():
+        paper = PAPER[kind]
+        print(
+            f"{kind:>10} {stats['n_victims']:>5}"
+            f" {stats['microscope_correct']:>14.3f}"
+            f" {stats['netmedic_correct']:>12.3f}"
+            f"   ({paper['microscope']:.3f}/{paper['netmedic']:.3f})"
+        )
+
+    for kind, stats in per_kind.items():
+        assert stats["n_victims"] > 0, f"no victims attributed to {kind}"
+        # Microscope at least matches NetMedic on every culprit class...
+        assert stats["microscope_correct"] >= stats["netmedic_correct"] - 0.05
+    # ...and decisively beats it on bursts, the paper's starkest gap.
+    burst = per_kind["burst"]
+    assert burst["microscope_correct"] >= 0.9
+    assert burst["microscope_correct"] >= burst["netmedic_correct"] + 0.3
+    assert per_kind["interrupt"]["microscope_correct"] >= 0.7
+    assert per_kind["bug"]["microscope_correct"] >= 0.6

@@ -1,0 +1,34 @@
+"""Figure 15: CDF of the culprit-to-victim time gap in the wild.
+
+Paper: gaps range 0-91 ms; about half are under 1.5 ms and the rest spread
+almost evenly up to ~50 ms with a long tail — which is why no single
+correlation window can work.
+"""
+
+
+def test_fig15_time_gap_cdf(benchmark, shared_wild):
+    data = benchmark.pedantic(lambda: shared_wild, rounds=1, iterations=1)
+    cdf = data["gap_cdf_ms"]
+    assert cdf, "no causal relations in the wild run"
+
+    def value_at(frac):
+        for gap, cumulative in cdf:
+            if cumulative >= frac:
+                return gap
+        return cdf[-1][0]
+
+    print("\n=== Figure 15: culprit-victim time gap CDF ===")
+    print(f"causal relations: {data['n_relations']}  victims: {data['n_victims']}")
+    for frac in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0):
+        print(f"  p{int(frac*100):>3d}  gap = {value_at(frac):8.2f} ms")
+
+    median = value_at(0.5)
+    p99 = value_at(0.99)
+    maximum = cdf[-1][0]
+    print(f"(paper: half under 1.5 ms, spread to ~50 ms, tail to 91 ms over"
+          " a 60 s run; our 0.2 s run compresses the tail proportionally)")
+    # Shape: most gaps are short but the tail is several times longer —
+    # the variability that breaks fixed-window correlation.
+    assert median < 5.0
+    assert p99 > 4 * max(median, 0.1)
+    assert maximum > 5 * max(median, 0.1)

@@ -1,0 +1,88 @@
+"""Section 6.2 runtime overhead: 0.88% - 2.33% peak-throughput degradation.
+
+We model the collector's critical-path cost (timestamp + batch header per
+burst, one 2-byte store per packet) and measure peak-rate degradation by
+offline stress test per NF type, plus the compressed-record footprint and
+the shared-memory dumper headroom.
+"""
+
+from repro.collector.compression import bytes_per_packet
+from repro.collector.overhead import measure_overhead_by_type
+from repro.collector.runtime import RuntimeCollector
+from repro.collector.storage import drain_batches
+from repro.nfv.nfs import Firewall, Monitor, Nat, Vpn
+
+
+def factories():
+    return {
+        "nat": lambda: Nat("n", router=lambda p: None),
+        "firewall": lambda: Firewall(
+            "f", route_match=lambda p: None, route_default=lambda p: None
+        ),
+        "monitor": lambda: Monitor("m", router=lambda p: None),
+        "vpn": lambda: Vpn("v", router=lambda p: None),
+    }
+
+
+def test_overhead_collector(benchmark):
+    reports = benchmark.pedantic(
+        measure_overhead_by_type, args=(factories(),), rounds=1, iterations=1
+    )
+    print("\n=== Runtime collection overhead (peak-throughput degradation) ===")
+    for name, report in reports.items():
+        print(
+            f"  {name:>8}: baseline {report.baseline_pps/1e6:6.3f} Mpps"
+            f" -> collected {report.collected_pps/1e6:6.3f} Mpps"
+            f"   degradation {report.degradation:6.2%}"
+        )
+    degradations = [r.degradation for r in reports.values()]
+    print(f"range: {min(degradations):.2%} - {max(degradations):.2%}"
+          "  (paper: 0.88% - 2.33%)")
+    # Paper band, with a little slack for the cost model.
+    assert 0.004 <= min(degradations)
+    assert max(degradations) <= 0.035
+
+
+def _collect_chain_records() -> RuntimeCollector:
+    from repro.nfv import Simulator, TrafficSource, constant_target
+    from repro.traffic import IpidSpace, PidAllocator
+    from repro.traffic.caida import CaidaLikeTraffic
+    from repro.util.rng import substream
+    from repro.util.timebase import MSEC
+    from tests.conftest import make_chain_topology
+
+    collector = RuntimeCollector()
+    topo = make_chain_topology()
+    pids = PidAllocator()
+    ipids = IpidSpace(substream(3, "bpp"))
+    # The paper's ~2 B/packet figure is a *peak-throughput* property:
+    # under load, DPDK bursts fill up and the per-batch header amortises
+    # over ~32 IPIDs.  Drive the NAT near its peak rate to measure it.
+    trace = CaidaLikeTraffic(
+        rate_pps=2_300_000, duration_ns=10 * MSEC, seed=3, burstiness=1.5
+    ).generate(pids, ipids)
+    src = TrafficSource("src-main", trace.schedule, constant_target("nat1"))
+    Simulator(topo, [src], extra_hooks=[collector]).run()
+    return collector
+
+
+def test_bytes_per_packet_budget(benchmark):
+    """Compressed interior-NF records cost ~2 B per per-packet record."""
+    collector = benchmark.pedantic(_collect_chain_records, rounds=1, iterations=1)
+    records = collector.data.nfs["nat1"]
+    mean_batch = sum(b.size for b in records.rx) / max(1, len(records.rx))
+    footprint = bytes_per_packet(records)
+    print(f"\nmean RX batch at loaded NAT: {mean_batch:.1f} packets")
+    print(f"compressed footprint at interior NF: {footprint:.2f} B per record"
+          " (paper: ~2 B/packet at peak throughput)")
+    assert mean_batch > 4
+    assert footprint <= 3.0
+
+    # The dumper model keeps up with this record rate without loss.
+    stream = [
+        (batch.time_ns, 2 * batch.size + 6)
+        for batch in collector.data.nfs["nat1"].rx
+    ]
+    stats = drain_batches(stream)
+    print(f"dumper loss fraction: {stats.loss_fraction:.4f}")
+    assert stats.loss_fraction == 0.0

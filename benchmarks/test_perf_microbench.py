@@ -1,0 +1,79 @@
+"""Component micro-benchmarks: simulator, diagnosis, aggregation throughput.
+
+These are classic pytest-benchmark timings (multiple rounds) rather than
+figure reproductions: they track the substrate's performance so workload
+scaling stays honest.
+"""
+
+import pytest
+
+from repro.aggregation.autofocus import MultiAutoFocus
+from repro.aggregation.hierarchy import PortNode, PrefixNode
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.queuing import QueuingAnalyzer
+from repro.core.records import DiagTrace
+from repro.core.victims import VictimSelector
+from repro.nfv import Simulator, TrafficSource, Vpn, Topology, constant_target
+from repro.nfv.packet import FiveTuple, Packet
+from repro.util.rng import generator
+from tests.conftest import run_interrupt_chain
+
+
+def test_simulator_throughput(benchmark):
+    """Packets simulated per second of wall time through a single NF."""
+
+    def build_and_run():
+        topo = Topology()
+        topo.add_nf(Vpn("v", router=lambda p: None))
+        topo.add_source("src")
+        topo.connect("src", "v")
+        flow = FiveTuple.of("1.1.1.1", "2.2.2.2", 1, 2)
+        schedule = [
+            (i * 1_000, Packet(pid=i, flow=flow, ipid=i % 65_536))
+            for i in range(5_000)
+        ]
+        src = TrafficSource("src", schedule, constant_target("v"))
+        return Simulator(topo, [src]).run()
+
+    result = benchmark(build_and_run)
+    assert len(result.completed_packets()) == 5_000
+
+
+@pytest.fixture(scope="module")
+def chain_trace():
+    return DiagTrace.from_sim_result(run_interrupt_chain())
+
+
+def test_queuing_analyzer_build(benchmark, chain_trace):
+    view = chain_trace.nfs["vpn1"]
+    analyzer = benchmark(lambda: QueuingAnalyzer(view))
+    assert analyzer.view is view
+
+
+def test_diagnosis_per_victim(benchmark, chain_trace):
+    engine = MicroscopeEngine(chain_trace)
+    victims = VictimSelector(chain_trace).hop_latency_victims(pct=99.0, nf="vpn1")
+    victim = victims[len(victims) // 2]
+
+    def diagnose():
+        return engine.diagnose(victim)
+
+    diagnosis = benchmark(diagnose)
+    assert diagnosis.culprits
+
+
+def test_autofocus_throughput(benchmark):
+    rng = generator(1)
+    items = [
+        (
+            (int(rng.integers(0, 1 << 32)), int(rng.integers(0, 65_536))),
+            float(rng.random()) + 0.01,
+        )
+        for _ in range(2_000)
+    ]
+    autofocus = MultiAutoFocus(
+        to_leaf_nodes=lambda item: (PrefixNode.leaf(item[0]), PortNode.leaf(item[1])),
+        threshold_fraction=0.02,
+    )
+    clusters = benchmark(lambda: autofocus.run(items))
+    assert isinstance(clusters, list)

@@ -1,0 +1,66 @@
+"""Section 6.3 sensitivity sweeps.
+
+Paper findings:
+  * burst size: at 5000 packets Microscope is right for all victims;
+    accuracy decreases as bursts shrink (small bursts contribute less to
+    the queue relative to concurrent culprits),
+  * interrupt length: at 1500 us nearly all victims diagnosed correctly;
+    accuracy decreases with shorter interrupts,
+  * propagation hops: accuracy decreases as the effect crosses more hops.
+"""
+
+import pytest
+
+from repro.experiments.figures import (
+    sweep_burst_sizes,
+    sweep_interrupt_lengths,
+    sweep_propagation_hops,
+)
+from repro.util.timebase import MSEC
+
+BURST_SIZES = (200, 1_000, 5_000)
+INTERRUPT_US = (300, 800, 1_500)
+
+
+def test_sweep_burst_sizes(benchmark):
+    rates = benchmark.pedantic(
+        sweep_burst_sizes,
+        kwargs=dict(sizes=BURST_SIZES, seed=11, duration_ns=120 * MSEC),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Impact of burst sizes (correct rate) ===")
+    for size in BURST_SIZES:
+        print(f"  burst {size:>5d} pkts  correct rate {rates[size]:.3f}")
+    # Largest bursts are diagnosed essentially perfectly, and accuracy is
+    # monotone-ish in burst size.
+    assert rates[BURST_SIZES[-1]] >= 0.95
+    assert rates[BURST_SIZES[-1]] >= rates[BURST_SIZES[0]]
+
+
+def test_sweep_interrupt_lengths(benchmark):
+    rates = benchmark.pedantic(
+        sweep_interrupt_lengths,
+        kwargs=dict(lengths_us=INTERRUPT_US, seed=13, duration_ns=120 * MSEC),
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Impact of interrupt lengths (correct rate) ===")
+    for us in INTERRUPT_US:
+        print(f"  interrupt {us:>5d} us  correct rate {rates[us]:.3f}")
+    assert rates[INTERRUPT_US[-1]] >= 0.9
+    assert rates[INTERRUPT_US[-1]] >= rates[INTERRUPT_US[0]]
+
+
+def test_sweep_propagation_hops(benchmark, shared_accuracy):
+    rates = benchmark.pedantic(
+        sweep_propagation_hops, args=(shared_accuracy,), rounds=1, iterations=1
+    )
+    print("\n=== Impact of propagation hops (correct rate) ===")
+    for hops, rate in sorted(rates.items()):
+        print(f"  {hops} hop(s)  correct rate {rate:.3f}")
+    assert rates, "no interrupt/bug victims classified by hop distance"
+    assert 0 in rates
+    # Local diagnosis is at least as accurate as the most distant bucket.
+    farthest = max(rates)
+    assert rates[0] >= rates[farthest] - 0.05

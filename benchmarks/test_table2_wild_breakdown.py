@@ -1,0 +1,39 @@
+"""Table 2: breakdown of wild-run problems by culprit and victim NF type.
+
+Paper: rows are culprit types (traffic sources, NAT, Firewall, Monitor,
+VPN), columns victim types; 21.7% of victim packets are caused by
+propagation (culprit at a different NF than the victim), 10.9% by at least
+two-hop propagation.  Culprits never sit downstream of their victims.
+"""
+
+ORDER = ["source", "nat", "firewall", "monitor", "vpn"]
+TIER = {name: i for i, name in enumerate(ORDER)}
+
+
+def test_table2_wild_breakdown(benchmark, shared_wild):
+    data = benchmark.pedantic(lambda: shared_wild, rounds=1, iterations=1)
+    table = data["table2"]
+
+    print("\n=== Table 2: % of problem score per [culprit -> victim] pair ===")
+    header = "".join(f"{v:>10}" for v in ORDER[1:])
+    print(f"{'culprit':>10}{header}")
+    for culprit in ORDER:
+        row = "".join(
+            f"{table.get((culprit, victim), 0.0) * 100:>9.2f}%"
+            for victim in ORDER[1:]
+        )
+        print(f"{culprit:>10}{row}")
+    print(f"\npropagated (cross-NF-type) share: {data['cross_nf_share']:.1%}"
+          " (paper: 21.7%)")
+    print(f">=2-hop share: {data['two_hop_share']:.1%} (paper: 10.9%)")
+
+    # Causality never flows upstream: a culprit's tier is never later in
+    # the chain than the victim's.
+    for (culprit, victim), share in table.items():
+        if share > 0:
+            assert TIER[culprit] <= TIER[victim], (culprit, victim)
+    # Propagation is a sizeable minority, like the paper's 21.7%.
+    assert 0.05 <= data["cross_nf_share"] <= 0.6
+    # Local culprits exist at multiple tiers.
+    locals_present = [t for t in ORDER[1:] if table.get((t, t), 0.0) > 0]
+    assert len(locals_present) >= 2

@@ -1,0 +1,33 @@
+"""Table 3: different NAT instances cause different levels of problems.
+
+Paper: traffic is evenly load-balanced across the four NATs, yet some NATs
+cause noticeably more problems than others at every downstream layer —
+evidence that problems stem from temporally uneven factors (interrupts,
+traffic timing), not load.
+"""
+
+
+def test_table3_nat_unevenness(benchmark, shared_wild):
+    data = benchmark.pedantic(lambda: shared_wild, rounds=1, iterations=1)
+    table3 = data["table3"]
+    traffic = data["nat_traffic"]
+
+    print("\n=== Table 3: problems caused per NAT instance (% of total score) ===")
+    victims = ["nat", "firewall", "monitor", "vpn"]
+    print(f"{'culprit':>8}" + "".join(f"{v:>11}" for v in victims) + f"{'traffic':>10}")
+    totals = {}
+    for nat in sorted(traffic):
+        row = table3.get(nat, {})
+        cells = "".join(f"{row.get(v, 0.0) * 100:>10.2f}%" for v in victims)
+        totals[nat] = sum(row.values())
+        print(f"{nat:>8}{cells}{traffic[nat]:>10d}")
+
+    # Traffic is roughly even across NATs (flow-hash balancing)...
+    counts = list(traffic.values())
+    assert max(counts) <= 2.0 * min(counts)
+    # ...yet culprit scores are uneven across instances.
+    scores = [totals.get(nat, 0.0) for nat in traffic]
+    assert max(scores) > 0
+    nonzero = [s for s in scores if s > 0]
+    print(f"\nculprit-score spread: min={min(scores):.4f} max={max(scores):.4f}")
+    assert max(scores) >= 1.5 * max(min(scores), 1e-6) or len(nonzero) < len(scores)

@@ -1,0 +1,85 @@
+"""Head-to-head: Microscope vs NetMedic on the 16-NF evaluation chain.
+
+Runs a scaled-down version of the paper's section 6.2 methodology —
+CAIDA-like traffic through the Figure 10 topology with injected bursts,
+interrupts and a firewall bug — then scores both tools by the rank they
+give the true culprit for every victim packet.
+
+Run:  python examples/compare_with_netmedic.py   (takes ~1 minute)
+"""
+
+import collections
+
+from repro.baselines import NetMedic, NetMedicConfig, SameWindowCorrelation
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.victims import VictimSelector
+from repro.experiments.accuracy import (
+    associate_victims,
+    baseline_ranks,
+    correct_rate,
+    microscope_ranks,
+    rank_at_most,
+    topology_plausibility,
+)
+from repro.experiments.harness import run_injected_experiment
+from repro.util.timebase import MSEC
+
+
+def main() -> None:
+    print("Simulating the 16-NF chain (4 NAT / 5 FW / 3 Mon / 4 VPN) at 1.2 Mpps")
+    print("with 2 bursts, 2 interrupts and 2 bug-trigger flows injected...\n")
+    run = run_injected_experiment(
+        duration_ns=110 * MSEC,
+        seed=1,
+        plan_kwargs=dict(
+            n_bursts=2, n_interrupts=2, n_bug_triggers=2, warmup_ns=15 * MSEC
+        ),
+    )
+    for problem in run.plan.problems:
+        target = problem.nf or (problem.flows[0] if problem.flows else "?")
+        print(f"  injected {problem.kind:<9} at t={problem.at_ns/1e6:6.1f}ms -> {target}")
+
+    selector = VictimSelector(run.trace)
+    victims = selector.hop_latency_victims(pct=99.5) + selector.drop_victims()
+    pairs = associate_victims(
+        victims, run.plan, max_per_problem=30,
+        plausible=topology_plausibility(run.trace),
+    )
+    print(f"\nVictims attributed to injections: {len(pairs)}")
+
+    engine = MicroscopeEngine(run.trace)
+    microscope = microscope_ranks(engine, run.trace, pairs)
+    netmedic = baseline_ranks(
+        NetMedic(run.trace, NetMedicConfig(window_ns=10 * MSEC)),
+        pairs,
+        run.source_name,
+    )
+    naive = baseline_ranks(
+        SameWindowCorrelation(run.trace, window_ns=10 * MSEC),
+        pairs,
+        run.source_name,
+    )
+
+    print(f"\n{'tool':<22}{'rank-1':>8}{'rank<=2':>9}{'rank<=5':>9}")
+    for name, results in (
+        ("Microscope", microscope),
+        ("NetMedic (10ms)", netmedic),
+        ("naive correlation", naive),
+    ):
+        print(
+            f"{name:<22}{correct_rate(results):>8.2f}"
+            f"{rank_at_most(results, 2):>9.2f}{rank_at_most(results, 5):>9.2f}"
+        )
+
+    print("\nPer culprit class (rank-1 rate):")
+    for kind in ("burst", "interrupt", "bug"):
+        micro = [r for r in microscope if r.problem.kind == kind]
+        net = [r for r in netmedic if r.problem.kind == kind]
+        if micro:
+            print(f"  {kind:<10} microscope={correct_rate(micro):.2f}"
+                  f"  netmedic={correct_rate(net):.2f}")
+    print("\n(The paper reports 89.7% vs 36% rank-1 overall at full scale.)")
+
+
+if __name__ == "__main__":
+    main()

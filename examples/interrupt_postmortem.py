@@ -1,0 +1,119 @@
+"""Post-mortem of a cross-NF performance incident (paper Figure 2).
+
+A NAT feeds a VPN; an unrelated customer flow ("flow A") also terminates at
+the VPN.  The customer reports a throughput dip.  Time-based dashboards
+show nothing wrong at the VPN when the dip happened — because the real
+cause is a CPU interrupt at the NAT that ended a millisecond *earlier*.
+
+The example walks Microscope's full reasoning chain: victim selection,
+queuing period, Si/Sp split, timespan attribution across the path, and the
+recursion that pins the NAT's local stall.
+
+Run:  python examples/interrupt_postmortem.py
+"""
+
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.records import DiagTrace
+from repro.core.report import format_ranking, ranked_entities
+from repro.core.victims import VictimSelector
+from repro.nfv import (
+    FiveTuple,
+    InterruptInjector,
+    InterruptSpec,
+    Nat,
+    Simulator,
+    Topology,
+    TrafficSource,
+    Vpn,
+    constant_target,
+)
+from repro.traffic import IpidSpace, PidAllocator, constant_rate_flow
+from repro.traffic.caida import CaidaLikeTraffic
+from repro.util.rng import substream
+from repro.util.timebase import MSEC, USEC, format_ns
+
+
+def main() -> None:
+    topo = Topology()
+    topo.add_nf(Nat("nat1", router=lambda p: "vpn1", cost_ns=400))
+    topo.add_nf(Vpn("vpn1", router=lambda p: None, cost_ns=640))
+    topo.add_source("src-isp")
+    topo.add_source("src-customer")
+    topo.connect("src-isp", "nat1")
+    topo.connect("nat1", "vpn1")
+    topo.connect("src-customer", "vpn1")
+
+    pids = PidAllocator()
+    ipids = IpidSpace(substream(7, "postmortem"))
+    duration = 4 * MSEC
+    isp_traffic = CaidaLikeTraffic(
+        rate_pps=1_000_000, duration_ns=duration, seed=7,
+        mean_flow_packets=16, max_flow_packets=128, flow_rate_pps=120_000,
+    ).generate(pids, ipids)
+    flow_a = FiveTuple.of("50.0.0.1", "60.0.0.1", 5_555, 443)
+    customer = constant_rate_flow(flow_a, 300_000, duration, pids, ipids)
+
+    interrupt = InterruptSpec(nf="nat1", at_ns=500 * USEC, duration_ns=800 * USEC)
+    print("Incident timeline (simulated):")
+    print(f"  [{format_ns(interrupt.at_ns)}] CPU interrupt begins at nat1")
+    print(f"  [{format_ns(interrupt.at_ns + interrupt.duration_ns)}] interrupt ends; "
+          "nat1 drains its backlog at peak rate")
+    print("  [~1.5ms+] customer flow A suffers at vpn1\n")
+
+    result = Simulator(
+        topo,
+        [
+            TrafficSource("src-isp", isp_traffic.schedule, constant_target("nat1")),
+            TrafficSource("src-customer", customer, constant_target("vpn1")),
+        ],
+        injectors=[InterruptInjector([interrupt])],
+    ).run()
+    trace = DiagTrace.from_sim_result(result)
+
+    selector = VictimSelector(trace)
+    victims = [
+        v
+        for v in selector.hop_latency_victims(pct=99.0, nf="vpn1")
+        if trace.packets[v.pid].flow == flow_a
+        and v.arrival_ns > interrupt.at_ns + interrupt.duration_ns
+    ]
+    print(f"Customer packets flagged as victims at vpn1: {len(victims)}")
+    victim = victims[0]
+    print(f"Diagnosing packet {victim.pid} "
+          f"(arrived {format_ns(victim.arrival_ns)}, "
+          f"local latency {format_ns(int(victim.metric))})\n")
+
+    engine = MicroscopeEngine(trace)
+    diagnosis = engine.diagnose(victim)
+
+    period = diagnosis.period
+    print("Step 1 — queuing period at vpn1:")
+    print(f"  {format_ns(period.start_ns)} -> {format_ns(period.end_ns)}"
+          f"  ({period.n_input} arrivals, {period.n_processed} processed,"
+          f" queue length {period.queue_len})")
+
+    scores = diagnosis.local
+    print("Step 2 — local split (eqs. 1-2):")
+    print(f"  Si = {scores.si:.1f}  (too much input)")
+    print(f"  Sp = {scores.sp:.1f}  (vpn1 slower than its peak)")
+
+    print("Step 3 — timespan attribution over PreSet paths:")
+    for attribution in diagnosis.attributions:
+        path = " -> ".join(attribution.path)
+        spans = ", ".join(format_ns(int(s)) for s in attribution.timespans_ns)
+        print(f"  path [{path}]  ({len(attribution.subset_pids)} pkts)")
+        print(f"    timespans [Texp, source, hops...]: {spans}")
+
+    print("Step 4 — recursion outcome (culprits):")
+    for culprit in diagnosis.culprits:
+        print(f"  [{culprit.kind}] {culprit.location}  score={culprit.score:.1f}"
+              f"  depth={culprit.depth}")
+
+    print("\nFinal ranked answer:")
+    print(format_ranking(ranked_entities(diagnosis, trace)))
+    print("\nnat1's local stall is the root cause — found from queue records"
+          "\nalone, without touching either vendor's code.")
+
+
+if __name__ == "__main__":
+    main()

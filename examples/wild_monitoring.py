@@ -1,0 +1,70 @@
+"""Running Microscope "in the wild" (paper section 6.5).
+
+No injected faults: the 16-NF chain runs at high load with natural noise
+(service-time jitter, random background interrupts).  Microscope diagnoses
+the worst tail-latency packets and the report answers the operator
+questions from the paper: who causes problems, how far do they propagate,
+and how long after the cause do victims appear?
+
+Run:  python examples/wild_monitoring.py   (takes ~1 minute)
+"""
+
+import collections
+
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.report import causal_relations
+from repro.core.victims import VictimSelector
+from repro.experiments.harness import run_wild_experiment
+from repro.util.stats import cdf_points
+from repro.util.timebase import MSEC
+
+
+def main() -> None:
+    print("Simulating the 16-NF chain at 1.6 Mpps with natural noise...\n")
+    run = run_wild_experiment(duration_ns=100 * MSEC, seed=3)
+    print(f"packets simulated: {len(run.trace.packets)}")
+    print(f"background interrupts that fired: {len(run.noise.fired)}")
+
+    selector = VictimSelector(run.trace)
+    victims = selector.hop_latency_victims(pct=99.9) + selector.drop_victims()
+    victims = victims[:400]
+    print(f"diagnosing {len(victims)} worst-tail victims...\n")
+
+    engine = MicroscopeEngine(run.trace)
+    diagnoses = engine.diagnose_all(victims)
+    relations = causal_relations(diagnoses, run.trace)
+
+    nf_types = dict(run.trace.nf_types)
+    type_of = lambda loc: nf_types.get(loc, "source")
+
+    matrix = collections.defaultdict(float)
+    total = 0.0
+    for relation in relations:
+        matrix[(type_of(relation.culprit_location), type_of(relation.victim_location))] += relation.score
+        total += relation.score
+
+    order = ["source", "nat", "firewall", "monitor", "vpn"]
+    print("Culprit -> victim breakdown (% of problem score):")
+    print(f"{'culprit':>10}" + "".join(f"{v:>10}" for v in order[1:]))
+    for culprit in order:
+        row = "".join(
+            f"{matrix.get((culprit, victim), 0.0) / total * 100:>9.1f}%"
+            for victim in order[1:]
+        )
+        print(f"{culprit:>10}{row}")
+
+    propagated = sum(
+        share for (c, v), share in matrix.items() if c != v
+    ) / total
+    print(f"\nshare of problems that propagated across NF types: {propagated:.1%}")
+
+    gaps = sorted(r.gap_ns / MSEC for r in relations)
+    print("\nculprit -> victim time gap (ms):")
+    for label, frac in (("p50", 0.5), ("p90", 0.9), ("p99", 0.99), ("max", 1.0)):
+        print(f"  {label}: {gaps[min(len(gaps) - 1, int(frac * len(gaps)))]:.2f}")
+    print("\nThe gap spread is why fixed correlation windows fail: half the")
+    print("causes are milliseconds old, some are tens of milliseconds old.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,124 @@
+"""Microscope: queue-based performance diagnosis for network functions.
+
+A full reproduction of Gong et al., SIGCOMM 2020, on a simulated NFV
+substrate.  Public API layers:
+
+* :mod:`repro.nfv` — discrete-event NFV simulator (the DPDK-testbed stand-in),
+* :mod:`repro.traffic` — CAIDA-like traffic generation and shaping,
+* :mod:`repro.collector` — runtime record collection, compression, and
+  IPID-based trace reconstruction,
+* :mod:`repro.core` — the Microscope diagnosis engine (queuing periods,
+  Si/Sp scores, propagation, recursion, victims, reports),
+* :mod:`repro.aggregation` — AutoFocus-style causal-pattern aggregation,
+* :mod:`repro.baselines` — NetMedic, naive correlation, PerfSight,
+* :mod:`repro.experiments` — the paper's evaluation scenarios end to end.
+
+Quickstart::
+
+    from repro import quick_diagnose
+    report = quick_diagnose()   # runs a small chain, prints top culprits
+"""
+
+from repro.core import (
+    CausalRelation,
+    Culprit,
+    DiagTrace,
+    MicroscopeEngine,
+    Victim,
+    VictimDiagnosis,
+    VictimSelector,
+    causal_relations,
+    format_ranking,
+    ranked_entities,
+)
+from repro.errors import (
+    AggregationError,
+    ConfigurationError,
+    DiagnosisError,
+    ReconstructionError,
+    ReproError,
+    SimulationError,
+    TopologyError,
+    TraceError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregationError",
+    "CausalRelation",
+    "ConfigurationError",
+    "Culprit",
+    "DiagTrace",
+    "DiagnosisError",
+    "MicroscopeEngine",
+    "ReconstructionError",
+    "ReproError",
+    "SimulationError",
+    "TopologyError",
+    "TraceError",
+    "Victim",
+    "VictimDiagnosis",
+    "VictimSelector",
+    "causal_relations",
+    "format_ranking",
+    "quick_diagnose",
+    "ranked_entities",
+    "__version__",
+]
+
+
+def quick_diagnose(seed: int = 0, verbose: bool = True) -> "VictimDiagnosis":
+    """Tiny end-to-end demo: inject an interrupt, diagnose a victim.
+
+    Builds a NAT -> VPN chain, sends steady traffic plus a direct probe
+    flow, stalls the NAT for 800 us, picks the worst-latency victim at the
+    VPN and returns its diagnosis (printing the ranked culprits when
+    ``verbose``).
+    """
+    from repro.nfv import (
+        InterruptInjector,
+        InterruptSpec,
+        Nat,
+        Simulator,
+        Topology,
+        TrafficSource,
+        Vpn,
+        constant_target,
+    )
+    from repro.nfv.packet import FiveTuple
+    from repro.traffic import IpidSpace, PidAllocator, constant_rate_flow
+    from repro.util import MSEC, USEC, substream
+
+    topo = Topology()
+    topo.add_nf(Nat("nat1", router=lambda p: "vpn1"))
+    topo.add_nf(Vpn("vpn1", router=lambda p: None))
+    topo.add_source("src-main")
+    topo.add_source("src-probe")
+    topo.connect("src-main", "nat1")
+    topo.connect("nat1", "vpn1")
+    topo.connect("src-probe", "vpn1")
+
+    pids = PidAllocator()
+    ipids = IpidSpace(substream(seed, "quickstart"))
+    main_flow = FiveTuple.of("10.1.0.1", "20.1.0.1", 1111, 80)
+    probe_flow = FiveTuple.of("50.0.0.1", "60.0.0.1", 5555, 443)
+    main = constant_rate_flow(main_flow, 1_000_000, 5 * MSEC, pids, ipids)
+    probe = constant_rate_flow(probe_flow, 200_000, 5 * MSEC, pids, ipids)
+    result = Simulator(
+        topo,
+        [
+            TrafficSource("src-main", main, constant_target("nat1")),
+            TrafficSource("src-probe", probe, constant_target("vpn1")),
+        ],
+        injectors=[InterruptInjector([InterruptSpec("nat1", 500 * USEC, 800 * USEC)])],
+    ).run()
+
+    trace = DiagTrace.from_sim_result(result)
+    victims = VictimSelector(trace).hop_latency_victims(pct=99.9, nf="vpn1")
+    engine = MicroscopeEngine(trace)
+    diagnosis = engine.diagnose(max(victims, key=lambda v: v.metric))
+    if verbose:
+        print("Victim packet", diagnosis.victim.pid, "at", diagnosis.victim.nf)
+        print(format_ranking(ranked_entities(diagnosis, trace)))
+    return diagnosis

@@ -1,0 +1,39 @@
+"""Causal-pattern aggregation: hierarchies, AutoFocus, two-phase pipeline."""
+
+from repro.aggregation.autofocus import (
+    Cluster,
+    MultiAutoFocus,
+    compress_unidimensional,
+    unidimensional_clusters,
+)
+from repro.aggregation.hierarchy import (
+    BinaryPortNode,
+    LocationNode,
+    PortNode,
+    PrefixNode,
+    ProtoNode,
+    ancestors,
+)
+from repro.aggregation.patterns import (
+    AggregationResult,
+    FlowAggregate,
+    Pattern,
+    PatternAggregator,
+)
+
+__all__ = [
+    "AggregationResult",
+    "BinaryPortNode",
+    "Cluster",
+    "FlowAggregate",
+    "LocationNode",
+    "MultiAutoFocus",
+    "Pattern",
+    "PatternAggregator",
+    "PortNode",
+    "PrefixNode",
+    "ProtoNode",
+    "ancestors",
+    "compress_unidimensional",
+    "unidimensional_clusters",
+]

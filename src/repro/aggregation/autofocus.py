@@ -1,0 +1,220 @@
+"""AutoFocus-style hierarchical heavy hitters, uni- and multi-dimensional.
+
+Follows Estan, Savage & Varghese, "Automatically inferring patterns of
+resource consumption in network traffic" (SIGCOMM 2003), which the paper
+adapts for causal-pattern aggregation:
+
+* **Unidimensional**: aggregate leaf weights up each hierarchy; a node is a
+  *cluster* when its subtree weight reaches the threshold; *compression*
+  reports only nodes whose weight is not already explained by reported
+  descendants (residual >= threshold).
+* **Multidimensional**: candidate clusters are combinations of per-
+  dimension unidimensional clusters; true weights are accumulated by
+  walking, for each item, the cross product of its per-dimension cluster
+  ancestors; compression then works on the specificity-ordered candidate
+  list with the same residual rule.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from itertools import product
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
+
+from repro.aggregation.hierarchy import ancestors
+from repro.errors import AggregationError
+
+
+@dataclass(frozen=True)
+class Cluster:
+    """A reported aggregate: per-dimension nodes plus weights."""
+
+    nodes: Tuple[object, ...]
+    weight: float
+    residual: float
+
+    @property
+    def depth(self) -> int:
+        return sum(node.depth for node in self.nodes)
+
+    def contains(self, other: "Cluster") -> bool:
+        return all(
+            mine.contains_node(theirs)
+            for mine, theirs in zip(self.nodes, other.nodes)
+        )
+
+    def __str__(self) -> str:
+        return " ".join(str(node) for node in self.nodes)
+
+
+def unidimensional_clusters(
+    leaf_weights: Dict[Hashable, float],
+    to_leaf_node: Callable[[Hashable], object],
+    threshold: float,
+) -> Dict[object, float]:
+    """All hierarchy nodes whose subtree weight reaches ``threshold``.
+
+    The dimension root is always included so multidimensional candidates
+    can fall back to "any" on dimensions without concentrated weight.
+    """
+    if threshold <= 0:
+        raise AggregationError(f"threshold must be positive, got {threshold}")
+    node_weights: Dict[object, float] = defaultdict(float)
+    root = None
+    for leaf, weight in leaf_weights.items():
+        for node in ancestors(to_leaf_node(leaf)):
+            node_weights[node] += weight
+            root = node  # last ancestor is the root
+    significant = {
+        node: weight for node, weight in node_weights.items() if weight >= threshold
+    }
+    if root is not None:
+        significant.setdefault(root, node_weights[root])
+    return significant
+
+
+def compress_unidimensional(
+    significant: Dict[object, float], threshold: float
+) -> List[Tuple[object, float, float]]:
+    """Residual compression: (node, weight, residual) kept when residual
+    reaches the threshold.  Most-specific nodes are processed first."""
+    ordered = sorted(significant.items(), key=lambda kv: -kv[0].depth)
+    reported: List[Tuple[object, float, float]] = []
+    for node, weight in ordered:
+        explained = sum(
+            residual
+            for other, _w, residual in reported
+            if node.contains_node(other)
+        )
+        residual = weight - explained
+        if residual >= threshold:
+            reported.append((node, weight, residual))
+    return reported
+
+
+@dataclass
+class MultiAutoFocus:
+    """Multidimensional AutoFocus over weighted items.
+
+    ``to_leaf_nodes`` maps each item to its per-dimension leaf nodes; items
+    are any hashable payloads paired with weights.  The reporting threshold
+    is ``threshold_fraction`` of the items' total weight, unless an absolute
+    ``threshold`` is passed to :meth:`run` (used by the two-phase pattern
+    pipeline, where significance is defined against the *global* score).
+    """
+
+    to_leaf_nodes: Callable[[Hashable], Tuple[object, ...]]
+    threshold_fraction: float = 0.01
+    max_ancestor_fanout: int = 8
+    #: Per-item cap on the candidate cross product.  When an item's options
+    #: multiply out beyond this, the longest dimensions are trimmed (keeping
+    #: the most specific nodes plus the root), trading cluster granularity
+    #: for bounded runtime.  High-dimensional single-pass runs need this;
+    #: the decoupled pipeline practically never hits it.
+    max_combos_per_item: int = 4_096
+
+    def run(
+        self,
+        items: Sequence[Tuple[Hashable, float]],
+        threshold: Optional[float] = None,
+    ) -> List[Cluster]:
+        """Return compressed multidimensional clusters, highest residual first."""
+        if not 0 < self.threshold_fraction <= 1:
+            raise AggregationError(
+                f"threshold fraction must be in (0, 1], got {self.threshold_fraction}"
+            )
+        if not items:
+            return []
+        total = sum(weight for _item, weight in items)
+        if total <= 0:
+            return []
+        if threshold is None:
+            threshold = total * self.threshold_fraction
+        if threshold <= 0:
+            raise AggregationError(f"threshold must be positive, got {threshold}")
+
+        leaves = [(self.to_leaf_nodes(item), weight) for item, weight in items]
+        n_dims = len(leaves[0][0])
+
+        # Pass 1: unidimensional significant nodes per dimension, with
+        # chain pruning: a node whose weight does not exceed its heaviest
+        # significant child is redundant — any combination using it scores
+        # the same as the more specific combination, so residual
+        # compression would never report it.  Pruning keeps the candidate
+        # cross product small.
+        per_dim_significant: List[Dict[object, float]] = []
+        for d in range(n_dims):
+            node_weights: Dict[object, float] = defaultdict(float)
+            for nodes, weight in leaves:
+                for node in ancestors(nodes[d]):
+                    node_weights[node] += weight
+            significant = {
+                node: w for node, w in node_weights.items() if w >= threshold
+            }
+            root = next(n for n in node_weights if n.depth == 0)
+            significant.setdefault(root, node_weights[root])
+            child_max: Dict[object, float] = {}
+            for node, weight in significant.items():
+                parent = node.parent()
+                if parent is not None and parent in significant:
+                    if weight > child_max.get(parent, 0.0):
+                        child_max[parent] = weight
+            pruned = {
+                node: weight
+                for node, weight in significant.items()
+                if node.depth == 0 or weight > child_max.get(node, 0.0)
+            }
+            per_dim_significant.append(pruned)
+
+        # Pass 2: true weights of candidate combinations, accumulated by
+        # walking each item's significant-ancestor cross product.
+        combo_weights: Dict[Tuple[object, ...], float] = defaultdict(float)
+        for nodes, weight in leaves:
+            options: List[List[object]] = []
+            for d in range(n_dims):
+                chain = [
+                    node
+                    for node in ancestors(nodes[d])
+                    if node in per_dim_significant[d]
+                ]
+                options.append(chain[: self.max_ancestor_fanout])
+            combos = 1
+            for chain in options:
+                combos *= max(1, len(chain))
+            while combos > self.max_combos_per_item:
+                longest = max(options, key=len)
+                if len(longest) <= 2:
+                    break
+                # Keep the most specific node and the most general one.
+                combos //= len(longest)
+                trimmed = [longest[0], longest[-1]]
+                options[options.index(longest)] = trimmed
+                combos *= 2
+            for combo in product(*options):
+                combo_weights[combo] += weight
+
+        candidates = {
+            combo: weight
+            for combo, weight in combo_weights.items()
+            if weight >= threshold
+        }
+
+        # Pass 3: compression by residual, most-specific first.
+        ordered = sorted(
+            candidates.items(),
+            key=lambda kv: (-sum(n.depth for n in kv[0]), -kv[1]),
+        )
+        reported: List[Cluster] = []
+        for combo, weight in ordered:
+            probe = Cluster(nodes=combo, weight=weight, residual=0.0)
+            explained = sum(
+                cluster.residual for cluster in reported if probe.contains(cluster)
+            )
+            residual = weight - explained
+            if residual >= threshold:
+                reported.append(
+                    Cluster(nodes=combo, weight=weight, residual=residual)
+                )
+        reported.sort(key=lambda c: -c.residual)
+        return reported

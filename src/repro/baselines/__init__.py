@@ -1,0 +1,13 @@
+"""Comparison baselines: NetMedic, naive correlation, PerfSight."""
+
+from repro.baselines.correlation import SameWindowCorrelation
+from repro.baselines.netmedic import NetMedic, NetMedicConfig
+from repro.baselines.perfsight import BottleneckReport, PerfSight
+
+__all__ = [
+    "BottleneckReport",
+    "NetMedic",
+    "NetMedicConfig",
+    "PerfSight",
+    "SameWindowCorrelation",
+]

@@ -1,0 +1,40 @@
+"""Naive same-window correlation baseline.
+
+The strawman the paper's motivation argues against: rank every component
+purely by how abnormal it looks in the victim's time window, with no
+dependency modelling and no notion of lasting impact.  Useful as a lower
+bound in accuracy plots.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.baselines.netmedic import NetMedic, NetMedicConfig
+from repro.core.records import DiagTrace
+from repro.core.victims import Victim
+
+
+class SameWindowCorrelation:
+    """Ranks components by in-window abnormality only."""
+
+    def __init__(self, trace: DiagTrace, window_ns: int = 10_000_000) -> None:
+        self._netmedic = NetMedic(trace, NetMedicConfig(window_ns=window_ns))
+
+    def diagnose(self, victim: Victim) -> List[Tuple[str, float]]:
+        window_idx = min(
+            victim.arrival_ns // self._netmedic.config.window_ns,
+            self._netmedic._n_windows - 1,
+        )
+        scores = [
+            (component, self._netmedic._abnormality(component, window_idx))
+            for component in self._netmedic._components
+        ]
+        scores.sort(key=lambda kv: (-kv[1], kv[0]))
+        return scores
+
+    def rank_of(self, victim: Victim, culprit: str) -> Optional[int]:
+        for position, (component, _score) in enumerate(self.diagnose(victim), start=1):
+            if component == culprit:
+                return position
+        return None

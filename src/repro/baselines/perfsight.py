@@ -1,0 +1,72 @@
+"""PerfSight-style persistent-bottleneck detection.
+
+PerfSight (IMC 2015) diagnoses *persistent* dataplane problems from
+aggregate packet-drop and throughput counters.  It identifies which
+element of the pipeline is the long-term bottleneck, but has no mechanism
+for transient, propagating problems — the gap Microscope fills (section
+8).  The bench uses this contrast: PerfSight nails a persistently
+overloaded NF but scores near zero on the paper's injected transient
+culprits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.core.records import DiagTrace
+
+
+@dataclass(frozen=True)
+class BottleneckReport:
+    """Aggregate health of one NF over the whole run."""
+
+    nf: str
+    input_packets: int
+    processed_packets: int
+    dropped_packets: int
+    utilization: float  # processed / (peak rate * active time)
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.input_packets + self.dropped_packets
+        if total == 0:
+            return 0.0
+        return self.dropped_packets / total
+
+    @property
+    def severity(self) -> float:
+        """Bottleneck score: drops dominate, saturation contributes."""
+        return self.drop_rate + max(0.0, self.utilization - 0.95)
+
+
+class PerfSight:
+    """Whole-run bottleneck analysis over a :class:`DiagTrace`."""
+
+    def __init__(self, trace: DiagTrace) -> None:
+        self.trace = trace
+
+    def reports(self) -> List[BottleneckReport]:
+        reports: List[BottleneckReport] = []
+        for name, view in self.trace.nfs.items():
+            if view.arrivals:
+                active_ns = max(1, view.arrivals[-1][0] - view.arrivals[0][0])
+            else:
+                active_ns = 1
+            capacity = view.peak_rate_pps * active_ns / 1e9
+            utilization = len(view.reads) / capacity if capacity > 0 else 0.0
+            reports.append(
+                BottleneckReport(
+                    nf=name,
+                    input_packets=len(view.arrivals),
+                    processed_packets=len(view.reads),
+                    dropped_packets=len(view.drops),
+                    utilization=utilization,
+                )
+            )
+        reports.sort(key=lambda r: -r.severity)
+        return reports
+
+    def bottlenecks(self, min_severity: float = 0.01) -> List[BottleneckReport]:
+        """NFs with persistent problems (ranked)."""
+        return [r for r in self.reports() if r.severity >= min_severity]

@@ -1,0 +1,222 @@
+"""Cross-server clock alignment for collected records (section 7).
+
+"When running NFs in different machines, we need to align the timestamp of
+data from different machines.  This needs clock synchronization
+(microsecond level), which is already supported in PTP and Huygens."
+
+The simulator's clock is global, so multi-server deployments are modelled
+by *skewing* each server's records after collection; this module then
+recovers the offsets the way coded-probe-free estimators (Huygens-style)
+do: every matched (TX at u, RX at v) record pair satisfies
+
+    rx_local - tx_local = propagation + queueing + (offset_v - offset_u)
+
+and queueing is non-negative, so the *minimum* observed difference on an
+edge, minus the known propagation delay, estimates ``offset_v - offset_u``.
+Offsets are then propagated from a reference node over a spanning tree of
+the NF graph, and applied to produce aligned records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collector.reconstruct import EdgeSpec
+from repro.collector.runtime import (
+    BatchRecord,
+    CollectedData,
+    ExitRecord,
+    NFRecords,
+    SourceRecord,
+)
+from repro.errors import TraceError
+
+
+@dataclass(frozen=True)
+class ClockSkew:
+    """A server clock: local = true + offset (drift is out of scope)."""
+
+    offset_ns: int
+
+    def to_local(self, true_ns: int) -> int:
+        return true_ns + self.offset_ns
+
+    def to_true(self, local_ns: int) -> int:
+        return local_ns - self.offset_ns
+
+
+def apply_clock_skew(
+    data: CollectedData, node_clocks: Dict[str, ClockSkew]
+) -> CollectedData:
+    """Return a copy of ``data`` with each node's records in local time.
+
+    Nodes absent from ``node_clocks`` are assumed synchronised (offset 0).
+    """
+    skewed = CollectedData(nfs={}, sources={}, exits=[], max_batch=data.max_batch)
+    for name, records in data.nfs.items():
+        clock = node_clocks.get(name, ClockSkew(0))
+        skewed.nfs[name] = NFRecords(
+            rx=[
+                BatchRecord(time_ns=clock.to_local(b.time_ns), ipids=b.ipids)
+                for b in records.rx
+            ],
+            tx={
+                next_node: [
+                    BatchRecord(time_ns=clock.to_local(b.time_ns), ipids=b.ipids)
+                    for b in batches
+                ]
+                for next_node, batches in records.tx.items()
+            },
+        )
+    for name, records in data.sources.items():
+        clock = node_clocks.get(name, ClockSkew(0))
+        skewed.sources[name] = [
+            SourceRecord(
+                time_ns=clock.to_local(r.time_ns),
+                ipid=r.ipid,
+                flow=r.flow,
+                target=r.target,
+            )
+            for r in records
+        ]
+    for record in data.exits:
+        clock = node_clocks.get(record.last_nf, ClockSkew(0))
+        skewed.exits.append(
+            ExitRecord(
+                time_ns=clock.to_local(record.time_ns),
+                ipid=record.ipid,
+                flow=record.flow,
+                last_nf=record.last_nf,
+            )
+        )
+    skewed.exits.sort(key=lambda r: r.time_ns)
+    return skewed
+
+
+def _edge_offset_estimate(
+    data: CollectedData, edge: EdgeSpec
+) -> Optional[int]:
+    """Estimate offset(dst) - offset(src) from matched min edge delay.
+
+    Uses the per-IPID earliest-match heuristic: for each TX record, the
+    first later RX record at the destination with the same IPID bounds the
+    one-way delay from below.  The minimum over all pairs cancels queueing.
+    """
+    src_items: List[Tuple[int, int]] = []  # (time, ipid)
+    if edge.src in data.sources:
+        src_items = [
+            (r.time_ns, r.ipid) for r in data.sources[edge.src] if r.target == edge.dst
+        ]
+    else:
+        records = data.nfs.get(edge.src)
+        if records is not None:
+            src_items = [
+                (b.time_ns, ipid)
+                for b in records.tx_to(edge.dst)
+                for ipid in b.ipids
+            ]
+    dst_records = data.nfs.get(edge.dst)
+    if not src_items or dst_records is None:
+        return None
+    # Index destination RX by ipid -> sorted times.
+    rx_by_ipid: Dict[int, List[int]] = {}
+    for batch in dst_records.rx:
+        for ipid in batch.ipids:
+            rx_by_ipid.setdefault(ipid, []).append(batch.time_ns)
+    import bisect
+
+    # Nearest-candidate differences.  IPID collisions across hosts create
+    # occasional *false* matches with arbitrary differences, so a plain
+    # minimum is not robust; instead find the densest cluster of
+    # differences (true matches pile up just above delay + offset, since
+    # empty-queue forwardings are common) and take its lower edge.
+    diffs: List[int] = []
+    for tx_time, ipid in src_items:
+        times = rx_by_ipid.get(ipid)
+        if not times:
+            continue
+        idx = bisect.bisect_left(times, tx_time)
+        candidates = [
+            times[j] - tx_time for j in (idx - 1, idx, idx + 1) if 0 <= j < len(times)
+        ]
+        if candidates:
+            diffs.append(min(candidates, key=abs))
+    if not diffs:
+        return None
+    diffs.sort()
+    window_ns = 200_000
+    best_count = 0
+    best_span = (0, 0)
+    hi = 0
+    for lo in range(len(diffs)):
+        if hi < lo:
+            hi = lo
+        while hi + 1 < len(diffs) and diffs[hi + 1] - diffs[lo] <= window_ns:
+            hi += 1
+        count = hi - lo + 1
+        if count > best_count:
+            best_count = count
+            best_span = (lo, hi)
+    # Lower edge of the densest cluster, taken at its 10th percentile so a
+    # stray false match just below the cluster cannot drag the edge down.
+    lo, hi = best_span
+    edge_idx = lo + (hi - lo) // 10
+    return diffs[edge_idx] - edge.delay_ns
+
+
+@dataclass
+class ClockAlignment:
+    """Recovered per-node offsets relative to a reference node."""
+
+    reference: str
+    offsets_ns: Dict[str, int] = field(default_factory=dict)
+
+    def correction_for(self, node: str) -> int:
+        return self.offsets_ns.get(node, 0)
+
+
+def estimate_offsets(
+    data: CollectedData,
+    edges: Sequence[EdgeSpec],
+    reference: str,
+) -> ClockAlignment:
+    """Recover per-node clock offsets from edge records.
+
+    Builds a spanning tree over the (undirected) edge graph rooted at
+    ``reference`` and accumulates pairwise estimates.  Nodes unreachable
+    from the reference keep offset 0 (and a missing-edge estimate leaves
+    its subtree unaligned rather than failing the whole pass).
+    """
+    pair: Dict[Tuple[str, str], Optional[int]] = {}
+    for edge in edges:
+        pair[(edge.src, edge.dst)] = _edge_offset_estimate(data, edge)
+
+    neighbours: Dict[str, List[Tuple[str, int, bool]]] = {}
+    for (src, dst), estimate in pair.items():
+        if estimate is None:
+            continue
+        neighbours.setdefault(src, []).append((dst, estimate, True))
+        neighbours.setdefault(dst, []).append((src, estimate, False))
+
+    alignment = ClockAlignment(reference=reference, offsets_ns={reference: 0})
+    frontier = [reference]
+    while frontier:
+        current = frontier.pop()
+        base = alignment.offsets_ns[current]
+        for other, estimate, forward in neighbours.get(current, []):
+            if other in alignment.offsets_ns:
+                continue
+            # estimate = offset(dst) - offset(src)
+            alignment.offsets_ns[other] = base + estimate if forward else base - estimate
+            frontier.append(other)
+    return alignment
+
+
+def align_records(data: CollectedData, alignment: ClockAlignment) -> CollectedData:
+    """Rewrite all records into the reference clock."""
+    clocks = {
+        node: ClockSkew(offset_ns=-offset)
+        for node, offset in alignment.offsets_ns.items()
+    }
+    return apply_clock_skew(data, clocks)

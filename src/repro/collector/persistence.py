@@ -1,0 +1,117 @@
+"""Persisting collected records to disk (the dumper's output format).
+
+The paper's runtime collector writes to shared memory and a standalone
+dumper stores records on disk for offline diagnosis.  This module defines
+that on-disk layout: one file per record stream using the compressed codec
+from :mod:`repro.collector.compression`, plus a small JSON manifest tying
+them together.  ``save_collected`` / ``load_collected`` round-trip a whole
+:class:`~repro.collector.runtime.CollectedData`, so collection and
+diagnosis can run in separate processes (or days apart).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.collector.compression import (
+    decode_batches,
+    decode_exit_records,
+    encode_batches,
+    encode_exit_records,
+)
+from repro.collector.runtime import CollectedData, NFRecords, SourceRecord
+from repro.errors import TraceError
+from repro.nfv.packet import FiveTuple
+
+_MANIFEST = "manifest.json"
+_FORMAT_VERSION = 1
+
+
+def _stream_filename(kind: str, node: str, peer: str = "") -> str:
+    safe_node = node.replace("/", "_")
+    safe_peer = peer.replace("/", "_") if peer else ""
+    if kind == "rx":
+        return f"rx__{safe_node}.bin"
+    if kind == "tx":
+        return f"tx__{safe_node}__{safe_peer or 'EXIT'}.bin"
+    raise TraceError(f"unknown stream kind {kind!r}")
+
+
+def save_collected(data: CollectedData, directory: Union[str, Path]) -> Path:
+    """Write all record streams plus a manifest into ``directory``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    manifest: Dict[str, object] = {
+        "format_version": _FORMAT_VERSION,
+        "max_batch": data.max_batch,
+        "nfs": {},
+        "sources": {},
+        "exits": "exits.bin",
+    }
+    for name, records in data.nfs.items():
+        entry: Dict[str, object] = {"rx": _stream_filename("rx", name), "tx": {}}
+        (directory / entry["rx"]).write_bytes(encode_batches(records.rx))
+        for peer, batches in records.tx.items():
+            filename = _stream_filename("tx", name, peer)
+            entry["tx"][peer] = filename
+            (directory / filename).write_bytes(encode_batches(batches))
+        manifest["nfs"][name] = entry
+    for name, records in data.sources.items():
+        filename = f"src__{name}.jsonl"
+        manifest["sources"][name] = filename
+        with (directory / filename).open("w") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(
+                        {
+                            "t": record.time_ns,
+                            "ipid": record.ipid,
+                            "flow": record.flow.as_tuple(),
+                            "target": record.target,
+                        }
+                    )
+                    + "\n"
+                )
+    (directory / "exits.bin").write_bytes(encode_exit_records(data.exits))
+    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+    return directory / _MANIFEST
+
+
+def load_collected(directory: Union[str, Path]) -> CollectedData:
+    """Inverse of :func:`save_collected`."""
+    directory = Path(directory)
+    manifest_path = directory / _MANIFEST
+    if not manifest_path.exists():
+        raise TraceError(f"no manifest at {manifest_path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("format_version") != _FORMAT_VERSION:
+        raise TraceError(
+            f"unsupported collected-data format {manifest.get('format_version')!r}"
+        )
+    data = CollectedData(
+        nfs={}, sources={}, exits=[], max_batch=int(manifest["max_batch"])
+    )
+    for name, entry in manifest["nfs"].items():
+        records = NFRecords()
+        records.rx = decode_batches((directory / entry["rx"]).read_bytes())
+        for peer, filename in entry["tx"].items():
+            records.tx[peer] = decode_batches((directory / filename).read_bytes())
+        data.nfs[name] = records
+    for name, filename in manifest["sources"].items():
+        records = []
+        with (directory / filename).open() as handle:
+            for line in handle:
+                raw = json.loads(line)
+                records.append(
+                    SourceRecord(
+                        time_ns=raw["t"],
+                        ipid=raw["ipid"],
+                        flow=FiveTuple(*raw["flow"]),
+                        target=raw["target"],
+                    )
+                )
+        data.sources[name] = records
+    data.exits = decode_exit_records((directory / manifest["exits"]).read_bytes())
+    return data

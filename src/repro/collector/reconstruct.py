@@ -1,0 +1,372 @@
+"""Packet-trace reconstruction from compressed records (section 5, Fig. 9).
+
+Interior NFs record only IPIDs, so the same packet must be re-identified
+across NFs.  Three side channels resolve IPID collisions:
+
+1. **Paths** — a packet at NF ``f`` can only have come from ``f``'s
+   immediate upstream writers, so matching walks one edge at a time.
+2. **Timing** — a packet is read after it arrived and within a bounded
+   queueing delay, so only writer records inside the delay window are
+   candidates.
+3. **Order** — each writer's packets enter the downstream FIFO in write
+   order, so candidate choices that break per-writer order are rejected;
+   when two writers' heads both match, bounded lookahead picks the choice
+   that keeps the rest of the stream consistent (the Figure 9 argument).
+
+Reconstruction proceeds per NF in two matchings:
+
+* **queue matching**: the NF's RX stream is an interleaving of its writers'
+  arrival streams (upstream TX records shifted by edge propagation delay,
+  plus traffic-source emission logs).  Unmatched writer items are inferred
+  drops at the NF's input queue.
+* **demux matching**: the NF's RX stream fans out into its per-next-hop TX
+  streams; each RX item maps to at most one TX item (none when the NF
+  itself consumed the packet, e.g. a firewall drop rule).
+
+Chaining the matchings backwards from the exit records (which carry
+five-tuples) yields full per-packet hop timelines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.collector.runtime import CollectedData
+from repro.errors import ReconstructionError
+
+#: Default upper bound on (read - arrival): DPDK ring of 1024 packets at a
+#: slow NF.  Generous on purpose; timing only needs to prune far-away
+#: records.
+DEFAULT_MAX_WAIT_NS = 50_000_000
+
+
+@dataclass(frozen=True)
+class _Item:
+    """One per-packet record in a stream (arrival, read, or departure)."""
+
+    time_ns: int
+    ipid: int
+
+
+@dataclass
+class EdgeSpec:
+    """Static topology knowledge the reconstructor is given."""
+
+    src: str
+    dst: str
+    delay_ns: int
+
+
+@dataclass
+class ReconstructedHop:
+    """Timing of one reconstructed packet at one NF."""
+
+    nf: str
+    arrival_ns: int
+    read_ns: int
+    depart_ns: int
+
+
+@dataclass
+class ReconstructedPacket:
+    """One packet journey rebuilt from compressed records."""
+
+    flow: object
+    source: str
+    emitted_ns: int
+    hops: List[ReconstructedHop] = field(default_factory=list)
+    exited_ns: int = -1
+    dropped_at: Optional[str] = None
+
+    def nf_path(self) -> Tuple[str, ...]:
+        return tuple(hop.nf for hop in self.hops)
+
+
+@dataclass
+class ReconstructionStats:
+    """Quality accounting for a reconstruction pass."""
+
+    matched: int = 0
+    ambiguous_resolved: int = 0
+    unmatched_rx: int = 0
+    inferred_drops: int = 0
+    chains_built: int = 0
+    chains_broken: int = 0
+
+
+class _StreamMatcher:
+    """Greedy order-preserving matcher with drop skips and lookahead.
+
+    Matches a merged sequence against K ordered component streams.  For each
+    merged item, the candidate set is, per stream, the first not-yet-matched
+    item with the same ipid inside the time window (items skipped over are
+    treated as losses).  Ties between streams are broken by (fewest skips,
+    earliest time); remaining ties use bounded lookahead over the next
+    merged items.
+    """
+
+    def __init__(
+        self,
+        merged: Sequence[Tuple[int, int]],
+        streams: Dict[str, List[_Item]],
+        window_ok,
+        lookahead: int = 4,
+        max_skip: int = 64,
+    ) -> None:
+        self.merged = merged
+        self.streams = streams
+        self.window_ok = window_ok
+        self.lookahead = lookahead
+        self.max_skip = max_skip
+        self.pointers: Dict[str, int] = {key: 0 for key in streams}
+        self.assignment: List[Optional[Tuple[str, int]]] = [None] * len(merged)
+        self.stats_ambiguous = 0
+        self.stats_unmatched = 0
+
+    def _candidates(
+        self, merged_time: int, ipid: int, pointers: Dict[str, int]
+    ) -> List[Tuple[int, int, str, int]]:
+        """Return (skips, time, stream, index) candidates, best first."""
+        found: List[Tuple[int, int, str, int]] = []
+        for key, stream in self.streams.items():
+            idx = pointers[key]
+            skips = 0
+            while idx < len(stream) and skips <= self.max_skip:
+                item = stream[idx]
+                if not self.window_ok(item.time_ns, merged_time):
+                    if item.time_ns > merged_time:
+                        break  # this and later items are too new
+                    # Item too old to ever match a later merged item? It can
+                    # still match later merged items (window grows), so only
+                    # skip it for this merged item.
+                    idx += 1
+                    skips += 1
+                    continue
+                if item.ipid == ipid:
+                    found.append((skips, item.time_ns, key, idx))
+                    break
+                idx += 1
+                skips += 1
+        found.sort()
+        return found
+
+    def _try_match(self, start: int, pointers: Dict[str, int], depth: int) -> bool:
+        """Can merged[start:start+depth] be matched from ``pointers``?"""
+        if depth == 0 or start >= len(self.merged):
+            return True
+        merged_time, ipid = self.merged[start]
+        candidates = self._candidates(merged_time, ipid, pointers)
+        for _skips, _time, key, idx in candidates:
+            trial = dict(pointers)
+            trial[key] = idx + 1
+            if self._try_match(start + 1, trial, depth - 1):
+                return True
+        return not candidates  # no candidate: treat as unmatchable, accept
+
+    def run(self) -> List[Optional[Tuple[str, int]]]:
+        for i, (merged_time, ipid) in enumerate(self.merged):
+            candidates = self._candidates(merged_time, ipid, self.pointers)
+            if not candidates:
+                self.stats_unmatched += 1
+                continue
+            best = candidates[0]
+            top = [c for c in candidates if c[0] == best[0] and c[1] == best[1]]
+            if len(top) > 1:
+                # Order-based disambiguation (Figure 9): pick the candidate
+                # that lets the following merged items still match.
+                self.stats_ambiguous += 1
+                chosen = None
+                for candidate in top:
+                    trial = dict(self.pointers)
+                    trial[candidate[2]] = candidate[3] + 1
+                    if self._try_match(i + 1, trial, self.lookahead):
+                        chosen = candidate
+                        break
+                best = chosen if chosen is not None else top[0]
+            _skips, _time, key, idx = best
+            self.assignment[i] = (key, idx)
+            self.pointers[key] = idx + 1
+        return self.assignment
+
+
+class TraceReconstructor:
+    """Rebuilds per-packet journeys from :class:`CollectedData`."""
+
+    def __init__(
+        self,
+        data: CollectedData,
+        edges: Sequence[EdgeSpec],
+        max_wait_ns: int = DEFAULT_MAX_WAIT_NS,
+        lookahead: int = 4,
+    ) -> None:
+        self.data = data
+        self.edges = list(edges)
+        self.max_wait_ns = max_wait_ns
+        self.lookahead = lookahead
+        self.stats = ReconstructionStats()
+        self._edge_delay: Dict[Tuple[str, str], int] = {
+            (e.src, e.dst): e.delay_ns for e in self.edges
+        }
+        self._writers: Dict[str, List[str]] = {}
+        for edge in self.edges:
+            self._writers.setdefault(edge.dst, []).append(edge.src)
+        # Matching results, filled by reconstruct().
+        self._queue_match: Dict[str, List[Optional[Tuple[str, int]]]] = {}
+        self._demux_match: Dict[str, List[Optional[Tuple[str, int]]]] = {}
+        self._tx_back: Dict[str, Dict[str, Dict[int, int]]] = {}
+        self._rx_items: Dict[str, List[_Item]] = {}
+        self._writer_items: Dict[str, Dict[str, List[_Item]]] = {}
+        self._tx_items: Dict[str, Dict[str, List[_Item]]] = {}
+
+    # -- stream assembly -----------------------------------------------------
+
+    def _rx_stream(self, nf: str) -> List[_Item]:
+        items: List[_Item] = []
+        records = self.data.nfs.get(nf)
+        if records is None:
+            return items
+        for batch in records.rx:
+            for ipid in batch.ipids:
+                items.append(_Item(time_ns=batch.time_ns, ipid=ipid))
+        return items
+
+    def _writer_streams(self, nf: str) -> Dict[str, List[_Item]]:
+        streams: Dict[str, List[_Item]] = {}
+        for writer in self._writers.get(nf, []):
+            delay = self._edge_delay[(writer, nf)]
+            if writer in self.data.sources:
+                streams[writer] = [
+                    _Item(time_ns=rec.time_ns + delay, ipid=rec.ipid)
+                    for rec in self.data.sources[writer]
+                    if rec.target == nf
+                ]
+            else:
+                records = self.data.nfs.get(writer)
+                batches = records.tx_to(nf) if records else []
+                streams[writer] = [
+                    _Item(time_ns=batch.time_ns + delay, ipid=ipid)
+                    for batch in batches
+                    for ipid in batch.ipids
+                ]
+        return streams
+
+    def _tx_streams(self, nf: str) -> Dict[str, List[_Item]]:
+        records = self.data.nfs.get(nf)
+        if records is None:
+            return {}
+        return {
+            next_node: [
+                _Item(time_ns=batch.time_ns, ipid=ipid)
+                for batch in batches
+                for ipid in batch.ipids
+            ]
+            for next_node, batches in records.tx.items()
+        }
+
+    # -- matching --------------------------------------------------------------
+
+    def _match_queue(self, nf: str) -> None:
+        rx = self._rx_items[nf]
+        writers = self._writer_items[nf]
+        merged = [(item.time_ns, item.ipid) for item in rx]
+
+        def window_ok(arrival_ns: int, read_ns: int) -> bool:
+            return arrival_ns <= read_ns and read_ns - arrival_ns <= self.max_wait_ns
+
+        matcher = _StreamMatcher(
+            merged, writers, window_ok, lookahead=self.lookahead
+        )
+        self._queue_match[nf] = matcher.run()
+        self.stats.ambiguous_resolved += matcher.stats_ambiguous
+        self.stats.unmatched_rx += matcher.stats_unmatched
+        matched_writer_items = sum(1 for a in self._queue_match[nf] if a is not None)
+        total_writer_items = sum(len(s) for s in writers.values())
+        self.stats.inferred_drops += max(0, total_writer_items - matched_writer_items)
+        self.stats.matched += matched_writer_items
+
+    def _match_demux(self, nf: str) -> None:
+        rx = self._rx_items[nf]
+        tx_streams = self._tx_items[nf]
+        merged = [(item.time_ns, item.ipid) for item in rx]
+
+        def window_ok(tx_ns: int, read_ns: int) -> bool:
+            return tx_ns >= read_ns and tx_ns - read_ns <= self.max_wait_ns
+
+        matcher = _StreamMatcher(merged, tx_streams, window_ok, lookahead=self.lookahead)
+        assignment = matcher.run()
+        self._demux_match[nf] = assignment
+        back: Dict[str, Dict[int, int]] = {key: {} for key in tx_streams}
+        for rx_index, match in enumerate(assignment):
+            if match is not None:
+                next_node, tx_index = match
+                back[next_node][tx_index] = rx_index
+        self._tx_back[nf] = back
+
+    # -- chaining ----------------------------------------------------------------
+
+    def reconstruct(self) -> List[ReconstructedPacket]:
+        """Run both matchings on every NF, then chain from exit records."""
+        for nf in self.data.nfs:
+            self._rx_items[nf] = self._rx_stream(nf)
+            self._writer_items[nf] = self._writer_streams(nf)
+            self._tx_items[nf] = self._tx_streams(nf)
+        for nf in self.data.nfs:
+            self._match_queue(nf)
+            self._match_demux(nf)
+
+        packets: List[ReconstructedPacket] = []
+        exit_cursor: Dict[str, int] = {}
+        for record in self.data.exits:
+            nf = record.last_nf
+            tx_index = exit_cursor.get(nf, 0)
+            exit_cursor[nf] = tx_index + 1
+            packet = self._chain_back(nf, tx_index, record.flow, record.time_ns)
+            if packet is not None:
+                packets.append(packet)
+                self.stats.chains_built += 1
+            else:
+                self.stats.chains_broken += 1
+        return packets
+
+    def _chain_back(
+        self, last_nf: str, exit_tx_index: int, flow: object, exit_ns: int
+    ) -> Optional[ReconstructedPacket]:
+        hops_reversed: List[ReconstructedHop] = []
+        nf = last_nf
+        tx_stream_key = ""  # exit stream at the last NF
+        tx_index = exit_tx_index
+        # Guard against pathological match cycles; real chains are short.
+        for _ in range(64):
+            back = self._tx_back.get(nf, {}).get(tx_stream_key, {})
+            rx_index = back.get(tx_index)
+            if rx_index is None:
+                return None
+            rx_item = self._rx_items[nf][rx_index]
+            queue_match = self._queue_match[nf][rx_index]
+            if queue_match is None:
+                return None
+            writer, writer_index = queue_match
+            arrival = self._writer_items[nf][writer][writer_index].time_ns
+            tx_stream = self._tx_items[nf].get(tx_stream_key, [])
+            depart = tx_stream[tx_index].time_ns if tx_index < len(tx_stream) else -1
+            hops_reversed.append(
+                ReconstructedHop(
+                    nf=nf, arrival_ns=arrival, read_ns=rx_item.time_ns, depart_ns=depart
+                )
+            )
+            if writer in self.data.sources:
+                emitted = arrival - self._edge_delay[(writer, nf)]
+                return ReconstructedPacket(
+                    flow=flow,
+                    source=writer,
+                    emitted_ns=emitted,
+                    hops=list(reversed(hops_reversed)),
+                    exited_ns=exit_ns,
+                )
+            # The writer item is the writer's TX record on the edge
+            # writer -> nf; step back into the writer NF.
+            tx_stream_key = nf
+            tx_index = writer_index
+            nf = writer
+        return None

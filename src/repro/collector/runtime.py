@@ -1,0 +1,141 @@
+"""Runtime information collection (paper Table 1 and section 5).
+
+The collector is an :class:`~repro.nfv.nf.NFHook` — the moral equivalent of
+the 200 lines the authors added to DPDK's RX/TX burst functions.  Per NF it
+records, for every batch read from the input queue and every batch written
+towards a next hop:
+
+* the batch timestamp,
+* the batch size,
+* the IPIDs of the packets in the batch (2 bytes each after compression).
+
+Five-tuples are recorded only at the *edges* of the NF graph (traffic
+sources and exit NFs); interior NFs carry IPIDs alone, and the
+reconstruction module re-identifies packets across NFs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.nfv.packet import FiveTuple, Packet
+
+
+@dataclass(frozen=True)
+class BatchRecord:
+    """One RX or TX burst observed at an NF."""
+
+    time_ns: int
+    ipids: Tuple[int, ...]
+
+    @property
+    def size(self) -> int:
+        return len(self.ipids)
+
+
+@dataclass(frozen=True)
+class SourceRecord:
+    """One packet emission at a traffic source (the generator's own log)."""
+
+    time_ns: int
+    ipid: int
+    flow: FiveTuple
+    target: str
+
+
+@dataclass(frozen=True)
+class ExitRecord:
+    """Five-tuple kept for a packet leaving the NF graph."""
+
+    time_ns: int
+    ipid: int
+    flow: FiveTuple
+    last_nf: str
+
+
+@dataclass
+class NFRecords:
+    """All batches collected at one NF."""
+
+    rx: List[BatchRecord] = field(default_factory=list)
+    tx: Dict[str, List[BatchRecord]] = field(default_factory=dict)
+
+    def tx_to(self, next_node: str) -> List[BatchRecord]:
+        return self.tx.get(next_node, [])
+
+
+@dataclass
+class CollectedData:
+    """Everything the runtime collector hands to offline diagnosis."""
+
+    nfs: Dict[str, NFRecords] = field(default_factory=dict)
+    sources: Dict[str, List[SourceRecord]] = field(default_factory=dict)
+    exits: List[ExitRecord] = field(default_factory=list)
+    max_batch: int = 32
+
+    def nf(self, name: str) -> NFRecords:
+        return self.nfs.setdefault(name, NFRecords())
+
+
+class RuntimeCollector:
+    """NF hook gathering Table-1 records during a simulation run.
+
+    ``max_batch`` must match the NFs' burst size: a batch smaller than
+    ``max_batch`` implies the queue was drained, which is how the offline
+    stage detects queuing-period boundaries from compressed data alone.
+    """
+
+    def __init__(self, max_batch: int = 32) -> None:
+        self.data = CollectedData(nfs={}, sources={}, exits=[], max_batch=max_batch)
+
+    # -- NFHook interface ---------------------------------------------------
+
+    def on_enqueue(self, nf: str, time_ns: int, packet: Packet, accepted: bool) -> None:
+        # The real collector cannot see the downstream NIC queue admitting or
+        # dropping packets; arrivals are inferred from upstream TX records.
+        return
+
+    def on_rx_batch(
+        self, nf: str, time_ns: int, batch: Sequence[Tuple[Packet, int]]
+    ) -> None:
+        ipids = tuple(packet.ipid for packet, _enq in batch)
+        self.data.nf(nf).rx.append(BatchRecord(time_ns=time_ns, ipids=ipids))
+
+    def on_tx_batch(
+        self, nf: str, next_node: str, time_ns: int, packets: Sequence[Packet]
+    ) -> None:
+        records = self.data.nf(nf)
+        ipids = tuple(packet.ipid for packet in packets)
+        records.tx.setdefault(next_node, []).append(
+            BatchRecord(time_ns=time_ns, ipids=ipids)
+        )
+        if next_node == "":
+            for packet in packets:
+                self.data.exits.append(
+                    ExitRecord(
+                        time_ns=time_ns, ipid=packet.ipid, flow=packet.flow, last_nf=nf
+                    )
+                )
+
+    # -- source-side hooks (called by the simulator) -------------------------
+
+    def on_emit(self, source: str, time_ns: int, packet: Packet, target: str) -> None:
+        # The traffic generator logs what it sent and where (MoonGen-style).
+        self.data.sources.setdefault(source, []).append(
+            SourceRecord(time_ns=time_ns, ipid=packet.ipid, flow=packet.flow, target=target)
+        )
+
+    def on_exit(self, last_nf: str, time_ns: int, packet: Packet) -> None:
+        return
+
+    # -- accounting -----------------------------------------------------------
+
+    def record_counts(self) -> Dict[str, int]:
+        """Number of per-packet records collected at each NF."""
+        counts: Dict[str, int] = {}
+        for name, records in self.data.nfs.items():
+            n = sum(b.size for b in records.rx)
+            n += sum(b.size for batches in records.tx.values() for b in batches)
+            counts[name] = n
+        return counts

@@ -1,0 +1,54 @@
+"""Microscope's core diagnosis: queuing periods, scores, propagation,
+recursion, victim selection and reporting."""
+
+from repro.core.diagnosis import Culprit, MicroscopeEngine, VictimDiagnosis
+from repro.core.explain import explain, explain_many
+from repro.core.local import LocalScores, local_scores
+from repro.core.propagation import (
+    EntityShare,
+    PathAttribution,
+    attribute_reductions,
+    propagation_scores,
+)
+from repro.core.queuing import QueuingAnalyzer, QueuingPeriod, periods_from_batches
+from repro.core.records import DiagTrace, NFView, PacketHop, PacketView
+from repro.core.streaming import ChunkResult, StreamingConfig, StreamingDiagnosis
+from repro.core.report import (
+    CausalRelation,
+    causal_relations,
+    format_ranking,
+    rank_of_entity,
+    ranked_entities,
+)
+from repro.core.victims import Victim, VictimSelector
+
+__all__ = [
+    "CausalRelation",
+    "ChunkResult",
+    "Culprit",
+    "DiagTrace",
+    "EntityShare",
+    "LocalScores",
+    "MicroscopeEngine",
+    "NFView",
+    "PacketHop",
+    "PacketView",
+    "PathAttribution",
+    "QueuingAnalyzer",
+    "QueuingPeriod",
+    "StreamingConfig",
+    "StreamingDiagnosis",
+    "Victim",
+    "VictimDiagnosis",
+    "VictimSelector",
+    "attribute_reductions",
+    "causal_relations",
+    "explain",
+    "explain_many",
+    "format_ranking",
+    "local_scores",
+    "periods_from_batches",
+    "propagation_scores",
+    "rank_of_entity",
+    "ranked_entities",
+]

@@ -1,0 +1,115 @@
+"""Human-readable diagnosis narratives.
+
+Operators asked for ranked lists (survey, section 2.2), but a rank alone
+does not explain *why* a culprit is blamed.  This module renders a
+:class:`~repro.core.diagnosis.VictimDiagnosis` into a textual reasoning
+trace: the queuing period, the Si/Sp split, per-path timespan evidence,
+and each culprit with its share — the same story Figure 8 tells for the
+paper's introductory example.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional
+
+from repro.core.diagnosis import Culprit, VictimDiagnosis
+from repro.core.records import DiagTrace
+from repro.core.report import ranked_entities
+from repro.util.timebase import format_ns
+
+
+def _flow_summary(trace: DiagTrace, pids, limit: int = 3) -> str:
+    counts: Dict[object, int] = defaultdict(int)
+    for pid in pids:
+        packet = trace.packets.get(pid)
+        if packet is not None:
+            counts[packet.flow] += 1
+    if not counts:
+        return "unknown flows"
+    top = sorted(counts.items(), key=lambda kv: -kv[1])[:limit]
+    total = sum(counts.values())
+    parts = [f"{flow} ({count}/{total})" for flow, count in top]
+    more = len(counts) - len(top)
+    if more > 0:
+        parts.append(f"... +{more} more flows")
+    return ", ".join(parts)
+
+
+def _culprit_line(trace: DiagTrace, culprit: Culprit, total: float) -> str:
+    share = culprit.score / total * 100 if total else 0.0
+    if culprit.kind == "local":
+        cause = f"slow processing at {culprit.location}"
+    else:
+        cause = f"bursty traffic from {culprit.location}"
+    line = (
+        f"{share:5.1f}%  {cause}"
+        f"  (score {culprit.score:.1f}, seen at {format_ns(culprit.culprit_time_ns)},"
+        f" {len(culprit.culprit_pids)} packets)"
+    )
+    if culprit.kind == "source" and culprit.culprit_pids:
+        line += f"\n          flows: {_flow_summary(trace, culprit.culprit_pids)}"
+    return line
+
+
+def explain(diagnosis: VictimDiagnosis, trace: DiagTrace) -> str:
+    """Render a full reasoning narrative for one victim diagnosis."""
+    victim = diagnosis.victim
+    lines: List[str] = []
+    packet = trace.packets.get(victim.pid)
+    flow = packet.flow if packet is not None else "?"
+    lines.append(
+        f"Victim packet {victim.pid} ({flow}) at {victim.nf}: "
+        f"{victim.kind} problem at {format_ns(victim.arrival_ns)}"
+    )
+
+    period = diagnosis.period
+    if period is None or period.queue_len <= 0:
+        lines.append(
+            "  The input queue was empty on arrival — the delay happened"
+            f" inside {victim.nf} itself (in-NF misbehaviour, section 7)."
+        )
+        return "\n".join(lines)
+
+    lines.append(
+        f"  Queuing period: {format_ns(period.start_ns)} ->"
+        f" {format_ns(period.end_ns)} (length {format_ns(period.length_ns)});"
+        f" {period.n_input} packets arrived, {period.n_processed} were"
+        f" processed, so the victim met a queue of {period.queue_len}."
+    )
+    scores = diagnosis.local
+    if scores is not None:
+        lines.append(
+            f"  Attribution at {victim.nf}: Si={scores.si:.1f} packets of excess"
+            f" input vs Sp={scores.sp:.1f} packets of processing shortfall"
+            f" (peak-rate expectation {scores.expected:.0f})."
+        )
+    if diagnosis.attributions:
+        lines.append("  PreSet timespan evidence per upstream path:")
+        for attribution in diagnosis.attributions:
+            path = " -> ".join(attribution.path)
+            spans = [format_ns(int(s)) for s in attribution.timespans_ns]
+            lines.append(
+                f"    [{path}] {len(attribution.subset_pids)} pkts;"
+                f" expected span {spans[0]}, observed"
+                f" {' -> '.join(spans[1:])}"
+            )
+    total = diagnosis.total_score
+    lines.append("  Culprits (share of the victim's queue):")
+    for culprit in sorted(diagnosis.culprits, key=lambda c: -c.score):
+        lines.append("    " + _culprit_line(trace, culprit, total))
+    top = ranked_entities(diagnosis, trace)
+    if top:
+        kind, value = top[0][0]
+        lines.append(f"  Verdict: {kind} {value} (score {top[0][1]:.1f}).")
+    return "\n".join(lines)
+
+
+def explain_many(
+    diagnoses: List[VictimDiagnosis],
+    trace: DiagTrace,
+    limit: int = 5,
+) -> str:
+    """Narratives for the ``limit`` highest-scoring victims."""
+    chosen = sorted(diagnoses, key=lambda d: -d.total_score)[:limit]
+    return "\n\n".join(explain(d, trace) for d in chosen)

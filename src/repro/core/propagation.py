@@ -1,0 +1,170 @@
+"""Propagation diagnosis: timespan analysis over PreSet(p) (section 4.2).
+
+When the input-workload score ``Si`` at the victim NF is positive, the
+burstiness of the arriving PreSet packets is attributed along each path
+those packets took, by comparing the PreSet's *timespan* (first-to-last
+departure) at every upstream hop against the expected timespan
+``T_exp = n_i(T) / r_f``.
+
+Attribution walks the hop sequence ``[T_exp, T_source, T_1, ..., T_k]``:
+each hop's raw contribution is the timespan reduction it introduced; hops
+that *expand* the timespan contribute zero and their expansion is charged
+against the previous reducing hop (the paper's Figure 6 rule), implemented
+as a backward deficit-carrying pass.
+
+For DAGs the PreSet is partitioned by path; every path uses the same
+``T_exp`` (interleaving argument in the paper), each path weighs ``Si`` by
+its packet share, and merged per-NF scores are proportionally scaled down
+if they exceed ``Si``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.records import DiagTrace, PacketView
+from repro.errors import DiagnosisError
+
+
+@dataclass(frozen=True)
+class EntityShare:
+    """Score assigned to one upstream entity (a source or an NF)."""
+
+    name: str
+    is_source: bool
+    score: float
+    subset_pids: Tuple[int, ...]
+
+
+@dataclass
+class PathAttribution:
+    """Diagnostic detail for one PreSet path (exposed for tests/reports)."""
+
+    path: Tuple[str, ...]  # (source, nf1, ..., nfk)
+    subset_pids: Tuple[int, ...]
+    timespans_ns: Tuple[float, ...]  # aligned with path entries
+    contributions: Tuple[float, ...]
+    share_of_si: float
+
+
+def attribute_reductions(sequence: Sequence[float]) -> List[float]:
+    """Backward deficit-carrying attribution over a timespan sequence.
+
+    ``sequence`` is ``[T_exp, T_source, T_1, ..., T_k]``; the return value
+    has one non-negative contribution per *entity* (source and each NF),
+    i.e. ``len(sequence) - 1`` entries.  A hop that expands the timespan
+    gets zero and its expansion is subtracted from earlier reducers.
+    """
+    if len(sequence) < 2:
+        raise DiagnosisError("timespan sequence needs at least two entries")
+    raw = [sequence[i] - sequence[i + 1] for i in range(len(sequence) - 1)]
+    contributions = [0.0] * len(raw)
+    carry = 0.0
+    for j in range(len(raw) - 1, -1, -1):
+        value = raw[j] + carry
+        if value < 0:
+            contributions[j] = 0.0
+            carry = value
+        else:
+            contributions[j] = value
+            carry = 0.0
+    return contributions
+
+
+def _path_of(packet: PacketView, victim_nf: str) -> Tuple[str, ...]:
+    return (packet.source,) + tuple(h.nf for h in packet.hops_before(victim_nf))
+
+
+def _timespan(values: Sequence[int]) -> float:
+    if not values:
+        return 0.0
+    return float(max(values) - min(values))
+
+
+def propagation_scores(
+    trace: DiagTrace,
+    victim_nf: str,
+    preset_pids: Sequence[int],
+    si: float,
+    texp_ns: float,
+) -> Tuple[List[EntityShare], List[PathAttribution]]:
+    """Split ``si`` among upstream entities for the given PreSet."""
+    if si < 0:
+        raise DiagnosisError(f"si must be non-negative, got {si}")
+    if not preset_pids or si == 0:
+        return [], []
+
+    groups: Dict[Tuple[str, ...], List[int]] = {}
+    for pid in preset_pids:
+        packet = trace.packets.get(pid)
+        if packet is None:
+            continue
+        groups.setdefault(_path_of(packet, victim_nf), []).append(pid)
+
+    total = sum(len(pids) for pids in groups.values())
+    if total == 0:
+        return [], []
+
+    merged_scores: Dict[Tuple[str, bool], float] = {}
+    merged_pids: Dict[Tuple[str, bool], List[int]] = {}
+    attributions: List[PathAttribution] = []
+
+    for path, pids in groups.items():
+        source, nf_hops = path[0], path[1:]
+        subset = set(pids)
+        spans: List[float] = [texp_ns]
+        emit_times = [
+            trace.packets[pid].emitted_ns for pid in pids
+        ]
+        spans.append(_timespan(emit_times))
+        for nf in nf_hops:
+            departs = [
+                hop.depart_ns
+                for pid in pids
+                for hop in (trace.packets[pid].hop_at(nf),)
+                if hop is not None
+            ]
+            spans.append(_timespan(departs))
+        contributions = attribute_reductions(spans)
+        weight = len(pids) / total
+        share = si * weight
+        total_contrib = sum(contributions)
+        attributions.append(
+            PathAttribution(
+                path=path,
+                subset_pids=tuple(sorted(subset)),
+                timespans_ns=tuple(spans),
+                contributions=tuple(contributions),
+                share_of_si=share,
+            )
+        )
+        if total_contrib <= 0:
+            continue
+        entities = [(source, True)] + [(nf, False) for nf in nf_hops]
+        for (name, is_source), contrib in zip(entities, contributions):
+            if contrib <= 0:
+                continue
+            score = share * contrib / total_contrib
+            key = (name, is_source)
+            merged_scores[key] = merged_scores.get(key, 0.0) + score
+            merged_pids.setdefault(key, []).extend(pids)
+
+    # Safety scale-down: per-path weighting keeps the sum at or below si,
+    # but guard against float drift (and future attribution variants).
+    grand_total = sum(merged_scores.values())
+    scale = 1.0
+    if grand_total > si > 0:
+        scale = si / grand_total
+
+    shares = [
+        EntityShare(
+            name=name,
+            is_source=is_source,
+            score=score * scale,
+            subset_pids=tuple(sorted(set(merged_pids[(name, is_source)]))),
+        )
+        for (name, is_source), score in merged_scores.items()
+    ]
+    shares.sort(key=lambda s: -s.score)
+    return shares, attributions

@@ -1,0 +1,161 @@
+"""Queuing-period extraction (paper section 4.1, Figure 5).
+
+A queuing period runs from the moment an NF's input queue starts building
+(queue length leaves zero) to the arrival of the packet under diagnosis.
+The analyzer scans each NF's merged arrival/read streams once, remembering
+for every arrival the period it belongs to; queries are then O(log n).
+
+Two start rules are supported (paper section 7): the default zero-queue
+rule, and a non-zero ``threshold`` for deployments whose queues never fully
+drain.  ``periods_from_batches`` additionally implements the paper's
+deployable heuristic: a batch read smaller than the maximum burst size
+means the queue was just drained.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.records import NFView
+from repro.errors import DiagnosisError
+
+
+@dataclass(frozen=True)
+class QueuingPeriod:
+    """The queuing period behind one victim arrival at one NF."""
+
+    nf: str
+    start_ns: int
+    end_ns: int
+    #: Arrivals during [start, end): slice bounds into NFView.arrivals.
+    first_arrival_idx: int
+    last_arrival_idx: int  # exclusive; the victim's own arrival is not in it
+    n_input: int
+    n_processed: int
+
+    @property
+    def length_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    @property
+    def queue_len(self) -> int:
+        """Queue occupancy seen by the victim on arrival."""
+        return self.n_input - self.n_processed
+
+
+class QueuingAnalyzer:
+    """Per-NF queuing-period index over one :class:`NFView`."""
+
+    def __init__(self, view: NFView, threshold: int = 0) -> None:
+        if threshold < 0:
+            raise DiagnosisError(f"queue threshold must be >= 0, got {threshold}")
+        self.view = view
+        self.threshold = threshold
+        # Merged events: (time, kind, stream index); arrivals (kind 0) sort
+        # before reads (kind 1) at equal timestamps, matching the simulator's
+        # enqueue-then-read ordering within one nanosecond.
+        events: List[Tuple[int, int, int]] = [
+            (t, 0, i) for i, (t, _pid) in enumerate(view.arrivals)
+        ] + [(t, 1, i) for i, (t, _pid) in enumerate(view.reads)]
+        events.sort()
+        self._event_times: List[Tuple[int, int]] = []  # (time, kind) for bisect
+        self._state: List[Tuple[int, int, int, int]] = []
+        # Per event: (qlen_after, period_first_arrival_idx, arrivals_so_far,
+        #             reads_so_far); period index is -1 when queue <= threshold.
+        qlen = 0
+        period_first = -1
+        arrivals_seen = 0
+        reads_seen = 0
+        self._arrival_state: List[Tuple[int, int, int]] = [(-1, 0, 0)] * len(
+            view.arrivals
+        )
+        # Per arrival i: (period_first_arrival_idx_before, arrivals_before_in_
+        # stream == i, reads_seen_before).  Stored pre-arrival.
+        for time_ns, kind, idx in events:
+            if kind == 0:
+                self._arrival_state[idx] = (period_first, arrivals_seen, reads_seen)
+                qlen += 1
+                arrivals_seen += 1
+                if qlen == self.threshold + 1 and period_first == -1:
+                    period_first = idx
+            else:
+                qlen -= 1
+                reads_seen += 1
+                if qlen <= self.threshold:
+                    period_first = -1
+            self._event_times.append((time_ns, kind))
+            self._state.append((qlen, period_first, arrivals_seen, reads_seen))
+
+    # -- queries ----------------------------------------------------------------
+
+    def period_for_arrival(self, pid: int, t_ns: int) -> Optional[QueuingPeriod]:
+        """Queuing period seen by packet ``pid`` arriving at ``t_ns``.
+
+        Returns None when the victim found the queue at or below the
+        threshold (no queue-based cause at this NF).
+        """
+        arrival_idx = self.view.arrival_index(pid, t_ns)
+        period_first, _arrivals_before, reads_before = self._arrival_state[arrival_idx]
+        if period_first == -1:
+            return None
+        return self._build(period_first, arrival_idx, t_ns, reads_before)
+
+    def period_at(self, t_ns: int) -> Optional[QueuingPeriod]:
+        """Queuing period active at time ``t_ns`` (for drop victims).
+
+        State is taken after all events at or before ``t_ns``.
+        """
+        idx = bisect.bisect_right(self._event_times, (t_ns, 2)) - 1
+        if idx < 0:
+            return None
+        qlen, period_first, arrivals_seen, reads_seen = self._state[idx]
+        if period_first == -1:
+            return None
+        return self._build(period_first, arrivals_seen, t_ns, reads_seen)
+
+    def _build(
+        self, period_first: int, arrival_end: int, end_ns: int, reads_seen: int
+    ) -> QueuingPeriod:
+        start_ns = self.view.arrivals[period_first][0]
+        # Reads completed before the period started:
+        reads_before_start = bisect.bisect_left(self.view.reads, (start_ns, -1))
+        n_input = arrival_end - period_first
+        n_processed = reads_seen - reads_before_start
+        if n_processed < 0:
+            raise DiagnosisError(
+                f"negative processed count at {self.view.name}: {n_processed}"
+            )
+        return QueuingPeriod(
+            nf=self.view.name,
+            start_ns=start_ns,
+            end_ns=end_ns,
+            first_arrival_idx=period_first,
+            last_arrival_idx=arrival_end,
+            n_input=n_input,
+            n_processed=n_processed,
+        )
+
+    def preset_pids(self, period: QueuingPeriod) -> List[int]:
+        """The PreSet(p): pids of arrivals during the queuing period."""
+        return [
+            pid
+            for _t, pid in self.view.arrivals[
+                period.first_arrival_idx : period.last_arrival_idx
+            ]
+        ]
+
+
+def periods_from_batches(
+    rx_batches: Sequence[Tuple[int, int]], max_batch: int
+) -> List[int]:
+    """Queue-drain boundaries from (timestamp, batch size) pairs.
+
+    Implements the deployable rule from section 5: a batch smaller than the
+    maximum burst size means the queue was emptied by that read.  Returns
+    the timestamps after which a new queuing period may start.
+    """
+    if max_batch <= 0:
+        raise DiagnosisError(f"max_batch must be positive, got {max_batch}")
+    return [t for t, size in rx_batches if size < max_batch]

@@ -1,0 +1,225 @@
+"""Diagnosis trace model: what Microscope's offline stage works from.
+
+A :class:`DiagTrace` is deliberately independent of how the data was
+obtained — it can be built from simulator ground truth (oracle mode, used
+to isolate diagnosis quality from reconstruction quality) or from the
+compressed-record reconstruction (full pipeline, as deployed).
+
+Per NF it stores time-sorted arrival/read/depart streams; per packet it
+stores the flow, the source, and the hop timeline.  All diagnosis
+algorithms consume only this model.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import TraceError
+from repro.nfv.packet import FiveTuple
+
+
+@dataclass(frozen=True)
+class PacketHop:
+    """One packet's timing at one NF."""
+
+    nf: str
+    arrival_ns: int
+    read_ns: int
+    depart_ns: int
+
+    @property
+    def queue_wait_ns(self) -> int:
+        return self.read_ns - self.arrival_ns
+
+    @property
+    def latency_ns(self) -> int:
+        return self.depart_ns - self.arrival_ns
+
+
+@dataclass
+class PacketView:
+    """One packet's journey as seen by diagnosis."""
+
+    pid: int
+    flow: FiveTuple
+    source: str
+    emitted_ns: int
+    hops: List[PacketHop] = field(default_factory=list)
+    dropped_at: Optional[str] = None
+    dropped_ns: int = -1
+    exited_ns: int = -1
+
+    def hop_at(self, nf: str) -> Optional[PacketHop]:
+        for hop in self.hops:
+            if hop.nf == nf:
+                return hop
+        return None
+
+    def hops_before(self, nf: str) -> List[PacketHop]:
+        """Hops strictly upstream of ``nf`` on this packet's path."""
+        result: List[PacketHop] = []
+        for hop in self.hops:
+            if hop.nf == nf:
+                return result
+            result.append(hop)
+        return result
+
+    @property
+    def end_to_end_ns(self) -> int:
+        if self.exited_ns < 0:
+            raise TraceError(f"packet {self.pid} did not exit")
+        return self.exited_ns - self.emitted_ns
+
+
+@dataclass
+class NFView:
+    """Per-NF event streams, each sorted by time."""
+
+    name: str
+    peak_rate_pps: float
+    arrivals: List[Tuple[int, int]] = field(default_factory=list)  # (t, pid)
+    reads: List[Tuple[int, int]] = field(default_factory=list)
+    departs: List[Tuple[int, int]] = field(default_factory=list)
+    drops: List[Tuple[int, int]] = field(default_factory=list)
+
+    def arrival_index(self, pid: int, t_ns: int) -> int:
+        """Index of (t_ns, pid) in the arrival stream."""
+        lo = bisect.bisect_left(self.arrivals, (t_ns, -1))
+        for idx in range(lo, len(self.arrivals)):
+            t, p = self.arrivals[idx]
+            if t != t_ns:
+                break
+            if p == pid:
+                return idx
+        raise TraceError(f"packet {pid} has no arrival at {self.name} t={t_ns}")
+
+
+class DiagTrace:
+    """Everything the offline diagnosis consumes."""
+
+    def __init__(
+        self,
+        packets: Dict[int, PacketView],
+        nfs: Dict[str, NFView],
+        upstreams: Dict[str, Set[str]],
+        sources: Set[str],
+        nf_types: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.packets = packets
+        self.nfs = nfs
+        self.upstreams = upstreams
+        self.sources = sources
+        self.nf_types = nf_types or {}
+        for view in nfs.values():
+            view.arrivals.sort()
+            view.reads.sort()
+            view.departs.sort()
+            view.drops.sort()
+
+    # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_sim_result(cls, result, peak_rates: Optional[Dict[str, float]] = None) -> "DiagTrace":
+        """Oracle mode: build directly from simulator ground truth."""
+        topology = result.topology
+        rates = dict(topology.peak_rates_pps())
+        if peak_rates:
+            rates.update(peak_rates)
+        nfs: Dict[str, NFView] = {}
+        for name in topology.nfs:
+            if name not in rates:
+                raise TraceError(f"no peak rate known for NF {name!r}")
+            nfs[name] = NFView(name=name, peak_rate_pps=rates[name])
+        packets: Dict[int, PacketView] = {}
+        for pid, trace in result.trace.packets.items():
+            hops: List[PacketHop] = []
+            for hop in trace.hops:
+                if hop.read_ns < 0 or hop.depart_ns < 0:
+                    continue  # still queued or in-flight at sim end
+                view = nfs[hop.nf]
+                view.arrivals.append((hop.enqueue_ns, pid))
+                view.reads.append((hop.read_ns, pid))
+                view.departs.append((hop.depart_ns, pid))
+                hops.append(
+                    PacketHop(
+                        nf=hop.nf,
+                        arrival_ns=hop.enqueue_ns,
+                        read_ns=hop.read_ns,
+                        depart_ns=hop.depart_ns,
+                    )
+                )
+            if trace.dropped_at is not None:
+                nfs[trace.dropped_at].drops.append((trace.dropped_ns, pid))
+            packets[pid] = PacketView(
+                pid=pid,
+                flow=trace.flow,
+                source=trace.source,
+                emitted_ns=trace.emitted_ns,
+                hops=hops,
+                dropped_at=trace.dropped_at,
+                dropped_ns=trace.dropped_ns,
+                exited_ns=trace.exited_ns,
+            )
+        upstreams = {name: topology.predecessors(name) for name in topology.nfs}
+        return cls(
+            packets=packets,
+            nfs=nfs,
+            upstreams=upstreams,
+            sources=set(topology.sources),
+            nf_types=topology.nf_types(),
+        )
+
+    @classmethod
+    def from_reconstruction(
+        cls,
+        reconstructed: Sequence[object],
+        peak_rates: Dict[str, float],
+        upstreams: Dict[str, Set[str]],
+        sources: Set[str],
+        nf_types: Optional[Dict[str, str]] = None,
+    ) -> "DiagTrace":
+        """Full-pipeline mode: build from reconstructed packet journeys.
+
+        Reconstructed packets get synthetic pids in exit order.  Packets
+        whose chains broke during reconstruction are simply absent — the
+        diagnosis degrades gracefully, which the ablation bench quantifies.
+        """
+        nfs: Dict[str, NFView] = {
+            name: NFView(name=name, peak_rate_pps=rate)
+            for name, rate in peak_rates.items()
+        }
+        packets: Dict[int, PacketView] = {}
+        for pid, packet in enumerate(reconstructed):
+            hops: List[PacketHop] = []
+            for hop in packet.hops:
+                view = nfs.get(hop.nf)
+                if view is None:
+                    raise TraceError(f"reconstructed hop at unknown NF {hop.nf!r}")
+                view.arrivals.append((hop.arrival_ns, pid))
+                view.reads.append((hop.read_ns, pid))
+                view.departs.append((hop.depart_ns, pid))
+                hops.append(
+                    PacketHop(
+                        nf=hop.nf,
+                        arrival_ns=hop.arrival_ns,
+                        read_ns=hop.read_ns,
+                        depart_ns=hop.depart_ns,
+                    )
+                )
+            packets[pid] = PacketView(
+                pid=pid,
+                flow=packet.flow,
+                source=packet.source,
+                emitted_ns=packet.emitted_ns,
+                hops=hops,
+                exited_ns=packet.exited_ns,
+            )
+        return cls(
+            packets=packets,
+            nfs=nfs,
+            upstreams=upstreams,
+            sources=sources,
+            nf_types=nf_types,
+        )

@@ -1,0 +1,145 @@
+"""Ranked culprit reports and packet-level causal relations.
+
+Turns the engine's :class:`~repro.core.diagnosis.Culprit` records into
+
+* a **ranked entity list** per victim — the representation compared
+  against NetMedic's ranked component list in the paper's accuracy plots
+  (Figures 11-12); entities are ``('nf', name)`` for local culprits and
+  ``('flow', five_tuple)`` / ``('source', name)`` for traffic culprits,
+* **causal relations** <culprit packets, culprit location> →
+  <victim packet, victim NF>: score — the input format of pattern
+  aggregation (section 4.4).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.diagnosis import Culprit, VictimDiagnosis
+from repro.core.records import DiagTrace
+from repro.nfv.packet import FiveTuple
+
+#: Entity keys used in ranked lists.
+Entity = Tuple[str, object]  # ('nf', name) | ('flow', FiveTuple) | ('source', name)
+
+
+@dataclass(frozen=True)
+class CausalRelation:
+    """One packet-level causal relation for pattern aggregation."""
+
+    culprit_flow: Optional[FiveTuple]
+    culprit_location: str
+    victim_flow: FiveTuple
+    victim_location: str
+    score: float
+    gap_ns: int  # victim time minus culprit time (Figure 15)
+    culprit_kind: str  # 'local' | 'source'
+
+
+def ranked_entities(
+    diagnosis: VictimDiagnosis,
+    trace: DiagTrace,
+    flow_detail: bool = True,
+) -> List[Tuple[Entity, float]]:
+    """Merge a victim's culprits into a ranked (entity, score) list.
+
+    Local culprits rank as their NF.  Source culprits are split across the
+    flows of their culprit packets when ``flow_detail`` is set (Microscope
+    names culprit *flows*); otherwise they rank as the source node.
+    """
+    scores: Dict[Entity, float] = defaultdict(float)
+    for culprit in diagnosis.culprits:
+        if culprit.kind == "local":
+            scores[("nf", culprit.location)] += culprit.score
+        elif flow_detail:
+            flow_counts: Dict[FiveTuple, int] = defaultdict(int)
+            for pid in culprit.culprit_pids:
+                packet = trace.packets.get(pid)
+                if packet is not None:
+                    flow_counts[packet.flow] += 1
+            total = sum(flow_counts.values())
+            if total == 0:
+                scores[("source", culprit.location)] += culprit.score
+                continue
+            for flow, count in flow_counts.items():
+                scores[("flow", flow)] += culprit.score * count / total
+        else:
+            scores[("source", culprit.location)] += culprit.score
+    ranked = sorted(scores.items(), key=lambda kv: -kv[1])
+    return ranked
+
+
+def rank_of_entity(
+    ranking: Sequence[Tuple[Entity, float]],
+    match,
+) -> Optional[int]:
+    """1-based rank of the first entity satisfying ``match``; None if absent."""
+    for position, (entity, _score) in enumerate(ranking, start=1):
+        if match(entity):
+            return position
+    return None
+
+
+def causal_relations(
+    diagnoses: Iterable[VictimDiagnosis],
+    trace: DiagTrace,
+    max_culprit_flows: int = 16,
+) -> List[CausalRelation]:
+    """Flatten diagnoses into per-flow causal relations for aggregation.
+
+    Each culprit's score is split across the flows of its culprit packets
+    (bounded to the ``max_culprit_flows`` most frequent flows, to keep the
+    aggregation input proportional to the real signal).
+    """
+    relations: List[CausalRelation] = []
+    for diagnosis in diagnoses:
+        victim_packet = trace.packets.get(diagnosis.victim.pid)
+        if victim_packet is None:
+            continue
+        victim_time = diagnosis.victim.arrival_ns
+        for culprit in diagnosis.culprits:
+            flow_counts: Dict[FiveTuple, int] = defaultdict(int)
+            for pid in culprit.culprit_pids:
+                packet = trace.packets.get(pid)
+                if packet is not None:
+                    flow_counts[packet.flow] += 1
+            gap = max(0, victim_time - culprit.culprit_time_ns)
+            if not flow_counts:
+                relations.append(
+                    CausalRelation(
+                        culprit_flow=None,
+                        culprit_location=culprit.location,
+                        victim_flow=victim_packet.flow,
+                        victim_location=diagnosis.victim.nf,
+                        score=culprit.score,
+                        gap_ns=gap,
+                        culprit_kind=culprit.kind,
+                    )
+                )
+                continue
+            top = sorted(flow_counts.items(), key=lambda kv: -kv[1])[:max_culprit_flows]
+            total = sum(count for _flow, count in top)
+            for flow, count in top:
+                relations.append(
+                    CausalRelation(
+                        culprit_flow=flow,
+                        culprit_location=culprit.location,
+                        victim_flow=victim_packet.flow,
+                        victim_location=diagnosis.victim.nf,
+                        score=culprit.score * count / total,
+                        gap_ns=gap,
+                        culprit_kind=culprit.kind,
+                    )
+                )
+    return relations
+
+
+def format_ranking(ranking: Sequence[Tuple[Entity, float]], limit: int = 10) -> str:
+    """Human-readable ranked culprit list."""
+    lines = []
+    for position, (entity, score) in enumerate(ranking[:limit], start=1):
+        kind, value = entity
+        lines.append(f"{position:>3}. [{kind}] {value}  score={score:.2f}")
+    return "\n".join(lines)

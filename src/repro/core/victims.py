@@ -1,0 +1,197 @@
+"""Victim selection: which packets deserve diagnosis (section 4, 5).
+
+Operators define victims as packets with latency above a threshold or
+percentile, packets that got lost, or packets of flows whose throughput
+collapsed.  For latency victims the diagnosis site is each NF on the path
+whose *local* performance is abnormal — "beyond one standard deviation
+computed over recent history", like NetMedic (section 4.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.records import DiagTrace, PacketHop
+from repro.errors import DiagnosisError
+from repro.util.stats import RollingStats, percentile
+
+
+@dataclass(frozen=True)
+class Victim:
+    """One (packet, NF) pair to diagnose."""
+
+    pid: int
+    nf: str
+    kind: str  # 'latency' | 'drop' | 'throughput'
+    arrival_ns: int
+    metric: float  # latency in ns, or rate in pps for throughput victims
+
+
+class VictimSelector:
+    """Selects victims from a diagnosis trace."""
+
+    def __init__(self, trace: DiagTrace) -> None:
+        self.trace = trace
+
+    # -- latency ---------------------------------------------------------------
+
+    def end_to_end_latency_victims(
+        self, pct: float = 99.0, abnormality_k: float = 1.0, window: int = 512
+    ) -> List[Victim]:
+        """Packets above the end-to-end latency percentile.
+
+        Each victim packet yields one victim per path NF whose local latency
+        was abnormal versus that NF's recent history; if no hop is flagged
+        (e.g. uniformly slow path), the hop with the longest queue wait is
+        used, so every victim packet is diagnosed somewhere.
+        """
+        completed = [p for p in self.trace.packets.values() if p.exited_ns >= 0]
+        if not completed:
+            return []
+        # Select the worst (100 - pct)% by count: a plain ">= percentile"
+        # rule explodes when latencies tie at the threshold (e.g. a
+        # saturation plateau).
+        k = max(1, int(round(len(completed) * (100.0 - pct) / 100.0)))
+        worst = sorted(completed, key=lambda p: -p.end_to_end_ns)[:k]
+        chosen = {p.pid for p in worst}
+        abnormal = self._abnormal_hops(abnormality_k, window)
+        victims: List[Victim] = []
+        for packet in completed:
+            if packet.pid not in chosen or not packet.hops:
+                continue
+            flagged = [hop for hop in packet.hops if (packet.pid, hop.nf) in abnormal]
+            if not flagged:
+                flagged = [max(packet.hops, key=lambda h: h.queue_wait_ns)]
+            for hop in flagged:
+                victims.append(
+                    Victim(
+                        pid=packet.pid,
+                        nf=hop.nf,
+                        kind="latency",
+                        arrival_ns=hop.arrival_ns,
+                        metric=float(packet.end_to_end_ns),
+                    )
+                )
+        return victims
+
+    def hop_latency_victims(
+        self, pct: float = 99.0, nf: Optional[str] = None
+    ) -> List[Victim]:
+        """Hops whose local latency exceeds the per-NF percentile."""
+        victims: List[Victim] = []
+        names = [nf] if nf else list(self.trace.nfs)
+        for name in names:
+            hops: List[Tuple[int, PacketHop]] = []
+            for packet in self.trace.packets.values():
+                hop = packet.hop_at(name)
+                if hop is not None:
+                    hops.append((packet.pid, hop))
+            if not hops:
+                continue
+            # Top (100 - pct)% by count, robust to latency ties.
+            k = max(1, int(round(len(hops) * (100.0 - pct) / 100.0)))
+            hops.sort(key=lambda ph: -ph[1].latency_ns)
+            for pid, hop in hops[:k]:
+                victims.append(
+                    Victim(
+                        pid=pid,
+                        nf=name,
+                        kind="latency",
+                        arrival_ns=hop.arrival_ns,
+                        metric=float(hop.latency_ns),
+                    )
+                )
+        return victims
+
+    def _abnormal_hops(self, k: float, window: int) -> set:
+        """(pid, nf) pairs whose local latency broke the rolling envelope."""
+        abnormal = set()
+        per_nf: Dict[str, List[Tuple[int, int, int]]] = {}
+        for packet in self.trace.packets.values():
+            for hop in packet.hops:
+                per_nf.setdefault(hop.nf, []).append(
+                    (hop.arrival_ns, packet.pid, hop.latency_ns)
+                )
+        for name, entries in per_nf.items():
+            entries.sort()
+            history = RollingStats(window=window)
+            for _t, pid, latency in entries:
+                if history.is_abnormal(float(latency), k=k):
+                    abnormal.add((pid, name))
+                history.push(float(latency))
+        return abnormal
+
+    # -- drops ---------------------------------------------------------------
+
+    def drop_victims(self) -> List[Victim]:
+        """Every packet lost on queue overflow."""
+        victims: List[Victim] = []
+        for packet in self.trace.packets.values():
+            if packet.dropped_at is not None:
+                victims.append(
+                    Victim(
+                        pid=packet.pid,
+                        nf=packet.dropped_at,
+                        kind="drop",
+                        arrival_ns=packet.dropped_ns,
+                        metric=0.0,
+                    )
+                )
+        return victims
+
+    # -- throughput ---------------------------------------------------------------
+
+    def throughput_victims(
+        self,
+        bin_ns: int = 1_000_000,
+        drop_factor: float = 0.5,
+        min_flow_packets: int = 50,
+    ) -> List[Victim]:
+        """Packets of flows whose per-bin exit rate collapsed.
+
+        A flow with at least ``min_flow_packets`` exits is flagged in bins
+        where its exit count falls below ``drop_factor`` times its own mean
+        occupied-bin count; the flow's packets *arriving* during a flagged
+        bin become victims at their longest-queue-wait hop.
+        """
+        if bin_ns <= 0:
+            raise DiagnosisError(f"bin size must be positive: {bin_ns}")
+        flows: Dict[object, List[object]] = {}
+        for packet in self.trace.packets.values():
+            if packet.exited_ns >= 0:
+                flows.setdefault(packet.flow, []).append(packet)
+        victims: List[Victim] = []
+        for flow, packets in flows.items():
+            if len(packets) < min_flow_packets:
+                continue
+            bins: Dict[int, List[object]] = {}
+            for packet in packets:
+                bins.setdefault(packet.exited_ns // bin_ns, []).append(packet)
+            first_bin, last_bin = min(bins), max(bins)
+            span = last_bin - first_bin + 1
+            if span < 4:
+                continue
+            mean_count = len(packets) / span
+            threshold = drop_factor * mean_count
+            for b in range(first_bin, last_bin + 1):
+                members = bins.get(b, [])
+                if len(members) >= threshold:
+                    continue
+                # Blame the slow bin on the packets that exited late in it
+                # (or, for empty bins, the next packets to exit).
+                candidates = members or bins.get(b + 1, [])
+                for packet in candidates:
+                    if not packet.hops:
+                        continue
+                    hop = max(packet.hops, key=lambda h: h.queue_wait_ns)
+                    victims.append(
+                        Victim(
+                            pid=packet.pid,
+                            nf=hop.nf,
+                            kind="throughput",
+                            arrival_ns=hop.arrival_ns,
+                            metric=len(members) * 1e9 / bin_ns,
+                        )
+                    )
+        return victims

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the Microscope reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with a single ``except`` clause while
+still being able to tell configuration mistakes from runtime failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class TopologyError(ConfigurationError):
+    """The NF graph is malformed (cycles, unknown nodes, dangling routes)."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class TraceError(ReproError):
+    """Collected or reconstructed trace data is malformed or inconsistent."""
+
+
+class ReconstructionError(TraceError):
+    """Packet-trace reconstruction from compressed records failed."""
+
+
+class DiagnosisError(ReproError):
+    """The diagnosis engine was asked something it cannot answer."""
+
+
+class AggregationError(ReproError):
+    """Pattern aggregation received malformed causal relations."""

@@ -1,0 +1,49 @@
+"""Experiment harness: topologies, injections, accuracy metrics, figures."""
+
+from repro.experiments.accuracy import (
+    RankResult,
+    UNRANKED,
+    associate_victims,
+    baseline_ranks,
+    correct_rate,
+    microscope_ranks,
+    rank_at_most,
+    rank_curve,
+    topology_plausibility,
+)
+from repro.experiments.harness import (
+    ExperimentRun,
+    MODERATE_CAIDA,
+    run_injected_experiment,
+    run_wild_experiment,
+)
+from repro.experiments.injection import InjectedProblem, InjectionPlan, standard_plan
+from repro.experiments.scenarios import (
+    FIG10_COSTS_NS,
+    Fig10Chain,
+    build_fig10_chain,
+    build_single_nf,
+)
+
+__all__ = [
+    "ExperimentRun",
+    "FIG10_COSTS_NS",
+    "Fig10Chain",
+    "InjectedProblem",
+    "InjectionPlan",
+    "MODERATE_CAIDA",
+    "RankResult",
+    "UNRANKED",
+    "associate_victims",
+    "baseline_ranks",
+    "build_fig10_chain",
+    "build_single_nf",
+    "correct_rate",
+    "microscope_ranks",
+    "rank_at_most",
+    "rank_curve",
+    "run_injected_experiment",
+    "run_wild_experiment",
+    "standard_plan",
+    "topology_plausibility",
+]

@@ -1,0 +1,217 @@
+"""Rank-based accuracy metrics (Figures 11-13).
+
+Both tools emit ranked culprit lists per victim; the metric is the rank of
+the injected (true) culprit.  Microscope ranks fine-grained entities
+(flows for traffic culprits, NF instances for local culprits); NetMedic
+ranks components (NFs and sources) — each tool is scored against the most
+precise answer it can express, as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.diagnosis import MicroscopeEngine, VictimDiagnosis
+from repro.core.records import DiagTrace
+from repro.core.report import Entity, rank_of_entity, ranked_entities
+from repro.core.victims import Victim
+from repro.experiments.injection import InjectedProblem, InjectionPlan
+
+#: Rank assigned when the true culprit does not appear in the output list.
+UNRANKED = 99
+
+
+@dataclass(frozen=True)
+class RankResult:
+    """Rank of the true culprit for one victim under one tool."""
+
+    victim: Victim
+    problem: InjectedProblem
+    rank: int  # 1 is best; UNRANKED when absent
+
+    @property
+    def correct(self) -> bool:
+        return self.rank == 1
+
+
+def microscope_entity_matcher(problem: InjectedProblem) -> Callable[[Entity], bool]:
+    """Predicate over Microscope's ranked entities for a ground truth."""
+    if problem.kind == "burst":
+        flows = set(problem.flows)
+        return lambda entity: entity[0] == "flow" and entity[1] in flows
+    if problem.kind in ("interrupt", "bug"):
+        return lambda entity: entity[0] == "nf" and entity[1] == problem.nf
+    raise ValueError(f"unknown problem kind {problem.kind!r}")
+
+
+def netmedic_component_for(problem: InjectedProblem, source_name: str) -> str:
+    """The component NetMedic should name for a ground truth."""
+    if problem.kind == "burst":
+        return source_name
+    assert problem.nf is not None
+    return problem.nf
+
+
+def associate_victims(
+    victims: Sequence[Victim],
+    plan: InjectionPlan,
+    max_per_problem: int = 0,
+    plausible: Optional[Callable[[Victim, InjectedProblem], bool]] = None,
+) -> List[Tuple[Victim, InjectedProblem]]:
+    """Pair victims with the injected problem covering their arrival time.
+
+    Victims outside every attribution window are natural background noise
+    and excluded, as the paper's methodology keeps injected problems
+    dominant and separated.  ``plausible`` additionally filters pairs by
+    topology (a victim can only be caused by a problem at or upstream of
+    its NF); use :func:`topology_plausibility`.  ``max_per_problem`` caps
+    pairs per problem (0 = unlimited) to bound evaluation cost.
+    """
+    pairs: List[Tuple[Victim, InjectedProblem]] = []
+    counts: dict = {}
+    for victim in sorted(victims, key=lambda v: v.arrival_ns):
+        problem = plan.problem_for_victim(victim.arrival_ns)
+        if problem is None:
+            continue
+        if plausible is not None and not plausible(victim, problem):
+            continue
+        if max_per_problem and counts.get(id(problem), 0) >= max_per_problem:
+            continue
+        counts[id(problem)] = counts.get(id(problem), 0) + 1
+        pairs.append((victim, problem))
+    return pairs
+
+
+def significant_victims(
+    trace: DiagTrace,
+    victims: Sequence[Victim],
+    factor: float = 5.0,
+    min_metric_ns: int = 200_000,
+) -> List[Victim]:
+    """Drop tail-noise latency victims.
+
+    A latency victim only counts when its local latency is at least
+    ``factor`` times its NF's median AND above an absolute floor — packets
+    a hair above the 99th percentile at an uncongested NF are natural
+    micro-jitter or plain full-batch wait (up to 32 service times with an
+    empty queue), and attributing them to whichever injection window they
+    fall into (as the paper-style time association must) would just
+    measure noise.  The default floor sits above any single batch time in
+    the evaluation chain.  Drop victims always count.
+    """
+    from repro.util.stats import percentile
+
+    medians: dict = {}
+    for name, view in trace.nfs.items():
+        latencies = [
+            hop.latency_ns
+            for packet in trace.packets.values()
+            for hop in packet.hops
+            if hop.nf == name
+        ]
+        if latencies:
+            medians[name] = percentile(latencies, 50.0)
+    kept: List[Victim] = []
+    for victim in victims:
+        if victim.kind != "latency":
+            kept.append(victim)
+            continue
+        median = medians.get(victim.nf)
+        threshold = max(min_metric_ns, factor * median) if median else min_metric_ns
+        if victim.metric >= threshold:
+            kept.append(victim)
+    return kept
+
+
+def topology_plausibility(trace: DiagTrace) -> Callable[[Victim, InjectedProblem], bool]:
+    """A victim is plausibly caused by a problem at/upstream of its NF.
+
+    For interrupts and bugs the problem NF must be the victim NF or one of
+    its (transitive) upstreams; for bursts any victim position qualifies,
+    since bursts enter at the traffic source, which is upstream of all NFs.
+    """
+    upstream_closure: dict = {}
+
+    def closure(nf: str) -> set:
+        cached = upstream_closure.get(nf)
+        if cached is not None:
+            return cached
+        seen: set = set()
+        frontier = [nf]
+        while frontier:
+            current = frontier.pop()
+            for up in trace.upstreams.get(current, ()):  # sources have no entry
+                if up not in seen:
+                    seen.add(up)
+                    frontier.append(up)
+        upstream_closure[nf] = seen
+        return seen
+
+    def check(victim: Victim, problem: InjectedProblem) -> bool:
+        if problem.kind == "burst":
+            return True
+        assert problem.nf is not None
+        return problem.nf == victim.nf or problem.nf in closure(victim.nf)
+
+    return check
+
+
+def microscope_ranks(
+    engine: MicroscopeEngine,
+    trace: DiagTrace,
+    pairs: Sequence[Tuple[Victim, InjectedProblem]],
+) -> List[RankResult]:
+    """Rank of the injected culprit in Microscope's output, per victim."""
+    results: List[RankResult] = []
+    for victim, problem in pairs:
+        diagnosis = engine.diagnose(victim)
+        ranking = ranked_entities(diagnosis, trace)
+        rank = rank_of_entity(ranking, microscope_entity_matcher(problem))
+        results.append(
+            RankResult(victim=victim, problem=problem, rank=rank or UNRANKED)
+        )
+    return results
+
+
+def baseline_ranks(
+    diagnoser,
+    pairs: Sequence[Tuple[Victim, InjectedProblem]],
+    source_name: str,
+) -> List[RankResult]:
+    """Ranks for NetMedic-style diagnosers exposing ``rank_of``."""
+    results: List[RankResult] = []
+    for victim, problem in pairs:
+        component = netmedic_component_for(problem, source_name)
+        rank = diagnoser.rank_of(victim, component)
+        results.append(
+            RankResult(victim=victim, problem=problem, rank=rank or UNRANKED)
+        )
+    return results
+
+
+def rank_curve(results: Sequence[RankResult]) -> List[Tuple[float, int]]:
+    """Figure 11/12 curve: (cumulative % of victims, rank).
+
+    Ranks are sorted ascending; the point (x, y) reads "for x% of victims
+    the true cause ranked no worse than y".
+    """
+    if not results:
+        return []
+    ranks = sorted(r.rank for r in results)
+    n = len(ranks)
+    return [((i + 1) * 100.0 / n, rank) for i, rank in enumerate(ranks)]
+
+
+def correct_rate(results: Sequence[RankResult]) -> float:
+    """Fraction of victims whose true culprit ranked first."""
+    if not results:
+        return 0.0
+    return sum(1 for r in results if r.correct) / len(results)
+
+
+def rank_at_most(results: Sequence[RankResult], k: int) -> float:
+    """Fraction of victims whose true culprit ranked within the top k."""
+    if not results:
+        return 0.0
+    return sum(1 for r in results if r.rank <= k) / len(results)

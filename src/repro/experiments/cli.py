@@ -1,0 +1,162 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    python -m repro.experiments.cli --list
+    python -m repro.experiments.cli fig01 fig02
+    python -m repro.experiments.cli fig11 --seed 3
+    python -m repro.experiments.cli all
+
+Each target runs the corresponding experiment at bench scale and prints
+the series in the paper's row format (the same code paths the benchmark
+suite exercises).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+from repro.util.timebase import MSEC
+
+
+def _fig01(seed: int) -> None:
+    from repro.experiments.figures import fig01_data
+
+    data = fig01_data(seed=seed)
+    start, end = data["burst_window_ns"]
+    print(f"[fig01] burst window {start/1e3:.0f}-{end/1e3:.0f} us")
+    queue = data["queue_series"]
+    for t, q in queue[:: max(1, len(queue) // 20)]:
+        print(f"  t={t/1e6:5.2f}ms queue={q}")
+
+
+def _fig02(seed: int) -> None:
+    from repro.experiments.figures import fig02_data
+
+    data = fig02_data(seed=seed)
+    print("[fig02] flow A throughput at the VPN (Mpps):")
+    for t, r in data["flow_a_rate"]:
+        print(f"  t={t/1e6:4.1f}ms rate={r/1e6:.2f}")
+
+
+def _fig03(seed: int) -> None:
+    from repro.experiments.figures import fig03_data
+
+    data = fig03_data(seed=seed)
+    print(f"[fig03] drops by origin: {data['drops']}")
+
+
+def _accuracy(seed: int):
+    from repro.experiments.figures import accuracy_data
+
+    print("[accuracy] running the section 6.2 methodology (this takes a while)...")
+    return accuracy_data(seed=seed, duration_ns=200 * MSEC)
+
+
+def _fig11(seed: int) -> None:
+    from repro.experiments.figures import fig11_data
+
+    data = fig11_data(_accuracy(seed))
+    print(f"[fig11] microscope rank-1 rate: {data['microscope_correct']:.3f}")
+    print(f"[fig11] netmedic   rank-1 rate: {data['netmedic_correct']:.3f}")
+
+
+def _fig12(seed: int) -> None:
+    from repro.experiments.figures import fig12_data
+
+    per_kind = fig12_data(_accuracy(seed))
+    for kind, stats in per_kind.items():
+        print(
+            f"[fig12] {kind:<10} microscope={stats['microscope_correct']:.3f} "
+            f"netmedic={stats['netmedic_correct']:.3f} (n={stats['n_victims']})"
+        )
+
+
+def _fig13(seed: int) -> None:
+    from repro.experiments.figures import fig13_data
+
+    rates = fig13_data(_accuracy(seed))
+    for ms, rate in rates.items():
+        print(f"[fig13] window {ms:>4d} ms -> correct rate {rate:.3f}")
+
+
+def _fig14(seed: int) -> None:
+    from repro.experiments.figures import fig14_data
+
+    data = fig14_data(seed=seed)
+    print(
+        f"[fig14] {data['n_relations']} relations -> {data['n_patterns']} patterns "
+        f"in {data['runtime_s']:.2f}s (bug at {data['bug_fw']})"
+    )
+    for pattern in data["bug_patterns"][:5]:
+        print(f"  {pattern} score={pattern.score:.1f}")
+
+
+def _wild(seed: int) -> None:
+    from repro.experiments.figures import wild_data
+
+    data = wild_data(seed=seed)
+    print(f"[wild] victims={data['n_victims']} relations={data['n_relations']}")
+    print(f"[table2] cross-NF propagation share: {data['cross_nf_share']:.1%}")
+    print(f"[fig15] median gap: "
+          f"{next(g for g, c in data['gap_cdf_ms'] if c >= 0.5):.2f} ms")
+
+
+def _overhead(seed: int) -> None:
+    from repro.collector.overhead import measure_overhead_by_type
+    from repro.nfv.nfs import Firewall, Monitor, Nat, Vpn
+
+    reports = measure_overhead_by_type(
+        {
+            "nat": lambda: Nat("n", router=lambda p: None),
+            "firewall": lambda: Firewall(
+                "f", route_match=lambda p: None, route_default=lambda p: None
+            ),
+            "monitor": lambda: Monitor("m", router=lambda p: None),
+            "vpn": lambda: Vpn("v", router=lambda p: None),
+        }
+    )
+    for name, report in reports.items():
+        print(f"[overhead] {name:<8} degradation {report.degradation:.2%}")
+
+
+TARGETS: Dict[str, Callable[[int], None]] = {
+    "fig01": _fig01,
+    "fig02": _fig02,
+    "fig03": _fig03,
+    "fig11": _fig11,
+    "fig12": _fig12,
+    "fig13": _fig13,
+    "fig14": _fig14,
+    "wild": _wild,  # fig15 + tables 2-3
+    "overhead": _overhead,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cli",
+        description="Regenerate Microscope paper figures/tables.",
+    )
+    parser.add_argument("targets", nargs="*", help="figure ids, or 'all'")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--list", action="store_true", help="list targets")
+    args = parser.parse_args(argv)
+
+    if args.list or not args.targets:
+        print("available targets:", ", ".join(TARGETS), "| all")
+        return 0
+    targets = list(TARGETS) if args.targets == ["all"] else args.targets
+    for target in targets:
+        runner = TARGETS.get(target)
+        if runner is None:
+            print(f"unknown target {target!r}; use --list", file=sys.stderr)
+            return 2
+        runner(args.seed)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,197 @@
+"""Ground-truth fault injection for accuracy experiments (section 6.2).
+
+Three culprit classes, mirroring the paper:
+
+* **traffic bursts** — 5 random five-tuple flows, 500-2500 packets each,
+* **interrupts** — random NF instance, 500-1000 us,
+* **NF bugs** — a random firewall processes matching flows at 0.05 Mpps;
+  trigger flows of 50-150 packets are injected.
+
+Injections are laid out in disjoint time slots ("separate enough in time
+so we unambiguously know the ground truth"); each carries an attribution
+window inside which victims are considered caused by it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nfv.faults import BugSpec, InterruptInjector, InterruptSpec
+from repro.nfv.packet import FiveTuple
+from repro.traffic.bursts import BurstSpec
+from repro.util.rng import substream
+from repro.util.timebase import MSEC, USEC
+
+
+@dataclass(frozen=True)
+class InjectedProblem:
+    """Ground truth for one injected culprit."""
+
+    kind: str  # 'burst' | 'interrupt' | 'bug'
+    at_ns: int
+    #: Victims arriving in [at_ns, at_ns + horizon_ns] may be blamed on it.
+    horizon_ns: int
+    nf: Optional[str] = None  # interrupt / bug target
+    flows: Tuple[FiveTuple, ...] = ()
+
+    @property
+    def window(self) -> Tuple[int, int]:
+        return (self.at_ns, self.at_ns + self.horizon_ns)
+
+    def covers(self, t_ns: int) -> bool:
+        return self.at_ns <= t_ns <= self.at_ns + self.horizon_ns
+
+
+@dataclass
+class InjectionPlan:
+    """Everything needed to run and score an injected experiment."""
+
+    bursts: List[BurstSpec] = field(default_factory=list)
+    interrupts: List[InterruptSpec] = field(default_factory=list)
+    bugs: List[BugSpec] = field(default_factory=list)
+    bug_trigger_bursts: List[BurstSpec] = field(default_factory=list)
+    problems: List[InjectedProblem] = field(default_factory=list)
+
+    def injectors(self) -> List[object]:
+        injectors: List[object] = []
+        if self.interrupts:
+            injectors.append(InterruptInjector(self.interrupts))
+        injectors.extend(self.bugs)
+        return injectors
+
+    def all_burst_specs(self) -> List[BurstSpec]:
+        return self.bursts + self.bug_trigger_bursts
+
+    def problem_for_victim(self, arrival_ns: int) -> Optional[InjectedProblem]:
+        """The injected problem whose window covers the victim (if unique)."""
+        covering = [p for p in self.problems if p.covers(arrival_ns)]
+        if len(covering) == 1:
+            return covering[0]
+        if not covering:
+            return None
+        # Overlapping windows: prefer the most recent injection.
+        return max(covering, key=lambda p: p.at_ns)
+
+
+def _burst_flow(i: int, rng: np.random.Generator) -> FiveTuple:
+    return FiveTuple(
+        src_ip=(100 << 24) | (i + 1),
+        dst_ip=(32 << 24) | (i + 1),
+        src_port=int(rng.integers(20_000, 30_000)),
+        dst_port=int(rng.integers(5_000, 7_000)),
+        proto=6,
+    )
+
+
+def standard_plan(
+    duration_ns: int,
+    nf_names: Sequence[str],
+    firewall_names: Sequence[str],
+    seed: int = 0,
+    n_bursts: int = 5,
+    n_interrupts: int = 5,
+    n_bug_triggers: int = 5,
+    burst_packets: Tuple[int, int] = (500, 2_500),
+    interrupt_us: Tuple[int, int] = (500, 1_000),
+    bug_flow_packets: Tuple[int, int] = (50, 150),
+    bug_rate_pps: float = 50_000.0,
+    horizon_ns: int = 25 * MSEC,
+    warmup_ns: int = 20 * MSEC,
+    firewall_of: Optional[Callable[[FiveTuple], str]] = None,
+) -> InjectionPlan:
+    """The paper's standard injection mix, laid out in disjoint slots.
+
+    ``firewall_of`` maps a five-tuple to the firewall instance the load
+    balancers would route it to; when given, bug-trigger flows are
+    resampled until they actually traverse the buggy firewall.
+    """
+    rng = substream(seed, "injection-plan")
+    n_events = n_bursts + n_interrupts + n_bug_triggers
+    if n_events == 0:
+        return InjectionPlan()
+    usable = duration_ns - warmup_ns
+    slot = usable // n_events
+    if slot < horizon_ns:
+        raise ConfigurationError(
+            f"duration {duration_ns} too short for {n_events} injections "
+            f"with horizon {horizon_ns}"
+        )
+    kinds = ["burst"] * n_bursts + ["interrupt"] * n_interrupts + ["bug"] * n_bug_triggers
+    rng.shuffle(kinds)
+
+    plan = InjectionPlan()
+    bug_fw = str(rng.choice(list(firewall_names)))
+    bug_flows: List[FiveTuple] = []
+    bug_index = 0
+    burst_index = 0
+
+    for event_idx, kind in enumerate(kinds):
+        at = warmup_ns + event_idx * slot + int(rng.integers(0, slot // 8 + 1))
+        if kind == "burst":
+            flow = _burst_flow(burst_index, rng)
+            burst_index += 1
+            size = int(rng.integers(burst_packets[0], burst_packets[1] + 1))
+            plan.bursts.append(BurstSpec(flow=flow, at_ns=at, n_packets=size))
+            plan.problems.append(
+                InjectedProblem(
+                    kind="burst", at_ns=at, horizon_ns=horizon_ns, flows=(flow,)
+                )
+            )
+        elif kind == "interrupt":
+            nf = str(rng.choice(list(nf_names)))
+            duration = int(rng.integers(interrupt_us[0], interrupt_us[1] + 1)) * USEC
+            plan.interrupts.append(
+                InterruptSpec(nf=nf, at_ns=at, duration_ns=duration)
+            )
+            plan.problems.append(
+                InjectedProblem(kind="interrupt", at_ns=at, horizon_ns=horizon_ns, nf=nf)
+            )
+        else:
+            flow = None
+            for attempt in range(256):
+                candidate = FiveTuple(
+                    src_ip=(100 << 24) | 0x10000 | (bug_index + attempt * 256),
+                    dst_ip=(32 << 24) | 0x10000 | bug_index,
+                    src_port=2_000 + bug_index,
+                    dst_port=6_000 + bug_index,
+                    proto=6,
+                )
+                if firewall_of is None or firewall_of(candidate) == bug_fw:
+                    flow = candidate
+                    break
+            if flow is None:
+                raise ConfigurationError(
+                    f"could not find a flow routed to {bug_fw} in 256 attempts"
+                )
+            bug_index += 1
+            bug_flows.append(flow)
+            size = int(rng.integers(bug_flow_packets[0], bug_flow_packets[1] + 1))
+            # Trigger flow paced at a moderate rate (not itself a burst).
+            plan.bug_trigger_bursts.append(
+                BurstSpec(flow=flow, at_ns=at, n_packets=size, gap_ns=5 * USEC)
+            )
+            plan.problems.append(
+                InjectedProblem(
+                    kind="bug",
+                    at_ns=at,
+                    horizon_ns=horizon_ns,
+                    nf=bug_fw,
+                    flows=(flow,),
+                )
+            )
+    if bug_flows:
+        frozen = frozenset(bug_flows)
+        slow_ns = int(1e9 / bug_rate_pps)
+        plan.bugs.append(
+            BugSpec(
+                nf=bug_fw,
+                predicate=lambda f, _s=frozen: f in _s,
+                slow_ns=slow_ns,
+                description=f"slow path for {len(frozen)} trigger flows",
+            )
+        )
+    return plan

@@ -1,0 +1,214 @@
+"""Evaluation topologies (Figure 10 and the motivation scenarios).
+
+The paper's chain: incoming traffic is flow-hash balanced over 4 NATs;
+each NAT feeds one of 5 Firewalls (flow-hashed); flows matching a firewall
+rule go to one of 3 Monitors, everything else straight to one of 4 VPNs;
+Monitors also forward to the VPNs.  16 NF instances total.
+
+Service costs here are tuned so the standard 1.2 Mpps workload puts every
+tier at moderate utilisation (0.6-0.7): idle enough to drain queues
+between episodes, busy enough that bursts/interrupts/bugs leave long
+queues — the regime the paper's testbed operates in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.nfv.nf import NetworkFunction
+from repro.nfv.nfs import Firewall, FirewallRule, Monitor, Nat, Vpn
+from repro.nfv.packet import Packet
+from repro.nfv.topology import Topology
+from repro.util.rng import substream
+
+#: Costs (ns/packet) for the Figure 10 evaluation, giving the utilisations
+#: in the module docstring at 1.2 Mpps aggregate.
+FIG10_COSTS_NS: Dict[str, int] = {
+    "nat": 2_000,  # peak 0.500 Mpps, ~0.30 Mpps offered per instance
+    "firewall": 2_800,  # peak 0.357 Mpps, ~0.24 Mpps offered
+    "monitor": 4_000,  # peak 0.250 Mpps, ~0.16 Mpps offered
+    "vpn": 2_200,  # peak 0.455 Mpps, ~0.30 Mpps offered
+}
+
+#: Firewall rule: web-ish destination ports are diverted to the Monitors.
+MONITORED_PORTS = (80, 8080)
+
+
+@dataclass
+class Fig10Chain:
+    """The built topology plus name groups for experiments."""
+
+    topology: Topology
+    source: str
+    nats: List[str]
+    firewalls: List[str]
+    monitors: List[str]
+    vpns: List[str]
+
+    def all_nfs(self) -> List[str]:
+        return self.nats + self.firewalls + self.monitors + self.vpns
+
+    def balancer(self):
+        """Flow-hash balancer over the NAT tier for the traffic source."""
+        nats = self.nats
+
+        def balance(packet: Packet) -> str:
+            return nats[hash(packet.flow) % len(nats)]
+
+        return balance
+
+    def nat_of(self, flow) -> str:
+        """NAT instance the load balancer sends ``flow`` to."""
+        return self.nats[hash(flow) % len(self.nats)]
+
+    def firewall_of(self, flow) -> str:
+        """Firewall instance ``flow`` traverses (mirrors the NAT routers)."""
+        nat_idx = hash(flow) % len(self.nats)
+        return self.firewalls[
+            (hash(flow) ^ (0xCAFE + nat_idx)) % len(self.firewalls)
+        ]
+
+
+def _hash_pick(targets: Sequence[str], salt: int):
+    frozen = list(targets)
+
+    def pick(packet: Packet) -> str:
+        return frozen[(hash(packet.flow) ^ salt) % len(frozen)]
+
+    return pick
+
+
+def build_fig10_chain(
+    seed: int = 0,
+    costs_ns: Optional[Dict[str, int]] = None,
+    jitter: float = 0.03,
+    n_nats: int = 4,
+    n_firewalls: int = 5,
+    n_monitors: int = 3,
+    n_vpns: int = 4,
+    queue_capacity: int = 1024,
+) -> Fig10Chain:
+    """Construct the 16-NF evaluation chain (Figure 10)."""
+    costs = dict(FIG10_COSTS_NS)
+    if costs_ns:
+        costs.update(costs_ns)
+    topo = Topology()
+    nats = [f"nat{i + 1}" for i in range(n_nats)]
+    firewalls = [f"fw{i + 1}" for i in range(n_firewalls)]
+    monitors = [f"mon{i + 1}" for i in range(n_monitors)]
+    vpns = [f"vpn{i + 1}" for i in range(n_vpns)]
+
+    for name in vpns:
+        topo.add_nf(
+            Vpn(
+                name,
+                router=lambda p: None,
+                cost_ns=costs["vpn"],
+                jitter=jitter,
+                rng=substream(seed, f"svc-{name}"),
+                queue_capacity=queue_capacity,
+            )
+        )
+    for name in monitors:
+        topo.add_nf(
+            Monitor(
+                name,
+                router=_hash_pick(vpns, salt=0x5F5F),
+                cost_ns=costs["monitor"],
+                jitter=jitter,
+                rng=substream(seed, f"svc-{name}"),
+                queue_capacity=queue_capacity,
+            )
+        )
+    rules = [
+        FirewallRule(dst_port=(port, port), action="monitor")
+        for port in MONITORED_PORTS
+    ]
+    for name in firewalls:
+        topo.add_nf(
+            Firewall(
+                name,
+                route_match=_hash_pick(monitors, salt=0xA11),
+                route_default=_hash_pick(vpns, salt=0xBEE),
+                rules=rules,
+                cost_ns=costs["firewall"],
+                jitter=jitter,
+                rng=substream(seed, f"svc-{name}"),
+                queue_capacity=queue_capacity,
+            )
+        )
+    for i, name in enumerate(nats):
+        topo.add_nf(
+            Nat(
+                name,
+                router=_hash_pick(firewalls, salt=0xCAFE + i),
+                cost_ns=costs["nat"],
+                jitter=jitter,
+                rng=substream(seed, f"svc-{name}"),
+                queue_capacity=queue_capacity,
+            )
+        )
+
+    source = "traffic-src"
+    topo.add_source(source)
+    for nat in nats:
+        topo.connect(source, nat)
+    for nat in nats:
+        for fw in firewalls:
+            topo.connect(nat, fw)
+    for fw in firewalls:
+        for mon in monitors:
+            topo.connect(fw, mon)
+        for vpn in vpns:
+            topo.connect(fw, vpn)
+    for mon in monitors:
+        for vpn in vpns:
+            topo.connect(mon, vpn)
+
+    return Fig10Chain(
+        topology=topo,
+        source=source,
+        nats=nats,
+        firewalls=firewalls,
+        monitors=monitors,
+        vpns=vpns,
+    )
+
+
+def build_single_nf(
+    nf_type: str = "firewall",
+    cost_ns: Optional[int] = None,
+    seed: int = 0,
+    jitter: float = 0.0,
+    queue_capacity: int = 1024,
+) -> Topology:
+    """Source -> one NF -> exit (the Figure 1 scenario)."""
+    topo = Topology()
+    rng = substream(seed, "single-nf") if jitter else None
+    if nf_type == "firewall":
+        nf: NetworkFunction = Firewall(
+            "fw1",
+            route_match=lambda p: None,
+            route_default=lambda p: None,
+            rules=[],
+            cost_ns=cost_ns,
+            jitter=jitter,
+            rng=rng,
+            queue_capacity=queue_capacity,
+        )
+    elif nf_type == "nat":
+        nf = Nat("nat1", router=lambda p: None, cost_ns=cost_ns, jitter=jitter, rng=rng,
+                 queue_capacity=queue_capacity)
+    elif nf_type == "monitor":
+        nf = Monitor("mon1", router=lambda p: None, cost_ns=cost_ns, jitter=jitter,
+                     rng=rng, queue_capacity=queue_capacity)
+    else:
+        nf = Vpn("vpn1", router=lambda p: None, cost_ns=cost_ns, jitter=jitter, rng=rng,
+                 queue_capacity=queue_capacity)
+    topo.add_nf(nf)
+    topo.add_source("src")
+    topo.connect("src", nf.name)
+    return topo

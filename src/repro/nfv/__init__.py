@@ -1,0 +1,98 @@
+"""Discrete-event NFV substrate: packets, queues, NFs, faults, simulator.
+
+This package stands in for the paper's DPDK testbed.  It reproduces the
+queue-level behaviour Microscope observes — batched reads, bounded input
+queues, interrupt stalls, propagation across a DAG of NF instances — at
+integer-nanosecond resolution.
+"""
+
+from repro.nfv.events import EventHandle, EventLoop
+from repro.nfv.faults import (
+    BugSpec,
+    InterruptInjector,
+    InterruptSpec,
+    RandomInterrupts,
+    flow_set_predicate,
+    subnet_port_predicate,
+)
+from repro.nfv.nf import (
+    DEFAULT_MAX_BATCH,
+    FixedCost,
+    FlowConditionalCost,
+    NetworkFunction,
+    NFHook,
+    NFStats,
+    ServiceModel,
+)
+from repro.nfv.nfs import (
+    DEFAULT_COSTS_NS,
+    RoundRobinBalancer,
+    Switch,
+    Firewall,
+    FirewallRule,
+    Monitor,
+    Nat,
+    Vpn,
+    make_nf,
+    peak_rate_pps,
+)
+from repro.nfv.packet import PROTO_TCP, PROTO_UDP, FiveTuple, Packet, ip_from_str, ip_to_str
+from repro.nfv.queues import DEFAULT_CAPACITY, DropRecord, InputQueue
+from repro.nfv.simulator import (
+    GroundTruthRecorder,
+    HopRecord,
+    PacketTrace,
+    SimResult,
+    Simulator,
+    calibrate_peak_rate,
+)
+from repro.nfv.sources import TrafficSource, constant_target, flow_hash_balancer
+from repro.nfv.topology import DEFAULT_DELAY_NS, Topology
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_COSTS_NS",
+    "DEFAULT_DELAY_NS",
+    "DEFAULT_MAX_BATCH",
+    "BugSpec",
+    "DropRecord",
+    "EventHandle",
+    "EventLoop",
+    "Firewall",
+    "FirewallRule",
+    "FiveTuple",
+    "FixedCost",
+    "FlowConditionalCost",
+    "GroundTruthRecorder",
+    "HopRecord",
+    "InputQueue",
+    "InterruptInjector",
+    "InterruptSpec",
+    "Monitor",
+    "NFHook",
+    "NFStats",
+    "Nat",
+    "NetworkFunction",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "PacketTrace",
+    "RandomInterrupts",
+    "RoundRobinBalancer",
+    "ServiceModel",
+    "SimResult",
+    "Simulator",
+    "Switch",
+    "TrafficSource",
+    "Topology",
+    "Vpn",
+    "calibrate_peak_rate",
+    "constant_target",
+    "flow_hash_balancer",
+    "flow_set_predicate",
+    "ip_from_str",
+    "ip_to_str",
+    "make_nf",
+    "peak_rate_pps",
+    "subnet_port_predicate",
+]

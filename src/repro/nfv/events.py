@@ -1,0 +1,120 @@
+"""Discrete-event core: a cancellable heap-based event loop.
+
+The simulator schedules callbacks at integer-nanosecond timestamps.  Events
+may be cancelled (e.g. a batch-completion event is rescheduled when an
+interrupt stalls the NF mid-batch); cancellation is lazy — the heap entry is
+flagged and skipped on pop, which keeps the loop simple and O(log n).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.errors import SimulationError
+
+Action = Callable[[], None]
+
+
+@dataclass(order=True)
+class _Entry:
+    time_ns: int
+    seq: int
+    action: Optional[Action] = field(compare=False)
+
+    @property
+    def cancelled(self) -> bool:
+        return self.action is None
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventLoop.schedule` for cancellation."""
+
+    __slots__ = ("_entry",)
+
+    def __init__(self, entry: _Entry) -> None:
+        self._entry = entry
+
+    @property
+    def time_ns(self) -> int:
+        return self._entry.time_ns
+
+    @property
+    def active(self) -> bool:
+        return not self._entry.cancelled
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Idempotent."""
+        self._entry.action = None
+
+
+class EventLoop:
+    """Minimal discrete-event loop with monotonically advancing time."""
+
+    def __init__(self) -> None:
+        self._heap: List[_Entry] = []
+        self._seq = itertools.count()
+        self._now = 0
+        self._processed = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in nanoseconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (for diagnostics and tests)."""
+        return self._processed
+
+    def schedule(self, time_ns: int, action: Action) -> EventHandle:
+        """Run ``action`` at ``time_ns``.  Scheduling in the past is an error."""
+        if time_ns < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time_ns} before now={self._now}"
+            )
+        entry = _Entry(time_ns=time_ns, seq=next(self._seq), action=action)
+        heapq.heappush(self._heap, entry)
+        return EventHandle(entry)
+
+    def schedule_after(self, delay_ns: int, action: Action) -> EventHandle:
+        """Run ``action`` ``delay_ns`` nanoseconds from now."""
+        return self.schedule(self._now + delay_ns, action)
+
+    def run(self, until_ns: Optional[int] = None, max_events: int = 0) -> int:
+        """Drain the event heap.
+
+        Stops when the heap is empty, when the next event would fire after
+        ``until_ns``, or after ``max_events`` events (0 means unlimited — the
+        usual mode; ``max_events`` exists as a runaway-loop backstop for
+        tests).  Returns the number of events executed by this call.
+        """
+        executed = 0
+        while self._heap:
+            entry = self._heap[0]
+            if entry.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until_ns is not None and entry.time_ns > until_ns:
+                break
+            heapq.heappop(self._heap)
+            self._now = entry.time_ns
+            action = entry.action
+            entry.action = None
+            assert action is not None
+            action()
+            executed += 1
+            self._processed += 1
+            if max_events and executed >= max_events:
+                break
+        if until_ns is not None and self._now < until_ns:
+            # Advance the clock to the bound: "simulate until t" holds even
+            # when the next event lies beyond it (or none remain).
+            self._now = until_ns
+        return executed
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)

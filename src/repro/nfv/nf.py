@@ -1,0 +1,278 @@
+"""Batch-processing network function model.
+
+An NF mirrors the DPDK run-to-completion loop the paper instruments: it
+reads up to ``max_batch`` (default 32) packets from its input queue, spends
+a per-packet service cost on each, then writes the batch to downstream
+queues.  Reads and writes fire :class:`NFHook` callbacks — Microscope's
+runtime collector and the ground-truth recorder are both implemented as
+hooks, exactly mirroring how the real system instruments DPDK's RX/TX burst
+functions without touching NF internals.
+
+Interrupts (CPU preemption, SoftIRQ, etc.) stall the NF: a stall that lands
+mid-batch extends the in-flight batch's completion time; a stall on an idle
+NF delays its next batch read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Protocol, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.nfv.events import EventHandle, EventLoop
+from repro.nfv.packet import Packet
+from repro.nfv.queues import DEFAULT_CAPACITY, InputQueue
+
+#: DPDK's typical maximum RX burst size.
+DEFAULT_MAX_BATCH = 32
+
+Router = Callable[[Packet], Optional[str]]
+
+
+class ServiceModel(Protocol):
+    """Per-packet processing-cost model."""
+
+    def cost_ns(self, packet: Packet, now_ns: int) -> int:
+        """Service time for ``packet`` when processing starts at ``now_ns``."""
+        ...
+
+
+class FixedCost:
+    """Constant per-packet cost with optional lognormal jitter.
+
+    ``jitter`` is the standard deviation of the multiplicative noise; zero
+    gives a fully deterministic NF, small values (0.02-0.1) model cache
+    misses and pipeline variation.
+    """
+
+    def __init__(
+        self,
+        base_ns: int,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+    ) -> None:
+        if base_ns <= 0:
+            raise ConfigurationError(f"base cost must be positive, got {base_ns}")
+        if jitter < 0:
+            raise ConfigurationError(f"jitter must be non-negative, got {jitter}")
+        if jitter > 0 and rng is None:
+            raise ConfigurationError("jitter requires an rng")
+        self.base_ns = base_ns
+        self.jitter = jitter
+        self._rng = rng
+
+    def cost_ns(self, packet: Packet, now_ns: int) -> int:
+        if self.jitter == 0.0:
+            return self.base_ns
+        assert self._rng is not None
+        factor = float(self._rng.lognormal(mean=0.0, sigma=self.jitter))
+        return max(1, int(round(self.base_ns * factor)))
+
+
+class FlowConditionalCost:
+    """Wraps a service model with a slow path for matching flows.
+
+    Models the paper's injected NF bug: "processes specific incoming flows
+    at a low rate" (section 6.2, NF code bugs).
+    """
+
+    def __init__(
+        self,
+        inner: ServiceModel,
+        predicate: Callable[[Packet], bool],
+        slow_ns: int,
+    ) -> None:
+        if slow_ns <= 0:
+            raise ConfigurationError(f"slow cost must be positive, got {slow_ns}")
+        self.inner = inner
+        self.predicate = predicate
+        self.slow_ns = slow_ns
+        self.triggered = 0
+
+    def cost_ns(self, packet: Packet, now_ns: int) -> int:
+        if self.predicate(packet):
+            self.triggered += 1
+            return self.slow_ns
+        return self.inner.cost_ns(packet, now_ns)
+
+
+class NFHook(Protocol):
+    """Observer of NF-level packet I/O (collector / ground-truth recorder)."""
+
+    def on_enqueue(self, nf: str, time_ns: int, packet: Packet, accepted: bool) -> None:
+        ...
+
+    def on_rx_batch(
+        self, nf: str, time_ns: int, batch: Sequence[Tuple[Packet, int]]
+    ) -> None:
+        ...
+
+    def on_tx_batch(
+        self, nf: str, next_node: str, time_ns: int, packets: Sequence[Packet]
+    ) -> None:
+        ...
+
+
+@dataclass
+class NFStats:
+    """Aggregate counters exposed per NF after a run."""
+
+    rx_packets: int = 0
+    tx_packets: int = 0
+    rx_batches: int = 0
+    busy_ns: int = 0
+    stall_ns: int = 0
+
+
+class NetworkFunction:
+    """One NF instance bound to (the simulation of) a dedicated core."""
+
+    #: Marker returned by routers for packets leaving the NF graph.
+    EXIT = None
+
+    def __init__(
+        self,
+        name: str,
+        nf_type: str,
+        service: ServiceModel,
+        router: Router,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        queue_capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        if max_batch <= 0:
+            raise ConfigurationError(f"max_batch must be positive, got {max_batch}")
+        self.name = name
+        self.nf_type = nf_type
+        self.service = service
+        self.router = router
+        self.max_batch = max_batch
+        self.queue = InputQueue(node=name, capacity=queue_capacity)
+        self.stats = NFStats()
+        self.hooks: List[NFHook] = []
+        #: Extra fixed cost per batch, used to model collector overhead.
+        self.per_batch_overhead_ns = 0
+        self.per_packet_overhead_ns = 0
+        self._loop: Optional[EventLoop] = None
+        self._deliver: Optional[Callable[[str, str, Packet, int], None]] = None
+        self._current_batch: Optional[List[Tuple[Packet, int]]] = None
+        self._completion: Optional[EventHandle] = None
+        self._start_handle: Optional[EventHandle] = None
+        self._stall_until = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def bind(
+        self, loop: EventLoop, deliver: Callable[[str, str, Packet, int], None]
+    ) -> None:
+        """Attach the NF to a simulation: its clock and the delivery fabric.
+
+        ``deliver(src, dst, packet, time_ns)`` hands a processed packet to
+        the downstream node (or the exit sink when ``dst`` is "").
+        """
+        self._loop = loop
+        self._deliver = deliver
+
+    # -- data path --------------------------------------------------------
+
+    def enqueue(self, packet: Packet, now_ns: int) -> bool:
+        """Packet arrival into this NF's input queue."""
+        accepted = self.queue.push(packet, now_ns)
+        for hook in self.hooks:
+            hook.on_enqueue(self.name, now_ns, packet, accepted)
+        if accepted:
+            self._maybe_start()
+        return accepted
+
+    def _maybe_start(self) -> None:
+        if self._loop is None:
+            raise SimulationError(f"NF {self.name} used before bind()")
+        if self._current_batch is not None or self._start_handle is not None:
+            return
+        if len(self.queue) == 0:
+            return
+        now = self._loop.now
+        start = max(now, self._stall_until)
+        # Always go through the event loop, even for start == now: packets
+        # enqueued by other events at this same nanosecond must land in the
+        # same batch read, exactly like a DPDK poll picking up everything
+        # that arrived since the last burst.
+        self._start_handle = self._loop.schedule(start, self._begin_batch)
+
+    def _begin_batch(self) -> None:
+        assert self._loop is not None
+        self._start_handle = None
+        if self._current_batch is not None or len(self.queue) == 0:
+            return
+        now = self._loop.now
+        if now < self._stall_until:
+            # A stall landed between scheduling and firing; try again later.
+            self._start_handle = self._loop.schedule(self._stall_until, self._begin_batch)
+            return
+        batch = self.queue.pop_batch(self.max_batch)
+        for hook in self.hooks:
+            hook.on_rx_batch(self.name, now, batch)
+        total = self.per_batch_overhead_ns
+        for packet, _enq in batch:
+            total += self.service.cost_ns(packet, now) + self.per_packet_overhead_ns
+        self.stats.rx_batches += 1
+        self.stats.rx_packets += len(batch)
+        self.stats.busy_ns += total
+        self._current_batch = batch
+        self._completion = self._loop.schedule_after(total, self._finish_batch)
+
+    def _finish_batch(self) -> None:
+        assert self._loop is not None and self._deliver is not None
+        batch = self._current_batch
+        assert batch is not None
+        now = self._loop.now
+        self._current_batch = None
+        self._completion = None
+        by_next: Dict[str, List[Packet]] = {}
+        for packet, _enq in batch:
+            packet.visited(self.name)
+            next_node = self.router(packet)
+            key = next_node if next_node is not None else ""
+            by_next.setdefault(key, []).append(packet)
+        for next_node, packets in by_next.items():
+            for hook in self.hooks:
+                hook.on_tx_batch(self.name, next_node, now, packets)
+            for packet in packets:
+                self._deliver(self.name, next_node, packet, now)
+            self.stats.tx_packets += len(packets)
+        self._maybe_start()
+
+    # -- fault interface ---------------------------------------------------
+
+    def stall(self, duration_ns: int) -> None:
+        """Stall the NF for ``duration_ns`` starting now (interrupt model).
+
+        Extends an in-flight batch's completion, or delays the next batch
+        read while idle.  Overlapping stalls accumulate.
+        """
+        assert self._loop is not None
+        if duration_ns <= 0:
+            raise ConfigurationError(f"stall duration must be positive: {duration_ns}")
+        now = self._loop.now
+        self._stall_until = max(self._stall_until, now) + duration_ns
+        self.stats.stall_ns += duration_ns
+        if self._completion is not None and self._completion.active:
+            new_time = self._completion.time_ns + duration_ns
+            self._completion.cancel()
+            self._completion = self._loop.schedule(new_time, self._finish_batch)
+        elif self._start_handle is not None and self._start_handle.active:
+            if self._start_handle.time_ns < self._stall_until:
+                self._start_handle.cancel()
+                self._start_handle = self._loop.schedule(
+                    self._stall_until, self._begin_batch
+                )
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        return self._current_batch is not None
+
+    def __repr__(self) -> str:
+        return f"NetworkFunction({self.name!r}, type={self.nf_type!r})"

@@ -1,0 +1,325 @@
+"""Concrete NF types used in the paper's evaluation chain (Figure 10).
+
+The paper runs Click-DPDK NATs, Firewalls and VPNs plus a hand-written DPDK
+Monitor.  We reproduce each type's *functional* behaviour (address
+translation, rule matching and branching, per-flow accounting, encryption
+cost) on top of :class:`~repro.nfv.nf.NetworkFunction`, with per-packet
+costs calibrated so that the evaluation workloads produce the same queueing
+regimes as the paper's testbed.
+
+Default peak rates (1 / base cost):
+
+========  ============  ==========
+NF type   base cost     peak rate
+========  ============  ==========
+NAT       400 ns        2.50 Mpps
+Firewall  500 ns        2.00 Mpps
+Monitor   320 ns        3.13 Mpps
+VPN       640 ns        1.56 Mpps
+========  ============  ==========
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nfv.nf import FixedCost, NetworkFunction, Router, ServiceModel
+from repro.nfv.packet import FiveTuple, Packet
+
+#: Base per-packet service costs (nanoseconds) per NF type.
+DEFAULT_COSTS_NS: Dict[str, int] = {
+    "nat": 400,
+    "firewall": 500,
+    "monitor": 320,
+    "vpn": 640,
+    "switch": 60,
+}
+
+
+def peak_rate_pps(nf_type: str, cost_ns: Optional[int] = None) -> float:
+    """Peak processing rate for an NF type (the paper's ``r_f``).
+
+    The paper measures ``r_f`` by offline stress testing; in the simulator
+    the peak rate is the inverse of the base per-packet cost.
+    """
+    base = cost_ns if cost_ns is not None else DEFAULT_COSTS_NS[nf_type]
+    return 1e9 / base
+
+
+def _service(
+    nf_type: str,
+    cost_ns: Optional[int],
+    jitter: float,
+    rng: Optional[np.random.Generator],
+) -> ServiceModel:
+    base = cost_ns if cost_ns is not None else DEFAULT_COSTS_NS[nf_type]
+    return FixedCost(base_ns=base, jitter=jitter, rng=rng)
+
+
+class Nat(NetworkFunction):
+    """Source-NAT: allocates a translated (address, port) per flow.
+
+    Translation is applied to the packet's flow key only when ``rewrite`` is
+    True; either way the NAT pays the table-lookup cost, which is what the
+    diagnosis cares about.  The translation table grows per new flow, which
+    makes the first packet of a flow marginally more expensive — a realistic
+    micro-behaviour that adds natural service-time variation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        router: Router,
+        cost_ns: Optional[int] = None,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        rewrite: bool = False,
+        public_ip: int = 0x0A000001,
+        **kwargs: object,
+    ) -> None:
+        service = _service("nat", cost_ns, jitter, rng)
+        super().__init__(name, "nat", _NatService(service, self), router, **kwargs)
+        self.rewrite = rewrite
+        self.public_ip = public_ip
+        self.table: Dict[FiveTuple, int] = {}
+        self._next_port = 10_000
+
+    def translate(self, packet: Packet) -> None:
+        flow = packet.flow
+        port = self.table.get(flow)
+        if port is None:
+            port = self._next_port
+            self._next_port = 10_000 + (self._next_port - 9_999) % 50_000
+            self.table[flow] = port
+        if self.rewrite:
+            packet.flow = FiveTuple(
+                self.public_ip, flow.dst_ip, port, flow.dst_port, flow.proto
+            )
+
+
+class _NatService:
+    """Service model that performs NAT table work before the base cost."""
+
+    def __init__(self, inner: ServiceModel, nat: "Nat") -> None:
+        self.inner = inner
+        self.nat = nat
+
+    def cost_ns(self, packet: Packet, now_ns: int) -> int:
+        new_flow = packet.flow not in self.nat.table
+        self.nat.translate(packet)
+        cost = self.inner.cost_ns(packet, now_ns)
+        if new_flow:
+            cost += cost // 4  # table insertion penalty
+        return cost
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """Match on five-tuple fields; ``None`` wildcards a field."""
+
+    src_ip: Optional[int] = None
+    dst_ip: Optional[int] = None
+    src_port: Optional[Tuple[int, int]] = None
+    dst_port: Optional[Tuple[int, int]] = None
+    proto: Optional[int] = None
+    action: str = "monitor"
+
+    def matches(self, flow: FiveTuple) -> bool:
+        if self.src_ip is not None and flow.src_ip != self.src_ip:
+            return False
+        if self.dst_ip is not None and flow.dst_ip != self.dst_ip:
+            return False
+        if self.src_port is not None and not (
+            self.src_port[0] <= flow.src_port <= self.src_port[1]
+        ):
+            return False
+        if self.dst_port is not None and not (
+            self.dst_port[0] <= flow.dst_port <= self.dst_port[1]
+        ):
+            return False
+        if self.proto is not None and flow.proto != self.proto:
+            return False
+        return True
+
+
+class Firewall(NetworkFunction):
+    """Rule-matching firewall that branches traffic (Figure 10).
+
+    Flows matching a rule with action ``monitor`` are forwarded to the
+    monitor path; everything else goes straight to the VPN path.  The
+    concrete next-hop names are chosen by ``route_match`` / ``route_default``
+    callables so the same class serves any topology.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        route_match: Callable[[Packet], Optional[str]],
+        route_default: Callable[[Packet], Optional[str]],
+        rules: Sequence[FirewallRule] = (),
+        cost_ns: Optional[int] = None,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs: object,
+    ) -> None:
+        self.rules: List[FirewallRule] = list(rules)
+        self._route_match = route_match
+        self._route_default = route_default
+        service = _service("firewall", cost_ns, jitter, rng)
+        super().__init__(name, "firewall", service, self._route, **kwargs)
+        self.matched = 0
+        self.passed = 0
+
+    def _route(self, packet: Packet) -> Optional[str]:
+        for rule in self.rules:
+            if rule.matches(packet.flow):
+                if rule.action == "drop":
+                    self.matched += 1
+                    return NetworkFunction.EXIT
+                self.matched += 1
+                return self._route_match(packet)
+        self.passed += 1
+        return self._route_default(packet)
+
+
+class Monitor(NetworkFunction):
+    """Per-flow byte/packet accounting NF (the paper implemented its own)."""
+
+    def __init__(
+        self,
+        name: str,
+        router: Router,
+        cost_ns: Optional[int] = None,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs: object,
+    ) -> None:
+        inner = _service("monitor", cost_ns, jitter, rng)
+        super().__init__(name, "monitor", _MonitorService(inner, self), router, **kwargs)
+        self.flow_packets: Dict[FiveTuple, int] = {}
+        self.flow_bytes: Dict[FiveTuple, int] = {}
+
+    def account(self, packet: Packet) -> None:
+        self.flow_packets[packet.flow] = self.flow_packets.get(packet.flow, 0) + 1
+        self.flow_bytes[packet.flow] = (
+            self.flow_bytes.get(packet.flow, 0) + packet.size_bytes
+        )
+
+
+class _MonitorService:
+    def __init__(self, inner: ServiceModel, monitor: "Monitor") -> None:
+        self.inner = inner
+        self.monitor = monitor
+
+    def cost_ns(self, packet: Packet, now_ns: int) -> int:
+        self.monitor.account(packet)
+        return self.inner.cost_ns(packet, now_ns)
+
+
+class Vpn(NetworkFunction):
+    """Encrypting VPN endpoint: cost scales mildly with packet size."""
+
+    #: Extra nanoseconds of encryption work per 64 bytes of payload.
+    PER_64B_NS = 18
+
+    def __init__(
+        self,
+        name: str,
+        router: Router,
+        cost_ns: Optional[int] = None,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs: object,
+    ) -> None:
+        inner = _service("vpn", cost_ns, jitter, rng)
+        super().__init__(name, "vpn", _VpnService(inner), router, **kwargs)
+
+
+class _VpnService:
+    def __init__(self, inner: ServiceModel) -> None:
+        self.inner = inner
+
+    def cost_ns(self, packet: Packet, now_ns: int) -> int:
+        blocks = max(1, (packet.size_bytes + 63) // 64) - 1
+        return self.inner.cost_ns(packet, now_ns) + blocks * Vpn.PER_64B_NS
+
+
+class RoundRobinBalancer(NetworkFunction):
+    """Load balancer that assigns paths *dynamically* (per packet).
+
+    The paper notes its path side channel "does not work for NFs that
+    assign path dynamically such as load balancers" (section 5): a
+    downstream packet could have come via any replica.  This NF exists to
+    exercise exactly that case — reconstruction falls back to timing and
+    order alone, and the tests quantify the graceful degradation.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        targets: Sequence[str],
+        cost_ns: int = 120,
+        **kwargs: object,
+    ) -> None:
+        if not targets:
+            raise ConfigurationError("balancer needs at least one target")
+        self.targets = list(targets)
+        self._next = 0
+        super().__init__(
+            name, "balancer", FixedCost(cost_ns), self._route, **kwargs
+        )
+
+    def _route(self, packet: Packet) -> str:
+        target = self.targets[self._next]
+        self._next = (self._next + 1) % len(self.targets)
+        return target
+
+
+class Switch(NetworkFunction):
+    """Software switch / NIC treated as just another NF (section 7).
+
+    The paper's footnote 1 assumes switches are not the cause, but notes
+    they "can easily [be treated] as another NF in the system for
+    diagnosis if needed" — this class is that treatment: a very fast
+    store-and-forward element whose queue records participate in diagnosis
+    exactly like any NF's.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        router: Router,
+        cost_ns: Optional[int] = None,
+        jitter: float = 0.0,
+        rng: Optional[np.random.Generator] = None,
+        **kwargs: object,
+    ) -> None:
+        service = _service("switch", cost_ns, jitter, rng)
+        super().__init__(name, "switch", service, router, **kwargs)
+
+
+def make_nf(
+    nf_type: str,
+    name: str,
+    router: Router,
+    **kwargs: object,
+) -> NetworkFunction:
+    """Factory for simple (single-router) NF types.
+
+    Firewalls need two routes and must be constructed directly.
+    """
+    factories: Dict[str, type] = {
+        "nat": Nat,
+        "monitor": Monitor,
+        "vpn": Vpn,
+        "switch": Switch,
+    }
+    if nf_type == "firewall":
+        raise ConfigurationError("construct Firewall directly; it needs two routes")
+    if nf_type not in factories:
+        raise ConfigurationError(f"unknown NF type {nf_type!r}")
+    return factories[nf_type](name, router, **kwargs)

@@ -1,0 +1,104 @@
+"""Packets and five-tuples.
+
+A :class:`FiveTuple` identifies a flow; a :class:`Packet` is one datagram
+traversing the NF graph.  Packets carry a 16-bit IPID like real IPv4 headers
+— Microscope's runtime collector identifies packets across NFs by IPID plus
+side-channel information, so the simulator must reproduce IPID collisions
+faithfully (Figure 9 in the paper).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Tuple
+
+#: Protocol numbers used throughout the package.
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_MAX_PORT = 65_535
+_MAX_IPID = 65_535
+
+
+def ip_from_str(dotted: str) -> int:
+    """Parse dotted-quad notation into a 32-bit integer address."""
+    return int(ipaddress.IPv4Address(dotted))
+
+
+def ip_to_str(addr: int) -> str:
+    """Render a 32-bit integer address as dotted-quad notation."""
+    return str(ipaddress.IPv4Address(addr))
+
+
+@dataclass(frozen=True, order=True)
+class FiveTuple:
+    """Classic flow key: source/destination address and port, protocol."""
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    proto: int
+
+    def __post_init__(self) -> None:
+        for name in ("src_ip", "dst_ip"):
+            value = getattr(self, name)
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise ValueError(f"{name} out of range: {value}")
+        for name in ("src_port", "dst_port"):
+            value = getattr(self, name)
+            if not 0 <= value <= _MAX_PORT:
+                raise ValueError(f"{name} out of range: {value}")
+        if not 0 <= self.proto <= 255:
+            raise ValueError(f"proto out of range: {self.proto}")
+
+    @classmethod
+    def of(
+        cls,
+        src_ip: str,
+        dst_ip: str,
+        src_port: int,
+        dst_port: int,
+        proto: int = PROTO_TCP,
+    ) -> "FiveTuple":
+        """Build a flow key from dotted-quad addresses."""
+        return cls(ip_from_str(src_ip), ip_from_str(dst_ip), src_port, dst_port, proto)
+
+    def as_tuple(self) -> Tuple[int, int, int, int, int]:
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port, self.proto)
+
+    def __str__(self) -> str:
+        return (
+            f"{ip_to_str(self.src_ip)}:{self.src_port}->"
+            f"{ip_to_str(self.dst_ip)}:{self.dst_port}/{self.proto}"
+        )
+
+
+@dataclass
+class Packet:
+    """One packet in flight.
+
+    ``pid`` is a globally unique sequence number assigned by the traffic
+    source; it is the simulator's ground-truth identity and is *not*
+    available to the compressed collector, which must re-identify packets by
+    (IPID, side channels).
+    """
+
+    pid: int
+    flow: FiveTuple
+    ipid: int
+    size_bytes: int = 64
+    created_ns: int = 0
+    #: Nodes visited so far, appended by the simulator (ground truth only).
+    path: Tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.ipid <= _MAX_IPID:
+            raise ValueError(f"ipid out of range: {self.ipid}")
+        if self.size_bytes <= 0:
+            raise ValueError(f"size_bytes must be positive: {self.size_bytes}")
+
+    def visited(self, node: str) -> None:
+        """Record that this packet traversed ``node`` (ground truth)."""
+        self.path = self.path + (node,)

@@ -1,0 +1,80 @@
+"""Bounded input queues between NFs.
+
+Each NF owns a single input queue (as in the paper's DPDK setting, where the
+RX ring is the queue Microscope observes).  The queue records enqueue times
+so the simulator can produce ground-truth per-packet latency, and exposes
+drop accounting for loss-victim detection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional, Tuple
+
+from repro.nfv.packet import Packet
+
+#: DPDK default RX ring size used in the paper's implementation notes.
+DEFAULT_CAPACITY = 1024
+
+
+@dataclass(frozen=True)
+class DropRecord:
+    """One packet dropped on queue overflow."""
+
+    time_ns: int
+    pid: int
+    node: str
+
+
+class InputQueue:
+    """FIFO with bounded capacity and enqueue-time tracking."""
+
+    def __init__(self, node: str, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"queue capacity must be positive, got {capacity}")
+        self.node = node
+        self.capacity = capacity
+        self._items: Deque[Tuple[Packet, int]] = deque()
+        self.drops: List[DropRecord] = []
+        #: Monotone counters: total packets offered / accepted / dequeued.
+        self.offered = 0
+        self.accepted = 0
+        self.dequeued = 0
+        self._peak_depth = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def peak_depth(self) -> int:
+        """Deepest occupancy observed (for queue-length figures)."""
+        return self._peak_depth
+
+    def push(self, packet: Packet, now_ns: int) -> bool:
+        """Enqueue ``packet``; returns False (and records a drop) when full."""
+        self.offered += 1
+        if len(self._items) >= self.capacity:
+            self.drops.append(DropRecord(time_ns=now_ns, pid=packet.pid, node=self.node))
+            return False
+        self._items.append((packet, now_ns))
+        self.accepted += 1
+        if len(self._items) > self._peak_depth:
+            self._peak_depth = len(self._items)
+        return True
+
+    def pop_batch(self, max_batch: int) -> List[Tuple[Packet, int]]:
+        """Dequeue up to ``max_batch`` packets with their enqueue times."""
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        batch: List[Tuple[Packet, int]] = []
+        while self._items and len(batch) < max_batch:
+            batch.append(self._items.popleft())
+            self.dequeued += 1
+        return batch
+
+    def head_enqueue_time(self) -> Optional[int]:
+        """Enqueue time of the oldest queued packet, or None when empty."""
+        if not self._items:
+            return None
+        return self._items[0][1]

@@ -1,0 +1,264 @@
+"""Simulation driver: wires sources, NFs, faults and hooks to an event loop.
+
+The simulator also owns the ground-truth recorder.  Ground truth (exact
+per-packet hop timings and identities) is what the evaluation compares
+against; Microscope itself only sees what the runtime collector records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError, TopologyError
+from repro.nfv.events import EventLoop
+from repro.nfv.nf import FixedCost, NetworkFunction, NFHook
+from repro.nfv.packet import FiveTuple, Packet
+from repro.nfv.queues import DropRecord
+from repro.nfv.sources import TrafficSource
+from repro.nfv.topology import Topology
+
+
+@dataclass
+class HopRecord:
+    """Ground-truth timing of one packet at one NF."""
+
+    nf: str
+    enqueue_ns: int
+    read_ns: int = -1
+    depart_ns: int = -1
+
+    @property
+    def queue_wait_ns(self) -> int:
+        """Time spent in the input queue before being read."""
+        if self.read_ns < 0:
+            raise SimulationError(f"hop at {self.nf} never read")
+        return self.read_ns - self.enqueue_ns
+
+    @property
+    def latency_ns(self) -> int:
+        """Enqueue-to-departure latency at this NF."""
+        if self.depart_ns < 0:
+            raise SimulationError(f"hop at {self.nf} never departed")
+        return self.depart_ns - self.enqueue_ns
+
+
+@dataclass
+class PacketTrace:
+    """Everything ground truth knows about one packet's journey."""
+
+    pid: int
+    flow: FiveTuple
+    source: str
+    emitted_ns: int
+    hops: List[HopRecord] = field(default_factory=list)
+    dropped_at: Optional[str] = None
+    dropped_ns: int = -1
+    exited_ns: int = -1
+
+    @property
+    def completed(self) -> bool:
+        return self.exited_ns >= 0
+
+    @property
+    def end_to_end_ns(self) -> int:
+        if not self.completed:
+            raise SimulationError(f"packet {self.pid} never exited")
+        return self.exited_ns - self.emitted_ns
+
+    def hop_at(self, nf: str) -> Optional[HopRecord]:
+        for hop in self.hops:
+            if hop.nf == nf:
+                return hop
+        return None
+
+    def nf_path(self) -> Tuple[str, ...]:
+        return tuple(hop.nf for hop in self.hops)
+
+
+class GroundTruthRecorder(NFHook):
+    """NF hook that keeps exact per-packet hop records."""
+
+    def __init__(self) -> None:
+        self.packets: Dict[int, PacketTrace] = {}
+        self._open_hops: Dict[Tuple[str, int], HopRecord] = {}
+        self.drops: List[DropRecord] = []
+
+    # Source-side hook (called by the simulator, not the NF).
+    def on_emit(self, source: str, time_ns: int, packet: Packet, target: str) -> None:
+        if packet.pid in self.packets:
+            raise SimulationError(f"duplicate pid {packet.pid}")
+        self.packets[packet.pid] = PacketTrace(
+            pid=packet.pid, flow=packet.flow, source=source, emitted_ns=time_ns
+        )
+
+    def on_exit(self, last_nf: str, time_ns: int, packet: Packet) -> None:
+        self.packets[packet.pid].exited_ns = time_ns
+
+    # NFHook interface.
+    def on_enqueue(self, nf: str, time_ns: int, packet: Packet, accepted: bool) -> None:
+        trace = self.packets[packet.pid]
+        if not accepted:
+            trace.dropped_at = nf
+            trace.dropped_ns = time_ns
+            self.drops.append(DropRecord(time_ns=time_ns, pid=packet.pid, node=nf))
+            return
+        hop = HopRecord(nf=nf, enqueue_ns=time_ns)
+        trace.hops.append(hop)
+        self._open_hops[(nf, packet.pid)] = hop
+
+    def on_rx_batch(
+        self, nf: str, time_ns: int, batch: Sequence[Tuple[Packet, int]]
+    ) -> None:
+        for packet, _enq in batch:
+            hop = self._open_hops.get((nf, packet.pid))
+            if hop is not None:
+                hop.read_ns = time_ns
+
+    def on_tx_batch(
+        self, nf: str, next_node: str, time_ns: int, packets: Sequence[Packet]
+    ) -> None:
+        for packet in packets:
+            hop = self._open_hops.pop((nf, packet.pid), None)
+            if hop is not None:
+                hop.depart_ns = time_ns
+
+
+@dataclass
+class SimResult:
+    """Outcome of one simulation run."""
+
+    topology: Topology
+    trace: GroundTruthRecorder
+    duration_ns: int
+    events: int
+
+    @property
+    def drops(self) -> List[DropRecord]:
+        return self.trace.drops
+
+    def completed_packets(self) -> List[PacketTrace]:
+        return [p for p in self.trace.packets.values() if p.completed]
+
+    def nf_stats(self) -> Dict[str, object]:
+        return {name: nf.stats for name, nf in self.topology.nfs.items()}
+
+
+class Simulator:
+    """Runs traffic sources through a topology under optional fault injectors."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        sources: Sequence[TrafficSource],
+        injectors: Sequence[object] = (),
+        extra_hooks: Sequence[NFHook] = (),
+        end_ns: Optional[int] = None,
+    ) -> None:
+        topology.validate()
+        for source in sources:
+            if source.name not in topology.sources:
+                raise TopologyError(
+                    f"traffic source {source.name!r} not registered in topology"
+                )
+        self.topology = topology
+        self.sources = list(sources)
+        self.injectors = list(injectors)
+        self.extra_hooks = list(extra_hooks)
+        self.end_ns = end_ns
+        self.loop = EventLoop()
+        self.recorder = GroundTruthRecorder()
+
+    def run(self) -> SimResult:
+        """Execute the simulation to completion and return the result."""
+        hooks: List[NFHook] = [self.recorder, *self.extra_hooks]
+        for nf in self.topology.nfs.values():
+            nf.hooks = list(hooks)
+            nf.bind(self.loop, self._deliver)
+        for injector in self.injectors:
+            install = getattr(injector, "install", None)
+            if install is None:
+                raise SimulationError(f"injector {injector!r} has no install()")
+            try:
+                install(self.loop, self.topology.nfs)
+            except TypeError:
+                install(self.topology.nfs)  # BugSpec-style: no loop needed
+        for source in self.sources:
+            for time_ns, packet in source.schedule:
+                self.loop.schedule(
+                    time_ns,
+                    self._make_emit(source, packet),
+                )
+        self.loop.run(until_ns=self.end_ns)
+        return SimResult(
+            topology=self.topology,
+            trace=self.recorder,
+            duration_ns=self.loop.now,
+            events=self.loop.processed_events,
+        )
+
+    def _make_emit(self, source: TrafficSource, packet: Packet):
+        def emit() -> None:
+            now = self.loop.now
+            packet.created_ns = now
+            target = source.balancer(packet)
+            self.recorder.on_emit(source.name, now, packet, target)
+            for hook in self.extra_hooks:
+                on_emit = getattr(hook, "on_emit", None)
+                if on_emit is not None:
+                    on_emit(source.name, now, packet, target)
+            source.emitted += 1
+            self._deliver(source.name, target, packet, now)
+
+        return emit
+
+    def _deliver(self, src: str, dst: str, packet: Packet, now_ns: int) -> None:
+        if dst == "" or dst is None:
+            self.recorder.on_exit(src, now_ns, packet)
+            for hook in self.extra_hooks:
+                on_exit = getattr(hook, "on_exit", None)
+                if on_exit is not None:
+                    on_exit(src, now_ns, packet)
+            return
+        if not self.topology.has_edge(src, dst):
+            raise TopologyError(f"router at {src!r} picked undeclared edge to {dst!r}")
+        delay = self.topology.delay_ns(src, dst)
+        nf = self.topology.nfs[dst]
+        self.loop.schedule(
+            now_ns + delay, lambda: nf.enqueue(packet, self.loop.now)
+        )
+
+
+def calibrate_peak_rate(
+    nf_factory,
+    n_packets: int = 2048,
+    flow: Optional[FiveTuple] = None,
+) -> float:
+    """Measure an NF's peak processing rate by offline stress test.
+
+    Mirrors the paper's footnote 3: ``r_f`` is measured "by stress testing
+    the NF offline with the same hardware and software settings".  We build
+    a throwaway single-NF topology, saturate its queue, and divide packets
+    by busy time.
+    """
+    from repro.nfv.sources import constant_target
+
+    topo = Topology()
+    nf: NetworkFunction = nf_factory()
+    topo.add_nf(nf)
+    topo.add_source("stress-src")
+    topo.connect("stress-src", nf.name, delay_ns=0)
+    test_flow = flow or FiveTuple.of("10.0.0.1", "10.0.0.2", 1234, 80)
+    packets = [
+        (0, Packet(pid=i, flow=test_flow, ipid=i % 65_536)) for i in range(n_packets)
+    ]
+    source = TrafficSource("stress-src", packets, constant_target(nf.name))
+    result = Simulator(topo, [source]).run()
+    done = result.completed_packets()
+    if not done:
+        raise SimulationError("calibration run completed no packets")
+    first_read = min(p.hops[0].read_ns for p in done)
+    last_depart = max(p.hops[0].depart_ns for p in done)
+    if last_depart <= first_read:
+        raise SimulationError("calibration run too short to measure a rate")
+    return len(done) * 1e9 / (last_depart - first_read)

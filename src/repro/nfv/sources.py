@@ -1,0 +1,65 @@
+"""Traffic sources: replay a packet schedule into the NF graph.
+
+A source plays the MoonGen role from the paper: it emits packets at
+pre-computed timestamps.  Emission targets are picked per packet by a
+``balancer`` callable, modelling the flow-hash load balancing in front of
+the NAT tier (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.nfv.packet import Packet
+
+Balancer = Callable[[Packet], str]
+
+
+class TrafficSource:
+    """Emits a time-ordered packet schedule.
+
+    ``schedule`` is a sequence of ``(time_ns, packet)`` pairs; it must be
+    sorted by time.  The simulator registers one emission event per packet.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schedule: Sequence[Tuple[int, Packet]],
+        balancer: Balancer,
+    ) -> None:
+        if any(t1 > t2 for (t1, _), (t2, _) in zip(schedule, schedule[1:])):
+            raise ConfigurationError(f"source {name!r} schedule is not time-sorted")
+        self.name = name
+        self.schedule: List[Tuple[int, Packet]] = list(schedule)
+        self.balancer = balancer
+        self.emitted = 0
+
+    def __len__(self) -> int:
+        return len(self.schedule)
+
+    def end_ns(self) -> int:
+        """Timestamp of the last scheduled emission (0 when empty)."""
+        return self.schedule[-1][0] if self.schedule else 0
+
+
+def constant_target(target: str) -> Balancer:
+    """Balancer that sends every packet to one node."""
+    return lambda packet: target
+
+
+def flow_hash_balancer(targets: Sequence[str]) -> Balancer:
+    """Flow-level load balancing by hash of the five-tuple.
+
+    Mirrors the paper's "incoming traffic is load balanced at flow level
+    based on the hash of packet header fields".
+    """
+    if not targets:
+        raise ConfigurationError("flow_hash_balancer needs at least one target")
+    frozen = list(targets)
+
+    def balance(packet: Packet) -> str:
+        return frozen[hash(packet.flow) % len(frozen)]
+
+    return balance

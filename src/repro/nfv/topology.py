@@ -1,0 +1,152 @@
+"""DAG topology of traffic sources and NF instances.
+
+The topology owns the static structure Microscope needs for diagnosis: who
+feeds whom, and the propagation delay of each edge.  Routers inside NFs pick
+the concrete next hop dynamically (e.g. the firewall's match/no-match
+branch), but every hop they pick must be a declared edge — the simulator
+enforces this at delivery time, which catches mis-wired routers early.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.nfv.nf import NetworkFunction
+
+#: Default one-hop propagation delay (NIC + wire + switch), nanoseconds.
+DEFAULT_DELAY_NS = 500
+
+
+class Topology:
+    """Named DAG of sources and NFs with per-edge propagation delays."""
+
+    def __init__(self) -> None:
+        self.nfs: Dict[str, NetworkFunction] = {}
+        self.sources: Set[str] = set()
+        self._edges: Dict[Tuple[str, str], int] = {}
+        self._succ: Dict[str, Set[str]] = {}
+        self._pred: Dict[str, Set[str]] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_nf(self, nf: NetworkFunction) -> NetworkFunction:
+        if nf.name in self.nfs or nf.name in self.sources:
+            raise TopologyError(f"duplicate node name {nf.name!r}")
+        self.nfs[nf.name] = nf
+        return nf
+
+    def add_source(self, name: str) -> None:
+        if name in self.nfs or name in self.sources:
+            raise TopologyError(f"duplicate node name {name!r}")
+        self.sources.add(name)
+
+    def connect(self, src: str, dst: str, delay_ns: int = DEFAULT_DELAY_NS) -> None:
+        """Declare a directed edge from ``src`` to ``dst``."""
+        if src not in self.nfs and src not in self.sources:
+            raise TopologyError(f"unknown source node {src!r}")
+        if dst not in self.nfs:
+            raise TopologyError(f"unknown destination NF {dst!r}")
+        if delay_ns < 0:
+            raise TopologyError(f"negative delay on edge {src!r}->{dst!r}")
+        self._edges[(src, dst)] = delay_ns
+        self._succ.setdefault(src, set()).add(dst)
+        self._pred.setdefault(dst, set()).add(src)
+
+    # -- queries -------------------------------------------------------------
+
+    def has_edge(self, src: str, dst: str) -> bool:
+        return (src, dst) in self._edges
+
+    def delay_ns(self, src: str, dst: str) -> int:
+        try:
+            return self._edges[(src, dst)]
+        except KeyError:
+            raise TopologyError(f"no edge {src!r} -> {dst!r}") from None
+
+    def successors(self, node: str) -> Set[str]:
+        return set(self._succ.get(node, set()))
+
+    def predecessors(self, node: str) -> Set[str]:
+        return set(self._pred.get(node, set()))
+
+    def upstream_closure(self, node: str) -> Set[str]:
+        """All nodes (NFs and sources) that can reach ``node``."""
+        seen: Set[str] = set()
+        frontier = [node]
+        while frontier:
+            current = frontier.pop()
+            for pred in self._pred.get(current, set()):
+                if pred not in seen:
+                    seen.add(pred)
+                    frontier.append(pred)
+        return seen
+
+    def nodes(self) -> Iterable[str]:
+        yield from self.sources
+        yield from self.nfs
+
+    def topological_order(self) -> List[str]:
+        """Topologically sorted node names; raises on cycles."""
+        in_deg = {node: 0 for node in self.nodes()}
+        for (_src, dst) in self._edges:
+            in_deg[dst] += 1
+        ready = sorted(node for node, deg in in_deg.items() if deg == 0)
+        order: List[str] = []
+        while ready:
+            node = ready.pop(0)
+            order.append(node)
+            for succ in sorted(self._succ.get(node, set())):
+                in_deg[succ] -= 1
+                if in_deg[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(in_deg):
+            raise TopologyError("NF graph has a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check the graph is a DAG and every NF is reachable from a source."""
+        self.topological_order()
+        reachable: Set[str] = set()
+        frontier = list(self.sources)
+        while frontier:
+            current = frontier.pop()
+            for succ in self._succ.get(current, set()):
+                if succ not in reachable:
+                    reachable.add(succ)
+                    frontier.append(succ)
+        unreachable = set(self.nfs) - reachable
+        if unreachable:
+            raise TopologyError(
+                f"NFs unreachable from any source: {sorted(unreachable)}"
+            )
+
+    def nf_types(self) -> Dict[str, str]:
+        """Map of NF instance name to NF type (for NF-set aggregation)."""
+        return {name: nf.nf_type for name, nf in self.nfs.items()}
+
+    def peak_rates_pps(self) -> Dict[str, float]:
+        """Per-NF peak processing rate ``r_f`` derived from service models.
+
+        Works for service models exposing a ``base_ns`` (possibly nested
+        inside wrappers with an ``inner`` attribute); NFs with opaque models
+        must be calibrated via :func:`repro.nfv.simulator.calibrate_peak_rate`.
+        """
+        rates: Dict[str, float] = {}
+        for name, nf in self.nfs.items():
+            base = _find_base_ns(nf.service)
+            if base is not None:
+                rates[name] = 1e9 / base
+        return rates
+
+
+def _find_base_ns(service: object) -> Optional[int]:
+    seen = 0
+    current = service
+    while current is not None and seen < 8:
+        base = getattr(current, "base_ns", None)
+        if base is not None:
+            return int(base)
+        current = getattr(current, "inner", None)
+        seen += 1
+    return None

@@ -1,0 +1,37 @@
+"""Traffic generation: CAIDA-like traces, bursts, replay shaping."""
+
+from repro.traffic.allocators import IpidSpace, PidAllocator
+from repro.traffic.bursts import BurstSpec, burst_schedule, inject_bursts
+from repro.traffic.caida import CaidaLikeTraffic, FlowSpec, TrafficTrace
+from repro.traffic.tracefile import read_trace, write_trace
+from repro.traffic.replay import (
+    constant_rate_flow,
+    merge_schedules,
+    rescale_to_rate,
+)
+from repro.traffic.workloads import (
+    Workload,
+    caida_with_bursts,
+    random_burst_specs,
+    steady_caida,
+)
+
+__all__ = [
+    "BurstSpec",
+    "CaidaLikeTraffic",
+    "FlowSpec",
+    "IpidSpace",
+    "PidAllocator",
+    "TrafficTrace",
+    "Workload",
+    "burst_schedule",
+    "caida_with_bursts",
+    "constant_rate_flow",
+    "inject_bursts",
+    "merge_schedules",
+    "random_burst_specs",
+    "read_trace",
+    "rescale_to_rate",
+    "steady_caida",
+    "write_trace",
+]

@@ -1,0 +1,83 @@
+"""Replay utilities: rate rescaling, schedule merging, steady streams.
+
+Plays the MoonGen role: given packet schedules, shape them to target rates
+and merge multiple generators into a single source feed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nfv.packet import FiveTuple, Packet
+from repro.traffic.allocators import IpidSpace, PidAllocator
+from repro.traffic.caida import TrafficTrace
+
+Schedule = List[Tuple[int, Packet]]
+
+
+def rescale_to_rate(trace: TrafficTrace, target_pps: float) -> TrafficTrace:
+    """Uniformly stretch/compress timestamps to hit ``target_pps``.
+
+    Preserves packet order and relative burst structure, exactly like
+    replaying a pcap at a different rate.
+    """
+    if target_pps <= 0:
+        raise ConfigurationError(f"target rate must be positive: {target_pps}")
+    current = trace.rate_pps()
+    if current == 0:
+        return trace
+    factor = current / target_pps
+    schedule = [(int(t * factor), p) for t, p in trace.schedule]
+    return TrafficTrace(schedule=schedule, flows=trace.flows)
+
+
+def merge_schedules(*schedules: Sequence[Tuple[int, Packet]]) -> Schedule:
+    """Merge several time-sorted schedules into one."""
+    merged: Schedule = []
+    for schedule in schedules:
+        merged.extend(schedule)
+    merged.sort(key=lambda tp: tp[0])
+    return merged
+
+
+def constant_rate_flow(
+    flow: FiveTuple,
+    rate_pps: float,
+    duration_ns: int,
+    pids: PidAllocator,
+    ipids: IpidSpace,
+    start_ns: int = 0,
+    packet_size_bytes: int = 64,
+    jitter_rng: Optional[np.random.Generator] = None,
+) -> Schedule:
+    """A single flow at a fixed rate (e.g. "flow A" in paper Figures 2-3).
+
+    With ``jitter_rng`` the gaps become exponential around the mean (a
+    Poisson flow) instead of perfectly periodic.
+    """
+    if rate_pps <= 0:
+        raise ConfigurationError(f"rate must be positive: {rate_pps}")
+    gap = 1e9 / rate_pps
+    schedule: Schedule = []
+    t = float(start_ns)
+    end = start_ns + duration_ns
+    while t < end:
+        schedule.append(
+            (
+                int(t),
+                Packet(
+                    pid=pids.next(),
+                    flow=flow,
+                    ipid=ipids.next(flow.src_ip),
+                    size_bytes=packet_size_bytes,
+                ),
+            )
+        )
+        if jitter_rng is None:
+            t += gap
+        else:
+            t += float(jitter_rng.exponential(gap))
+    return schedule

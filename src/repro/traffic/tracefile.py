@@ -1,0 +1,103 @@
+"""Binary packet-trace files: bring-your-own traffic.
+
+The paper replays CAIDA pcaps through MoonGen.  Users of this library may
+have their own traces; this module defines a compact binary format for
+packet schedules so traces can be generated once (or converted from pcap
+by external tooling) and replayed deterministically:
+
+``MTRC`` magic, format version, then one fixed-width little-endian record
+per packet: timestamp (8B), src ip (4B), dst ip (4B), src port (2B),
+dst port (2B), proto (1B), ipid (2B), size (2B) — 25 bytes per packet.
+Pids are assigned on load, so the same file can be merged with generated
+traffic through the usual allocators.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.errors import TraceError
+from repro.nfv.packet import FiveTuple, Packet
+from repro.traffic.allocators import PidAllocator
+
+_MAGIC = b"MTRC"
+_VERSION = 1
+_RECORD = struct.Struct("<qIIHHBHH")  # 25 bytes
+
+
+def write_trace(
+    path: Union[str, Path],
+    schedule: Sequence[Tuple[int, Packet]],
+) -> int:
+    """Write a (time, packet) schedule; returns the number of records."""
+    path = Path(path)
+    with path.open("wb") as handle:
+        handle.write(_MAGIC)
+        handle.write(struct.pack("<HQ", _VERSION, len(schedule)))
+        previous = -1
+        for time_ns, packet in schedule:
+            if time_ns < previous:
+                raise TraceError("schedule must be time-sorted")
+            previous = time_ns
+            flow = packet.flow
+            handle.write(
+                _RECORD.pack(
+                    time_ns,
+                    flow.src_ip,
+                    flow.dst_ip,
+                    flow.src_port,
+                    flow.dst_port,
+                    flow.proto,
+                    packet.ipid,
+                    packet.size_bytes,
+                )
+            )
+    return len(schedule)
+
+
+def read_trace(
+    path: Union[str, Path],
+    pids: Optional[PidAllocator] = None,
+) -> List[Tuple[int, Packet]]:
+    """Load a schedule written by :func:`write_trace`."""
+    path = Path(path)
+    pids = pids or PidAllocator()
+    with path.open("rb") as handle:
+        magic = handle.read(4)
+        if magic != _MAGIC:
+            raise TraceError(f"not a trace file: bad magic {magic!r}")
+        header = handle.read(10)
+        if len(header) != 10:
+            raise TraceError("truncated trace header")
+        version, count = struct.unpack("<HQ", header)
+        if version != _VERSION:
+            raise TraceError(f"unsupported trace version {version}")
+        schedule: List[Tuple[int, Packet]] = []
+        for _ in range(count):
+            raw = handle.read(_RECORD.size)
+            if len(raw) != _RECORD.size:
+                raise TraceError("truncated trace record")
+            (
+                time_ns,
+                src_ip,
+                dst_ip,
+                src_port,
+                dst_port,
+                proto,
+                ipid,
+                size_bytes,
+            ) = _RECORD.unpack(raw)
+            schedule.append(
+                (
+                    time_ns,
+                    Packet(
+                        pid=pids.next(),
+                        flow=FiveTuple(src_ip, dst_ip, src_port, dst_port, proto),
+                        ipid=ipid,
+                        size_bytes=size_bytes,
+                    ),
+                )
+            )
+    return schedule

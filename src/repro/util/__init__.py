@@ -1,0 +1,50 @@
+"""Shared utilities: timebase, statistics, deterministic RNG."""
+
+from repro.util.rng import generator, substream
+from repro.util.stats import (
+    RollingStats,
+    Summary,
+    Welford,
+    argsort_desc,
+    cdf_points,
+    percentile,
+    rate_series,
+)
+from repro.util.timebase import (
+    MSEC,
+    SEC,
+    USEC,
+    cost_from_pps,
+    format_ns,
+    ms_from_ns,
+    ns_from_ms,
+    ns_from_s,
+    ns_from_us,
+    pps_from_cost,
+    s_from_ns,
+    us_from_ns,
+)
+
+__all__ = [
+    "MSEC",
+    "SEC",
+    "USEC",
+    "RollingStats",
+    "Summary",
+    "Welford",
+    "argsort_desc",
+    "cdf_points",
+    "cost_from_pps",
+    "format_ns",
+    "generator",
+    "ms_from_ns",
+    "ns_from_ms",
+    "ns_from_s",
+    "ns_from_us",
+    "percentile",
+    "pps_from_cost",
+    "rate_series",
+    "s_from_ns",
+    "substream",
+    "us_from_ns",
+]

@@ -1,0 +1,194 @@
+"""Small statistics helpers shared by the diagnosis engine and baselines.
+
+These are deliberately dependency-light; numpy is used only where it clearly
+pays off.  The streaming mean/std tracker implements Welford's algorithm so
+abnormality detection ("beyond one standard deviation of recent history",
+NetMedic-style) can run over long traces without keeping every sample.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, List, Sequence, Tuple
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Linear-interpolated percentile of ``values``.
+
+    ``pct`` is in [0, 100].  Raises ``ValueError`` on an empty sequence so a
+    missing-data bug cannot silently read as "zero latency".
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= pct <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {pct}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (pct / 100.0) * (len(ordered) - 1)
+    lo = int(math.floor(rank))
+    hi = int(math.ceil(rank))
+    if lo == hi:
+        return float(ordered[lo])
+    frac = rank - lo
+    value = float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+    # Interpolation can round an ULP outside the sample range; clamp it.
+    return min(max(value, float(ordered[0])), float(ordered[-1]))
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, cumulative fraction) points, sorted by value."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(float(v), (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of a sample, used by experiment reports."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p99: float
+    maximum: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        if not values:
+            raise ValueError("summary of empty sequence")
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        return cls(
+            count=len(values),
+            mean=mean,
+            std=math.sqrt(var),
+            minimum=float(min(values)),
+            p50=percentile(values, 50.0),
+            p99=percentile(values, 99.0),
+            maximum=float(max(values)),
+        )
+
+
+class RollingStats:
+    """Windowed mean/std over the last ``window`` samples.
+
+    Used for "abnormal if beyond one standard deviation of recent history"
+    tests (paper section 4.1).  A fixed-size deque keeps memory bounded; the
+    running sums keep updates O(1).
+    """
+
+    def __init__(self, window: int = 256) -> None:
+        if window < 2:
+            raise ValueError(f"window must be at least 2, got {window}")
+        self._window = window
+        self._samples: Deque[float] = deque()
+        self._sum = 0.0
+        self._sum_sq = 0.0
+
+    def __len__(self) -> int:
+        return len(self._samples)
+
+    def push(self, value: float) -> None:
+        """Add a sample, evicting the oldest once the window is full."""
+        self._samples.append(value)
+        self._sum += value
+        self._sum_sq += value * value
+        if len(self._samples) > self._window:
+            old = self._samples.popleft()
+            self._sum -= old
+            self._sum_sq -= old * old
+
+    @property
+    def mean(self) -> float:
+        if not self._samples:
+            raise ValueError("mean of empty history")
+        return self._sum / len(self._samples)
+
+    @property
+    def std(self) -> float:
+        if not self._samples:
+            raise ValueError("std of empty history")
+        n = len(self._samples)
+        var = max(0.0, self._sum_sq / n - (self._sum / n) ** 2)
+        return math.sqrt(var)
+
+    def is_abnormal(self, value: float, k: float = 1.0) -> bool:
+        """True when ``value`` exceeds mean + k * std of the recent history.
+
+        With fewer than two samples there is no meaningful history, so
+        nothing is flagged (matching how the paper warms up its detector).
+        """
+        if len(self._samples) < 2:
+            return False
+        return value > self.mean + k * self.std
+
+
+class Welford:
+    """Streaming mean/variance over an unbounded sample stream."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, value: float) -> None:
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("mean of empty stream")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        if self.count == 0:
+            raise ValueError("variance of empty stream")
+        if self.count == 1:
+            return 0.0
+        return self._m2 / self.count
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+
+def rate_series(
+    times_ns: Sequence[int], bin_ns: int, start_ns: int = 0, end_ns: int = 0
+) -> List[Tuple[int, float]]:
+    """Bin event timestamps into a rate series of (bin start, events/sec).
+
+    Handy for reproducing the paper's throughput/rate plots (Figures 2b, 3c).
+    ``end_ns`` defaults to the last event time.
+    """
+    if bin_ns <= 0:
+        raise ValueError(f"bin size must be positive, got {bin_ns}")
+    if not times_ns:
+        return []
+    last = end_ns if end_ns else max(times_ns)
+    n_bins = max(1, (last - start_ns + bin_ns - 1) // bin_ns)
+    counts = [0] * n_bins
+    for t in times_ns:
+        if t < start_ns or t > last:
+            continue
+        idx = min(n_bins - 1, (t - start_ns) // bin_ns)
+        counts[idx] += 1
+    scale = 1e9 / bin_ns
+    return [(start_ns + i * bin_ns, c * scale) for i, c in enumerate(counts)]
+
+
+def argsort_desc(scores: Iterable[float]) -> List[int]:
+    """Indices that sort ``scores`` descending (stable)."""
+    pairs = list(enumerate(scores))
+    pairs.sort(key=lambda kv: (-kv[1], kv[0]))
+    return [idx for idx, _ in pairs]

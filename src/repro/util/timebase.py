@@ -1,0 +1,81 @@
+"""Integer-nanosecond timebase used across the simulator and diagnosis code.
+
+All timestamps in this package are integers counting nanoseconds from the
+start of a simulation run.  Using integers keeps event ordering exact and
+makes property-based tests deterministic; floats appear only in derived
+quantities such as rates (packets per second).
+"""
+
+from __future__ import annotations
+
+#: One microsecond in nanoseconds.
+USEC = 1_000
+#: One millisecond in nanoseconds.
+MSEC = 1_000_000
+#: One second in nanoseconds.
+SEC = 1_000_000_000
+
+
+def ns_from_us(us: float) -> int:
+    """Convert microseconds to integer nanoseconds (rounded)."""
+    return int(round(us * USEC))
+
+
+def ns_from_ms(ms: float) -> int:
+    """Convert milliseconds to integer nanoseconds (rounded)."""
+    return int(round(ms * MSEC))
+
+
+def ns_from_s(s: float) -> int:
+    """Convert seconds to integer nanoseconds (rounded)."""
+    return int(round(s * SEC))
+
+
+def us_from_ns(ns: int) -> float:
+    """Convert nanoseconds to microseconds."""
+    return ns / USEC
+
+
+def ms_from_ns(ns: int) -> float:
+    """Convert nanoseconds to milliseconds."""
+    return ns / MSEC
+
+
+def s_from_ns(ns: int) -> float:
+    """Convert nanoseconds to seconds."""
+    return ns / SEC
+
+
+def pps_from_cost(cost_ns: int) -> float:
+    """Packets per second sustained by a fixed per-packet cost.
+
+    ``cost_ns`` is the time one packet takes to process; the inverse is the
+    peak rate an NF with that service cost can sustain.
+    """
+    if cost_ns <= 0:
+        raise ValueError(f"per-packet cost must be positive, got {cost_ns}")
+    return SEC / cost_ns
+
+
+def cost_from_pps(rate_pps: float) -> int:
+    """Per-packet cost in nanoseconds for a target rate in packets/second."""
+    if rate_pps <= 0:
+        raise ValueError(f"rate must be positive, got {rate_pps}")
+    return max(1, int(round(SEC / rate_pps)))
+
+
+def format_ns(ns: int) -> str:
+    """Render a nanosecond timestamp as a human-friendly string.
+
+    >>> format_ns(1_500)
+    '1.500us'
+    >>> format_ns(2_300_000)
+    '2.300ms'
+    """
+    if ns < USEC:
+        return f"{ns}ns"
+    if ns < MSEC:
+        return f"{ns / USEC:.3f}us"
+    if ns < SEC:
+        return f"{ns / MSEC:.3f}ms"
+    return f"{ns / SEC:.3f}s"

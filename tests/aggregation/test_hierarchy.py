@@ -1,0 +1,124 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.aggregation.hierarchy import (
+    LocationNode,
+    PortNode,
+    PrefixNode,
+    ProtoNode,
+    ancestors,
+)
+from repro.errors import AggregationError
+from repro.nfv.packet import ip_from_str
+
+
+class TestPrefixNode:
+    def test_leaf_contains_itself(self):
+        addr = ip_from_str("10.1.2.3")
+        leaf = PrefixNode.leaf(addr)
+        assert leaf.contains(addr)
+        assert not leaf.contains(addr + 1)
+
+    def test_parent_chain_to_root(self):
+        chain = ancestors(PrefixNode.leaf(ip_from_str("10.1.2.3")))
+        assert len(chain) == 33
+        assert chain[0].length == 32
+        assert chain[-1].length == 0
+
+    def test_parent_masks_host_bits(self):
+        node = PrefixNode(ip_from_str("10.1.2.3"), 32)
+        parent = node.parent()
+        assert parent.length == 31
+        assert parent.contains(ip_from_str("10.1.2.2"))
+
+    def test_contains_node(self):
+        slash8 = PrefixNode(ip_from_str("10.0.0.0"), 8)
+        slash24 = PrefixNode(ip_from_str("10.1.2.0"), 24)
+        assert slash8.contains_node(slash24)
+        assert not slash24.contains_node(slash8)
+
+    def test_rejects_host_bits(self):
+        with pytest.raises(AggregationError):
+            PrefixNode(ip_from_str("10.0.0.1"), 8)
+
+    def test_rejects_bad_length(self):
+        with pytest.raises(AggregationError):
+            PrefixNode(0, 33)
+
+    def test_str(self):
+        assert str(PrefixNode(ip_from_str("10.0.0.0"), 8)) == "10.0.0.0/8"
+        assert str(PrefixNode(0, 0)) == "*"
+
+    @given(st.integers(0, 0xFFFFFFFF))
+    def test_property_every_ancestor_contains_leaf(self, addr):
+        for node in ancestors(PrefixNode.leaf(addr)):
+            assert node.contains(addr)
+
+
+class TestPortNode:
+    def test_leaf_chain_well_known(self):
+        chain = ancestors(PortNode.leaf(80))
+        assert [str(n) for n in chain] == ["80", "0-1023", "*"]
+
+    def test_leaf_chain_ephemeral(self):
+        chain = ancestors(PortNode.leaf(5_000))
+        assert [str(n) for n in chain] == ["5000", "1024-65535", "*"]
+
+    def test_contains(self):
+        band = PortNode(1024, 65535)
+        assert band.contains(5_000)
+        assert not band.contains(80)
+
+    def test_contains_node(self):
+        assert PortNode.any().contains_node(PortNode.leaf(80))
+        assert not PortNode.leaf(80).contains_node(PortNode.any())
+
+    def test_depths(self):
+        assert PortNode.leaf(80).depth == 2
+        assert PortNode(0, 1023).depth == 1
+        assert PortNode.any().depth == 0
+
+    def test_rejects_bad_range(self):
+        with pytest.raises(AggregationError):
+            PortNode(10, 5)
+
+    @given(st.integers(0, 65_535))
+    def test_property_chain_contains_port(self, port):
+        for node in ancestors(PortNode.leaf(port)):
+            assert node.contains(port)
+
+
+class TestProtoNode:
+    def test_chain(self):
+        chain = ancestors(ProtoNode.leaf(6))
+        assert [str(n) for n in chain] == ["6", "*"]
+
+    def test_contains(self):
+        assert ProtoNode.any().contains(17)
+        assert ProtoNode.leaf(6).contains(6)
+        assert not ProtoNode.leaf(6).contains(17)
+
+
+class TestLocationNode:
+    def test_chain(self):
+        chain = ancestors(LocationNode.leaf("fw2", "firewall"))
+        assert [str(n) for n in chain] == ["fw2", "firewall:*", "*"]
+
+    def test_type_contains_instances(self):
+        fw_type = LocationNode(kind="type", type_name="firewall")
+        assert fw_type.contains_node(LocationNode.leaf("fw1", "firewall"))
+        assert not fw_type.contains_node(LocationNode.leaf("nat1", "nat"))
+
+    def test_any_contains_all(self):
+        assert LocationNode.any().contains_node(LocationNode.leaf("x", "y"))
+
+    def test_depths(self):
+        assert LocationNode.leaf("fw1", "firewall").depth == 2
+        assert LocationNode(kind="type", type_name="firewall").depth == 1
+        assert LocationNode.any().depth == 0
+
+
+class TestAncestorsCache:
+    def test_same_object_returned(self):
+        node = PortNode.leaf(1234)
+        assert ancestors(node) is ancestors(PortNode.leaf(1234))

@@ -1,0 +1,120 @@
+import pytest
+
+from repro.aggregation.patterns import PatternAggregator
+from repro.core.report import CausalRelation
+from repro.errors import AggregationError
+from repro.nfv.packet import FiveTuple
+from repro.util.rng import generator
+
+NF_TYPES = {"fw2": "firewall", "nat1": "nat", "vpn3": "vpn"}
+
+
+def relation(culprit, c_loc, victim, v_loc, score, kind="local"):
+    return CausalRelation(
+        culprit_flow=culprit,
+        culprit_location=c_loc,
+        victim_flow=victim,
+        victim_location=v_loc,
+        score=score,
+        gap_ns=1_000,
+        culprit_kind=kind,
+    )
+
+
+def bug_scenario_relations(noise=300):
+    """The section 6.4 shape: 9 bug port-pairs at fw2 plus diffuse noise."""
+    relations = []
+    for sp in range(2_000, 2_009):
+        for i in range(12):
+            culprit = FiveTuple.of("100.0.0.1", "32.0.0.1", sp, sp + 4_000)
+            victim = FiveTuple.of("100.0.0.1", f"1.0.{i}.1", 30_000 + i, 443)
+            relations.append(relation(culprit, "fw2", victim, "fw2", 10.0))
+    rng = generator(4)
+    for _ in range(noise):
+        culprit = FiveTuple.of(
+            f"11.{int(rng.integers(256))}.0.1", "23.0.0.1",
+            int(rng.integers(1_024, 60_000)), 80,
+        )
+        victim = FiveTuple.of(
+            f"36.{int(rng.integers(256))}.0.1", "52.0.0.1",
+            int(rng.integers(1_024, 60_000)), 443,
+        )
+        relations.append(relation(culprit, "nat1", victim, "vpn3", 0.2, kind="source"))
+    return relations
+
+
+class TestAggregate:
+    def test_validation(self):
+        with pytest.raises(AggregationError):
+            PatternAggregator(NF_TYPES, threshold_fraction=0.0)
+
+    def test_empty(self):
+        result = PatternAggregator(NF_TYPES).aggregate([])
+        assert result.patterns == []
+
+    def test_massive_compression(self):
+        relations = bug_scenario_relations()
+        result = PatternAggregator(NF_TYPES, threshold_fraction=0.01).aggregate(
+            relations
+        )
+        assert len(result.patterns) < len(relations) / 5
+        assert result.n_relations == len(relations)
+
+    def test_bug_flows_surface_as_culprits(self):
+        relations = bug_scenario_relations()
+        result = PatternAggregator(NF_TYPES, threshold_fraction=0.01).aggregate(
+            relations
+        )
+        bug_patterns = [
+            p
+            for p in result.patterns
+            if str(p.culprit_location) == "fw2"
+            and p.culprit.matches(FiveTuple.of("100.0.0.1", "32.0.0.1", 2_004, 6_004))
+        ]
+        assert bug_patterns
+        # Paper: port pairs stay separate under static port ranges.
+        top = result.patterns[0]
+        assert str(top.culprit.src) == "100.0.0.1/32"
+
+    def test_scores_descending(self):
+        result = PatternAggregator(NF_TYPES).aggregate(bug_scenario_relations())
+        scores = [p.score for p in result.patterns]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_higher_threshold_fewer_patterns(self):
+        relations = bug_scenario_relations()
+        low = PatternAggregator(NF_TYPES, threshold_fraction=0.005).aggregate(relations)
+        high = PatternAggregator(NF_TYPES, threshold_fraction=0.05).aggregate(relations)
+        assert len(high.patterns) <= len(low.patterns)
+
+    def test_pattern_rendering(self):
+        result = PatternAggregator(NF_TYPES).aggregate(bug_scenario_relations())
+        text = str(result.patterns[0])
+        assert "=>" in text
+        assert "fw2" in text
+
+    def test_none_culprit_flow_supported(self):
+        victim = FiveTuple.of("1.1.1.1", "2.2.2.2", 1, 443)
+        relations = [relation(None, "fw2", victim, "fw2", 10.0) for _ in range(10)]
+        result = PatternAggregator(NF_TYPES).aggregate(relations)
+        assert result.patterns
+        assert str(result.patterns[0].culprit.src) == "*"
+
+
+class TestSinglePassComparison:
+    def test_two_phase_is_faster_and_finds_bug(self):
+        relations = bug_scenario_relations(noise=100)
+        aggregator = PatternAggregator(NF_TYPES, threshold_fraction=0.02)
+        two_phase = aggregator.aggregate(relations)
+        single = aggregator.aggregate_single_pass(relations)
+        assert two_phase.runtime_s < single.runtime_s
+
+        def has_bug_culprit(patterns):
+            probe = FiveTuple.of("100.0.0.1", "32.0.0.1", 2_004, 6_004)
+            return any(
+                p.culprit.matches(probe) and str(p.culprit_location) == "fw2"
+                for p in patterns
+            )
+
+        assert has_bug_culprit(two_phase.patterns)
+        assert has_bug_culprit(single.patterns)

@@ -1,0 +1,38 @@
+from repro.baselines.correlation import SameWindowCorrelation
+from repro.core.victims import VictimSelector
+from repro.util.timebase import MSEC, USEC
+
+
+class TestSameWindowCorrelation:
+    def test_ranked_output(self, interrupt_chain_trace):
+        baseline = SameWindowCorrelation(interrupt_chain_trace, window_ns=1 * MSEC)
+        victims = VictimSelector(interrupt_chain_trace).hop_latency_victims(
+            pct=99.0, nf="vpn1"
+        )
+        ranking = baseline.diagnose(victims[0])
+        assert len(ranking) == 4  # every component scored
+        scores = [s for _, s in ranking]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_rank_of(self, interrupt_chain_trace):
+        baseline = SameWindowCorrelation(interrupt_chain_trace, window_ns=1 * MSEC)
+        victims = VictimSelector(interrupt_chain_trace).hop_latency_victims(
+            pct=99.0, nf="vpn1"
+        )
+        assert baseline.rank_of(victims[0], "nat1") is not None
+        assert baseline.rank_of(victims[0], "ghost") is None
+
+    def test_misses_delayed_impact(self, interrupt_chain_trace):
+        # Victims arriving nearly a millisecond after the interrupt: the
+        # naive baseline cannot reach back to the culprit window.
+        baseline = SameWindowCorrelation(interrupt_chain_trace, window_ns=300 * USEC)
+        victims = [
+            v
+            for v in VictimSelector(interrupt_chain_trace).hop_latency_victims(
+                pct=99.0, nf="vpn1"
+            )
+            if 2_000 * USEC <= v.arrival_ns <= 2_600 * USEC
+        ]
+        if victims:
+            ranks = [baseline.rank_of(v, "nat1") or 99 for v in victims]
+            assert sum(1 for r in ranks if r == 1) <= len(ranks) * 0.5

@@ -1,0 +1,97 @@
+"""White-box tests of the NetMedic adaptation's building blocks."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.netmedic import NetMedic, NetMedicConfig
+from repro.core.records import DiagTrace, NFView, PacketView
+from repro.nfv.packet import FiveTuple
+from repro.util.timebase import MSEC
+
+FLOW = FiveTuple.of("1.0.0.1", "2.0.0.1", 10, 80)
+
+
+def synthetic_trace(n_windows=20, window=MSEC, spike_window=10):
+    """Two NFs; the upstream has an input-rate spike in one window."""
+    nfs = {
+        "up": NFView(name="up", peak_rate_pps=1e6),
+        "down": NFView(name="down", peak_rate_pps=1e6),
+    }
+    packets = {}
+    pid = 0
+    for w in range(n_windows):
+        count = 40 if w != spike_window else 400
+        base = w * window
+        for i in range(count):
+            t = base + i * (window // (count + 1))
+            nfs["up"].arrivals.append((t, pid))
+            nfs["up"].reads.append((t + 1_000, pid))
+            nfs["up"].departs.append((t + 2_000, pid))
+            nfs["down"].arrivals.append((t + 3_000, pid))
+            nfs["down"].reads.append((t + 4_000, pid))
+            nfs["down"].departs.append((t + 5_000, pid))
+            packets[pid] = PacketView(
+                pid=pid, flow=FLOW, source="src", emitted_ns=t
+            )
+            pid += 1
+    return DiagTrace(
+        packets=packets,
+        nfs=nfs,
+        upstreams={"up": {"src"}, "down": {"up"}},
+        sources={"src"},
+    )
+
+
+class TestStates:
+    def test_state_matrix_shape(self):
+        netmedic = NetMedic(synthetic_trace(), NetMedicConfig(window_ns=MSEC))
+        assert netmedic._n_windows >= 20
+        assert netmedic._states["up"].shape[1] == 4
+        assert "src" in netmedic._states
+
+    def test_window_counts(self):
+        netmedic = NetMedic(synthetic_trace(), NetMedicConfig(window_ns=MSEC))
+        # Spike window has 10x the arrivals.
+        in_rates = netmedic._states["up"][:, 0]
+        assert in_rates[10] > 5 * np.median(in_rates[:9])
+
+
+class TestAbnormality:
+    def test_spike_window_is_abnormal(self):
+        netmedic = NetMedic(synthetic_trace(), NetMedicConfig(window_ns=MSEC))
+        spike = netmedic._abnormality("up", 10)
+        calm = netmedic._abnormality("up", 5)
+        assert spike > calm
+        assert spike > 0.5
+
+    def test_floor_applies(self):
+        netmedic = NetMedic(synthetic_trace(), NetMedicConfig(window_ns=MSEC))
+        assert netmedic._abnormality("down", 3) >= netmedic.config.abnormality_floor
+
+
+class TestSimilarity:
+    def test_self_similarity_is_one(self):
+        netmedic = NetMedic(synthetic_trace(), NetMedicConfig(window_ns=MSEC))
+        assert netmedic._similarity("up", 4, 4) == pytest.approx(1.0)
+
+    def test_calm_windows_more_similar_than_spike(self):
+        netmedic = NetMedic(synthetic_trace(), NetMedicConfig(window_ns=MSEC))
+        calm_pair = netmedic._similarity("up", 3, 7)
+        spike_pair = netmedic._similarity("up", 3, 10)
+        assert calm_pair > spike_pair
+
+
+class TestEdgeWeightCache:
+    def test_cache_populated_per_window(self, interrupt_chain_trace):
+        netmedic = NetMedic(
+            interrupt_chain_trace, NetMedicConfig(window_ns=MSEC)
+        )
+        from repro.core.victims import Victim
+
+        victim = Victim(pid=0, nf="vpn1", kind="latency", arrival_ns=1_500_000,
+                        metric=1.0)
+        netmedic.diagnose(victim)
+        assert 1 in netmedic._edge_cache
+        before = id(netmedic._edge_cache[1])
+        netmedic.diagnose(victim)
+        assert id(netmedic._edge_cache[1]) == before  # reused, not rebuilt

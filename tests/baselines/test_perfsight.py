@@ -1,0 +1,40 @@
+from repro.baselines.perfsight import PerfSight
+from repro.core.records import DiagTrace
+from repro.core.victims import VictimSelector
+from repro.nfv import Simulator, TrafficSource, Topology, Vpn, constant_target
+from repro.nfv.packet import FiveTuple, Packet
+
+
+def overloaded_trace():
+    """An NF persistently offered more than its peak rate."""
+    topo = Topology()
+    topo.add_nf(Vpn("v", router=lambda p: None, cost_ns=5_000, queue_capacity=64))
+    topo.add_source("src")
+    topo.connect("src", "v")
+    flow = FiveTuple.of("1.1.1.1", "2.2.2.2", 1, 2)
+    schedule = [(i * 2_500, Packet(pid=i, flow=flow, ipid=i % 65_536)) for i in range(2_000)]
+    result = Simulator(topo, [TrafficSource("src", schedule, constant_target("v"))]).run()
+    return DiagTrace.from_sim_result(result)
+
+
+class TestPerfSight:
+    def test_detects_persistent_bottleneck(self):
+        trace = overloaded_trace()
+        reports = PerfSight(trace).bottlenecks()
+        assert reports
+        assert reports[0].nf == "v"
+        assert reports[0].drop_rate > 0.1
+
+    def test_transient_problem_invisible(self, interrupt_chain_trace):
+        # The interrupt run has no persistent bottleneck: PerfSight reports
+        # nothing even though Microscope finds thousands of victims.
+        bottlenecks = PerfSight(interrupt_chain_trace).bottlenecks(min_severity=0.01)
+        assert bottlenecks == []
+        victims = VictimSelector(interrupt_chain_trace).hop_latency_victims(pct=99.0)
+        assert victims  # the contrast the paper draws in section 8
+
+    def test_reports_ranked_by_severity(self):
+        trace = overloaded_trace()
+        reports = PerfSight(trace).reports()
+        severities = [r.severity for r in reports]
+        assert severities == sorted(severities, reverse=True)

@@ -1,0 +1,115 @@
+"""Clock-skew alignment tests (section 7 multi-server deployments)."""
+
+import pytest
+
+from repro.collector.clock import (
+    ClockAlignment,
+    ClockSkew,
+    align_records,
+    apply_clock_skew,
+    estimate_offsets,
+)
+from repro.collector.reconstruct import EdgeSpec, TraceReconstructor
+from repro.collector.runtime import RuntimeCollector
+from repro.nfv import (
+    FiveTuple,
+    Nat,
+    Packet,
+    Simulator,
+    Topology,
+    TrafficSource,
+    Vpn,
+    constant_target,
+)
+from repro.traffic import IpidSpace, PidAllocator
+from repro.traffic.caida import CaidaLikeTraffic
+from repro.util.rng import generator
+from repro.util.timebase import MSEC, USEC
+
+FLOW = FiveTuple.of("10.1.0.1", "20.1.0.1", 1111, 80)
+
+
+def collect_chain(seed=5, duration=10 * MSEC):
+    """src -> nat1 (server A) -> vpn1 (server B): two clock domains."""
+    topo = Topology()
+    topo.add_nf(Nat("nat1", router=lambda p: "vpn1"))
+    topo.add_nf(Vpn("vpn1", router=lambda p: None))
+    topo.add_source("src")
+    topo.connect("src", "nat1")
+    topo.connect("nat1", "vpn1")
+    pids = PidAllocator()
+    ipids = IpidSpace(generator(seed))
+    trace = CaidaLikeTraffic(rate_pps=300_000, duration_ns=duration, seed=seed).generate(
+        pids, ipids
+    )
+    collector = RuntimeCollector()
+    src = TrafficSource("src", trace.schedule, constant_target("nat1"))
+    result = Simulator(topo, [src], extra_hooks=[collector]).run()
+    return result, collector
+
+
+EDGES = [EdgeSpec("src", "nat1", 500), EdgeSpec("nat1", "vpn1", 500)]
+
+
+class TestClockSkew:
+    def test_roundtrip(self):
+        clock = ClockSkew(offset_ns=12_345)
+        assert clock.to_true(clock.to_local(999)) == 999
+
+    def test_apply_skews_only_named_nodes(self):
+        _result, collector = collect_chain()
+        skewed = apply_clock_skew(collector.data, {"vpn1": ClockSkew(50_000)})
+        original_first = collector.data.nfs["vpn1"].rx[0].time_ns
+        assert skewed.nfs["vpn1"].rx[0].time_ns == original_first + 50_000
+        assert (
+            skewed.nfs["nat1"].rx[0].time_ns
+            == collector.data.nfs["nat1"].rx[0].time_ns
+        )
+
+    def test_apply_preserves_identity_fields(self):
+        _result, collector = collect_chain()
+        skewed = apply_clock_skew(collector.data, {"vpn1": ClockSkew(50_000)})
+        assert skewed.nfs["vpn1"].rx[0].ipids == collector.data.nfs["vpn1"].rx[0].ipids
+        assert len(skewed.exits) == len(collector.data.exits)
+
+
+class TestOffsetEstimation:
+    @pytest.mark.parametrize("offset_ns", [25_000, -40_000, 0])
+    def test_recovers_pairwise_offset(self, offset_ns):
+        _result, collector = collect_chain()
+        skewed = apply_clock_skew(collector.data, {"vpn1": ClockSkew(offset_ns)})
+        alignment = estimate_offsets(skewed, EDGES, reference="src")
+        assert alignment.offsets_ns["src"] == 0
+        # nat1 shares the reference clock; vpn1 is off by ~offset.
+        assert abs(alignment.offsets_ns["nat1"]) <= 5 * USEC
+        assert alignment.offsets_ns["vpn1"] == pytest.approx(offset_ns, abs=5 * USEC)
+
+    def test_multi_domain_chain(self):
+        _result, collector = collect_chain()
+        skewed = apply_clock_skew(
+            collector.data,
+            {"nat1": ClockSkew(-30_000), "vpn1": ClockSkew(80_000)},
+        )
+        alignment = estimate_offsets(skewed, EDGES, reference="src")
+        assert alignment.offsets_ns["nat1"] == pytest.approx(-30_000, abs=5 * USEC)
+        assert alignment.offsets_ns["vpn1"] == pytest.approx(80_000, abs=5 * USEC)
+
+
+class TestAlignedReconstruction:
+    def test_reconstruction_fails_without_alignment(self):
+        """A big skew breaks the timing side channel entirely."""
+        _result, collector = collect_chain()
+        skewed = apply_clock_skew(collector.data, {"vpn1": ClockSkew(-80 * MSEC)})
+        reconstructor = TraceReconstructor(skewed, EDGES)
+        reconstructor.reconstruct()
+        assert reconstructor.stats.chains_broken > 0
+
+    def test_alignment_restores_reconstruction(self):
+        result, collector = collect_chain()
+        skewed = apply_clock_skew(collector.data, {"vpn1": ClockSkew(-80 * MSEC)})
+        alignment = estimate_offsets(skewed, EDGES, reference="src")
+        aligned = align_records(skewed, alignment)
+        reconstructor = TraceReconstructor(aligned, EDGES)
+        packets = reconstructor.reconstruct()
+        assert reconstructor.stats.chains_broken == 0
+        assert len(packets) == len(result.completed_packets())

@@ -1,0 +1,97 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.collector.compression import (
+    bytes_per_packet,
+    decode_batches,
+    decode_exit_records,
+    decode_nf_records,
+    encode_batches,
+    encode_exit_records,
+    encode_nf_records,
+)
+from repro.collector.runtime import BatchRecord, ExitRecord, NFRecords
+from repro.errors import TraceError
+from repro.nfv.packet import FiveTuple
+
+
+def batch(t, ipids):
+    return BatchRecord(time_ns=t, ipids=tuple(ipids))
+
+
+class TestBatchCodec:
+    def test_roundtrip_simple(self):
+        batches = [batch(100, [1, 2, 3]), batch(250, [65_535]), batch(250, [])]
+        assert decode_batches(encode_batches(batches)) == batches
+
+    def test_empty(self):
+        assert decode_batches(encode_batches([])) == []
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(TraceError):
+            encode_batches([batch(100, [1]), batch(50, [2])])
+
+    def test_truncated_rejected(self):
+        buf = encode_batches([batch(100, [1, 2, 3])])
+        with pytest.raises(TraceError):
+            decode_batches(buf[:-1])
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 1_000_000),
+                st.lists(st.integers(0, 65_535), max_size=32),
+            ),
+            max_size=50,
+        )
+    )
+    def test_property_roundtrip(self, raw):
+        raw.sort(key=lambda x: x[0])
+        batches = [batch(t, ipids) for t, ipids in raw]
+        assert decode_batches(encode_batches(batches)) == batches
+
+
+class TestNFRecordsCodec:
+    def test_roundtrip(self):
+        records = NFRecords(
+            rx=[batch(10, [1, 2])],
+            tx={"vpn1": [batch(20, [1])], "mon1": [batch(25, [2])]},
+        )
+        decoded = decode_nf_records(encode_nf_records(records))
+        assert decoded.rx == records.rx
+        assert decoded.tx == records.tx
+
+    def test_unknown_stream_rejected(self):
+        with pytest.raises(TraceError):
+            decode_nf_records({"bogus": b""})
+
+
+class TestExitCodec:
+    def test_roundtrip(self):
+        exits = [
+            ExitRecord(
+                time_ns=100,
+                ipid=7,
+                flow=FiveTuple.of("1.2.3.4", "5.6.7.8", 123, 456),
+                last_nf="vpn1",
+            ),
+            ExitRecord(
+                time_ns=200,
+                ipid=65_535,
+                flow=FiveTuple.of("9.9.9.9", "8.8.8.8", 1, 2, 17),
+                last_nf="vpn2",
+            ),
+        ]
+        assert decode_exit_records(encode_exit_records(exits)) == exits
+
+
+class TestFootprint:
+    def test_interior_nf_close_to_two_bytes_per_record(self):
+        # Full 32-packet batches: 64 B of IPIDs + a few bytes of header.
+        batches = [batch(i * 10_000, range(32)) for i in range(100)]
+        records = NFRecords(rx=batches, tx={"next": batches})
+        footprint = bytes_per_packet(records)
+        assert 2.0 <= footprint <= 2.5
+
+    def test_empty_records(self):
+        assert bytes_per_packet(NFRecords()) == 0.0

@@ -1,0 +1,39 @@
+import pytest
+
+from repro.collector.overhead import (
+    apply_collection_cost,
+    measure_overhead,
+    measure_overhead_by_type,
+)
+from repro.nfv.nfs import Monitor, Nat, Vpn
+
+
+class TestApplyCost:
+    def test_sets_fields(self):
+        nf = Vpn("v", router=lambda p: None)
+        apply_collection_cost(nf, per_batch_ns=40, per_packet_ns=4)
+        assert nf.per_batch_overhead_ns == 40
+        assert nf.per_packet_overhead_ns == 4
+
+
+class TestMeasureOverhead:
+    def test_degradation_positive_and_small(self):
+        report = measure_overhead(lambda: Vpn("v", router=lambda p: None))
+        assert 0.0 < report.degradation < 0.05
+        assert report.collected_pps < report.baseline_pps
+
+    def test_paper_range_across_types(self):
+        factories = {
+            "nat": lambda: Nat("n", router=lambda p: None),
+            "monitor": lambda: Monitor("m", router=lambda p: None),
+            "vpn": lambda: Vpn("v", router=lambda p: None),
+        }
+        reports = measure_overhead_by_type(factories)
+        degradations = [r.degradation for r in reports.values()]
+        # Paper reports 0.88% - 2.33% worst-case degradation.
+        assert all(0.005 <= d <= 0.035 for d in degradations)
+
+    def test_faster_nf_pays_relatively_more(self):
+        slow = measure_overhead(lambda: Vpn("v", router=lambda p: None, cost_ns=2_000))
+        fast = measure_overhead(lambda: Vpn("v", router=lambda p: None, cost_ns=400))
+        assert fast.degradation > slow.degradation

@@ -1,0 +1,78 @@
+import pytest
+
+from repro.collector.persistence import load_collected, save_collected
+from repro.collector.reconstruct import EdgeSpec, TraceReconstructor
+from repro.collector.runtime import RuntimeCollector
+from repro.errors import TraceError
+from repro.nfv import Simulator, TrafficSource, constant_target
+from repro.traffic import IpidSpace, PidAllocator
+from repro.traffic.caida import CaidaLikeTraffic
+from repro.util.rng import generator
+from repro.util.timebase import MSEC
+from tests.conftest import make_chain_topology
+
+
+@pytest.fixture(scope="module")
+def collected():
+    topo = make_chain_topology()
+    pids = PidAllocator()
+    ipids = IpidSpace(generator(13))
+    trace = CaidaLikeTraffic(rate_pps=200_000, duration_ns=10 * MSEC, seed=13).generate(
+        pids, ipids
+    )
+    collector = RuntimeCollector()
+    src = TrafficSource("src-main", trace.schedule, constant_target("nat1"))
+    result = Simulator(topo, [src], extra_hooks=[collector]).run()
+    return result, collector.data
+
+
+class TestRoundTrip:
+    def test_manifest_written(self, tmp_path, collected):
+        _result, data = collected
+        manifest = save_collected(data, tmp_path / "run1")
+        assert manifest.exists()
+
+    def test_streams_identical(self, tmp_path, collected):
+        _result, data = collected
+        save_collected(data, tmp_path / "run1")
+        loaded = load_collected(tmp_path / "run1")
+        assert set(loaded.nfs) == set(data.nfs)
+        for name in data.nfs:
+            assert loaded.nfs[name].rx == data.nfs[name].rx
+            assert loaded.nfs[name].tx == data.nfs[name].tx
+        assert loaded.exits == data.exits
+        assert loaded.sources.keys() == data.sources.keys()
+        assert loaded.sources["src-main"] == data.sources["src-main"]
+        assert loaded.max_batch == data.max_batch
+
+    def test_reconstruction_from_loaded(self, tmp_path, collected):
+        result, data = collected
+        save_collected(data, tmp_path / "run1")
+        loaded = load_collected(tmp_path / "run1")
+        edges = [
+            EdgeSpec("src-main", "nat1", 500),
+            EdgeSpec("src-probe", "vpn1", 500),
+            EdgeSpec("nat1", "vpn1", 500),
+        ]
+        reconstructor = TraceReconstructor(loaded, edges)
+        packets = reconstructor.reconstruct()
+        assert len(packets) == len(result.completed_packets())
+        assert reconstructor.stats.chains_broken == 0
+
+
+class TestErrors:
+    def test_missing_manifest(self, tmp_path):
+        with pytest.raises(TraceError):
+            load_collected(tmp_path)
+
+    def test_bad_version(self, tmp_path, collected):
+        _result, data = collected
+        save_collected(data, tmp_path / "run1")
+        manifest = tmp_path / "run1" / "manifest.json"
+        import json
+
+        raw = json.loads(manifest.read_text())
+        raw["format_version"] = 99
+        manifest.write_text(json.dumps(raw))
+        with pytest.raises(TraceError):
+            load_collected(tmp_path / "run1")

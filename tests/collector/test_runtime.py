@@ -1,0 +1,61 @@
+from repro.collector.runtime import RuntimeCollector
+from repro.nfv import Simulator, TrafficSource, constant_target
+from repro.nfv.packet import FiveTuple, Packet
+from tests.conftest import make_chain_topology
+
+
+def run_with_collector(n=200, gap=2_000):
+    topo = make_chain_topology()
+    flow = FiveTuple.of("10.1.0.1", "20.1.0.1", 1111, 80)
+    schedule = [
+        (i * gap, Packet(pid=i, flow=flow, ipid=i % 65_536)) for i in range(n)
+    ]
+    src = TrafficSource("src-main", schedule, constant_target("nat1"))
+    collector = RuntimeCollector()
+    result = Simulator(topo, [src], extra_hooks=[collector]).run()
+    return result, collector
+
+
+class TestRecordStreams:
+    def test_rx_counts_match_ground_truth(self):
+        result, collector = run_with_collector()
+        rx_total = sum(b.size for b in collector.data.nfs["nat1"].rx)
+        assert rx_total == 200
+
+    def test_tx_streams_keyed_by_next_hop(self):
+        _result, collector = run_with_collector()
+        nat = collector.data.nfs["nat1"]
+        assert set(nat.tx) == {"vpn1"}
+        vpn = collector.data.nfs["vpn1"]
+        assert set(vpn.tx) == {""}
+
+    def test_exit_records_have_flows(self):
+        _result, collector = run_with_collector()
+        assert len(collector.data.exits) == 200
+        assert all(e.last_nf == "vpn1" for e in collector.data.exits)
+        assert all(e.flow.dst_port == 80 for e in collector.data.exits)
+
+    def test_source_records(self):
+        _result, collector = run_with_collector()
+        records = collector.data.sources["src-main"]
+        assert len(records) == 200
+        assert all(r.target == "nat1" for r in records)
+
+    def test_batch_timestamps_sorted(self):
+        _result, collector = run_with_collector(gap=200)
+        for records in collector.data.nfs.values():
+            times = [b.time_ns for b in records.rx]
+            assert times == sorted(times)
+
+    def test_record_counts(self):
+        _result, collector = run_with_collector()
+        counts = collector.record_counts()
+        assert counts["nat1"] == 400  # 200 rx + 200 tx
+        assert counts["vpn1"] == 400
+
+
+class TestBatchSizes:
+    def test_batches_bounded_by_max(self):
+        _result, collector = run_with_collector(n=500, gap=100)
+        for records in collector.data.nfs.values():
+            assert all(1 <= b.size <= 32 for b in records.rx)

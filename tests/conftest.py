@@ -1,0 +1,73 @@
+"""Shared fixtures: small topologies, workloads and traces."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import DiagTrace
+from repro.nfv import (
+    FiveTuple,
+    InterruptInjector,
+    InterruptSpec,
+    Nat,
+    Simulator,
+    Topology,
+    TrafficSource,
+    Vpn,
+    constant_target,
+)
+from repro.traffic import IpidSpace, PidAllocator, constant_rate_flow
+from repro.util import MSEC, USEC, substream
+
+
+def make_chain_topology() -> Topology:
+    """src-main -> nat1 -> vpn1 <- src-probe (exit after vpn1)."""
+    topo = Topology()
+    topo.add_nf(Nat("nat1", router=lambda p: "vpn1"))
+    topo.add_nf(Vpn("vpn1", router=lambda p: None))
+    topo.add_source("src-main")
+    topo.add_source("src-probe")
+    topo.connect("src-main", "nat1")
+    topo.connect("nat1", "vpn1")
+    topo.connect("src-probe", "vpn1")
+    return topo
+
+
+MAIN_FLOW = FiveTuple.of("10.1.0.1", "20.1.0.1", 1111, 80)
+PROBE_FLOW = FiveTuple.of("50.0.0.1", "60.0.0.1", 5555, 443)
+
+
+def run_interrupt_chain(
+    seed: int = 0,
+    main_rate: float = 1_000_000.0,
+    probe_rate: float = 200_000.0,
+    duration_ns: int = 5 * MSEC,
+    interrupt_at: int = 500 * USEC,
+    interrupt_ns: int = 800 * USEC,
+):
+    """The quickstart scenario: NAT interrupt propagating to the VPN."""
+    topo = make_chain_topology()
+    pids = PidAllocator()
+    ipids = IpidSpace(substream(seed, "conftest"))
+    main = constant_rate_flow(MAIN_FLOW, main_rate, duration_ns, pids, ipids)
+    probe = constant_rate_flow(PROBE_FLOW, probe_rate, duration_ns, pids, ipids)
+    return Simulator(
+        topo,
+        [
+            TrafficSource("src-main", main, constant_target("nat1")),
+            TrafficSource("src-probe", probe, constant_target("vpn1")),
+        ],
+        injectors=[
+            InterruptInjector([InterruptSpec("nat1", interrupt_at, interrupt_ns)])
+        ],
+    ).run()
+
+
+@pytest.fixture(scope="session")
+def interrupt_chain_result():
+    return run_interrupt_chain()
+
+
+@pytest.fixture(scope="session")
+def interrupt_chain_trace(interrupt_chain_result) -> DiagTrace:
+    return DiagTrace.from_sim_result(interrupt_chain_result)

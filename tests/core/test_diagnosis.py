@@ -1,0 +1,178 @@
+"""Engine tests on controlled scenarios with known ground truth."""
+
+import pytest
+
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.records import DiagTrace
+from repro.core.report import ranked_entities
+from repro.core.victims import Victim, VictimSelector
+from repro.errors import DiagnosisError
+from repro.nfv import (
+    FiveTuple,
+    InterruptInjector,
+    InterruptSpec,
+    Monitor,
+    Nat,
+    Simulator,
+    Topology,
+    TrafficSource,
+    Vpn,
+    constant_target,
+)
+from repro.traffic import IpidSpace, PidAllocator, constant_rate_flow
+from repro.util.rng import substream
+from repro.util.timebase import MSEC, USEC
+from tests.conftest import MAIN_FLOW, PROBE_FLOW, run_interrupt_chain
+
+
+def vpn_victims_in(trace, lo_ns, hi_ns, flow=None):
+    selector = VictimSelector(trace)
+    victims = selector.hop_latency_victims(pct=99.0, nf="vpn1")
+    chosen = [v for v in victims if lo_ns <= v.arrival_ns <= hi_ns]
+    if flow is not None:
+        chosen = [v for v in chosen if trace.packets[v.pid].flow == flow]
+    return chosen
+
+
+class TestInterruptDiagnosis:
+    def test_upstream_interrupt_ranked_first(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        engine = MicroscopeEngine(trace)
+        victims = vpn_victims_in(trace, 1_300 * USEC, 2_500 * USEC, PROBE_FLOW)
+        assert victims
+        diagnosis = engine.diagnose(victims[0])
+        ranking = ranked_entities(diagnosis, trace)
+        assert ranking[0][0] == ("nf", "nat1")
+
+    def test_scores_sum_to_queue_length(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        engine = MicroscopeEngine(trace)
+        victims = vpn_victims_in(trace, 1_300 * USEC, 2_500 * USEC)
+        diagnosis = engine.diagnose(victims[0])
+        assert diagnosis.period is not None
+        assert diagnosis.total_score == pytest.approx(
+            diagnosis.period.queue_len, rel=0.02
+        )
+
+    def test_culprit_depth_reflects_recursion(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        engine = MicroscopeEngine(trace)
+        victims = vpn_victims_in(trace, 1_300 * USEC, 2_500 * USEC, PROBE_FLOW)
+        diagnosis = engine.diagnose(victims[0])
+        nat_culprits = [c for c in diagnosis.culprits if c.location == "nat1"]
+        assert nat_culprits
+        assert all(c.depth >= 1 for c in nat_culprits)
+        assert all(c.kind == "local" for c in nat_culprits)
+
+
+class TestBurstDiagnosis:
+    def _burst_trace(self):
+        """Steady traffic + burst flow into a single VPN."""
+        topo = Topology()
+        topo.add_nf(Vpn("vpn1", router=lambda p: None, cost_ns=640))
+        topo.add_source("src")
+        topo.connect("src", "vpn1")
+        pids = PidAllocator()
+        ipids = IpidSpace(substream(5, "t"))
+        steady = constant_rate_flow(MAIN_FLOW, 1_000_000, 5 * MSEC, pids, ipids)
+        burst_flow = FiveTuple.of("100.0.0.1", "32.0.0.1", 2_000, 6_000)
+        from repro.traffic.replay import merge_schedules
+
+        burst = [
+            (2 * MSEC + i * 80, _pkt(pids, ipids, burst_flow))
+            for i in range(800)
+        ]
+        schedule = merge_schedules(steady, burst)
+        src = TrafficSource("src", schedule, constant_target("vpn1"))
+        result = Simulator(topo, [src]).run()
+        return DiagTrace.from_sim_result(result), burst_flow
+
+    def test_burst_flow_ranked_first(self):
+        trace, burst_flow = self._burst_trace()
+        engine = MicroscopeEngine(trace)
+        victims = vpn_victims_in(trace, 2 * MSEC, 4 * MSEC, MAIN_FLOW)
+        assert victims
+        diagnosis = engine.diagnose(victims[0])
+        ranking = ranked_entities(diagnosis, trace)
+        assert ranking[0][0] == ("flow", burst_flow)
+
+
+def _pkt(pids, ipids, flow):
+    from repro.nfv.packet import Packet
+
+    return Packet(pid=pids.next(), flow=flow, ipid=ipids.next(flow.src_ip))
+
+
+class TestNoQueueVictims:
+    def test_empty_queue_blames_local_nf(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        engine = MicroscopeEngine(trace)
+        # A calm packet well before the interrupt: queue empty on arrival.
+        calm = next(
+            p
+            for p in trace.packets.values()
+            if p.hops and p.hops[-1].nf == "vpn1" and p.hops[-1].arrival_ns < 300 * USEC
+            and p.hops[-1].queue_wait_ns == 0
+        )
+        victim = Victim(
+            pid=calm.pid,
+            nf="vpn1",
+            kind="latency",
+            arrival_ns=calm.hops[-1].arrival_ns,
+            metric=1.0,
+        )
+        diagnosis = engine.diagnose(victim)
+        assert diagnosis.period is None or diagnosis.period.queue_len == 0
+        assert len(diagnosis.culprits) == 1
+        assert diagnosis.culprits[0].kind == "local"
+        assert diagnosis.culprits[0].location == "vpn1"
+
+
+class TestDropVictimDiagnosis:
+    def test_drop_diagnosed_via_period_at(self):
+        topo = Topology()
+        topo.add_nf(Vpn("vpn1", router=lambda p: None, cost_ns=2_000, queue_capacity=64))
+        topo.add_source("src")
+        topo.connect("src", "vpn1")
+        pids = PidAllocator()
+        ipids = IpidSpace(substream(9, "d"))
+        burst_flow = FiveTuple.of("100.0.0.1", "32.0.0.1", 2_000, 6_000)
+        schedule = [
+            (1_000 + i * 100, _pkt(pids, ipids, burst_flow)) for i in range(300)
+        ]
+        src = TrafficSource("src", schedule, constant_target("vpn1"))
+        result = Simulator(topo, [src]).run()
+        trace = DiagTrace.from_sim_result(result)
+        engine = MicroscopeEngine(trace)
+        victims = VictimSelector(trace).drop_victims()
+        assert victims
+        diagnosis = engine.diagnose(victims[-1])
+        assert diagnosis.period is not None
+        assert diagnosis.total_score > 0
+
+
+class TestEngineConfig:
+    def test_max_depth_validation(self, interrupt_chain_trace):
+        with pytest.raises(DiagnosisError):
+            MicroscopeEngine(interrupt_chain_trace, max_depth=0)
+
+    def test_unknown_nf_rejected(self, interrupt_chain_trace):
+        engine = MicroscopeEngine(interrupt_chain_trace)
+        victim = Victim(pid=0, nf="ghost", kind="latency", arrival_ns=0, metric=0)
+        with pytest.raises(DiagnosisError):
+            engine.diagnose(victim)
+
+    def test_diagnose_all(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        engine = MicroscopeEngine(trace)
+        victims = vpn_victims_in(trace, 0, 5 * MSEC)[:5]
+        results = engine.diagnose_all(victims)
+        assert len(results) == len(victims)
+
+    def test_recursion_depth_bounded(self, interrupt_chain_trace):
+        engine = MicroscopeEngine(interrupt_chain_trace, max_depth=2)
+        victims = vpn_victims_in(interrupt_chain_trace, 1_300 * USEC, 2_500 * USEC)
+        for victim in victims[:10]:
+            diagnosis = engine.diagnose(victim)
+            assert diagnosis.recursion_depth <= 2
+            assert all(c.depth <= 2 for c in diagnosis.culprits)

@@ -1,0 +1,53 @@
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.explain import explain, explain_many
+from repro.core.victims import Victim, VictimSelector
+from repro.util.timebase import USEC
+from tests.conftest import PROBE_FLOW
+
+
+def diagnose_worst(trace):
+    victims = [
+        v
+        for v in VictimSelector(trace).hop_latency_victims(pct=99.0, nf="vpn1")
+        if 1_300 * USEC <= v.arrival_ns <= 2_500 * USEC
+    ]
+    engine = MicroscopeEngine(trace)
+    return engine.diagnose_all(victims[:5])
+
+
+class TestExplain:
+    def test_narrative_includes_evidence(self, interrupt_chain_trace):
+        diagnosis = diagnose_worst(interrupt_chain_trace)[0]
+        text = explain(diagnosis, interrupt_chain_trace)
+        assert "Queuing period" in text
+        assert "Si=" in text and "Sp=" in text
+        assert "Culprits" in text
+        assert "Verdict:" in text
+        assert "nat1" in text  # the true culprit appears
+
+    def test_narrative_for_empty_queue_victim(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        calm = next(
+            p
+            for p in trace.packets.values()
+            if p.hops and p.hops[-1].nf == "vpn1"
+            and p.hops[-1].arrival_ns < 300 * USEC
+            and p.hops[-1].queue_wait_ns == 0
+        )
+        victim = Victim(
+            pid=calm.pid, nf="vpn1", kind="latency",
+            arrival_ns=calm.hops[-1].arrival_ns, metric=1.0,
+        )
+        engine = MicroscopeEngine(trace)
+        text = explain(engine.diagnose(victim), trace)
+        assert "in-NF misbehaviour" in text
+
+    def test_explain_many_orders_by_score(self, interrupt_chain_trace):
+        diagnoses = diagnose_worst(interrupt_chain_trace)
+        text = explain_many(diagnoses, interrupt_chain_trace, limit=2)
+        assert text.count("Victim packet") == 2
+
+    def test_flow_summary_in_source_culprits(self, interrupt_chain_trace):
+        diagnoses = diagnose_worst(interrupt_chain_trace)
+        text = explain_many(diagnoses, interrupt_chain_trace, limit=5)
+        assert "flows:" in text

@@ -1,0 +1,87 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.local import local_scores
+from repro.core.queuing import QueuingPeriod
+from repro.errors import DiagnosisError
+
+
+def period(n_input, n_processed, length_us=1_000, nf="nf"):
+    return QueuingPeriod(
+        nf=nf,
+        start_ns=0,
+        end_ns=length_us * 1_000,
+        first_arrival_idx=0,
+        last_arrival_idx=n_input,
+        n_input=n_input,
+        n_processed=n_processed,
+    )
+
+
+class TestEquations:
+    def test_high_input_case(self):
+        # Peak 1 Mpps over 1 ms => expected 1000 packets; 1500 arrived,
+        # 1000 processed: Si = 500 extra inputs, Sp = 0.
+        scores = local_scores(period(1_500, 1_000), peak_rate_pps=1e6)
+        assert scores.si == pytest.approx(500)
+        assert scores.sp == pytest.approx(0)
+
+    def test_slow_processing_case(self):
+        # Input below peak but the NF processed far less than expected.
+        scores = local_scores(period(900, 300), peak_rate_pps=1e6)
+        assert scores.si == pytest.approx(0)
+        assert scores.sp == pytest.approx(600)
+
+    def test_mixed_case(self):
+        # 1200 in (200 above peak), 800 processed (200 below expectation).
+        scores = local_scores(period(1_200, 800), peak_rate_pps=1e6)
+        assert scores.si == pytest.approx(200)
+        assert scores.sp == pytest.approx(200)
+
+    def test_faster_than_peak_noise_clamped(self):
+        # NF measured slightly above nominal peak across a batch boundary:
+        # Sp clamps to 0, Si absorbs the rest, the sum invariant holds.
+        scores = local_scores(period(1_100, 1_050), peak_rate_pps=1e6)
+        assert scores.sp == pytest.approx(0)
+        assert scores.si == pytest.approx(50)
+
+    def test_paper_sum_invariant(self):
+        scores = local_scores(period(1_234, 777), peak_rate_pps=1e6)
+        assert scores.si + scores.sp == pytest.approx(1_234 - 777)
+
+    def test_input_fraction(self):
+        scores = local_scores(period(1_500, 1_000), peak_rate_pps=1e6)
+        assert scores.input_fraction == pytest.approx(1.0)
+
+    def test_zero_total(self):
+        scores = local_scores(period(100, 100), peak_rate_pps=1e6)
+        assert scores.total == 0
+        assert scores.input_fraction == 0.0
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(DiagnosisError):
+            local_scores(period(1, 0), peak_rate_pps=0)
+
+
+class TestPropertyInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        n_input=st.integers(0, 10_000),
+        backlog=st.integers(0, 2_000),
+        length_us=st.integers(1, 100_000),
+        peak=st.floats(1e4, 1e7),
+    )
+    def test_sum_equals_queue_len_and_nonnegative(
+        self, n_input, backlog, length_us, peak
+    ):
+        n_processed = max(0, n_input - backlog)
+        scores = local_scores(period(n_input, n_processed, length_us), peak)
+        assert scores.si >= 0
+        assert scores.sp >= 0
+        assert scores.si + scores.sp == pytest.approx(n_input - n_processed)
+        # Eq (1): Si never exceeds the input surplus over the expectation
+        # (modulo the clamp at queue length).
+        expected = peak * length_us * 1_000 / 1e9
+        assert scores.si <= max(0.0, n_input - expected) + 1e-9 or scores.si <= (
+            n_input - n_processed
+        )

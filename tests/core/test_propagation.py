@@ -1,0 +1,202 @@
+"""Timespan attribution tests, including the paper's Figure 6 example."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.propagation import attribute_reductions, propagation_scores
+from repro.core.records import DiagTrace, NFView, PacketHop, PacketView
+from repro.errors import DiagnosisError
+from repro.nfv.packet import FiveTuple
+
+FLOW = FiveTuple.of("1.0.0.1", "2.0.0.1", 10, 80)
+FLOW2 = FiveTuple.of("3.0.0.3", "2.0.0.1", 30, 80)
+
+
+class TestAttributeReductions:
+    def test_monotone_reductions(self):
+        # Texp=100, source=80, A=50, C=20: everyone reduced.
+        contribs = attribute_reductions([100, 80, 50, 20])
+        assert contribs == [20, 30, 30]
+
+    def test_figure6_expansion_rule(self):
+        # [Texp, Tsource, Ta, Tb, Tc] with B *increasing* the timespan:
+        # B gets zero and A's credit shrinks to (Tsource - Tb).
+        texp, ts, ta, tb, tc = 100.0, 90.0, 40.0, 60.0, 30.0
+        contribs = attribute_reductions([texp, ts, ta, tb, tc])
+        source, a, b, c = contribs
+        assert source == pytest.approx(texp - ts)
+        assert a == pytest.approx(ts - tb)  # A absorbs B's expansion
+        assert b == 0.0
+        assert c == pytest.approx(tb - tc)
+
+    def test_expansion_larger_than_previous_reduction(self):
+        # The expansion exceeds A's own reduction; the deficit keeps
+        # carrying to the source.
+        contribs = attribute_reductions([100, 90, 80, 95, 40])
+        source, a, b, c = contribs
+        assert a == 0.0
+        assert b == 0.0
+        assert source == pytest.approx(100 - 95)
+        assert c == pytest.approx(95 - 40)
+
+    def test_all_expansion_gives_zero(self):
+        contribs = attribute_reductions([10, 20, 30])
+        assert contribs == [0.0, 0.0]
+
+    def test_too_short_sequence(self):
+        with pytest.raises(DiagnosisError):
+            attribute_reductions([1.0])
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=10))
+    def test_property_nonnegative_and_bounded(self, spans):
+        contribs = attribute_reductions(spans)
+        assert all(c >= 0 for c in contribs)
+        total_reduction = spans[0] - spans[-1]
+        # When every expansion is absorbed, the sum equals the end-to-end
+        # reduction; it never undershoots it when that reduction is
+        # positive.
+        assert sum(contribs) >= max(0.0, total_reduction) - 1e-6
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.floats(0, 1e6), min_size=2, max_size=10))
+    def test_property_monotone_case_exact(self, spans):
+        spans = sorted(spans, reverse=True)
+        contribs = attribute_reductions(spans)
+        assert sum(contribs) == pytest.approx(spans[0] - spans[-1], abs=1e-6)
+
+
+def build_trace(packets):
+    """Minimal DiagTrace with NF views derived from packet hops."""
+    nfs = {}
+    for packet in packets.values():
+        for hop in packet.hops:
+            view = nfs.setdefault(
+                hop.nf, NFView(name=hop.nf, peak_rate_pps=1e6)
+            )
+            view.arrivals.append((hop.arrival_ns, packet.pid))
+            view.reads.append((hop.read_ns, packet.pid))
+            view.departs.append((hop.depart_ns, packet.pid))
+    return DiagTrace(
+        packets=packets,
+        nfs=nfs,
+        upstreams={},
+        sources={"src"},
+    )
+
+
+def chain_packet(pid, emit, a_depart, flow=FLOW, victim_nf="f"):
+    """Packet: src -> A -> f, with controllable emit/depart times."""
+    return PacketView(
+        pid=pid,
+        flow=flow,
+        source="src",
+        emitted_ns=emit,
+        hops=[
+            PacketHop(nf="A", arrival_ns=emit + 10, read_ns=emit + 20, depart_ns=a_depart),
+            PacketHop(nf=victim_nf, arrival_ns=a_depart + 10, read_ns=a_depart + 50,
+                      depart_ns=a_depart + 100),
+        ],
+    )
+
+
+class TestPropagationScores:
+    def test_upstream_squeeze_blamed_on_nf(self):
+        # Packets emitted over 100 us but A releases them within 2 us:
+        # A squeezed the timespan, so A gets (almost) all of Si.
+        packets = {
+            i: chain_packet(pid=i, emit=i * 10_000, a_depart=1_000_000 + i * 200)
+            for i in range(10)
+        }
+        trace = build_trace(packets)
+        shares, attributions = propagation_scores(
+            trace, "f", list(packets), si=100.0, texp_ns=120_000.0
+        )
+        assert shares
+        top = shares[0]
+        assert top.name == "A" and not top.is_source
+        assert top.score > 70.0  # source keeps (Texp - Tsource)
+        assert len(attributions) == 1
+
+    def test_source_burst_blamed_on_source(self):
+        # Packets emitted back-to-back (2 us total) and A preserves gaps:
+        # the source created the burst.
+        packets = {
+            i: chain_packet(pid=i, emit=i * 200, a_depart=100_000 + i * 200)
+            for i in range(10)
+        }
+        trace = build_trace(packets)
+        shares, _ = propagation_scores(
+            trace, "f", list(packets), si=100.0, texp_ns=120_000.0
+        )
+        top = shares[0]
+        assert top.is_source and top.name == "src"
+        assert top.score > 70.0  # source keeps (Texp - Tsource)
+
+    def test_scores_sum_to_si(self):
+        packets = {
+            i: chain_packet(pid=i, emit=i * 5_000, a_depart=500_000 + i * 500)
+            for i in range(10)
+        }
+        trace = build_trace(packets)
+        shares, _ = propagation_scores(
+            trace, "f", list(packets), si=50.0, texp_ns=100_000.0
+        )
+        assert sum(s.score for s in shares) <= 50.0 + 1e-9
+        assert sum(s.score for s in shares) == pytest.approx(50.0, rel=0.01)
+
+    def test_dag_paths_split_by_packet_share(self):
+        # Two paths: 8 packets via A (squeezed), 2 direct from src (bursty).
+        via_a = {
+            i: chain_packet(pid=i, emit=i * 10_000, a_depart=1_000_000 + i * 100)
+            for i in range(8)
+        }
+        direct = {}
+        for i in range(8, 10):
+            direct[i] = PacketView(
+                pid=i,
+                flow=FLOW2,
+                source="src",
+                emitted_ns=1_000_000 + i * 100,
+                hops=[
+                    PacketHop(nf="f", arrival_ns=1_000_100 + i * 100,
+                              read_ns=1_000_200 + i * 100, depart_ns=1_000_300 + i * 100)
+                ],
+            )
+        packets = {**via_a, **direct}
+        trace = build_trace(packets)
+        shares, attributions = propagation_scores(
+            trace, "f", list(packets), si=100.0, texp_ns=120_000.0
+        )
+        assert len(attributions) == 2
+        by_name = {(s.name, s.is_source): s.score for s in shares}
+        # Path share 80, A's fraction of it ~(69.3k/119.3k): around 46.
+        assert by_name[("A", False)] == pytest.approx(46.5, abs=2.0)
+        # The source accumulates credit from both paths (its own burstiness
+        # plus the direct path being pure burst).
+        assert by_name[("src", True)] == pytest.approx(53.5, abs=2.0)
+        assert sum(by_name.values()) <= 100.0 + 1e-9
+
+    def test_zero_si_returns_nothing(self):
+        packets = {0: chain_packet(0, 0, 1_000)}
+        trace = build_trace(packets)
+        shares, attributions = propagation_scores(trace, "f", [0], 0.0, 1_000.0)
+        assert shares == [] and attributions == []
+
+    def test_negative_si_rejected(self):
+        packets = {0: chain_packet(0, 0, 1_000)}
+        trace = build_trace(packets)
+        with pytest.raises(DiagnosisError):
+            propagation_scores(trace, "f", [0], -1.0, 1_000.0)
+
+    def test_culprit_pids_cover_subsets(self):
+        packets = {
+            i: chain_packet(pid=i, emit=i * 10_000, a_depart=1_000_000 + i * 100)
+            for i in range(5)
+        }
+        trace = build_trace(packets)
+        shares, _ = propagation_scores(
+            trace, "f", list(packets), si=10.0, texp_ns=50_000.0
+        )
+        for share in shares:
+            assert set(share.subset_pids) <= set(packets)

@@ -1,0 +1,79 @@
+import pytest
+
+from repro.core.records import DiagTrace, PacketHop
+from repro.errors import TraceError
+from tests.conftest import MAIN_FLOW, PROBE_FLOW
+
+
+class TestFromSimResult:
+    def test_packets_and_streams(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        assert len(trace.packets) > 0
+        assert set(trace.nfs) == {"nat1", "vpn1"}
+        assert trace.sources == {"src-main", "src-probe"}
+        assert trace.upstreams["vpn1"] == {"nat1", "src-probe"}
+
+    def test_streams_sorted(self, interrupt_chain_trace):
+        for view in interrupt_chain_trace.nfs.values():
+            for stream in (view.arrivals, view.reads, view.departs):
+                times = [t for t, _ in stream]
+                assert times == sorted(times)
+
+    def test_peak_rates_derived(self, interrupt_chain_trace):
+        assert interrupt_chain_trace.nfs["vpn1"].peak_rate_pps == pytest.approx(
+            1e9 / 640
+        )
+
+    def test_hop_ordering_per_packet(self, interrupt_chain_trace):
+        for packet in interrupt_chain_trace.packets.values():
+            for hop in packet.hops:
+                assert hop.arrival_ns <= hop.read_ns <= hop.depart_ns
+
+    def test_paths(self, interrupt_chain_trace):
+        main = [
+            p for p in interrupt_chain_trace.packets.values() if p.flow == MAIN_FLOW
+        ]
+        probe = [
+            p for p in interrupt_chain_trace.packets.values() if p.flow == PROBE_FLOW
+        ]
+        assert all(tuple(h.nf for h in p.hops) == ("nat1", "vpn1") for p in main)
+        assert all(tuple(h.nf for h in p.hops) == ("vpn1",) for p in probe)
+
+
+class TestPacketView:
+    def test_hops_before(self, interrupt_chain_trace):
+        packet = next(
+            p for p in interrupt_chain_trace.packets.values() if p.flow == MAIN_FLOW
+        )
+        before = packet.hops_before("vpn1")
+        assert [h.nf for h in before] == ["nat1"]
+        assert packet.hops_before("nat1") == []
+
+    def test_hop_at_missing(self, interrupt_chain_trace):
+        packet = next(iter(interrupt_chain_trace.packets.values()))
+        assert packet.hop_at("ghost") is None
+
+    def test_end_to_end(self, interrupt_chain_trace):
+        packet = next(
+            p for p in interrupt_chain_trace.packets.values() if p.exited_ns >= 0
+        )
+        assert packet.end_to_end_ns > 0
+
+
+class TestNFView:
+    def test_arrival_index(self, interrupt_chain_trace):
+        view = interrupt_chain_trace.nfs["vpn1"]
+        t, pid = view.arrivals[10]
+        assert view.arrival_index(pid, t) == 10
+
+    def test_arrival_index_missing(self, interrupt_chain_trace):
+        view = interrupt_chain_trace.nfs["vpn1"]
+        with pytest.raises(TraceError):
+            view.arrival_index(999_999_999, 0)
+
+
+class TestPacketHop:
+    def test_derived_metrics(self):
+        hop = PacketHop(nf="x", arrival_ns=100, read_ns=150, depart_ns=300)
+        assert hop.queue_wait_ns == 50
+        assert hop.latency_ns == 200

@@ -1,0 +1,152 @@
+import pytest
+
+from repro.core.diagnosis import Culprit, MicroscopeEngine, VictimDiagnosis
+from repro.core.records import DiagTrace, NFView, PacketView
+from repro.core.report import (
+    causal_relations,
+    format_ranking,
+    rank_of_entity,
+    ranked_entities,
+)
+from repro.core.victims import Victim, VictimSelector
+from repro.errors import DiagnosisError
+from repro.nfv.packet import FiveTuple
+
+FLOW_X = FiveTuple.of("1.0.0.1", "2.0.0.1", 10, 80)
+FLOW_Y = FiveTuple.of("3.0.0.3", "4.0.0.4", 30, 443)
+
+
+def make_trace():
+    packets = {
+        0: PacketView(pid=0, flow=FLOW_X, source="src", emitted_ns=0),
+        1: PacketView(pid=1, flow=FLOW_X, source="src", emitted_ns=10),
+        2: PacketView(pid=2, flow=FLOW_Y, source="src", emitted_ns=20),
+    }
+    return DiagTrace(
+        packets=packets,
+        nfs={"f": NFView(name="f", peak_rate_pps=1e6)},
+        upstreams={},
+        sources={"src"},
+    )
+
+
+def make_diagnosis(culprits):
+    victim = Victim(pid=0, nf="f", kind="latency", arrival_ns=1_000, metric=5.0)
+    return VictimDiagnosis(victim=victim, culprits=culprits)
+
+
+def culprit(kind, location, score, pids=(), time_ns=500):
+    return Culprit(
+        kind=kind,
+        location=location,
+        score=score,
+        culprit_pids=tuple(pids),
+        victim_pid=0,
+        victim_nf="f",
+        depth=0,
+        culprit_time_ns=time_ns,
+    )
+
+
+class TestRankedEntities:
+    def test_local_ranks_as_nf(self):
+        diagnosis = make_diagnosis([culprit("local", "f", 10.0)])
+        ranking = ranked_entities(diagnosis, make_trace())
+        assert ranking == [(("nf", "f"), 10.0)]
+
+    def test_source_splits_by_flow(self):
+        diagnosis = make_diagnosis([culprit("source", "src", 9.0, pids=(0, 1, 2))])
+        ranking = ranked_entities(diagnosis, make_trace())
+        scores = dict(ranking)
+        assert scores[("flow", FLOW_X)] == pytest.approx(6.0)
+        assert scores[("flow", FLOW_Y)] == pytest.approx(3.0)
+
+    def test_source_without_flow_detail(self):
+        diagnosis = make_diagnosis([culprit("source", "src", 9.0, pids=(0, 1))])
+        ranking = ranked_entities(diagnosis, make_trace(), flow_detail=False)
+        assert ranking == [(("source", "src"), 9.0)]
+
+    def test_merging_same_entity(self):
+        diagnosis = make_diagnosis(
+            [culprit("local", "f", 5.0), culprit("local", "f", 3.0)]
+        )
+        ranking = ranked_entities(diagnosis, make_trace())
+        assert ranking == [(("nf", "f"), 8.0)]
+
+    def test_descending(self):
+        diagnosis = make_diagnosis(
+            [culprit("local", "a", 1.0), culprit("local", "b", 7.0)]
+        )
+        ranking = ranked_entities(diagnosis, make_trace())
+        assert [e for e, _ in ranking] == [("nf", "b"), ("nf", "a")]
+
+    def test_bad_kind_rejected_at_construction(self):
+        with pytest.raises(DiagnosisError):
+            culprit("weird", "x", 1.0)
+
+
+class TestRankOfEntity:
+    def test_found(self):
+        ranking = [(("nf", "a"), 5.0), (("nf", "b"), 3.0)]
+        assert rank_of_entity(ranking, lambda e: e == ("nf", "b")) == 2
+
+    def test_missing(self):
+        assert rank_of_entity([], lambda e: True) is None
+
+
+class TestCausalRelations:
+    def test_flow_split_and_gap(self):
+        trace = make_trace()
+        diagnosis = make_diagnosis(
+            [culprit("source", "src", 9.0, pids=(0, 1, 2), time_ns=400)]
+        )
+        relations = causal_relations([diagnosis], trace)
+        assert len(relations) == 2  # one per culprit flow
+        total = sum(r.score for r in relations)
+        assert total == pytest.approx(9.0)
+        assert all(r.gap_ns == 600 for r in relations)
+        assert all(r.victim_location == "f" for r in relations)
+
+    def test_unknown_pids_fall_back_to_location(self):
+        trace = make_trace()
+        diagnosis = make_diagnosis([culprit("local", "f", 2.0, pids=(999,))])
+        relations = causal_relations([diagnosis], trace)
+        assert len(relations) == 1
+        assert relations[0].culprit_flow is None
+
+    def test_max_culprit_flows_cap(self):
+        packets = {
+            i: PacketView(
+                pid=i,
+                flow=FiveTuple.of(f"1.0.{i}.1", "2.0.0.1", 10 + i, 80),
+                source="src",
+                emitted_ns=0,
+            )
+            for i in range(40)
+        }
+        trace = DiagTrace(
+            packets=packets,
+            nfs={"f": NFView(name="f", peak_rate_pps=1e6)},
+            upstreams={},
+            sources={"src"},
+        )
+        victim = Victim(pid=0, nf="f", kind="latency", arrival_ns=1_000, metric=5.0)
+        diagnosis = VictimDiagnosis(
+            victim=victim,
+            culprits=[culprit("source", "src", 10.0, pids=tuple(range(40)))],
+        )
+        relations = causal_relations([diagnosis], trace, max_culprit_flows=8)
+        assert len(relations) == 8
+        assert sum(r.score for r in relations) == pytest.approx(10.0)
+
+
+class TestFormatRanking:
+    def test_renders_positions(self):
+        ranking = [(("nf", "nat1"), 5.0), (("flow", FLOW_X), 2.5)]
+        text = format_ranking(ranking)
+        assert "1. [nf] nat1" in text
+        assert "2. [flow]" in text
+
+    def test_respects_limit(self):
+        ranking = [(("nf", f"n{i}"), float(10 - i)) for i in range(10)]
+        assert len(format_ranking(ranking, limit=3).splitlines()) == 3

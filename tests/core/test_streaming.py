@@ -1,0 +1,84 @@
+import pytest
+
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.report import ranked_entities
+from repro.core.streaming import StreamingConfig, StreamingDiagnosis, _sub_trace
+from repro.core.victims import VictimSelector
+from repro.errors import DiagnosisError
+from repro.util.timebase import MSEC
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(DiagnosisError):
+            StreamingConfig(chunk_ns=0)
+        with pytest.raises(DiagnosisError):
+            StreamingConfig(margin_ns=-1)
+
+
+class TestSubTrace:
+    def test_restricts_events(self, interrupt_chain_trace):
+        sub = _sub_trace(interrupt_chain_trace, 1 * MSEC, 2 * MSEC)
+        for view in sub.nfs.values():
+            assert all(1 * MSEC <= t < 2 * MSEC for t, _ in view.arrivals)
+        assert sub.upstreams == interrupt_chain_trace.upstreams
+
+    def test_keeps_packets_touching_window(self, interrupt_chain_trace):
+        sub = _sub_trace(interrupt_chain_trace, 1 * MSEC, 2 * MSEC)
+        assert sub.packets
+        assert len(sub.packets) < len(interrupt_chain_trace.packets)
+
+
+class TestStreamingEquivalence:
+    def test_matches_batch_with_sufficient_margin(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        streaming = StreamingDiagnosis(
+            trace,
+            StreamingConfig(chunk_ns=1 * MSEC, margin_ns=5 * MSEC),
+            victim_pct=99.0,
+        )
+        streamed = streaming.run()
+
+        victims = sorted(
+            VictimSelector(trace).hop_latency_victims(pct=99.0)
+            + VictimSelector(trace).drop_victims(),
+            key=lambda v: v.arrival_ns,
+        )
+        engine = MicroscopeEngine(trace)
+        batch = engine.diagnose_all(victims)
+
+        assert len(streamed) == len(batch)
+        agree = 0
+        for s, b in zip(streamed, batch):
+            assert s.victim == b.victim
+            top_s = ranked_entities(s, trace)[:1]
+            top_b = ranked_entities(b, trace)[:1]
+            if top_s and top_b and top_s[0][0] == top_b[0][0]:
+                agree += 1
+        assert agree >= len(batch) * 0.95
+
+    def test_tiny_margin_changes_attribution(self, interrupt_chain_trace):
+        """Without lookback, periods crossing chunk edges lose history."""
+        trace = interrupt_chain_trace
+        # Chunks shorter than the post-interrupt drain, so victims'
+        # queuing periods start before their chunk and get truncated
+        # without a lookback margin.
+        full = StreamingDiagnosis(
+            trace, StreamingConfig(chunk_ns=MSEC // 4, margin_ns=5 * MSEC)
+        ).run()
+        clipped = StreamingDiagnosis(
+            trace, StreamingConfig(chunk_ns=MSEC // 4, margin_ns=0)
+        ).run()
+        assert len(full) == len(clipped)
+        full_scores = sum(d.total_score for d in full)
+        clipped_scores = sum(d.total_score for d in clipped)
+        assert clipped_scores < full_scores  # truncated periods lose packets
+
+    def test_chunks_cover_run(self, interrupt_chain_trace):
+        streaming = StreamingDiagnosis(
+            interrupt_chain_trace, StreamingConfig(chunk_ns=2 * MSEC, margin_ns=2 * MSEC)
+        )
+        chunks = list(streaming.chunks())
+        assert chunks
+        victims_total = sum(len(c.victims) for c in chunks)
+        assert victims_total == len(streaming._all_victims)

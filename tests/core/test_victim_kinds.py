@@ -1,0 +1,60 @@
+"""Cross-kind victim handling: throughput victims and abnormal-hop flags."""
+
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.report import ranked_entities
+from repro.core.victims import VictimSelector
+from repro.util.timebase import MSEC, USEC
+from tests.conftest import MAIN_FLOW, PROBE_FLOW
+
+
+class TestThroughputVictimDiagnosis:
+    def test_throughput_victims_diagnosable(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        victims = VictimSelector(trace).throughput_victims(
+            bin_ns=200 * USEC, min_flow_packets=100
+        )
+        assert victims
+        engine = MicroscopeEngine(trace)
+        for victim in victims[:10]:
+            diagnosis = engine.diagnose(victim)
+            assert diagnosis.culprits
+
+    def test_interrupt_found_from_throughput_victims(self, interrupt_chain_trace):
+        # The throughput collapse sites its victims at the stalled NAT
+        # (the hop with the longest queue wait); diagnosis then pins the
+        # NAT's slow processing.
+        trace = interrupt_chain_trace
+        victims = [
+            v
+            for v in VictimSelector(trace).throughput_victims(
+                bin_ns=200 * USEC, min_flow_packets=100
+            )
+            if v.nf == "nat1" and 500 * USEC <= v.arrival_ns <= 1_400 * USEC
+        ]
+        assert victims
+        engine = MicroscopeEngine(trace)
+        tops = [
+            ranked_entities(engine.diagnose(v), trace)[0][0] for v in victims[:10]
+        ]
+        assert tops.count(("nf", "nat1")) >= len(tops) * 0.8
+
+
+class TestEndToEndSelection:
+    def test_every_victim_has_a_hop_site(self, interrupt_chain_trace):
+        victims = VictimSelector(interrupt_chain_trace).end_to_end_latency_victims(
+            pct=99.0
+        )
+        assert victims
+        for victim in victims:
+            packet = interrupt_chain_trace.packets[victim.pid]
+            assert packet.hop_at(victim.nf) is not None
+
+    def test_abnormality_flags_hot_nf(self, interrupt_chain_trace):
+        # During the drain the VPN's local latency breaks its history, so
+        # end-to-end victims should be sited at vpn1 far more often than at
+        # the (merely stalled, then fast) nat1.
+        victims = VictimSelector(interrupt_chain_trace).end_to_end_latency_victims(
+            pct=99.0
+        )
+        sites = [v.nf for v in victims]
+        assert sites.count("vpn1") >= sites.count("nat1")

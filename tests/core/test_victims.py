@@ -1,0 +1,88 @@
+import pytest
+
+from repro.core.records import DiagTrace
+from repro.core.victims import VictimSelector
+from repro.nfv import Simulator, TrafficSource, Vpn, Topology, constant_target
+from repro.nfv.packet import FiveTuple, Packet
+from tests.conftest import PROBE_FLOW, run_interrupt_chain
+
+
+class TestLatencyVictims:
+    def test_end_to_end_selection(self, interrupt_chain_trace):
+        selector = VictimSelector(interrupt_chain_trace)
+        victims = selector.end_to_end_latency_victims(pct=99.0)
+        assert victims
+        completed = [
+            p for p in interrupt_chain_trace.packets.values() if p.exited_ns >= 0
+        ]
+        assert len({v.pid for v in victims}) <= len(completed) * 0.05
+
+    def test_victims_have_high_latency(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        selector = VictimSelector(trace)
+        victims = selector.end_to_end_latency_victims(pct=99.0)
+        latencies = sorted(
+            p.end_to_end_ns for p in trace.packets.values() if p.exited_ns >= 0
+        )
+        median = latencies[len(latencies) // 2]
+        assert all(v.metric > median for v in victims)
+
+    def test_hop_latency_scoped_to_nf(self, interrupt_chain_trace):
+        selector = VictimSelector(interrupt_chain_trace)
+        victims = selector.hop_latency_victims(pct=99.5, nf="vpn1")
+        assert victims
+        assert all(v.nf == "vpn1" for v in victims)
+
+    def test_interrupt_window_dominates_victims(self, interrupt_chain_trace):
+        # Victims should cluster just after the 0.5-1.3 ms interrupt.
+        selector = VictimSelector(interrupt_chain_trace)
+        victims = selector.hop_latency_victims(pct=99.0)
+        in_window = [v for v in victims if 500_000 <= v.arrival_ns <= 3_000_000]
+        assert len(in_window) >= len(victims) * 0.9
+
+    def test_probe_flow_becomes_victim(self, interrupt_chain_trace):
+        # Flow that never touches the NAT still suffers at the VPN.
+        selector = VictimSelector(interrupt_chain_trace)
+        victims = selector.hop_latency_victims(pct=99.0, nf="vpn1")
+        probe_victims = [
+            v
+            for v in victims
+            if interrupt_chain_trace.packets[v.pid].flow == PROBE_FLOW
+        ]
+        assert probe_victims
+
+
+class TestDropVictims:
+    def test_drop_victims_from_overflow(self):
+        topo = Topology()
+        topo.add_nf(Vpn("v", router=lambda p: None, cost_ns=10_000, queue_capacity=8))
+        topo.add_source("src")
+        topo.connect("src", "v")
+        flow = FiveTuple.of("1.1.1.1", "2.2.2.2", 1, 2)
+        schedule = [(i * 100, Packet(pid=i, flow=flow, ipid=i)) for i in range(300)]
+        result = Simulator(
+            topo, [TrafficSource("src", schedule, constant_target("v"))]
+        ).run()
+        trace = DiagTrace.from_sim_result(result)
+        victims = VictimSelector(trace).drop_victims()
+        assert victims
+        assert all(v.kind == "drop" and v.nf == "v" for v in victims)
+
+    def test_no_drops_no_victims(self, interrupt_chain_trace):
+        assert VictimSelector(interrupt_chain_trace).drop_victims() == []
+
+
+class TestThroughputVictims:
+    def test_interrupt_causes_throughput_victims(self, interrupt_chain_trace):
+        selector = VictimSelector(interrupt_chain_trace)
+        victims = selector.throughput_victims(bin_ns=200_000, min_flow_packets=100)
+        assert victims
+        assert all(v.kind == "throughput" for v in victims)
+        # The slow bins should sit inside/after the interrupt window.
+        assert any(400_000 <= v.arrival_ns <= 2_000_000 for v in victims)
+
+    def test_bin_validation(self, interrupt_chain_trace):
+        from repro.errors import DiagnosisError
+
+        with pytest.raises(DiagnosisError):
+            VictimSelector(interrupt_chain_trace).throughput_victims(bin_ns=0)

@@ -1,0 +1,103 @@
+import pytest
+
+from repro.core.victims import Victim
+from repro.experiments.accuracy import (
+    RankResult,
+    UNRANKED,
+    associate_victims,
+    correct_rate,
+    microscope_entity_matcher,
+    netmedic_component_for,
+    rank_at_most,
+    rank_curve,
+)
+from repro.experiments.injection import InjectedProblem, InjectionPlan
+from repro.nfv.packet import FiveTuple
+
+FLOW = FiveTuple.of("100.0.0.1", "32.0.0.1", 2_000, 6_000)
+
+
+def victim(t, nf="vpn1", pid=0):
+    return Victim(pid=pid, nf=nf, kind="latency", arrival_ns=t, metric=1.0)
+
+
+def problem(kind, at, nf=None, flows=()):
+    return InjectedProblem(kind=kind, at_ns=at, horizon_ns=10_000, nf=nf, flows=flows)
+
+
+class TestMatchers:
+    def test_burst_matcher(self):
+        match = microscope_entity_matcher(problem("burst", 0, flows=(FLOW,)))
+        assert match(("flow", FLOW))
+        assert not match(("nf", "nat1"))
+
+    def test_interrupt_matcher(self):
+        match = microscope_entity_matcher(problem("interrupt", 0, nf="nat2"))
+        assert match(("nf", "nat2"))
+        assert not match(("nf", "nat1"))
+        assert not match(("flow", FLOW))
+
+    def test_netmedic_component(self):
+        assert netmedic_component_for(problem("burst", 0, flows=(FLOW,)), "src") == "src"
+        assert netmedic_component_for(problem("bug", 0, nf="fw2"), "src") == "fw2"
+
+
+class TestAssociation:
+    def _plan(self):
+        plan = InjectionPlan()
+        plan.problems = [
+            problem("burst", 1_000, flows=(FLOW,)),
+            problem("interrupt", 50_000, nf="nat1"),
+        ]
+        return plan
+
+    def test_window_assignment(self):
+        plan = self._plan()
+        pairs = associate_victims([victim(2_000), victim(55_000)], plan)
+        assert len(pairs) == 2
+        assert pairs[0][1].kind == "burst"
+        assert pairs[1][1].kind == "interrupt"
+
+    def test_outside_windows_dropped(self):
+        plan = self._plan()
+        assert associate_victims([victim(30_000)], plan) == []
+
+    def test_max_per_problem(self):
+        plan = self._plan()
+        victims = [victim(1_000 + i, pid=i) for i in range(20)]
+        pairs = associate_victims(victims, plan, max_per_problem=5)
+        assert len(pairs) == 5
+
+    def test_plausibility_filter(self):
+        plan = self._plan()
+        pairs = associate_victims(
+            [victim(55_000, nf="vpn1")],
+            plan,
+            plausible=lambda v, p: False,
+        )
+        assert pairs == []
+
+
+class TestMetrics:
+    def _results(self, ranks):
+        p = problem("interrupt", 0, nf="x")
+        return [
+            RankResult(victim=victim(i, pid=i), problem=p, rank=r)
+            for i, r in enumerate(ranks)
+        ]
+
+    def test_correct_rate(self):
+        assert correct_rate(self._results([1, 1, 2, 99])) == 0.5
+        assert correct_rate([]) == 0.0
+
+    def test_rank_at_most(self):
+        results = self._results([1, 2, 3, 99])
+        assert rank_at_most(results, 2) == 0.5
+        assert rank_at_most(results, 3) == 0.75
+
+    def test_rank_curve_shape(self):
+        curve = rank_curve(self._results([3, 1, 2]))
+        assert curve == [(pytest.approx(100 / 3), 1), (pytest.approx(200 / 3), 2), (100.0, 3)]
+
+    def test_unranked_constant(self):
+        assert UNRANKED > 10

@@ -1,0 +1,71 @@
+"""Small-scale checks of the figure-series builders (benches run full size)."""
+
+import pytest
+
+from repro.experiments.figures import (
+    fig01_data,
+    fig02_data,
+    fig03_data,
+    queue_series,
+)
+from repro.core.records import NFView
+from repro.util.timebase import MSEC, USEC
+
+pytestmark = pytest.mark.slow
+
+
+class TestQueueSeries:
+    def test_step_function(self):
+        view = NFView(
+            name="x",
+            peak_rate_pps=1e6,
+            arrivals=[(100, 0), (200, 1), (300, 2)],
+            reads=[(250, 0), (400, 1), (500, 2)],
+        )
+        series = dict(queue_series(view, bin_ns=100))
+        assert series[100] == 1
+        assert series[200] == 2
+        assert series[300] == 2  # one read at 250 happened
+        assert series[500] == 0
+
+    def test_empty_view(self):
+        assert queue_series(NFView(name="x", peak_rate_pps=1e6)) == []
+
+
+class TestMotivationFigures:
+    def test_fig01_series_shapes(self):
+        data = fig01_data(seed=1)
+        assert data["latency_series"]
+        assert data["queue_series"]
+        times = [t for t, _ in data["latency_series"]]
+        assert times == sorted(times)
+
+    def test_fig02_rates_cover_run(self):
+        data = fig02_data(seed=1)
+        assert len(data["flow_a_rate"]) == len(data["nat_rate"])
+        assert max(q for _, q in data["queue_series"]) > 100
+
+    def test_fig03_origins(self):
+        data = fig03_data(seed=1)
+        assert set(data["input_rates"]) == {"nat1", "mon1", "flowA"}
+        assert set(data["drops"]) == {"nat1", "mon1", "flowA"}
+
+
+class TestCli:
+    def test_list(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "overhead" in out
+
+    def test_unknown_target(self):
+        from repro.experiments.cli import main
+
+        assert main(["nope"]) == 2
+
+    def test_fig03_target_runs(self, capsys):
+        from repro.experiments.cli import main
+
+        assert main(["fig03"]) == 0
+        assert "drops by origin" in capsys.readouterr().out

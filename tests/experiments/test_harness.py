@@ -1,0 +1,52 @@
+"""Harness smoke tests at reduced scale (the benches run the full sizes)."""
+
+import pytest
+
+from repro.experiments.harness import run_injected_experiment, run_wild_experiment
+from repro.experiments.injection import InjectionPlan
+from repro.util.timebase import MSEC
+
+pytestmark = pytest.mark.slow
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    return run_injected_experiment(
+        rate_pps=600_000,
+        duration_ns=60 * MSEC,
+        seed=3,
+        plan_kwargs=dict(
+            n_bursts=1, n_interrupts=1, n_bug_triggers=1, warmup_ns=10 * MSEC
+        ),
+    )
+
+
+class TestInjectedExperiment:
+    def test_structure(self, small_run):
+        assert len(small_run.trace.packets) > 10_000
+        assert len(small_run.plan.problems) == 3
+        assert small_run.source_name == "traffic-src"
+
+    def test_traffic_reaches_all_tiers(self, small_run):
+        for nf in small_run.chain.all_nfs():
+            assert small_run.trace.nfs[nf].arrivals, f"no traffic at {nf}"
+
+    def test_interrupt_fired(self, small_run):
+        interrupted = {i.nf for i in small_run.plan.interrupts}
+        for nf in interrupted:
+            assert small_run.chain.topology.nfs[nf].stats.stall_ns > 0
+
+    def test_bug_triggered(self, small_run):
+        bug_nf = small_run.plan.bugs[0].nf
+        service = small_run.chain.topology.nfs[bug_nf].service
+        assert service.triggered > 0  # FlowConditionalCost counter
+
+
+class TestWildExperiment:
+    def test_noise_fires(self):
+        run = run_wild_experiment(
+            rate_pps=800_000, duration_ns=30 * MSEC, seed=5, noise_rate_per_s=200.0
+        )
+        assert run.noise is not None
+        assert len(run.noise.fired) > 0
+        assert run.plan.problems == []

@@ -1,0 +1,79 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.injection import InjectionPlan, standard_plan
+from repro.experiments.scenarios import build_fig10_chain
+from repro.util.timebase import MSEC, USEC
+
+
+def make_plan(**kwargs):
+    chain = build_fig10_chain()
+    defaults = dict(
+        duration_ns=320 * MSEC,
+        nf_names=chain.all_nfs(),
+        firewall_names=chain.firewalls,
+        seed=1,
+        firewall_of=chain.firewall_of,
+        horizon_ns=15 * MSEC,
+    )
+    defaults.update(kwargs)
+    return standard_plan(**defaults), chain
+
+
+class TestStandardPlan:
+    def test_event_counts(self):
+        plan, _ = make_plan(n_bursts=5, n_interrupts=5, n_bug_triggers=5)
+        assert len(plan.bursts) == 5
+        assert len(plan.interrupts) == 5
+        assert len(plan.bug_trigger_bursts) == 5
+        assert len(plan.bugs) == 1  # one buggy firewall
+        assert len(plan.problems) == 15
+
+    def test_burst_sizes_in_paper_range(self):
+        plan, _ = make_plan()
+        assert all(500 <= b.n_packets <= 2_500 for b in plan.bursts)
+
+    def test_interrupt_durations_in_paper_range(self):
+        plan, _ = make_plan()
+        assert all(
+            500 * USEC <= i.duration_ns <= 1_000 * USEC for i in plan.interrupts
+        )
+
+    def test_problems_time_separated(self):
+        plan, _ = make_plan()
+        starts = sorted(p.at_ns for p in plan.problems)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert min(gaps) >= 15 * MSEC  # at least the horizon apart
+
+    def test_bug_flows_route_to_bug_firewall(self):
+        plan, chain = make_plan()
+        bug_fw = plan.bugs[0].nf
+        for problem in plan.problems:
+            if problem.kind == "bug":
+                assert problem.nf == bug_fw
+                for flow in problem.flows:
+                    assert chain.firewall_of(flow) == bug_fw
+
+    def test_duration_too_short_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_plan(duration_ns=30 * MSEC)
+
+    def test_empty_plan(self):
+        plan, _ = make_plan(n_bursts=0, n_interrupts=0, n_bug_triggers=0)
+        assert plan.problems == []
+        assert plan.injectors() == []
+
+
+class TestProblemLookup:
+    def test_covers_window(self):
+        plan, _ = make_plan()
+        problem = plan.problems[0]
+        assert plan.problem_for_victim(problem.at_ns + 1) is problem
+        assert plan.problem_for_victim(problem.at_ns - 1) is not problem
+
+    def test_outside_all_windows(self):
+        plan, _ = make_plan()
+        assert plan.problem_for_victim(0) is None
+
+    def test_empty_plan_lookup(self):
+        assert InjectionPlan().problem_for_victim(123) is None

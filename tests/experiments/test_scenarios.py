@@ -1,0 +1,65 @@
+import pytest
+
+from repro.experiments.scenarios import (
+    FIG10_COSTS_NS,
+    build_fig10_chain,
+    build_single_nf,
+)
+from repro.nfv.packet import FiveTuple
+
+
+class TestFig10Chain:
+    def test_sixteen_nfs(self):
+        chain = build_fig10_chain()
+        assert len(chain.all_nfs()) == 16
+        assert len(chain.nats) == 4
+        assert len(chain.firewalls) == 5
+        assert len(chain.monitors) == 3
+        assert len(chain.vpns) == 4
+
+    def test_topology_valid(self):
+        build_fig10_chain().topology.validate()
+
+    def test_types(self):
+        chain = build_fig10_chain()
+        types = chain.topology.nf_types()
+        assert types["nat1"] == "nat"
+        assert types["fw5"] == "firewall"
+        assert types["mon3"] == "monitor"
+        assert types["vpn4"] == "vpn"
+
+    def test_costs_applied(self):
+        chain = build_fig10_chain()
+        rates = chain.topology.peak_rates_pps()
+        assert rates["nat1"] == pytest.approx(1e9 / FIG10_COSTS_NS["nat"])
+        assert rates["vpn1"] == pytest.approx(1e9 / FIG10_COSTS_NS["vpn"])
+
+    def test_balancer_spreads_over_nats(self):
+        from repro.nfv.packet import Packet
+
+        chain = build_fig10_chain()
+        balance = chain.balancer()
+        targets = set()
+        for i in range(100):
+            flow = FiveTuple.of(f"10.0.{i}.1", "20.0.0.1", 1_000 + i, 80)
+            targets.add(balance(Packet(pid=i, flow=flow, ipid=0)))
+        assert targets == set(chain.nats)
+
+    def test_firewall_of_matches_routing(self):
+        chain = build_fig10_chain()
+        for i in range(20):
+            flow = FiveTuple.of(f"10.0.{i}.1", "20.0.0.1", 1_000 + i, 80)
+            assert chain.firewall_of(flow) in chain.firewalls
+
+    def test_custom_sizes(self):
+        chain = build_fig10_chain(n_nats=2, n_firewalls=3, n_monitors=1, n_vpns=2)
+        assert len(chain.all_nfs()) == 8
+        chain.topology.validate()
+
+
+class TestSingleNf:
+    @pytest.mark.parametrize("nf_type", ["firewall", "nat", "monitor", "vpn"])
+    def test_all_types(self, nf_type):
+        topo = build_single_nf(nf_type)
+        topo.validate()
+        assert len(topo.nfs) == 1

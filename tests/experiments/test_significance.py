@@ -1,0 +1,65 @@
+from repro.core.records import DiagTrace, NFView, PacketHop, PacketView
+from repro.core.victims import Victim
+from repro.experiments.accuracy import significant_victims
+from repro.nfv.packet import FiveTuple
+
+FLOW = FiveTuple.of("1.0.0.1", "2.0.0.1", 10, 80)
+
+
+def trace_with_latencies(latencies_ns):
+    packets = {}
+    view = NFView(name="f", peak_rate_pps=1e6)
+    for pid, latency in enumerate(latencies_ns):
+        arrival = pid * 10_000
+        hop = PacketHop(
+            nf="f", arrival_ns=arrival, read_ns=arrival + latency // 2,
+            depart_ns=arrival + latency,
+        )
+        packets[pid] = PacketView(
+            pid=pid, flow=FLOW, source="src", emitted_ns=arrival, hops=[hop]
+        )
+        view.arrivals.append((arrival, pid))
+        view.reads.append((hop.read_ns, pid))
+        view.departs.append((hop.depart_ns, pid))
+    return DiagTrace(
+        packets=packets, nfs={"f": view}, upstreams={"f": set()}, sources={"src"}
+    )
+
+
+def victim(pid, metric, kind="latency"):
+    return Victim(pid=pid, nf="f", kind=kind, arrival_ns=pid * 10_000, metric=metric)
+
+
+class TestSignificantVictims:
+    def test_micro_jitter_dropped(self):
+        # Median latency 2 us; a 20 us victim is 10x median but below the
+        # absolute floor: still noise at DPDK batch scale.
+        trace = trace_with_latencies([2_000] * 50)
+        kept = significant_victims(trace, [victim(0, 20_000.0)])
+        assert kept == []
+
+    def test_real_victim_kept(self):
+        trace = trace_with_latencies([2_000] * 50)
+        kept = significant_victims(trace, [victim(0, 500_000.0)])
+        assert len(kept) == 1
+
+    def test_factor_applies_at_slow_nfs(self):
+        # Median 200 us: a 300 us victim exceeds the floor but not 5x the
+        # median, so it is unremarkable for this NF.
+        trace = trace_with_latencies([200_000] * 50)
+        kept = significant_victims(trace, [victim(0, 300_000.0)])
+        assert kept == []
+        kept = significant_victims(trace, [victim(0, 1_200_000.0)])
+        assert len(kept) == 1
+
+    def test_drop_victims_always_kept(self):
+        trace = trace_with_latencies([2_000] * 50)
+        kept = significant_victims(trace, [victim(0, 0.0, kind="drop")])
+        assert len(kept) == 1
+
+    def test_unknown_nf_uses_floor_only(self):
+        trace = trace_with_latencies([2_000] * 5)
+        ghost = Victim(pid=0, nf="ghost", kind="latency", arrival_ns=0,
+                       metric=300_000.0)
+        kept = significant_victims(trace, [ghost])
+        assert len(kept) == 1

@@ -1,0 +1,217 @@
+"""Integration scenarios mirroring the paper's motivating examples."""
+
+import pytest
+
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.records import DiagTrace
+from repro.core.report import ranked_entities
+from repro.core.victims import VictimSelector
+from repro.nfv import (
+    Firewall,
+    FiveTuple,
+    InterruptInjector,
+    InterruptSpec,
+    Monitor,
+    Nat,
+    Simulator,
+    Topology,
+    TrafficSource,
+    Vpn,
+    constant_target,
+)
+from repro.traffic import IpidSpace, PidAllocator, constant_rate_flow
+from repro.util.rng import substream
+from repro.util.timebase import MSEC, USEC
+
+pytestmark = pytest.mark.slow
+
+
+class TestFig3FanIn:
+    """Heavy and light upstreams take the same interrupt; scores differ."""
+
+    def _run(self):
+        topo = Topology()
+        topo.add_nf(Nat("nat1", router=lambda p: "vpn1", cost_ns=400))
+        topo.add_nf(Monitor("mon1", router=lambda p: "vpn1", cost_ns=400))
+        topo.add_nf(Vpn("vpn1", router=lambda p: None, cost_ns=1_600))
+        topo.add_source("src-heavy")
+        topo.add_source("src-light")
+        topo.add_source("src-a")
+        for src, dst in (
+            ("src-heavy", "nat1"), ("src-light", "mon1"), ("src-a", "vpn1"),
+        ):
+            topo.connect(src, dst)
+        topo.connect("nat1", "vpn1")
+        topo.connect("mon1", "vpn1")
+        pids = PidAllocator()
+        ipids = IpidSpace(substream(31, "fig3"))
+        duration = 5 * MSEC
+        heavy = constant_rate_flow(
+            FiveTuple.of("10.1.0.1", "20.1.0.1", 1111, 80), 250_000, duration,
+            pids, ipids,
+        )
+        light = constant_rate_flow(
+            FiveTuple.of("10.2.0.1", "20.2.0.1", 2222, 80), 50_000, duration,
+            pids, ipids,
+        )
+        probe = constant_rate_flow(
+            FiveTuple.of("50.0.0.1", "60.0.0.1", 5555, 443), 250_000, duration,
+            pids, ipids,
+        )
+        at = 1_000 * USEC
+        result = Simulator(
+            topo,
+            [
+                TrafficSource("src-heavy", heavy, constant_target("nat1")),
+                TrafficSource("src-light", light, constant_target("mon1")),
+                TrafficSource("src-a", probe, constant_target("vpn1")),
+            ],
+            injectors=[
+                InterruptInjector(
+                    [
+                        InterruptSpec("nat1", at, 1_200 * USEC),
+                        InterruptSpec("mon1", at, 1_200 * USEC),
+                    ]
+                )
+            ],
+        ).run()
+        return DiagTrace.from_sim_result(result)
+
+    def test_heavy_upstream_outranks_light(self):
+        trace = self._run()
+        engine = MicroscopeEngine(trace)
+        victims = [
+            v
+            for v in VictimSelector(trace).hop_latency_victims(pct=99.0, nf="vpn1")
+            if 2_200 * USEC <= v.arrival_ns <= 3_500 * USEC
+        ]
+        assert victims
+        nat_scores, mon_scores = [], []
+        for victim in victims[:15]:
+            scores = dict(ranked_entities(engine.diagnose(victim), trace))
+            nat_scores.append(scores.get(("nf", "nat1"), 0.0))
+            mon_scores.append(scores.get(("nf", "mon1"), 0.0))
+        # Same interrupt, very different quantified impact (Figure 3).
+        assert sum(nat_scores) > 3 * sum(mon_scores)
+
+
+class TestMultiHopPropagation:
+    """An interrupt three hops upstream is still pinned correctly."""
+
+    def _run(self):
+        topo = Topology()
+        topo.add_nf(Nat("nat1", router=lambda p: "fw1", cost_ns=400))
+        topo.add_nf(
+            Firewall(
+                "fw1", route_match=lambda p: "mon1", route_default=lambda p: "mon1",
+                cost_ns=450,
+            )
+        )
+        topo.add_nf(Monitor("mon1", router=lambda p: "vpn1", cost_ns=500))
+        topo.add_nf(Vpn("vpn1", router=lambda p: None, cost_ns=800))
+        topo.add_source("src")
+        topo.connect("src", "nat1")
+        topo.connect("nat1", "fw1")
+        topo.connect("fw1", "mon1")
+        topo.connect("mon1", "vpn1")
+        pids = PidAllocator()
+        ipids = IpidSpace(substream(33, "hops"))
+        schedule = constant_rate_flow(
+            FiveTuple.of("10.1.0.1", "20.1.0.1", 1111, 80), 1_000_000, 5 * MSEC,
+            pids, ipids,
+        )
+        result = Simulator(
+            topo,
+            [TrafficSource("src", schedule, constant_target("nat1"))],
+            injectors=[
+                InterruptInjector([InterruptSpec("nat1", 1_000 * USEC, 900 * USEC)])
+            ],
+        ).run()
+        return DiagTrace.from_sim_result(result)
+
+    def test_three_hop_culprit_found(self):
+        trace = self._run()
+        engine = MicroscopeEngine(trace)
+        victims = [
+            v
+            for v in VictimSelector(trace).hop_latency_victims(pct=99.0, nf="vpn1")
+            if v.arrival_ns >= 1_900 * USEC
+        ]
+        assert victims
+        hits = 0
+        max_depth = 0
+        for victim in victims[:15]:
+            diagnosis = engine.diagnose(victim)
+            ranking = ranked_entities(diagnosis, trace)
+            if ranking and ranking[0][0] == ("nf", "nat1"):
+                hits += 1
+            max_depth = max(max_depth, diagnosis.recursion_depth)
+        assert hits >= min(15, len(victims)) * 0.8
+        # The timespan analysis attributes straight to the squeezing hop,
+        # so one recursion level suffices even across three topology hops
+        # (deeper recursion needs cascaded pre-existing queues).
+        assert max_depth >= 1
+
+    def test_recursion_bounded_like_paper(self):
+        # "In practice, for our 16-NF evaluation topology, we need a
+        # maximum of five recursions."
+        trace = self._run()
+        engine = MicroscopeEngine(trace)
+        victims = VictimSelector(trace).hop_latency_victims(pct=99.5, nf="vpn1")
+        for victim in victims[:20]:
+            assert engine.diagnose(victim).recursion_depth <= 5
+
+
+class TestConcurrentCulprits:
+    """Overlapping injections: the top culprit is one of the real causes."""
+
+    def test_both_culprits_surface(self):
+        topo = Topology()
+        topo.add_nf(Nat("nat1", router=lambda p: "vpn1", cost_ns=400))
+        topo.add_nf(Vpn("vpn1", router=lambda p: None, cost_ns=640))
+        topo.add_source("src")
+        topo.add_source("src-burst")
+        topo.connect("src", "nat1")
+        topo.connect("nat1", "vpn1")
+        topo.connect("src-burst", "vpn1")
+        pids = PidAllocator()
+        ipids = IpidSpace(substream(35, "mix"))
+        steady = constant_rate_flow(
+            FiveTuple.of("10.1.0.1", "20.1.0.1", 1111, 80), 900_000, 5 * MSEC,
+            pids, ipids,
+        )
+        burst_flow = FiveTuple.of("100.0.0.1", "32.0.0.1", 2_000, 6_000)
+        burst = [
+            (1_400 * USEC + i * 100, p)
+            for i, p in enumerate(
+                pkt for _t, pkt in constant_rate_flow(
+                    burst_flow, 10_000_000, 80 * USEC, pids, ipids
+                )
+            )
+        ]
+        result = Simulator(
+            topo,
+            [
+                TrafficSource("src", steady, constant_target("nat1")),
+                TrafficSource("src-burst", sorted(burst), constant_target("vpn1")),
+            ],
+            injectors=[
+                InterruptInjector([InterruptSpec("nat1", 700 * USEC, 700 * USEC)])
+            ],
+        ).run()
+        trace = DiagTrace.from_sim_result(result)
+        engine = MicroscopeEngine(trace)
+        victims = [
+            v
+            for v in VictimSelector(trace).hop_latency_victims(pct=99.0, nf="vpn1")
+            if 1_500 * USEC <= v.arrival_ns <= 2_600 * USEC
+        ]
+        assert victims
+        diagnosis = engine.diagnose(victims[len(victims) // 2])
+        scores = dict(ranked_entities(diagnosis, trace))
+        nat = scores.get(("nf", "nat1"), 0.0)
+        burst_score = scores.get(("flow", burst_flow), 0.0)
+        # Both real causes carry meaningful score; together they dominate.
+        assert nat > 0 and burst_score > 0
+        total = sum(scores.values())
+        assert nat + burst_score > 0.6 * total

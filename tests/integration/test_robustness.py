@@ -1,0 +1,153 @@
+"""Failure injection and adversarial-input robustness."""
+
+import pytest
+
+from repro.aggregation.patterns import PatternAggregator
+from repro.collector.compression import decode_batches, decode_exit_records
+from repro.collector.reconstruct import EdgeSpec, TraceReconstructor
+from repro.collector.runtime import BatchRecord, CollectedData, NFRecords, RuntimeCollector
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.records import DiagTrace, NFView, PacketView
+from repro.core.victims import Victim, VictimSelector
+from repro.errors import DiagnosisError, TraceError
+from repro.nfv import (
+    FiveTuple,
+    Packet,
+    Simulator,
+    Topology,
+    TrafficSource,
+    Vpn,
+    constant_target,
+)
+from repro.util.rng import generator
+
+FLOW = FiveTuple.of("1.0.0.1", "2.0.0.1", 10, 80)
+
+
+class TestCodecRobustness:
+    def test_garbage_bytes_rejected_cleanly(self):
+        rng = generator(0)
+        for _ in range(20):
+            blob = bytes(rng.integers(0, 256, size=rng.integers(1, 64)))
+            try:
+                decode_batches(blob)
+            except TraceError:
+                pass  # clean rejection is fine; crashes are not
+
+    def test_garbage_exit_records(self):
+        rng = generator(1)
+        for _ in range(20):
+            blob = bytes(rng.integers(0, 256, size=rng.integers(1, 64)))
+            try:
+                decode_exit_records(blob)
+            except (TraceError, UnicodeDecodeError, ValueError):
+                pass
+
+
+class TestReconstructionRobustness:
+    def test_missing_nf_records(self):
+        """A crashed collector at one NF must not break others' chains."""
+        data = CollectedData(
+            nfs={"down": NFRecords(rx=[BatchRecord(100, (1, 2))], tx={})},
+            sources={},
+            exits=[],
+        )
+        reconstructor = TraceReconstructor(
+            data, [EdgeSpec("up", "down", 500)]
+        )
+        packets = reconstructor.reconstruct()
+        assert packets == []
+        assert reconstructor.stats.unmatched_rx == 2
+
+    def test_exits_without_matching_chain(self):
+        from repro.collector.runtime import ExitRecord
+
+        data = CollectedData(
+            nfs={},
+            sources={},
+            exits=[ExitRecord(time_ns=1, ipid=5, flow=FLOW, last_nf="ghost")],
+        )
+        reconstructor = TraceReconstructor(data, [])
+        assert reconstructor.reconstruct() == []
+        assert reconstructor.stats.chains_broken == 1
+
+
+class TestEngineRobustness:
+    def _empty_trace(self):
+        return DiagTrace(
+            packets={},
+            nfs={"f": NFView(name="f", peak_rate_pps=1e6)},
+            upstreams={"f": set()},
+            sources={"src"},
+        )
+
+    def test_victim_unknown_to_trace(self):
+        engine = MicroscopeEngine(self._empty_trace())
+        victim = Victim(pid=7, nf="f", kind="drop", arrival_ns=100, metric=0.0)
+        diagnosis = engine.diagnose(victim)  # drop victims use period_at
+        assert diagnosis.culprits  # degrades to a local verdict
+        assert diagnosis.culprits[0].location == "f"
+
+    def test_latency_victim_without_arrival_raises(self):
+        engine = MicroscopeEngine(self._empty_trace())
+        victim = Victim(pid=7, nf="f", kind="latency", arrival_ns=100, metric=0.0)
+        with pytest.raises(TraceError):
+            engine.diagnose(victim)
+
+    def test_selector_on_empty_trace(self):
+        selector = VictimSelector(self._empty_trace())
+        assert selector.end_to_end_latency_victims() == []
+        assert selector.drop_victims() == []
+        assert selector.throughput_victims() == []
+
+    def test_preset_pids_missing_from_packets(self):
+        """NF streams can reference pids that reconstruction dropped."""
+        nfs = {"f": NFView(name="f", peak_rate_pps=1e6)}
+        # Three arrivals, none of which exist in the packet map.
+        nfs["f"].arrivals = [(100, 1), (110, 2), (120, 3)]
+        nfs["f"].reads = [(130, 1), (140, 2), (150, 3)]
+        trace = DiagTrace(
+            packets={
+                3: PacketView(pid=3, flow=FLOW, source="src", emitted_ns=90)
+            },
+            nfs=nfs,
+            upstreams={"f": set()},
+            sources={"src"},
+        )
+        engine = MicroscopeEngine(trace)
+        victim = Victim(pid=3, nf="f", kind="latency", arrival_ns=120, metric=1.0)
+        diagnosis = engine.diagnose(victim)
+        assert diagnosis.total_score > 0  # still accounts the queue
+
+
+class TestAggregatorRobustness:
+    def test_zero_scores(self):
+        from repro.core.report import CausalRelation
+
+        relations = [
+            CausalRelation(FLOW, "f", FLOW, "f", 0.0, 0, "local") for _ in range(5)
+        ]
+        result = PatternAggregator({"f": "firewall"}).aggregate(relations)
+        assert result.patterns == []
+
+
+class TestConservation:
+    def test_packet_conservation(self):
+        """emitted == completed + dropped + still-inside at sim end."""
+        topo = Topology()
+        topo.add_nf(Vpn("v", router=lambda p: None, cost_ns=3_000, queue_capacity=32))
+        topo.add_source("src")
+        topo.connect("src", "v")
+        schedule = [
+            (i * 400, Packet(pid=i, flow=FLOW, ipid=i % 65_536)) for i in range(500)
+        ]
+        result = Simulator(
+            topo, [TrafficSource("src", schedule, constant_target("v"))]
+        ).run()
+        emitted = len(result.trace.packets)
+        completed = len(result.completed_packets())
+        dropped = len(result.drops)
+        in_flight = emitted - completed - dropped
+        assert emitted == 500
+        assert in_flight == 0  # the run drains fully
+        assert completed + dropped == 500

@@ -1,0 +1,122 @@
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.nfv.events import EventLoop
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self):
+        loop = EventLoop()
+        order = []
+        loop.schedule(30, lambda: order.append("c"))
+        loop.schedule(10, lambda: order.append("a"))
+        loop.schedule(20, lambda: order.append("b"))
+        loop.run()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_within_same_time(self):
+        loop = EventLoop()
+        order = []
+        for i in range(5):
+            loop.schedule(100, lambda i=i: order.append(i))
+        loop.run()
+        assert order == [0, 1, 2, 3, 4]
+
+    def test_now_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(42, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [42]
+        assert loop.now == 42
+
+    def test_cannot_schedule_in_past(self):
+        loop = EventLoop()
+        loop.schedule(10, lambda: None)
+        loop.run()
+        with pytest.raises(SimulationError):
+            loop.schedule(5, lambda: None)
+
+    def test_schedule_after(self):
+        loop = EventLoop()
+        times = []
+        loop.schedule(10, lambda: loop.schedule_after(5, lambda: times.append(loop.now)))
+        loop.run()
+        assert times == [15]
+
+    def test_events_can_schedule_more_events(self):
+        loop = EventLoop()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10:
+                loop.schedule_after(1, tick)
+
+        loop.schedule(0, tick)
+        loop.run()
+        assert count[0] == 10
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        loop = EventLoop()
+        fired = []
+        handle = loop.schedule(10, lambda: fired.append(1))
+        handle.cancel()
+        loop.run()
+        assert fired == []
+        assert not handle.active
+
+    def test_cancel_idempotent(self):
+        loop = EventLoop()
+        handle = loop.schedule(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        assert loop.run() == 0
+
+    def test_pending_excludes_cancelled(self):
+        loop = EventLoop()
+        keep = loop.schedule(10, lambda: None)
+        drop = loop.schedule(20, lambda: None)
+        drop.cancel()
+        assert loop.pending() == 1
+        assert keep.active
+
+
+class TestRunBounds:
+    def test_until_ns_stops_early(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(10, lambda: fired.append(10))
+        loop.schedule(100, lambda: fired.append(100))
+        loop.run(until_ns=50)
+        assert fired == [10]
+        assert loop.now == 50  # advanced to the bound when heap empties
+
+    def test_until_ns_resume(self):
+        loop = EventLoop()
+        fired = []
+        loop.schedule(10, lambda: fired.append(10))
+        loop.schedule(100, lambda: fired.append(100))
+        loop.run(until_ns=50)
+        loop.run()
+        assert fired == [10, 100]
+
+    def test_max_events(self):
+        loop = EventLoop()
+        for i in range(10):
+            loop.schedule(i, lambda: None)
+        assert loop.run(max_events=3) == 3
+        assert loop.processed_events == 3
+
+    @given(st.lists(st.integers(0, 10_000), min_size=1, max_size=100))
+    def test_property_all_events_run_in_order(self, times):
+        loop = EventLoop()
+        seen = []
+        for t in times:
+            loop.schedule(t, lambda t=t: seen.append(t))
+        loop.run()
+        assert seen == sorted(times)
+        assert loop.processed_events == len(times)

@@ -1,0 +1,100 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nfv.events import EventLoop
+from repro.nfv.faults import (
+    BugSpec,
+    InterruptInjector,
+    InterruptSpec,
+    RandomInterrupts,
+    flow_set_predicate,
+    subnet_port_predicate,
+)
+from repro.nfv.nf import FixedCost, NetworkFunction
+from repro.nfv.packet import FiveTuple, Packet
+from repro.util.rng import generator
+
+FLOW = FiveTuple.of("1.0.0.1", "2.0.0.1", 1000, 80)
+
+
+def make_nf(name="nf1"):
+    return NetworkFunction(name, "test", FixedCost(1_000), router=lambda p: None)
+
+
+class TestInterruptSpec:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            InterruptSpec(nf="a", at_ns=-1, duration_ns=10)
+        with pytest.raises(ConfigurationError):
+            InterruptSpec(nf="a", at_ns=0, duration_ns=0)
+
+
+class TestInterruptInjector:
+    def test_fires_and_stalls(self):
+        nf = make_nf()
+        loop = EventLoop()
+        nf.bind(loop, lambda *a: None)
+        injector = InterruptInjector([InterruptSpec("nf1", 100, 500)])
+        injector.install(loop, {"nf1": nf})
+        loop.run()
+        assert nf.stats.stall_ns == 500
+        assert len(injector.fired) == 1
+
+    def test_unknown_nf(self):
+        injector = InterruptInjector([InterruptSpec("ghost", 0, 1)])
+        with pytest.raises(ConfigurationError):
+            injector.install(EventLoop(), {})
+
+
+class TestRandomInterrupts:
+    def test_rate_roughly_respected(self):
+        nf = make_nf()
+        loop = EventLoop()
+        nf.bind(loop, lambda *a: None)
+        noise = RandomInterrupts(
+            ["nf1"], rate_per_s=1_000.0, duration_range_ns=(10, 20),
+            rng=generator(1), end_ns=100_000_000,
+        )
+        noise.install(loop, {"nf1": nf})
+        loop.schedule(100_000_000, lambda: None)  # pin the horizon
+        loop.run()
+        # Expect ~100 events over 100 ms at 1 kHz.
+        assert 50 <= len(noise.fired) <= 200
+        assert all(10 <= spec.duration_ns <= 20 for spec in noise.fired)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RandomInterrupts(["a"], 0.0, (1, 2), generator(0))
+        with pytest.raises(ConfigurationError):
+            RandomInterrupts(["a"], 1.0, (5, 2), generator(0))
+
+
+class TestBugSpec:
+    def test_wraps_service(self):
+        nf = make_nf()
+        bug = BugSpec(nf="nf1", predicate=lambda f: f == FLOW, slow_ns=50_000)
+        wrapped = bug.install({"nf1": nf})
+        slow = Packet(pid=0, flow=FLOW, ipid=0)
+        fast = Packet(pid=1, flow=FiveTuple.of("3.0.0.1", "2.0.0.1", 1, 2), ipid=1)
+        assert nf.service.cost_ns(slow, 0) == 50_000
+        assert nf.service.cost_ns(fast, 0) == 1_000
+        assert wrapped.triggered == 1
+
+    def test_unknown_nf(self):
+        with pytest.raises(ConfigurationError):
+            BugSpec(nf="ghost", predicate=lambda f: True).install({})
+
+
+class TestPredicates:
+    def test_flow_set(self):
+        pred = flow_set_predicate([FLOW])
+        assert pred(FLOW)
+        assert not pred(FiveTuple.of("8.8.8.8", "2.0.0.1", 1, 2))
+
+    def test_subnet_port(self):
+        pred = subnet_port_predicate(
+            src_ip=FLOW.src_ip, src_ports=(900, 1_100), dst_ports=(80, 80)
+        )
+        assert pred(FLOW)
+        assert not pred(FiveTuple.of("1.0.0.1", "2.0.0.1", 2_000, 80))
+        assert not pred(FiveTuple.of("1.0.0.1", "2.0.0.1", 1_000, 443))

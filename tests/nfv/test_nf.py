@@ -1,0 +1,181 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nfv.events import EventLoop
+from repro.nfv.nf import FixedCost, FlowConditionalCost, NetworkFunction
+from repro.nfv.packet import FiveTuple, Packet
+from repro.util.rng import generator
+
+FLOW = FiveTuple.of("1.0.0.1", "2.0.0.1", 10, 80)
+SLOW_FLOW = FiveTuple.of("9.0.0.9", "2.0.0.1", 99, 80)
+
+
+class Harness:
+    """Binds one NF to a loop and records deliveries."""
+
+    def __init__(self, nf: NetworkFunction):
+        self.loop = EventLoop()
+        self.delivered = []
+        nf.bind(self.loop, self._deliver)
+        self.nf = nf
+
+    def _deliver(self, src, dst, packet, t):
+        self.delivered.append((dst, packet.pid, t))
+
+    def push(self, pid: int, t: int, flow=FLOW):
+        packet = Packet(pid=pid, flow=flow, ipid=pid % 65536)
+        self.loop.schedule(t, lambda: self.nf.enqueue(packet, self.loop.now))
+
+
+def passthrough(name="nf1", cost=1_000, **kwargs) -> NetworkFunction:
+    return NetworkFunction(
+        name, "test", FixedCost(cost), router=lambda p: None, **kwargs
+    )
+
+
+class TestServiceModels:
+    def test_fixed_cost(self):
+        model = FixedCost(500)
+        packet = Packet(pid=0, flow=FLOW, ipid=0)
+        assert model.cost_ns(packet, 0) == 500
+
+    def test_fixed_cost_rejects_bad(self):
+        with pytest.raises(ConfigurationError):
+            FixedCost(0)
+        with pytest.raises(ConfigurationError):
+            FixedCost(100, jitter=-1)
+        with pytest.raises(ConfigurationError):
+            FixedCost(100, jitter=0.1)  # jitter without rng
+
+    def test_jitter_varies(self):
+        model = FixedCost(1_000, jitter=0.2, rng=generator(1))
+        packet = Packet(pid=0, flow=FLOW, ipid=0)
+        costs = {model.cost_ns(packet, 0) for _ in range(32)}
+        assert len(costs) > 1
+        assert all(c >= 1 for c in costs)
+
+    def test_flow_conditional(self):
+        model = FlowConditionalCost(
+            FixedCost(500), predicate=lambda p: p.flow == SLOW_FLOW, slow_ns=20_000
+        )
+        fast = Packet(pid=0, flow=FLOW, ipid=0)
+        slow = Packet(pid=1, flow=SLOW_FLOW, ipid=1)
+        assert model.cost_ns(fast, 0) == 500
+        assert model.cost_ns(slow, 0) == 20_000
+        assert model.triggered == 1
+
+
+class TestBatching:
+    def test_single_packet_latency_is_service_cost(self):
+        h = Harness(passthrough(cost=1_000))
+        h.push(0, t=100)
+        h.loop.run()
+        assert h.delivered == [("", 0, 1_100)]
+
+    def test_batch_completes_as_unit(self):
+        h = Harness(passthrough(cost=1_000))
+        for i in range(5):
+            h.push(i, t=0)
+        h.loop.run()
+        # All five queued before the NF starts => one 5-packet batch.
+        times = {t for _, _, t in h.delivered}
+        assert times == {5_000}
+
+    def test_max_batch_respected(self):
+        h = Harness(passthrough(cost=100, max_batch=2))
+        for i in range(5):
+            h.push(i, t=0)
+        h.loop.run()
+        batch_times = sorted({t for _, _, t in h.delivered})
+        assert len(batch_times) == 3  # 2 + 2 + 1
+
+    def test_work_conserving(self):
+        # Packets arriving while busy are picked up immediately after.
+        h = Harness(passthrough(cost=1_000))
+        h.push(0, t=0)
+        h.push(1, t=500)
+        h.loop.run()
+        assert h.delivered[0][2] == 1_000
+        assert h.delivered[1][2] == 2_000
+
+    def test_stats(self):
+        nf = passthrough(cost=1_000)
+        h = Harness(nf)
+        for i in range(3):
+            h.push(i, t=0)
+        h.loop.run()
+        assert nf.stats.rx_packets == 3
+        assert nf.stats.tx_packets == 3
+        assert nf.stats.rx_batches == 1
+        assert nf.stats.busy_ns == 3_000
+
+
+class TestOverheadAccounting:
+    def test_per_batch_and_per_packet_overhead(self):
+        nf = passthrough(cost=1_000)
+        nf.per_batch_overhead_ns = 50
+        nf.per_packet_overhead_ns = 5
+        h = Harness(nf)
+        for i in range(2):
+            h.push(i, t=0)
+        h.loop.run()
+        assert {t for _, _, t in h.delivered} == {50 + 2 * 1_005}
+
+
+class TestStall:
+    def test_stall_while_idle_delays_start(self):
+        nf = passthrough(cost=1_000)
+        h = Harness(nf)
+        h.loop.schedule(0, lambda: nf.stall(10_000))
+        h.push(0, t=100)
+        h.loop.run()
+        assert h.delivered[0][2] == 10_000 + 1_000
+
+    def test_stall_mid_batch_extends_completion(self):
+        nf = passthrough(cost=1_000)
+        h = Harness(nf)
+        h.push(0, t=0)
+        h.loop.schedule(500, lambda: nf.stall(2_000))
+        h.loop.run()
+        assert h.delivered[0][2] == 1_000 + 2_000
+
+    def test_overlapping_stalls_accumulate(self):
+        nf = passthrough(cost=1_000)
+        h = Harness(nf)
+        h.loop.schedule(0, lambda: nf.stall(5_000))
+        h.loop.schedule(1_000, lambda: nf.stall(5_000))
+        h.push(0, t=10)
+        h.loop.run()
+        assert h.delivered[0][2] == 11_000  # 10k stall (stacked) + 1k service
+
+    def test_stall_rejects_nonpositive(self):
+        nf = passthrough()
+        Harness(nf)
+        with pytest.raises(ConfigurationError):
+            nf.stall(0)
+
+    def test_stall_records_stat(self):
+        nf = passthrough()
+        h = Harness(nf)
+        h.loop.schedule(0, lambda: nf.stall(123))
+        h.loop.run()
+        assert nf.stats.stall_ns == 123
+
+
+class TestRouting:
+    def test_multi_output_routing(self):
+        routes = {0: "left", 1: "right"}
+        nf = NetworkFunction(
+            "nf1", "test", FixedCost(100), router=lambda p: routes[p.pid % 2]
+        )
+        h = Harness(nf)
+        for i in range(4):
+            h.push(i, t=0)
+        h.loop.run()
+        assert {(dst, pid) for dst, pid, _ in h.delivered} == {
+            ("left", 0), ("right", 1), ("left", 2), ("right", 3),
+        }
+
+    def test_bad_max_batch(self):
+        with pytest.raises(ConfigurationError):
+            passthrough(max_batch=0)

@@ -1,0 +1,150 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nfv.events import EventLoop
+from repro.nfv.nfs import (
+    DEFAULT_COSTS_NS,
+    Firewall,
+    FirewallRule,
+    Monitor,
+    Nat,
+    Vpn,
+    make_nf,
+    peak_rate_pps,
+)
+from repro.nfv.packet import FiveTuple, Packet
+
+FLOW_WEB = FiveTuple.of("1.0.0.1", "2.0.0.1", 1234, 80)
+FLOW_SSH = FiveTuple.of("1.0.0.2", "2.0.0.1", 1234, 22)
+
+
+def drive(nf, packets):
+    """Run packets through one NF, returning [(dst, pid)]."""
+    loop = EventLoop()
+    delivered = []
+    nf.bind(loop, lambda s, d, p, t: delivered.append((d, p.pid)))
+    for i, packet in enumerate(packets):
+        loop.schedule(i, lambda p=packet: nf.enqueue(p, loop.now))
+    loop.run()
+    return delivered
+
+
+class TestPeakRate:
+    def test_from_defaults(self):
+        assert peak_rate_pps("vpn") == pytest.approx(1e9 / DEFAULT_COSTS_NS["vpn"])
+
+    def test_with_override(self):
+        assert peak_rate_pps("nat", cost_ns=2_000) == pytest.approx(500_000)
+
+
+class TestFirewallRule:
+    def test_wildcards_match_everything(self):
+        assert FirewallRule().matches(FLOW_WEB)
+
+    def test_port_range(self):
+        rule = FirewallRule(dst_port=(80, 443))
+        assert rule.matches(FLOW_WEB)
+        assert not rule.matches(FLOW_SSH)
+
+    def test_src_ip_exact(self):
+        rule = FirewallRule(src_ip=FLOW_WEB.src_ip)
+        assert rule.matches(FLOW_WEB)
+        assert not rule.matches(FLOW_SSH)
+
+    def test_proto(self):
+        assert not FirewallRule(proto=17).matches(FLOW_WEB)
+
+
+class TestFirewall:
+    def _fw(self, rules):
+        return Firewall(
+            "fw1",
+            route_match=lambda p: "mon1",
+            route_default=lambda p: "vpn1",
+            rules=rules,
+        )
+
+    def test_branching(self):
+        fw = self._fw([FirewallRule(dst_port=(80, 80), action="monitor")])
+        packets = [
+            Packet(pid=0, flow=FLOW_WEB, ipid=0),
+            Packet(pid=1, flow=FLOW_SSH, ipid=1),
+        ]
+        delivered = drive(fw, packets)
+        assert ("mon1", 0) in delivered
+        assert ("vpn1", 1) in delivered
+        assert fw.matched == 1
+        assert fw.passed == 1
+
+    def test_drop_action(self):
+        fw = self._fw([FirewallRule(dst_port=(80, 80), action="drop")])
+        delivered = drive(fw, [Packet(pid=0, flow=FLOW_WEB, ipid=0)])
+        assert delivered == [("", 0)]  # exits the graph (consumed)
+
+
+class TestNat:
+    def test_no_rewrite_by_default(self):
+        nat = Nat("nat1", router=lambda p: None)
+        packet = Packet(pid=0, flow=FLOW_WEB, ipid=0)
+        drive(nat, [packet])
+        assert packet.flow == FLOW_WEB
+        assert FLOW_WEB in nat.table
+
+    def test_rewrite(self):
+        nat = Nat("nat1", router=lambda p: None, rewrite=True, public_ip=0x0A000001)
+        packet = Packet(pid=0, flow=FLOW_WEB, ipid=0)
+        drive(nat, [packet])
+        assert packet.flow.src_ip == 0x0A000001
+        assert packet.flow.dst_ip == FLOW_WEB.dst_ip
+
+    def test_stable_mapping_per_flow(self):
+        nat = Nat("nat1", router=lambda p: None, rewrite=True)
+        p1 = Packet(pid=0, flow=FLOW_WEB, ipid=0)
+        p2 = Packet(pid=1, flow=FLOW_WEB, ipid=1)
+        drive(nat, [p1, p2])
+        assert p1.flow == p2.flow
+
+    def test_new_flow_costs_more(self):
+        nat = Nat("nat1", router=lambda p: None, cost_ns=1_000)
+        first = Packet(pid=0, flow=FLOW_WEB, ipid=0)
+        second = Packet(pid=1, flow=FLOW_WEB, ipid=1)
+        cost_first = nat.service.cost_ns(first, 0)
+        cost_second = nat.service.cost_ns(second, 0)
+        assert cost_first > cost_second
+
+
+class TestMonitor:
+    def test_accounting(self):
+        mon = Monitor("mon1", router=lambda p: None)
+        packets = [
+            Packet(pid=0, flow=FLOW_WEB, ipid=0, size_bytes=100),
+            Packet(pid=1, flow=FLOW_WEB, ipid=1, size_bytes=50),
+            Packet(pid=2, flow=FLOW_SSH, ipid=2),
+        ]
+        drive(mon, packets)
+        assert mon.flow_packets[FLOW_WEB] == 2
+        assert mon.flow_bytes[FLOW_WEB] == 150
+        assert mon.flow_packets[FLOW_SSH] == 1
+
+
+class TestVpn:
+    def test_size_dependent_cost(self):
+        vpn = Vpn("vpn1", router=lambda p: None, cost_ns=640)
+        small = Packet(pid=0, flow=FLOW_WEB, ipid=0, size_bytes=64)
+        large = Packet(pid=1, flow=FLOW_WEB, ipid=1, size_bytes=1_500)
+        assert vpn.service.cost_ns(large, 0) > vpn.service.cost_ns(small, 0)
+
+
+class TestFactory:
+    def test_make_simple_types(self):
+        for nf_type in ("nat", "monitor", "vpn"):
+            nf = make_nf(nf_type, f"x-{nf_type}", router=lambda p: None)
+            assert nf.nf_type == nf_type
+
+    def test_firewall_not_via_factory(self):
+        with pytest.raises(ConfigurationError):
+            make_nf("firewall", "fw", router=lambda p: None)
+
+    def test_unknown_type(self):
+        with pytest.raises(ConfigurationError):
+            make_nf("router", "r1", router=lambda p: None)

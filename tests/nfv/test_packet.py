@@ -1,0 +1,76 @@
+import pytest
+
+from repro.nfv.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    FiveTuple,
+    Packet,
+    ip_from_str,
+    ip_to_str,
+)
+
+
+class TestIpHelpers:
+    def test_roundtrip(self):
+        for dotted in ("0.0.0.0", "10.1.2.3", "255.255.255.255"):
+            assert ip_to_str(ip_from_str(dotted)) == dotted
+
+    def test_known_value(self):
+        assert ip_from_str("1.0.0.0") == 1 << 24
+
+
+class TestFiveTuple:
+    def test_of_builder(self):
+        ft = FiveTuple.of("10.0.0.1", "20.0.0.2", 1234, 80)
+        assert ft.proto == PROTO_TCP
+        assert ip_to_str(ft.src_ip) == "10.0.0.1"
+
+    def test_str(self):
+        ft = FiveTuple.of("10.0.0.1", "20.0.0.2", 1234, 80, PROTO_UDP)
+        assert str(ft) == "10.0.0.1:1234->20.0.0.2:80/17"
+
+    def test_hashable_and_equal(self):
+        a = FiveTuple.of("1.2.3.4", "5.6.7.8", 1, 2)
+        b = FiveTuple.of("1.2.3.4", "5.6.7.8", 1, 2)
+        assert a == b
+        assert len({a, b}) == 1
+
+    def test_rejects_bad_port(self):
+        with pytest.raises(ValueError):
+            FiveTuple(0, 0, 70_000, 0, 6)
+
+    def test_rejects_bad_ip(self):
+        with pytest.raises(ValueError):
+            FiveTuple(-1, 0, 0, 0, 6)
+
+    def test_rejects_bad_proto(self):
+        with pytest.raises(ValueError):
+            FiveTuple(0, 0, 0, 0, 300)
+
+    def test_as_tuple(self):
+        ft = FiveTuple(1, 2, 3, 4, 6)
+        assert ft.as_tuple() == (1, 2, 3, 4, 6)
+
+
+class TestPacket:
+    def _flow(self):
+        return FiveTuple.of("10.0.0.1", "20.0.0.2", 1234, 80)
+
+    def test_construction(self):
+        p = Packet(pid=1, flow=self._flow(), ipid=500)
+        assert p.size_bytes == 64
+        assert p.path == ()
+
+    def test_visited_appends(self):
+        p = Packet(pid=1, flow=self._flow(), ipid=0)
+        p.visited("nat1")
+        p.visited("vpn1")
+        assert p.path == ("nat1", "vpn1")
+
+    def test_rejects_bad_ipid(self):
+        with pytest.raises(ValueError):
+            Packet(pid=1, flow=self._flow(), ipid=65_536)
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ValueError):
+            Packet(pid=1, flow=self._flow(), ipid=0, size_bytes=0)

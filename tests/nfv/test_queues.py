@@ -1,0 +1,67 @@
+import pytest
+
+from repro.nfv.packet import FiveTuple, Packet
+from repro.nfv.queues import InputQueue
+
+
+def make_packet(pid: int) -> Packet:
+    return Packet(pid=pid, flow=FiveTuple.of("1.1.1.1", "2.2.2.2", 1, 2), ipid=pid % 65536)
+
+
+class TestPushPop:
+    def test_fifo_order(self):
+        q = InputQueue("nf", capacity=10)
+        for i in range(5):
+            assert q.push(make_packet(i), now_ns=i)
+        batch = q.pop_batch(3)
+        assert [p.pid for p, _ in batch] == [0, 1, 2]
+        assert [t for _, t in batch] == [0, 1, 2]
+
+    def test_pop_batch_limited_by_content(self):
+        q = InputQueue("nf")
+        q.push(make_packet(0), 0)
+        assert len(q.pop_batch(32)) == 1
+        assert q.pop_batch(32) == []
+
+    def test_pop_batch_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            InputQueue("nf").pop_batch(0)
+
+    def test_head_enqueue_time(self):
+        q = InputQueue("nf")
+        assert q.head_enqueue_time() is None
+        q.push(make_packet(0), 123)
+        assert q.head_enqueue_time() == 123
+
+
+class TestOverflow:
+    def test_drop_on_full(self):
+        q = InputQueue("nf", capacity=2)
+        assert q.push(make_packet(0), 0)
+        assert q.push(make_packet(1), 1)
+        assert not q.push(make_packet(2), 2)
+        assert len(q.drops) == 1
+        assert q.drops[0].pid == 2
+        assert q.drops[0].node == "nf"
+
+    def test_counters(self):
+        q = InputQueue("nf", capacity=1)
+        q.push(make_packet(0), 0)
+        q.push(make_packet(1), 1)
+        q.pop_batch(8)
+        assert q.offered == 2
+        assert q.accepted == 1
+        assert q.dequeued == 1
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            InputQueue("nf", capacity=0)
+
+    def test_peak_depth(self):
+        q = InputQueue("nf", capacity=100)
+        for i in range(7):
+            q.push(make_packet(i), i)
+        q.pop_batch(5)
+        for i in range(3):
+            q.push(make_packet(10 + i), 10 + i)
+        assert q.peak_depth == 7

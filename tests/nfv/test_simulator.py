@@ -1,0 +1,123 @@
+import pytest
+
+from repro.errors import TopologyError
+from repro.nfv import (
+    FiveTuple,
+    InterruptInjector,
+    InterruptSpec,
+    Nat,
+    NetworkFunction,
+    Packet,
+    Simulator,
+    Topology,
+    TrafficSource,
+    Vpn,
+    calibrate_peak_rate,
+    constant_target,
+)
+from repro.nfv.nf import FixedCost
+from tests.conftest import MAIN_FLOW, PROBE_FLOW, run_interrupt_chain
+
+
+def simple_topology():
+    topo = Topology()
+    topo.add_nf(Vpn("vpn1", router=lambda p: None))
+    topo.add_source("src")
+    topo.connect("src", "vpn1")
+    return topo
+
+
+def schedule(n, flow=MAIN_FLOW, gap=2_000):
+    return [(i * gap, Packet(pid=i, flow=flow, ipid=i % 65536)) for i in range(n)]
+
+
+class TestBasicRuns:
+    def test_all_packets_complete(self):
+        topo = simple_topology()
+        src = TrafficSource("src", schedule(100), constant_target("vpn1"))
+        result = Simulator(topo, [src]).run()
+        assert len(result.completed_packets()) == 100
+        assert result.drops == []
+
+    def test_unregistered_source_rejected(self):
+        topo = simple_topology()
+        src = TrafficSource("ghost", schedule(1), constant_target("vpn1"))
+        with pytest.raises(TopologyError):
+            Simulator(topo, [src])
+
+    def test_undeclared_edge_detected(self):
+        topo = Topology()
+        topo.add_nf(Nat("nat1", router=lambda p: "vpn1"))  # edge never declared
+        topo.add_nf(Vpn("vpn1", router=lambda p: None))
+        topo.add_source("src")
+        topo.connect("src", "nat1")
+        topo.connect("src", "vpn1")
+        src = TrafficSource("src", schedule(1), constant_target("nat1"))
+        with pytest.raises(TopologyError):
+            Simulator(topo, [src]).run()
+
+    def test_ground_truth_hops_complete(self):
+        result = run_interrupt_chain(duration_ns=1_000_000)
+        for trace in result.completed_packets():
+            for hop in trace.hops:
+                assert hop.enqueue_ns <= hop.read_ns <= hop.depart_ns
+
+    def test_end_to_end_latency_positive(self):
+        result = run_interrupt_chain(duration_ns=1_000_000)
+        assert all(p.end_to_end_ns > 0 for p in result.completed_packets())
+
+
+class TestPropagationDelay:
+    def test_edge_delay_applied(self):
+        topo = Topology()
+        topo.add_nf(Vpn("vpn1", router=lambda p: None, cost_ns=100))
+        topo.add_source("src")
+        topo.connect("src", "vpn1", delay_ns=7_777)
+        src = TrafficSource("src", schedule(1), constant_target("vpn1"))
+        result = Simulator(topo, [src]).run()
+        packet = result.completed_packets()[0]
+        assert packet.hops[0].enqueue_ns == 7_777
+
+
+class TestInterruptEffects:
+    def test_interrupt_inflates_latency(self):
+        calm = run_interrupt_chain(interrupt_ns=1)  # negligible
+        stormy = run_interrupt_chain(interrupt_ns=800_000)
+        calm_max = max(p.end_to_end_ns for p in calm.completed_packets())
+        stormy_max = max(p.end_to_end_ns for p in stormy.completed_packets())
+        assert stormy_max > calm_max + 500_000
+
+    def test_interrupt_affects_probe_flow_via_queue(self):
+        result = run_interrupt_chain()
+        probe = [
+            p for p in result.completed_packets() if p.flow == PROBE_FLOW
+        ]
+        worst = max(p.end_to_end_ns for p in probe)
+        # Probe packets never traverse the NAT yet suffer from its stall.
+        assert worst > 100_000
+
+
+class TestDrops:
+    def test_queue_overflow_recorded(self):
+        topo = Topology()
+        topo.add_nf(Vpn("vpn1", router=lambda p: None, cost_ns=10_000, queue_capacity=16))
+        topo.add_source("src")
+        topo.connect("src", "vpn1")
+        src = TrafficSource("src", schedule(200, gap=100), constant_target("vpn1"))
+        result = Simulator(topo, [src]).run()
+        assert len(result.drops) > 0
+        dropped = [p for p in result.trace.packets.values() if p.dropped_at == "vpn1"]
+        assert len(dropped) == len(result.drops)
+
+
+class TestCalibration:
+    def test_matches_configured_cost(self):
+        rate = calibrate_peak_rate(
+            lambda: NetworkFunction("x", "test", FixedCost(1_000), router=lambda p: None)
+        )
+        assert rate == pytest.approx(1e6, rel=0.05)
+
+    def test_faster_nf_higher_rate(self):
+        fast = calibrate_peak_rate(lambda: Vpn("v", router=lambda p: None, cost_ns=320))
+        slow = calibrate_peak_rate(lambda: Vpn("v", router=lambda p: None, cost_ns=640))
+        assert fast > slow * 1.5

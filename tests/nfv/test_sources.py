@@ -1,0 +1,47 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nfv.packet import FiveTuple, Packet
+from repro.nfv.sources import TrafficSource, constant_target, flow_hash_balancer
+
+
+def packet(pid, src="1.0.0.1"):
+    return Packet(pid=pid, flow=FiveTuple.of(src, "2.0.0.1", pid % 60_000 + 1, 80), ipid=0)
+
+
+class TestTrafficSource:
+    def test_rejects_unsorted_schedule(self):
+        with pytest.raises(ConfigurationError):
+            TrafficSource("s", [(10, packet(0)), (5, packet(1))], constant_target("a"))
+
+    def test_len_and_end(self):
+        src = TrafficSource("s", [(0, packet(0)), (9, packet(1))], constant_target("a"))
+        assert len(src) == 2
+        assert src.end_ns() == 9
+
+    def test_empty_end(self):
+        assert TrafficSource("s", [], constant_target("a")).end_ns() == 0
+
+
+class TestBalancers:
+    def test_constant_target(self):
+        assert constant_target("nat1")(packet(0)) == "nat1"
+
+    def test_flow_hash_deterministic(self):
+        balance = flow_hash_balancer(["a", "b", "c"])
+        p = packet(0)
+        assert balance(p) == balance(p)
+
+    def test_flow_hash_same_flow_same_target(self):
+        balance = flow_hash_balancer(["a", "b", "c"])
+        p1, p2 = packet(0), packet(0)
+        assert balance(p1) == balance(p2)
+
+    def test_flow_hash_spreads(self):
+        balance = flow_hash_balancer(["a", "b", "c", "d"])
+        targets = {balance(packet(i)) for i in range(200)}
+        assert len(targets) == 4
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ConfigurationError):
+            flow_hash_balancer([])

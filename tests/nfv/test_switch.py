@@ -1,0 +1,66 @@
+"""Switches as diagnosable NFs (paper section 7 / footnote 1)."""
+
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.records import DiagTrace
+from repro.core.report import ranked_entities
+from repro.core.victims import VictimSelector
+from repro.nfv import (
+    FiveTuple,
+    InterruptInjector,
+    InterruptSpec,
+    Simulator,
+    Switch,
+    Topology,
+    TrafficSource,
+    Vpn,
+    constant_target,
+    make_nf,
+)
+from repro.traffic import IpidSpace, PidAllocator, constant_rate_flow
+from repro.util.rng import generator
+from repro.util.timebase import MSEC, USEC
+
+FLOW = FiveTuple.of("10.1.0.1", "20.1.0.1", 1111, 80)
+
+
+class TestSwitchType:
+    def test_factory(self):
+        switch = make_nf("switch", "sw1", router=lambda p: None)
+        assert switch.nf_type == "switch"
+
+    def test_fast_forwarding(self):
+        from repro.nfv import calibrate_peak_rate
+
+        rate = calibrate_peak_rate(lambda: Switch("sw", router=lambda p: None))
+        assert rate > 10e6  # an order faster than the NFs
+
+
+class TestSwitchDiagnosis:
+    def test_switch_stall_diagnosed_like_an_nf(self):
+        """A hiccup in the software switch is found by the same machinery."""
+        topo = Topology()
+        topo.add_nf(Switch("sw1", router=lambda p: "vpn1"))
+        topo.add_nf(Vpn("vpn1", router=lambda p: None))
+        topo.add_source("src")
+        topo.connect("src", "sw1")
+        topo.connect("sw1", "vpn1")
+        pids = PidAllocator()
+        ipids = IpidSpace(generator(3))
+        schedule = constant_rate_flow(FLOW, 1_000_000, 4 * MSEC, pids, ipids)
+        result = Simulator(
+            topo,
+            [TrafficSource("src", schedule, constant_target("sw1"))],
+            injectors=[
+                InterruptInjector([InterruptSpec("sw1", 1_000 * USEC, 700 * USEC)])
+            ],
+        ).run()
+        trace = DiagTrace.from_sim_result(result)
+        victims = [
+            v
+            for v in VictimSelector(trace).hop_latency_victims(pct=99.0, nf="vpn1")
+            if 1_700 * USEC <= v.arrival_ns <= 3_000 * USEC
+        ]
+        assert victims
+        engine = MicroscopeEngine(trace)
+        ranking = ranked_entities(engine.diagnose(victims[0]), trace)
+        assert ranking[0][0] == ("nf", "sw1")

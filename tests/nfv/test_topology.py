@@ -1,0 +1,111 @@
+import pytest
+
+from repro.errors import TopologyError
+from repro.nfv.nf import FixedCost, NetworkFunction
+from repro.nfv.topology import DEFAULT_DELAY_NS, Topology
+
+
+def nf(name, nxt=None):
+    return NetworkFunction(name, "test", FixedCost(100), router=lambda p: nxt)
+
+
+class TestConstruction:
+    def test_duplicate_nf_name(self):
+        topo = Topology()
+        topo.add_nf(nf("a"))
+        with pytest.raises(TopologyError):
+            topo.add_nf(nf("a"))
+
+    def test_duplicate_source_vs_nf(self):
+        topo = Topology()
+        topo.add_nf(nf("a"))
+        with pytest.raises(TopologyError):
+            topo.add_source("a")
+
+    def test_connect_unknown_nodes(self):
+        topo = Topology()
+        topo.add_nf(nf("a"))
+        with pytest.raises(TopologyError):
+            topo.connect("ghost", "a")
+        with pytest.raises(TopologyError):
+            topo.connect("a", "ghost")
+
+    def test_negative_delay(self):
+        topo = Topology()
+        topo.add_nf(nf("a"))
+        topo.add_nf(nf("b"))
+        with pytest.raises(TopologyError):
+            topo.connect("a", "b", delay_ns=-1)
+
+    def test_default_delay(self):
+        topo = Topology()
+        topo.add_nf(nf("a"))
+        topo.add_nf(nf("b"))
+        topo.connect("a", "b")
+        assert topo.delay_ns("a", "b") == DEFAULT_DELAY_NS
+
+
+class TestQueries:
+    def _diamond(self):
+        topo = Topology()
+        for name in ("a", "b", "c", "d"):
+            topo.add_nf(nf(name))
+        topo.add_source("s")
+        topo.connect("s", "a")
+        topo.connect("a", "b")
+        topo.connect("a", "c")
+        topo.connect("b", "d")
+        topo.connect("c", "d")
+        return topo
+
+    def test_successors_predecessors(self):
+        topo = self._diamond()
+        assert topo.successors("a") == {"b", "c"}
+        assert topo.predecessors("d") == {"b", "c"}
+
+    def test_upstream_closure(self):
+        topo = self._diamond()
+        assert topo.upstream_closure("d") == {"s", "a", "b", "c"}
+        assert topo.upstream_closure("s") == set()
+
+    def test_missing_edge_raises(self):
+        topo = self._diamond()
+        with pytest.raises(TopologyError):
+            topo.delay_ns("b", "c")
+
+    def test_topological_order(self):
+        topo = self._diamond()
+        order = topo.topological_order()
+        assert order.index("s") < order.index("a") < order.index("d")
+
+    def test_validate_ok(self):
+        self._diamond().validate()
+
+    def test_cycle_detection(self):
+        topo = Topology()
+        topo.add_nf(nf("a"))
+        topo.add_nf(nf("b"))
+        topo.add_source("s")
+        topo.connect("s", "a")
+        topo.connect("a", "b")
+        topo.connect("b", "a")
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_unreachable_nf(self):
+        topo = Topology()
+        topo.add_nf(nf("a"))
+        topo.add_nf(nf("island"))
+        topo.add_source("s")
+        topo.connect("s", "a")
+        with pytest.raises(TopologyError):
+            topo.validate()
+
+    def test_nf_types(self):
+        topo = self._diamond()
+        assert topo.nf_types() == {n: "test" for n in ("a", "b", "c", "d")}
+
+    def test_peak_rates(self):
+        topo = self._diamond()
+        rates = topo.peak_rates_pps()
+        assert rates["a"] == pytest.approx(1e9 / 100)

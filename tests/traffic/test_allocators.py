@@ -1,0 +1,39 @@
+from repro.traffic.allocators import IpidSpace, PidAllocator
+from repro.util.rng import generator
+
+
+class TestPidAllocator:
+    def test_monotone_unique(self):
+        pids = PidAllocator()
+        values = [pids.next() for _ in range(100)]
+        assert values == list(range(100))
+
+    def test_start_offset(self):
+        assert PidAllocator(start=10).next() == 10
+
+
+class TestIpidSpace:
+    def test_per_host_increment(self):
+        space = IpidSpace(generator(1))
+        first = space.next(0x0A000001)
+        second = space.next(0x0A000001)
+        assert second == (first + 1) % 65_536
+
+    def test_hosts_independent(self):
+        space = IpidSpace(generator(1))
+        a = space.next(1)
+        b = space.next(2)
+        space.next(2)
+        assert space.next(1) == (a + 1) % 65_536
+
+    def test_wraps_at_16_bits(self):
+        space = IpidSpace(generator(1))
+        space._counters[42] = 65_535
+        assert space.next(42) == 65_535
+        assert space.next(42) == 0
+
+    def test_all_in_range(self):
+        space = IpidSpace(generator(2))
+        for host in range(50):
+            ipid = space.next(host)
+            assert 0 <= ipid <= 65_535

@@ -1,0 +1,57 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nfv.packet import FiveTuple
+from repro.traffic.allocators import IpidSpace, PidAllocator
+from repro.traffic.bursts import BurstSpec, burst_schedule, inject_bursts
+from repro.traffic.caida import CaidaLikeTraffic
+from repro.util.rng import generator
+from repro.util.timebase import MSEC
+
+FLOW = FiveTuple.of("100.0.0.1", "32.0.0.1", 2000, 6000)
+
+
+class TestBurstSpec:
+    def test_duration(self):
+        spec = BurstSpec(flow=FLOW, at_ns=0, n_packets=10, gap_ns=100)
+        assert spec.duration_ns == 900
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BurstSpec(flow=FLOW, at_ns=0, n_packets=0)
+        with pytest.raises(ConfigurationError):
+            BurstSpec(flow=FLOW, at_ns=-1, n_packets=1)
+        with pytest.raises(ConfigurationError):
+            BurstSpec(flow=FLOW, at_ns=0, n_packets=1, gap_ns=-1)
+
+
+class TestBurstSchedule:
+    def test_timing_and_identity(self):
+        spec = BurstSpec(flow=FLOW, at_ns=1_000, n_packets=5, gap_ns=80)
+        pids = PidAllocator()
+        ipids = IpidSpace(generator(0))
+        schedule = burst_schedule(spec, pids, ipids)
+        assert [t for t, _ in schedule] == [1_000, 1_080, 1_160, 1_240, 1_320]
+        assert all(p.flow == FLOW for _, p in schedule)
+        assert [p.pid for _, p in schedule] == [0, 1, 2, 3, 4]
+
+
+class TestInjectBursts:
+    def test_merged_sorted_and_counted(self):
+        pids = PidAllocator()
+        ipids = IpidSpace(generator(0))
+        base = CaidaLikeTraffic(rate_pps=100_000, duration_ns=10 * MSEC, seed=1).generate(
+            pids, ipids
+        )
+        specs = [
+            BurstSpec(flow=FLOW, at_ns=2 * MSEC, n_packets=100),
+            BurstSpec(flow=FLOW, at_ns=7 * MSEC, n_packets=50),
+        ]
+        merged = inject_bursts(base, specs, pids, ipids)
+        assert merged.n_packets == base.n_packets + 150
+        times = [t for t, _ in merged.schedule]
+        assert times == sorted(times)
+        # Base unchanged.
+        assert base.n_packets == len(base.schedule)
+        # Burst flows recorded in metadata.
+        assert sum(1 for f in merged.flows if f.flow == FLOW) == 2

@@ -1,0 +1,91 @@
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import ConfigurationError
+from repro.traffic.caida import CaidaLikeTraffic
+from repro.util.timebase import MSEC
+
+
+class TestValidation:
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            CaidaLikeTraffic(rate_pps=0, duration_ns=MSEC)
+
+    def test_rejects_bad_duration(self):
+        with pytest.raises(ConfigurationError):
+            CaidaLikeTraffic(rate_pps=1e5, duration_ns=0)
+
+    def test_rejects_bad_alpha(self):
+        with pytest.raises(ConfigurationError):
+            CaidaLikeTraffic(rate_pps=1e5, duration_ns=MSEC, pareto_alpha=1.0)
+
+    def test_rejects_bad_flow_rate(self):
+        with pytest.raises(ConfigurationError):
+            CaidaLikeTraffic(rate_pps=1e5, duration_ns=MSEC, flow_rate_pps=0)
+
+
+class TestGeneration:
+    def _trace(self, seed=0, rate=200_000, duration=20 * MSEC, **kw):
+        return CaidaLikeTraffic(
+            rate_pps=rate, duration_ns=duration, seed=seed, **kw
+        ).generate()
+
+    def test_deterministic(self):
+        a = self._trace(seed=3)
+        b = self._trace(seed=3)
+        assert [(t, p.flow, p.ipid) for t, p in a.schedule] == [
+            (t, p.flow, p.ipid) for t, p in b.schedule
+        ]
+
+    def test_seed_changes_traffic(self):
+        a = self._trace(seed=1)
+        b = self._trace(seed=2)
+        assert [p.flow for _, p in a.schedule[:50]] != [p.flow for _, p in b.schedule[:50]]
+
+    def test_rate_approximately_hit(self):
+        trace = self._trace()
+        assert trace.rate_pps() == pytest.approx(200_000, rel=0.15)
+
+    def test_time_sorted(self):
+        times = [t for t, _ in self._trace().schedule]
+        assert times == sorted(times)
+
+    def test_pids_unique(self):
+        pids = [p.pid for _, p in self._trace().schedule]
+        assert len(set(pids)) == len(pids)
+
+    def test_within_duration(self):
+        duration = 20 * MSEC
+        trace = self._trace(duration=duration)
+        assert all(0 <= t <= duration for t, _ in trace.schedule)
+
+    def test_heavy_tail(self):
+        trace = self._trace(rate=400_000)
+        sizes = sorted(f.n_packets for f in trace.flows)
+        # Mice dominate, elephants exist.
+        assert sizes[len(sizes) // 2] <= 20
+        assert sizes[-1] >= 5 * sizes[len(sizes) // 2]
+
+    def test_max_flow_cap(self):
+        trace = self._trace(max_flow_packets=64)
+        assert max(f.n_packets for f in trace.flows) <= 64
+
+    def test_flow_metadata_consistent(self):
+        trace = self._trace()
+        assert sum(f.n_packets for f in trace.flows) == trace.n_packets
+
+    def test_protocol_mix(self):
+        trace = self._trace()
+        protos = [p.flow.proto for _, p in trace.schedule]
+        tcp_share = protos.count(6) / len(protos)
+        assert 0.6 < tcp_share < 1.0
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 1_000))
+    def test_property_any_seed_valid(self, seed):
+        trace = CaidaLikeTraffic(
+            rate_pps=50_000, duration_ns=5 * MSEC, seed=seed
+        ).generate()
+        times = [t for t, _ in trace.schedule]
+        assert times == sorted(times)
+        assert trace.n_packets > 0

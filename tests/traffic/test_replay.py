@@ -1,0 +1,70 @@
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nfv.packet import FiveTuple
+from repro.traffic.allocators import IpidSpace, PidAllocator
+from repro.traffic.caida import CaidaLikeTraffic
+from repro.traffic.replay import constant_rate_flow, merge_schedules, rescale_to_rate
+from repro.util.rng import generator
+from repro.util.timebase import MSEC
+
+FLOW = FiveTuple.of("50.0.0.1", "60.0.0.1", 5555, 443)
+
+
+class TestRescale:
+    def test_rate_hit(self):
+        trace = CaidaLikeTraffic(rate_pps=100_000, duration_ns=10 * MSEC, seed=0).generate()
+        rescaled = rescale_to_rate(trace, 200_000)
+        assert rescaled.rate_pps() == pytest.approx(200_000, rel=0.05)
+
+    def test_order_preserved(self):
+        trace = CaidaLikeTraffic(rate_pps=100_000, duration_ns=10 * MSEC, seed=0).generate()
+        rescaled = rescale_to_rate(trace, 50_000)
+        assert [p.pid for _, p in rescaled.schedule] == [p.pid for _, p in trace.schedule]
+
+    def test_rejects_bad_rate(self):
+        trace = CaidaLikeTraffic(rate_pps=100_000, duration_ns=MSEC, seed=0).generate()
+        with pytest.raises(ConfigurationError):
+            rescale_to_rate(trace, 0)
+
+
+class TestMerge:
+    def test_merge_sorted(self):
+        pids = PidAllocator()
+        ipids = IpidSpace(generator(0))
+        a = constant_rate_flow(FLOW, 100_000, MSEC, pids, ipids)
+        b = constant_rate_flow(FLOW, 50_000, MSEC, pids, ipids, start_ns=100)
+        merged = merge_schedules(a, b)
+        assert len(merged) == len(a) + len(b)
+        times = [t for t, _ in merged]
+        assert times == sorted(times)
+
+
+class TestConstantRateFlow:
+    def test_periodic_gaps(self):
+        pids = PidAllocator()
+        ipids = IpidSpace(generator(0))
+        schedule = constant_rate_flow(FLOW, 1_000_000, 10_000, pids, ipids)
+        times = [t for t, _ in schedule]
+        gaps = {b - a for a, b in zip(times, times[1:])}
+        assert gaps == {1_000}
+
+    def test_expected_count(self):
+        pids = PidAllocator()
+        ipids = IpidSpace(generator(0))
+        schedule = constant_rate_flow(FLOW, 200_000, 5 * MSEC, pids, ipids)
+        assert len(schedule) == pytest.approx(1_000, abs=2)
+
+    def test_jittered_gaps_vary(self):
+        pids = PidAllocator()
+        ipids = IpidSpace(generator(0))
+        schedule = constant_rate_flow(
+            FLOW, 200_000, 5 * MSEC, pids, ipids, jitter_rng=generator(7)
+        )
+        times = [t for t, _ in schedule]
+        gaps = {b - a for a, b in zip(times, times[1:])}
+        assert len(gaps) > 10
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ConfigurationError):
+            constant_rate_flow(FLOW, 0, MSEC, PidAllocator(), IpidSpace(generator(0)))

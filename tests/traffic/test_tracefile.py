@@ -1,0 +1,77 @@
+import pytest
+
+from repro.errors import TraceError
+from repro.traffic.allocators import PidAllocator
+from repro.traffic.caida import CaidaLikeTraffic
+from repro.traffic.tracefile import read_trace, write_trace
+from repro.util.timebase import MSEC
+
+
+@pytest.fixture
+def trace_schedule():
+    return CaidaLikeTraffic(rate_pps=100_000, duration_ns=5 * MSEC, seed=2).generate().schedule
+
+
+class TestRoundTrip:
+    def test_exact(self, tmp_path, trace_schedule):
+        path = tmp_path / "caida.mtrc"
+        count = write_trace(path, trace_schedule)
+        assert count == len(trace_schedule)
+        loaded = read_trace(path)
+        assert len(loaded) == len(trace_schedule)
+        for (t1, p1), (t2, p2) in zip(trace_schedule, loaded):
+            assert t1 == t2
+            assert p1.flow == p2.flow
+            assert p1.ipid == p2.ipid
+            assert p1.size_bytes == p2.size_bytes
+
+    def test_pids_reassigned_via_allocator(self, tmp_path, trace_schedule):
+        path = tmp_path / "t.mtrc"
+        write_trace(path, trace_schedule)
+        pids = PidAllocator(start=1_000)
+        loaded = read_trace(path, pids=pids)
+        assert loaded[0][1].pid == 1_000
+
+    def test_file_size(self, tmp_path, trace_schedule):
+        path = tmp_path / "t.mtrc"
+        write_trace(path, trace_schedule)
+        assert path.stat().st_size == 14 + 25 * len(trace_schedule)
+
+
+class TestErrors:
+    def test_unsorted_rejected(self, tmp_path, trace_schedule):
+        path = tmp_path / "bad.mtrc"
+        reversed_schedule = list(reversed(trace_schedule))
+        with pytest.raises(TraceError):
+            write_trace(path, reversed_schedule)
+
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "bogus.mtrc"
+        path.write_bytes(b"NOPE" + b"\x00" * 20)
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+    def test_truncated(self, tmp_path, trace_schedule):
+        path = tmp_path / "t.mtrc"
+        write_trace(path, trace_schedule)
+        data = path.read_bytes()
+        path.write_bytes(data[:-5])
+        with pytest.raises(TraceError):
+            read_trace(path)
+
+
+class TestReplayFromFile:
+    def test_simulation_from_saved_trace(self, tmp_path, trace_schedule):
+        from repro.nfv import Simulator, Topology, TrafficSource, Vpn, constant_target
+
+        path = tmp_path / "t.mtrc"
+        write_trace(path, trace_schedule)
+        loaded = read_trace(path)
+        topo = Topology()
+        topo.add_nf(Vpn("v", router=lambda p: None))
+        topo.add_source("src")
+        topo.connect("src", "v")
+        result = Simulator(
+            topo, [TrafficSource("src", loaded, constant_target("v"))]
+        ).run()
+        assert len(result.completed_packets()) == len(loaded)

@@ -1,0 +1,46 @@
+from repro.traffic.workloads import caida_with_bursts, random_burst_specs, steady_caida
+from repro.util.timebase import MSEC
+
+
+class TestSteadyCaida:
+    def test_basic(self):
+        w = steady_caida(rate_pps=100_000, duration_ns=10 * MSEC, seed=4)
+        assert w.trace.n_packets > 0
+        assert w.seed == 4
+
+    def test_allocators_continue(self):
+        w = steady_caida(rate_pps=50_000, duration_ns=5 * MSEC, seed=4)
+        next_pid = w.pids.next()
+        assert next_pid == w.trace.n_packets
+
+
+class TestRandomBurstSpecs:
+    def test_count_and_ranges(self):
+        specs = random_burst_specs(5, 100 * MSEC, seed=1)
+        assert len(specs) == 5
+        assert all(500 <= s.n_packets <= 2_500 for s in specs)
+
+    def test_time_separation(self):
+        specs = random_burst_specs(5, 100 * MSEC, seed=1)
+        starts = sorted(s.at_ns for s in specs)
+        gaps = [b - a for a, b in zip(starts, starts[1:])]
+        assert min(gaps) > 10 * MSEC
+
+    def test_unique_flows(self):
+        specs = random_burst_specs(5, 100 * MSEC, seed=1)
+        assert len({s.flow for s in specs}) == 5
+
+
+class TestCaidaWithBursts:
+    def test_bursts_present(self):
+        specs = random_burst_specs(3, 50 * MSEC, seed=2)
+        w = caida_with_bursts(100_000, 50 * MSEC, specs, seed=2)
+        flows = {p.flow for _, p in w.trace.schedule}
+        for spec in specs:
+            assert spec.flow in flows
+
+    def test_pid_uniqueness_across_merge(self):
+        specs = random_burst_specs(3, 50 * MSEC, seed=2)
+        w = caida_with_bursts(100_000, 50 * MSEC, specs, seed=2)
+        pids = [p.pid for _, p in w.trace.schedule]
+        assert len(set(pids)) == len(pids)

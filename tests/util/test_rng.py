@@ -1,0 +1,28 @@
+from repro.util.rng import generator, substream
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        assert generator(7).integers(0, 1_000_000) == generator(7).integers(0, 1_000_000)
+
+    def test_seed_sensitivity(self):
+        a = generator(1).integers(0, 1 << 62)
+        b = generator(2).integers(0, 1 << 62)
+        assert a != b
+
+
+class TestSubstream:
+    def test_deterministic(self):
+        x = substream(3, "traffic").integers(0, 1 << 62)
+        y = substream(3, "traffic").integers(0, 1 << 62)
+        assert x == y
+
+    def test_label_independence(self):
+        a = substream(3, "traffic").integers(0, 1 << 62)
+        b = substream(3, "faults").integers(0, 1 << 62)
+        assert a != b
+
+    def test_seed_independence(self):
+        a = substream(3, "traffic").integers(0, 1 << 62)
+        b = substream(4, "traffic").integers(0, 1 << 62)
+        assert a != b

@@ -1,0 +1,163 @@
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import (
+    RollingStats,
+    Summary,
+    Welford,
+    argsort_desc,
+    cdf_points,
+    percentile,
+    rate_series,
+)
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1, 2, 3], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5, 1, 9, 3]
+        assert percentile(data, 0) == 1
+        assert percentile(data, 100) == 9
+
+    def test_single_element(self):
+        assert percentile([7], 99) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+
+    @given(st.lists(st.floats(-1e9, 1e9), min_size=1, max_size=50),
+           st.floats(0, 100))
+    def test_within_bounds(self, values, pct):
+        result = percentile(values, pct)
+        assert min(values) <= result <= max(values)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50))
+    def test_monotone_in_pct(self, values):
+        assert percentile(values, 25) <= percentile(values, 75)
+
+
+class TestCdfPoints:
+    def test_empty(self):
+        assert cdf_points([]) == []
+
+    def test_sorted_and_complete(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert [v for v, _ in points] == [1.0, 2.0, 3.0]
+        assert points[-1][1] == pytest.approx(1.0)
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=40))
+    def test_fractions_increase(self, values):
+        points = cdf_points(values)
+        fractions = [f for _, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == pytest.approx(1.0)
+
+
+class TestRollingStats:
+    def test_needs_window_ge_2(self):
+        with pytest.raises(ValueError):
+            RollingStats(window=1)
+
+    def test_mean_std(self):
+        stats = RollingStats(window=10)
+        for v in (2.0, 4.0, 6.0):
+            stats.push(v)
+        assert stats.mean == pytest.approx(4.0)
+        assert stats.std == pytest.approx(math.sqrt(8 / 3))
+
+    def test_eviction(self):
+        stats = RollingStats(window=2)
+        for v in (100.0, 1.0, 3.0):
+            stats.push(v)
+        assert stats.mean == pytest.approx(2.0)
+
+    def test_abnormality_warmup(self):
+        stats = RollingStats(window=8)
+        assert not stats.is_abnormal(1e9)
+        stats.push(1.0)
+        assert not stats.is_abnormal(1e9)
+
+    def test_abnormality_detection(self):
+        stats = RollingStats(window=64)
+        for _ in range(50):
+            stats.push(100.0)
+        stats.push(101.0)  # tiny variance now exists
+        assert stats.is_abnormal(200.0)
+        assert not stats.is_abnormal(100.0)
+
+    def test_empty_mean_raises(self):
+        with pytest.raises(ValueError):
+            RollingStats().mean
+
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=1, max_size=200))
+    def test_matches_naive_window(self, values):
+        window = 16
+        stats = RollingStats(window=window)
+        for v in values:
+            stats.push(v)
+        tail = values[-window:]
+        assert stats.mean == pytest.approx(sum(tail) / len(tail), abs=1e-6)
+
+
+class TestWelford:
+    @given(st.lists(st.floats(-1e3, 1e3), min_size=2, max_size=100))
+    def test_matches_batch_formulas(self, values):
+        w = Welford()
+        for v in values:
+            w.push(v)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / len(values)
+        assert w.mean == pytest.approx(mean, abs=1e-6)
+        assert w.variance == pytest.approx(var, rel=1e-6, abs=1e-6)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            Welford().mean
+
+
+class TestRateSeries:
+    def test_empty(self):
+        assert rate_series([], 1_000) == []
+
+    def test_counts_scaled_to_pps(self):
+        # 4 events in the first 1 us bin => 4 Mpps.
+        series = rate_series([0, 100, 200, 300], bin_ns=1_000)
+        assert series[0][1] == pytest.approx(4e9 / 1_000)
+
+    def test_total_events_preserved(self):
+        times = list(range(0, 10_000, 37))
+        series = rate_series(times, bin_ns=1_000)
+        total = sum(r * 1_000 / 1e9 for _, r in series)
+        assert round(total) == len(times)
+
+    def test_bad_bin_raises(self):
+        with pytest.raises(ValueError):
+            rate_series([1], 0)
+
+
+class TestSummaryAndArgsort:
+    def test_summary(self):
+        s = Summary.of([1.0, 2.0, 3.0, 4.0])
+        assert s.count == 4
+        assert s.minimum == 1.0
+        assert s.maximum == 4.0
+        assert s.p50 == pytest.approx(2.5)
+
+    def test_summary_empty_raises(self):
+        with pytest.raises(ValueError):
+            Summary.of([])
+
+    def test_argsort_desc_stable(self):
+        assert argsort_desc([1.0, 3.0, 3.0, 2.0]) == [1, 2, 3, 0]

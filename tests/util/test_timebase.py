@@ -1,0 +1,65 @@
+import pytest
+
+from repro.util import timebase as tb
+
+
+class TestConversions:
+    def test_units(self):
+        assert tb.USEC == 1_000
+        assert tb.MSEC == 1_000_000
+        assert tb.SEC == 1_000_000_000
+
+    def test_ns_from_us(self):
+        assert tb.ns_from_us(1.5) == 1_500
+
+    def test_ns_from_ms(self):
+        assert tb.ns_from_ms(2) == 2_000_000
+
+    def test_ns_from_s(self):
+        assert tb.ns_from_s(0.25) == 250_000_000
+
+    def test_roundtrip_us(self):
+        assert tb.us_from_ns(tb.ns_from_us(123.456)) == pytest.approx(123.456)
+
+    def test_roundtrip_ms(self):
+        assert tb.ms_from_ns(tb.ns_from_ms(9.75)) == pytest.approx(9.75)
+
+    def test_roundtrip_s(self):
+        assert tb.s_from_ns(tb.ns_from_s(1.5)) == pytest.approx(1.5)
+
+
+class TestRates:
+    def test_pps_from_cost(self):
+        assert tb.pps_from_cost(1_000) == pytest.approx(1_000_000)
+
+    def test_cost_from_pps(self):
+        assert tb.cost_from_pps(2_000_000) == 500
+
+    def test_inverse_relationship(self):
+        for cost in (100, 640, 2_800, 20_000):
+            assert tb.cost_from_pps(tb.pps_from_cost(cost)) == cost
+
+    def test_pps_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tb.pps_from_cost(0)
+
+    def test_cost_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            tb.cost_from_pps(-1)
+
+    def test_cost_never_zero(self):
+        assert tb.cost_from_pps(1e12) == 1
+
+
+class TestFormat:
+    def test_ns(self):
+        assert tb.format_ns(999) == "999ns"
+
+    def test_us(self):
+        assert tb.format_ns(1_500) == "1.500us"
+
+    def test_ms(self):
+        assert tb.format_ns(2_300_000) == "2.300ms"
+
+    def test_s(self):
+        assert tb.format_ns(1_500_000_000) == "1.500s"
