@@ -16,6 +16,7 @@ from repro.core.victims import VictimSelector
 from repro.nfv import Simulator, TrafficSource, Vpn, Topology, constant_target
 from repro.nfv.packet import FiveTuple, Packet
 from repro.util.rng import generator
+from repro.util.timebase import MSEC
 from tests.conftest import run_interrupt_chain
 
 
@@ -44,6 +45,20 @@ def chain_trace():
     return DiagTrace.from_sim_result(run_interrupt_chain())
 
 
+@pytest.fixture(scope="module")
+def heavy_chain():
+    """A longer interrupt-chain run: >= 200 victims at the VPN.
+
+    This is the ISSUE-1 acceptance workload for the diagnosis fast path
+    (indexing + memoization + parallel diagnose_all); ``record_bench.py``
+    runs the same scenario when emitting ``BENCH_diagnosis.json``.
+    """
+    trace = DiagTrace.from_sim_result(run_interrupt_chain(duration_ns=20 * MSEC))
+    victims = VictimSelector(trace).hop_latency_victims(pct=99.0, nf="vpn1")
+    assert len(victims) >= 200
+    return trace, victims
+
+
 def test_queuing_analyzer_build(benchmark, chain_trace):
     view = chain_trace.nfs["vpn1"]
     analyzer = benchmark(lambda: QueuingAnalyzer(view))
@@ -60,6 +75,53 @@ def test_diagnosis_per_victim(benchmark, chain_trace):
 
     diagnosis = benchmark(diagnose)
     assert diagnosis.culprits
+
+
+def test_diagnose_all_serial_unmemoized(benchmark, heavy_chain):
+    """The memo-free reference: a fresh engine per round, no cache reuse."""
+    trace, victims = heavy_chain
+    diags = benchmark(
+        lambda: MicroscopeEngine(trace, memoize=False).diagnose_all(victims)
+    )
+    assert len(diags) == len(victims)
+
+
+def test_diagnose_all_memoized_cold(benchmark, heavy_chain):
+    """Fast path from a cold cache: engine construction included per round."""
+    trace, victims = heavy_chain
+    diags = benchmark(lambda: MicroscopeEngine(trace).diagnose_all(victims))
+    assert len(diags) == len(victims)
+
+
+def test_diagnose_all_memoized_warm(benchmark, heavy_chain):
+    """Fast path with pre-warmed period/decomposition caches."""
+    trace, victims = heavy_chain
+    engine = MicroscopeEngine(trace)
+    engine.diagnose_all(victims)  # warm every memo layer
+    diags = benchmark(lambda: engine.diagnose_all(victims))
+    assert len(diags) == len(victims)
+    assert engine.cache_stats.hits > 0
+
+
+def test_diagnose_all_parallel_workers(benchmark, heavy_chain):
+    """Process-pool sharding; single round (pool startup dominates)."""
+    trace, victims = heavy_chain
+    diags = benchmark.pedantic(
+        lambda: MicroscopeEngine(trace).diagnose_all(victims, workers=2),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(diags) == len(victims)
+
+
+def test_diagnose_all_modes_identical(heavy_chain):
+    """Not a timing: the three modes must emit identical culprit lists."""
+    trace, victims = heavy_chain
+    memo = MicroscopeEngine(trace).diagnose_all(victims)
+    plain = MicroscopeEngine(trace, memoize=False).diagnose_all(victims)
+    parallel = MicroscopeEngine(trace).diagnose_all(victims, workers=2)
+    assert [d.culprits for d in memo] == [d.culprits for d in plain]
+    assert [d.culprits for d in memo] == [d.culprits for d in parallel]
 
 
 def test_autofocus_throughput(benchmark):

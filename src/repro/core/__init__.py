@@ -1,12 +1,13 @@
 """Microscope's core diagnosis: queuing periods, scores, propagation,
 recursion, victim selection and reporting."""
 
-from repro.core.diagnosis import Culprit, MicroscopeEngine, VictimDiagnosis
+from repro.core.diagnosis import CacheStats, Culprit, MicroscopeEngine, VictimDiagnosis
 from repro.core.explain import explain, explain_many
 from repro.core.local import LocalScores, local_scores
 from repro.core.propagation import (
     EntityShare,
     PathAttribution,
+    PathDecomposition,
     attribute_reductions,
     propagation_scores,
 )
@@ -23,9 +24,11 @@ from repro.core.report import (
 from repro.core.victims import Victim, VictimSelector
 
 __all__ = [
+    "CacheStats",
     "CausalRelation",
     "ChunkResult",
     "Culprit",
+    "PathDecomposition",
     "DiagTrace",
     "EntityShare",
     "LocalScores",

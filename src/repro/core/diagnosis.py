@@ -16,15 +16,37 @@ Per victim the engine:
 Recursion terminates at traffic sources, when scores vanish, when no
 queuing data exists upstream, or at ``max_depth`` (the paper observes at
 most five levels on the 16-NF topology).
+
+Fast path (on by default, ``memoize=True``): victims of the same queue
+buildup repeat each other's work — recursion converges on identical
+upstream periods, and depth-0 PreSets of later victims extend earlier
+victims' PreSets.  The engine therefore memoizes per-period local scores,
+PreSets (inside :class:`QueuingAnalyzer`), and path decompositions
+(:class:`PathDecomposition`, keyed by ``(nf, first_arrival_idx)`` so any
+PreSet prefix of the same buildup reuses one walk).  Memoization is
+result-invariant: every mode computes through the same code path, so
+culprit lists are bit-identical with it on or off.
+
+``diagnose_all(victims, workers=N)`` additionally shards victims over a
+process pool; each worker rebuilds the engine from the (picklable) trace
+once and chunks are reassembled in submission order, so output order and
+content match the serial path exactly.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.local import LocalScores, local_scores
-from repro.core.propagation import EntityShare, PathAttribution, propagation_scores
+from repro.core.propagation import (
+    EntityShare,
+    PathAttribution,
+    PathDecomposition,
+    propagation_scores,
+)
 from repro.core.queuing import QueuingAnalyzer, QueuingPeriod
 from repro.core.records import DiagTrace
 from repro.core.victims import Victim
@@ -71,6 +93,26 @@ class VictimDiagnosis:
         return sum(c.score for c in self.culprits)
 
 
+@dataclass
+class CacheStats:
+    """Hit/miss counters for the engine's memo layers."""
+
+    local_hits: int = 0
+    local_misses: int = 0
+    decomp_hits: int = 0
+    decomp_misses: int = 0
+    preset_hits: int = 0
+    preset_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.local_hits + self.decomp_hits + self.preset_hits
+
+    @property
+    def misses(self) -> int:
+        return self.local_misses + self.decomp_misses + self.preset_misses
+
+
 class MicroscopeEngine:
     """Offline diagnosis over a :class:`DiagTrace`."""
 
@@ -80,14 +122,37 @@ class MicroscopeEngine:
         max_depth: int = 8,
         min_score: float = 1e-3,
         queue_threshold: int = 0,
+        memoize: bool = True,
     ) -> None:
         if max_depth < 1:
             raise DiagnosisError(f"max_depth must be >= 1, got {max_depth}")
         self.trace = trace
         self.max_depth = max_depth
         self.min_score = min_score
+        self.memoize = memoize
         self._analyzers: Dict[str, QueuingAnalyzer] = {}
         self._queue_threshold = queue_threshold
+        # Period-keyed memo layers (see module docstring).
+        self._local_cache: Dict[QueuingPeriod, LocalScores] = {}
+        self._local_hits = 0
+        self._local_misses = 0
+        self._decomps: Dict[Tuple[str, int], PathDecomposition] = {}
+        self._decomp_hits = 0
+        self._decomp_misses = 0
+
+    @property
+    def cache_stats(self) -> CacheStats:
+        """Aggregated hit/miss counters across all memo layers."""
+        preset_hits = sum(a.preset_hits for a in self._analyzers.values())
+        preset_misses = sum(a.preset_misses for a in self._analyzers.values())
+        return CacheStats(
+            local_hits=self._local_hits,
+            local_misses=self._local_misses,
+            decomp_hits=self._decomp_hits,
+            decomp_misses=self._decomp_misses,
+            preset_hits=preset_hits,
+            preset_misses=preset_misses,
+        )
 
     def analyzer(self, nf: str) -> QueuingAnalyzer:
         cached = self._analyzers.get(nf)
@@ -95,9 +160,46 @@ class MicroscopeEngine:
             view = self.trace.nfs.get(nf)
             if view is None:
                 raise DiagnosisError(f"no trace data for NF {nf!r}")
-            cached = QueuingAnalyzer(view, threshold=self._queue_threshold)
+            cached = QueuingAnalyzer(
+                view, threshold=self._queue_threshold, cache_presets=self.memoize
+            )
             self._analyzers[nf] = cached
         return cached
+
+    # -- memo layers ----------------------------------------------------------
+
+    def _local_scores(self, period: QueuingPeriod, peak_rate_pps: float) -> LocalScores:
+        if not self.memoize:
+            return local_scores(period, peak_rate_pps)
+        cached = self._local_cache.get(period)
+        if cached is not None:
+            self._local_hits += 1
+            return cached
+        self._local_misses += 1
+        scores = local_scores(period, peak_rate_pps)
+        self._local_cache[period] = scores
+        return scores
+
+    def _decomposition(
+        self, nf: str, period: QueuingPeriod
+    ) -> Optional[PathDecomposition]:
+        """Shared path decomposition for one queue buildup, or None.
+
+        Keyed by ``(nf, first_arrival_idx)``: every victim of the same
+        buildup sees a PreSet that extends earlier victims', so one
+        decomposition serves them all via prefix queries.
+        """
+        if not self.memoize:
+            return None
+        key = (nf, period.first_arrival_idx)
+        decomp = self._decomps.get(key)
+        if decomp is None:
+            self._decomp_misses += 1
+            decomp = PathDecomposition(self.trace, nf)
+            self._decomps[key] = decomp
+        else:
+            self._decomp_hits += 1
+        return decomp
 
     # -- top-level ------------------------------------------------------------
 
@@ -125,7 +227,7 @@ class MicroscopeEngine:
             )
             return result
 
-        scores = local_scores(period, self.trace.nfs[victim.nf].peak_rate_pps)
+        scores = self._local_scores(period, self.trace.nfs[victim.nf].peak_rate_pps)
         result.local = scores
         preset = analyzer.preset_pids(period)
         if scores.sp > self.min_score:
@@ -144,34 +246,85 @@ class MicroscopeEngine:
         if scores.si > self.min_score:
             self._attribute_input(
                 nf=victim.nf,
+                period=period,
                 preset=preset,
                 si=scores.si,
-                n_input=period.n_input,
                 victim=victim,
                 depth=0,
                 result=result,
             )
         return result
 
-    def diagnose_all(self, victims: Sequence[Victim]) -> List[VictimDiagnosis]:
-        return [self.diagnose(victim) for victim in victims]
+    def diagnose_all(
+        self, victims: Sequence[Victim], workers: Optional[int] = None
+    ) -> List[VictimDiagnosis]:
+        """Diagnose every victim, serially or across a process pool.
+
+        ``workers=None`` (or ``0``/``1``) keeps the serial path.  With
+        ``workers=N`` victims are sharded into contiguous chunks across N
+        worker processes; each worker builds its own engine from the trace
+        (handed over by pickling once per worker) and results come back in
+        victim order, identical to the serial output.
+        """
+        if workers is None or workers <= 1 or len(victims) <= 1:
+            return [self.diagnose(victim) for victim in victims]
+        return self._diagnose_parallel(victims, workers)
+
+    def _diagnose_parallel(
+        self, victims: Sequence[Victim], workers: int
+    ) -> List[VictimDiagnosis]:
+        n_chunks = min(workers, len(victims))
+        chunk_size = (len(victims) + n_chunks - 1) // n_chunks
+        chunks = [
+            list(victims[i : i + chunk_size])
+            for i in range(0, len(victims), chunk_size)
+        ]
+        # Fork keeps the trace handoff cheap where available (the child
+        # inherits it); spawn platforms fall back to pickling via initargs.
+        methods = multiprocessing.get_all_start_methods()
+        context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        init_args = (
+            self.trace,
+            self.max_depth,
+            self.min_score,
+            self._queue_threshold,
+            self.memoize,
+        )
+        with ProcessPoolExecutor(
+            max_workers=n_chunks,
+            mp_context=context,
+            initializer=_parallel_worker_init,
+            initargs=init_args,
+        ) as pool:
+            futures = [pool.submit(_parallel_worker_diagnose, c) for c in chunks]
+            results: List[VictimDiagnosis] = []
+            for future in futures:
+                results.extend(future.result())
+        return results
 
     # -- recursion ------------------------------------------------------------
 
     def _attribute_input(
         self,
         nf: str,
+        period: QueuingPeriod,
         preset: List[int],
         si: float,
-        n_input: int,
         victim: Victim,
         depth: int,
         result: VictimDiagnosis,
     ) -> None:
         peak = self.trace.nfs[nf].peak_rate_pps
-        texp_ns = n_input / peak * 1e9
+        texp_ns = period.n_input / peak * 1e9
         shares, attributions = propagation_scores(
-            self.trace, nf, preset, si, texp_ns
+            self.trace,
+            nf,
+            preset,
+            si,
+            texp_ns,
+            decomposition=self._decomposition(nf, period),
         )
         if depth == 0:
             result.attributions = attributions
@@ -204,7 +357,9 @@ class MicroscopeEngine:
                         victim_pid=victim.pid,
                         victim_nf=victim.nf,
                         depth=depth,
-                        culprit_time_ns=self._earliest_emit(share.subset_pids),
+                        culprit_time_ns=self._earliest_emit(
+                            share.subset_pids, victim.arrival_ns
+                        ),
                     )
                 )
             else:
@@ -215,7 +370,11 @@ class MicroscopeEngine:
     ) -> None:
         nf = share.name
         result.recursion_depth = max(result.recursion_depth, depth + 1)
-        first = self._first_preset_arrival(nf, share.subset_pids)
+        # propagation_scores precomputes the earliest subset arrival; the
+        # scan only runs for externally built shares without one.
+        first = share.first_hop_arrival
+        if first is None:
+            first = self._first_preset_arrival(nf, share.subset_pids)
         period = None
         if first is not None and depth + 1 < self.max_depth:
             first_pid, first_arrival = first
@@ -246,7 +405,7 @@ class MicroscopeEngine:
                 )
             )
             return
-        scores = local_scores(period, self.trace.nfs[nf].peak_rate_pps)
+        scores = self._local_scores(period, self.trace.nfs[nf].peak_rate_pps)
         if scores.total <= 0:
             sp_share, si_share = share.score, 0.0
         else:
@@ -269,9 +428,9 @@ class MicroscopeEngine:
         if si_share > self.min_score:
             self._attribute_input(
                 nf=nf,
+                period=period,
                 preset=preset,
                 si=si_share,
-                n_input=period.n_input,
                 victim=victim,
                 depth=depth + 1,
                 result=result,
@@ -283,8 +442,9 @@ class MicroscopeEngine:
         self, nf: str, pids: Sequence[int]
     ) -> Optional[Tuple[int, int]]:
         best: Optional[Tuple[int, int]] = None
+        packets = self.trace.packets
         for pid in pids:
-            packet = self.trace.packets.get(pid)
+            packet = packets.get(pid)
             if packet is None:
                 continue
             hop = packet.hop_at(nf)
@@ -294,10 +454,44 @@ class MicroscopeEngine:
                 best = (pid, hop.arrival_ns)
         return best
 
-    def _earliest_emit(self, pids: Sequence[int]) -> int:
+    def _earliest_emit(self, pids: Sequence[int], fallback_ns: int) -> int:
+        """Earliest emit time among ``pids``, or ``fallback_ns``.
+
+        The fallback matters when none of the pids exist in the trace
+        (e.g. a chunked sub-trace whose margin cut them off): reporting 0
+        would put the culprit at the epoch and wreck time-gap statistics,
+        so the victim's own arrival time stands in instead.
+        """
         times = [
             self.trace.packets[pid].emitted_ns
             for pid in pids
             if pid in self.trace.packets
         ]
-        return min(times) if times else 0
+        return min(times) if times else fallback_ns
+
+
+# -- process-pool plumbing (module level so spawn contexts can pickle it) -----
+
+_WORKER_ENGINE: Optional[MicroscopeEngine] = None
+
+
+def _parallel_worker_init(
+    trace: DiagTrace,
+    max_depth: int,
+    min_score: float,
+    queue_threshold: int,
+    memoize: bool,
+) -> None:
+    global _WORKER_ENGINE
+    _WORKER_ENGINE = MicroscopeEngine(
+        trace,
+        max_depth=max_depth,
+        min_score=min_score,
+        queue_threshold=queue_threshold,
+        memoize=memoize,
+    )
+
+
+def _parallel_worker_diagnose(victims: List[Victim]) -> List[VictimDiagnosis]:
+    assert _WORKER_ENGINE is not None, "worker pool used before initialization"
+    return [_WORKER_ENGINE.diagnose(victim) for victim in victims]

@@ -16,25 +16,43 @@ For DAGs the PreSet is partitioned by path; every path uses the same
 ``T_exp`` (interleaving argument in the paper), each path weighs ``Si`` by
 its packet share, and merged per-NF scores are proportionally scaled down
 if they exceed ``Si``.
+
+Fast path: the expensive part — grouping PreSet packets by path and
+collecting per-hop departure extents — depends only on the victim NF and
+the PreSet *stream*, not on ``si``/``texp``.  :class:`PathDecomposition`
+performs that walk once and answers any PreSet *prefix* via prefix-min/max
+arrays, so the diagnosis engine can reuse one decomposition across every
+victim of the same queuing period (their PreSets are prefixes of each
+other).  ``propagation_scores`` always computes through a decomposition,
+which keeps cached and uncached results bit-identical.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import bisect
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.records import DiagTrace, PacketView
+from repro.core.records import DiagTrace
 from repro.errors import DiagnosisError
 
 
 @dataclass(frozen=True)
 class EntityShare:
-    """Score assigned to one upstream entity (a source or an NF)."""
+    """Score assigned to one upstream entity (a source or an NF).
+
+    ``first_hop_arrival`` is ``(pid, arrival_ns)`` of the earliest
+    ``subset_pids`` arrival at the entity (NF entities only; ties broken
+    by smallest pid, exactly like a scan over the sorted subset).  The
+    engine's recursion uses it to locate the upstream queuing period
+    without re-walking the subset.
+    """
 
     name: str
     is_source: bool
     score: float
     subset_pids: Tuple[int, ...]
+    first_hop_arrival: Optional[Tuple[int, int]] = None
 
 
 @dataclass
@@ -72,14 +90,134 @@ def attribute_reductions(sequence: Sequence[float]) -> List[float]:
     return contributions
 
 
-def _path_of(packet: PacketView, victim_nf: str) -> Tuple[str, ...]:
-    return (packet.source,) + tuple(h.nf for h in packet.hops_before(victim_nf))
+class _PathGroup:
+    """One path's PreSet members with prefix-extent arrays.
+
+    ``positions[i]`` is the i-th member's index in the full PreSet stream;
+    ``emit_min/emit_max[i]`` (and per-hop ``hop_min/hop_max[h][i]``) hold
+    the running min/max over members ``0..i``, so any PreSet prefix's
+    timespans read off in O(1) after a bisect on ``positions``.
+    """
+
+    __slots__ = (
+        "path",
+        "pids",
+        "positions",
+        "emit_min",
+        "emit_max",
+        "hop_min",
+        "hop_max",
+        "hop_first",
+    )
+
+    def __init__(self, path: Tuple[str, ...]) -> None:
+        self.path = path
+        self.pids: List[int] = []
+        self.positions: List[int] = []
+        self.emit_min: List[int] = []
+        self.emit_max: List[int] = []
+        n_hops = len(path) - 1
+        self.hop_min: List[List[int]] = [[] for _ in range(n_hops)]
+        self.hop_max: List[List[int]] = [[] for _ in range(n_hops)]
+        # Prefix min of (arrival_ns, pid) per hop: the earliest member
+        # arrival there, smallest pid on ties (see EntityShare).
+        self.hop_first: List[List[Tuple[int, int]]] = [[] for _ in range(n_hops)]
+
+    def add(
+        self,
+        pid: int,
+        position: int,
+        emit_ns: int,
+        arrivals: Tuple[int, ...],
+        departs: Tuple[int, ...],
+    ) -> None:
+        prev = len(self.pids) - 1
+        self.pids.append(pid)
+        self.positions.append(position)
+        if prev < 0:
+            self.emit_min.append(emit_ns)
+            self.emit_max.append(emit_ns)
+            for h, depart in enumerate(departs):
+                self.hop_min[h].append(depart)
+                self.hop_max[h].append(depart)
+                self.hop_first[h].append((arrivals[h], pid))
+        else:
+            self.emit_min.append(min(self.emit_min[prev], emit_ns))
+            self.emit_max.append(max(self.emit_max[prev], emit_ns))
+            for h, depart in enumerate(departs):
+                self.hop_min[h].append(min(self.hop_min[h][prev], depart))
+                self.hop_max[h].append(max(self.hop_max[h][prev], depart))
+                self.hop_first[h].append(
+                    min(self.hop_first[h][prev], (arrivals[h], pid))
+                )
+
+    def prefix_count(self, m: int) -> int:
+        """How many members sit in the first ``m`` PreSet entries."""
+        return bisect.bisect_right(self.positions, m - 1)
+
+    def spans(self, k: int) -> List[float]:
+        """[T_source, T_1, ..., T_k] over the first ``k`` members."""
+        last = k - 1
+        result = [float(self.emit_max[last] - self.emit_min[last])]
+        for h in range(len(self.hop_min)):
+            result.append(float(self.hop_max[h][last] - self.hop_min[h][last]))
+        return result
 
 
-def _timespan(values: Sequence[int]) -> float:
-    if not values:
-        return 0.0
-    return float(max(values) - min(values))
+class PathDecomposition:
+    """Path grouping of one NF's PreSet stream, reusable across prefixes.
+
+    Built (and extended) by consuming PreSet pids in arrival order; any
+    victim whose PreSet is a prefix of the consumed stream queries it
+    without re-walking packet hop lists.
+    """
+
+    def __init__(self, trace: DiagTrace, victim_nf: str) -> None:
+        self.trace = trace
+        self.victim_nf = victim_nf
+        self._groups: Dict[Tuple[str, ...], _PathGroup] = {}
+        self._order: List[_PathGroup] = []
+        self.consumed = 0
+
+    def extend(self, pids: Sequence[int]) -> None:
+        """Append further PreSet entries (arrival order) to the stream."""
+        packets = self.trace.packets
+        victim_nf = self.victim_nf
+        for pid in pids:
+            position = self.consumed
+            self.consumed += 1
+            packet = packets.get(pid)
+            if packet is None:
+                continue
+            names, arrivals, departs = packet.upstream_of(victim_nf)
+            path = (packet.source,) + names
+            group = self._groups.get(path)
+            if group is None:
+                group = _PathGroup(path)
+                self._groups[path] = group
+                self._order.append(group)
+            group.add(pid, position, packet.emitted_ns, arrivals, departs)
+
+    def ensure(self, preset_pids: Sequence[int]) -> int:
+        """Consume any PreSet suffix not yet seen; return the prefix length.
+
+        The caller guarantees ``preset_pids`` extends the stream consumed
+        so far (true for queuing periods: a later victim's PreSet is a
+        strict extension of an earlier victim's).
+        """
+        if len(preset_pids) > self.consumed:
+            self.extend(preset_pids[self.consumed :])
+        return len(preset_pids)
+
+    def prefix_groups(self, m: int) -> List[Tuple[_PathGroup, int]]:
+        """(group, member-count) pairs with >= 1 member in the length-``m``
+        prefix, in first-occurrence order."""
+        result: List[Tuple[_PathGroup, int]] = []
+        for group in self._order:
+            k = group.prefix_count(m)
+            if k:
+                result.append((group, k))
+        return result
 
 
 def propagation_scores(
@@ -88,52 +226,48 @@ def propagation_scores(
     preset_pids: Sequence[int],
     si: float,
     texp_ns: float,
+    decomposition: Optional[PathDecomposition] = None,
 ) -> Tuple[List[EntityShare], List[PathAttribution]]:
-    """Split ``si`` among upstream entities for the given PreSet."""
+    """Split ``si`` among upstream entities for the given PreSet.
+
+    ``decomposition``, when given, must be a :class:`PathDecomposition`
+    for ``(trace, victim_nf)`` whose consumed stream ``preset_pids`` is a
+    prefix of (it is extended as needed).  Passing one only changes the
+    cost, never the result.
+    """
     if si < 0:
         raise DiagnosisError(f"si must be non-negative, got {si}")
     if not preset_pids or si == 0:
         return [], []
 
-    groups: Dict[Tuple[str, ...], List[int]] = {}
-    for pid in preset_pids:
-        packet = trace.packets.get(pid)
-        if packet is None:
-            continue
-        groups.setdefault(_path_of(packet, victim_nf), []).append(pid)
+    if decomposition is None:
+        decomposition = PathDecomposition(trace, victim_nf)
+    m = decomposition.ensure(preset_pids)
+    groups = decomposition.prefix_groups(m)
 
-    total = sum(len(pids) for pids in groups.values())
+    total = sum(k for _group, k in groups)
     if total == 0:
         return [], []
 
     merged_scores: Dict[Tuple[str, bool], float] = {}
     merged_pids: Dict[Tuple[str, bool], List[int]] = {}
+    merged_first: Dict[Tuple[str, bool], Tuple[int, int]] = {}  # (arrival, pid)
     attributions: List[PathAttribution] = []
 
-    for path, pids in groups.items():
+    for group, k in groups:
+        path = group.path
         source, nf_hops = path[0], path[1:]
-        subset = set(pids)
+        pids = group.pids[:k]
         spans: List[float] = [texp_ns]
-        emit_times = [
-            trace.packets[pid].emitted_ns for pid in pids
-        ]
-        spans.append(_timespan(emit_times))
-        for nf in nf_hops:
-            departs = [
-                hop.depart_ns
-                for pid in pids
-                for hop in (trace.packets[pid].hop_at(nf),)
-                if hop is not None
-            ]
-            spans.append(_timespan(departs))
+        spans.extend(group.spans(k))
         contributions = attribute_reductions(spans)
-        weight = len(pids) / total
+        weight = k / total
         share = si * weight
         total_contrib = sum(contributions)
         attributions.append(
             PathAttribution(
                 path=path,
-                subset_pids=tuple(sorted(subset)),
+                subset_pids=tuple(sorted(set(pids))),
                 timespans_ns=tuple(spans),
                 contributions=tuple(contributions),
                 share_of_si=share,
@@ -142,13 +276,20 @@ def propagation_scores(
         if total_contrib <= 0:
             continue
         entities = [(source, True)] + [(nf, False) for nf in nf_hops]
-        for (name, is_source), contrib in zip(entities, contributions):
+        for entity_idx, ((name, is_source), contrib) in enumerate(
+            zip(entities, contributions)
+        ):
             if contrib <= 0:
                 continue
             score = share * contrib / total_contrib
             key = (name, is_source)
             merged_scores[key] = merged_scores.get(key, 0.0) + score
             merged_pids.setdefault(key, []).extend(pids)
+            if not is_source:
+                first = group.hop_first[entity_idx - 1][k - 1]
+                current = merged_first.get(key)
+                if current is None or first < current:
+                    merged_first[key] = first
 
     # Safety scale-down: per-path weighting keeps the sum at or below si,
     # but guard against float drift (and future attribution variants).
@@ -163,6 +304,11 @@ def propagation_scores(
             is_source=is_source,
             score=score * scale,
             subset_pids=tuple(sorted(set(merged_pids[(name, is_source)]))),
+            first_hop_arrival=(
+                None
+                if (first := merged_first.get((name, is_source))) is None
+                else (first[1], first[0])
+            ),
         )
         for (name, is_source), score in merged_scores.items()
     ]

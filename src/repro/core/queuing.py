@@ -44,15 +44,32 @@ class QueuingPeriod:
         """Queue occupancy seen by the victim on arrival."""
         return self.n_input - self.n_processed
 
+    @property
+    def key(self) -> Tuple[str, int, int]:
+        """Cache key identifying this period's arrival slice.
+
+        Victims of the same queue buildup share ``first_arrival_idx``;
+        ``last_arrival_idx`` distinguishes how deep into the buildup each
+        victim arrived.  The diagnosis fast path keys its memo tables on
+        this (see ``MicroscopeEngine``).
+        """
+        return (self.nf, self.first_arrival_idx, self.last_arrival_idx)
+
 
 class QueuingAnalyzer:
     """Per-NF queuing-period index over one :class:`NFView`."""
 
-    def __init__(self, view: NFView, threshold: int = 0) -> None:
+    def __init__(
+        self, view: NFView, threshold: int = 0, cache_presets: bool = True
+    ) -> None:
         if threshold < 0:
             raise DiagnosisError(f"queue threshold must be >= 0, got {threshold}")
         self.view = view
         self.threshold = threshold
+        self.cache_presets = cache_presets
+        self._preset_cache: Dict[Tuple[int, int], List[int]] = {}
+        self.preset_hits = 0
+        self.preset_misses = 0
         # Merged events: (time, kind, stream index); arrivals (kind 0) sort
         # before reads (kind 1) at equal timestamps, matching the simulator's
         # enqueue-then-read ordering within one nanosecond.
@@ -138,13 +155,28 @@ class QueuingAnalyzer:
         )
 
     def preset_pids(self, period: QueuingPeriod) -> List[int]:
-        """The PreSet(p): pids of arrivals during the queuing period."""
-        return [
+        """The PreSet(p): pids of arrivals during the queuing period.
+
+        With ``cache_presets`` the slice is materialized once per
+        ``(first, last)`` pair and the cached list is returned directly —
+        callers must treat it as read-only (all engine callers do).
+        """
+        key = (period.first_arrival_idx, period.last_arrival_idx)
+        if self.cache_presets:
+            cached = self._preset_cache.get(key)
+            if cached is not None:
+                self.preset_hits += 1
+                return cached
+            self.preset_misses += 1
+        preset = [
             pid
             for _t, pid in self.view.arrivals[
                 period.first_arrival_idx : period.last_arrival_idx
             ]
         ]
+        if self.cache_presets:
+            self._preset_cache[key] = preset
+        return preset
 
 
 def periods_from_batches(

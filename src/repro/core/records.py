@@ -50,21 +50,69 @@ class PacketView:
     dropped_at: Optional[str] = None
     dropped_ns: int = -1
     exited_ns: int = -1
+    # Lazy nf -> position index over ``hops`` (first occurrence wins, like
+    # the linear scan it replaces).  Rebuilt whenever ``hops`` grew since
+    # the last build, so post-construction appends stay safe.
+    _hop_index: Optional[Dict[str, int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _hop_index_len: int = field(default=-1, repr=False, compare=False)
+    # Lazy nf -> (upstream path, arrivals, departs) cache; see upstream_of.
+    _upstream_cache: Optional[Dict[str, Tuple[tuple, tuple, tuple]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def _index(self) -> Dict[str, int]:
+        if self._hop_index is None or self._hop_index_len != len(self.hops):
+            index: Dict[str, int] = {}
+            for pos, hop in enumerate(self.hops):
+                index.setdefault(hop.nf, pos)
+            self._hop_index = index
+            self._hop_index_len = len(self.hops)
+            self._upstream_cache = {}
+        return self._hop_index
+
+    def hop_position(self, nf: str) -> Optional[int]:
+        """Position of ``nf`` on this packet's hop list, or None."""
+        return self._index().get(nf)
 
     def hop_at(self, nf: str) -> Optional[PacketHop]:
-        for hop in self.hops:
-            if hop.nf == nf:
-                return hop
-        return None
+        pos = self._index().get(nf)
+        return None if pos is None else self.hops[pos]
 
     def hops_before(self, nf: str) -> List[PacketHop]:
         """Hops strictly upstream of ``nf`` on this packet's path."""
-        result: List[PacketHop] = []
-        for hop in self.hops:
-            if hop.nf == nf:
-                return result
-            result.append(hop)
-        return result
+        pos = self._index().get(nf)
+        if pos is None:
+            return list(self.hops)
+        return self.hops[:pos]
+
+    def upstream_of(self, nf: str) -> Tuple[Tuple[str, ...], Tuple[int, ...], Tuple[int, ...]]:
+        """Cached ``(path, arrivals, departs)`` for the hops upstream of ``nf``.
+
+        ``path`` lists the upstream NF names in hop order (duplicates kept,
+        so looping paths group exactly as before); ``arrivals``/``departs``
+        align with it, and a repeated name reports its *first* occurrence's
+        times, matching what ``hop_at`` used to return.  The propagation
+        fast path calls this once per (packet, victim NF) instead of
+        re-walking hop lists for every victim.
+        """
+        cache = self._upstream_cache
+        if cache is None or self._hop_index_len != len(self.hops):
+            self._index()  # refresh both lazy structures together
+            cache = self._upstream_cache = {}
+        cached = cache.get(nf)
+        if cached is None:
+            upstream = self.hops_before(nf)
+            names = tuple(hop.nf for hop in upstream)
+            first: Dict[str, PacketHop] = {}
+            for hop in upstream:
+                first.setdefault(hop.nf, hop)
+            arrivals = tuple(first[name].arrival_ns for name in names)
+            departs = tuple(first[name].depart_ns for name in names)
+            cached = (names, arrivals, departs)
+            cache[nf] = cached
+        return cached
 
     @property
     def end_to_end_ns(self) -> int:
@@ -83,16 +131,36 @@ class NFView:
     reads: List[Tuple[int, int]] = field(default_factory=list)
     departs: List[Tuple[int, int]] = field(default_factory=list)
     drops: List[Tuple[int, int]] = field(default_factory=list)
+    # Lazy pid -> first arrival index map; rebuilt if arrivals grew.
+    _pid_arrival: Optional[Dict[int, int]] = field(
+        default=None, repr=False, compare=False
+    )
+    _pid_arrival_len: int = field(default=-1, repr=False, compare=False)
+
+    def _pid_index(self) -> Dict[int, int]:
+        if self._pid_arrival is None or self._pid_arrival_len != len(self.arrivals):
+            index: Dict[int, int] = {}
+            for idx, (_t, pid) in enumerate(self.arrivals):
+                index.setdefault(pid, idx)
+            self._pid_arrival = index
+            self._pid_arrival_len = len(self.arrivals)
+        return self._pid_arrival
+
+    def arrival_index_of(self, pid: int) -> Optional[int]:
+        """Index of ``pid``'s first arrival here, or None if it never arrived."""
+        return self._pid_index().get(pid)
 
     def arrival_index(self, pid: int, t_ns: int) -> int:
         """Index of (t_ns, pid) in the arrival stream."""
-        lo = bisect.bisect_left(self.arrivals, (t_ns, -1))
-        for idx in range(lo, len(self.arrivals)):
-            t, p = self.arrivals[idx]
-            if t != t_ns:
-                break
-            if p == pid:
-                return idx
+        # Fast path: the pid map points straight at the first arrival.
+        idx = self._pid_index().get(pid)
+        if idx is not None and self.arrivals[idx] == (t_ns, pid):
+            return idx
+        # Re-arriving pid (or a stale map after mutation): arrivals is
+        # sorted by (t, pid), so the exact entry bisects directly.
+        idx = bisect.bisect_left(self.arrivals, (t_ns, pid))
+        if idx < len(self.arrivals) and self.arrivals[idx] == (t_ns, pid):
+            return idx
         raise TraceError(f"packet {pid} has no arrival at {self.name} t={t_ns}")
 
 

@@ -97,10 +97,16 @@ class StreamingDiagnosis:
         trace: DiagTrace,
         config: Optional[StreamingConfig] = None,
         victim_pct: float = 99.0,
+        workers: Optional[int] = None,
+        **engine_kwargs,
     ) -> None:
         self.trace = trace
         self.config = config or StreamingConfig()
         self.victim_pct = victim_pct
+        #: Per-chunk diagnosis parallelism, forwarded to ``diagnose_all``.
+        self.workers = workers
+        #: Extra MicroscopeEngine arguments (e.g. ``memoize=False``).
+        self.engine_kwargs = engine_kwargs
         # Victim thresholds must be global, or chunk-local percentiles
         # would flag different packets than batch mode.
         self._all_victims = sorted(
@@ -129,8 +135,8 @@ class StreamingDiagnosis:
             ]
             if victims:
                 sub = _sub_trace(self.trace, max(0, start - margin), chunk_end)
-                engine = MicroscopeEngine(sub)
-                diagnoses = engine.diagnose_all(victims)
+                engine = MicroscopeEngine(sub, **self.engine_kwargs)
+                diagnoses = engine.diagnose_all(victims, workers=self.workers)
             else:
                 diagnoses = []
             yield ChunkResult(

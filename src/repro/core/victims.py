@@ -9,6 +9,7 @@ computed over recent history", like NetMedic (section 4.1).
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -53,7 +54,9 @@ class VictimSelector:
         # rule explodes when latencies tie at the threshold (e.g. a
         # saturation plateau).
         k = max(1, int(round(len(completed) * (100.0 - pct) / 100.0)))
-        worst = sorted(completed, key=lambda p: -p.end_to_end_ns)[:k]
+        # heapq.nlargest == sorted(..., reverse=True)[:k] (stable on ties)
+        # but O(n log k), which matters at production victim volumes.
+        worst = heapq.nlargest(k, completed, key=lambda p: p.end_to_end_ns)
         chosen = {p.pid for p in worst}
         abnormal = self._abnormal_hops(abnormality_k, window)
         victims: List[Victim] = []
@@ -91,8 +94,7 @@ class VictimSelector:
                 continue
             # Top (100 - pct)% by count, robust to latency ties.
             k = max(1, int(round(len(hops) * (100.0 - pct) / 100.0)))
-            hops.sort(key=lambda ph: -ph[1].latency_ns)
-            for pid, hop in hops[:k]:
+            for pid, hop in heapq.nlargest(k, hops, key=lambda ph: ph[1].latency_ns):
                 victims.append(
                     Victim(
                         pid=pid,

@@ -32,10 +32,11 @@ class _Entry:
 class EventHandle:
     """Opaque handle returned by :meth:`EventLoop.schedule` for cancellation."""
 
-    __slots__ = ("_entry",)
+    __slots__ = ("_entry", "_loop")
 
-    def __init__(self, entry: _Entry) -> None:
+    def __init__(self, entry: _Entry, loop: "EventLoop") -> None:
         self._entry = entry
+        self._loop = loop
 
     @property
     def time_ns(self) -> int:
@@ -47,7 +48,9 @@ class EventHandle:
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Idempotent."""
-        self._entry.action = None
+        if self._entry.action is not None:
+            self._entry.action = None
+            self._loop._live -= 1
 
 
 class EventLoop:
@@ -58,6 +61,10 @@ class EventLoop:
         self._seq = itertools.count()
         self._now = 0
         self._processed = 0
+        # Live (non-cancelled, not yet executed) events.  Maintained on
+        # schedule/cancel/execute so pending() is O(1) instead of an O(n)
+        # heap scan — the simulator polls it in its run loop.
+        self._live = 0
 
     @property
     def now(self) -> int:
@@ -77,7 +84,8 @@ class EventLoop:
             )
         entry = _Entry(time_ns=time_ns, seq=next(self._seq), action=action)
         heapq.heappush(self._heap, entry)
-        return EventHandle(entry)
+        self._live += 1
+        return EventHandle(entry, self)
 
     def schedule_after(self, delay_ns: int, action: Action) -> EventHandle:
         """Run ``action`` ``delay_ns`` nanoseconds from now."""
@@ -103,6 +111,7 @@ class EventLoop:
             self._now = entry.time_ns
             action = entry.action
             entry.action = None
+            self._live -= 1
             assert action is not None
             action()
             executed += 1
@@ -116,5 +125,5 @@ class EventLoop:
         return executed
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live

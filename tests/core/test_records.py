@@ -59,6 +59,39 @@ class TestPacketView:
         )
         assert packet.end_to_end_ns > 0
 
+    def test_hop_index_matches_linear_scan(self, interrupt_chain_trace):
+        for packet in list(interrupt_chain_trace.packets.values())[:50]:
+            for pos, hop in enumerate(packet.hops):
+                assert packet.hop_at(hop.nf) is packet.hops[packet.hop_position(hop.nf)]
+                if packet.hop_position(hop.nf) == pos:
+                    assert packet.hop_at(hop.nf) is hop
+            assert packet.hop_position("ghost") is None
+
+    def test_hop_index_survives_appends(self, interrupt_chain_trace):
+        packet = next(
+            p for p in interrupt_chain_trace.packets.values() if p.flow == MAIN_FLOW
+        )
+        assert packet.hop_at("late") is None  # builds the index
+        packet.hops.append(PacketHop(nf="late", arrival_ns=1, read_ns=2, depart_ns=3))
+        try:
+            assert packet.hop_at("late") is packet.hops[-1]  # index rebuilt
+            assert [h.nf for h in packet.hops_before("late")][-1] == "vpn1"
+        finally:
+            packet.hops.pop()
+
+    def test_upstream_of_first_occurrence_times(self, interrupt_chain_trace):
+        packet = next(
+            p for p in interrupt_chain_trace.packets.values() if p.flow == MAIN_FLOW
+        )
+        names, arrivals, departs = packet.upstream_of("vpn1")
+        assert names == ("nat1",)
+        nat_hop = packet.hop_at("nat1")
+        assert arrivals == (nat_hop.arrival_ns,)
+        assert departs == (nat_hop.depart_ns,)
+        # Unknown NF: the whole journey is "upstream", like hops_before.
+        names_all, _, _ = packet.upstream_of("ghost")
+        assert names_all == tuple(h.nf for h in packet.hops)
+
 
 class TestNFView:
     def test_arrival_index(self, interrupt_chain_trace):
@@ -70,6 +103,24 @@ class TestNFView:
         view = interrupt_chain_trace.nfs["vpn1"]
         with pytest.raises(TraceError):
             view.arrival_index(999_999_999, 0)
+
+    def test_arrival_index_wrong_time_rejected(self, interrupt_chain_trace):
+        view = interrupt_chain_trace.nfs["vpn1"]
+        t, pid = view.arrivals[10]
+        with pytest.raises(TraceError):
+            view.arrival_index(pid, t + 1)
+
+    def test_arrival_index_of_pid_map(self, interrupt_chain_trace):
+        view = interrupt_chain_trace.nfs["vpn1"]
+        for idx in (0, len(view.arrivals) // 2, len(view.arrivals) - 1):
+            _t, pid = view.arrivals[idx]
+            assert view.arrival_index_of(pid) == idx
+        assert view.arrival_index_of(999_999_999) is None
+
+    def test_arrival_index_exact_over_full_stream(self, interrupt_chain_trace):
+        view = interrupt_chain_trace.nfs["nat1"]
+        for idx, (t, pid) in enumerate(view.arrivals):
+            assert view.arrival_index(pid, t) == idx
 
 
 class TestPacketHop:

@@ -84,6 +84,30 @@ class TestCancellation:
         assert loop.pending() == 1
         assert keep.active
 
+    def test_pending_counter_tracks_schedule_cancel_and_run(self):
+        # pending() is a maintained counter, not a heap scan: it must stay
+        # exact through every combination of schedule, double-cancel, and
+        # partial runs.
+        loop = EventLoop()
+        handles = [loop.schedule(10 * i, lambda: None) for i in range(6)]
+        assert loop.pending() == 6
+        handles[0].cancel()
+        handles[0].cancel()  # idempotent: must not double-decrement
+        handles[3].cancel()
+        assert loop.pending() == 4
+        loop.run(until_ns=20)  # fires events at 10 and 20 (0 was cancelled)
+        assert loop.pending() == 2
+        loop.run()
+        assert loop.pending() == 0
+
+    def test_pending_counts_events_scheduled_during_run(self):
+        loop = EventLoop()
+        loop.schedule(5, lambda: loop.schedule(15, lambda: None))
+        loop.run(until_ns=10)
+        assert loop.pending() == 1
+        loop.run()
+        assert loop.pending() == 0
+
 
 class TestRunBounds:
     def test_until_ns_stops_early(self):
