@@ -12,6 +12,7 @@ from repro.aggregation.hierarchy import PortNode, PrefixNode
 from repro.core.diagnosis import MicroscopeEngine
 from repro.core.queuing import QueuingAnalyzer
 from repro.core.records import DiagTrace
+from repro.core.streaming import StreamingConfig, StreamingDiagnosis
 from repro.core.victims import VictimSelector
 from repro.nfv import Simulator, TrafficSource, Vpn, Topology, constant_target
 from repro.nfv.packet import FiveTuple, Packet
@@ -63,6 +64,41 @@ def test_queuing_analyzer_build(benchmark, chain_trace):
     view = chain_trace.nfs["vpn1"]
     analyzer = benchmark(lambda: QueuingAnalyzer(view))
     assert analyzer.view is view
+
+
+@pytest.mark.parametrize("backend", ["python", "numpy"])
+def test_queuing_analyzer_build_backend(benchmark, chain_trace, backend):
+    """Index build per backend (the ISSUE-2 vectorization target)."""
+    if backend == "numpy":
+        pytest.importorskip("numpy")
+    view = chain_trace.nfs["vpn1"]
+    analyzer = benchmark(lambda: QueuingAnalyzer(view, backend=backend))
+    assert analyzer.backend == backend
+
+
+@pytest.mark.parametrize("reuse", [True, False], ids=["reuse", "rebuild"])
+def test_streaming_chunked(benchmark, chain_trace, reuse):
+    """Chunked diagnosis wall time: carried engine vs per-chunk rebuild."""
+    config = StreamingConfig(chunk_ns=MSEC, margin_ns=2 * MSEC, reuse_engine=reuse)
+
+    def run():
+        return StreamingDiagnosis(chain_trace, config, victim_pct=99.0).run()
+
+    diags = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert diags
+
+
+def test_streaming_reuse_matches_batch(chain_trace):
+    """Not a timing: the carried engine must reproduce batch output."""
+    streaming = StreamingDiagnosis(
+        chain_trace,
+        StreamingConfig(chunk_ns=MSEC, margin_ns=2 * MSEC, reuse_engine=True),
+        victim_pct=99.0,
+    )
+    streamed = streaming.run()
+    batch = MicroscopeEngine(chain_trace).diagnose_all(streaming._all_victims)
+    assert [d.culprits for d in streamed] == [d.culprits for d in batch]
+    assert streaming.engine.cache_stats.cross_chunk_hits >= 0
 
 
 def test_diagnosis_per_victim(benchmark, chain_trace):

@@ -95,7 +95,14 @@ class VictimDiagnosis:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for the engine's memo layers."""
+    """Hit/miss counters for the engine's memo layers.
+
+    The cross-chunk counters only move when a streaming driver calls
+    :meth:`MicroscopeEngine.advance_chunk` between victim batches:
+    ``cross_chunk_hits`` counts memo hits on entries created in an earlier
+    chunk, ``carried_entries``/``evicted_entries`` accumulate what each
+    eviction sweep kept and dropped.
+    """
 
     local_hits: int = 0
     local_misses: int = 0
@@ -103,6 +110,9 @@ class CacheStats:
     decomp_misses: int = 0
     preset_hits: int = 0
     preset_misses: int = 0
+    cross_chunk_hits: int = 0
+    carried_entries: int = 0
+    evicted_entries: int = 0
 
     @property
     def hits(self) -> int:
@@ -123,6 +133,7 @@ class MicroscopeEngine:
         min_score: float = 1e-3,
         queue_threshold: int = 0,
         memoize: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         if max_depth < 1:
             raise DiagnosisError(f"max_depth must be >= 1, got {max_depth}")
@@ -130,6 +141,8 @@ class MicroscopeEngine:
         self.max_depth = max_depth
         self.min_score = min_score
         self.memoize = memoize
+        #: Queuing index backend ("auto" | "numpy" | "python"); see queuing.py.
+        self.backend = backend
         self._analyzers: Dict[str, QueuingAnalyzer] = {}
         self._queue_threshold = queue_threshold
         # Period-keyed memo layers (see module docstring).
@@ -139,12 +152,23 @@ class MicroscopeEngine:
         self._decomps: Dict[Tuple[str, int], PathDecomposition] = {}
         self._decomp_hits = 0
         self._decomp_misses = 0
+        # Cross-chunk state (streaming reuse; see advance_chunk): entries are
+        # stamped with the chunk generation that created them, and decomps
+        # remember the latest period end they served for eviction.
+        self._chunk_generation = 0
+        self._cross_hits = 0
+        self._carried_entries = 0
+        self._evicted_entries = 0
+        self._local_gen: Dict[QueuingPeriod, int] = {}
+        self._decomp_gen: Dict[Tuple[str, int], int] = {}
+        self._decomp_end: Dict[Tuple[str, int], int] = {}
 
     @property
     def cache_stats(self) -> CacheStats:
         """Aggregated hit/miss counters across all memo layers."""
         preset_hits = sum(a.preset_hits for a in self._analyzers.values())
         preset_misses = sum(a.preset_misses for a in self._analyzers.values())
+        preset_cross = sum(a.preset_cross_hits for a in self._analyzers.values())
         return CacheStats(
             local_hits=self._local_hits,
             local_misses=self._local_misses,
@@ -152,6 +176,9 @@ class MicroscopeEngine:
             decomp_misses=self._decomp_misses,
             preset_hits=preset_hits,
             preset_misses=preset_misses,
+            cross_chunk_hits=self._cross_hits + preset_cross,
+            carried_entries=self._carried_entries,
+            evicted_entries=self._evicted_entries,
         )
 
     def analyzer(self, nf: str) -> QueuingAnalyzer:
@@ -161,10 +188,59 @@ class MicroscopeEngine:
             if view is None:
                 raise DiagnosisError(f"no trace data for NF {nf!r}")
             cached = QueuingAnalyzer(
-                view, threshold=self._queue_threshold, cache_presets=self.memoize
+                view,
+                threshold=self._queue_threshold,
+                cache_presets=self.memoize,
+                backend=self.backend,
             )
+            cached.generation = self._chunk_generation
             self._analyzers[nf] = cached
         return cached
+
+    # -- cross-chunk reuse ------------------------------------------------------
+
+    def advance_chunk(self, evict_before_ns: Optional[int] = None) -> None:
+        """Mark a streaming chunk boundary (and optionally bound memory).
+
+        Carried state — analyzers and every memo entry — stays valid across
+        the boundary because diagnosis only ever looks backwards in time;
+        the generation bump lets ``cache_stats.cross_chunk_hits`` attribute
+        later hits to earlier chunks.  With ``evict_before_ns`` set, memo
+        entries whose periods ended before that time are dropped: they sit
+        behind the advancing lookback window, so retaining them only costs
+        memory.  Eviction never changes results — a re-referenced entry is
+        recomputed identically.
+        """
+        self._chunk_generation += 1
+        carried = evicted = 0
+        for analyzer in self._analyzers.values():
+            analyzer.generation = self._chunk_generation
+            if evict_before_ns is not None:
+                kept, dropped = analyzer.evict_presets_before(evict_before_ns)
+                carried += kept
+                evicted += dropped
+        if evict_before_ns is not None:
+            stale = [
+                p for p in self._local_cache if p.end_ns < evict_before_ns
+            ]
+            for period in stale:
+                del self._local_cache[period]
+                self._local_gen.pop(period, None)
+            evicted += len(stale)
+            carried += len(self._local_cache)
+            stale_keys = [
+                key
+                for key, end_ns in self._decomp_end.items()
+                if end_ns < evict_before_ns
+            ]
+            for key in stale_keys:
+                self._decomps.pop(key, None)
+                self._decomp_gen.pop(key, None)
+                del self._decomp_end[key]
+            evicted += len(stale_keys)
+            carried += len(self._decomps)
+        self._carried_entries += carried
+        self._evicted_entries += evicted
 
     # -- memo layers ----------------------------------------------------------
 
@@ -174,10 +250,15 @@ class MicroscopeEngine:
         cached = self._local_cache.get(period)
         if cached is not None:
             self._local_hits += 1
+            if self._local_gen.get(period, self._chunk_generation) != (
+                self._chunk_generation
+            ):
+                self._cross_hits += 1
             return cached
         self._local_misses += 1
         scores = local_scores(period, peak_rate_pps)
         self._local_cache[period] = scores
+        self._local_gen[period] = self._chunk_generation
         return scores
 
     def _decomposition(
@@ -197,8 +278,16 @@ class MicroscopeEngine:
             self._decomp_misses += 1
             decomp = PathDecomposition(self.trace, nf)
             self._decomps[key] = decomp
+            self._decomp_gen[key] = self._chunk_generation
         else:
             self._decomp_hits += 1
+            if self._decomp_gen.get(key, self._chunk_generation) != (
+                self._chunk_generation
+            ):
+                self._cross_hits += 1
+        end_ns = self._decomp_end.get(key, -1)
+        if period.end_ns > end_ns:
+            self._decomp_end[key] = period.end_ns
         return decomp
 
     # -- top-level ------------------------------------------------------------
@@ -291,6 +380,7 @@ class MicroscopeEngine:
             self.min_score,
             self._queue_threshold,
             self.memoize,
+            self.backend,
         )
         with ProcessPoolExecutor(
             max_workers=n_chunks,
@@ -300,8 +390,11 @@ class MicroscopeEngine:
         ) as pool:
             futures = [pool.submit(_parallel_worker_diagnose, c) for c in chunks]
             results: List[VictimDiagnosis] = []
-            for future in futures:
-                results.extend(future.result())
+            for chunk, future in zip(chunks, futures):
+                # Workers ship compact wire tuples, not pickled dataclass
+                # trees; reconstruction on this side is deterministic.
+                for victim, wire in zip(chunk, future.result()):
+                    results.append(_diagnosis_from_wire(victim, wire))
         return results
 
     # -- recursion ------------------------------------------------------------
@@ -470,6 +563,113 @@ class MicroscopeEngine:
         return min(times) if times else fallback_ns
 
 
+# -- compact worker wire format ----------------------------------------------
+#
+# Pickling full VictimDiagnosis trees back from pool workers dominates IPC
+# cost: every Culprit/LocalScores/QueuingPeriod/PathAttribution instance
+# pays per-object pickle overhead, and the victim objects round-trip even
+# though the parent already holds them.  Workers therefore return one flat
+# tuple of primitives per victim; the parent rebuilds the dataclasses
+# around the victims it submitted.  Reconstruction is deterministic and
+# field-exact, so parallel output stays bit-identical to serial output
+# (pinned by tests/core/test_fastpath.py).
+#
+# Layout per diagnosis (victim-dependent fields are *omitted* — every
+# culprit carries victim_pid/victim_nf == victim.pid/victim.nf, the period
+# nf is the victim nf, and LocalScores duplicates the period's counts):
+#
+#   (culprits, period, local, attributions, recursion_depth)
+#     culprits:     ((kind, location, score, culprit_pids, depth, time_ns), ...)
+#     period:       (start, end, first_idx, last_idx, n_input, n_processed) | None
+#     local:        (si, sp, expected) | None
+#     attributions: ((path, subset_pids, timespans, contributions, share), ...)
+
+_Wire = Tuple[tuple, Optional[tuple], Optional[tuple], tuple, int]
+
+
+def _diagnosis_to_wire(diagnosis: VictimDiagnosis) -> _Wire:
+    period = diagnosis.period
+    local = diagnosis.local
+    return (
+        tuple(
+            (c.kind, c.location, c.score, c.culprit_pids, c.depth, c.culprit_time_ns)
+            for c in diagnosis.culprits
+        ),
+        None
+        if period is None
+        else (
+            period.start_ns,
+            period.end_ns,
+            period.first_arrival_idx,
+            period.last_arrival_idx,
+            period.n_input,
+            period.n_processed,
+        ),
+        None if local is None else (local.si, local.sp, local.expected),
+        tuple(
+            (a.path, a.subset_pids, a.timespans_ns, a.contributions, a.share_of_si)
+            for a in diagnosis.attributions
+        ),
+        diagnosis.recursion_depth,
+    )
+
+
+def _diagnosis_from_wire(victim: Victim, wire: _Wire) -> VictimDiagnosis:
+    culprits_w, period_w, local_w, attributions_w, depth = wire
+    period = None
+    if period_w is not None:
+        start, end, first_idx, last_idx, n_input, n_processed = period_w
+        period = QueuingPeriod(
+            nf=victim.nf,
+            start_ns=start,
+            end_ns=end,
+            first_arrival_idx=first_idx,
+            last_arrival_idx=last_idx,
+            n_input=n_input,
+            n_processed=n_processed,
+        )
+    local = None
+    if local_w is not None:
+        si, sp, expected = local_w
+        local = LocalScores(
+            si=si,
+            sp=sp,
+            n_input=period.n_input,
+            n_processed=period.n_processed,
+            expected=expected,
+            period=period,
+        )
+    return VictimDiagnosis(
+        victim=victim,
+        culprits=[
+            Culprit(
+                kind=kind,
+                location=location,
+                score=score,
+                culprit_pids=pids,
+                victim_pid=victim.pid,
+                victim_nf=victim.nf,
+                depth=c_depth,
+                culprit_time_ns=time_ns,
+            )
+            for kind, location, score, pids, c_depth, time_ns in culprits_w
+        ],
+        local=local,
+        period=period,
+        attributions=[
+            PathAttribution(
+                path=path,
+                subset_pids=subset,
+                timespans_ns=spans,
+                contributions=contribs,
+                share_of_si=share,
+            )
+            for path, subset, spans, contribs, share in attributions_w
+        ],
+        recursion_depth=depth,
+    )
+
+
 # -- process-pool plumbing (module level so spawn contexts can pickle it) -----
 
 _WORKER_ENGINE: Optional[MicroscopeEngine] = None
@@ -481,6 +681,7 @@ def _parallel_worker_init(
     min_score: float,
     queue_threshold: int,
     memoize: bool,
+    backend: Optional[str] = None,
 ) -> None:
     global _WORKER_ENGINE
     _WORKER_ENGINE = MicroscopeEngine(
@@ -489,9 +690,10 @@ def _parallel_worker_init(
         min_score=min_score,
         queue_threshold=queue_threshold,
         memoize=memoize,
+        backend=backend,
     )
 
 
-def _parallel_worker_diagnose(victims: List[Victim]) -> List[VictimDiagnosis]:
+def _parallel_worker_diagnose(victims: List[Victim]) -> List[_Wire]:
     assert _WORKER_ENGINE is not None, "worker pool used before initialization"
-    return [_WORKER_ENGINE.diagnose(victim) for victim in victims]
+    return [_diagnosis_to_wire(_WORKER_ENGINE.diagnose(victim)) for victim in victims]

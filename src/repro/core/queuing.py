@@ -10,16 +10,44 @@ rule, and a non-zero ``threshold`` for deployments whose queues never fully
 drain.  ``periods_from_batches`` additionally implements the paper's
 deployable heuristic: a batch read smaller than the maximum burst size
 means the queue was just drained.
+
+Backends: the event index is built either by a vectorized numpy pass
+(merge via ``lexsort``, cumulative arrival/read counters, run-start
+detection for period boundaries) or by the original pure-Python loop.
+Both produce the same parallel per-event/per-arrival sequences, so every
+query is backend-agnostic and the outputs are bit-identical; ``backend=``
+selects explicitly, ``"auto"`` (the default, overridable through the
+``REPRO_QUEUING_BACKEND`` environment variable) prefers numpy when
+available.  The numpy pass is what makes cold engine construction cheap
+enough for streaming re-use (ISSUE 2).
 """
 
 from __future__ import annotations
 
 import bisect
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.records import NFView
 from repro.errors import DiagnosisError
+
+try:  # pragma: no cover - exercised via the backend knob either way
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the simulator
+    _np = None
+
+_BACKENDS = ("auto", "numpy", "python")
+
+
+def default_backend() -> str:
+    """The process-wide backend choice (``REPRO_QUEUING_BACKEND`` or auto)."""
+    backend = os.environ.get("REPRO_QUEUING_BACKEND", "auto")
+    if backend not in _BACKENDS:
+        raise DiagnosisError(
+            f"REPRO_QUEUING_BACKEND must be one of {_BACKENDS}, got {backend!r}"
+        )
+    return backend
 
 
 @dataclass(frozen=True)
@@ -57,10 +85,22 @@ class QueuingPeriod:
 
 
 class QueuingAnalyzer:
-    """Per-NF queuing-period index over one :class:`NFView`."""
+    """Per-NF queuing-period index over one :class:`NFView`.
+
+    The index is a set of parallel sequences (list or ndarray, depending
+    on the backend) — per merged event: time, queue length after the
+    event, current period's first-arrival index (-1 when the queue is at
+    or below the threshold), cumulative arrival and read counts; and per
+    arrival: the pre-arrival period index and read count.  Queries only
+    ever read single elements, so both backends answer identically.
+    """
 
     def __init__(
-        self, view: NFView, threshold: int = 0, cache_presets: bool = True
+        self,
+        view: NFView,
+        threshold: int = 0,
+        cache_presets: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         if threshold < 0:
             raise DiagnosisError(f"queue threshold must be >= 0, got {threshold}")
@@ -70,6 +110,34 @@ class QueuingAnalyzer:
         self._preset_cache: Dict[Tuple[int, int], List[int]] = {}
         self.preset_hits = 0
         self.preset_misses = 0
+        # Cross-chunk bookkeeping (see MicroscopeEngine.advance_chunk): the
+        # generation stamps when a preset entry was created; hits on entries
+        # from an earlier generation are cross-chunk reuse.
+        self.generation = 0
+        self.preset_cross_hits = 0
+        self._preset_gen: Dict[Tuple[int, int], int] = {}
+        if backend is None:
+            backend = default_backend()
+        if backend not in _BACKENDS:
+            raise DiagnosisError(
+                f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        if backend == "numpy" and _np is None:
+            raise DiagnosisError("backend='numpy' requested but numpy is absent")
+        self.backend = (
+            "numpy" if backend == "numpy" or (backend == "auto" and _np is not None)
+            else "python"
+        )
+        if self.backend == "numpy":
+            self._build_index_numpy()
+        else:
+            self._build_index_python()
+
+    # -- index construction ------------------------------------------------------
+
+    def _build_index_python(self) -> None:
+        """Reference implementation: one Python pass over the merged events."""
+        view = self.view
         # Merged events: (time, kind, stream index); arrivals (kind 0) sort
         # before reads (kind 1) at equal timestamps, matching the simulator's
         # enqueue-then-read ordering within one nanosecond.
@@ -77,22 +145,23 @@ class QueuingAnalyzer:
             (t, 0, i) for i, (t, _pid) in enumerate(view.arrivals)
         ] + [(t, 1, i) for i, (t, _pid) in enumerate(view.reads)]
         events.sort()
-        self._event_times: List[Tuple[int, int]] = []  # (time, kind) for bisect
-        self._state: List[Tuple[int, int, int, int]] = []
-        # Per event: (qlen_after, period_first_arrival_idx, arrivals_so_far,
-        #             reads_so_far); period index is -1 when queue <= threshold.
+        times: List[int] = []
+        ev_qlen: List[int] = []
+        ev_first: List[int] = []
+        ev_arrivals: List[int] = []
+        ev_reads: List[int] = []
+        arr_pre_first: List[int] = [-1] * len(view.arrivals)
+        arr_reads_before: List[int] = [0] * len(view.arrivals)
         qlen = 0
         period_first = -1
         arrivals_seen = 0
         reads_seen = 0
-        self._arrival_state: List[Tuple[int, int, int]] = [(-1, 0, 0)] * len(
-            view.arrivals
-        )
-        # Per arrival i: (period_first_arrival_idx_before, arrivals_before_in_
-        # stream == i, reads_seen_before).  Stored pre-arrival.
         for time_ns, kind, idx in events:
             if kind == 0:
-                self._arrival_state[idx] = (period_first, arrivals_seen, reads_seen)
+                # Pre-arrival state: the victim's own arrival is not part of
+                # the period it observes.
+                arr_pre_first[idx] = period_first
+                arr_reads_before[idx] = reads_seen
                 qlen += 1
                 arrivals_seen += 1
                 if qlen == self.threshold + 1 and period_first == -1:
@@ -102,8 +171,77 @@ class QueuingAnalyzer:
                 reads_seen += 1
                 if qlen <= self.threshold:
                     period_first = -1
-            self._event_times.append((time_ns, kind))
-            self._state.append((qlen, period_first, arrivals_seen, reads_seen))
+            times.append(time_ns)
+            ev_qlen.append(qlen)
+            ev_first.append(period_first)
+            ev_arrivals.append(arrivals_seen)
+            ev_reads.append(reads_seen)
+        self._times = times
+        self._ev_qlen = ev_qlen
+        self._ev_first = ev_first
+        self._ev_arrivals = ev_arrivals
+        self._ev_reads = ev_reads
+        self._arr_pre_first = arr_pre_first
+        self._arr_reads_before = arr_reads_before
+
+    def _build_index_numpy(self) -> None:
+        """Vectorized index build; output matches the Python loop exactly.
+
+        The per-event scan state reduces to cumulative sums: queue length
+        is ``cumsum(+1/-1)``, and ``period_first != -1`` exactly when the
+        queue sits above the threshold (a period opens on the arrival that
+        crosses the threshold and closes on the read that returns to it,
+        and only arrivals raise the queue).  The opening arrival of each
+        above-threshold run is therefore a boolean edge, and a running
+        maximum over the edge positions recovers ``period_first``.
+        """
+        view = self.view
+        n_arr, n_read = len(view.arrivals), len(view.reads)
+        n = n_arr + n_read
+        if n == 0:
+            self._times = _np.empty(0, dtype=_np.int64)
+            self._ev_qlen = self._times
+            self._ev_first = self._times
+            self._ev_arrivals = self._times
+            self._ev_reads = self._times
+            self._arr_pre_first = self._times
+            self._arr_reads_before = self._times
+            return
+        times = _np.empty(n, dtype=_np.int64)
+        times[:n_arr] = view.arrival_times()
+        times[n_arr:] = view.read_times()
+        kinds = _np.empty(n, dtype=_np.int8)
+        kinds[:n_arr] = 0
+        kinds[n_arr:] = 1
+        # Stable sort by (time, kind): each stream is already time-sorted,
+        # so ties keep stream order — identical to events.sort() above.
+        order = _np.lexsort((kinds, times))
+        times = times[order]
+        is_arrival = order < n_arr
+        ev_arrivals = _np.cumsum(is_arrival)
+        ev_reads = _np.arange(1, n + 1, dtype=_np.int64) - ev_arrivals
+        ev_qlen = ev_arrivals - ev_reads
+        above = ev_qlen > self.threshold
+        opens = above.copy()
+        opens[1:] &= ~above[:-1]
+        # Arrival-stream index of each event's arrival (valid where
+        # is_arrival; an opening event is always an arrival).
+        arr_idx = ev_arrivals - 1
+        ev_first = _np.maximum.accumulate(_np.where(opens, arr_idx, -1))
+        ev_first = _np.where(above, ev_first, -1)
+        # Per-arrival pre-state: the state after the previous merged event.
+        positions = _np.nonzero(is_arrival)[0]
+        arr_pre_first = _np.where(
+            positions > 0, ev_first[_np.maximum(positions - 1, 0)], -1
+        )
+        arr_reads_before = ev_reads[positions]  # arrivals leave reads unchanged
+        self._times = times
+        self._ev_qlen = ev_qlen
+        self._ev_first = ev_first
+        self._ev_arrivals = ev_arrivals
+        self._ev_reads = ev_reads
+        self._arr_pre_first = arr_pre_first
+        self._arr_reads_before = arr_reads_before
 
     # -- queries ----------------------------------------------------------------
 
@@ -114,9 +252,10 @@ class QueuingAnalyzer:
         threshold (no queue-based cause at this NF).
         """
         arrival_idx = self.view.arrival_index(pid, t_ns)
-        period_first, _arrivals_before, reads_before = self._arrival_state[arrival_idx]
+        period_first = int(self._arr_pre_first[arrival_idx])
         if period_first == -1:
             return None
+        reads_before = int(self._arr_reads_before[arrival_idx])
         return self._build(period_first, arrival_idx, t_ns, reads_before)
 
     def period_at(self, t_ns: int) -> Optional[QueuingPeriod]:
@@ -124,13 +263,15 @@ class QueuingAnalyzer:
 
         State is taken after all events at or before ``t_ns``.
         """
-        idx = bisect.bisect_right(self._event_times, (t_ns, 2)) - 1
+        idx = bisect.bisect_right(self._times, t_ns) - 1
         if idx < 0:
             return None
-        qlen, period_first, arrivals_seen, reads_seen = self._state[idx]
+        period_first = int(self._ev_first[idx])
         if period_first == -1:
             return None
-        return self._build(period_first, arrivals_seen, t_ns, reads_seen)
+        return self._build(
+            period_first, int(self._ev_arrivals[idx]), t_ns, int(self._ev_reads[idx])
+        )
 
     def _build(
         self, period_first: int, arrival_end: int, end_ns: int, reads_seen: int
@@ -166,6 +307,8 @@ class QueuingAnalyzer:
             cached = self._preset_cache.get(key)
             if cached is not None:
                 self.preset_hits += 1
+                if self._preset_gen.get(key, self.generation) != self.generation:
+                    self.preset_cross_hits += 1
                 return cached
             self.preset_misses += 1
         preset = [
@@ -176,7 +319,26 @@ class QueuingAnalyzer:
         ]
         if self.cache_presets:
             self._preset_cache[key] = preset
+            self._preset_gen[key] = self.generation
         return preset
+
+    def evict_presets_before(self, t_ns: int) -> Tuple[int, int]:
+        """Drop cached PreSets whose last arrival precedes ``t_ns``.
+
+        Returns ``(carried, evicted)`` entry counts.  Eviction only frees
+        memory — an evicted entry that is referenced again is recomputed
+        from the arrival stream with an identical result.
+        """
+        arrivals = self.view.arrivals
+        stale = [
+            key
+            for key in self._preset_cache
+            if arrivals[key[1] - 1][0] < t_ns
+        ]
+        for key in stale:
+            del self._preset_cache[key]
+            self._preset_gen.pop(key, None)
+        return len(self._preset_cache), len(stale)
 
 
 def periods_from_batches(

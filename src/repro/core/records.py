@@ -19,6 +19,11 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.errors import TraceError
 from repro.nfv.packet import FiveTuple
 
+try:  # numpy is optional for the diagnosis core (see queuing backends)
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy ships with the simulator
+    _np = None
+
 
 @dataclass(frozen=True)
 class PacketHop:
@@ -136,6 +141,12 @@ class NFView:
         default=None, repr=False, compare=False
     )
     _pid_arrival_len: int = field(default=-1, repr=False, compare=False)
+    # Lazy int64 time arrays per stream (numpy only); length-invalidated
+    # like the pid index.  The queuing analyzer's vectorized build reads
+    # these, so rebuilding an analyzer over the same view — the per-chunk
+    # streaming case — skips the tuple-to-array conversion entirely.
+    _arrival_times: Optional[object] = field(default=None, repr=False, compare=False)
+    _read_times: Optional[object] = field(default=None, repr=False, compare=False)
 
     def _pid_index(self) -> Dict[int, int]:
         if self._pid_arrival is None or self._pid_arrival_len != len(self.arrivals):
@@ -145,6 +156,32 @@ class NFView:
             self._pid_arrival = index
             self._pid_arrival_len = len(self.arrivals)
         return self._pid_arrival
+
+    def arrival_times(self) -> Optional[object]:
+        """Cached int64 array of arrival timestamps, or None without numpy."""
+        if _np is None:
+            return None
+        if self._arrival_times is None or len(self._arrival_times) != len(
+            self.arrivals
+        ):
+            self._arrival_times = _np.fromiter(
+                (t for t, _pid in self.arrivals),
+                dtype=_np.int64,
+                count=len(self.arrivals),
+            )
+        return self._arrival_times
+
+    def read_times(self) -> Optional[object]:
+        """Cached int64 array of read timestamps, or None without numpy."""
+        if _np is None:
+            return None
+        if self._read_times is None or len(self._read_times) != len(self.reads):
+            self._read_times = _np.fromiter(
+                (t for t, _pid in self.reads),
+                dtype=_np.int64,
+                count=len(self.reads),
+            )
+        return self._read_times
 
     def arrival_index_of(self, pid: int) -> Optional[int]:
         """Index of ``pid``'s first arrival here, or None if it never arrived."""

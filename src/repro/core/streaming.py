@@ -1,22 +1,42 @@
-"""Chunked (bounded-memory) offline diagnosis.
+"""Chunked (bounded-memory) online diagnosis.
 
 The paper's offline stage analyses a whole trace at once; production runs
-are long, so this module processes the trace in overlapping time chunks:
+are long, so this module processes the trace in time chunks.  Two chunk
+engines are provided:
 
-* the trace is split into windows of ``chunk_ns``,
-* each chunk keeps a *lookback margin* of preceding data, large enough to
-  contain any queuing period that ends inside the chunk (paper Figure 15
-  bounds how far back causality reaches; the margin is the knob),
-* victims are selected per chunk against global thresholds, diagnosed
-  against the margin-extended sub-trace, and the causal relations are
-  concatenated.
+* **engine reuse** (``StreamingConfig.reuse_engine=True``, the default):
+  one :class:`MicroscopeEngine` is carried across chunks.  Diagnosis only
+  ever looks backwards in time, so analyzers, path decompositions and
+  local-score/PreSet memo entries built for earlier chunks stay valid for
+  later ones; at each chunk boundary the engine's generation advances and
+  memo entries whose queuing periods ended behind the lookback window are
+  evicted (``MicroscopeEngine.advance_chunk``), which bounds memo memory
+  while the carried rest keeps re-indexing cost at zero.  Because nothing
+  the diagnosis reads is ever truncated, the concatenated output is
+  bit-identical to batch ``diagnose_all`` for any chunk size — the margin
+  only tunes memo retention.
 
-With a sufficient margin the result equals batch diagnosis — a property
-the tests assert — while memory stays proportional to the chunk size.
+* **per-chunk rebuild** (``reuse_engine=False``, the original mode): each
+  chunk diagnoses against a margin-extended sub-trace built by
+  ``_sub_trace`` — per-NF streams are bisect-sliced out of the sorted
+  views and packets come from a sorted interval index, so the cost is
+  O(window), not O(trace).  With a sufficient margin the result equals
+  batch diagnosis; an insufficient margin truncates queuing periods (the
+  knob the paper's Figure 15 bounds).
+
+Both modes flag *margin-too-small* victims per chunk: queuing periods
+that reach at or behind the lookback boundary, i.e. victims the rebuild
+mode would (or did) truncate.
+
+In this reproduction the full trace exists in memory; the value is the
+algorithmic structure plus the equivalence property the tests pin.  A
+production port would feed chunks from the record stream instead and
+append to the per-NF views as data arrives.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -31,10 +51,15 @@ class StreamingConfig:
     """Chunking parameters."""
 
     chunk_ns: int = 50_000_000
-    #: Lookback margin: how much earlier data each chunk can see.  Must
-    #: exceed the longest culprit-to-victim gap (Figure 15) to match batch
-    #: results exactly.
+    #: Lookback margin: how much earlier data each chunk can see.  In
+    #: rebuild mode it must exceed the longest culprit-to-victim gap
+    #: (Figure 15) to match batch results exactly; in reuse mode it only
+    #: controls how long memo entries are retained.
     margin_ns: int = 100_000_000
+    #: Carry one engine (analyzers + memo caches) across chunks instead of
+    #: rebuilding per chunk.  Reuse is exact for any margin and far faster;
+    #: rebuild preserves the PR-1 bounded-sub-trace semantics.
+    reuse_engine: bool = True
 
     def __post_init__(self) -> None:
         if self.chunk_ns <= 0:
@@ -43,26 +68,67 @@ class StreamingConfig:
             raise DiagnosisError(f"margin must be >= 0: {self.margin_ns}")
 
 
-def _sub_trace(trace: DiagTrace, start_ns: int, end_ns: int) -> DiagTrace:
+class _PacketWindowIndex:
+    """Packets sorted by first activity, for O(log n + out) window queries.
+
+    ``_sub_trace`` used to recompute every packet's activity interval per
+    chunk; this index computes the intervals once and answers "any activity
+    in [start, end)" with a bisect over first-activity times plus a scan of
+    that prefix.
+    """
+
+    def __init__(self, trace: DiagTrace) -> None:
+        entries: List[Tuple[int, int, int]] = []  # (first, last, pid)
+        for pid, packet in trace.packets.items():
+            first = packet.emitted_ns
+            last = packet.exited_ns if packet.exited_ns >= 0 else packet.dropped_ns
+            if last < 0:
+                last = max((h.depart_ns for h in packet.hops), default=first)
+            entries.append((first, last, pid))
+        entries.sort()
+        self._firsts = [e[0] for e in entries]
+        self._entries = entries
+
+    def pids_active(self, start_ns: int, end_ns: int) -> List[int]:
+        """Pids with activity intersecting [start, end)."""
+        hi = bisect.bisect_left(self._firsts, end_ns)
+        return [pid for _first, last, pid in self._entries[:hi] if last >= start_ns]
+
+
+def _slice_stream(
+    stream: List[Tuple[int, int]], start_ns: int, end_ns: int
+) -> List[Tuple[int, int]]:
+    """Events with start <= t < end, sliced out of a time-sorted stream.
+
+    ``(t,)`` compares below ``(t, pid)`` for every pid, so a one-element
+    tuple bisects to the first event at or after ``t``.
+    """
+    lo = bisect.bisect_left(stream, (start_ns,))
+    hi = bisect.bisect_left(stream, (end_ns,))
+    return stream[lo:hi]
+
+
+def _sub_trace(
+    trace: DiagTrace,
+    start_ns: int,
+    end_ns: int,
+    index: Optional[_PacketWindowIndex] = None,
+) -> DiagTrace:
     """Restrict a trace to packets with any activity inside [start, end)."""
-    packets: Dict[int, PacketView] = {}
-    for pid, packet in trace.packets.items():
-        first = packet.emitted_ns
-        last = packet.exited_ns if packet.exited_ns >= 0 else packet.dropped_ns
-        if last < 0:
-            last = max((h.depart_ns for h in packet.hops), default=first)
-        if last < start_ns or first >= end_ns:
-            continue
-        packets[pid] = packet
+    if index is None:
+        index = _PacketWindowIndex(trace)
+    packets: Dict[int, PacketView] = {
+        pid: trace.packets[pid] for pid in index.pids_active(start_ns, end_ns)
+    }
     nfs: Dict[str, NFView] = {}
     for name, view in trace.nfs.items():
         nfs[name] = NFView(
             name=name,
             peak_rate_pps=view.peak_rate_pps,
-            arrivals=[e for e in view.arrivals if start_ns <= e[0] < end_ns],
-            reads=[e for e in view.reads if start_ns <= e[0] < end_ns],
-            departs=[e for e in view.departs if start_ns <= e[0] < end_ns],
-            drops=[e for e in view.drops if start_ns <= e[0] < end_ns],
+            arrivals=_slice_stream(view.arrivals, start_ns, end_ns),
+            reads=_slice_stream(view.reads, start_ns, end_ns),
+            departs=_slice_stream(view.departs, start_ns, end_ns),
+            drops=_slice_stream(view.drops, start_ns, end_ns),
         )
     return DiagTrace(
         packets=packets,
@@ -81,16 +147,20 @@ class ChunkResult:
     end_ns: int
     victims: List[Victim]
     diagnoses: List[VictimDiagnosis]
+    #: Victims whose queuing period reaches at or behind the lookback
+    #: boundary — the margin is too small to bound them (rebuild mode
+    #: truncated them; reuse mode diagnosed them exactly and flags them).
+    margin_exceeded: int = 0
+    #: Memo entries retained / dropped by this chunk's eviction sweep and
+    #: memo hits served by entries carried from earlier chunks (reuse
+    #: mode only; rebuild mode reports zeros).
+    carried_entries: int = 0
+    evicted_entries: int = 0
+    cross_chunk_hits: int = 0
 
 
 class StreamingDiagnosis:
-    """Chunked diagnosis over a (conceptually unbounded) trace.
-
-    In this reproduction the full trace exists in memory; the value is the
-    algorithmic structure — per-chunk sub-traces with a bounded lookback —
-    plus the equivalence property the tests check.  A production port
-    would feed chunks from the record stream instead.
-    """
+    """Chunked diagnosis over a (conceptually unbounded) trace."""
 
     def __init__(
         self,
@@ -114,6 +184,17 @@ class StreamingDiagnosis:
             + VictimSelector(trace).drop_victims(),
             key=lambda v: v.arrival_ns,
         )
+        self._victim_arrivals = [v.arrival_ns for v in self._all_victims]
+        self._packet_index: Optional[_PacketWindowIndex] = None
+        #: The carried engine (reuse mode); exposed so callers can read
+        #: ``engine.cache_stats`` after a run.
+        self.engine: Optional[MicroscopeEngine] = None
+
+    def _victims_in(self, start_ns: int, end_ns: int) -> List[Victim]:
+        """Victims arriving in [start, end) — bisect, not a full scan."""
+        lo = bisect.bisect_left(self._victim_arrivals, start_ns)
+        hi = bisect.bisect_left(self._victim_arrivals, end_ns)
+        return self._all_victims[lo:hi]
 
     def _end_ns(self) -> int:
         latest = 0
@@ -122,19 +203,97 @@ class StreamingDiagnosis:
                 latest = max(latest, view.departs[-1][0])
         return latest
 
+    @staticmethod
+    def _count_margin_exceeded(
+        diagnoses: List[VictimDiagnosis], window_start_ns: int, exact: bool
+    ) -> int:
+        """Victims whose queuing period escapes the lookback window.
+
+        Reuse mode sees exact periods, so "starts strictly before the
+        window" is a precise truncation predicate.  Rebuild mode only sees
+        the already-clipped period; a period starting at the window's very
+        first arrival (``first_arrival_idx == 0``) is the truncation
+        signature (conservative: a real buildup beginning exactly there
+        also matches).
+        """
+        if window_start_ns <= 0:
+            return 0
+        if exact:
+            return sum(
+                1
+                for d in diagnoses
+                if d.period is not None and d.period.start_ns < window_start_ns
+            )
+        return sum(
+            1
+            for d in diagnoses
+            if d.period is not None and d.period.first_arrival_idx == 0
+        )
+
     def chunks(self) -> Iterator[ChunkResult]:
         """Yield per-chunk diagnoses in time order."""
+        if self.config.reuse_engine:
+            yield from self._chunks_reused()
+        else:
+            yield from self._chunks_rebuilt()
+
+    def _chunks_reused(self) -> Iterator[ChunkResult]:
+        """One engine carried across chunks; exact for any margin."""
         end = self._end_ns()
         chunk = self.config.chunk_ns
         margin = self.config.margin_ns
+        engine = self.engine = MicroscopeEngine(self.trace, **self.engine_kwargs)
+        start = 0
+        first_chunk = True
+        while start <= end:
+            chunk_end = start + chunk
+            window_start = max(0, start - margin)
+            stats_before = engine.cache_stats
+            if not first_chunk:
+                # Advance the generation and drop memo entries behind the
+                # lookback window; everything else is carried.
+                engine.advance_chunk(evict_before_ns=window_start)
+            first_chunk = False
+            victims = self._victims_in(start, chunk_end)
+            diagnoses = (
+                engine.diagnose_all(victims, workers=self.workers)
+                if victims
+                else []
+            )
+            stats_after = engine.cache_stats
+            yield ChunkResult(
+                start_ns=start,
+                end_ns=chunk_end,
+                victims=victims,
+                diagnoses=diagnoses,
+                margin_exceeded=self._count_margin_exceeded(
+                    diagnoses, window_start, exact=True
+                ),
+                carried_entries=stats_after.carried_entries
+                - stats_before.carried_entries,
+                evicted_entries=stats_after.evicted_entries
+                - stats_before.evicted_entries,
+                cross_chunk_hits=stats_after.cross_chunk_hits
+                - stats_before.cross_chunk_hits,
+            )
+            start = chunk_end
+
+    def _chunks_rebuilt(self) -> Iterator[ChunkResult]:
+        """PR-1 semantics: a fresh engine per chunk over a bounded sub-trace."""
+        end = self._end_ns()
+        chunk = self.config.chunk_ns
+        margin = self.config.margin_ns
+        if self._packet_index is None:
+            self._packet_index = _PacketWindowIndex(self.trace)
         start = 0
         while start <= end:
             chunk_end = start + chunk
-            victims = [
-                v for v in self._all_victims if start <= v.arrival_ns < chunk_end
-            ]
+            window_start = max(0, start - margin)
+            victims = self._victims_in(start, chunk_end)
             if victims:
-                sub = _sub_trace(self.trace, max(0, start - margin), chunk_end)
+                sub = _sub_trace(
+                    self.trace, window_start, chunk_end, index=self._packet_index
+                )
                 engine = MicroscopeEngine(sub, **self.engine_kwargs)
                 diagnoses = engine.diagnose_all(victims, workers=self.workers)
             else:
@@ -144,6 +303,9 @@ class StreamingDiagnosis:
                 end_ns=chunk_end,
                 victims=victims,
                 diagnoses=diagnoses,
+                margin_exceeded=self._count_margin_exceeded(
+                    diagnoses, window_start, exact=False
+                ),
             )
             start = chunk_end
 

@@ -10,8 +10,9 @@ computed over recent history", like NetMedic (section 4.1).
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
 
 from repro.core.records import DiagTrace, PacketHop
 from repro.errors import DiagnosisError
@@ -107,7 +108,15 @@ class VictimSelector:
         return victims
 
     def _abnormal_hops(self, k: float, window: int) -> set:
-        """(pid, nf) pairs whose local latency broke the rolling envelope."""
+        """(pid, nf) pairs whose local latency broke the rolling envelope.
+
+        The per-NF arrival streams in :class:`NFView` are already
+        time-sorted, so instead of re-sorting every hop of every packet
+        per call, the hops are paired with the sorted stream through
+        per-pid queues (hop order equals arrival order for a revisiting
+        packet).  When a view disagrees with the packet hops — e.g. a
+        hand-built trace — that NF falls back to the original sort.
+        """
         abnormal = set()
         per_nf: Dict[str, List[Tuple[int, int, int]]] = {}
         for packet in self.trace.packets.values():
@@ -116,13 +125,42 @@ class VictimSelector:
                     (hop.arrival_ns, packet.pid, hop.latency_ns)
                 )
         for name, entries in per_nf.items():
-            entries.sort()
+            ordered = self._stream_ordered(name, entries)
+            if ordered is None:
+                entries.sort()
+                ordered = entries
             history = RollingStats(window=window)
-            for _t, pid, latency in entries:
+            for _t, pid, latency in ordered:
                 if history.is_abnormal(float(latency), k=k):
                     abnormal.add((pid, name))
                 history.push(float(latency))
         return abnormal
+
+    def _stream_ordered(
+        self, name: str, entries: List[Tuple[int, int, int]]
+    ) -> Optional[List[Tuple[int, int, int]]]:
+        """``entries`` in time order via the sorted NF stream, or None.
+
+        ``entries`` arrive in packet-hop order, so per-pid queues preserve
+        each packet's own hop sequence; walking ``view.arrivals`` (sorted
+        by ``(t, pid)`` — the same order ``entries.sort()`` would produce)
+        and consuming matching queue heads recovers the global order in
+        O(n).  Any mismatch returns None for the exact fallback.
+        """
+        view = self.trace.nfs.get(name)
+        if view is None or len(view.arrivals) < len(entries):
+            return None
+        queues: Dict[int, Deque[Tuple[int, int]]] = {}
+        for t, pid, latency in entries:
+            queues.setdefault(pid, deque()).append((t, latency))
+        ordered: List[Tuple[int, int, int]] = []
+        for t, pid in view.arrivals:
+            queue = queues.get(pid)
+            if queue and queue[0][0] == t:
+                ordered.append((t, pid, queue.popleft()[1]))
+        if len(ordered) != len(entries):
+            return None
+        return ordered
 
     # -- drops ---------------------------------------------------------------
 

@@ -1,9 +1,27 @@
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.core.queuing import QueuingAnalyzer, QueuingPeriod, periods_from_batches
+from repro.core.queuing import (
+    QueuingAnalyzer,
+    QueuingPeriod,
+    default_backend,
+    periods_from_batches,
+)
 from repro.core.records import NFView
 from repro.errors import DiagnosisError
+
+try:
+    import numpy  # noqa: F401
+
+    BACKENDS = ["python", "numpy"]
+except ImportError:  # pragma: no cover - numpy is a base dependency
+    BACKENDS = ["python"]
+
+
+@pytest.fixture(params=BACKENDS)
+def backend(request):
+    """Every behavioural test runs against both index backends."""
+    return request.param
 
 
 def view_from_events(arrivals, reads, name="nf", peak=1e6):
@@ -15,19 +33,42 @@ def view_from_events(arrivals, reads, name="nf", peak=1e6):
     )
 
 
+class TestBackendSelection:
+    def test_default_backend_is_valid(self):
+        assert default_backend() in ("auto", "python", "numpy")
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUING_BACKEND", "python")
+        assert default_backend() == "python"
+
+    def test_env_invalid_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_QUEUING_BACKEND", "fortran")
+        with pytest.raises(DiagnosisError):
+            default_backend()
+
+    def test_unknown_backend_rejected(self):
+        view = view_from_events([], [])
+        with pytest.raises(DiagnosisError):
+            QueuingAnalyzer(view, backend="fortran")
+
+    def test_resolved_backend_exposed(self, backend):
+        view = view_from_events([(100, 0)], [(150, 0)])
+        assert QueuingAnalyzer(view, backend=backend).backend == backend
+
+
 class TestBasicPeriods:
-    def test_empty_queue_gives_none(self):
+    def test_empty_queue_gives_none(self, backend):
         # Single packet arrives into an empty queue: no period behind it.
         view = view_from_events([(100, 0)], [(150, 0)])
-        analyzer = QueuingAnalyzer(view)
+        analyzer = QueuingAnalyzer(view, backend=backend)
         assert analyzer.period_for_arrival(0, 100) is None
 
-    def test_builds_simple_period(self):
+    def test_builds_simple_period(self, backend):
         # Three arrivals before any read; the third sees queue length 2.
         view = view_from_events(
             [(100, 0), (110, 1), (120, 2)], [(130, 0), (140, 1), (150, 2)]
         )
-        analyzer = QueuingAnalyzer(view)
+        analyzer = QueuingAnalyzer(view, backend=backend)
         period = analyzer.period_for_arrival(2, 120)
         assert period is not None
         assert period.start_ns == 100
@@ -36,61 +77,78 @@ class TestBasicPeriods:
         assert period.n_processed == 0
         assert period.queue_len == 2
 
-    def test_period_resets_after_drain(self):
+    def test_period_resets_after_drain(self, backend):
         # Queue drains fully at t=115, then rebuilds.
         view = view_from_events(
             [(100, 0), (110, 1), (200, 2), (210, 3)],
             [(105, 0), (115, 1), (220, 2), (230, 3)],
         )
-        analyzer = QueuingAnalyzer(view)
+        analyzer = QueuingAnalyzer(view, backend=backend)
         period = analyzer.period_for_arrival(3, 210)
         assert period is not None
         assert period.start_ns == 200  # not 100
         assert period.queue_len == 1
 
-    def test_preset_pids(self):
+    def test_preset_pids(self, backend):
         view = view_from_events(
             [(100, 7), (110, 8), (120, 9)], [(130, 7), (140, 8), (150, 9)]
         )
-        analyzer = QueuingAnalyzer(view)
+        analyzer = QueuingAnalyzer(view, backend=backend)
         period = analyzer.period_for_arrival(9, 120)
         assert analyzer.preset_pids(period) == [7, 8]
 
-    def test_same_timestamp_arrival_before_read(self):
+    def test_same_timestamp_arrival_before_read(self, backend):
         # Arrival and read at the same ns: arrival is processed first.
         view = view_from_events(
             [(100, 0), (105, 1), (110, 2)], [(110, 0), (120, 1), (130, 2)]
         )
-        analyzer = QueuingAnalyzer(view)
+        analyzer = QueuingAnalyzer(view, backend=backend)
         period = analyzer.period_for_arrival(2, 110)
         assert period is not None
         assert period.n_input == 2
         assert period.n_processed == 0  # the read at 110 is not before pid 2
 
-
-class TestPeriodAt:
-    def test_matches_arrival_query(self):
+    def test_period_fields_are_builtin_ints(self, backend):
+        # np.int64 leaking into periods would break json serialization in
+        # reports/benchmarks; both backends must emit plain ints.
         view = view_from_events(
             [(100, 0), (110, 1), (120, 2)], [(130, 0), (140, 1), (150, 2)]
         )
-        analyzer = QueuingAnalyzer(view)
+        period = QueuingAnalyzer(view, backend=backend).period_for_arrival(2, 120)
+        for value in (
+            period.start_ns,
+            period.end_ns,
+            period.first_arrival_idx,
+            period.last_arrival_idx,
+            period.n_input,
+            period.n_processed,
+        ):
+            assert type(value) is int
+
+
+class TestPeriodAt:
+    def test_matches_arrival_query(self, backend):
+        view = view_from_events(
+            [(100, 0), (110, 1), (120, 2)], [(130, 0), (140, 1), (150, 2)]
+        )
+        analyzer = QueuingAnalyzer(view, backend=backend)
         by_time = analyzer.period_at(125)
         assert by_time is not None
         assert by_time.start_ns == 100
         assert by_time.n_input == 3  # all three arrivals are <= 125
 
-    def test_before_any_event(self):
+    def test_before_any_event(self, backend):
         view = view_from_events([(100, 0)], [(150, 0)])
-        analyzer = QueuingAnalyzer(view)
+        analyzer = QueuingAnalyzer(view, backend=backend)
         assert analyzer.period_at(50) is None
 
 
 class TestThreshold:
-    def test_nonzero_threshold_ignores_shallow_queues(self):
+    def test_nonzero_threshold_ignores_shallow_queues(self, backend):
         view = view_from_events(
             [(100, 0), (110, 1), (120, 2)], [(130, 0), (140, 1), (150, 2)]
         )
-        analyzer = QueuingAnalyzer(view, threshold=2)
+        analyzer = QueuingAnalyzer(view, threshold=2, backend=backend)
         # pid 2 saw queue length 2, which is not above the threshold.
         assert analyzer.period_for_arrival(2, 120) is None
 
@@ -119,13 +177,16 @@ def event_streams(draw):
     return arrivals, reads
 
 
+@pytest.mark.parametrize("backend", BACKENDS)
 class TestInvariants:
+    # `backend` comes from parametrize, not the fixture: hypothesis
+    # forbids function-scoped fixtures under @given.
     @settings(max_examples=60, deadline=None)
-    @given(event_streams())
-    def test_queue_len_matches_naive_count(self, streams):
+    @given(streams=event_streams())
+    def test_queue_len_matches_naive_count(self, backend, streams):
         arrivals, reads = streams
         view = view_from_events(arrivals, reads)
-        analyzer = QueuingAnalyzer(view)
+        analyzer = QueuingAnalyzer(view, backend=backend)
         for t, pid in arrivals:
             period = analyzer.period_for_arrival(pid, t)
             # Naive queue occupancy just before this arrival: arrivals
@@ -143,15 +204,38 @@ class TestInvariants:
                 assert period.start_ns <= t
 
     @settings(max_examples=60, deadline=None)
-    @given(event_streams())
-    def test_preset_size_equals_n_input(self, streams):
+    @given(streams=event_streams())
+    def test_preset_size_equals_n_input(self, backend, streams):
         arrivals, reads = streams
         view = view_from_events(arrivals, reads)
-        analyzer = QueuingAnalyzer(view)
+        analyzer = QueuingAnalyzer(view, backend=backend)
         for t, pid in arrivals:
             period = analyzer.period_for_arrival(pid, t)
             if period is not None:
                 assert len(analyzer.preset_pids(period)) == period.n_input
+
+
+@pytest.mark.skipif(len(BACKENDS) < 2, reason="numpy not available")
+class TestBackendEquivalence:
+    """The vectorized index must be bit-identical to the reference loop."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(event_streams(), st.integers(0, 3))
+    def test_periods_identical(self, streams, threshold):
+        arrivals, reads = streams
+        view = view_from_events(arrivals, reads)
+        py = QueuingAnalyzer(view, threshold=threshold, backend="python")
+        np_ = QueuingAnalyzer(view, threshold=threshold, backend="numpy")
+        for t, pid in arrivals:
+            p_py = py.period_for_arrival(pid, t)
+            p_np = np_.period_for_arrival(pid, t)
+            assert p_py == p_np
+            if p_py is not None:
+                assert py.preset_pids(p_py) == np_.preset_pids(p_np)
+        probe_times = sorted({t for t, _ in arrivals} | {t for t, _ in reads})
+        for t in probe_times:
+            assert py.period_at(t) == np_.period_at(t)
+            assert py.period_at(t - 1) == np_.period_at(t - 1)
 
 
 class TestPeriodsFromBatches:

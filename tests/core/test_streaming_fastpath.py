@@ -1,0 +1,301 @@
+"""Streaming fast-path correctness: cross-chunk engine reuse must be exact.
+
+ISSUE 2 pins three contracts on the incremental streaming engine:
+
+* equivalence — ``StreamingDiagnosis.run()`` with engine reuse is
+  bit-identical to batch ``diagnose_all`` (for *any* chunk size/margin)
+  and to the per-chunk-rebuild path when the margin is sufficient,
+* chunk-boundary correctness — victims whose queuing periods straddle a
+  chunk boundary are diagnosed against their full period, and a
+  margin-too-small configuration is detected and reported,
+* carry/evict accounting — the cross-chunk counters balance and eviction
+  never changes results.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.diagnosis import (
+    MicroscopeEngine,
+    _diagnosis_from_wire,
+    _diagnosis_to_wire,
+)
+from repro.core.queuing import QueuingAnalyzer
+from repro.core.streaming import StreamingConfig, StreamingDiagnosis
+from repro.core.victims import VictimSelector
+from repro.util.timebase import MSEC, USEC
+
+
+def canonical_bytes(diagnoses) -> bytes:
+    """Identity-insensitive byte serialization of the culprit output."""
+    payload = [
+        [
+            [c.kind, c.location, c.score, list(c.culprit_pids), c.victim_pid,
+             c.victim_nf, c.depth, c.culprit_time_ns]
+            for c in d.culprits
+        ]
+        for d in diagnoses
+    ]
+    return json.dumps(payload, sort_keys=True).encode()
+
+
+@pytest.fixture(scope="module")
+def batch_reference(interrupt_chain_trace):
+    trace = interrupt_chain_trace
+    victims = sorted(
+        VictimSelector(trace).hop_latency_victims(pct=99.0)
+        + VictimSelector(trace).drop_victims(),
+        key=lambda v: v.arrival_ns,
+    )
+    return MicroscopeEngine(trace).diagnose_all(victims)
+
+
+class TestReuseEquivalence:
+    @pytest.mark.parametrize(
+        "chunk_ns,margin_ns",
+        [
+            (1 * MSEC, 5 * MSEC),
+            (MSEC // 4, 0),  # no lookback at all: reuse must still be exact
+            (MSEC // 3, 100 * USEC),
+            (10 * MSEC, 1 * MSEC),  # single chunk
+        ],
+    )
+    def test_bit_identical_to_batch_any_chunking(
+        self, interrupt_chain_trace, batch_reference, chunk_ns, margin_ns
+    ):
+        streamed = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(
+                chunk_ns=chunk_ns, margin_ns=margin_ns, reuse_engine=True
+            ),
+            victim_pct=99.0,
+        ).run()
+        assert canonical_bytes(streamed) == canonical_bytes(batch_reference)
+
+    def test_bit_identical_to_rebuild_with_sufficient_margin(
+        self, interrupt_chain_trace, batch_reference
+    ):
+        rebuilt = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(
+                chunk_ns=1 * MSEC, margin_ns=5 * MSEC, reuse_engine=False
+            ),
+            victim_pct=99.0,
+        ).run()
+        assert canonical_bytes(rebuilt) == canonical_bytes(batch_reference)
+
+    def test_reuse_with_workers_identical(
+        self, interrupt_chain_trace, batch_reference
+    ):
+        streamed = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(chunk_ns=2 * MSEC, margin_ns=MSEC, reuse_engine=True),
+            victim_pct=99.0,
+            workers=2,
+        ).run()
+        assert canonical_bytes(streamed) == canonical_bytes(batch_reference)
+
+    @pytest.mark.parametrize("backend", ["python", "numpy"])
+    def test_backends_identical_through_streaming(
+        self, interrupt_chain_trace, batch_reference, backend
+    ):
+        streamed = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(chunk_ns=1 * MSEC, margin_ns=MSEC, reuse_engine=True),
+            victim_pct=99.0,
+            backend=backend,
+        ).run()
+        assert canonical_bytes(streamed) == canonical_bytes(batch_reference)
+
+
+class TestChunkBoundaries:
+    def test_straddling_periods_are_complete(self, interrupt_chain_trace):
+        """Victims whose queuing period starts before their chunk see the
+        full period in reuse mode — the buildup from the interrupt (at
+        0.5 ms) must be visible to victims in later chunks."""
+        trace = interrupt_chain_trace
+        chunk_ns = MSEC // 4
+        streaming = StreamingDiagnosis(
+            trace,
+            StreamingConfig(chunk_ns=chunk_ns, margin_ns=0, reuse_engine=True),
+            victim_pct=99.0,
+        )
+        straddlers = 0
+        for chunk in streaming.chunks():
+            for d in chunk.diagnoses:
+                if d.period is None:
+                    continue
+                if d.period.start_ns < chunk.start_ns:
+                    straddlers += 1
+                    # The full-period invariant: the period matches what a
+                    # batch engine derives for the same victim.
+                    batch_period = (
+                        MicroscopeEngine(trace)
+                        .analyzer(d.victim.nf)
+                        .period_for_arrival(d.victim.pid, d.victim.arrival_ns)
+                    )
+                    assert d.period == batch_period
+        assert straddlers > 0, "workload must exercise straddling periods"
+
+    def test_margin_too_small_detected_in_reuse_mode(self, interrupt_chain_trace):
+        streaming = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(chunk_ns=MSEC // 4, margin_ns=0, reuse_engine=True),
+            victim_pct=99.0,
+        )
+        chunks = list(streaming.chunks())
+        assert sum(c.margin_exceeded for c in chunks) > 0
+
+    def test_margin_too_small_detected_in_rebuild_mode(self, interrupt_chain_trace):
+        streaming = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(chunk_ns=MSEC // 4, margin_ns=0, reuse_engine=False),
+            victim_pct=99.0,
+        )
+        chunks = list(streaming.chunks())
+        assert sum(c.margin_exceeded for c in chunks) > 0
+
+    def test_sufficient_margin_not_flagged(self, interrupt_chain_trace):
+        streaming = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(chunk_ns=1 * MSEC, margin_ns=5 * MSEC, reuse_engine=True),
+            victim_pct=99.0,
+        )
+        chunks = list(streaming.chunks())
+        assert sum(c.margin_exceeded for c in chunks) == 0
+
+
+class TestCarryEvictCounters:
+    def test_counters_balance(self, interrupt_chain_trace):
+        streaming = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(chunk_ns=MSEC // 2, margin_ns=MSEC, reuse_engine=True),
+            victim_pct=99.0,
+        )
+        chunks = list(streaming.chunks())
+        stats = streaming.engine.cache_stats
+        assert stats.carried_entries == sum(c.carried_entries for c in chunks)
+        assert stats.evicted_entries == sum(c.evicted_entries for c in chunks)
+        assert stats.cross_chunk_hits == sum(c.cross_chunk_hits for c in chunks)
+        # Cross-chunk hits only exist where the memo layers hit at all.
+        assert stats.cross_chunk_hits <= stats.hits
+
+    def test_cross_chunk_reuse_happens(self, interrupt_chain_trace):
+        """Consecutive chunks share queue buildups on this workload, so a
+        retaining margin must produce cross-chunk memo hits."""
+        streaming = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(
+                chunk_ns=MSEC // 4, margin_ns=5 * MSEC, reuse_engine=True
+            ),
+            victim_pct=99.0,
+        )
+        list(streaming.chunks())
+        assert streaming.engine.cache_stats.cross_chunk_hits > 0
+
+    def test_zero_margin_evicts(self, interrupt_chain_trace):
+        streaming = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(chunk_ns=MSEC // 2, margin_ns=0, reuse_engine=True),
+            victim_pct=99.0,
+        )
+        list(streaming.chunks())
+        assert streaming.engine.cache_stats.evicted_entries > 0
+
+    def test_eviction_is_result_invariant(self, interrupt_chain_trace, batch_reference):
+        """An aggressive eviction policy (zero margin) recomputes instead
+        of reusing, but never changes the output."""
+        evicting = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(chunk_ns=MSEC // 2, margin_ns=0, reuse_engine=True),
+            victim_pct=99.0,
+        )
+        retaining = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(
+                chunk_ns=MSEC // 2, margin_ns=10 * MSEC, reuse_engine=True
+            ),
+            victim_pct=99.0,
+        )
+        assert (
+            canonical_bytes(evicting.run())
+            == canonical_bytes(retaining.run())
+            == canonical_bytes(batch_reference)
+        )
+
+    def test_rebuild_mode_reports_zero_counters(self, interrupt_chain_trace):
+        streaming = StreamingDiagnosis(
+            interrupt_chain_trace,
+            StreamingConfig(chunk_ns=1 * MSEC, margin_ns=MSEC, reuse_engine=False),
+            victim_pct=99.0,
+        )
+        for chunk in streaming.chunks():
+            assert chunk.carried_entries == 0
+            assert chunk.evicted_entries == 0
+            assert chunk.cross_chunk_hits == 0
+
+    def test_advance_chunk_eviction_counts(self, interrupt_chain_trace):
+        """Direct engine-level invariant: after evicting everything, the
+        memo layers are empty and the counters add up."""
+        trace = interrupt_chain_trace
+        victims = VictimSelector(trace).hop_latency_victims(pct=99.0)
+        engine = MicroscopeEngine(trace)
+        engine.diagnose_all(victims)
+        populated = engine.cache_stats
+        assert populated.misses > 0
+        horizon = max(v.arrival_ns for v in victims) + MSEC
+        engine.advance_chunk(evict_before_ns=horizon)
+        stats = engine.cache_stats
+        assert stats.carried_entries == 0
+        assert stats.evicted_entries > 0
+        assert not engine._local_cache and not engine._decomps
+        for analyzer in engine._analyzers.values():
+            assert not analyzer._preset_cache
+
+
+class TestWireFormat:
+    def test_round_trip_is_field_exact(self, interrupt_chain_trace):
+        trace = interrupt_chain_trace
+        victims = VictimSelector(trace).hop_latency_victims(pct=99.0)
+        engine = MicroscopeEngine(trace)
+        for victim in victims[:25]:
+            diagnosis = engine.diagnose(victim)
+            rebuilt = _diagnosis_from_wire(victim, _diagnosis_to_wire(diagnosis))
+            assert rebuilt.victim == diagnosis.victim
+            assert rebuilt.culprits == diagnosis.culprits
+            assert rebuilt.period == diagnosis.period
+            assert rebuilt.local == diagnosis.local
+            assert rebuilt.attributions == diagnosis.attributions
+            assert rebuilt.recursion_depth == diagnosis.recursion_depth
+
+    def test_wire_is_primitive_tuples(self, interrupt_chain_trace):
+        """The wire payload must stay pickle-cheap: tuples, str, int, float."""
+        trace = interrupt_chain_trace
+        victims = VictimSelector(trace).hop_latency_victims(pct=99.0)
+        engine = MicroscopeEngine(trace)
+        wire = _diagnosis_to_wire(engine.diagnose(victims[0]))
+
+        def assert_primitive(obj):
+            if isinstance(obj, tuple):
+                for item in obj:
+                    assert_primitive(item)
+            else:
+                assert obj is None or isinstance(obj, (str, int, float)), type(obj)
+
+        assert_primitive(wire)
+
+
+class TestQueuingBackends:
+    def test_explicit_backend_is_respected(self, interrupt_chain_trace):
+        view = interrupt_chain_trace.nfs["vpn1"]
+        assert QueuingAnalyzer(view, backend="python").backend == "python"
+
+    def test_unknown_backend_rejected(self, interrupt_chain_trace):
+        from repro.errors import DiagnosisError
+
+        view = interrupt_chain_trace.nfs["vpn1"]
+        with pytest.raises(DiagnosisError):
+            QueuingAnalyzer(view, backend="cupy")
