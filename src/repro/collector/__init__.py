@@ -1,5 +1,12 @@
 """Runtime data collection, compression, storage, and trace reconstruction."""
 
+from repro.collector.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    ChaosResult,
+    chaos_from_env,
+    inject_chaos,
+)
 from repro.collector.clock import (
     ClockAlignment,
     ClockSkew,
@@ -24,6 +31,7 @@ from repro.collector.overhead import (
     measure_overhead,
     measure_overhead_by_type,
 )
+from repro.collector.health import TelemetryGap, TelemetryHealth
 from repro.collector.persistence import load_collected, save_collected
 from repro.collector.reconstruct import (
     EdgeSpec,
@@ -44,6 +52,11 @@ from repro.collector.storage import DumperStats, SharedMemoryRing, drain_batches
 
 __all__ = [
     "BatchRecord",
+    "ChaosConfig",
+    "ChaosReport",
+    "ChaosResult",
+    "chaos_from_env",
+    "inject_chaos",
     "ClockAlignment",
     "ClockSkew",
     "align_records",
@@ -63,6 +76,8 @@ __all__ = [
     "RuntimeCollector",
     "SharedMemoryRing",
     "SourceRecord",
+    "TelemetryGap",
+    "TelemetryHealth",
     "TraceReconstructor",
     "apply_collection_cost",
     "bytes_per_packet",

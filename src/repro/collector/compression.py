@@ -150,7 +150,14 @@ def decode_exit_records(buf: bytes) -> List[ExitRecord]:
         proto = buf[offset + 12]
         offset += 13
         name_len, offset = _varint_decode(buf, offset)
-        last_nf = buf[offset : offset + name_len].decode("utf-8")
+        if offset + name_len > len(buf):
+            raise TraceError("truncated exit record NF name")
+        try:
+            last_nf = buf[offset : offset + name_len].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            # Garbage bytes must surface as the codec's own error class,
+            # not leak the underlying decode exception to callers.
+            raise TraceError(f"corrupt exit record NF name: {exc}") from exc
         offset += name_len
         exits.append(
             ExitRecord(

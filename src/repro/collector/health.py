@@ -1,0 +1,156 @@
+"""Telemetry-health accounting for degraded collection (robustness pass).
+
+The paper's offline stage assumes every collector shipped complete,
+ordered, clock-aligned records.  Real telemetry arrives lossy: collectors
+crash, shared-memory rings overwrite unread batches, links drop dumper
+traffic.  Rather than aborting (or silently mis-attributing), the tolerant
+pipeline makes degradation *explicit*:
+
+* a :class:`TelemetryGap` marks a region of one NF's record streams that
+  is known (or inferred) to be incomplete, instead of raising
+  :class:`~repro.errors.TraceError`;
+* a :class:`TelemetryHealth` summarises a whole reconstruction pass —
+  per-NF completeness ratios, quarantined NFs whose streams failed
+  validation, and the gap list — and travels with the
+  :class:`~repro.core.records.DiagTrace` into diagnosis, where it
+  discounts culprit confidence.
+
+``TelemetryHealth`` attached to a trace is the signal that the pipeline
+runs in tolerant mode; ``trace.telemetry is None`` keeps every legacy
+strict behaviour (and bit-identical output).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set
+
+from repro.errors import TraceError
+
+#: Gap kinds recorded by the tolerant reconstructor.
+GAP_KINDS = ("loss", "reorder", "quarantine", "chain-break")
+
+
+@dataclass(frozen=True)
+class TelemetryGap:
+    """One region of one NF's telemetry known to be incomplete.
+
+    ``kind`` says why: ``'loss'`` (records the upstream writers sent never
+    showed up in the NF's streams), ``'reorder'`` (timestamps arrived out
+    of order and were re-sorted), ``'quarantine'`` (the whole stream
+    failed validation and was excluded), ``'chain-break'`` (packet chains
+    could not be followed through this NF).  ``count`` is the number of
+    affected records (0 when unknown).
+    """
+
+    nf: str
+    start_ns: int
+    end_ns: int
+    kind: str
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in GAP_KINDS:
+            raise TraceError(f"unknown telemetry gap kind {self.kind!r}")
+        if self.end_ns < self.start_ns:
+            raise TraceError(
+                f"telemetry gap ends before it starts: "
+                f"[{self.start_ns}, {self.end_ns}]"
+            )
+
+
+@dataclass
+class TelemetryHealth:
+    """Per-NF telemetry quality for one reconstruction pass.
+
+    ``completeness`` maps each NF to the fraction of records the matching
+    expected that actually arrived (1.0 = everything matched).  Inferred
+    *packet* drops at a congested queue also depress completeness — the
+    collector cannot tell a lost packet from a lost record — so on a
+    healthy run with real drops completeness reads slightly below 1.0;
+    diagnosis treats both the same way (less evidence, lower confidence).
+    ``quarantined`` NFs failed stream validation outright and contributed
+    no records; their confidence is 0.
+
+    ``retention`` maps each NF to the fraction of its (estimated) true
+    traffic that survived into the reconstructed trace as hops.  It is
+    usually *lower* than ``completeness``: a record lost anywhere along a
+    packet's chain removes the whole packet from the trace, so the trace
+    is a thinner sample of reality than any single NF's record loss
+    suggests.  Diagnosis uses it to rescale peak rates into sampled
+    units (completeness keeps driving confidence).
+    """
+
+    completeness: Dict[str, float] = field(default_factory=dict)
+    quarantined: Set[str] = field(default_factory=set)
+    gaps: List[TelemetryGap] = field(default_factory=list)
+    retention: Dict[str, float] = field(default_factory=dict)
+
+    @classmethod
+    def perfect(cls) -> "TelemetryHealth":
+        return cls()
+
+    def nf_confidence(self, nf: str) -> float:
+        """Evidence confidence for records collected at ``nf`` in [0, 1]."""
+        if nf in self.quarantined:
+            return 0.0
+        return self.completeness.get(nf, 1.0)
+
+    def nf_retention(self, nf: str) -> float:
+        """Fraction of ``nf``'s true traffic present in the trace.
+
+        Falls back to ``completeness`` when no retention was measured
+        (e.g. a hand-built health object), and to 1.0 when neither is
+        known.
+        """
+        if nf in self.quarantined:
+            return 0.0
+        value = self.retention.get(nf)
+        if value is not None:
+            return value
+        return self.completeness.get(nf, 1.0)
+
+    @property
+    def min_completeness(self) -> float:
+        """The weakest NF's confidence (1.0 on a fully healthy pass)."""
+        if self.quarantined:
+            return 0.0
+        if not self.completeness:
+            return 1.0
+        return min(self.completeness.values())
+
+    @property
+    def degraded(self) -> bool:
+        """True when any NF lost records, reordered, or was quarantined."""
+        return bool(
+            self.quarantined
+            or self.gaps
+            or any(value < 1.0 for value in self.completeness.values())
+            or any(value < 1.0 for value in self.retention.values())
+        )
+
+    def gaps_at(self, nf: str) -> List[TelemetryGap]:
+        return [gap for gap in self.gaps if gap.nf == nf]
+
+    def gaps_in(self, start_ns: int, end_ns: int) -> List[TelemetryGap]:
+        """Gaps intersecting the half-open window [start, end)."""
+        return [
+            gap
+            for gap in self.gaps
+            if gap.start_ns < end_ns and gap.end_ns >= start_ns
+        ]
+
+    def merge(self, other: "TelemetryHealth") -> "TelemetryHealth":
+        """Combine two passes (worst completeness wins per NF)."""
+        completeness = dict(self.completeness)
+        for nf, value in other.completeness.items():
+            completeness[nf] = min(value, completeness.get(nf, 1.0))
+        retention = dict(self.retention)
+        for nf, value in other.retention.items():
+            retention[nf] = min(value, retention.get(nf, 1.0))
+        return TelemetryHealth(
+            completeness=completeness,
+            quarantined=self.quarantined | other.quarantined,
+            gaps=self.gaps + other.gaps,
+            retention=retention,
+        )

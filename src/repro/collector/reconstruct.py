@@ -25,6 +25,18 @@ Reconstruction proceeds per NF in two matchings:
 
 Chaining the matchings backwards from the exit records (which carry
 five-tuples) yields full per-packet hop timelines.
+
+**Tolerant mode** (``tolerant=True``) handles degraded telemetry instead
+of letting it poison the matchings: per-NF streams are validated first
+(out-of-order batches are re-sorted; streams whose disorder exceeds
+``max_disorder`` are quarantined and treated like a crashed collector),
+and every form of damage — losses inferred by the matcher, repaired
+reorderings, quarantines, broken chains — is recorded as explicit
+:class:`~repro.collector.health.TelemetryGap` markers in ``self.health``
+together with per-NF completeness ratios.  Diagnosis consumes that
+:class:`~repro.collector.health.TelemetryHealth` to discount culprit
+confidence.  On clean input tolerant mode is bit-identical to strict
+mode (validation finds nothing to repair).
 """
 
 from __future__ import annotations
@@ -32,7 +44,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.collector.runtime import CollectedData
+from repro.collector.health import TelemetryGap, TelemetryHealth
+from repro.collector.runtime import CollectedData, NFRecords
 from repro.errors import ReconstructionError
 
 #: Default upper bound on (read - arrival): DPDK ring of 1024 packets at a
@@ -199,12 +212,23 @@ class TraceReconstructor:
         edges: Sequence[EdgeSpec],
         max_wait_ns: int = DEFAULT_MAX_WAIT_NS,
         lookahead: int = 4,
+        tolerant: bool = False,
+        max_disorder: float = 0.2,
     ) -> None:
         self.data = data
         self.edges = list(edges)
         self.max_wait_ns = max_wait_ns
         self.lookahead = lookahead
+        self.tolerant = tolerant
+        #: Fraction of adjacent out-of-order batch pairs above which a
+        #: stream is quarantined rather than repaired (tolerant mode).
+        self.max_disorder = max_disorder
         self.stats = ReconstructionStats()
+        #: Telemetry quality of the last ``reconstruct()`` pass.
+        self.health = TelemetryHealth()
+        self._nf_matched: Dict[str, int] = {}
+        self._nf_expected: Dict[str, int] = {}
+        self._break_spans: Dict[str, List[int]] = {}
         self._edge_delay: Dict[Tuple[str, str], int] = {
             (e.src, e.dst): e.delay_ns for e in self.edges
         }
@@ -284,6 +308,8 @@ class TraceReconstructor:
         total_writer_items = sum(len(s) for s in writers.values())
         self.stats.inferred_drops += max(0, total_writer_items - matched_writer_items)
         self.stats.matched += matched_writer_items
+        self._nf_matched[nf] = matched_writer_items
+        self._nf_expected[nf] = total_writer_items
 
     def _match_demux(self, nf: str) -> None:
         rx = self._rx_items[nf]
@@ -303,10 +329,130 @@ class TraceReconstructor:
                 back[next_node][tx_index] = rx_index
         self._tx_back[nf] = back
 
+    # -- stream validation (tolerant mode) -------------------------------------
+
+    def _sanitize_streams(self) -> None:
+        """Validate per-NF streams; repair mild disorder, quarantine the rest.
+
+        Works on a shallow copy of ``self.data`` so the caller's records
+        are never mutated.  A quarantined NF is removed from the matching
+        entirely — downstream NFs then infer drops for everything it
+        carried, which is exactly how a crashed collector looks.
+        """
+        sane_nfs: Dict[str, NFRecords] = {}
+        for name, records in self.data.nfs.items():
+            streams = [records.rx] + list(records.tx.values())
+            total = sum(len(s) for s in streams)
+            inversions = sum(
+                sum(
+                    1
+                    for i in range(len(s) - 1)
+                    if s[i + 1].time_ns < s[i].time_ns
+                )
+                for s in streams
+            )
+            if total and inversions / total > self.max_disorder:
+                self.health.quarantined.add(name)
+                self.health.completeness[name] = 0.0
+                times = [b.time_ns for s in streams for b in s]
+                self.health.gaps.append(
+                    TelemetryGap(
+                        nf=name,
+                        start_ns=min(times),
+                        end_ns=max(times),
+                        kind="quarantine",
+                        count=total,
+                    )
+                )
+                continue
+            if inversions:
+                repaired = NFRecords(
+                    rx=sorted(records.rx, key=lambda b: b.time_ns),
+                    tx={
+                        peer: sorted(batches, key=lambda b: b.time_ns)
+                        for peer, batches in records.tx.items()
+                    },
+                )
+                times = [b.time_ns for s in streams for b in s]
+                self.health.gaps.append(
+                    TelemetryGap(
+                        nf=name,
+                        start_ns=min(times),
+                        end_ns=max(times),
+                        kind="reorder",
+                        count=inversions,
+                    )
+                )
+                sane_nfs[name] = repaired
+            else:
+                sane_nfs[name] = records
+        if self.health.quarantined or self.health.gaps:
+            self.data = CollectedData(
+                nfs=sane_nfs,
+                sources=self.data.sources,
+                exits=self.data.exits,
+                max_batch=self.data.max_batch,
+            )
+
+    def _record_health(self, packets: Sequence[ReconstructedPacket]) -> None:
+        """Per-NF completeness, retention, and loss gaps from the matchings."""
+        # Retention: a record lost at ANY chain stage removes the whole
+        # packet from the trace, so the trace samples every NF's traffic
+        # more thinly than any single NF's record loss suggests.  The
+        # chain survival rate over *observed* exit records measures that
+        # thinning directly — and real packet drops never produce an exit
+        # record, so (unlike completeness) they do not depress it.
+        # Survival conditions on the exit record itself being present,
+        # i.e. it reflects only n-1 of a chain's ~n independent drop
+        # opportunities; survival^(n/(n-1)) removes that bias.
+        exits_seen = self.stats.chains_built + self.stats.chains_broken
+        survival = self.stats.chains_built / exits_seen if exits_seen else 1.0
+        retention = survival
+        if 0.0 < survival < 1.0 and packets:
+            mean_hops = sum(len(p.hops) for p in packets) / len(packets)
+            stages = max(2.0, 2.0 * mean_hops + 2.0)  # rx/tx per hop + src + exit
+            retention = survival ** (stages / (stages - 1.0))
+        for nf in self.data.nfs:
+            total = self._nf_expected.get(nf, 0)
+            matched = self._nf_matched.get(nf, 0)
+            self.health.completeness[nf] = matched / total if total else 1.0
+            self.health.retention[nf] = retention
+            dropped = total - matched
+            if dropped > 0:
+                times = [
+                    item.time_ns
+                    for stream in self._writer_items[nf].values()
+                    for item in stream
+                ]
+                if times:
+                    self.health.gaps.append(
+                        TelemetryGap(
+                            nf=nf,
+                            start_ns=min(times),
+                            end_ns=max(times),
+                            kind="loss",
+                            count=dropped,
+                        )
+                    )
+        for nf, span in self._break_spans.items():
+            self.health.gaps.append(
+                TelemetryGap(
+                    nf=nf,
+                    start_ns=min(span),
+                    end_ns=max(span),
+                    kind="chain-break",
+                    count=len(span),
+                )
+            )
+
     # -- chaining ----------------------------------------------------------------
 
     def reconstruct(self) -> List[ReconstructedPacket]:
         """Run both matchings on every NF, then chain from exit records."""
+        self.health = TelemetryHealth()
+        self._break_spans = {}
+        if self.tolerant:
+            self._sanitize_streams()
         for nf in self.data.nfs:
             self._rx_items[nf] = self._rx_stream(nf)
             self._writer_items[nf] = self._writer_streams(nf)
@@ -327,6 +473,7 @@ class TraceReconstructor:
                 self.stats.chains_built += 1
             else:
                 self.stats.chains_broken += 1
+        self._record_health(packets)
         return packets
 
     def _chain_back(
@@ -341,10 +488,12 @@ class TraceReconstructor:
             back = self._tx_back.get(nf, {}).get(tx_stream_key, {})
             rx_index = back.get(tx_index)
             if rx_index is None:
+                self._note_break(nf, exit_ns)
                 return None
             rx_item = self._rx_items[nf][rx_index]
             queue_match = self._queue_match[nf][rx_index]
             if queue_match is None:
+                self._note_break(nf, exit_ns)
                 return None
             writer, writer_index = queue_match
             arrival = self._writer_items[nf][writer][writer_index].time_ns
@@ -369,4 +518,9 @@ class TraceReconstructor:
             tx_stream_key = nf
             tx_index = writer_index
             nf = writer
+        self._note_break(nf, exit_ns)
         return None
+
+    def _note_break(self, nf: str, exit_ns: int) -> None:
+        if self.tolerant:
+            self._break_spans.setdefault(nf, []).append(exit_ns)

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -53,14 +54,26 @@ from repro.core.victims import Victim
 from repro.errors import DiagnosisError, TraceError
 
 
+#: Valid culprit kinds (see :class:`Culprit`).
+CULPRIT_KINDS = ("local", "source", "low-evidence")
+
+
 @dataclass(frozen=True)
 class Culprit:
     """One attributed cause for one victim.
 
-    ``kind`` is ``'local'`` (slow processing at ``location``, an NF) or
-    ``'source'`` (bursty input traffic from ``location``, a source).
-    ``culprit_pids`` are the packets implicated — the queuing-period
-    packets for local culprits, the PreSet path subset for source culprits.
+    ``kind`` is ``'local'`` (slow processing at ``location``, an NF),
+    ``'source'`` (bursty input traffic from ``location``, a source), or
+    ``'low-evidence'`` (recursion stopped at ``location`` because its
+    telemetry was quarantined — the blame reached it but cannot be split
+    further).  ``culprit_pids`` are the packets implicated — the
+    queuing-period packets for local culprits, the PreSet path subset for
+    source culprits.
+
+    ``confidence`` in [0, 1] is how complete the telemetry behind this
+    attribution was: the product of per-NF completeness ratios along the
+    recursion chain that produced it.  Strict mode (no telemetry health on
+    the trace) always reports 1.0, keeping legacy output bit-identical.
     """
 
     kind: str
@@ -71,9 +84,10 @@ class Culprit:
     victim_nf: str
     depth: int
     culprit_time_ns: int
+    confidence: float = 1.0
 
     def __post_init__(self) -> None:
-        if self.kind not in ("local", "source"):
+        if self.kind not in CULPRIT_KINDS:
             raise DiagnosisError(f"unknown culprit kind {self.kind!r}")
 
 
@@ -91,6 +105,14 @@ class VictimDiagnosis:
     @property
     def total_score(self) -> float:
         return sum(c.score for c in self.culprits)
+
+    @property
+    def confidence(self) -> float:
+        """Score-weighted mean culprit confidence (1.0 when undiagnosed)."""
+        total = self.total_score
+        if total <= 0:
+            return 1.0
+        return sum(c.score * c.confidence for c in self.culprits) / total
 
 
 @dataclass
@@ -113,6 +135,9 @@ class CacheStats:
     cross_chunk_hits: int = 0
     carried_entries: int = 0
     evicted_entries: int = 0
+    #: Parallel ``diagnose_all`` shards that lost their worker process and
+    #: were retried serially in the parent (see ``_diagnose_parallel``).
+    worker_failures: int = 0
 
     @property
     def hits(self) -> int:
@@ -162,6 +187,7 @@ class MicroscopeEngine:
         self._local_gen: Dict[QueuingPeriod, int] = {}
         self._decomp_gen: Dict[Tuple[str, int], int] = {}
         self._decomp_end: Dict[Tuple[str, int], int] = {}
+        self._worker_failures = 0
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -179,7 +205,21 @@ class MicroscopeEngine:
             cross_chunk_hits=self._cross_hits + preset_cross,
             carried_entries=self._carried_entries,
             evicted_entries=self._evicted_entries,
+            worker_failures=self._worker_failures,
         )
+
+    # -- telemetry confidence ---------------------------------------------------
+
+    def _nf_confidence(self, nf: str) -> float:
+        """Evidence completeness at ``nf`` (1.0 in strict mode)."""
+        telemetry = self.trace.telemetry
+        if telemetry is None:
+            return 1.0
+        return telemetry.nf_confidence(nf)
+
+    def _quarantined(self, nf: str) -> bool:
+        telemetry = self.trace.telemetry
+        return telemetry is not None and nf in telemetry.quarantined
 
     def analyzer(self, nf: str) -> QueuingAnalyzer:
         cached = self._analyzers.get(nf)
@@ -242,6 +282,28 @@ class MicroscopeEngine:
         self._carried_entries += carried
         self._evicted_entries += evicted
 
+    def _effective_peak(self, nf: str) -> float:
+        """Peak rate of ``nf`` in observed-trace units.
+
+        Under record loss the trace holds only a ``retention`` fraction
+        of the NF's true arrivals (a record lost anywhere on a packet's
+        chain removes the whole packet), so comparing observed input
+        counts against the nominal peak rate systematically understates
+        the input score — the queue looks locally caused even when an
+        upstream burst built it.  Scaling the peak by the same fraction
+        keeps eqs. (1)/(2) consistent with the sampled trace.  Complete
+        (or absent) telemetry skips the scaling entirely, so strict-mode
+        arithmetic is bit-identical.
+        """
+        peak = self.trace.nfs[nf].peak_rate_pps
+        telemetry = self.trace.telemetry
+        if telemetry is None:
+            return peak
+        retention = telemetry.nf_retention(nf)
+        if 0.0 < retention < 1.0:
+            return peak * retention
+        return peak
+
     # -- memo layers ----------------------------------------------------------
 
     def _local_scores(self, period: QueuingPeriod, peak_rate_pps: float) -> LocalScores:
@@ -300,6 +362,7 @@ class MicroscopeEngine:
         else:
             period = analyzer.period_for_arrival(victim.pid, victim.arrival_ns)
         result = VictimDiagnosis(victim=victim, period=period)
+        confidence = self._nf_confidence(victim.nf)
         if period is None or period.queue_len <= 0:
             # No queue behind the problem: in-NF misbehaviour (section 7).
             result.culprits.append(
@@ -312,11 +375,12 @@ class MicroscopeEngine:
                     victim_nf=victim.nf,
                     depth=0,
                     culprit_time_ns=victim.arrival_ns,
+                    confidence=confidence,
                 )
             )
             return result
 
-        scores = self._local_scores(period, self.trace.nfs[victim.nf].peak_rate_pps)
+        scores = self._local_scores(period, self._effective_peak(victim.nf))
         result.local = scores
         preset = analyzer.preset_pids(period)
         if scores.sp > self.min_score:
@@ -330,6 +394,7 @@ class MicroscopeEngine:
                     victim_nf=victim.nf,
                     depth=0,
                     culprit_time_ns=period.start_ns,
+                    confidence=confidence,
                 )
             )
         if scores.si > self.min_score:
@@ -341,6 +406,7 @@ class MicroscopeEngine:
                 victim=victim,
                 depth=0,
                 result=result,
+                confidence=confidence,
             )
         return result
 
@@ -382,18 +448,38 @@ class MicroscopeEngine:
             self.memoize,
             self.backend,
         )
-        with ProcessPoolExecutor(
-            max_workers=n_chunks,
-            mp_context=context,
-            initializer=_parallel_worker_init,
-            initargs=init_args,
-        ) as pool:
-            futures = [pool.submit(_parallel_worker_diagnose, c) for c in chunks]
-            results: List[VictimDiagnosis] = []
-            for chunk, future in zip(chunks, futures):
+        # A crashed worker (OOM kill, segfaulting extension, broken fork)
+        # must not kill the whole run: chunks whose future died with
+        # BrokenProcessPool are retried serially in the parent, and the
+        # failure count surfaces via ``cache_stats.worker_failures``.
+        chunk_wires: List[Optional[List[_Wire]]] = [None] * len(chunks)
+        try:
+            with ProcessPoolExecutor(
+                max_workers=n_chunks,
+                mp_context=context,
+                initializer=_parallel_worker_init,
+                initargs=init_args,
+            ) as pool:
+                futures = [
+                    pool.submit(_parallel_worker_diagnose, c) for c in chunks
+                ]
+                for idx, future in enumerate(futures):
+                    try:
+                        chunk_wires[idx] = future.result()
+                    except BrokenProcessPool:
+                        self._worker_failures += 1
+        except BrokenProcessPool:
+            # The pool broke before all chunks were even submitted; every
+            # chunk without a result falls through to the serial retry.
+            self._worker_failures += 1
+        results: List[VictimDiagnosis] = []
+        for chunk, wires in zip(chunks, chunk_wires):
+            if wires is None:
+                results.extend(self.diagnose(victim) for victim in chunk)
+            else:
                 # Workers ship compact wire tuples, not pickled dataclass
                 # trees; reconstruction on this side is deterministic.
-                for victim, wire in zip(chunk, future.result()):
+                for victim, wire in zip(chunk, wires):
                     results.append(_diagnosis_from_wire(victim, wire))
         return results
 
@@ -408,8 +494,9 @@ class MicroscopeEngine:
         victim: Victim,
         depth: int,
         result: VictimDiagnosis,
+        confidence: float = 1.0,
     ) -> None:
-        peak = self.trace.nfs[nf].peak_rate_pps
+        peak = self._effective_peak(nf)
         texp_ns = period.n_input / peak * 1e9
         shares, attributions = propagation_scores(
             self.trace,
@@ -434,6 +521,7 @@ class MicroscopeEngine:
                     victim_nf=victim.nf,
                     depth=depth,
                     culprit_time_ns=victim.arrival_ns,
+                    confidence=confidence,
                 )
             )
             return
@@ -453,13 +541,19 @@ class MicroscopeEngine:
                         culprit_time_ns=self._earliest_emit(
                             share.subset_pids, victim.arrival_ns
                         ),
+                        confidence=confidence,
                     )
                 )
             else:
-                self._recurse_nf(share, victim, depth, result)
+                self._recurse_nf(share, victim, depth, result, confidence)
 
     def _recurse_nf(
-        self, share: EntityShare, victim: Victim, depth: int, result: VictimDiagnosis
+        self,
+        share: EntityShare,
+        victim: Victim,
+        depth: int,
+        result: VictimDiagnosis,
+        confidence: float = 1.0,
     ) -> None:
         nf = share.name
         result.recursion_depth = max(result.recursion_depth, depth + 1)
@@ -468,6 +562,28 @@ class MicroscopeEngine:
         first = share.first_hop_arrival
         if first is None:
             first = self._first_preset_arrival(nf, share.subset_pids)
+        if self._quarantined(nf):
+            # The blame trail reaches an NF whose telemetry failed
+            # validation: its queuing record cannot be trusted enough to
+            # split the share into local/input, so recursion stops with an
+            # explicit low-evidence marker rather than a confident guess.
+            result.culprits.append(
+                Culprit(
+                    kind="low-evidence",
+                    location=nf,
+                    score=share.score,
+                    culprit_pids=share.subset_pids,
+                    victim_pid=victim.pid,
+                    victim_nf=victim.nf,
+                    depth=depth + 1,
+                    culprit_time_ns=(
+                        first[1] if first is not None else victim.arrival_ns
+                    ),
+                    confidence=0.0,
+                )
+            )
+            return
+        confidence *= self._nf_confidence(nf)
         period = None
         if first is not None and depth + 1 < self.max_depth:
             first_pid, first_arrival = first
@@ -495,10 +611,11 @@ class MicroscopeEngine:
                     culprit_time_ns=(
                         first[1] if first is not None else victim.arrival_ns
                     ),
+                    confidence=confidence,
                 )
             )
             return
-        scores = self._local_scores(period, self.trace.nfs[nf].peak_rate_pps)
+        scores = self._local_scores(period, self._effective_peak(nf))
         if scores.total <= 0:
             sp_share, si_share = share.score, 0.0
         else:
@@ -516,6 +633,7 @@ class MicroscopeEngine:
                     victim_nf=victim.nf,
                     depth=depth + 1,
                     culprit_time_ns=period.start_ns,
+                    confidence=confidence,
                 )
             )
         if si_share > self.min_score:
@@ -527,6 +645,7 @@ class MicroscopeEngine:
                 victim=victim,
                 depth=depth + 1,
                 result=result,
+                confidence=confidence,
             )
 
     # -- helpers ---------------------------------------------------------------
@@ -579,7 +698,8 @@ class MicroscopeEngine:
 # nf is the victim nf, and LocalScores duplicates the period's counts):
 #
 #   (culprits, period, local, attributions, recursion_depth)
-#     culprits:     ((kind, location, score, culprit_pids, depth, time_ns), ...)
+#     culprits:     ((kind, location, score, culprit_pids, depth, time_ns,
+#                     confidence), ...)
 #     period:       (start, end, first_idx, last_idx, n_input, n_processed) | None
 #     local:        (si, sp, expected) | None
 #     attributions: ((path, subset_pids, timespans, contributions, share), ...)
@@ -592,7 +712,15 @@ def _diagnosis_to_wire(diagnosis: VictimDiagnosis) -> _Wire:
     local = diagnosis.local
     return (
         tuple(
-            (c.kind, c.location, c.score, c.culprit_pids, c.depth, c.culprit_time_ns)
+            (
+                c.kind,
+                c.location,
+                c.score,
+                c.culprit_pids,
+                c.depth,
+                c.culprit_time_ns,
+                c.confidence,
+            )
             for c in diagnosis.culprits
         ),
         None
@@ -651,8 +779,9 @@ def _diagnosis_from_wire(victim: Victim, wire: _Wire) -> VictimDiagnosis:
                 victim_nf=victim.nf,
                 depth=c_depth,
                 culprit_time_ns=time_ns,
+                confidence=conf,
             )
-            for kind, location, score, pids, c_depth, time_ns in culprits_w
+            for kind, location, score, pids, c_depth, time_ns, conf in culprits_w
         ],
         local=local,
         period=period,

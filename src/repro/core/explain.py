@@ -40,6 +40,11 @@ def _culprit_line(trace: DiagTrace, culprit: Culprit, total: float) -> str:
     share = culprit.score / total * 100 if total else 0.0
     if culprit.kind == "local":
         cause = f"slow processing at {culprit.location}"
+    elif culprit.kind == "low-evidence":
+        cause = (
+            f"insufficient telemetry at {culprit.location}"
+            " (collector quarantined; blame could not be split further)"
+        )
     else:
         cause = f"bursty traffic from {culprit.location}"
     line = (
@@ -47,6 +52,8 @@ def _culprit_line(trace: DiagTrace, culprit: Culprit, total: float) -> str:
         f"  (score {culprit.score:.1f}, seen at {format_ns(culprit.culprit_time_ns)},"
         f" {len(culprit.culprit_pids)} packets)"
     )
+    if culprit.confidence < 1.0:
+        line += f"  [confidence {culprit.confidence:.2f}]"
     if culprit.kind == "source" and culprit.culprit_pids:
         line += f"\n          flows: {_flow_summary(trace, culprit.culprit_pids)}"
     return line

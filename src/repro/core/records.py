@@ -14,10 +14,13 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import TraceError
 from repro.nfv.packet import FiveTuple
+
+if TYPE_CHECKING:  # avoid a runtime core -> collector import
+    from repro.collector.health import TelemetryHealth
 
 try:  # numpy is optional for the diagnosis core (see queuing backends)
     import numpy as _np
@@ -202,7 +205,13 @@ class NFView:
 
 
 class DiagTrace:
-    """Everything the offline diagnosis consumes."""
+    """Everything the offline diagnosis consumes.
+
+    ``telemetry`` is the health summary of a tolerant reconstruction pass
+    (per-NF completeness, quarantined NFs, gap markers); ``None`` means
+    strict mode — the trace is trusted completely and every diagnosis
+    confidence is 1.0, bit-identical to the legacy pipeline.
+    """
 
     def __init__(
         self,
@@ -211,12 +220,14 @@ class DiagTrace:
         upstreams: Dict[str, Set[str]],
         sources: Set[str],
         nf_types: Optional[Dict[str, str]] = None,
+        telemetry: Optional["TelemetryHealth"] = None,
     ) -> None:
         self.packets = packets
         self.nfs = nfs
         self.upstreams = upstreams
         self.sources = sources
         self.nf_types = nf_types or {}
+        self.telemetry = telemetry
         for view in nfs.values():
             view.arrivals.sort()
             view.reads.sort()
@@ -284,12 +295,19 @@ class DiagTrace:
         upstreams: Dict[str, Set[str]],
         sources: Set[str],
         nf_types: Optional[Dict[str, str]] = None,
+        health: Optional["TelemetryHealth"] = None,
+        tolerant: bool = False,
     ) -> "DiagTrace":
         """Full-pipeline mode: build from reconstructed packet journeys.
 
         Reconstructed packets get synthetic pids in exit order.  Packets
         whose chains broke during reconstruction are simply absent — the
         diagnosis degrades gracefully, which the ablation bench quantifies.
+
+        ``tolerant=True`` skips hops at unknown NFs (corrupted telemetry
+        can invent them) instead of raising, and ``health`` — the
+        reconstructor's :class:`TelemetryHealth` — is attached as
+        ``trace.telemetry`` so diagnosis can discount confidence.
         """
         nfs: Dict[str, NFView] = {
             name: NFView(name=name, peak_rate_pps=rate)
@@ -301,6 +319,8 @@ class DiagTrace:
             for hop in packet.hops:
                 view = nfs.get(hop.nf)
                 if view is None:
+                    if tolerant:
+                        continue
                     raise TraceError(f"reconstructed hop at unknown NF {hop.nf!r}")
                 view.arrivals.append((hop.arrival_ns, pid))
                 view.reads.append((hop.read_ns, pid))
@@ -327,4 +347,5 @@ class DiagTrace:
             upstreams=upstreams,
             sources=sources,
             nf_types=nf_types,
+            telemetry=health,
         )

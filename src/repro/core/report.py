@@ -35,7 +35,7 @@ class CausalRelation:
     victim_location: str
     score: float
     gap_ns: int  # victim time minus culprit time (Figure 15)
-    culprit_kind: str  # 'local' | 'source'
+    culprit_kind: str  # 'local' | 'source' | 'low-evidence'
 
 
 def ranked_entities(
@@ -45,13 +45,15 @@ def ranked_entities(
 ) -> List[Tuple[Entity, float]]:
     """Merge a victim's culprits into a ranked (entity, score) list.
 
-    Local culprits rank as their NF.  Source culprits are split across the
+    Local culprits rank as their NF, and so do low-evidence culprits —
+    the blame demonstrably reached that NF even if its telemetry was too
+    degraded to split further.  Source culprits are split across the
     flows of their culprit packets when ``flow_detail`` is set (Microscope
     names culprit *flows*); otherwise they rank as the source node.
     """
     scores: Dict[Entity, float] = defaultdict(float)
     for culprit in diagnosis.culprits:
-        if culprit.kind == "local":
+        if culprit.kind in ("local", "low-evidence"):
             scores[("nf", culprit.location)] += culprit.score
         elif flow_detail:
             flow_counts: Dict[FiveTuple, int] = defaultdict(int)

@@ -20,9 +20,12 @@ engines are provided:
   chunk diagnoses against a margin-extended sub-trace built by
   ``_sub_trace`` — per-NF streams are bisect-sliced out of the sorted
   views and packets come from a sorted interval index, so the cost is
-  O(window), not O(trace).  With a sufficient margin the result equals
-  batch diagnosis; an insufficient margin truncates queuing periods (the
-  knob the paper's Figure 15 bounds).
+  O(window), not O(trace).  Windows are seeded with the standing queue at
+  the boundary (pre-window arrivals still unread when the window opens),
+  so a chunk starting mid-buildup keeps the queue it inherited.  With a
+  sufficient margin the result equals batch diagnosis; an insufficient
+  margin truncates queuing periods (the knob the paper's Figure 15
+  bounds).
 
 Both modes flag *margin-too-small* victims per chunk: queuing periods
 that reach at or behind the lookback boundary, i.e. victims the rebuild
@@ -108,13 +111,46 @@ def _slice_stream(
     return stream[lo:hi]
 
 
+def _standing_arrivals(
+    view: NFView, start_ns: int
+) -> List[Tuple[int, int]]:
+    """Pre-window arrivals of packets still queued at ``start_ns``.
+
+    A queue is FIFO, so reads before the boundary consume the earliest
+    arrivals first; whatever arrivals remain unconsumed are the standing
+    queue the window boundary would otherwise amputate.
+    """
+    reads_before: Dict[int, int] = {}
+    for t, pid in view.reads:
+        if t >= start_ns:
+            break
+        reads_before[pid] = reads_before.get(pid, 0) + 1
+    standing: List[Tuple[int, int]] = []
+    for t, pid in view.arrivals:
+        if t >= start_ns:
+            break
+        pending = reads_before.get(pid, 0)
+        if pending:
+            reads_before[pid] = pending - 1
+        else:
+            standing.append((t, pid))
+    return standing
+
+
 def _sub_trace(
     trace: DiagTrace,
     start_ns: int,
     end_ns: int,
     index: Optional[_PacketWindowIndex] = None,
+    seed_queue: bool = False,
 ) -> DiagTrace:
-    """Restrict a trace to packets with any activity inside [start, end)."""
+    """Restrict a trace to packets with any activity inside [start, end).
+
+    ``seed_queue=True`` additionally carries the standing queue across the
+    window boundary: arrivals before ``start_ns`` whose reads happen at or
+    after it are kept, so a window opening mid-buildup sees the queue it
+    inherited instead of an empty one (the rebuild-mode streaming fix).
+    """
     if index is None:
         index = _PacketWindowIndex(trace)
     packets: Dict[int, PacketView] = {
@@ -122,10 +158,15 @@ def _sub_trace(
     }
     nfs: Dict[str, NFView] = {}
     for name, view in trace.nfs.items():
+        arrivals = _slice_stream(view.arrivals, start_ns, end_ns)
+        if seed_queue and start_ns > 0:
+            standing = _standing_arrivals(view, start_ns)
+            if standing:
+                arrivals = standing + arrivals
         nfs[name] = NFView(
             name=name,
             peak_rate_pps=view.peak_rate_pps,
-            arrivals=_slice_stream(view.arrivals, start_ns, end_ns),
+            arrivals=arrivals,
             reads=_slice_stream(view.reads, start_ns, end_ns),
             departs=_slice_stream(view.departs, start_ns, end_ns),
             drops=_slice_stream(view.drops, start_ns, end_ns),
@@ -136,6 +177,7 @@ def _sub_trace(
         upstreams=trace.upstreams,
         sources=trace.sources,
         nf_types=trace.nf_types,
+        telemetry=trace.telemetry,
     )
 
 
@@ -157,6 +199,15 @@ class ChunkResult:
     carried_entries: int = 0
     evicted_entries: int = 0
     cross_chunk_hits: int = 0
+    #: Telemetry health of the evidence behind this chunk (tolerant mode;
+    #: strict traces report a perfectly healthy chunk).  Together these let
+    #: an operator tell "no problem" from "no data": an empty victim list
+    #: with low completeness or quarantined NFs means the telemetry, not
+    #: the network, went quiet.
+    telemetry_completeness: float = 1.0
+    quarantined_nfs: Tuple[str, ...] = ()
+    telemetry_gaps: int = 0
+    low_evidence_culprits: int = 0
 
 
 class StreamingDiagnosis:
@@ -230,6 +281,29 @@ class StreamingDiagnosis:
             if d.period is not None and d.period.first_arrival_idx == 0
         )
 
+    def _chunk_health(
+        self,
+        diagnoses: List[VictimDiagnosis],
+        window_start_ns: int,
+        end_ns: int,
+    ) -> Tuple[float, Tuple[str, ...], int, int]:
+        """(completeness, quarantined, gaps, low-evidence) for one chunk."""
+        low_evidence = sum(
+            1
+            for diagnosis in diagnoses
+            for culprit in diagnosis.culprits
+            if culprit.kind == "low-evidence"
+        )
+        telemetry = self.trace.telemetry
+        if telemetry is None:
+            return 1.0, (), 0, low_evidence
+        return (
+            telemetry.min_completeness,
+            tuple(sorted(telemetry.quarantined)),
+            len(telemetry.gaps_in(window_start_ns, end_ns)),
+            low_evidence,
+        )
+
     def chunks(self) -> Iterator[ChunkResult]:
         """Yield per-chunk diagnoses in time order."""
         if self.config.reuse_engine:
@@ -261,6 +335,7 @@ class StreamingDiagnosis:
                 else []
             )
             stats_after = engine.cache_stats
+            health = self._chunk_health(diagnoses, window_start, chunk_end)
             yield ChunkResult(
                 start_ns=start,
                 end_ns=chunk_end,
@@ -275,6 +350,10 @@ class StreamingDiagnosis:
                 - stats_before.evicted_entries,
                 cross_chunk_hits=stats_after.cross_chunk_hits
                 - stats_before.cross_chunk_hits,
+                telemetry_completeness=health[0],
+                quarantined_nfs=health[1],
+                telemetry_gaps=health[2],
+                low_evidence_culprits=health[3],
             )
             start = chunk_end
 
@@ -291,13 +370,21 @@ class StreamingDiagnosis:
             window_start = max(0, start - margin)
             victims = self._victims_in(start, chunk_end)
             if victims:
+                # seed_queue carries the standing queue across the window
+                # boundary, so a chunk opening mid-buildup no longer loses
+                # the queue it inherited (ROADMAP open item).
                 sub = _sub_trace(
-                    self.trace, window_start, chunk_end, index=self._packet_index
+                    self.trace,
+                    window_start,
+                    chunk_end,
+                    index=self._packet_index,
+                    seed_queue=True,
                 )
                 engine = MicroscopeEngine(sub, **self.engine_kwargs)
                 diagnoses = engine.diagnose_all(victims, workers=self.workers)
             else:
                 diagnoses = []
+            health = self._chunk_health(diagnoses, window_start, chunk_end)
             yield ChunkResult(
                 start_ns=start,
                 end_ns=chunk_end,
@@ -306,6 +393,10 @@ class StreamingDiagnosis:
                 margin_exceeded=self._count_margin_exceeded(
                     diagnoses, window_start, exact=False
                 ),
+                telemetry_completeness=health[0],
+                quarantined_nfs=health[1],
+                telemetry_gaps=health[2],
+                low_evidence_culprits=health[3],
             )
             start = chunk_end
 

@@ -95,6 +95,75 @@ class TestOffsetEstimation:
         assert alignment.offsets_ns["vpn1"] == pytest.approx(80_000, abs=5 * USEC)
 
 
+class TestEstimationEdgeCases:
+    def test_node_with_no_records_is_left_unaligned(self):
+        """An edge whose destination shipped zero records yields no
+        estimate; the node stays out of the alignment (correction 0)
+        instead of failing the whole pass."""
+        _result, collector = collect_chain()
+        partial = type(collector.data)(
+            nfs={"nat1": collector.data.nfs["nat1"]},  # vpn1 collector is down
+            sources=collector.data.sources,
+            exits=collector.data.exits,
+            max_batch=collector.data.max_batch,
+        )
+        alignment = estimate_offsets(partial, EDGES, reference="src")
+        assert "vpn1" not in alignment.offsets_ns
+        assert alignment.correction_for("vpn1") == 0
+        assert abs(alignment.offsets_ns["nat1"]) <= 5 * USEC
+        # Applying the partial alignment must not raise.
+        align_records(partial, alignment)
+
+    def test_node_with_no_matched_ipids_is_left_unaligned(self):
+        """Records exist but none match across the edge (e.g. the
+        destination garbled every IPID): same graceful degradation."""
+        _result, collector = collect_chain()
+        vpn = collector.data.nfs["vpn1"]
+        from repro.collector.runtime import BatchRecord, NFRecords
+
+        # Replace every vpn1 RX IPID with one value nat1 provably never
+        # transmitted, so the edge has records but zero matched pairs.
+        nat_ipids = {
+            ipid
+            for b in collector.data.nfs["nat1"].tx_to("vpn1")
+            for ipid in b.ipids
+        }
+        unused = next(v for v in range(65536) if v not in nat_ipids)
+        garbled = NFRecords(
+            rx=[
+                BatchRecord(time_ns=b.time_ns, ipids=(unused,) * len(b.ipids))
+                for b in vpn.rx
+            ],
+            tx=vpn.tx,
+        )
+        data = type(collector.data)(
+            nfs={"nat1": collector.data.nfs["nat1"], "vpn1": garbled},
+            sources=collector.data.sources,
+            exits=collector.data.exits,
+            max_batch=collector.data.max_batch,
+        )
+        alignment = estimate_offsets(data, EDGES, reference="src")
+        assert "vpn1" not in alignment.offsets_ns
+        assert alignment.correction_for("vpn1") == 0
+
+    def test_skew_reordering_events_across_edge_is_recovered(self):
+        """A skew so large that RX timestamps fall *before* the matching
+        TX timestamps (events reorder across the edge) must still be
+        estimated and corrected."""
+        _result, collector = collect_chain()
+        skew = -2 * MSEC  # far beyond edge delay + any queueing
+        skewed = apply_clock_skew(collector.data, {"vpn1": ClockSkew(skew)})
+        first_tx = collector.data.nfs["nat1"].tx_to("vpn1")[0].time_ns
+        first_rx = skewed.nfs["vpn1"].rx[0].time_ns
+        assert first_rx < first_tx  # the edge really is reordered
+        alignment = estimate_offsets(skewed, EDGES, reference="src")
+        assert alignment.offsets_ns["vpn1"] == pytest.approx(skew, abs=5 * USEC)
+        aligned = align_records(skewed, alignment)
+        reconstructor = TraceReconstructor(aligned, EDGES)
+        reconstructor.reconstruct()
+        assert reconstructor.stats.chains_broken == 0
+
+
 class TestAlignedReconstruction:
     def test_reconstruction_fails_without_alignment(self):
         """A big skew breaks the timing side channel entirely."""

@@ -185,6 +185,37 @@ class TestParallelEquivalence:
         assert culprit_lists(single) == culprit_lists(engine.diagnose_all(victims[:1]))
 
 
+class TestWorkerFailureRecovery:
+    def test_broken_pool_retries_serially(self, chain_case, monkeypatch):
+        """A crashed worker must not kill the run: failed shards are
+        retried serially in the parent, output matches the serial path,
+        and the failure surfaces in cache_stats.worker_failures."""
+        import repro.core.diagnosis as diagnosis_mod
+
+        def exploding_init(*_args, **_kwargs):
+            import os
+
+            os._exit(13)  # simulate a worker dying mid-initialization
+
+        monkeypatch.setattr(
+            diagnosis_mod, "_parallel_worker_init", exploding_init
+        )
+        trace, victims = chain_case
+        engine = MicroscopeEngine(trace)
+        recovered = engine.diagnose_all(victims, workers=2)
+        assert engine.cache_stats.worker_failures > 0
+        serial = MicroscopeEngine(trace).diagnose_all(victims)
+        assert [d.victim for d in recovered] == [d.victim for d in serial]
+        assert culprit_lists(recovered) == culprit_lists(serial)
+        assert canonical_bytes(recovered) == canonical_bytes(serial)
+
+    def test_healthy_pool_reports_zero_failures(self, chain_case):
+        trace, victims = chain_case
+        engine = MicroscopeEngine(trace)
+        engine.diagnose_all(victims, workers=2)
+        assert engine.cache_stats.worker_failures == 0
+
+
 class TestPathDecompositionPrefixes:
     def test_prefix_queries_match_fresh_runs(self, chain_case):
         # One decomposition answering growing prefixes must equal a fresh
