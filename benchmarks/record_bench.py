@@ -107,43 +107,94 @@ def run_periodic_interrupt_chain(
 ):
     """A long-running chain with recurring NAT interrupts.
 
-    The single-interrupt quickstart workload concentrates every victim in
-    a handful of chunks, which leaves most chunks idle and hides the
-    per-chunk rebuild cost streaming mode exists to pay down.  Recurring
-    stalls spread victims across the whole run — the production regime
-    the streaming path targets.
+    The generator itself lives in ``tests/conftest.py``
+    (``run_recurring_stall_chain``) so the service's crash-recovery tests
+    and these benchmarks exercise the same workload; the benchmark runs
+    the longer 60 ms variant.
     """
-    from repro.nfv import (
-        InterruptInjector,
-        InterruptSpec,
-        Simulator,
-        TrafficSource,
-        constant_target,
+    from tests.conftest import run_recurring_stall_chain
+
+    return run_recurring_stall_chain(
+        duration_ns=duration_ns,
+        interrupt_every_ns=interrupt_every_ns,
+        interrupt_ns=interrupt_ns,
     )
-    from repro.traffic import IpidSpace, PidAllocator, constant_rate_flow
-    from repro.util import substream
-    from tests.conftest import MAIN_FLOW, PROBE_FLOW, make_chain_topology
-
-    topo = make_chain_topology()
-    pids = PidAllocator()
-    ipids = IpidSpace(substream(0, "bench-periodic"))
-    main = constant_rate_flow(MAIN_FLOW, 1_000_000.0, duration_ns, pids, ipids)
-    probe = constant_rate_flow(PROBE_FLOW, 200_000.0, duration_ns, pids, ipids)
-    specs = [
-        InterruptSpec("nat1", t, interrupt_ns)
-        for t in range(500_000, duration_ns, interrupt_every_ns)
-    ]
-    return Simulator(
-        topo,
-        [
-            TrafficSource("src-main", main, constant_target("nat1")),
-            TrafficSource("src-probe", probe, constant_target("vpn1")),
-        ],
-        injectors=[InterruptInjector(specs)],
-    ).run()
 
 
-def bench_streaming(repeats: int) -> dict:
+def bench_service(repeats: int, trace) -> dict:
+    """Checkpoint/journal overhead of the always-on service (ISSUE 4).
+
+    Runs the crash-only service over the periodic-interrupt trace and
+    compares against bare streaming: the difference is what durability
+    costs — journal appends, checkpoint commits, fsyncs — amortized per
+    chunk.  Measured twice: ``durable=True`` (production: every commit
+    fsynced) and ``durable=False`` (atomic renames only), so the fsync
+    share is visible.  Output equality with streaming is asserted, not
+    assumed.
+    """
+    import shutil
+    import tempfile
+
+    from repro.service import DiagnosisService, ServiceConfig
+
+    cfg = dict(chunk_ns=3 * MSEC, margin_ns=10 * MSEC)
+    pct = 99.9
+
+    def run_streaming():
+        # Construction included: the service also pays victim selection
+        # and engine setup per run, so the delta is purely durability.
+        return StreamingDiagnosis(
+            trace, StreamingConfig(**cfg), victim_pct=pct
+        ).run()
+
+    streaming_s, expected = timed(run_streaming, repeats)
+    n_chunks = StreamingDiagnosis(
+        trace, StreamingConfig(**cfg), victim_pct=pct
+    ).n_chunks()
+
+    def run_service(durable: bool):
+        state = tempfile.mkdtemp(prefix="bench-service-")
+        try:
+            service = DiagnosisService(
+                trace,
+                ServiceConfig(
+                    state_dir=state, victim_pct=pct, durable=durable, **cfg
+                ),
+            )
+            report = service.run()
+            if canonical_bytes(report.diagnoses) != canonical_bytes(expected):
+                raise SystemExit("FATAL: service output differs from streaming")
+            return report
+        finally:
+            shutil.rmtree(state, ignore_errors=True)
+
+    durable_s, report = timed(lambda: run_service(True), repeats)
+    renames_s, _ = timed(lambda: run_service(False), repeats)
+    return {
+        "workload": "periodic-interrupt chain 60ms (service vs streaming)",
+        "n_chunks": n_chunks,
+        "n_victims": report.stats.victims_diagnosed,
+        "timings": {
+            "streaming_s": round(streaming_s, 6),
+            "service_durable_s": round(durable_s, 6),
+            "service_rename_only_s": round(renames_s, 6),
+        },
+        "overhead": {
+            "durable_total_s": round(durable_s - streaming_s, 6),
+            "durable_per_chunk_ms": round(
+                (durable_s - streaming_s) / n_chunks * 1e3, 3
+            ),
+            "fsync_share_s": round(durable_s - renames_s, 6),
+        },
+        "state_bytes": {
+            "checkpoint": report.stats.checkpoint_bytes,
+            "journal": report.stats.journal_bytes,
+        },
+        "output_identical_to_streaming": True,
+    }
+
+
+def bench_streaming(repeats: int, trace) -> dict:
     """Chunked-vs-batch wall time on a multi-chunk trace (ISSUE 2 tentpole).
 
     Sparse victims (99.9th percentile) over a long recurring-stall trace:
@@ -160,8 +211,6 @@ def bench_streaming(repeats: int) -> dict:
     truncated periods also mean the baseline does strictly *less* work,
     so the reported speedups are conservative.
     """
-    print("simulating 60 ms periodic-interrupt chain ...", flush=True)
-    trace = DiagTrace.from_sim_result(run_periodic_interrupt_chain())
     cfg = dict(chunk_ns=3 * MSEC, margin_ns=10 * MSEC)
     pct = 99.9
 
@@ -320,10 +369,18 @@ def main() -> int:
         return 1
     print("culprit output byte-identical across all modes")
 
+    print("simulating 60 ms periodic-interrupt chain ...", flush=True)
+    trace60 = DiagTrace.from_sim_result(run_periodic_interrupt_chain())
+
     print("benchmarking streaming modes ...", flush=True)
-    streaming = bench_streaming(args.repeats)
+    streaming = bench_streaming(args.repeats, trace60)
     print(json.dumps(streaming["timings"], indent=2))
     print(json.dumps(streaming["speedups"], indent=2))
+
+    print("benchmarking service checkpoint overhead ...", flush=True)
+    service = bench_service(args.repeats, trace60)
+    print(json.dumps(service["timings"], indent=2))
+    print(json.dumps(service["overhead"], indent=2))
 
     print("benchmarking analyzer index build ...", flush=True)
     analyzer_build = bench_analyzer_build(args.repeats)
@@ -361,6 +418,7 @@ def main() -> int:
         },
         "output_identical_across_modes": True,
         "streaming": streaming,
+        "service": service,
         "analyzer_build": analyzer_build,
         "environment": {
             "python": platform.python_version(),

@@ -33,13 +33,16 @@ from repro.core import (
 )
 from repro.errors import (
     AggregationError,
+    CheckpointError,
     ConfigurationError,
     DiagnosisError,
     ReconstructionError,
     ReproError,
+    ServiceError,
     SimulationError,
     TopologyError,
     TraceError,
+    TransientError,
 )
 
 __version__ = "1.0.0"
@@ -47,6 +50,7 @@ __version__ = "1.0.0"
 __all__ = [
     "AggregationError",
     "CausalRelation",
+    "CheckpointError",
     "ConfigurationError",
     "Culprit",
     "DiagTrace",
@@ -54,9 +58,11 @@ __all__ = [
     "MicroscopeEngine",
     "ReconstructionError",
     "ReproError",
+    "ServiceError",
     "SimulationError",
     "TopologyError",
     "TraceError",
+    "TransientError",
     "Victim",
     "VictimDiagnosis",
     "VictimSelector",

@@ -20,16 +20,19 @@ from repro.aggregation.patterns import (
     Pattern,
     PatternAggregator,
 )
+from repro.aggregation.tallies import CulpritTally, TallyEntry
 
 __all__ = [
     "AggregationResult",
     "BinaryPortNode",
     "Cluster",
+    "CulpritTally",
     "FlowAggregate",
     "LocationNode",
     "MultiAutoFocus",
     "Pattern",
     "PatternAggregator",
+    "TallyEntry",
     "PortNode",
     "PrefixNode",
     "ProtoNode",

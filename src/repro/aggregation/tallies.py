@@ -1,0 +1,158 @@
+"""Running culprit tallies: the always-on service's aggregation state.
+
+:class:`~repro.aggregation.patterns.PatternAggregator` answers "what are
+the dominant causal patterns in this batch of relations" — an offline,
+whole-batch question.  A continuously-running service needs the
+longitudinal complement: *who has been hurting us, by how much, since the
+run began*.  :class:`CulpritTally` accumulates per-(kind, location) blame
+scores, victim counts per NF, and confidence mass across every diagnosed
+chunk, and — crucially for crash-only operation — serialises to a pure-JSON
+payload so it rides inside the service checkpoint.  Accumulation order is
+deterministic (chunk order, then diagnosis order, then culprit order), so
+a checkpoint-restored tally continues bit-identically: restoring the
+float sums from JSON (repr round-trip is exact) and adding the same chunks
+in the same order yields the same doubles as an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.diagnosis import VictimDiagnosis
+from repro.errors import AggregationError
+
+_PAYLOAD_VERSION = 1
+
+
+@dataclass
+class TallyEntry:
+    """Accumulated blame for one (kind, location) culprit identity."""
+
+    score: float = 0.0
+    count: int = 0
+    #: Sum of score * confidence — mean confidence falls out as
+    #: ``confidence_mass / score`` without storing per-culprit values.
+    confidence_mass: float = 0.0
+
+    @property
+    def mean_confidence(self) -> float:
+        if self.score <= 0:
+            return 1.0
+        return self.confidence_mass / self.score
+
+
+class CulpritTally:
+    """Checkpointable running aggregation over diagnosed chunks."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], TallyEntry] = {}
+        self._victims_per_nf: Dict[str, int] = {}
+        self.victims = 0
+        self.culprits = 0
+        self.total_score = 0.0
+
+    # -- accumulation ---------------------------------------------------------
+
+    def update(self, diagnoses: Iterable[VictimDiagnosis]) -> None:
+        for diagnosis in diagnoses:
+            self.victims += 1
+            nf = diagnosis.victim.nf
+            self._victims_per_nf[nf] = self._victims_per_nf.get(nf, 0) + 1
+            for culprit in diagnosis.culprits:
+                key = (culprit.kind, culprit.location)
+                entry = self._entries.get(key)
+                if entry is None:
+                    entry = self._entries[key] = TallyEntry()
+                entry.score += culprit.score
+                entry.count += 1
+                entry.confidence_mass += culprit.score * culprit.confidence
+                self.culprits += 1
+                self.total_score += culprit.score
+
+    def merge(self, other: "CulpritTally") -> None:
+        """Fold another tally in (sharded services reconciling)."""
+        for key, entry in other._entries.items():
+            mine = self._entries.get(key)
+            if mine is None:
+                mine = self._entries[key] = TallyEntry()
+            mine.score += entry.score
+            mine.count += entry.count
+            mine.confidence_mass += entry.confidence_mass
+        for nf, count in other._victims_per_nf.items():
+            self._victims_per_nf[nf] = self._victims_per_nf.get(nf, 0) + count
+        self.victims += other.victims
+        self.culprits += other.culprits
+        self.total_score += other.total_score
+
+    # -- queries --------------------------------------------------------------
+
+    def top(self, n: int = 10) -> List[Tuple[str, str, TallyEntry]]:
+        """Heaviest (kind, location) offenders, ties broken lexically."""
+        ranked = sorted(
+            self._entries.items(), key=lambda kv: (-kv[1].score, kv[0])
+        )
+        return [(kind, loc, entry) for (kind, loc), entry in ranked[:n]]
+
+    def victims_at(self, nf: str) -> int:
+        return self._victims_per_nf.get(nf, 0)
+
+    def entry(self, kind: str, location: str) -> TallyEntry:
+        return self._entries.get((kind, location), TallyEntry())
+
+    def format(self, limit: int = 10) -> str:
+        lines = [f"{'score':>12}  {'n':>6}  {'conf':>5}  culprit"]
+        for kind, location, entry in self.top(limit):
+            lines.append(
+                f"{entry.score:12.3f}  {entry.count:6d}  "
+                f"{entry.mean_confidence:5.2f}  [{kind}] {location}"
+            )
+        return "\n".join(lines)
+
+    # -- checkpoint payload ----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Pure-JSON state (sorted keys: payload bytes are canonical)."""
+        return {
+            "version": _PAYLOAD_VERSION,
+            "victims": self.victims,
+            "culprits": self.culprits,
+            "total_score": self.total_score,
+            "victims_per_nf": dict(sorted(self._victims_per_nf.items())),
+            "entries": [
+                {
+                    "kind": kind,
+                    "location": location,
+                    "score": entry.score,
+                    "count": entry.count,
+                    "confidence_mass": entry.confidence_mass,
+                }
+                for (kind, location), entry in sorted(self._entries.items())
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CulpritTally":
+        if payload.get("version") != _PAYLOAD_VERSION:
+            raise AggregationError(
+                f"unsupported tally payload version {payload.get('version')!r}"
+            )
+        tally = cls()
+        tally.victims = int(payload["victims"])
+        tally.culprits = int(payload["culprits"])
+        tally.total_score = float(payload["total_score"])
+        tally._victims_per_nf = {
+            nf: int(count) for nf, count in payload["victims_per_nf"].items()
+        }
+        for raw in payload["entries"]:
+            tally._entries[(raw["kind"], raw["location"])] = TallyEntry(
+                score=float(raw["score"]),
+                count=int(raw["count"]),
+                confidence_mass=float(raw["confidence_mass"]),
+            )
+        return tally
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CulpritTally):
+            return NotImplemented
+        return self.to_payload() == other.to_payload()

@@ -7,13 +7,23 @@ from :mod:`repro.collector.compression`, plus a small JSON manifest tying
 them together.  ``save_collected`` / ``load_collected`` round-trip a whole
 :class:`~repro.collector.runtime.CollectedData`, so collection and
 diagnosis can run in separate processes (or days apart).
+
+Crash-only discipline (format version 2): every file — streams and the
+manifest — is written via temp + fsync + ``os.replace``, so a dumper killed
+mid-write never leaves a torn file behind, only a complete old or new one
+(plus ignorable ``*.tmp-*`` orphans).  The manifest records a CRC32 per
+stream file; ``load_collected`` verifies each stream before decoding and a
+corrupted or truncated file raises :class:`~repro.errors.TraceError`
+*naming the file* instead of decoding garbage into the diagnosis.  Version
+1 directories (no CRCs) still load.
 """
 
 from __future__ import annotations
 
 import json
+import zlib
 from pathlib import Path
-from typing import Dict, Union
+from typing import Dict, Optional, Union
 
 from repro.collector.compression import (
     decode_batches,
@@ -24,9 +34,11 @@ from repro.collector.compression import (
 from repro.collector.runtime import CollectedData, NFRecords, SourceRecord
 from repro.errors import TraceError
 from repro.nfv.packet import FiveTuple
+from repro.util.atomicio import atomic_write_bytes, atomic_write_text
 
 _MANIFEST = "manifest.json"
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_LOADABLE_VERSIONS = (1, 2)
 
 
 def _stream_filename(kind: str, node: str, peer: str = "") -> str:
@@ -39,10 +51,24 @@ def _stream_filename(kind: str, node: str, peer: str = "") -> str:
     raise TraceError(f"unknown stream kind {kind!r}")
 
 
-def save_collected(data: CollectedData, directory: Union[str, Path]) -> Path:
-    """Write all record streams plus a manifest into ``directory``."""
+def save_collected(
+    data: CollectedData, directory: Union[str, Path], durable: bool = True
+) -> Path:
+    """Write all record streams plus a manifest into ``directory``.
+
+    Every file lands atomically; the manifest (carrying each stream's
+    CRC32) is written last, so a crashed save is indistinguishable from no
+    save — the previous manifest, if any, still describes complete files.
+    ``durable=False`` skips fsyncs (tests); atomicity is unaffected.
+    """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    crcs: Dict[str, int] = {}
+
+    def write_stream(filename: str, payload: bytes) -> None:
+        crcs[filename] = zlib.crc32(payload)
+        atomic_write_bytes(directory / filename, payload, durable=durable)
+
     manifest: Dict[str, object] = {
         "format_version": _FORMAT_VERSION,
         "max_batch": data.max_batch,
@@ -52,57 +78,95 @@ def save_collected(data: CollectedData, directory: Union[str, Path]) -> Path:
     }
     for name, records in data.nfs.items():
         entry: Dict[str, object] = {"rx": _stream_filename("rx", name), "tx": {}}
-        (directory / entry["rx"]).write_bytes(encode_batches(records.rx))
+        write_stream(entry["rx"], encode_batches(records.rx))
         for peer, batches in records.tx.items():
             filename = _stream_filename("tx", name, peer)
             entry["tx"][peer] = filename
-            (directory / filename).write_bytes(encode_batches(batches))
+            write_stream(filename, encode_batches(batches))
         manifest["nfs"][name] = entry
     for name, records in data.sources.items():
         filename = f"src__{name}.jsonl"
         manifest["sources"][name] = filename
-        with (directory / filename).open("w") as handle:
-            for record in records:
-                handle.write(
-                    json.dumps(
-                        {
-                            "t": record.time_ns,
-                            "ipid": record.ipid,
-                            "flow": record.flow.as_tuple(),
-                            "target": record.target,
-                        }
-                    )
-                    + "\n"
+        lines = []
+        for record in records:
+            lines.append(
+                json.dumps(
+                    {
+                        "t": record.time_ns,
+                        "ipid": record.ipid,
+                        "flow": record.flow.as_tuple(),
+                        "target": record.target,
+                    }
                 )
-    (directory / "exits.bin").write_bytes(encode_exit_records(data.exits))
-    (directory / _MANIFEST).write_text(json.dumps(manifest, indent=2))
+            )
+        write_stream(filename, ("\n".join(lines) + "\n" if lines else "").encode())
+    write_stream("exits.bin", encode_exit_records(data.exits))
+    manifest["crc32"] = crcs
+    atomic_write_text(
+        directory / _MANIFEST, json.dumps(manifest, indent=2), durable=durable
+    )
     return directory / _MANIFEST
 
 
+def _read_stream(
+    directory: Path, filename: str, crcs: Optional[Dict[str, int]]
+) -> bytes:
+    """Read one stream file, CRC-checked against the manifest when present."""
+    path = directory / filename
+    if not path.exists():
+        raise TraceError(f"missing record stream {path}")
+    payload = path.read_bytes()
+    if crcs is not None and filename in crcs:
+        actual = zlib.crc32(payload)
+        if actual != crcs[filename]:
+            raise TraceError(
+                f"corrupted record stream {path}: crc32 {actual:#010x} != "
+                f"manifest {crcs[filename]:#010x}"
+            )
+    return payload
+
+
 def load_collected(directory: Union[str, Path]) -> CollectedData:
-    """Inverse of :func:`save_collected`."""
+    """Inverse of :func:`save_collected`.
+
+    Streams are CRC-verified against the manifest (format version 2) before
+    decoding, and any decode failure is re-raised naming the offending
+    file, so a truncated or bit-flipped dump fails loudly and precisely.
+    """
     directory = Path(directory)
     manifest_path = directory / _MANIFEST
     if not manifest_path.exists():
         raise TraceError(f"no manifest at {manifest_path}")
     manifest = json.loads(manifest_path.read_text())
-    if manifest.get("format_version") != _FORMAT_VERSION:
+    if manifest.get("format_version") not in _LOADABLE_VERSIONS:
         raise TraceError(
             f"unsupported collected-data format {manifest.get('format_version')!r}"
         )
+    crcs = manifest.get("crc32")
     data = CollectedData(
         nfs={}, sources={}, exits=[], max_batch=int(manifest["max_batch"])
     )
+
+    def decode_stream(filename: str, decoder):
+        payload = _read_stream(directory, filename, crcs)
+        try:
+            return decoder(payload)
+        except TraceError as exc:
+            raise TraceError(f"corrupt record stream {directory / filename}: {exc}") from exc
+
     for name, entry in manifest["nfs"].items():
         records = NFRecords()
-        records.rx = decode_batches((directory / entry["rx"]).read_bytes())
+        records.rx = decode_stream(entry["rx"], decode_batches)
         for peer, filename in entry["tx"].items():
-            records.tx[peer] = decode_batches((directory / filename).read_bytes())
+            records.tx[peer] = decode_stream(filename, decode_batches)
         data.nfs[name] = records
     for name, filename in manifest["sources"].items():
+        payload = _read_stream(directory, filename, crcs)
         records = []
-        with (directory / filename).open() as handle:
-            for line in handle:
+        for lineno, line in enumerate(payload.decode("utf-8").splitlines(), 1):
+            if not line:
+                continue
+            try:
                 raw = json.loads(line)
                 records.append(
                     SourceRecord(
@@ -112,6 +176,10 @@ def load_collected(directory: Union[str, Path]) -> CollectedData:
                         target=raw["target"],
                     )
                 )
+            except (ValueError, KeyError, TypeError) as exc:
+                raise TraceError(
+                    f"corrupt source record {directory / filename}:{lineno}: {exc}"
+                ) from exc
         data.sources[name] = records
-    data.exits = decode_exit_records((directory / manifest["exits"]).read_bytes())
+    data.exits = decode_stream(manifest["exits"], decode_exit_records)
     return data

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeout
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -138,6 +139,10 @@ class CacheStats:
     #: Parallel ``diagnose_all`` shards that lost their worker process and
     #: were retried serially in the parent (see ``_diagnose_parallel``).
     worker_failures: int = 0
+    #: Subset of ``worker_failures`` caused by a shard blowing through the
+    #: per-task deadline (``task_timeout_s``): the pool was presumed wedged,
+    #: its processes were killed, and the victims were retried serially.
+    worker_timeouts: int = 0
 
     @property
     def hits(self) -> int:
@@ -188,6 +193,7 @@ class MicroscopeEngine:
         self._decomp_gen: Dict[Tuple[str, int], int] = {}
         self._decomp_end: Dict[Tuple[str, int], int] = {}
         self._worker_failures = 0
+        self._worker_timeouts = 0
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -206,7 +212,30 @@ class MicroscopeEngine:
             carried_entries=self._carried_entries,
             evicted_entries=self._evicted_entries,
             worker_failures=self._worker_failures,
+            worker_timeouts=self._worker_timeouts,
         )
+
+    @property
+    def chunk_generation(self) -> int:
+        """The streaming chunk generation this engine is positioned at."""
+        return self._chunk_generation
+
+    def restore_generation(self, generation: int) -> None:
+        """Fast-forward the chunk generation (checkpoint restore).
+
+        A service resuming at chunk *k* builds a fresh engine whose memo
+        layers are empty; results are unaffected (memoization is
+        result-invariant), but the generation counter must match the
+        uninterrupted run so cross-chunk stats attribution and subsequent
+        ``advance_chunk`` sweeps line up.  Only forward jumps make sense.
+        """
+        if generation < self._chunk_generation:
+            raise DiagnosisError(
+                f"cannot rewind generation {self._chunk_generation} -> {generation}"
+            )
+        self._chunk_generation = generation
+        for analyzer in self._analyzers.values():
+            analyzer.generation = generation
 
     # -- telemetry confidence ---------------------------------------------------
 
@@ -411,7 +440,10 @@ class MicroscopeEngine:
         return result
 
     def diagnose_all(
-        self, victims: Sequence[Victim], workers: Optional[int] = None
+        self,
+        victims: Sequence[Victim],
+        workers: Optional[int] = None,
+        task_timeout_s: Optional[float] = None,
     ) -> List[VictimDiagnosis]:
         """Diagnose every victim, serially or across a process pool.
 
@@ -420,13 +452,23 @@ class MicroscopeEngine:
         worker processes; each worker builds its own engine from the trace
         (handed over by pickling once per worker) and results come back in
         victim order, identical to the serial output.
+
+        ``task_timeout_s`` is a per-shard watchdog: a shard that does not
+        return within the deadline is treated as a wedged worker — the pool
+        is killed outright (a hung process never honours a soft shutdown)
+        and every victim without a result is retried serially in the
+        parent, counted in ``cache_stats.worker_timeouts``.  One stuck
+        worker can therefore never hang the whole run.
         """
         if workers is None or workers <= 1 or len(victims) <= 1:
             return [self.diagnose(victim) for victim in victims]
-        return self._diagnose_parallel(victims, workers)
+        return self._diagnose_parallel(victims, workers, task_timeout_s)
 
     def _diagnose_parallel(
-        self, victims: Sequence[Victim], workers: int
+        self,
+        victims: Sequence[Victim],
+        workers: int,
+        task_timeout_s: Optional[float] = None,
     ) -> List[VictimDiagnosis]:
         n_chunks = min(workers, len(victims))
         chunk_size = (len(victims) + n_chunks - 1) // n_chunks
@@ -453,25 +495,51 @@ class MicroscopeEngine:
         # BrokenProcessPool are retried serially in the parent, and the
         # failure count surfaces via ``cache_stats.worker_failures``.
         chunk_wires: List[Optional[List[_Wire]]] = [None] * len(chunks)
+        futures = []
+        hung = False
+        pool = ProcessPoolExecutor(
+            max_workers=n_chunks,
+            mp_context=context,
+            initializer=_parallel_worker_init,
+            initargs=init_args,
+        )
         try:
-            with ProcessPoolExecutor(
-                max_workers=n_chunks,
-                mp_context=context,
-                initializer=_parallel_worker_init,
-                initargs=init_args,
-            ) as pool:
-                futures = [
-                    pool.submit(_parallel_worker_diagnose, c) for c in chunks
-                ]
-                for idx, future in enumerate(futures):
-                    try:
-                        chunk_wires[idx] = future.result()
-                    except BrokenProcessPool:
-                        self._worker_failures += 1
+            futures = [pool.submit(_parallel_worker_diagnose, c) for c in chunks]
+            for idx, future in enumerate(futures):
+                if hung:
+                    # The pool is being torn down; salvage shards that
+                    # already finished, leave the rest to the serial retry.
+                    if future.done() and not future.cancelled():
+                        try:
+                            chunk_wires[idx] = future.result(timeout=0)
+                        except Exception:
+                            pass
+                    continue
+                try:
+                    chunk_wires[idx] = future.result(timeout=task_timeout_s)
+                except BrokenProcessPool:
+                    self._worker_failures += 1
+                except FuturesTimeout:
+                    # A wedged worker never returns and never honours
+                    # cancellation: presume the pool lost, kill it below,
+                    # and retry everything unfinished serially.
+                    self._worker_failures += 1
+                    self._worker_timeouts += 1
+                    hung = True
         except BrokenProcessPool:
             # The pool broke before all chunks were even submitted; every
             # chunk without a result falls through to the serial retry.
             self._worker_failures += 1
+        finally:
+            if hung:
+                for future in futures:
+                    future.cancel()
+                # ProcessPoolExecutor has no kill switch; terminating the
+                # worker processes directly is the only way to unwedge a
+                # hung pool without blocking shutdown forever.
+                for proc in list(getattr(pool, "_processes", {}).values()):
+                    proc.terminate()
+            pool.shutdown(wait=True, cancel_futures=True)
         results: List[VictimDiagnosis] = []
         for chunk, wires in zip(chunks, chunk_wires):
             if wires is None:
@@ -826,3 +894,9 @@ def _parallel_worker_init(
 def _parallel_worker_diagnose(victims: List[Victim]) -> List[_Wire]:
     assert _WORKER_ENGINE is not None, "worker pool used before initialization"
     return [_diagnosis_to_wire(_WORKER_ENGINE.diagnose(victim)) for victim in victims]
+
+
+#: Public aliases: the wire codec doubles as the service's journal format
+#: (JSON-safe after tuple->list conversion), so it is part of the API.
+diagnosis_to_wire = _diagnosis_to_wire
+diagnosis_from_wire = _diagnosis_from_wire

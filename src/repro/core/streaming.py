@@ -219,6 +219,7 @@ class StreamingDiagnosis:
         config: Optional[StreamingConfig] = None,
         victim_pct: float = 99.0,
         workers: Optional[int] = None,
+        task_timeout_s: Optional[float] = None,
         **engine_kwargs,
     ) -> None:
         self.trace = trace
@@ -226,6 +227,9 @@ class StreamingDiagnosis:
         self.victim_pct = victim_pct
         #: Per-chunk diagnosis parallelism, forwarded to ``diagnose_all``.
         self.workers = workers
+        #: Per-shard watchdog deadline forwarded to ``diagnose_all`` —
+        #: a wedged worker is killed and its victims retried serially.
+        self.task_timeout_s = task_timeout_s
         #: Extra MicroscopeEngine arguments (e.g. ``memoize=False``).
         self.engine_kwargs = engine_kwargs
         # Victim thresholds must be global, or chunk-local percentiles
@@ -240,6 +244,8 @@ class StreamingDiagnosis:
         #: The carried engine (reuse mode); exposed so callers can read
         #: ``engine.cache_stats`` after a run.
         self.engine: Optional[MicroscopeEngine] = None
+        #: Chunk index the carried engine is positioned at (see ``open``).
+        self._engine_chunk: Optional[int] = None
 
     def _victims_in(self, start_ns: int, end_ns: int) -> List[Victim]:
         """Victims arriving in [start, end) — bisect, not a full scan."""
@@ -304,6 +310,110 @@ class StreamingDiagnosis:
             low_evidence,
         )
 
+    # -- chunk addressing (service/driver API) ----------------------------------
+
+    def n_chunks(self) -> int:
+        """Number of chunks covering the trace (matches ``chunks()``)."""
+        return self._end_ns() // self.config.chunk_ns + 1
+
+    def chunk_bounds(self, index: int) -> Tuple[int, int]:
+        """``[start, end)`` of chunk ``index``."""
+        if index < 0:
+            raise DiagnosisError(f"chunk index must be >= 0: {index}")
+        start = index * self.config.chunk_ns
+        return start, start + self.config.chunk_ns
+
+    def victims_for_chunk(self, index: int) -> List[Victim]:
+        """Victims arriving inside chunk ``index`` (global thresholds)."""
+        start, end = self.chunk_bounds(index)
+        return self._victims_in(start, end)
+
+    def open(
+        self, start_chunk: int = 0, generation: Optional[int] = None
+    ) -> MicroscopeEngine:
+        """Position a fresh carried engine at ``start_chunk`` (reuse mode).
+
+        This is the checkpoint-restore entry point: a service resuming
+        mid-stream opens at the first unprocessed chunk and calls
+        :meth:`diagnose_chunk` forward from there.  The fresh engine's memo
+        layers are empty, which never changes results (memoization is
+        result-invariant — each chunk's diagnoses depend only on the trace
+        and its victims), so the resumed output is bit-identical to an
+        uninterrupted run.  ``generation`` defaults to ``start_chunk``,
+        matching the generation an uninterrupted run would carry there.
+        """
+        if not self.config.reuse_engine:
+            raise DiagnosisError("open() requires reuse_engine=True")
+        engine = self.engine = MicroscopeEngine(self.trace, **self.engine_kwargs)
+        if generation is None:
+            generation = start_chunk
+        if generation:
+            engine.restore_generation(generation)
+        self._engine_chunk = start_chunk
+        return engine
+
+    def diagnose_chunk(
+        self, index: int, victims: Optional[List[Victim]] = None
+    ) -> ChunkResult:
+        """Diagnose one chunk against the carried engine (reuse mode).
+
+        Chunks must be visited sequentially, but re-diagnosing the chunk
+        the engine is currently positioned at is allowed — that is the
+        service's retry path, and it is idempotent because memo entries are
+        result-invariant.  ``victims`` overrides the chunk's victim list
+        (the load-shedding hook); by default every victim in the chunk's
+        window is diagnosed.
+        """
+        engine = self.engine
+        if engine is None or self._engine_chunk is None:
+            raise DiagnosisError("call open() before diagnose_chunk()")
+        start, chunk_end = self.chunk_bounds(index)
+        window_start = max(0, start - self.config.margin_ns)
+        # Capture before the advance so the eviction sweep's carried/evicted
+        # deltas are attributed to this chunk's ChunkResult.
+        stats_before = engine.cache_stats
+        if index == self._engine_chunk + 1:
+            # Advance the generation and drop memo entries behind the
+            # lookback window; everything else is carried.
+            engine.advance_chunk(evict_before_ns=window_start)
+            self._engine_chunk = index
+        elif index != self._engine_chunk:
+            raise DiagnosisError(
+                f"non-sequential chunk {index}: engine is at {self._engine_chunk}"
+            )
+        if victims is None:
+            victims = self._victims_in(start, chunk_end)
+        diagnoses = (
+            engine.diagnose_all(
+                victims, workers=self.workers, task_timeout_s=self.task_timeout_s
+            )
+            if victims
+            else []
+        )
+        stats_after = engine.cache_stats
+        health = self._chunk_health(diagnoses, window_start, chunk_end)
+        return ChunkResult(
+            start_ns=start,
+            end_ns=chunk_end,
+            victims=victims,
+            diagnoses=diagnoses,
+            margin_exceeded=self._count_margin_exceeded(
+                diagnoses, window_start, exact=True
+            ),
+            carried_entries=stats_after.carried_entries
+            - stats_before.carried_entries,
+            evicted_entries=stats_after.evicted_entries
+            - stats_before.evicted_entries,
+            cross_chunk_hits=stats_after.cross_chunk_hits
+            - stats_before.cross_chunk_hits,
+            telemetry_completeness=health[0],
+            quarantined_nfs=health[1],
+            telemetry_gaps=health[2],
+            low_evidence_culprits=health[3],
+        )
+
+    # -- iteration --------------------------------------------------------------
+
     def chunks(self) -> Iterator[ChunkResult]:
         """Yield per-chunk diagnoses in time order."""
         if self.config.reuse_engine:
@@ -313,49 +423,9 @@ class StreamingDiagnosis:
 
     def _chunks_reused(self) -> Iterator[ChunkResult]:
         """One engine carried across chunks; exact for any margin."""
-        end = self._end_ns()
-        chunk = self.config.chunk_ns
-        margin = self.config.margin_ns
-        engine = self.engine = MicroscopeEngine(self.trace, **self.engine_kwargs)
-        start = 0
-        first_chunk = True
-        while start <= end:
-            chunk_end = start + chunk
-            window_start = max(0, start - margin)
-            stats_before = engine.cache_stats
-            if not first_chunk:
-                # Advance the generation and drop memo entries behind the
-                # lookback window; everything else is carried.
-                engine.advance_chunk(evict_before_ns=window_start)
-            first_chunk = False
-            victims = self._victims_in(start, chunk_end)
-            diagnoses = (
-                engine.diagnose_all(victims, workers=self.workers)
-                if victims
-                else []
-            )
-            stats_after = engine.cache_stats
-            health = self._chunk_health(diagnoses, window_start, chunk_end)
-            yield ChunkResult(
-                start_ns=start,
-                end_ns=chunk_end,
-                victims=victims,
-                diagnoses=diagnoses,
-                margin_exceeded=self._count_margin_exceeded(
-                    diagnoses, window_start, exact=True
-                ),
-                carried_entries=stats_after.carried_entries
-                - stats_before.carried_entries,
-                evicted_entries=stats_after.evicted_entries
-                - stats_before.evicted_entries,
-                cross_chunk_hits=stats_after.cross_chunk_hits
-                - stats_before.cross_chunk_hits,
-                telemetry_completeness=health[0],
-                quarantined_nfs=health[1],
-                telemetry_gaps=health[2],
-                low_evidence_culprits=health[3],
-            )
-            start = chunk_end
+        self.open(0)
+        for index in range(self.n_chunks()):
+            yield self.diagnose_chunk(index)
 
     def _chunks_rebuilt(self) -> Iterator[ChunkResult]:
         """PR-1 semantics: a fresh engine per chunk over a bounded sub-trace."""
@@ -381,7 +451,11 @@ class StreamingDiagnosis:
                     seed_queue=True,
                 )
                 engine = MicroscopeEngine(sub, **self.engine_kwargs)
-                diagnoses = engine.diagnose_all(victims, workers=self.workers)
+                diagnoses = engine.diagnose_all(
+                    victims,
+                    workers=self.workers,
+                    task_timeout_s=self.task_timeout_s,
+                )
             else:
                 diagnoses = []
             health = self._chunk_health(diagnoses, window_start, chunk_end)

@@ -38,3 +38,15 @@ class DiagnosisError(ReproError):
 
 class AggregationError(ReproError):
     """Pattern aggregation received malformed causal relations."""
+
+
+class ServiceError(ReproError):
+    """The always-on diagnosis service hit a non-recoverable condition."""
+
+
+class CheckpointError(ServiceError):
+    """No usable checkpoint generation survived validation."""
+
+
+class TransientError(ServiceError):
+    """A retryable stage failure (the service backs off and tries again)."""

@@ -1,0 +1,69 @@
+"""Always-on diagnosis service: crash-only checkpoint/restore runtime.
+
+Supervises :class:`~repro.core.streaming.StreamingDiagnosis` chunk by
+chunk with a journal + checkpoint commit protocol (SIGKILL-safe at every
+point), watchdogged parallel diagnosis with retry/backoff, explicit load
+shedding, and a deterministic chaos harness for proving all of it.
+"""
+
+from repro.service.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    LoadedCheckpoint,
+    canonical_payload_bytes,
+)
+from repro.service.crashsim import (
+    CORRUPT_POINTS,
+    KILL_POINTS,
+    TORN_POINTS,
+    CrashInjector,
+    CrashPlan,
+    FlakyPlan,
+    SimulatedCrash,
+)
+from repro.service.journal import (
+    ResultJournal,
+    chunk_record,
+    decode_diagnoses,
+    victim_from_wire,
+    victim_to_wire,
+)
+from repro.service.runner import (
+    DiagnosisService,
+    ServiceConfig,
+    ServiceReport,
+    ServiceStats,
+    shed_victims,
+)
+from repro.service.source import (
+    trace_fingerprint,
+    trace_from_collected,
+    trace_from_directory,
+)
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CORRUPT_POINTS",
+    "Checkpointer",
+    "CrashInjector",
+    "CrashPlan",
+    "DiagnosisService",
+    "FlakyPlan",
+    "KILL_POINTS",
+    "LoadedCheckpoint",
+    "ResultJournal",
+    "ServiceConfig",
+    "ServiceReport",
+    "ServiceStats",
+    "SimulatedCrash",
+    "TORN_POINTS",
+    "canonical_payload_bytes",
+    "chunk_record",
+    "decode_diagnoses",
+    "shed_victims",
+    "trace_fingerprint",
+    "trace_from_collected",
+    "trace_from_directory",
+    "victim_from_wire",
+    "victim_to_wire",
+]

@@ -1,0 +1,255 @@
+"""Versioned, CRC-guarded checkpoint store with a recovery ladder.
+
+One checkpoint is written per diagnosed chunk.  The store is crash-only in
+the PrintQueue register-file sense: nothing is ever updated in place, every
+commit is an atomic rename, and recovery never repairs — it simply selects
+the newest checkpoint generation that validates and discards everything
+after it.
+
+On-disk layout inside the checkpoint directory::
+
+    ckpt-00000007.json    {"version": 1, "generation": 7, "crc32": ..., "payload": {...}}
+    ckpt-00000008.json
+    MANIFEST.json         {"version": 1, "generations": [{generation, file, crc32, nbytes}, ...]}
+
+A commit is two atomic writes: the generation file first, then the
+manifest that references it (with the payload's CRC32).  A crash between
+the two leaves an orphan generation file the manifest never mentions —
+harmless, overwritten by the next commit.  ``load_ladder`` walks
+generations newest-first and yields every one whose payload CRC matches
+both the manifest and the file header; a corrupted newest generation
+(detected by CRC) therefore falls back to the previous one instead of
+crashing the service.  If the manifest itself is unreadable, the ladder
+falls back to scanning ``ckpt-*.json`` headers directly.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Union
+
+from repro.errors import CheckpointError
+from repro.util.atomicio import atomic_write_bytes, sweep_temp_files
+
+CHECKPOINT_VERSION = 1
+_MANIFEST = "MANIFEST.json"
+
+
+def canonical_payload_bytes(payload: dict) -> bytes:
+    """The byte string the CRC covers: canonical sorted-key JSON.
+
+    Pure-JSON payloads round-trip exactly (ints are arbitrary precision,
+    floats serialise via repr which is shortest-exact), so re-encoding a
+    parsed payload reproduces the same bytes and the same CRC.
+    """
+    return json.dumps(
+        payload, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+
+
+@dataclass
+class LoadedCheckpoint:
+    """One validated checkpoint plus how it was found."""
+
+    payload: dict
+    generation: int
+    #: Generation files that failed validation before this one was accepted
+    #: (newest-first): the recovery ladder's skip list.
+    corrupt: List[str] = field(default_factory=list)
+    #: True when this is not the newest generation on disk — the service
+    #: fell back at least one step.
+    fell_back: bool = False
+    #: "manifest" when found via MANIFEST.json, "scan" via directory scan.
+    source: str = "manifest"
+
+
+class Checkpointer:
+    """Atomic checkpoint writer/reader for one service state directory."""
+
+    def __init__(
+        self, directory: Union[str, Path], keep: int = 2, durable: bool = True
+    ) -> None:
+        if keep < 2:
+            # Crash-only recovery needs at least one fallback generation:
+            # the newest checkpoint can always be the one a crash corrupted.
+            raise CheckpointError(f"keep must be >= 2, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self.durable = durable
+        self._generation = 0  # last committed (or resumed-from) generation
+        #: Size in bytes of the last checkpoint file written.
+        self.last_nbytes = 0
+        #: Generation files rejected by the last ``load_ladder`` walk —
+        #: populated even when every generation is corrupt and the ladder
+        #: yields nothing (the service still wants to report the damage).
+        self.rejected: List[str] = []
+
+    # -- writing ----------------------------------------------------------------
+
+    @staticmethod
+    def _filename(generation: int) -> str:
+        return f"ckpt-{generation:08d}.json"
+
+    def save(self, payload: dict, faults=None, chunk: int = -1) -> int:
+        """Commit ``payload`` as the next generation; returns the generation.
+
+        ``faults`` is the crash-simulation injector (see
+        :mod:`repro.service.crashsim`); production callers leave it None.
+        """
+        generation = self._generation + 1
+        blob = canonical_payload_bytes(payload)
+        crc = zlib.crc32(blob)
+        record = {
+            "version": CHECKPOINT_VERSION,
+            "generation": generation,
+            "crc32": crc,
+            "payload": payload,
+        }
+        data = json.dumps(record, sort_keys=True).encode("utf-8")
+        path = self.directory / self._filename(generation)
+        tear = None
+        if faults is not None:
+            tear = lambda raw: faults.torn_bytes("mid-checkpoint", chunk, raw)
+        self.last_nbytes = atomic_write_bytes(
+            path, data, durable=self.durable, tear=tear
+        )
+        if faults is not None:
+            faults.kill("after-checkpoint-file", chunk)
+        manifest_entries = self._manifest_entries()
+        manifest_entries = [
+            e for e in manifest_entries if e["generation"] < generation
+        ]
+        manifest_entries.append(
+            {
+                "generation": generation,
+                "file": path.name,
+                "crc32": crc,
+                "nbytes": len(data),
+            }
+        )
+        manifest_entries.sort(key=lambda e: e["generation"])
+        kept = manifest_entries[-self.keep :]
+        manifest = {"version": CHECKPOINT_VERSION, "generations": kept}
+        atomic_write_bytes(
+            self.directory / _MANIFEST,
+            json.dumps(manifest, indent=2).encode("utf-8"),
+            durable=self.durable,
+        )
+        self._generation = generation
+        for entry in manifest_entries[: -self.keep]:
+            try:
+                (self.directory / entry["file"]).unlink()
+            except OSError:
+                pass
+        if faults is not None:
+            # The corrupt-checkpoint kill-point fires after a fully
+            # committed checkpoint: it flips bytes in the generation file
+            # (the manifest CRC now disagrees) and then crashes.
+            faults.corrupt_file("corrupt-checkpoint", chunk, path)
+        return generation
+
+    def _manifest_entries(self) -> List[dict]:
+        manifest_path = self.directory / _MANIFEST
+        if not manifest_path.exists():
+            return []
+        try:
+            manifest = json.loads(manifest_path.read_text())
+            entries = manifest["generations"]
+            return [e for e in entries if isinstance(e.get("generation"), int)]
+        except (ValueError, KeyError, TypeError):
+            return []
+
+    # -- reading ----------------------------------------------------------------
+
+    def _validate(
+        self, path: Path, expect_crc: Optional[int] = None
+    ) -> Optional[dict]:
+        """Parse + CRC-check one generation file; None when invalid."""
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("version") != CHECKPOINT_VERSION:
+            return None
+        payload = record.get("payload")
+        crc = record.get("crc32")
+        if not isinstance(payload, dict) or not isinstance(crc, int):
+            return None
+        actual = zlib.crc32(canonical_payload_bytes(payload))
+        if actual != crc:
+            return None
+        if expect_crc is not None and actual != expect_crc:
+            return None
+        return record
+
+    def load_ladder(self) -> Iterator[LoadedCheckpoint]:
+        """Yield validated checkpoints newest-first (the recovery ladder).
+
+        Callers take the first rung that is *usable* (e.g. whose journal
+        offset still exists); each yielded checkpoint carries the corrupt
+        files skipped on the way down.  Yields nothing for a fresh
+        directory.
+        """
+        corrupt = self.rejected = []
+        entries = self._manifest_entries()
+        if entries:
+            newest = max(e["generation"] for e in entries)
+            for entry in sorted(
+                entries, key=lambda e: e["generation"], reverse=True
+            ):
+                path = self.directory / entry["file"]
+                record = self._validate(path, expect_crc=entry.get("crc32"))
+                if record is None:
+                    corrupt.append(path.name)
+                    continue
+                yield LoadedCheckpoint(
+                    payload=record["payload"],
+                    generation=record["generation"],
+                    corrupt=list(corrupt),
+                    fell_back=record["generation"] < newest,
+                    source="manifest",
+                )
+            return
+        # No (usable) manifest: fall back to scanning generation files.
+        paths = sorted(self.directory.glob("ckpt-*.json"), reverse=True)
+        newest_seen: Optional[int] = None
+        for path in paths:
+            record = self._validate(path)
+            if record is None:
+                corrupt.append(path.name)
+                continue
+            if newest_seen is None:
+                newest_seen = record["generation"]
+            yield LoadedCheckpoint(
+                payload=record["payload"],
+                generation=record["generation"],
+                corrupt=list(corrupt),
+                fell_back=record["generation"] < newest_seen,
+                source="scan",
+            )
+
+    def load_latest(self) -> Optional[LoadedCheckpoint]:
+        """First rung of the ladder, or None for a fresh directory."""
+        for loaded in self.load_ladder():
+            return loaded
+        return None
+
+    def resume_from(self, loaded: LoadedCheckpoint) -> None:
+        """Continue numbering after ``loaded`` (overwriting anything newer).
+
+        Resuming from generation N makes the next commit N+1 even if a
+        corrupt N+1 exists on disk — the atomic replace overwrites the
+        corpse, which is how the ladder heals without a repair pass.
+        """
+        self._generation = loaded.generation
+        sweep_temp_files(self.directory)
+
+    @property
+    def generation(self) -> int:
+        return self._generation

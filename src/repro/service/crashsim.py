@@ -1,0 +1,167 @@
+"""Process-level chaos harness for the diagnosis service.
+
+The service's crash-only claim — SIGKILL anywhere, restart, results are
+bit-identical — is only as good as the crashes we can throw at it.  This
+module injects three fault families at named *kill-points* threaded
+through the service's per-chunk commit protocol:
+
+``kill``
+    Raise :class:`SimulatedCrash` at the kill-point, modelling SIGKILL /
+    power loss between two durable operations.
+``torn_bytes``
+    Return a strict prefix of the bytes about to be written; the writer
+    persists the prefix and then crashes, modelling a write torn by power
+    loss mid-``write(2)``.
+``corrupt_file``
+    Flip bytes in an already-committed file and then crash, modelling
+    latent media corruption of the newest checkpoint (the recovery ladder
+    must fall back one generation).
+
+:class:`SimulatedCrash` deliberately derives from :class:`BaseException`:
+the service's transient-retry machinery catches ``Exception``, and a
+simulated power cut must never be "handled" by a retry loop — it has to
+unwind the whole process, exactly like the real thing.
+
+Kill-points are deterministic: an injector is armed with one
+``(point, chunk)`` pair (plus a fault family) and fires exactly once.
+The soak harness in :mod:`benchmarks.test_crash_soak` draws arming pairs
+from a seeded RNG, so a failing run is reproducible from its seed.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple
+
+from repro.errors import ServiceError
+
+#: Every kill-point the service threads through its per-chunk protocol,
+#: in the order they are reached within one chunk.
+KILL_POINTS: Tuple[str, ...] = (
+    "chunk-start",  # before diagnosis: nothing durable has happened
+    "after-diagnose",  # results computed but nothing written
+    "mid-journal",  # torn write inside the journal append
+    "after-journal",  # journal fsynced, checkpoint not yet written
+    "mid-checkpoint",  # torn write inside the checkpoint temp file
+    "after-checkpoint-file",  # generation file committed, manifest not
+    "corrupt-checkpoint",  # checkpoint fully committed, then corrupted
+    "after-checkpoint",  # chunk fully committed
+)
+
+#: Kill-points whose fault family is a torn write (prefix of the payload).
+TORN_POINTS: Tuple[str, ...] = ("mid-journal", "mid-checkpoint")
+
+#: Kill-points whose fault family is post-commit corruption.
+CORRUPT_POINTS: Tuple[str, ...] = ("corrupt-checkpoint",)
+
+
+class SimulatedCrash(BaseException):
+    """A simulated power cut.  BaseException so retry loops never eat it."""
+
+    def __init__(self, point: str, chunk: int) -> None:
+        super().__init__(f"simulated crash at {point!r} in chunk {chunk}")
+        self.point = point
+        self.chunk = chunk
+
+
+@dataclass
+class CrashPlan:
+    """One armed fault: fire at (point, chunk), optionally tearing at a
+    byte fraction or corrupting a committed file."""
+
+    point: str
+    chunk: int
+    #: For torn points: fraction of the payload that survives, in (0, 1).
+    tear_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.point not in KILL_POINTS:
+            raise ServiceError(
+                f"unknown kill-point {self.point!r}; known: {KILL_POINTS}"
+            )
+        if not (0.0 < self.tear_fraction < 1.0):
+            raise ServiceError(
+                f"tear_fraction must be in (0, 1), got {self.tear_fraction}"
+            )
+
+
+class CrashInjector:
+    """Deterministic single-shot fault injector.
+
+    Passed down through the service into the journal and checkpointer,
+    which call :meth:`kill` / :meth:`torn_bytes` / :meth:`corrupt_file`
+    at their kill-points.  Unarmed injectors are inert, so the same code
+    path runs in production with ``faults=None`` short-circuits only.
+    """
+
+    def __init__(self, plan: Optional[CrashPlan] = None) -> None:
+        self.plan = plan
+        self.fired = False
+        #: Every (point, chunk) the run passed through, armed or not —
+        #: lets the soak assert coverage of the whole protocol.
+        self.visited: List[Tuple[str, int]] = []
+
+    def _armed(self, point: str, chunk: int) -> bool:
+        return (
+            self.plan is not None
+            and not self.fired
+            and self.plan.point == point
+            and self.plan.chunk == chunk
+        )
+
+    def kill(self, point: str, chunk: int) -> None:
+        """Crash here if armed for this (point, chunk); no-op otherwise."""
+        self.visited.append((point, chunk))
+        if self._armed(point, chunk):
+            self.fired = True
+            raise SimulatedCrash(point, chunk)
+
+    def torn_bytes(
+        self, point: str, chunk: int, data: bytes
+    ) -> Optional[Tuple[bytes, "SimulatedCrash"]]:
+        """``(surviving prefix, crash)`` when armed to tear here, else None.
+
+        The caller writes the prefix, makes it durable, and raises the
+        crash — the torn write *is* the power cut.
+        """
+        self.visited.append((point, chunk))
+        if not self._armed(point, chunk):
+            return None
+        self.fired = True
+        keep = max(1, int(len(data) * self.plan.tear_fraction))
+        keep = min(keep, len(data) - 1)  # strictly partial
+        return data[:keep], SimulatedCrash(point, chunk)
+
+    def corrupt_file(self, point: str, chunk: int, path: Path) -> None:
+        """Flip bytes mid-file and crash, when armed for this point."""
+        self.visited.append((point, chunk))
+        if not self._armed(point, chunk):
+            return
+        self.fired = True
+        raw = bytearray(Path(path).read_bytes())
+        if raw:
+            mid = len(raw) // 2
+            for i in range(mid, min(mid + 8, len(raw))):
+                raw[i] ^= 0xFF
+        with open(path, "wb") as handle:
+            handle.write(bytes(raw))
+            handle.flush()
+            os.fsync(handle.fileno())
+        raise SimulatedCrash(point, chunk)
+
+
+@dataclass
+class FlakyPlan:
+    """Transient-failure schedule: chunk -> number of attempts that fail
+    before one succeeds (exercises retry/backoff, not crash recovery)."""
+
+    failures: dict = field(default_factory=dict)  # chunk -> remaining fails
+
+    def should_fail(self, chunk: int) -> bool:
+        remaining = self.failures.get(chunk, 0)
+        if remaining <= 0:
+            return False
+        self.failures[chunk] = remaining - 1
+        return True

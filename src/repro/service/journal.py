@@ -1,0 +1,204 @@
+"""Append-only results journal: the service's durable diagnosis output.
+
+One JSON line per diagnosed chunk, each line carrying a CRC32 of its body.
+The journal is the write-ahead half of the crash-only protocol:
+
+1. append the chunk's results, flush, fsync — the *journal* is now ahead,
+2. commit a checkpoint recording the journal byte offset after the append.
+
+A crash between (1) and (2) leaves a tail the last checkpoint does not
+cover; recovery truncates the journal back to the checkpointed offset and
+re-runs the chunk, which re-appends byte-identical lines (diagnosis is
+deterministic).  A torn append — half a line — lands in that same
+discarded tail, so line-level CRCs only ever fire on real corruption
+*behind* a checkpoint, which is unrecoverable data damage and raises
+:class:`~repro.errors.ServiceError` naming the file and line.
+
+Victims and diagnoses ride the engine's compact wire format
+(:func:`repro.core.diagnosis.diagnosis_to_wire`), tuple->list converted
+for JSON and converted back on read, so journalled results reconstruct to
+field-exact :class:`~repro.core.diagnosis.VictimDiagnosis` objects.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Iterator, List, Tuple, Union
+
+from repro.core.diagnosis import (
+    VictimDiagnosis,
+    diagnosis_from_wire,
+    diagnosis_to_wire,
+)
+from repro.core.victims import Victim
+from repro.errors import ServiceError
+
+
+def victim_to_wire(victim: Victim) -> Tuple[int, str, str, int, float]:
+    return (victim.pid, victim.nf, victim.kind, victim.arrival_ns, victim.metric)
+
+
+def victim_from_wire(wire) -> Victim:
+    pid, nf, kind, arrival_ns, metric = wire
+    return Victim(
+        pid=int(pid),
+        nf=nf,
+        kind=kind,
+        arrival_ns=int(arrival_ns),
+        metric=float(metric),
+    )
+
+
+def _jsonify(obj):
+    """Wire tuples -> JSON lists (the codec is tuples/str/int/float/None)."""
+    if isinstance(obj, tuple):
+        return [_jsonify(item) for item in obj]
+    return obj
+
+
+def _tupleize(obj):
+    """Inverse of :func:`_jsonify` — JSON lists back to wire tuples."""
+    if isinstance(obj, list):
+        return tuple(_tupleize(item) for item in obj)
+    return obj
+
+
+def chunk_record(result, shed_pids: Tuple[int, ...] = ()) -> dict:
+    """JSON body for one :class:`~repro.core.streaming.ChunkResult`."""
+    return {
+        "start_ns": result.start_ns,
+        "end_ns": result.end_ns,
+        "victims": [_jsonify(victim_to_wire(v)) for v in result.victims],
+        "diagnoses": [_jsonify(diagnosis_to_wire(d)) for d in result.diagnoses],
+        "shed_pids": list(shed_pids),
+        "margin_exceeded": result.margin_exceeded,
+        "telemetry_completeness": result.telemetry_completeness,
+        "quarantined_nfs": list(result.quarantined_nfs),
+        "low_evidence_culprits": result.low_evidence_culprits,
+    }
+
+
+def decode_diagnoses(body: dict) -> List[VictimDiagnosis]:
+    """Rebuild the chunk's diagnoses from a journalled body."""
+    victims = [victim_from_wire(_tupleize(w)) for w in body["victims"]]
+    diagnosed = []
+    wires = [_tupleize(w) for w in body["diagnoses"]]
+    # diagnose order == victim order within a chunk (diagnose_all contract);
+    # shed victims never reach the diagnosis list, so pair by position among
+    # the non-shed prefix the service actually diagnosed.
+    for victim, wire in zip(victims, wires):
+        diagnosed.append(diagnosis_from_wire(victim, wire))
+    return diagnosed
+
+
+class ResultJournal:
+    """CRC-guarded append-only JSONL file with offset-based truncation."""
+
+    def __init__(self, path: Union[str, Path], durable: bool = True) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.durable = durable
+
+    # -- geometry ---------------------------------------------------------------
+
+    def size(self) -> int:
+        try:
+            return self.path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    def truncate_to(self, offset: int) -> int:
+        """Discard everything past ``offset``; returns bytes discarded.
+
+        ``offset`` beyond the current size means the journal lost data the
+        checkpoint relies on — the caller must fall down the recovery
+        ladder, so this raises rather than papering over it.
+        """
+        size = self.size()
+        if offset > size:
+            raise ServiceError(
+                f"journal {self.path} is {size} bytes but the checkpoint "
+                f"requires {offset}: journal data was lost"
+            )
+        if offset == size:
+            return 0
+        with open(self.path, "r+b") as handle:
+            handle.truncate(offset)
+            handle.flush()
+            if self.durable:
+                os.fsync(handle.fileno())
+        return size - offset
+
+    # -- writing ----------------------------------------------------------------
+
+    @staticmethod
+    def _encode_line(chunk_index: int, body: dict) -> bytes:
+        blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        crc = zlib.crc32(blob.encode("utf-8"))
+        line = json.dumps(
+            {"chunk": chunk_index, "crc32": crc, "body": body},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return line.encode("utf-8") + b"\n"
+
+    def append(
+        self, chunk_index: int, body: dict, faults=None
+    ) -> int:
+        """Append one chunk record; returns the byte offset after it.
+
+        The append is flushed and fsynced before returning, so a
+        subsequently-committed checkpoint never points past durable data.
+        ``faults`` may tear the write (crash simulation): the partial line
+        is written and the injector raises, modelling a power cut.
+        """
+        data = self._encode_line(chunk_index, body)
+        torn = None
+        if faults is not None:
+            torn = faults.torn_bytes("mid-journal", chunk_index, data)
+        with open(self.path, "ab") as handle:
+            handle.write(data if torn is None else torn[0])
+            handle.flush()
+            if self.durable:
+                os.fsync(handle.fileno())
+            offset = handle.tell()
+        if torn is not None:
+            raise torn[1]
+        return offset
+
+    # -- reading ----------------------------------------------------------------
+
+    def records(self) -> Iterator[Tuple[int, dict]]:
+        """Yield (chunk_index, body) pairs, CRC-verified."""
+        if not self.path.exists():
+            return
+        with open(self.path, "rb") as handle:
+            for lineno, raw in enumerate(handle, 1):
+                try:
+                    record = json.loads(raw)
+                    body = record["body"]
+                    crc = record["crc32"]
+                    chunk_index = record["chunk"]
+                except (ValueError, KeyError, TypeError) as exc:
+                    raise ServiceError(
+                        f"corrupt journal line {self.path}:{lineno}: {exc}"
+                    ) from exc
+                blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+                if zlib.crc32(blob.encode("utf-8")) != crc:
+                    raise ServiceError(
+                        f"journal CRC mismatch at {self.path}:{lineno}"
+                    )
+                yield chunk_index, body
+
+    def diagnoses(self) -> List[VictimDiagnosis]:
+        """Every journalled diagnosis, in chunk order."""
+        results: List[VictimDiagnosis] = []
+        for _chunk, body in self.records():
+            results.extend(decode_diagnoses(body))
+        return results
+
+    def read_bytes(self) -> bytes:
+        return self.path.read_bytes() if self.path.exists() else b""

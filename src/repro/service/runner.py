@@ -1,0 +1,365 @@
+"""The always-on diagnosis service: crash-only chunked diagnosis.
+
+:class:`DiagnosisService` drives :class:`~repro.core.streaming.StreamingDiagnosis`
+chunk by chunk under a per-chunk commit protocol:
+
+1. ``chunk-start``          — select the chunk's victims, shed over budget,
+2. diagnose (watchdogged, retried with exponential backoff + jitter),
+3. ``after-diagnose``       — results exist only in memory,
+4. journal append + fsync   (``mid-journal`` can tear the write),
+5. ``after-journal``        — journal is ahead of the checkpoint,
+6. checkpoint commit        (``mid-checkpoint`` / ``after-checkpoint-file`` /
+   ``corrupt-checkpoint`` fire inside :meth:`Checkpointer.save`),
+7. ``after-checkpoint``     — chunk fully committed.
+
+Kill the process at *any* of those points and a restarted service resumes
+at the last committed chunk boundary: the recovery ladder selects the
+newest checkpoint that validates, the journal is truncated back to the
+offset that checkpoint covers (discarding torn or uncovered tails), and
+diagnosis — which is deterministic and memo-result-invariant — re-runs
+the interrupted chunk to byte-identical journal lines.  There is no
+repair path anywhere: recovery is selection plus truncation.
+
+Load shedding is explicit and never silent: when a chunk's victim list
+exceeds ``max_victims_per_chunk``, the keep-set retains the worst victims
+(drops first, then by metric) and every shed pid is journalled with the
+chunk and counted in :class:`ServiceStats`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, fields
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from repro.aggregation.tallies import CulpritTally
+from repro.core.diagnosis import VictimDiagnosis
+from repro.core.records import DiagTrace
+from repro.core.streaming import StreamingConfig, StreamingDiagnosis
+from repro.core.victims import Victim
+from repro.errors import CheckpointError, ServiceError, TransientError
+from repro.service.checkpoint import CHECKPOINT_VERSION, Checkpointer
+from repro.service.journal import ResultJournal, chunk_record
+from repro.service.source import trace_fingerprint
+from repro.util.rng import substream
+
+SERVICE_STATE_VERSION = 1
+
+
+@dataclass
+class ServiceConfig:
+    """Operating parameters of one service instance."""
+
+    state_dir: Union[str, Path]
+    chunk_ns: int = 50_000_000
+    margin_ns: int = 100_000_000
+    victim_pct: float = 99.0
+    #: Per-chunk diagnosis parallelism (None = serial).
+    workers: Optional[int] = None
+    #: Watchdog deadline per parallel shard; a wedged worker is killed and
+    #: its victims retried serially (surfaced as ``worker_timeouts``).
+    task_timeout_s: Optional[float] = None
+    #: Load-shedding budget: max victims diagnosed per chunk (None = all).
+    max_victims_per_chunk: Optional[int] = None
+    #: Transient-failure retry policy: up to ``max_retries`` re-attempts
+    #: with ``base * 2**attempt`` backoff (capped), jittered by the
+    #: checkpointed RNG so schedules replay identically after a resume.
+    max_retries: int = 3
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    jitter_seed: int = 0
+    #: Checkpoint generations retained (>= 2: corrupt-newest fallback).
+    keep_checkpoints: int = 2
+    #: fsync everything (tests on tmpfs may turn this off for speed).
+    durable: bool = True
+
+    def fingerprint(self, trace: DiagTrace) -> dict:
+        """Identity stamped into checkpoints: resume must match exactly.
+
+        Anything that changes which victims exist or how chunks are cut
+        makes old checkpoints meaningless, so it all goes in."""
+        return {
+            "state_version": SERVICE_STATE_VERSION,
+            "chunk_ns": self.chunk_ns,
+            "margin_ns": self.margin_ns,
+            "victim_pct": self.victim_pct,
+            "jitter_seed": self.jitter_seed,
+            "trace": trace_fingerprint(trace),
+        }
+
+
+@dataclass
+class ServiceStats:
+    """Everything the service did, including what it survived.
+
+    Rides inside the checkpoint payload, so counters accumulated before a
+    crash are not lost — ``resumes`` and friends then record the recovery
+    itself.  All fields are ints/floats: the payload is pure JSON.
+    """
+
+    chunks_done: int = 0
+    victims_diagnosed: int = 0
+    #: Load shedding (never silent): victims dropped over budget, and in
+    #: how many chunks the budget bit.
+    victims_shed: int = 0
+    shed_chunks: int = 0
+    #: Transient-failure handling.
+    transient_failures: int = 0
+    retries: int = 0
+    backoff_total_s: float = 0.0
+    #: Hung/killed parallel workers (deltas pulled from the engine).
+    worker_failures: int = 0
+    worker_timeouts: int = 0
+    #: Durability.
+    checkpoints_written: int = 0
+    checkpoint_bytes: int = 0
+    journal_bytes: int = 0
+    #: Recovery: set by the run that performs it, then carried forward.
+    resumes: int = 0
+    corrupt_checkpoints: int = 0
+    checkpoint_fallbacks: int = 0
+    journal_bytes_truncated: int = 0
+
+    def to_payload(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServiceStats":
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in payload.items() if k in known})
+
+
+@dataclass
+class ServiceReport:
+    """Final output of :meth:`DiagnosisService.run`."""
+
+    diagnoses: List[VictimDiagnosis]
+    tally: CulpritTally
+    stats: ServiceStats
+    n_chunks: int
+
+
+def shed_victims(
+    victims: List[Victim], budget: Optional[int]
+) -> Tuple[List[Victim], List[Victim]]:
+    """(kept, shed) under ``budget``, retaining the worst victims.
+
+    Priority: drops before latency victims, then higher metric; ties break
+    on (arrival, pid) so the keep-set is deterministic.  Kept victims stay
+    in their original arrival order — diagnosis order must not depend on
+    whether shedding ran.
+    """
+    if budget is None or len(victims) <= budget:
+        return victims, []
+    ranked = sorted(
+        victims,
+        key=lambda v: (v.kind != "drop", -v.metric, v.arrival_ns, v.pid),
+    )
+    keep_pids = {v.pid for v in ranked[:budget]}
+    kept = [v for v in victims if v.pid in keep_pids]
+    shed = [v for v in victims if v.pid not in keep_pids]
+    return kept, shed
+
+
+class DiagnosisService:
+    """Supervised continuous diagnosis over one trace with crash recovery.
+
+    ``clock``/``sleep`` are injectable for tests (backoff without real
+    waiting); ``faults`` is the :mod:`repro.service.crashsim` injector and
+    ``flaky`` a transient-failure schedule — both None in production.
+    """
+
+    def __init__(
+        self,
+        trace: DiagTrace,
+        config: ServiceConfig,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+        faults=None,
+        flaky=None,
+    ) -> None:
+        self.trace = trace
+        self.config = config
+        self.clock = clock
+        self.sleep = sleep
+        self.faults = faults
+        self.flaky = flaky
+        state_dir = Path(config.state_dir)
+        self.checkpointer = Checkpointer(
+            state_dir / "checkpoints",
+            keep=config.keep_checkpoints,
+            durable=config.durable,
+        )
+        self.journal = ResultJournal(
+            state_dir / "journal.jsonl", durable=config.durable
+        )
+        self.stream = StreamingDiagnosis(
+            trace,
+            StreamingConfig(chunk_ns=config.chunk_ns, margin_ns=config.margin_ns),
+            victim_pct=config.victim_pct,
+            workers=config.workers,
+            task_timeout_s=config.task_timeout_s,
+        )
+        self.stats = ServiceStats()
+        self.tally = CulpritTally()
+        self._fingerprint = config.fingerprint(trace)
+        self._rng = substream(config.jitter_seed, "service-backoff")
+        # Engine worker counters are absolute per engine instance; the
+        # service accumulates deltas so they survive engine re-opens.
+        self._worker_failures_seen = 0
+        self._worker_timeouts_seen = 0
+
+    # -- recovery ---------------------------------------------------------------
+
+    def _restore(self) -> int:
+        """Select a resume point; returns the first chunk still to do.
+
+        Walks the checkpoint ladder newest-first.  A rung is usable when
+        its fingerprint matches this service and the journal still holds
+        the bytes it covers; unusable-but-valid rungs with a *different*
+        fingerprint are a config/trace mismatch and fatal.  With no usable
+        rung the service starts fresh — discarding any journal bytes, which
+        no checkpoint vouches for.
+        """
+        for loaded in self.checkpointer.load_ladder():
+            payload = loaded.payload
+            if payload.get("fingerprint") != self._fingerprint:
+                raise CheckpointError(
+                    f"checkpoint generation {loaded.generation} in "
+                    f"{self.checkpointer.directory} was written by a different "
+                    "service configuration or trace; refusing to resume"
+                )
+            try:
+                discarded = self.journal.truncate_to(payload["journal_offset"])
+            except ServiceError:
+                # Journal lost bytes this rung relies on: fall back a rung.
+                continue
+            self.stats = ServiceStats.from_payload(payload["stats"])
+            self.tally = CulpritTally.from_payload(payload["tally"])
+            self._rng.bit_generator.state = payload["rng_state"]
+            self.stats.resumes += 1
+            self.stats.corrupt_checkpoints += len(loaded.corrupt)
+            if loaded.fell_back or loaded.corrupt:
+                self.stats.checkpoint_fallbacks += 1
+            self.stats.journal_bytes_truncated += discarded
+            self.checkpointer.resume_from(loaded)
+            return payload["next_chunk"]
+        # Fresh start (possibly because every generation was corrupt).
+        self.stats.corrupt_checkpoints += len(self.checkpointer.rejected)
+        if self.checkpointer.rejected:
+            self.stats.resumes += 1
+            self.stats.checkpoint_fallbacks += 1
+        self.stats.journal_bytes_truncated += self.journal.truncate_to(0)
+        return 0
+
+    # -- per-chunk protocol -----------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(
+            self.config.backoff_cap_s,
+            self.config.backoff_base_s * (2.0**attempt),
+        )
+        return delay * (0.5 + float(self._rng.random()))
+
+    def _diagnose_with_retry(self, index: int, victims: List[Victim]):
+        """Retry transient chunk failures with jittered backoff.
+
+        Catches ``Exception`` only: :class:`SimulatedCrash` (and real
+        SIGKILL) are BaseException and always unwind the process.
+        """
+        attempt = 0
+        while True:
+            try:
+                if self.flaky is not None and self.flaky.should_fail(index):
+                    raise TransientError(f"injected transient failure in chunk {index}")
+                return self.stream.diagnose_chunk(index, victims=victims)
+            except Exception as exc:
+                self.stats.transient_failures += 1
+                if attempt >= self.config.max_retries:
+                    raise ServiceError(
+                        f"chunk {index} failed after {attempt + 1} attempts: {exc}"
+                    ) from exc
+                delay = self._backoff(attempt)
+                self.stats.retries += 1
+                self.stats.backoff_total_s += delay
+                self.sleep(delay)
+                attempt += 1
+
+    def _harvest_worker_stats(self) -> None:
+        engine = self.stream.engine
+        if engine is None:
+            return
+        cache = engine.cache_stats
+        self.stats.worker_failures += (
+            cache.worker_failures - self._worker_failures_seen
+        )
+        self.stats.worker_timeouts += (
+            cache.worker_timeouts - self._worker_timeouts_seen
+        )
+        self._worker_failures_seen = cache.worker_failures
+        self._worker_timeouts_seen = cache.worker_timeouts
+
+    def _checkpoint_payload(self, next_chunk: int, journal_offset: int) -> dict:
+        return {
+            "version": CHECKPOINT_VERSION,
+            "fingerprint": self._fingerprint,
+            "next_chunk": next_chunk,
+            "journal_offset": journal_offset,
+            "stats": self.stats.to_payload(),
+            "tally": self.tally.to_payload(),
+            "rng_state": self._rng.bit_generator.state,
+        }
+
+    def _process_chunk(self, index: int) -> None:
+        faults = self.faults
+        if faults is not None:
+            faults.kill("chunk-start", index)
+        victims = self.stream.victims_for_chunk(index)
+        kept, shed = shed_victims(victims, self.config.max_victims_per_chunk)
+        result = self._diagnose_with_retry(index, kept)
+        self._harvest_worker_stats()
+        if faults is not None:
+            faults.kill("after-diagnose", index)
+        shed_pids = tuple(v.pid for v in shed)
+        offset = self.journal.append(
+            index, chunk_record(result, shed_pids), faults=faults
+        )
+        if faults is not None:
+            faults.kill("after-journal", index)
+        # Everything below folds the chunk into checkpointed state; the
+        # checkpoint optimistically counts itself (an uncommitted one is
+        # never loaded, so the restored count stays consistent).
+        self.tally.update(result.diagnoses)
+        self.stats.chunks_done += 1
+        self.stats.victims_diagnosed += len(result.diagnoses)
+        if shed:
+            self.stats.victims_shed += len(shed)
+            self.stats.shed_chunks += 1
+        self.stats.journal_bytes = offset
+        self.stats.checkpoints_written += 1
+        self.checkpointer.save(
+            self._checkpoint_payload(index + 1, offset), faults=faults, chunk=index
+        )
+        self.stats.checkpoint_bytes = self.checkpointer.last_nbytes
+        if faults is not None:
+            faults.kill("after-checkpoint", index)
+
+    # -- entry point ------------------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        """Process every remaining chunk; resume from checkpoints first."""
+        next_chunk = self._restore()
+        n_chunks = self.stream.n_chunks()
+        if next_chunk < n_chunks:
+            self.stream.open(next_chunk, generation=next_chunk)
+            self._worker_failures_seen = 0
+            self._worker_timeouts_seen = 0
+            for index in range(next_chunk, n_chunks):
+                self._process_chunk(index)
+        return ServiceReport(
+            diagnoses=self.journal.diagnoses(),
+            tally=self.tally,
+            stats=self.stats,
+            n_chunks=n_chunks,
+        )

@@ -1,0 +1,93 @@
+"""Trace sources for the diagnosis service.
+
+The service diagnoses a :class:`~repro.core.records.DiagTrace`; these
+helpers produce one from the collector's persisted record streams
+(:func:`repro.collector.persistence.load_collected` ->
+:class:`~repro.collector.reconstruct.TraceReconstructor` ->
+:meth:`~repro.core.records.DiagTrace.from_reconstruction`), which is the
+always-on deployment path: collectors persist, the service tails.
+
+Also home to :func:`trace_fingerprint`, the cheap trace identity stamped
+into every checkpoint so a resume against different data is refused
+instead of silently producing a chimera of two runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Set, Union
+
+from repro.collector.persistence import load_collected
+from repro.collector.reconstruct import (
+    DEFAULT_MAX_WAIT_NS,
+    EdgeSpec,
+    TraceReconstructor,
+)
+from repro.core.records import DiagTrace
+
+
+def trace_fingerprint(trace: DiagTrace) -> dict:
+    """Cheap deterministic identity of a trace (pure JSON).
+
+    Enough to refuse cross-trace resumes: packet count, the NF name set,
+    and the total per-NF event count.  Deliberately not a full content
+    hash — fingerprinting must stay O(#NFs), not O(#events)."""
+    events = sum(
+        len(view.arrivals) + len(view.reads) + len(view.departs) + len(view.drops)
+        for view in trace.nfs.values()
+    )
+    return {
+        "packets": len(trace.packets),
+        "nfs": sorted(trace.nfs),
+        "events": events,
+    }
+
+
+def trace_from_collected(
+    data,
+    edges: Sequence[EdgeSpec],
+    peak_rates: Dict[str, float],
+    upstreams: Dict[str, Set[str]],
+    sources: Set[str],
+    nf_types: Optional[Dict[str, str]] = None,
+    tolerant: bool = False,
+    max_wait_ns: int = DEFAULT_MAX_WAIT_NS,
+) -> DiagTrace:
+    """Reconstruct a diagnosable trace from in-memory collected records."""
+    reconstructor = TraceReconstructor(
+        data, edges, max_wait_ns=max_wait_ns, tolerant=tolerant
+    )
+    packets = reconstructor.reconstruct()
+    return DiagTrace.from_reconstruction(
+        packets,
+        peak_rates=peak_rates,
+        upstreams=upstreams,
+        sources=sources,
+        nf_types=nf_types,
+        health=reconstructor.health if tolerant else None,
+        tolerant=tolerant,
+    )
+
+
+def trace_from_directory(
+    directory: Union[str, Path],
+    edges: Sequence[EdgeSpec],
+    peak_rates: Dict[str, float],
+    upstreams: Dict[str, Set[str]],
+    sources: Set[str],
+    nf_types: Optional[Dict[str, str]] = None,
+    tolerant: bool = False,
+    max_wait_ns: int = DEFAULT_MAX_WAIT_NS,
+) -> DiagTrace:
+    """Load persisted record streams (CRC-verified) and reconstruct."""
+    data = load_collected(directory)
+    return trace_from_collected(
+        data,
+        edges,
+        peak_rates=peak_rates,
+        upstreams=upstreams,
+        sources=sources,
+        nf_types=nf_types,
+        tolerant=tolerant,
+        max_wait_ns=max_wait_ns,
+    )

@@ -1,5 +1,11 @@
-"""Shared utilities: timebase, statistics, deterministic RNG."""
+"""Shared utilities: timebase, statistics, deterministic RNG, atomic I/O."""
 
+from repro.util.atomicio import (
+    atomic_write_bytes,
+    atomic_write_text,
+    fsync_dir,
+    sweep_temp_files,
+)
 from repro.util.rng import generator, substream
 from repro.util.stats import (
     RollingStats,
@@ -33,6 +39,10 @@ __all__ = [
     "Summary",
     "Welford",
     "argsort_desc",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "fsync_dir",
+    "sweep_temp_files",
     "cdf_points",
     "cost_from_pps",
     "format_ns",

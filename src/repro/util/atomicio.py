@@ -1,0 +1,93 @@
+"""Crash-safe file writes shared by persistence and service checkpoints.
+
+The discipline is the standard crash-only one: write the full payload to a
+unique temp file in the *same directory* as the target, flush and fsync the
+file, ``os.replace`` it over the target (atomic on POSIX within one
+filesystem), then fsync the directory so the rename itself is durable.  A
+``kill -9`` at any instant leaves either the old file, the new file, or an
+orphaned ``*.tmp-*`` that readers ignore — never a torn target.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable, Optional, Tuple, Union
+
+
+def fsync_dir(directory: Union[str, Path]) -> None:
+    """Flush a directory's metadata (renames, unlinks) to disk."""
+    fd = os.open(str(directory), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(
+    path: Union[str, Path],
+    data: bytes,
+    durable: bool = True,
+    tear: Optional[Callable[[bytes], Optional[Tuple[bytes, BaseException]]]] = None,
+) -> int:
+    """Atomically replace ``path`` with ``data``; returns bytes written.
+
+    ``durable=False`` skips the fsyncs (test speed); the replace is still
+    atomic.  ``tear`` is a crash-simulation hook: given the payload, it may
+    return ``(prefix, crash)`` — the partial prefix is durably written to
+    the temp file (never renamed into place) and ``crash`` is then raised,
+    modelling a power cut mid-write.  The torn temp file deliberately stays
+    behind, exactly like a real crash; orphans are harmless and are swept
+    by :func:`sweep_temp_files`.
+    """
+    path = Path(path)
+    payload = data
+    crash: Optional[BaseException] = None
+    torn = tear(data) if tear is not None else None
+    if torn is not None:
+        payload, crash = torn
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=path.name + ".tmp-", dir=str(path.parent)
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            if durable:
+                os.fsync(handle.fileno())
+        if crash is not None:
+            raise crash
+        os.replace(tmp_name, path)
+    except BaseException:
+        if crash is None:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+        raise
+    if durable:
+        fsync_dir(path.parent)
+    return len(payload)
+
+
+def atomic_write_text(
+    path: Union[str, Path], text: str, durable: bool = True
+) -> int:
+    return atomic_write_bytes(path, text.encode("utf-8"), durable=durable)
+
+
+def sweep_temp_files(directory: Union[str, Path]) -> int:
+    """Remove orphaned ``*.tmp-*`` files left by crashes; returns count."""
+    removed = 0
+    directory = Path(directory)
+    if not directory.is_dir():
+        return 0
+    for entry in directory.iterdir():
+        if ".tmp-" in entry.name and entry.is_file():
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed

@@ -1,5 +1,10 @@
-import pytest
+import json
 
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.collector.chaos import ChaosConfig, inject_chaos
 from repro.collector.persistence import load_collected, save_collected
 from repro.collector.reconstruct import EdgeSpec, TraceReconstructor
 from repro.collector.runtime import RuntimeCollector
@@ -69,10 +74,138 @@ class TestErrors:
         _result, data = collected
         save_collected(data, tmp_path / "run1")
         manifest = tmp_path / "run1" / "manifest.json"
-        import json
-
         raw = json.loads(manifest.read_text())
         raw["format_version"] = 99
         manifest.write_text(json.dumps(raw))
         with pytest.raises(TraceError):
             load_collected(tmp_path / "run1")
+
+
+def assert_round_trip(data, directory) -> None:
+    save_collected(data, directory, durable=False)
+    loaded = load_collected(directory)
+    assert set(loaded.nfs) == set(data.nfs)
+    for name in data.nfs:
+        assert loaded.nfs[name].rx == data.nfs[name].rx
+        assert loaded.nfs[name].tx == data.nfs[name].tx
+    assert loaded.exits == data.exits
+    assert loaded.sources == data.sources
+    assert loaded.max_batch == data.max_batch
+
+
+#: Time-order-preserving faults only: reorder (and drift) produce streams
+#: the codec rejects by design — pinned separately below.
+chaos_configs = st.builds(
+    ChaosConfig,
+    drop_rate=st.floats(0.0, 0.5),
+    truncate_rate=st.floats(0.0, 0.5),
+    duplicate_rate=st.floats(0.0, 0.5),
+    garbage_rate=st.floats(0.0, 0.5),
+    seed=st.integers(0, 2**16),
+)
+
+
+class TestChaosRoundTripProperties:
+    """save/load is lossless for *any* damage the chaos layer inflicts —
+    persistence must be transparent no matter how degraded the telemetry,
+    because diagnosing damage is the tolerant reconstructor's job, not the
+    storage layer's."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(config=chaos_configs)
+    def test_damaged_data_round_trips_exactly(self, tmp_path, collected, config):
+        _result, data = collected
+        damaged = inject_chaos(data, config).data
+        assert_round_trip(damaged, tmp_path / f"chaos-{config.seed}")
+
+    @settings(
+        max_examples=10,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(0, 2**16))
+    def test_reordered_streams_refused_at_save(self, tmp_path, collected, seed):
+        """Out-of-order batches violate the codec's delta-encoding
+        invariant: save raises instead of persisting garbage."""
+        _result, data = collected
+        damaged = inject_chaos(
+            data, ChaosConfig(reorder_rate=1.0, seed=seed)
+        ).data
+        reordered = any(
+            a.time_ns > b.time_ns
+            for records in damaged.nfs.values()
+            for stream in [records.rx, *records.tx.values()]
+            for a, b in zip(stream, stream[1:])
+        )
+        if not reordered:  # pragma: no cover - all-equal timestamps
+            return
+        with pytest.raises(TraceError, match="not time-sorted"):
+            save_collected(damaged, tmp_path / f"reorder-{seed}", durable=False)
+
+
+class TestCorruptionDetectionProperties:
+    """Any post-save byte damage to any stream file is CRC-detected at
+    load, and the error names the damaged file."""
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data_st=st.data())
+    def test_bitflip_any_stream_detected_and_named(
+        self, tmp_path, collected, data_st
+    ):
+        _result, data = collected
+        directory = tmp_path / "run"
+        save_collected(data, directory, durable=False)
+        crcs = json.loads((directory / "manifest.json").read_text())["crc32"]
+        victims = [f for f in sorted(crcs) if (directory / f).stat().st_size > 0]
+        filename = data_st.draw(st.sampled_from(victims), label="file")
+        raw = bytearray((directory / filename).read_bytes())
+        pos = data_st.draw(st.integers(0, len(raw) - 1), label="byte")
+        xor = data_st.draw(st.integers(1, 255), label="xor")
+        raw[pos] ^= xor
+        (directory / filename).write_bytes(bytes(raw))
+        with pytest.raises(TraceError, match=filename.replace(".", r"\.")):
+            load_collected(directory)
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(data_st=st.data())
+    def test_truncation_any_stream_detected_and_named(
+        self, tmp_path, collected, data_st
+    ):
+        _result, data = collected
+        directory = tmp_path / "run"
+        save_collected(data, directory, durable=False)
+        crcs = json.loads((directory / "manifest.json").read_text())["crc32"]
+        victims = [f for f in sorted(crcs) if (directory / f).stat().st_size > 1]
+        filename = data_st.draw(st.sampled_from(victims), label="file")
+        raw = (directory / filename).read_bytes()
+        keep = data_st.draw(st.integers(0, len(raw) - 1), label="keep")
+        (directory / filename).write_bytes(raw[:keep])
+        with pytest.raises(TraceError, match=filename.replace(".", r"\.")):
+            load_collected(directory)
+
+    def test_version1_directory_without_crcs_still_loads(
+        self, tmp_path, collected
+    ):
+        """Pre-CRC dumps (format version 1) load without verification."""
+        _result, data = collected
+        directory = tmp_path / "run"
+        save_collected(data, directory, durable=False)
+        manifest = directory / "manifest.json"
+        raw = json.loads(manifest.read_text())
+        raw["format_version"] = 1
+        del raw["crc32"]
+        manifest.write_text(json.dumps(raw))
+        loaded = load_collected(directory)
+        assert set(loaded.nfs) == set(data.nfs)

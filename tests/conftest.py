@@ -63,6 +63,41 @@ def run_interrupt_chain(
     ).run()
 
 
+def run_recurring_stall_chain(
+    seed: int = 0,
+    duration_ns: int = 24 * MSEC,
+    interrupt_every_ns: int = 3 * MSEC,
+    interrupt_ns: int = 800 * USEC,
+    main_rate: float = 1_000_000.0,
+    probe_rate: float = 200_000.0,
+):
+    """Long-running chain with recurring NAT stalls.
+
+    The single-interrupt workload concentrates every victim in a handful
+    of chunks; recurring stalls spread victims across the whole run — the
+    regime streaming mode and the always-on service target.  Shared with
+    ``benchmarks/record_bench.py`` (60 ms variant) so tests and benchmarks
+    exercise the same generator.
+    """
+    topo = make_chain_topology()
+    pids = PidAllocator()
+    ipids = IpidSpace(substream(seed, "bench-periodic"))
+    main = constant_rate_flow(MAIN_FLOW, main_rate, duration_ns, pids, ipids)
+    probe = constant_rate_flow(PROBE_FLOW, probe_rate, duration_ns, pids, ipids)
+    specs = [
+        InterruptSpec("nat1", t, interrupt_ns)
+        for t in range(500_000, duration_ns, interrupt_every_ns)
+    ]
+    return Simulator(
+        topo,
+        [
+            TrafficSource("src-main", main, constant_target("nat1")),
+            TrafficSource("src-probe", probe, constant_target("vpn1")),
+        ],
+        injectors=[InterruptInjector(specs)],
+    ).run()
+
+
 @pytest.fixture(scope="session")
 def interrupt_chain_result():
     return run_interrupt_chain()
@@ -71,3 +106,9 @@ def interrupt_chain_result():
 @pytest.fixture(scope="session")
 def interrupt_chain_trace(interrupt_chain_result) -> DiagTrace:
     return DiagTrace.from_sim_result(interrupt_chain_result)
+
+
+@pytest.fixture(scope="session")
+def recurring_stall_trace() -> DiagTrace:
+    """24 ms recurring-stall trace: ~9 chunks at the 3 ms service chunk."""
+    return DiagTrace.from_sim_result(run_recurring_stall_chain())

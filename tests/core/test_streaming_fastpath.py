@@ -288,6 +288,126 @@ class TestWireFormat:
         assert_primitive(wire)
 
 
+class TestChunkAddressingAPI:
+    """The service-facing chunk API: open()/diagnose_chunk() must compose
+    to exactly what chunks() yields, from any starting chunk — the
+    invariant checkpoint-restore stands on."""
+
+    CFG = None  # set in setup to share across tests
+
+    def _streaming(self, trace, **overrides):
+        kwargs = dict(chunk_ns=MSEC // 2, margin_ns=MSEC, reuse_engine=True)
+        kwargs.update(overrides)
+        return StreamingDiagnosis(
+            trace, StreamingConfig(**kwargs), victim_pct=99.0
+        )
+
+    def test_open_at_zero_equals_chunks_iterator(self, interrupt_chain_trace):
+        a = self._streaming(interrupt_chain_trace)
+        b = self._streaming(interrupt_chain_trace)
+        via_iter = list(a.chunks())
+        b.open(0)
+        via_api = [b.diagnose_chunk(i) for i in range(b.n_chunks())]
+        assert len(via_iter) == len(via_api)
+        for x, y in zip(via_iter, via_api):
+            assert (x.start_ns, x.end_ns) == (y.start_ns, y.end_ns)
+            assert canonical_bytes(x.diagnoses) == canonical_bytes(y.diagnoses)
+
+    @pytest.mark.parametrize("start_chunk", [1, 3, 7])
+    def test_open_mid_stream_matches_uninterrupted_tail(
+        self, interrupt_chain_trace, start_chunk
+    ):
+        """A fresh engine opened at chunk k (the resume path) produces
+        chunk results bit-identical to an uninterrupted run's tail —
+        memoization is result-invariant, so the empty memo never shows."""
+        full = self._streaming(interrupt_chain_trace)
+        reference = list(full.chunks())
+        start_chunk = min(start_chunk, len(reference) - 1)
+        resumed = self._streaming(interrupt_chain_trace)
+        resumed.open(start_chunk)
+        for index in range(start_chunk, resumed.n_chunks()):
+            chunk = resumed.diagnose_chunk(index)
+            assert canonical_bytes(chunk.diagnoses) == canonical_bytes(
+                reference[index].diagnoses
+            )
+        assert resumed.engine.chunk_generation == full.engine.chunk_generation
+
+    def test_rediagnosing_current_chunk_is_idempotent(self, interrupt_chain_trace):
+        """The service's retry path: re-running the chunk the engine is
+        positioned at must not advance anything and must return the same
+        diagnoses."""
+        streaming = self._streaming(interrupt_chain_trace)
+        streaming.open(0)
+        streaming.diagnose_chunk(0)
+        first = streaming.diagnose_chunk(1)
+        again = streaming.diagnose_chunk(1)
+        assert canonical_bytes(first.diagnoses) == canonical_bytes(again.diagnoses)
+        assert streaming.engine.chunk_generation == 1
+
+    def test_victim_override_restricts_diagnosis(self, interrupt_chain_trace):
+        """The load-shedding hook: an explicit victim subset is diagnosed
+        as-is, nothing more."""
+        streaming = self._streaming(interrupt_chain_trace)
+        streaming.open(0)
+        chunks_with_victims = [
+            i
+            for i in range(streaming.n_chunks())
+            if len(streaming.victims_for_chunk(i)) >= 2
+        ]
+        assert chunks_with_victims, "workload must have a multi-victim chunk"
+        target = chunks_with_victims[0]
+        subset = streaming.victims_for_chunk(target)[:1]
+        for index in range(target):
+            streaming.diagnose_chunk(index)
+        result = streaming.diagnose_chunk(target, victims=subset)
+        assert [d.victim for d in result.diagnoses] == subset
+
+    def test_non_sequential_chunk_rejected(self, interrupt_chain_trace):
+        from repro.errors import DiagnosisError
+
+        streaming = self._streaming(interrupt_chain_trace)
+        streaming.open(0)
+        streaming.diagnose_chunk(0)
+        with pytest.raises(DiagnosisError, match="non-sequential"):
+            streaming.diagnose_chunk(2)
+
+    def test_diagnose_before_open_rejected(self, interrupt_chain_trace):
+        from repro.errors import DiagnosisError
+
+        streaming = self._streaming(interrupt_chain_trace)
+        with pytest.raises(DiagnosisError, match="open"):
+            streaming.diagnose_chunk(0)
+
+    def test_open_requires_reuse_engine(self, interrupt_chain_trace):
+        from repro.errors import DiagnosisError
+
+        streaming = self._streaming(interrupt_chain_trace, reuse_engine=False)
+        with pytest.raises(DiagnosisError, match="reuse_engine"):
+            streaming.open(0)
+
+    def test_generation_restore_rejects_rewind(self, interrupt_chain_trace):
+        from repro.errors import DiagnosisError
+
+        engine = MicroscopeEngine(interrupt_chain_trace)
+        engine.restore_generation(5)
+        assert engine.chunk_generation == 5
+        with pytest.raises(DiagnosisError, match="rewind|backward|behind"):
+            engine.restore_generation(3)
+
+    def test_chunk_bounds_partition_the_trace(self, interrupt_chain_trace):
+        streaming = self._streaming(interrupt_chain_trace)
+        bounds = [streaming.chunk_bounds(i) for i in range(streaming.n_chunks())]
+        for (s0, e0), (s1, _e1) in zip(bounds, bounds[1:]):
+            assert e0 == s1
+        all_victims = streaming._all_victims
+        per_chunk = [
+            v
+            for i in range(streaming.n_chunks())
+            for v in streaming.victims_for_chunk(i)
+        ]
+        assert per_chunk == all_victims
+
+
 class TestQueuingBackends:
     def test_explicit_backend_is_respected(self, interrupt_chain_trace):
         view = interrupt_chain_trace.nfs["vpn1"]

@@ -1,0 +1,188 @@
+"""Crash-recovery acceptance: SIGKILL anywhere, restart, same answer.
+
+The ISSUE-4 acceptance criteria, pinned on the recurring-stall workload:
+
+* kill-resume at **every chunk boundary** produces a victim-diagnosis list
+  (culprit chains, scores, confidences) bit-identical to an uninterrupted
+  run, and a byte-identical results journal;
+* a crash at **every kill-point** of the per-chunk commit protocol —
+  including torn journal and checkpoint writes — recovers the same way;
+* a **corrupted newest checkpoint** is CRC-detected and recovery falls
+  back one generation, with the fallback logged in ``ServiceStats``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.streaming import StreamingConfig, StreamingDiagnosis
+from repro.service import (
+    KILL_POINTS,
+    CrashInjector,
+    CrashPlan,
+    DiagnosisService,
+    ServiceConfig,
+    SimulatedCrash,
+)
+from repro.util.timebase import MSEC
+from tests.core.test_streaming_fastpath import canonical_bytes
+
+CHUNK_NS = 3 * MSEC
+MARGIN_NS = 10 * MSEC
+
+
+def config(tmp_path, **kwargs) -> ServiceConfig:
+    kwargs.setdefault("chunk_ns", CHUNK_NS)
+    kwargs.setdefault("margin_ns", MARGIN_NS)
+    kwargs.setdefault("durable", False)
+    return ServiceConfig(state_dir=tmp_path / "state", **kwargs)
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(recurring_stall_trace, tmp_path_factory):
+    """Reference: streaming output, a clean service run, its journal bytes."""
+    streamed = StreamingDiagnosis(
+        recurring_stall_trace,
+        StreamingConfig(chunk_ns=CHUNK_NS, margin_ns=MARGIN_NS),
+        victim_pct=99.0,
+    ).run()
+    state = tmp_path_factory.mktemp("clean")
+    service = DiagnosisService(recurring_stall_trace, config(state))
+    report = service.run()
+    assert canonical_bytes(report.diagnoses) == canonical_bytes(streamed)
+    return {
+        "canon": canonical_bytes(report.diagnoses),
+        "journal": service.journal.read_bytes(),
+        "tally": report.tally,
+        "n_chunks": report.n_chunks,
+    }
+
+
+def crash_then_recover(trace, tmp_path, plan: CrashPlan):
+    """Run to the planned crash, then restart and run to completion."""
+    first = DiagnosisService(
+        trace, config(tmp_path), faults=CrashInjector(plan)
+    )
+    with pytest.raises(SimulatedCrash):
+        first.run()
+    recovered = DiagnosisService(trace, config(tmp_path))
+    return recovered, recovered.run()
+
+
+class TestKillAtEveryChunkBoundary:
+    def test_n_chunks_covers_workload(self, uninterrupted):
+        assert uninterrupted["n_chunks"] >= 8, "workload must span many chunks"
+
+    @pytest.mark.parametrize("chunk", range(9))
+    def test_kill_resume_bit_identical(
+        self, recurring_stall_trace, tmp_path, uninterrupted, chunk
+    ):
+        chunk = min(chunk, uninterrupted["n_chunks"] - 1)
+        service, report = crash_then_recover(
+            recurring_stall_trace, tmp_path, CrashPlan("chunk-start", chunk)
+        )
+        assert canonical_bytes(report.diagnoses) == uninterrupted["canon"]
+        assert service.journal.read_bytes() == uninterrupted["journal"]
+        assert report.tally == uninterrupted["tally"]
+        assert report.stats.chunks_done == uninterrupted["n_chunks"]
+
+
+class TestKillAtEveryProtocolPoint:
+    @pytest.mark.parametrize("point", KILL_POINTS)
+    def test_kill_resume_bit_identical(
+        self, recurring_stall_trace, tmp_path, uninterrupted, point
+    ):
+        mid = uninterrupted["n_chunks"] // 2
+        service, report = crash_then_recover(
+            recurring_stall_trace, tmp_path, CrashPlan(point, mid)
+        )
+        assert canonical_bytes(report.diagnoses) == uninterrupted["canon"]
+        assert service.journal.read_bytes() == uninterrupted["journal"]
+        assert report.tally == uninterrupted["tally"]
+
+    def test_torn_journal_truncated_on_resume(
+        self, recurring_stall_trace, tmp_path, uninterrupted
+    ):
+        service, report = crash_then_recover(
+            recurring_stall_trace,
+            tmp_path,
+            CrashPlan("mid-journal", 2, tear_fraction=0.7),
+        )
+        assert report.stats.journal_bytes_truncated > 0
+        assert service.journal.read_bytes() == uninterrupted["journal"]
+
+    def test_torn_checkpoint_leaves_previous_generation(
+        self, recurring_stall_trace, tmp_path, uninterrupted
+    ):
+        """A tear inside the checkpoint temp file never touches the
+        committed generation: recovery resumes from it, not from zero."""
+        service, report = crash_then_recover(
+            recurring_stall_trace, tmp_path, CrashPlan("mid-checkpoint", 3)
+        )
+        assert canonical_bytes(report.diagnoses) == uninterrupted["canon"]
+        assert report.stats.resumes == 1
+        # Chunks 0-2 committed before the crash; they were not re-diagnosed.
+        assert report.stats.corrupt_checkpoints == 0
+
+
+class TestCorruptCheckpointFallback:
+    def test_falls_back_one_generation_and_logs_it(
+        self, recurring_stall_trace, tmp_path, uninterrupted
+    ):
+        service, report = crash_then_recover(
+            recurring_stall_trace, tmp_path, CrashPlan("corrupt-checkpoint", 4)
+        )
+        assert canonical_bytes(report.diagnoses) == uninterrupted["canon"]
+        assert service.journal.read_bytes() == uninterrupted["journal"]
+        stats = report.stats
+        assert stats.corrupt_checkpoints == 1
+        assert stats.checkpoint_fallbacks == 1
+        assert stats.resumes == 1
+        # Falling back a generation uncovers chunk 4's journal lines.
+        assert stats.journal_bytes_truncated > 0
+
+    def test_corrupt_very_first_checkpoint_restarts_fresh(
+        self, recurring_stall_trace, tmp_path, uninterrupted
+    ):
+        service, report = crash_then_recover(
+            recurring_stall_trace, tmp_path, CrashPlan("corrupt-checkpoint", 0)
+        )
+        assert canonical_bytes(report.diagnoses) == uninterrupted["canon"]
+        assert report.stats.corrupt_checkpoints == 1
+        assert report.stats.checkpoint_fallbacks == 1
+
+
+class TestRepeatedCrashes:
+    def test_crash_during_recovery_run(
+        self, recurring_stall_trace, tmp_path, uninterrupted
+    ):
+        """Crash, resume, crash again later, resume again — crash-only
+        recovery composes."""
+        plans = [CrashPlan("after-journal", 2), CrashPlan("corrupt-checkpoint", 6)]
+        for plan in plans:
+            service = DiagnosisService(
+                recurring_stall_trace,
+                config(tmp_path),
+                faults=CrashInjector(plan),
+            )
+            with pytest.raises(SimulatedCrash):
+                service.run()
+        final = DiagnosisService(recurring_stall_trace, config(tmp_path))
+        report = final.run()
+        assert canonical_bytes(report.diagnoses) == uninterrupted["canon"]
+        assert final.journal.read_bytes() == uninterrupted["journal"]
+        assert report.stats.resumes == 2
+        assert report.stats.corrupt_checkpoints == 1
+
+    def test_unarmed_injector_visits_every_kill_point(
+        self, recurring_stall_trace, tmp_path
+    ):
+        """Protocol coverage: a clean run passes through every kill-point
+        the chaos harness knows about (except the torn/corrupt hooks'
+        post-fire points, which are visit-recorded by their writers)."""
+        injector = CrashInjector()
+        DiagnosisService(
+            recurring_stall_trace, config(tmp_path), faults=injector
+        ).run()
+        visited_points = {point for point, _chunk in injector.visited}
+        assert visited_points == set(KILL_POINTS)

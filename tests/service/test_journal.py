@@ -1,0 +1,159 @@
+"""Results-journal unit tests: CRC lines, truncation, wire round-trip."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.streaming import StreamingConfig, StreamingDiagnosis
+from repro.core.victims import VictimSelector
+from repro.errors import ServiceError
+from repro.service.journal import (
+    ResultJournal,
+    chunk_record,
+    decode_diagnoses,
+    victim_from_wire,
+    victim_to_wire,
+)
+from repro.util.timebase import MSEC
+
+
+@pytest.fixture(scope="module")
+def chunk_results(interrupt_chain_trace):
+    streaming = StreamingDiagnosis(
+        interrupt_chain_trace,
+        StreamingConfig(chunk_ns=1 * MSEC, margin_ns=5 * MSEC),
+        victim_pct=99.0,
+    )
+    return [c for c in streaming.chunks() if c.diagnoses]
+
+
+class TestRoundTrip:
+    def test_bodies_round_trip_field_exact(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        for i, result in enumerate(chunk_results):
+            journal.append(i, chunk_record(result))
+        expected = [d for c in chunk_results for d in c.diagnoses]
+        rebuilt = journal.diagnoses()
+        assert len(rebuilt) == len(expected)
+        for mine, theirs in zip(rebuilt, expected):
+            assert mine.victim == theirs.victim
+            assert mine.culprits == theirs.culprits
+            assert mine.period == theirs.period
+            assert mine.attributions == theirs.attributions
+
+    def test_victim_wire_round_trip(self, interrupt_chain_trace):
+        victims = VictimSelector(interrupt_chain_trace).hop_latency_victims(pct=99.0)
+        for victim in victims[:10]:
+            assert victim_from_wire(victim_to_wire(victim)) == victim
+
+    def test_shed_pids_and_chunk_metadata_survive(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        result = chunk_results[0]
+        journal.append(3, chunk_record(result, shed_pids=(41, 42)))
+        (chunk_index, body), = list(journal.records())
+        assert chunk_index == 3
+        assert body["shed_pids"] == [41, 42]
+        assert body["start_ns"] == result.start_ns
+
+    def test_append_returns_growing_offsets(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        offsets = [
+            journal.append(i, chunk_record(r)) for i, r in enumerate(chunk_results)
+        ]
+        assert offsets == sorted(set(offsets))
+        assert offsets[-1] == journal.size()
+
+
+class TestTruncation:
+    def test_truncate_discards_tail_records(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        first = journal.append(0, chunk_record(chunk_results[0]))
+        journal.append(1, chunk_record(chunk_results[1]))
+        discarded = journal.truncate_to(first)
+        assert discarded > 0
+        assert [i for i, _ in journal.records()] == [0]
+
+    def test_truncate_mid_line_then_reappend_is_clean(self, tmp_path, chunk_results):
+        """The crash-recovery sequence: torn tail -> truncate -> re-append."""
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        first = journal.append(0, chunk_record(chunk_results[0]))
+        # Simulate a torn append: half a line past the checkpointed offset.
+        with open(journal.path, "ab") as handle:
+            handle.write(b'{"chunk": 1, "crc32": 123, "body"')
+        journal.truncate_to(first)
+        journal.append(1, chunk_record(chunk_results[1]))
+        assert [i for i, _ in journal.records()] == [0, 1]
+
+    def test_truncate_beyond_size_raises(self, tmp_path):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        with pytest.raises(ServiceError, match="journal data was lost"):
+            journal.truncate_to(100)
+
+
+class TestCorruption:
+    def test_bitflip_behind_checkpoint_raises_with_location(
+        self, tmp_path, chunk_results
+    ):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        journal.append(0, chunk_record(chunk_results[0]))
+        raw = bytearray(journal.path.read_bytes())
+        # Flip a digit inside the body (keep it valid JSON): damage the
+        # payload without breaking the line structure.
+        idx = raw.index(b"victims")
+        for i in range(idx, len(raw)):
+            if chr(raw[i]).isdigit():
+                raw[i] = ord("9") if raw[i] != ord("9") else ord("8")
+                break
+        journal.path.write_bytes(bytes(raw))
+        with pytest.raises(ServiceError, match=r"journal.jsonl:1"):
+            list(journal.records())
+
+    def test_garbage_line_raises_with_location(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        journal.append(0, chunk_record(chunk_results[0]))
+        with open(journal.path, "ab") as handle:
+            handle.write(b"garbage line\n")
+        with pytest.raises(ServiceError, match=r"journal.jsonl:2"):
+            list(journal.records())
+
+    def test_missing_journal_reads_empty(self, tmp_path):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        assert list(journal.records()) == []
+        assert journal.diagnoses() == []
+        assert journal.size() == 0
+
+
+class TestDeterminism:
+    def test_reappend_is_byte_identical(self, tmp_path, chunk_results):
+        """Chunk re-diagnosis after a crash must reproduce the same journal
+        bytes — the property that makes truncate-and-retry exact."""
+        a = ResultJournal(tmp_path / "a.jsonl", durable=False)
+        b = ResultJournal(tmp_path / "b.jsonl", durable=False)
+        for i, result in enumerate(chunk_results):
+            a.append(i, chunk_record(result))
+            b.append(i, chunk_record(result))
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_decode_matches_engine_recompute(self, interrupt_chain_trace, tmp_path):
+        """Journalled diagnoses equal a fresh engine's output for the same
+        victims (the wire format loses nothing diagnosis-relevant)."""
+        trace = interrupt_chain_trace
+        victims = VictimSelector(trace).hop_latency_victims(pct=99.0)[:20]
+        diagnoses = MicroscopeEngine(trace).diagnose_all(victims)
+
+        class FakeChunk:
+            start_ns = 0
+            end_ns = 10 * MSEC
+            margin_exceeded = 0
+            telemetry_completeness = 1.0
+            quarantined_nfs = ()
+            low_evidence_culprits = 0
+
+        fake = FakeChunk()
+        fake.victims = victims
+        fake.diagnoses = diagnoses
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        journal.append(0, chunk_record(fake))
+        rebuilt = decode_diagnoses(list(journal.records())[0][1])
+        assert [d.culprits for d in rebuilt] == [d.culprits for d in diagnoses]
