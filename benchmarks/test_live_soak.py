@@ -1,0 +1,151 @@
+"""Live ingestion soak: flaky transport, random ingest crashes, one invariant.
+
+Each trial runs the live service over a seeded 10%-failure transport,
+inflicts one randomly drawn ingest-path crash, restarts with a freshly
+constructed identically-seeded source, and checks the invariant: the
+final journal and report are byte-identical to a clean-transport live
+run's (which tests/service/test_live_service.py pins equal to offline
+diagnosis), with every retry accounted and buffered memory bounded.
+
+Runs in the ``live-soak`` CI job (not tier-1: ~a minute of wall clock).
+A red run reproduces locally with::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/test_live_soak.py -q
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.ingest import (  # noqa: E402
+    FeedConfig,
+    FlakyTransport,
+    IncrementalTrace,
+    IngestConfig,
+    SimTransport,
+    TelemetryFeed,
+)
+from repro.nfv.tap import LiveRecordTap  # noqa: E402
+from repro.service import (  # noqa: E402
+    INGEST_KILL_POINTS,
+    CrashInjector,
+    CrashPlan,
+    DiagnosisService,
+    LiveTraceSource,
+    ServiceConfig,
+    SimulatedCrash,
+)
+from repro.util.rng import substream  # noqa: E402
+from repro.util.timebase import MSEC, USEC  # noqa: E402
+from tests.conftest import make_chain_topology, run_interrupt_chain  # noqa: E402
+from tests.core.test_streaming_fastpath import canonical_bytes  # noqa: E402
+
+SOAK_SEED = 4242
+N_TRIALS = 8
+FAIL_PROB = 0.10
+CHUNK_NS = 1 * MSEC
+MARGIN_NS = 5 * MSEC
+THRESHOLD_NS = 300 * USEC
+BUFFER_CAPACITY = 4096
+
+
+def config(state_dir) -> ServiceConfig:
+    return ServiceConfig(
+        state_dir=state_dir,
+        chunk_ns=CHUNK_NS,
+        margin_ns=MARGIN_NS,
+        victim_threshold_ns=THRESHOLD_NS,
+        durable=False,
+    )
+
+
+def make_source(records, flaky_seed=None):
+    transport = SimTransport(records)
+    if flaky_seed is not None:
+        transport = FlakyTransport(transport, fail_prob=FAIL_PROB, seed=flaky_seed)
+    feed = TelemetryFeed(
+        transport, FeedConfig(buffer_capacity=BUFFER_CAPACITY)
+    )
+    builder = IncrementalTrace.for_topology(
+        make_chain_topology(),
+        IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS),
+    )
+    return LiveTraceSource(feed, builder)
+
+
+@pytest.fixture(scope="module")
+def records():
+    tap = LiveRecordTap()
+    run_interrupt_chain(duration_ns=12 * MSEC, extra_hooks=[tap])
+    return tap.records
+
+
+@pytest.fixture(scope="module")
+def reference(records, tmp_path_factory):
+    """Clean-transport live run: the invariant every trial must hit."""
+    service = DiagnosisService(
+        make_source(records), config(tmp_path_factory.mktemp("ref"))
+    )
+    report = service.run()
+    assert report.stats.chunks_done == report.n_chunks >= 8
+    return {
+        "canon": canonical_bytes(report.diagnoses),
+        "journal": service.journal.read_bytes(),
+        "n_chunks": report.n_chunks,
+        "streams": len(service.source.feed.buffers),
+    }
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_soak_flaky_transport_with_ingest_crash(
+    records, reference, tmp_path, trial
+):
+    rng = substream(SOAK_SEED, f"live-soak:{trial}")
+    flaky_seed = SOAK_SEED + trial
+    plan = CrashPlan(
+        point=INGEST_KILL_POINTS[int(rng.integers(0, len(INGEST_KILL_POINTS)))],
+        chunk=int(rng.integers(0, reference["n_chunks"] // 2)),
+    )
+    armed = DiagnosisService(
+        make_source(records, flaky_seed=flaky_seed),
+        config(tmp_path),
+        faults=CrashInjector(plan),
+    )
+    try:
+        armed.run()
+    except SimulatedCrash:
+        pass  # a plan landing past the run's pump schedule just completes
+    final = DiagnosisService(
+        make_source(records, flaky_seed=flaky_seed), config(tmp_path)
+    )
+    report = final.run()
+    assert final.journal.read_bytes() == reference["journal"], (
+        f"trial {trial}: journal diverged under ({plan.point}, {plan.chunk})"
+    )
+    assert canonical_bytes(report.diagnoses) == reference["canon"]
+    assert report.stats.chunks_done == reference["n_chunks"]
+    # Overload safety: buffered records never exceeded the hard cap.
+    peak_cap = reference["streams"] * BUFFER_CAPACITY
+    assert 0 < report.stats.ingest_peak_buffered <= peak_cap
+    assert report.stats.ingest_sheds == 0  # backpressure tier only
+
+
+def test_fault_schedule_actually_bites(records, reference, tmp_path):
+    """Guard against a silently inert FlakyTransport: at 10% failure the
+    pinned seed must produce retries and reconnects."""
+    service = DiagnosisService(
+        make_source(records, flaky_seed=SOAK_SEED), config(tmp_path)
+    )
+    report = service.run()
+    assert report.stats.ingest_transport_failures > 0
+    assert report.stats.ingest_retries > 0
+    assert report.stats.ingest_reconnects > 0
+    assert service.journal.read_bytes() == reference["journal"]

@@ -27,18 +27,17 @@ PreSet prefix of the same buildup reuses one walk).  Memoization is
 result-invariant: every mode computes through the same code path, so
 culprit lists are bit-identical with it on or off.
 
-``diagnose_all(victims, workers=N)`` additionally shards victims over a
-process pool; each worker rebuilds the engine from the (picklable) trace
-once and chunks are reassembled in submission order, so output order and
-content match the serial path exactly.
+``diagnose_all(victims, workers=N)`` additionally shards victims across N
+worker processes (one process per shard, individually watchdogged); each
+worker rebuilds the engine from the (picklable) trace once and shards are
+reassembled in submission order, so output order and content match the
+serial path exactly.
 """
 
 from __future__ import annotations
 
 import multiprocessing
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures import TimeoutError as FuturesTimeout
-from concurrent.futures.process import BrokenProcessPool
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -453,12 +452,15 @@ class MicroscopeEngine:
         (handed over by pickling once per worker) and results come back in
         victim order, identical to the serial output.
 
-        ``task_timeout_s`` is a per-shard watchdog: a shard that does not
-        return within the deadline is treated as a wedged worker — the pool
-        is killed outright (a hung process never honours a soft shutdown)
-        and every victim without a result is retried serially in the
-        parent, counted in ``cache_stats.worker_timeouts``.  One stuck
-        worker can therefore never hang the whole run.
+        ``task_timeout_s`` is a per-shard watchdog: each shard runs in its
+        own process, and only a shard that misses the deadline is
+        terminated (a hung process never honours a soft shutdown) — shards
+        that finished are harvested, even ones completing after another
+        shard's deadline fired.  Victims of killed or crashed shards are
+        retried serially in the parent, counted in
+        ``cache_stats.worker_timeouts``/``worker_failures``.  One stuck
+        worker can therefore neither hang the run nor discard its
+        siblings' work.
         """
         if workers is None or workers <= 1 or len(victims) <= 1:
             return [self.diagnose(victim) for victim in victims]
@@ -470,14 +472,14 @@ class MicroscopeEngine:
         workers: int,
         task_timeout_s: Optional[float] = None,
     ) -> List[VictimDiagnosis]:
-        n_chunks = min(workers, len(victims))
-        chunk_size = (len(victims) + n_chunks - 1) // n_chunks
+        n_shards = min(workers, len(victims))
+        shard_size = (len(victims) + n_shards - 1) // n_shards
         chunks = [
-            list(victims[i : i + chunk_size])
-            for i in range(0, len(victims), chunk_size)
+            list(victims[i : i + shard_size])
+            for i in range(0, len(victims), shard_size)
         ]
         # Fork keeps the trace handoff cheap where available (the child
-        # inherits it); spawn platforms fall back to pickling via initargs.
+        # inherits it); spawn platforms fall back to pickling via args.
         methods = multiprocessing.get_all_start_methods()
         context = multiprocessing.get_context(
             "fork" if "fork" in methods else methods[0]
@@ -490,56 +492,57 @@ class MicroscopeEngine:
             self.memoize,
             self.backend,
         )
-        # A crashed worker (OOM kill, segfaulting extension, broken fork)
-        # must not kill the whole run: chunks whose future died with
-        # BrokenProcessPool are retried serially in the parent, and the
-        # failure count surfaces via ``cache_stats.worker_failures``.
+        # One process + pipe per shard instead of a shared pool: a wedged
+        # or crashed shard (OOM kill, segfaulting extension, infinite
+        # loop) is terminated *individually* while its siblings' results
+        # are still harvested.  Shards without a result fall through to
+        # the serial retry, and the incidents surface via
+        # ``cache_stats.worker_failures``/``worker_timeouts``.
         chunk_wires: List[Optional[List[_Wire]]] = [None] * len(chunks)
-        futures = []
-        hung = False
-        pool = ProcessPoolExecutor(
-            max_workers=n_chunks,
-            mp_context=context,
-            initializer=_parallel_worker_init,
-            initargs=init_args,
+        procs = []
+        conns = []
+        for chunk in chunks:
+            recv_conn, send_conn = context.Pipe(duplex=False)
+            proc = context.Process(
+                target=_shard_worker_main,
+                args=(send_conn, init_args, chunk),
+                daemon=True,
+            )
+            proc.start()
+            send_conn.close()  # child holds the only writer now
+            procs.append(proc)
+            conns.append(recv_conn)
+        # All shards started together, so they share one wall-clock
+        # deadline; each is given whatever remains of it.
+        deadline = (
+            None if task_timeout_s is None else time.monotonic() + task_timeout_s
         )
-        try:
-            futures = [pool.submit(_parallel_worker_diagnose, c) for c in chunks]
-            for idx, future in enumerate(futures):
-                if hung:
-                    # The pool is being torn down; salvage shards that
-                    # already finished, leave the rest to the serial retry.
-                    if future.done() and not future.cancelled():
-                        try:
-                            chunk_wires[idx] = future.result(timeout=0)
-                        except Exception:
-                            pass
-                    continue
-                try:
-                    chunk_wires[idx] = future.result(timeout=task_timeout_s)
-                except BrokenProcessPool:
+        for idx, conn in enumerate(conns):
+            try:
+                if deadline is not None:
+                    # poll(0) still harvests a shard that finished after an
+                    # earlier shard burned the remaining budget.
+                    remaining = max(0.0, deadline - time.monotonic())
+                    if not conn.poll(remaining):
+                        self._worker_failures += 1
+                        self._worker_timeouts += 1
+                        procs[idx].terminate()
+                        continue
+                status, payload = conn.recv()
+                if status == "ok":
+                    chunk_wires[idx] = payload
+                else:
                     self._worker_failures += 1
-                except FuturesTimeout:
-                    # A wedged worker never returns and never honours
-                    # cancellation: presume the pool lost, kill it below,
-                    # and retry everything unfinished serially.
-                    self._worker_failures += 1
-                    self._worker_timeouts += 1
-                    hung = True
-        except BrokenProcessPool:
-            # The pool broke before all chunks were even submitted; every
-            # chunk without a result falls through to the serial retry.
-            self._worker_failures += 1
-        finally:
-            if hung:
-                for future in futures:
-                    future.cancel()
-                # ProcessPoolExecutor has no kill switch; terminating the
-                # worker processes directly is the only way to unwedge a
-                # hung pool without blocking shutdown forever.
-                for proc in list(getattr(pool, "_processes", {}).values()):
-                    proc.terminate()
-            pool.shutdown(wait=True, cancel_futures=True)
+            except (EOFError, OSError):
+                # The child died before reporting (crash, kill).
+                self._worker_failures += 1
+            finally:
+                conn.close()
+        for proc in procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():  # pragma: no cover - stuck in terminate
+                proc.kill()
+                proc.join(timeout=5.0)
         results: List[VictimDiagnosis] = []
         for chunk, wires in zip(chunks, chunk_wires):
             if wires is None:
@@ -894,6 +897,25 @@ def _parallel_worker_init(
 def _parallel_worker_diagnose(victims: List[Victim]) -> List[_Wire]:
     assert _WORKER_ENGINE is not None, "worker pool used before initialization"
     return [_diagnosis_to_wire(_WORKER_ENGINE.diagnose(victim)) for victim in victims]
+
+
+def _shard_worker_main(conn, init_args: tuple, victims: List[Victim]) -> None:
+    """Entry point of one shard process: init, diagnose, ship, exit.
+
+    ``_parallel_worker_init``/``_parallel_worker_diagnose`` are resolved
+    through module globals at call time, so a fork-inherited monkeypatch
+    of either (how the watchdog tests wedge a shard) takes effect here.
+    """
+    try:
+        _parallel_worker_init(*init_args)
+        conn.send(("ok", _parallel_worker_diagnose(victims)))
+    except BaseException as exc:  # pragma: no cover - crashed-shard path
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
 
 
 #: Public aliases: the wire codec doubles as the service's journal format

@@ -220,11 +220,18 @@ class StreamingDiagnosis:
         victim_pct: float = 99.0,
         workers: Optional[int] = None,
         task_timeout_s: Optional[float] = None,
+        victim_threshold_ns: Optional[int] = None,
         **engine_kwargs,
     ) -> None:
         self.trace = trace
         self.config = config or StreamingConfig()
         self.victim_pct = victim_pct
+        #: Absolute hop-latency victim threshold.  When set it replaces
+        #: the percentile rule with the prefix-stable
+        #: ``hop_latency_victims_over`` selection — required in live mode,
+        #: where chunks are diagnosed before the trace has finished
+        #: growing and a trace-global percentile would not be causal.
+        self.victim_threshold_ns = victim_threshold_ns
         #: Per-chunk diagnosis parallelism, forwarded to ``diagnose_all``.
         self.workers = workers
         #: Per-shard watchdog deadline forwarded to ``diagnose_all`` —
@@ -232,15 +239,37 @@ class StreamingDiagnosis:
         self.task_timeout_s = task_timeout_s
         #: Extra MicroscopeEngine arguments (e.g. ``memoize=False``).
         self.engine_kwargs = engine_kwargs
-        # Victim thresholds must be global, or chunk-local percentiles
-        # would flag different packets than batch mode.
-        self._all_victims = sorted(
-            VictimSelector(trace).hop_latency_victims(pct=victim_pct)
-            + VictimSelector(trace).drop_victims(),
-            key=lambda v: v.arrival_ns,
-        )
-        self._victim_arrivals = [v.arrival_ns for v in self._all_victims]
+        self._all_victims: List[Victim] = []
+        self._victim_arrivals: List[int] = []
+        self.refresh_victims()
         self._packet_index: Optional[_PacketWindowIndex] = None
+
+    def refresh_victims(self) -> None:
+        """(Re)select victims from the current trace contents.
+
+        Offline this runs once at construction.  Live mode calls it after
+        the trace grew and before diagnosing a newly sealed chunk; with an
+        absolute threshold the selection is prefix-stable, so victims in
+        already-diagnosed chunks never change — only new ones append.
+        """
+        selector = VictimSelector(self.trace)
+        if self.victim_threshold_ns is not None:
+            # Total order (not just arrival time) so the victim sequence
+            # is independent of packet-dict iteration details.
+            self._all_victims = sorted(
+                selector.hop_latency_victims_over(self.victim_threshold_ns)
+                + selector.drop_victims(),
+                key=lambda v: (v.arrival_ns, v.pid, v.nf, v.kind),
+            )
+        else:
+            # Victim thresholds must be global, or chunk-local percentiles
+            # would flag different packets than batch mode.
+            self._all_victims = sorted(
+                selector.hop_latency_victims(pct=self.victim_pct)
+                + selector.drop_victims(),
+                key=lambda v: v.arrival_ns,
+            )
+        self._victim_arrivals = [v.arrival_ns for v in self._all_victims]
         #: The carried engine (reuse mode); exposed so callers can read
         #: ``engine.cache_stats`` after a run.
         self.engine: Optional[MicroscopeEngine] = None

@@ -107,6 +107,40 @@ class VictimSelector:
                 )
         return victims
 
+    def hop_latency_victims_over(
+        self, threshold_ns: int, nf: Optional[str] = None
+    ) -> List[Victim]:
+        """Hops whose local latency meets an absolute threshold.
+
+        Unlike the percentile rule, this selection is *prefix-stable*:
+        whether a hop is a victim depends only on that hop, never on the
+        rest of the trace.  Live mode needs this — a chunk sealed from a
+        growing trace must pick exactly the victims an offline pass over
+        the finished trace would pick, which no trace-global percentile
+        can guarantee.
+        """
+        if threshold_ns <= 0:
+            raise DiagnosisError(
+                f"victim latency threshold must be positive: {threshold_ns}"
+            )
+        victims: List[Victim] = []
+        names = {nf} if nf else None
+        for packet in self.trace.packets.values():
+            for hop in packet.hops:
+                if names is not None and hop.nf not in names:
+                    continue
+                if hop.latency_ns >= threshold_ns:
+                    victims.append(
+                        Victim(
+                            pid=packet.pid,
+                            nf=hop.nf,
+                            kind="latency",
+                            arrival_ns=hop.arrival_ns,
+                            metric=float(hop.latency_ns),
+                        )
+                    )
+        return victims
+
     def _abnormal_hops(self, k: float, window: int) -> set:
         """(pid, nf) pairs whose local latency broke the rolling envelope.
 

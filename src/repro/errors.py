@@ -50,3 +50,16 @@ class CheckpointError(ServiceError):
 
 class TransientError(ServiceError):
     """A retryable stage failure (the service backs off and tries again)."""
+
+
+class IngestError(ServiceError):
+    """Live telemetry ingestion hit a non-recoverable condition."""
+
+
+class TransportError(TransientError):
+    """A telemetry transport operation failed (timeout, disconnect).
+
+    Transient by nature: the feed retries with backoff and reconnects.
+    Only after the retry budget is exhausted does it escalate to
+    :class:`IngestError`.
+    """

@@ -1,0 +1,46 @@
+"""Live telemetry ingestion: records, bounded feeds, incremental traces.
+
+The pipeline is ``transport -> TelemetryFeed -> IncrementalTrace``:
+records pulled from per-stream transports land in bounded buffers
+(backpressure or accounted shedding, never unbounded memory), then drain
+into a growing :class:`~repro.core.records.DiagTrace` behind a
+low-watermark sealing barrier.  ``repro.service`` drives the loop and
+diagnoses each chunk as it seals.
+"""
+
+from repro.ingest.records import (
+    RECORD_KINDS,
+    TelemetryRecord,
+    drop_record,
+    emit_record,
+    exit_record,
+    hop_record,
+)
+from repro.ingest.feed import (
+    DeadStreamTransport,
+    FeedConfig,
+    FeedStats,
+    FlakyTransport,
+    IngestBuffer,
+    SimTransport,
+    TelemetryFeed,
+)
+from repro.ingest.incremental import IncrementalTrace, IngestConfig
+
+__all__ = [
+    "RECORD_KINDS",
+    "TelemetryRecord",
+    "drop_record",
+    "emit_record",
+    "exit_record",
+    "hop_record",
+    "DeadStreamTransport",
+    "FeedConfig",
+    "FeedStats",
+    "FlakyTransport",
+    "IngestBuffer",
+    "SimTransport",
+    "TelemetryFeed",
+    "IncrementalTrace",
+    "IngestConfig",
+]

@@ -1,0 +1,405 @@
+"""Bounded telemetry ingestion pipeline: transports, buffers, backpressure.
+
+The feed sits between a telemetry *transport* (the network-facing side)
+and the incremental trace builder.  Its contract is the robustness core
+of live mode:
+
+* **bounded memory** — per-stream :class:`IngestBuffer`\\ s have a hard
+  record capacity; total buffered records can never exceed
+  ``streams * capacity`` no matter how the transport or a straggler
+  misbehaves (``peak_buffered`` in :class:`FeedStats` proves it);
+* **tiered overload response** — when a buffer is full the feed first
+  *backpressures*: a pull-based transport simply isn't pulled from, so
+  records wait at the source.  Only when the transport cannot hold data
+  (``can_backpressure = False``) does tier two fire: the oldest
+  *evidence* records (hops) are shed first, identity records (emits,
+  drops, exits) last, and every shed is accounted — the builder later
+  turns the resulting sequence gaps into explicit
+  :class:`~repro.collector.health.TelemetryGap` markers, and the service
+  journals them per chunk.  Nothing is ever dropped silently;
+* **flaky-transport survival** — pulls that raise
+  :class:`~repro.errors.TransportError` are retried with jittered
+  exponential backoff (the same deterministic substream-RNG pattern the
+  service uses for chunk retries) and a reconnect between attempts.
+  Because the RNG is seeded and the transport's fault schedule is seeded,
+  a crash-restarted service replays the identical pull/retry/shed
+  sequence — the property the ingest-path crash tests pin.
+
+:class:`SimTransport` replays records captured by
+:class:`~repro.nfv.tap.LiveRecordTap`; :class:`FlakyTransport` wraps any
+transport with seeded fault injection (pull failures, forced disconnects,
+record drops and duplications) for soak tests and CI chaos jobs.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field, fields
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IngestError, TransportError
+from repro.ingest.records import TelemetryRecord
+from repro.util.rng import substream
+
+
+@dataclass
+class FeedConfig:
+    """Operating parameters of one :class:`TelemetryFeed`."""
+
+    #: Hard per-stream buffer capacity, in records.
+    buffer_capacity: int = 4096
+    #: Max records pulled from one stream per pump round.
+    max_pull: int = 512
+    #: Transport retry policy (jittered exponential backoff).
+    max_retries: int = 8
+    backoff_base_s: float = 0.01
+    backoff_cap_s: float = 1.0
+    jitter_seed: int = 0
+    #: Pump rounds with an empty pull before a stream counts as stalled
+    #: (feeds the straggler-timeout decision in the builder).
+    stall_after_pumps: int = 3
+
+    def __post_init__(self) -> None:
+        if self.buffer_capacity <= 0:
+            raise IngestError(
+                f"buffer capacity must be positive: {self.buffer_capacity}"
+            )
+        if self.max_pull <= 0:
+            raise IngestError(f"max_pull must be positive: {self.max_pull}")
+
+
+@dataclass
+class FeedStats:
+    """Everything the feed did, pure ints/floats (checkpoint-safe)."""
+
+    records: int = 0
+    transport_failures: int = 0
+    retries: int = 0
+    reconnects: int = 0
+    backoff_total_s: float = 0.0
+    sheds: int = 0
+    peak_buffered: int = 0
+    pumps: int = 0
+
+    def to_payload(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class IngestBuffer:
+    """One stream's bounded FIFO of received-but-unapplied records."""
+
+    def __init__(self, stream: str, capacity: int) -> None:
+        self.stream = stream
+        self.capacity = capacity
+        self._records: Deque[TelemetryRecord] = deque()
+        #: Newest received record time (monotone; the stream watermark).
+        self.watermark = -1
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __bool__(self) -> bool:
+        return bool(self._records)
+
+    @property
+    def room(self) -> int:
+        return self.capacity - len(self._records)
+
+    def push(self, record: TelemetryRecord) -> None:
+        self._records.append(record)
+        if record.time_ns > self.watermark:
+            self.watermark = record.time_ns
+
+    def head(self) -> Optional[TelemetryRecord]:
+        return self._records[0] if self._records else None
+
+    def pop(self) -> TelemetryRecord:
+        return self._records.popleft()
+
+    def shed(self, n: int) -> List[TelemetryRecord]:
+        """Shed ``n`` records, oldest evidence (hop) records first.
+
+        Identity records (emit/drop/exit) are the packet chain's skeleton
+        — shedding a hop degrades one NF's evidence for one packet, while
+        shedding an emit orphans every downstream record of that packet.
+        So hops go first, oldest first; identity records are shed only
+        when nothing else is left.
+        """
+        if n <= 0:
+            return []
+        kept: Deque[TelemetryRecord] = deque()
+        shed: List[TelemetryRecord] = []
+        for record in self._records:
+            if len(shed) < n and record.kind == "hop":
+                shed.append(record)
+            else:
+                kept.append(record)
+        while len(shed) < n and kept:
+            shed.append(kept.popleft())
+        self._records = kept
+        return shed
+
+
+class SimTransport:
+    """Replayable pull-based transport over captured tap records.
+
+    The canonical implementation of the transport contract:
+
+    * ``streams()`` — the fixed stream name set;
+    * ``pull(stream, max_n)`` — up to ``max_n`` next records, in order;
+    * ``at_eos(stream)`` — no further records will ever arrive;
+    * ``reset()`` — replay from the beginning (what a restarted service
+      does; determinism of the replay is what makes ingest crash-safe).
+
+    ``can_backpressure`` advertises that unpulled records wait here
+    indefinitely; transports that cannot hold data (push-style, lossy
+    upstream rings) set it False and accept that the feed may shed.
+    """
+
+    def __init__(
+        self,
+        records: Sequence[TelemetryRecord],
+        streams: Sequence[str] = (),
+        can_backpressure: bool = True,
+    ) -> None:
+        self._by_stream: Dict[str, List[TelemetryRecord]] = {
+            name: [] for name in streams
+        }
+        for record in records:
+            self._by_stream.setdefault(record.stream, []).append(record)
+        self._cursor: Dict[str, int] = {name: 0 for name in self._by_stream}
+        self.can_backpressure = can_backpressure
+
+    def streams(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._by_stream))
+
+    def pull(self, stream: str, max_n: int) -> List[TelemetryRecord]:
+        records = self._by_stream[stream]
+        cursor = self._cursor[stream]
+        batch = records[cursor : cursor + max_n]
+        self._cursor[stream] = cursor + len(batch)
+        return batch
+
+    def at_eos(self, stream: str) -> bool:
+        return self._cursor[stream] >= len(self._by_stream[stream])
+
+    def reset(self) -> None:
+        for stream in self._cursor:
+            self._cursor[stream] = 0
+
+
+class DeadStreamTransport:
+    """Wrapper that silences one stream from ``after_ns`` on, without EOS.
+
+    Models a collector that died mid-run: its remaining records are never
+    delivered and the stream never reports end-of-stream — the scenario
+    the straggler timeout exists for.
+    """
+
+    def __init__(self, inner, dead_stream: str, after_ns: int) -> None:
+        self.inner = inner
+        self.dead_stream = dead_stream
+        self.after_ns = after_ns
+        self.can_backpressure = getattr(inner, "can_backpressure", True)
+
+    def streams(self) -> Tuple[str, ...]:
+        return self.inner.streams()
+
+    def pull(self, stream: str, max_n: int) -> List[TelemetryRecord]:
+        if stream != self.dead_stream:
+            return self.inner.pull(stream, max_n)
+        batch: List[TelemetryRecord] = []
+        for _ in range(max_n):
+            probe = self.inner.pull(stream, 1)
+            if not probe or probe[0].time_ns >= self.after_ns:
+                break  # anything at or past the death time is lost forever
+            batch.append(probe[0])
+        return batch
+
+    def at_eos(self, stream: str) -> bool:
+        return False if stream == self.dead_stream else self.inner.at_eos(stream)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+
+class FlakyTransport:
+    """Seeded fault-injecting wrapper around any transport.
+
+    Per pull, with independent seeded draws: ``fail_prob`` raises
+    :class:`TransportError` and drops the connection (a retry must
+    reconnect first); per record, ``drop_prob`` loses it (a sequence gap
+    the builder will account) and ``dup_prob`` delivers it twice (the
+    builder deduplicates by sequence number).  All draws come from one
+    ``substream(seed, ...)`` RNG, so two runs with the same seed — e.g. a
+    crashed service and its restart — see the identical fault schedule.
+    """
+
+    def __init__(
+        self,
+        inner,
+        fail_prob: float = 0.0,
+        drop_prob: float = 0.0,
+        dup_prob: float = 0.0,
+        seed: int = 0,
+    ) -> None:
+        self.inner = inner
+        self.fail_prob = fail_prob
+        self.drop_prob = drop_prob
+        self.dup_prob = dup_prob
+        self.seed = seed
+        self._rng = substream(seed, "flaky-transport")
+        self._connected = True
+        self.can_backpressure = getattr(inner, "can_backpressure", True)
+
+    def streams(self) -> Tuple[str, ...]:
+        return self.inner.streams()
+
+    def reconnect(self) -> None:
+        self._connected = True
+
+    def pull(self, stream: str, max_n: int) -> List[TelemetryRecord]:
+        if not self._connected:
+            raise TransportError(f"transport disconnected (stream {stream!r})")
+        if self.fail_prob and float(self._rng.random()) < self.fail_prob:
+            self._connected = False
+            raise TransportError(f"injected pull failure on stream {stream!r}")
+        batch = self.inner.pull(stream, max_n)
+        if not (self.drop_prob or self.dup_prob):
+            return batch
+        delivered: List[TelemetryRecord] = []
+        for record in batch:
+            if self.drop_prob and float(self._rng.random()) < self.drop_prob:
+                continue
+            delivered.append(record)
+            if self.dup_prob and float(self._rng.random()) < self.dup_prob:
+                delivered.append(record)
+        return delivered
+
+    def at_eos(self, stream: str) -> bool:
+        return self.inner.at_eos(stream)
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._rng = substream(self.seed, "flaky-transport")
+        self._connected = True
+
+
+class TelemetryFeed:
+    """Pulls records from a transport into bounded per-stream buffers."""
+
+    def __init__(
+        self,
+        transport,
+        config: Optional[FeedConfig] = None,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        self.transport = transport
+        self.config = config or FeedConfig()
+        self.sleep = sleep
+        self.buffers: Dict[str, IngestBuffer] = {
+            stream: IngestBuffer(stream, self.config.buffer_capacity)
+            for stream in transport.streams()
+        }
+        self.stats = FeedStats()
+        #: Shed records not yet drained by the trace source (for per-chunk
+        #: journal accounting): (stream, seq, time_ns, kind) tuples.
+        self.pending_sheds: List[Tuple[str, int, int, str]] = []
+        self._rng = substream(self.config.jitter_seed, "ingest-backoff")
+        self._stalls: Dict[str, int] = {stream: 0 for stream in self.buffers}
+
+    # -- transport side ---------------------------------------------------------
+
+    def _backoff(self, attempt: int) -> float:
+        delay = min(
+            self.config.backoff_cap_s,
+            self.config.backoff_base_s * (2.0**attempt),
+        )
+        return delay * (0.5 + float(self._rng.random()))
+
+    def _pull_with_retry(self, stream: str, max_n: int) -> List[TelemetryRecord]:
+        attempt = 0
+        while True:
+            try:
+                return self.transport.pull(stream, max_n)
+            except TransportError as exc:
+                self.stats.transport_failures += 1
+                reconnect = getattr(self.transport, "reconnect", None)
+                if reconnect is not None:
+                    reconnect()
+                    self.stats.reconnects += 1
+                if attempt >= self.config.max_retries:
+                    raise IngestError(
+                        f"stream {stream!r} failed after {attempt + 1} pull "
+                        f"attempts: {exc}"
+                    ) from exc
+                delay = self._backoff(attempt)
+                self.stats.retries += 1
+                self.stats.backoff_total_s += delay
+                if self.sleep is not None:
+                    self.sleep(delay)
+                attempt += 1
+
+    def pump(self) -> bool:
+        """One ingestion round over every stream; True if anything arrived.
+
+        Streams are visited in sorted order so the pull/fault/shed
+        sequence is deterministic.  A full buffer on a backpressure-capable
+        transport is simply skipped (tier one); on a non-backpressure
+        transport the pull proceeds and the overflow is shed with
+        accounting (tier two).
+        """
+        self.stats.pumps += 1
+        progress = False
+        backpressure = getattr(self.transport, "can_backpressure", True)
+        for stream in sorted(self.buffers):
+            buffer = self.buffers[stream]
+            if self.transport.at_eos(stream):
+                continue
+            want = self.config.max_pull
+            if backpressure:
+                want = min(want, buffer.room)
+                if want <= 0:
+                    continue  # tier one: leave records at the source
+            records = self._pull_with_retry(stream, want)
+            if not records:
+                self._stalls[stream] += 1
+                continue
+            progress = True
+            self._stalls[stream] = 0
+            self.stats.records += len(records)
+            for record in records:
+                buffer.push(record)
+            overflow = len(buffer) - buffer.capacity
+            if overflow > 0:  # tier two: shed with accounting, never grow
+                for shed in buffer.shed(overflow):
+                    self.pending_sheds.append(
+                        (shed.stream, shed.seq, shed.time_ns, shed.kind)
+                    )
+                self.stats.sheds += overflow
+        buffered = sum(len(b) for b in self.buffers.values())
+        if buffered > self.stats.peak_buffered:
+            self.stats.peak_buffered = buffered
+        return progress
+
+    # -- builder side -----------------------------------------------------------
+
+    def watermark(self, stream: str) -> int:
+        return self.buffers[stream].watermark
+
+    def at_eos(self, stream: str) -> bool:
+        return self.transport.at_eos(stream)
+
+    def stalled(self, stream: str) -> bool:
+        return self._stalls[stream] >= self.config.stall_after_pumps
+
+    def exhausted(self) -> bool:
+        """Every stream at end-of-stream with nothing left buffered."""
+        return all(
+            self.transport.at_eos(stream) and not self.buffers[stream]
+            for stream in self.buffers
+        )
+
+    def take_sheds(self) -> List[Tuple[str, int, int, str]]:
+        sheds, self.pending_sheds = self.pending_sheds, []
+        return sheds

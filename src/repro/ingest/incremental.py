@@ -1,0 +1,391 @@
+"""Incremental trace building under a low-watermark sealing barrier.
+
+:class:`IncrementalTrace` *is* a :class:`~repro.core.records.DiagTrace`
+that grows in place as telemetry records drain out of a
+:class:`~repro.ingest.feed.TelemetryFeed`.  Two invariants make the
+result interchangeable with an offline trace:
+
+* **Apply order is the global merge order.**  A record is applied only
+  once its timestamp is below the *horizon* — the minimum watermark over
+  every stream that can still deliver data — or at the horizon and
+  cleared by the name-ordered tie rule (see :meth:`IncrementalTrace._drain`),
+  and applied records are sorted by ``(time_ns, stream, seq)``.  Every
+  future record on any stream carries a timestamp at or above the horizon
+  (streams are time-monotone), so the concatenation of all apply batches
+  is one globally sorted sequence no matter how the transport interleaved
+  the streams.  On clean input that sequence reproduces the offline
+  construction order exactly — packet insertion order, hop list order,
+  per-NF stream contents — which is what the bit-identity tests pin.
+
+* **Sealing is conservative.**  Chunk ``k`` (covering
+  ``[k*chunk_ns, (k+1)*chunk_ns)``) is *sealed* — safe to diagnose,
+  journal and checkpoint — only once the applied horizon has passed its
+  end by ``seal_margin_ns``.  The margin buys the diagnosis the same
+  look-ahead the offline streaming engine gets from having the whole
+  trace: periods of chunk-``k`` victims may extend past the chunk end,
+  and sealing early would diagnose them against a still-growing tail.
+
+Degraded telemetry never crashes the builder.  Sequence gaps become
+``loss`` :class:`~repro.collector.health.TelemetryGap`\\ s, repeated
+sequence numbers are deduplicated, time regressions and malformed
+payloads are rejected with gaps, and records whose packet identity never
+arrived (the emit was lost) become ``chain-break`` gaps — all feeding the
+same :class:`~repro.collector.health.TelemetryHealth` machinery the
+tolerant reconstructor uses, so diagnosis confidence degrades instead of
+output corrupting.  A stream that stalls while its peers advance past the
+*straggler timeout* is quarantined: the barrier stops waiting for it,
+chunks seal anyway, and the quarantine gap makes the missing evidence
+explicit.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.collector.health import TelemetryGap, TelemetryHealth
+from repro.core.records import DiagTrace, NFView, PacketHop, PacketView
+from repro.errors import IngestError
+from repro.ingest.feed import TelemetryFeed
+from repro.ingest.records import TelemetryRecord
+from repro.nfv.packet import FiveTuple
+
+
+@dataclass
+class IngestConfig:
+    """Sealing-barrier parameters of one :class:`IncrementalTrace`."""
+
+    #: Chunk width — must match the diagnosing service's ``chunk_ns``.
+    chunk_ns: int = 50_000_000
+    #: How far the applied horizon must clear a chunk's end before the
+    #: chunk seals.  Must cover the longest in-flight residence a victim's
+    #: queuing period can extend past the chunk boundary.
+    seal_margin_ns: int = 100_000_000
+    #: Quarantine a stalled stream once the fastest stream leads it by
+    #: this much (None = wait forever; the default for clean transports).
+    straggler_timeout_ns: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_ns <= 0:
+            raise IngestError(f"chunk_ns must be positive: {self.chunk_ns}")
+        if self.seal_margin_ns < 0:
+            raise IngestError(
+                f"seal_margin_ns must be non-negative: {self.seal_margin_ns}"
+            )
+
+
+def _insert_sorted(stream: List[Tuple[int, int]], item: Tuple[int, int]) -> None:
+    # Departs (and usually drops) arrive already sorted; arrivals/reads
+    # ride inside hop records emitted at depart time, so they can land
+    # out of order and need the insort.
+    if not stream or item >= stream[-1]:
+        stream.append(item)
+    else:
+        bisect.insort(stream, item)
+
+
+class IncrementalTrace(DiagTrace):
+    """A DiagTrace that grows from live telemetry streams."""
+
+    def __init__(
+        self,
+        packets: Dict[int, PacketView],
+        nfs: Dict[str, NFView],
+        upstreams: Dict[str, Set[str]],
+        sources: Set[str],
+        nf_types: Optional[Dict[str, str]] = None,
+        config: Optional[IngestConfig] = None,
+    ) -> None:
+        super().__init__(
+            packets=packets,
+            nfs=nfs,
+            upstreams=upstreams,
+            sources=sources,
+            nf_types=nf_types,
+        )
+        self.config = config or IngestConfig()
+        self.health = TelemetryHealth()
+        self._next_seq: Dict[str, int] = {}
+        self._last_time: Dict[str, int] = {}
+        self._ok: Dict[str, int] = {}
+        self._lost: Dict[str, int] = {}
+        self._excluded: Set[str] = set()
+        self._applied_horizon = -1
+        self._max_depart_ns = 0
+        self._complete = False
+        self.records_applied = 0
+        self.duplicates = 0
+        self.rejects = 0
+
+    @classmethod
+    def for_topology(
+        cls, topology, config: Optional[IngestConfig] = None
+    ) -> "IncrementalTrace":
+        """Empty trace carrying the same identity ``from_sim_result`` builds."""
+        rates = dict(topology.peak_rates_pps())
+        nfs = {
+            name: NFView(name=name, peak_rate_pps=rates[name])
+            for name in topology.nfs
+        }
+        return cls(
+            packets={},
+            nfs=nfs,
+            upstreams={name: topology.predecessors(name) for name in topology.nfs},
+            sources=set(topology.sources),
+            nf_types=topology.nf_types(),
+            config=config,
+        )
+
+    # -- health accounting ------------------------------------------------------
+
+    def _degrade(self) -> None:
+        """Attach the health object on first degradation (strict until then)."""
+        if self.telemetry is None:
+            self.telemetry = self.health
+
+    def _account_loss(self, stream: str, count: int) -> None:
+        self._lost[stream] = self._lost.get(stream, 0) + count
+        ok = self._ok.get(stream, 0)
+        lost = self._lost[stream]
+        self.health.completeness[stream] = ok / (ok + lost)
+        self._degrade()
+
+    def _gap(self, stream: str, start_ns: int, end_ns: int, kind: str, count: int) -> None:
+        self.health.gaps.append(
+            TelemetryGap(
+                nf=stream,
+                start_ns=max(0, start_ns),
+                end_ns=max(0, start_ns, end_ns),
+                kind=kind,
+                count=count,
+            )
+        )
+        self._degrade()
+
+    def _reject(self, record: TelemetryRecord, kind: str) -> None:
+        self.rejects += 1
+        last = self._last_time.get(record.stream, 0)
+        self._gap(record.stream, last, record.time_ns, kind, count=1)
+        self._account_loss(record.stream, 1)
+
+    # -- ingestion --------------------------------------------------------------
+
+    def _quarantine_stragglers(self, feed: TelemetryFeed) -> None:
+        timeout = self.config.straggler_timeout_ns
+        if timeout is None:
+            return
+        watermarks = {
+            stream: feed.watermark(stream)
+            for stream in feed.buffers
+            if stream not in self._excluded
+        }
+        if not watermarks:
+            return
+        max_wm = max(watermarks.values())
+        for stream, wm in watermarks.items():
+            if feed.at_eos(stream):
+                continue
+            if feed.stalled(stream) and max_wm - wm > timeout:
+                self._excluded.add(stream)
+                self.health.quarantined.add(stream)
+                self._gap(stream, max(0, wm), max_wm, "quarantine", count=0)
+
+    def _horizon(self, feed: TelemetryFeed) -> Optional[int]:
+        """Min watermark over streams that can still deliver; None = no limit."""
+        horizon: Optional[int] = None
+        unconstrained = True
+        for stream in feed.buffers:
+            if stream in self._excluded or feed.at_eos(stream):
+                continue
+            unconstrained = False
+            wm = feed.watermark(stream)
+            if horizon is None or wm < horizon:
+                horizon = wm
+        if unconstrained:
+            return None
+        return horizon
+
+    def _drain(self, feed: TelemetryFeed, horizon: Optional[int]) -> List[TelemetryRecord]:
+        """Pop, validate and sequence-check records up to the horizon.
+
+        Records strictly below the horizon are always safe.  Records *at*
+        the horizon need the tie rule: a future record at the horizon
+        timestamp can only come from a live stream whose watermark equals
+        the horizon, and it would merge-sort after that stream's buffered
+        records (larger seq) but before any larger-named stream's.  So,
+        sweeping streams in ascending name order, horizon-timestamp
+        records drain until the first live horizon-tied stream is passed —
+        everything after it must wait.  Without this rule a burst of
+        same-timestamp records larger than the buffer deadlocks the
+        barrier: the buffer is full of records at the stream's own
+        watermark, nothing is below the horizon, and the stream can never
+        be pulled again.
+        """
+        batch: List[TelemetryRecord] = []
+        tie_open = True
+        for stream in sorted(feed.buffers):
+            buffer = feed.buffers[stream]
+            if stream in self._excluded:
+                # Quarantined evidence: drained and discarded (the
+                # quarantine gap already marks the stream untrusted).
+                while buffer:
+                    buffer.pop()
+                    self.rejects += 1
+                continue
+            live_at_horizon = (
+                horizon is not None
+                and not feed.at_eos(stream)
+                and feed.watermark(stream) == horizon
+            )
+            while buffer:
+                head = buffer.head()
+                if horizon is not None and (
+                    head.time_ns > horizon
+                    or (head.time_ns == horizon and not tie_open)
+                ):
+                    break
+                record = buffer.pop()
+                expected = self._next_seq.get(stream, 0)
+                if record.seq < expected:
+                    self.duplicates += 1
+                    continue
+                if record.seq > expected:
+                    missing = record.seq - expected
+                    self._gap(
+                        stream,
+                        self._last_time.get(stream, 0),
+                        record.time_ns,
+                        "loss",
+                        count=missing,
+                    )
+                    self._account_loss(stream, missing)
+                self._next_seq[stream] = record.seq + 1
+                if record.time_ns < self._last_time.get(stream, 0):
+                    self._reject(record, "reorder")
+                    continue
+                self._last_time[stream] = record.time_ns
+                batch.append(record)
+            if live_at_horizon:
+                # This stream may still deliver more records at exactly
+                # the horizon; larger-named streams' horizon records
+                # would sort after them, so they stay buffered.
+                tie_open = False
+        batch.sort(key=lambda record: record.merge_key)
+        return batch
+
+    def _apply(self, record: TelemetryRecord) -> bool:
+        stream = record.stream
+        if record.pid < 0:
+            self._reject(record, "loss")
+            return False
+        if record.kind == "emit":
+            if stream not in self.sources or len(record.data) != 5:
+                self._reject(record, "loss")
+                return False
+            if record.pid in self.packets:
+                self._reject(record, "loss")
+                return False
+            self.packets[record.pid] = PacketView(
+                pid=record.pid,
+                flow=FiveTuple(*record.data),
+                source=stream,
+                emitted_ns=record.time_ns,
+            )
+            return True
+        view = self.nfs.get(stream)
+        if view is None:
+            self._reject(record, "loss")
+            return False
+        packet = self.packets.get(record.pid)
+        if packet is None:
+            # The emit that named this packet never arrived: the chain is
+            # broken and the evidence cannot be attached anywhere.
+            self._reject(record, "chain-break")
+            return False
+        if record.kind == "hop":
+            if len(record.data) != 2:
+                self._reject(record, "loss")
+                return False
+            arrival_ns, read_ns = record.data
+            if not 0 <= arrival_ns <= read_ns <= record.time_ns:
+                self._reject(record, "loss")
+                return False
+            packet.hops.append(
+                PacketHop(
+                    nf=stream,
+                    arrival_ns=arrival_ns,
+                    read_ns=read_ns,
+                    depart_ns=record.time_ns,
+                )
+            )
+            _insert_sorted(view.arrivals, (arrival_ns, record.pid))
+            _insert_sorted(view.reads, (read_ns, record.pid))
+            _insert_sorted(view.departs, (record.time_ns, record.pid))
+            if record.time_ns > self._max_depart_ns:
+                self._max_depart_ns = record.time_ns
+        elif record.kind == "drop":
+            packet.dropped_at = stream
+            packet.dropped_ns = record.time_ns
+            _insert_sorted(view.drops, (record.time_ns, record.pid))
+        else:  # exit
+            packet.exited_ns = record.time_ns
+        return True
+
+    def ingest(self, feed: TelemetryFeed) -> int:
+        """Drain and apply every record below the current barrier.
+
+        Returns the number of records applied.  Call after each
+        ``feed.pump()``; safe to call when nothing advanced.
+        """
+        self._quarantine_stragglers(feed)
+        horizon = self._horizon(feed)
+        applied = 0
+        for record in self._drain(feed, horizon):
+            if self._apply(record):
+                applied += 1
+                self._ok[record.stream] = self._ok.get(record.stream, 0) + 1
+                if record.stream in self.health.completeness:
+                    ok = self._ok[record.stream]
+                    lost = self._lost.get(record.stream, 0)
+                    self.health.completeness[record.stream] = ok / (ok + lost)
+        self.records_applied += applied
+        if horizon is not None and horizon > self._applied_horizon:
+            self._applied_horizon = horizon
+        if horizon is None and all(
+            stream in self._excluded
+            or (feed.at_eos(stream) and not feed.buffers[stream])
+            for stream in feed.buffers
+        ):
+            self._complete = True
+        return applied
+
+    # -- sealing ----------------------------------------------------------------
+
+    @property
+    def complete(self) -> bool:
+        """Every stream fully delivered (or quarantined) and applied."""
+        return self._complete
+
+    def n_chunks(self) -> int:
+        """Chunk count of the trace built *so far* (grows until complete)."""
+        return max(0, self._max_depart_ns) // self.config.chunk_ns + 1
+
+    def sealed_chunks(self) -> int:
+        """Chunks safe to diagnose: barrier-cleared, or all of them at EOS."""
+        if self._complete:
+            return self.n_chunks()
+        if self._applied_horizon < 0:
+            return 0
+        sealed = (self._applied_horizon - self.config.seal_margin_ns) // self.config.chunk_ns
+        return max(0, sealed)
+
+    def ingest_stats(self) -> Dict[str, int]:
+        """Pure-int ingestion counters (checkpoint/stats safe)."""
+        return {
+            "records_applied": self.records_applied,
+            "duplicates": self.duplicates,
+            "rejects": self.rejects,
+            "gaps": len(self.health.gaps),
+            "quarantined": len(self.health.quarantined),
+        }

@@ -49,6 +49,17 @@ from repro.nfv.simulator import (
 from repro.nfv.sources import TrafficSource, constant_target, flow_hash_balancer
 from repro.nfv.topology import DEFAULT_DELAY_NS, Topology
 
+
+def __getattr__(name):
+    # Lazy: the tap pulls in repro.ingest, whose trace builder imports
+    # repro.core.records, which imports repro.nfv.packet — an eager import
+    # here would close that loop during package initialization.
+    if name == "LiveRecordTap":
+        from repro.nfv.tap import LiveRecordTap
+
+        return LiveRecordTap
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "DEFAULT_CAPACITY",
     "DEFAULT_COSTS_NS",
@@ -68,6 +79,7 @@ __all__ = [
     "InputQueue",
     "InterruptInjector",
     "InterruptSpec",
+    "LiveRecordTap",
     "Monitor",
     "NFHook",
     "NFStats",

@@ -1,0 +1,94 @@
+"""Live telemetry tap: the simulator-side record emitter.
+
+:class:`LiveRecordTap` is an :class:`~repro.nfv.nf.NFHook` (plus the
+source-side ``on_emit``/``on_exit`` callbacks the simulator offers to
+``extra_hooks``) that turns a simulation run into per-stream
+:class:`~repro.ingest.records.TelemetryRecord` sequences — the wire
+format live NFs would ship to the always-on diagnosis service.
+
+The tap is deliberately one-record-per-hop: arrival and read timestamps
+ride inside the hop record emitted at depart time, so each stream's
+records are emitted in non-decreasing time order (the event loop
+processes events in time order, and a hop record's timestamp is the
+depart event's time).  That monotonicity is what the ingestion layer's
+sequence/watermark accounting relies on.
+
+Hops still open at simulation end (queued or mid-service) emit no record,
+mirroring :meth:`DiagTrace.from_sim_result` skipping hops with missing
+read/depart times.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.ingest.records import (
+    TelemetryRecord,
+    drop_record,
+    emit_record,
+    exit_record,
+    hop_record,
+)
+from repro.nfv.packet import Packet
+
+
+class LiveRecordTap:
+    """Collects telemetry records from a simulation run, per stream."""
+
+    def __init__(self) -> None:
+        self.records: List[TelemetryRecord] = []
+        self._seq: Dict[str, int] = {}
+        # (nf, pid) -> [enqueue_ns, read_ns]; popped at depart.
+        self._open: Dict[Tuple[str, int], List[int]] = {}
+
+    def _next_seq(self, stream: str) -> int:
+        seq = self._seq.get(stream, 0)
+        self._seq[stream] = seq + 1
+        return seq
+
+    # -- source-side callbacks (simulator extra_hooks contract) ---------------
+
+    def on_emit(self, source: str, time_ns: int, packet: Packet, target: str) -> None:
+        self.records.append(
+            emit_record(
+                source, self._next_seq(source), time_ns, packet.pid,
+                packet.flow.as_tuple(),
+            )
+        )
+
+    def on_exit(self, last_nf: str, time_ns: int, packet: Packet) -> None:
+        self.records.append(
+            exit_record(last_nf, self._next_seq(last_nf), time_ns, packet.pid)
+        )
+
+    # -- NFHook interface ------------------------------------------------------
+
+    def on_enqueue(self, nf: str, time_ns: int, packet: Packet, accepted: bool) -> None:
+        if not accepted:
+            self.records.append(
+                drop_record(nf, self._next_seq(nf), time_ns, packet.pid)
+            )
+            return
+        self._open[(nf, packet.pid)] = [time_ns, -1]
+
+    def on_rx_batch(
+        self, nf: str, time_ns: int, batch: Sequence[Tuple[Packet, int]]
+    ) -> None:
+        for packet, _enq in batch:
+            hop = self._open.get((nf, packet.pid))
+            if hop is not None:
+                hop[1] = time_ns
+
+    def on_tx_batch(
+        self, nf: str, next_node: str, time_ns: int, packets: Sequence[Packet]
+    ) -> None:
+        for packet in packets:
+            hop = self._open.pop((nf, packet.pid), None)
+            if hop is None or hop[1] < 0:
+                continue  # never enqueued here, or departed without a read
+            self.records.append(
+                hop_record(
+                    nf, self._next_seq(nf), packet.pid,
+                    arrival_ns=hop[0], read_ns=hop[1], depart_ns=time_ns,
+                )
+            )

@@ -4,6 +4,9 @@ Supervises :class:`~repro.core.streaming.StreamingDiagnosis` chunk by
 chunk with a journal + checkpoint commit protocol (SIGKILL-safe at every
 point), watchdogged parallel diagnosis with retry/backoff, explicit load
 shedding, and a deterministic chaos harness for proving all of it.
+Sources are pluggable: a fixed trace replays offline, a live
+:class:`LiveTraceSource` diagnoses chunks as :mod:`repro.ingest` seals
+them from streaming telemetry.
 """
 
 from repro.service.checkpoint import (
@@ -14,6 +17,7 @@ from repro.service.checkpoint import (
 )
 from repro.service.crashsim import (
     CORRUPT_POINTS,
+    INGEST_KILL_POINTS,
     KILL_POINTS,
     TORN_POINTS,
     CrashInjector,
@@ -25,6 +29,7 @@ from repro.service.journal import (
     ResultJournal,
     chunk_record,
     decode_diagnoses,
+    tally_record,
     victim_from_wire,
     victim_to_wire,
 )
@@ -36,6 +41,8 @@ from repro.service.runner import (
     shed_victims,
 )
 from repro.service.source import (
+    FixedTraceSource,
+    LiveTraceSource,
     trace_fingerprint,
     trace_from_collected,
     trace_from_directory,
@@ -48,8 +55,11 @@ __all__ = [
     "CrashInjector",
     "CrashPlan",
     "DiagnosisService",
+    "FixedTraceSource",
     "FlakyPlan",
+    "INGEST_KILL_POINTS",
     "KILL_POINTS",
+    "LiveTraceSource",
     "LoadedCheckpoint",
     "ResultJournal",
     "ServiceConfig",
@@ -61,6 +71,7 @@ __all__ = [
     "chunk_record",
     "decode_diagnoses",
     "shed_victims",
+    "tally_record",
     "trace_fingerprint",
     "trace_from_collected",
     "trace_from_directory",

@@ -34,7 +34,10 @@ from typing import Iterator, List, Optional, Union
 from repro.errors import CheckpointError
 from repro.util.atomicio import atomic_write_bytes, sweep_temp_files
 
-CHECKPOINT_VERSION = 1
+# v2: the full culprit tally left the payload for a journalled snapshot
+# digest ({crc32, snapshot_offset}); v1 checkpoints fail validation and
+# fall through the ladder to a fresh start rather than mis-restoring.
+CHECKPOINT_VERSION = 2
 _MANIFEST = "MANIFEST.json"
 
 

@@ -50,6 +50,16 @@ KILL_POINTS: Tuple[str, ...] = (
     "after-checkpoint",  # chunk fully committed
 )
 
+#: Kill-points inside the live ingestion loop, kept separate from
+#: KILL_POINTS: an offline (fixed-trace) run never passes through them,
+#: and coverage asserts over the per-chunk protocol must not expect them.
+#: Their ``chunk`` coordinate is the next chunk awaiting sealing.
+INGEST_KILL_POINTS: Tuple[str, ...] = (
+    "ingest-pump",  # before pulling from the transport
+    "ingest-apply",  # records pulled, trace about to grow
+    "after-seal",  # a chunk cleared the barrier, diagnosis not started
+)
+
 #: Kill-points whose fault family is a torn write (prefix of the payload).
 TORN_POINTS: Tuple[str, ...] = ("mid-journal", "mid-checkpoint")
 
@@ -77,9 +87,10 @@ class CrashPlan:
     tear_fraction: float = 0.5
 
     def __post_init__(self) -> None:
-        if self.point not in KILL_POINTS:
+        if self.point not in KILL_POINTS + INGEST_KILL_POINTS:
             raise ServiceError(
-                f"unknown kill-point {self.point!r}; known: {KILL_POINTS}"
+                f"unknown kill-point {self.point!r}; known: "
+                f"{KILL_POINTS + INGEST_KILL_POINTS}"
             )
         if not (0.0 < self.tear_fraction < 1.0):
             raise ServiceError(

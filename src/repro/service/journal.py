@@ -66,9 +66,18 @@ def _tupleize(obj):
     return obj
 
 
-def chunk_record(result, shed_pids: Tuple[int, ...] = ()) -> dict:
-    """JSON body for one :class:`~repro.core.streaming.ChunkResult`."""
-    return {
+def chunk_record(
+    result, shed_pids: Tuple[int, ...] = (), ingest_sheds: Tuple = ()
+) -> dict:
+    """JSON body for one :class:`~repro.core.streaming.ChunkResult`.
+
+    ``ingest_sheds`` lists telemetry records the live feed shed under
+    overload whose timestamps fall in this chunk, as
+    ``(stream, seq, time_ns, kind)`` tuples.  The key is present only
+    when non-empty, so clean-transport live journals stay byte-identical
+    to offline ones.
+    """
+    body = {
         "start_ns": result.start_ns,
         "end_ns": result.end_ns,
         "victims": [_jsonify(victim_to_wire(v)) for v in result.victims],
@@ -79,6 +88,19 @@ def chunk_record(result, shed_pids: Tuple[int, ...] = ()) -> dict:
         "quarantined_nfs": list(result.quarantined_nfs),
         "low_evidence_culprits": result.low_evidence_culprits,
     }
+    if ingest_sheds:
+        body["ingest_sheds"] = [list(shed) for shed in ingest_sheds]
+    return body
+
+
+def tally_record(tally) -> dict:
+    """JSON body of a rolling-tally snapshot (checkpoint size bounding).
+
+    Snapshot records interleave with chunk records in the journal;
+    ``kind`` distinguishes them (chunk bodies have no ``kind`` key), and
+    readers that want diagnoses skip them.
+    """
+    return {"kind": "tally", "tally": tally.to_payload()}
 
 
 def decode_diagnoses(body: dict) -> List[VictimDiagnosis]:
@@ -171,32 +193,55 @@ class ResultJournal:
 
     # -- reading ----------------------------------------------------------------
 
-    def records(self) -> Iterator[Tuple[int, dict]]:
-        """Yield (chunk_index, body) pairs, CRC-verified."""
+    @staticmethod
+    def _decode_line(raw: bytes, where: str) -> Tuple[int, dict]:
+        try:
+            record = json.loads(raw)
+            body = record["body"]
+            crc = record["crc32"]
+            chunk_index = record["chunk"]
+        except (ValueError, KeyError, TypeError) as exc:
+            raise ServiceError(f"corrupt journal line {where}: {exc}") from exc
+        blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+        if zlib.crc32(blob.encode("utf-8")) != crc:
+            raise ServiceError(f"journal CRC mismatch at {where}")
+        return chunk_index, body
+
+    def records(self, start_offset: int = 0) -> Iterator[Tuple[int, dict]]:
+        """Yield (chunk_index, body) pairs, CRC-verified.
+
+        ``start_offset`` must be a line boundary (a previously returned
+        append/record offset); reading resumes there, which is how the
+        tally digest replays only the records after its last snapshot.
+        """
         if not self.path.exists():
             return
         with open(self.path, "rb") as handle:
+            if start_offset:
+                handle.seek(start_offset)
             for lineno, raw in enumerate(handle, 1):
-                try:
-                    record = json.loads(raw)
-                    body = record["body"]
-                    crc = record["crc32"]
-                    chunk_index = record["chunk"]
-                except (ValueError, KeyError, TypeError) as exc:
-                    raise ServiceError(
-                        f"corrupt journal line {self.path}:{lineno}: {exc}"
-                    ) from exc
-                blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
-                if zlib.crc32(blob.encode("utf-8")) != crc:
-                    raise ServiceError(
-                        f"journal CRC mismatch at {self.path}:{lineno}"
-                    )
-                yield chunk_index, body
+                yield self._decode_line(
+                    raw, f"{self.path}:{lineno}(+{start_offset}B)"
+                )
+
+    def record_at(self, offset: int) -> Tuple[int, dict, int]:
+        """The record starting at byte ``offset``: (chunk, body, next offset)."""
+        if offset >= self.size():
+            raise ServiceError(
+                f"journal {self.path} has no record at offset {offset}"
+            )
+        with open(self.path, "rb") as handle:
+            handle.seek(offset)
+            raw = handle.readline()
+            chunk_index, body = self._decode_line(raw, f"{self.path}@{offset}B")
+            return chunk_index, body, handle.tell()
 
     def diagnoses(self) -> List[VictimDiagnosis]:
-        """Every journalled diagnosis, in chunk order."""
+        """Every journalled diagnosis, in chunk order (snapshots skipped)."""
         results: List[VictimDiagnosis] = []
         for _chunk, body in self.records():
+            if "kind" in body:
+                continue  # tally snapshot, not a diagnosed chunk
             results.extend(decode_diagnoses(body))
         return results
 

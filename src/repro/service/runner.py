@@ -33,18 +33,31 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Callable, List, Optional, Tuple, Union
 
+import zlib
+
 from repro.aggregation.tallies import CulpritTally
 from repro.core.diagnosis import VictimDiagnosis
 from repro.core.records import DiagTrace
 from repro.core.streaming import StreamingConfig, StreamingDiagnosis
 from repro.core.victims import Victim
 from repro.errors import CheckpointError, ServiceError, TransientError
-from repro.service.checkpoint import CHECKPOINT_VERSION, Checkpointer
-from repro.service.journal import ResultJournal, chunk_record
-from repro.service.source import trace_fingerprint
+from repro.service.checkpoint import (
+    CHECKPOINT_VERSION,
+    Checkpointer,
+    canonical_payload_bytes,
+)
+from repro.service.journal import (
+    ResultJournal,
+    chunk_record,
+    decode_diagnoses,
+    tally_record,
+)
+from repro.service.source import FixedTraceSource, trace_fingerprint
 from repro.util.rng import substream
 
-SERVICE_STATE_VERSION = 1
+# v2: live mode (TelemetrySource-driven), absolute victim thresholds, and
+# the tally digest replacing the inline tally in checkpoint payloads.
+SERVICE_STATE_VERSION = 2
 
 
 @dataclass
@@ -55,6 +68,16 @@ class ServiceConfig:
     chunk_ns: int = 50_000_000
     margin_ns: int = 100_000_000
     victim_pct: float = 99.0
+    #: Absolute hop-latency victim threshold (ns).  When set it replaces
+    #: the percentile rule; **required in live mode**, where victim
+    #: selection must be prefix-stable (a trace-global percentile over a
+    #: still-growing trace is not causal).
+    victim_threshold_ns: Optional[int] = None
+    #: Append a rolling tally snapshot to the journal every N chunks and
+    #: checkpoint only a {crc32, snapshot_offset} digest, so checkpoint
+    #: size stays flat no matter how long the run (0 = snapshot never;
+    #: restores then replay the whole journal to rebuild the tally).
+    tally_compact_every: int = 8
     #: Per-chunk diagnosis parallelism (None = serial).
     workers: Optional[int] = None
     #: Watchdog deadline per parallel shard; a wedged worker is killed and
@@ -74,18 +97,27 @@ class ServiceConfig:
     #: fsync everything (tests on tmpfs may turn this off for speed).
     durable: bool = True
 
-    def fingerprint(self, trace: DiagTrace) -> dict:
+    def fingerprint(self, source) -> dict:
         """Identity stamped into checkpoints: resume must match exactly.
 
         Anything that changes which victims exist or how chunks are cut
-        makes old checkpoints meaningless, so it all goes in."""
+        makes old checkpoints meaningless, so it all goes in.  ``source``
+        is a TelemetrySource (fingerprinted by its own notion of
+        identity) or a bare trace."""
+        source_fp = (
+            source.fingerprint()
+            if hasattr(source, "fingerprint")
+            else trace_fingerprint(source)
+        )
         return {
             "state_version": SERVICE_STATE_VERSION,
             "chunk_ns": self.chunk_ns,
             "margin_ns": self.margin_ns,
             "victim_pct": self.victim_pct,
+            "victim_threshold_ns": self.victim_threshold_ns,
+            "tally_compact_every": self.tally_compact_every,
             "jitter_seed": self.jitter_seed,
-            "trace": trace_fingerprint(trace),
+            "trace": source_fp,
         }
 
 
@@ -120,6 +152,20 @@ class ServiceStats:
     corrupt_checkpoints: int = 0
     checkpoint_fallbacks: int = 0
     journal_bytes_truncated: int = 0
+    #: Live ingestion (absolute values synced from the TelemetrySource —
+    #: a restarted service re-ingests from the transport's beginning, so
+    #: overwrites, never accumulation, keep them restart-consistent).
+    ingest_records_applied: int = 0
+    ingest_records_pulled: int = 0
+    ingest_duplicates: int = 0
+    ingest_rejects: int = 0
+    ingest_gaps: int = 0
+    ingest_quarantined: int = 0
+    ingest_transport_failures: int = 0
+    ingest_retries: int = 0
+    ingest_reconnects: int = 0
+    ingest_sheds: int = 0
+    ingest_peak_buffered: int = 0
 
     def to_payload(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -172,14 +218,31 @@ class DiagnosisService:
 
     def __init__(
         self,
-        trace: DiagTrace,
+        trace: Union[DiagTrace, object],
         config: ServiceConfig,
         clock: Callable[[], float] = time.monotonic,
         sleep: Callable[[float], None] = time.sleep,
         faults=None,
         flaky=None,
     ) -> None:
-        self.trace = trace
+        # A bare DiagTrace is the replay path: wrap it in the fixed
+        # source so the run loop sees one TelemetrySource shape.
+        if hasattr(trace, "pump"):
+            self.source = trace
+        else:
+            self.source = FixedTraceSource(trace, chunk_ns=config.chunk_ns)
+        self.trace = self.source.trace
+        if self.source.live:
+            if self.source.chunk_ns != config.chunk_ns:
+                raise ServiceError(
+                    f"source seals {self.source.chunk_ns}ns chunks but the "
+                    f"service diagnoses {config.chunk_ns}ns chunks"
+                )
+            if config.victim_threshold_ns is None:
+                raise ServiceError(
+                    "live mode requires victim_threshold_ns: percentile "
+                    "victim selection is not causal over a growing trace"
+                )
         self.config = config
         self.clock = clock
         self.sleep = sleep
@@ -195,15 +258,19 @@ class DiagnosisService:
             state_dir / "journal.jsonl", durable=config.durable
         )
         self.stream = StreamingDiagnosis(
-            trace,
+            self.trace,
             StreamingConfig(chunk_ns=config.chunk_ns, margin_ns=config.margin_ns),
             victim_pct=config.victim_pct,
+            victim_threshold_ns=config.victim_threshold_ns,
             workers=config.workers,
             task_timeout_s=config.task_timeout_s,
         )
         self.stats = ServiceStats()
         self.tally = CulpritTally()
-        self._fingerprint = config.fingerprint(trace)
+        #: Journal offset of the newest tally snapshot (None = no snapshot
+        #: yet; tally rebuilds replay the journal from this point).
+        self._tally_ref: Optional[int] = None
+        self._fingerprint = config.fingerprint(self.source)
         self._rng = substream(config.jitter_seed, "service-backoff")
         # Engine worker counters are absolute per engine instance; the
         # service accumulates deltas so they survive engine re-opens.
@@ -232,11 +299,14 @@ class DiagnosisService:
                 )
             try:
                 discarded = self.journal.truncate_to(payload["journal_offset"])
+                tally = self._rebuild_tally(payload["tally_digest"])
             except ServiceError:
-                # Journal lost bytes this rung relies on: fall back a rung.
+                # Journal lost (or corrupted) bytes this rung relies on:
+                # fall back a rung.
                 continue
             self.stats = ServiceStats.from_payload(payload["stats"])
-            self.tally = CulpritTally.from_payload(payload["tally"])
+            self.tally = tally
+            self._tally_ref = payload["tally_digest"]["snapshot_offset"]
             self._rng.bit_generator.state = payload["rng_state"]
             self.stats.resumes += 1
             self.stats.corrupt_checkpoints += len(loaded.corrupt)
@@ -252,6 +322,40 @@ class DiagnosisService:
             self.stats.checkpoint_fallbacks += 1
         self.stats.journal_bytes_truncated += self.journal.truncate_to(0)
         return 0
+
+    def _rebuild_tally(self, digest: dict) -> CulpritTally:
+        """Reconstruct the culprit tally from its journalled snapshot.
+
+        The checkpoint carries only ``{crc32, snapshot_offset}``; the full
+        tally lives in the journal as the newest tally snapshot record,
+        plus the chunk records appended after it (replayed here — per-chunk
+        ``update`` with wire-decoded diagnoses reproduces the original
+        float accumulation exactly, since the JSON wire round-trips floats
+        bit-for-bit and preserves order).  A CRC mismatch means the
+        journal region this rung relies on was damaged: raise, so the
+        caller falls down the ladder.
+        """
+        snapshot_offset = digest["snapshot_offset"]
+        tally = CulpritTally()
+        replay_from = 0
+        if snapshot_offset is not None:
+            _chunk, body, replay_from = self.journal.record_at(snapshot_offset)
+            if body.get("kind") != "tally":
+                raise ServiceError(
+                    f"checkpoint tally digest points at offset "
+                    f"{snapshot_offset}, which is not a tally snapshot"
+                )
+            tally = CulpritTally.from_payload(body["tally"])
+        for _chunk, body in self.journal.records(start_offset=replay_from):
+            if "kind" in body:
+                continue
+            tally.update(decode_diagnoses(body))
+        crc = zlib.crc32(canonical_payload_bytes(tally.to_payload()))
+        if crc != digest["crc32"]:
+            raise ServiceError(
+                "rebuilt tally does not match the checkpointed digest CRC"
+            )
+        return tally
 
     # -- per-chunk protocol -----------------------------------------------------
 
@@ -301,17 +405,23 @@ class DiagnosisService:
         self._worker_timeouts_seen = cache.worker_timeouts
 
     def _checkpoint_payload(self, next_chunk: int, journal_offset: int) -> dict:
+        # The tally itself stays out of the payload: its size grows with
+        # the number of distinct culprits seen, which would make
+        # checkpoints grow without bound on long runs.  The digest pins
+        # the exact value (CRC over the canonical payload) while the data
+        # lives in the journal (snapshot + replayable chunk records).
+        tally_crc = zlib.crc32(canonical_payload_bytes(self.tally.to_payload()))
         return {
             "version": CHECKPOINT_VERSION,
             "fingerprint": self._fingerprint,
             "next_chunk": next_chunk,
             "journal_offset": journal_offset,
             "stats": self.stats.to_payload(),
-            "tally": self.tally.to_payload(),
+            "tally_digest": {"crc32": tally_crc, "snapshot_offset": self._tally_ref},
             "rng_state": self._rng.bit_generator.state,
         }
 
-    def _process_chunk(self, index: int) -> None:
+    def _process_chunk(self, index: int, ingest_sheds: Tuple = ()) -> None:
         faults = self.faults
         if faults is not None:
             faults.kill("chunk-start", index)
@@ -323,7 +433,9 @@ class DiagnosisService:
             faults.kill("after-diagnose", index)
         shed_pids = tuple(v.pid for v in shed)
         offset = self.journal.append(
-            index, chunk_record(result, shed_pids), faults=faults
+            index,
+            chunk_record(result, shed_pids, ingest_sheds=ingest_sheds),
+            faults=faults,
         )
         if faults is not None:
             faults.kill("after-journal", index)
@@ -331,6 +443,16 @@ class DiagnosisService:
         # checkpoint optimistically counts itself (an uncommitted one is
         # never loaded, so the restored count stays consistent).
         self.tally.update(result.diagnoses)
+        every = self.config.tally_compact_every
+        if every and (index + 1) % every == 0:
+            # Snapshot the tally *behind* the chunk record; a crash before
+            # the checkpoint truncates both away and the re-run re-appends
+            # both byte-identically.
+            snapshot_start = offset
+            offset = self.journal.append(
+                index, tally_record(self.tally), faults=faults
+            )
+            self._tally_ref = snapshot_start
         self.stats.chunks_done += 1
         self.stats.victims_diagnosed += len(result.diagnoses)
         if shed:
@@ -345,18 +467,71 @@ class DiagnosisService:
         if faults is not None:
             faults.kill("after-checkpoint", index)
 
+    # -- live mode --------------------------------------------------------------
+
+    def _sync_ingest_stats(self) -> None:
+        """Absolute overwrite from the source (replay-consistent; see stats)."""
+        for key, value in self.source.ingest_stats().items():
+            name = f"ingest_{key}"
+            if hasattr(self.stats, name):
+                setattr(self.stats, name, value)
+
+    def _run_live(self, next_chunk: int) -> int:
+        """Pump the source and diagnose chunks as the barrier seals them.
+
+        On resume (``next_chunk > 0``) the source re-ingests from the
+        transport's beginning — deterministically, since transports and
+        fault schedules are seeded — and already-journalled chunks are
+        simply skipped as they re-seal; only chunks from ``next_chunk`` on
+        are diagnosed and journalled, so no sealed chunk is ever
+        duplicated or lost.
+
+        The ingest kill-points use the next-chunk-to-diagnose as their
+        chunk coordinate (they fire between chunks, not inside one).
+        """
+        source = self.source
+        faults = self.faults
+        processed = next_chunk
+        while True:
+            if faults is not None:
+                faults.kill("ingest-pump", processed)
+            source.pump()
+            if faults is not None:
+                faults.kill("ingest-apply", processed)
+            self._sync_ingest_stats()
+            while processed < source.sealed_through():
+                index = processed
+                if faults is not None:
+                    faults.kill("after-seal", index)
+                # The trace grew since the last chunk: re-select victims
+                # (prefix-stable, so old chunks' victims never change) and
+                # re-open a fresh engine over the current trace contents.
+                self.stream.refresh_victims()
+                self.stream.open(index, generation=index)
+                self._worker_failures_seen = 0
+                self._worker_timeouts_seen = 0
+                self._process_chunk(
+                    index, ingest_sheds=source.sheds_for_chunk(index)
+                )
+                processed += 1
+            if source.exhausted() and processed >= source.final_chunks():
+                return source.final_chunks()
+
     # -- entry point ------------------------------------------------------------
 
     def run(self) -> ServiceReport:
         """Process every remaining chunk; resume from checkpoints first."""
         next_chunk = self._restore()
-        n_chunks = self.stream.n_chunks()
-        if next_chunk < n_chunks:
-            self.stream.open(next_chunk, generation=next_chunk)
-            self._worker_failures_seen = 0
-            self._worker_timeouts_seen = 0
-            for index in range(next_chunk, n_chunks):
-                self._process_chunk(index)
+        if self.source.live:
+            n_chunks = self._run_live(next_chunk)
+        else:
+            n_chunks = self.stream.n_chunks()
+            if next_chunk < n_chunks:
+                self.stream.open(next_chunk, generation=next_chunk)
+                self._worker_failures_seen = 0
+                self._worker_timeouts_seen = 0
+                for index in range(next_chunk, n_chunks):
+                    self._process_chunk(index)
         return ServiceReport(
             diagnoses=self.journal.diagnoses(),
             tally=self.tally,

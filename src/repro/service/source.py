@@ -1,11 +1,22 @@
 """Trace sources for the diagnosis service.
 
-The service diagnoses a :class:`~repro.core.records.DiagTrace`; these
-helpers produce one from the collector's persisted record streams
-(:func:`repro.collector.persistence.load_collected` ->
+The service consumes a :class:`TelemetrySource` — the seam between "where
+telemetry comes from" and "how chunks get diagnosed":
+
+* :class:`FixedTraceSource` wraps a fully materialized
+  :class:`~repro.core.records.DiagTrace` (the replay/backfill path, and
+  the only mode PR 4 had).  Every chunk is sealed up front.
+* :class:`LiveTraceSource` drives a
+  :class:`~repro.ingest.feed.TelemetryFeed` +
+  :class:`~repro.ingest.incremental.IncrementalTrace` pair: each ``pump``
+  pulls records from the transport and grows the trace, and chunks become
+  diagnosable as they clear the sealing barrier.
+
+Helpers here also produce traces from the collector's persisted record
+streams (:func:`repro.collector.persistence.load_collected` ->
 :class:`~repro.collector.reconstruct.TraceReconstructor` ->
 :meth:`~repro.core.records.DiagTrace.from_reconstruction`), which is the
-always-on deployment path: collectors persist, the service tails.
+batch deployment path: collectors persist, the service tails.
 
 Also home to :func:`trace_fingerprint`, the cheap trace identity stamped
 into every checkpoint so a resume against different data is refused
@@ -15,7 +26,7 @@ instead of silently producing a chimera of two runs.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Set, Union
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.collector.persistence import load_collected
 from repro.collector.reconstruct import (
@@ -24,6 +35,9 @@ from repro.collector.reconstruct import (
     TraceReconstructor,
 )
 from repro.core.records import DiagTrace
+from repro.errors import IngestError
+from repro.ingest.feed import TelemetryFeed
+from repro.ingest.incremental import IncrementalTrace
 
 
 def trace_fingerprint(trace: DiagTrace) -> dict:
@@ -41,6 +55,155 @@ def trace_fingerprint(trace: DiagTrace) -> dict:
         "nfs": sorted(trace.nfs),
         "events": events,
     }
+
+
+class FixedTraceSource:
+    """A fully materialized trace: everything is already sealed.
+
+    The TelemetrySource contract (duck-typed; both implementations and
+    the service agree on it):
+
+    ``trace``          the growing-or-fixed DiagTrace to diagnose
+    ``live``           False = chunk count is known up front
+    ``pump()``         advance ingestion; returns True on progress
+    ``sealed_through()``  chunks [0, n) safe to diagnose right now
+    ``exhausted()``    no further records will ever arrive
+    ``final_chunks()`` total chunk count (only valid once exhausted)
+    ``sheds_for_chunk(i)``  overload sheds whose timestamps fall in chunk i
+    ``ingest_stats()`` pure-int/float ingestion counters
+    ``fingerprint()``  restart-stable identity for checkpoint validation
+    """
+
+    live = False
+
+    def __init__(self, trace: DiagTrace, chunk_ns: int) -> None:
+        self.trace = trace
+        self.chunk_ns = chunk_ns
+
+    def pump(self) -> bool:
+        return False
+
+    def sealed_through(self) -> int:
+        return self.final_chunks()
+
+    def exhausted(self) -> bool:
+        return True
+
+    def final_chunks(self) -> int:
+        latest = 0
+        for view in self.trace.nfs.values():
+            if view.departs:
+                latest = max(latest, view.departs[-1][0])
+        return latest // self.chunk_ns + 1
+
+    def sheds_for_chunk(self, index: int) -> Tuple:
+        return ()
+
+    def ingest_stats(self) -> Dict[str, int]:
+        return {}
+
+    def fingerprint(self) -> dict:
+        return trace_fingerprint(self.trace)
+
+
+class LiveTraceSource:
+    """Feed-driven source: the trace grows as the transport delivers.
+
+    ``max_idle_pumps`` bounds how many consecutive pump rounds may make
+    no progress (no records arriving, nothing applied, nothing newly
+    sealed) before the source declares the transport wedged and raises
+    :class:`~repro.errors.IngestError` — a liveness backstop so a silent
+    transport cannot spin the service forever.  Streams that merely lag
+    are the straggler timeout's job, not this one.
+
+    The fingerprint deliberately excludes record counts: a restarted
+    service re-ingests from the transport's beginning, so identity must
+    be stable across restart (topology shape, not progress).
+    """
+
+    live = True
+
+    def __init__(
+        self,
+        feed: TelemetryFeed,
+        builder: IncrementalTrace,
+        max_idle_pumps: int = 10_000,
+    ) -> None:
+        self.feed = feed
+        self.builder = builder
+        self.max_idle_pumps = max_idle_pumps
+        self._idle_pumps = 0
+        self._sheds: List[Tuple[str, int, int, str]] = []
+
+    @property
+    def trace(self) -> IncrementalTrace:
+        return self.builder
+
+    @property
+    def chunk_ns(self) -> int:
+        return self.builder.config.chunk_ns
+
+    def pump(self) -> bool:
+        sealed_before = self.builder.sealed_chunks()
+        pulled = self.feed.pump()
+        applied = self.builder.ingest(self.feed)
+        self._sheds.extend(self.feed.take_sheds())
+        progress = bool(
+            pulled or applied or self.builder.sealed_chunks() > sealed_before
+        )
+        if progress or self.exhausted():
+            self._idle_pumps = 0
+        else:
+            self._idle_pumps += 1
+            if self._idle_pumps > self.max_idle_pumps:
+                raise IngestError(
+                    f"no ingestion progress in {self._idle_pumps} pump "
+                    f"rounds; transport appears wedged"
+                )
+        return progress
+
+    def sealed_through(self) -> int:
+        return self.builder.sealed_chunks()
+
+    def exhausted(self) -> bool:
+        return self.builder.complete
+
+    def final_chunks(self) -> int:
+        if not self.builder.complete:
+            raise IngestError("final_chunks() before the source is exhausted")
+        return self.builder.n_chunks()
+
+    def sheds_for_chunk(self, index: int) -> Tuple[Tuple[str, int, int, str], ...]:
+        chunk_ns = self.chunk_ns
+        return tuple(
+            sorted(
+                shed
+                for shed in self._sheds
+                if shed[2] // chunk_ns == index
+            )
+        )
+
+    def ingest_stats(self) -> Dict[str, int]:
+        stats = dict(self.builder.ingest_stats())
+        feed = self.feed.stats
+        stats.update(
+            {
+                "records_pulled": feed.records,
+                "transport_failures": feed.transport_failures,
+                "retries": feed.retries,
+                "reconnects": feed.reconnects,
+                "sheds": feed.sheds,
+                "peak_buffered": feed.peak_buffered,
+            }
+        )
+        return stats
+
+    def fingerprint(self) -> dict:
+        return {
+            "live": True,
+            "nfs": sorted(self.builder.nfs),
+            "sources": sorted(self.builder.sources),
+        }
 
 
 def trace_from_collected(

@@ -44,6 +44,7 @@ def run_interrupt_chain(
     duration_ns: int = 5 * MSEC,
     interrupt_at: int = 500 * USEC,
     interrupt_ns: int = 800 * USEC,
+    extra_hooks=(),
 ):
     """The quickstart scenario: NAT interrupt propagating to the VPN."""
     topo = make_chain_topology()
@@ -60,6 +61,7 @@ def run_interrupt_chain(
         injectors=[
             InterruptInjector([InterruptSpec("nat1", interrupt_at, interrupt_ns)])
         ],
+        extra_hooks=extra_hooks,
     ).run()
 
 
@@ -70,6 +72,7 @@ def run_recurring_stall_chain(
     interrupt_ns: int = 800 * USEC,
     main_rate: float = 1_000_000.0,
     probe_rate: float = 200_000.0,
+    extra_hooks=(),
 ):
     """Long-running chain with recurring NAT stalls.
 
@@ -95,6 +98,7 @@ def run_recurring_stall_chain(
             TrafficSource("src-probe", probe, constant_target("vpn1")),
         ],
         injectors=[InterruptInjector(specs)],
+        extra_hooks=extra_hooks,
     ).run()
 
 

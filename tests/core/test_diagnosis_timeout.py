@@ -36,6 +36,18 @@ def _slow_worker(victims):  # pragma: no cover - runs in a child we kill
     return diagnosis_mod._parallel_worker_diagnose_real(victims)
 
 
+#: Shard heads (first victim of a shard) allowed to run for real by
+#: ``_selective_wedge``; forked children inherit the populated set.
+_FAST_HEADS = set()
+
+
+def _selective_wedge(victims):  # pragma: no cover - runs in children
+    if victims[0] in _FAST_HEADS:
+        return diagnosis_mod._parallel_worker_diagnose_real(victims)
+    while True:
+        time.sleep(0.2)
+
+
 class TestHungWorkerWatchdog:
     def test_timeout_kills_pool_and_retries_serially(
         self, interrupt_chain_trace, victims, monkeypatch
@@ -71,6 +83,33 @@ class TestHungWorkerWatchdog:
         results = engine.diagnose_all(victims, workers=2, task_timeout_s=120.0)
         assert canonical_bytes(results) == canonical_bytes(reference)
         assert engine.cache_stats.worker_timeouts == 0
+
+    def test_only_expired_shards_killed_finished_ones_harvested(
+        self, interrupt_chain_trace, victims, monkeypatch
+    ):
+        """The watchdog is per shard: with three shards of which two wedge,
+        both wedged shards are terminated and counted individually, while
+        the healthy shard's result is harvested instead of discarded."""
+        reference = MicroscopeEngine(interrupt_chain_trace).diagnose_all(victims)
+        monkeypatch.setattr(
+            diagnosis_mod,
+            "_parallel_worker_diagnose_real",
+            diagnosis_mod._parallel_worker_diagnose,
+            raising=False,
+        )
+        monkeypatch.setattr(
+            diagnosis_mod, "_parallel_worker_diagnose", _selective_wedge
+        )
+        _FAST_HEADS.clear()
+        _FAST_HEADS.add(victims[0])  # shard 0's head: that shard runs for real
+        engine = MicroscopeEngine(interrupt_chain_trace)
+        results = engine.diagnose_all(victims, workers=3, task_timeout_s=3.0)
+        _FAST_HEADS.clear()
+        assert canonical_bytes(results) == canonical_bytes(reference)
+        stats = engine.cache_stats
+        # One timeout per wedged shard — not one for the whole pool.
+        assert stats.worker_timeouts == 2
+        assert stats.worker_failures >= stats.worker_timeouts
 
     def test_timeout_applies_per_task_not_total(
         self, interrupt_chain_trace, victims, monkeypatch

@@ -1,0 +1,184 @@
+"""TelemetryFeed: bounded buffers, tiered overload, retry/reconnect.
+
+The memory bound is the headline property: no transport behavior — bursts,
+stalls, refusal to backpressure — may ever push buffered records past
+``streams * buffer_capacity``.  Tier one (backpressure) leaves records at
+the source; tier two (shed) drops with full accounting, evidence first.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IngestError, TransportError
+from repro.ingest import (
+    FeedConfig,
+    FlakyTransport,
+    IngestBuffer,
+    SimTransport,
+    TelemetryFeed,
+    emit_record,
+    exit_record,
+    hop_record,
+)
+
+
+def hop_burst(stream: str, n: int, start_ns: int = 0, step_ns: int = 10):
+    return [
+        hop_record(
+            stream, seq, seq,
+            arrival_ns=start_ns + seq * step_ns,
+            read_ns=start_ns + seq * step_ns + 1,
+            depart_ns=start_ns + seq * step_ns + 2,
+        )
+        for seq in range(n)
+    ]
+
+
+def drain(feed: TelemetryFeed) -> int:
+    """Pop everything currently buffered; returns the count."""
+    popped = 0
+    for buffer in feed.buffers.values():
+        while buffer:
+            buffer.pop()
+            popped += 1
+    return popped
+
+
+class TestBufferBounds:
+    def test_backpressure_never_overflows_and_never_sheds(self):
+        records = hop_burst("a", 100) + hop_burst("b", 100)
+        feed = TelemetryFeed(
+            SimTransport(records),
+            FeedConfig(buffer_capacity=8, max_pull=64),
+        )
+        for _ in range(50):  # no draining: buffers fill and stay full
+            feed.pump()
+            assert all(len(b) <= 8 for b in feed.buffers.values())
+        assert feed.stats.sheds == 0
+        assert feed.stats.peak_buffered <= 2 * 8
+        # The unpulled records waited at the source: drain and re-pump
+        # until every record arrives — none were lost.
+        delivered = drain(feed)
+        while not feed.exhausted():
+            feed.pump()
+            delivered += drain(feed)
+        assert delivered == 200
+
+    def test_shed_tier_bounds_memory_with_accounting(self):
+        records = hop_burst("a", 100)
+        feed = TelemetryFeed(
+            SimTransport(records, can_backpressure=False),
+            FeedConfig(buffer_capacity=8, max_pull=64),
+        )
+        while not feed.transport.at_eos("a"):
+            feed.pump()
+            assert all(len(b) <= 8 for b in feed.buffers.values())
+        assert feed.stats.sheds > 0
+        sheds = feed.take_sheds()
+        assert len(sheds) == feed.stats.sheds
+        for stream, seq, time_ns, kind in sheds:
+            assert stream == "a" and kind == "hop"
+            assert 0 <= seq < 100 and time_ns >= 0
+        assert feed.take_sheds() == []  # drained exactly once
+
+    def test_shed_prefers_evidence_over_identity(self):
+        buffer = IngestBuffer("a", capacity=10)
+        buffer.push(emit_record("a", 0, 0, 0, (1, 2, 3, 4, 5)))
+        buffer.push(hop_record("a", 1, 0, 10, 11, 12))
+        buffer.push(hop_record("a", 2, 0, 20, 21, 22))
+        buffer.push(exit_record("a", 3, 30, 0))
+        first = buffer.shed(2)
+        assert [r.kind for r in first] == ["hop", "hop"]
+        assert [r.seq for r in first] == [1, 2]  # oldest evidence first
+        second = buffer.shed(2)  # only identity records remain
+        assert [r.kind for r in second] == ["emit", "exit"]
+        assert not buffer
+
+
+class _AlwaysFailTransport:
+    can_backpressure = True
+
+    def __init__(self):
+        self.reconnects = 0
+
+    def streams(self):
+        return ("a",)
+
+    def pull(self, stream, max_n):
+        raise TransportError("wire is down")
+
+    def at_eos(self, stream):
+        return False
+
+    def reconnect(self):
+        self.reconnects += 1
+
+
+class TestRetryReconnect:
+    def test_flaky_pulls_retried_to_full_delivery(self):
+        records = hop_burst("a", 100) + hop_burst("b", 100)
+        transport = FlakyTransport(SimTransport(records), fail_prob=0.3, seed=3)
+        sleeps = []
+        feed = TelemetryFeed(
+            transport, FeedConfig(max_pull=16), sleep=sleeps.append
+        )
+        delivered = 0
+        while not feed.exhausted():
+            feed.pump()
+            delivered += drain(feed)
+        assert delivered == 200
+        assert feed.stats.transport_failures > 0
+        assert feed.stats.reconnects == feed.stats.transport_failures
+        assert feed.stats.retries == feed.stats.transport_failures
+        assert feed.stats.backoff_total_s == pytest.approx(sum(sleeps))
+
+    def test_retries_exhausted_raises_ingest_error(self):
+        transport = _AlwaysFailTransport()
+        feed = TelemetryFeed(
+            transport, FeedConfig(max_retries=2), sleep=lambda s: None
+        )
+        with pytest.raises(IngestError, match="after 3 pull attempts"):
+            feed.pump()
+        assert feed.stats.transport_failures == 3
+        assert transport.reconnects == 3  # every failure reconnects first
+
+    def test_backoff_is_jittered_exponential(self):
+        sleeps = []
+        feed = TelemetryFeed(
+            _AlwaysFailTransport(),
+            FeedConfig(max_retries=3, backoff_base_s=0.1, backoff_cap_s=10.0),
+            sleep=sleeps.append,
+        )
+        with pytest.raises(IngestError):
+            feed.pump()
+        assert len(sleeps) == 3
+        for attempt, delay in enumerate(sleeps):
+            nominal = 0.1 * (2.0**attempt)
+            assert 0.5 * nominal <= delay <= 1.5 * nominal
+        assert sleeps[2] > sleeps[0]
+
+
+class TestStallTracking:
+    def test_silent_stream_counts_as_stalled(self):
+        from repro.ingest import DeadStreamTransport
+
+        records = hop_burst("a", 10) + hop_burst("b", 10)
+        transport = DeadStreamTransport(SimTransport(records), "b", after_ns=0)
+        feed = TelemetryFeed(transport, FeedConfig(stall_after_pumps=3))
+        assert not feed.stalled("b")
+        for _ in range(3):
+            feed.pump()
+        assert feed.stalled("b")
+        assert not feed.at_eos("b")  # stalled, not finished: the
+        # distinction the straggler timeout keys on
+
+
+class TestFeedConfigValidation:
+    def test_buffer_capacity_must_be_positive(self):
+        with pytest.raises(IngestError, match="buffer capacity"):
+            FeedConfig(buffer_capacity=0)
+
+    def test_max_pull_must_be_positive(self):
+        with pytest.raises(IngestError, match="max_pull"):
+            FeedConfig(max_pull=0)

@@ -1,0 +1,252 @@
+"""IncrementalTrace: live construction equals offline, degraded inputs
+become health accounting, and the sealing barrier stays conservative.
+
+The clean-input equivalence tests are the foundation of the live-mode
+acceptance criterion: if the builder reproduces ``DiagTrace.from_sim_result``
+*exactly* — packet insertion order, hop lists, per-NF event streams — then
+a live service run over the same telemetry is byte-identical to an
+offline one (pinned end-to-end in ``tests/service/test_live_service.py``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.records import DiagTrace
+from repro.errors import IngestError
+from repro.ingest import (
+    DeadStreamTransport,
+    FeedConfig,
+    FlakyTransport,
+    IncrementalTrace,
+    IngestConfig,
+    SimTransport,
+    TelemetryFeed,
+    TelemetryRecord,
+    emit_record,
+    hop_record,
+)
+from repro.nfv.tap import LiveRecordTap
+from repro.util.timebase import MSEC
+from tests.conftest import MAIN_FLOW, make_chain_topology, run_interrupt_chain
+
+CHUNK_NS = 1 * MSEC
+MARGIN_NS = 5 * MSEC
+
+
+@pytest.fixture(scope="module")
+def tapped_run():
+    """(records, offline trace) from one tapped interrupt-chain run."""
+    tap = LiveRecordTap()
+    result = run_interrupt_chain(extra_hooks=[tap])
+    return tap.records, DiagTrace.from_sim_result(result)
+
+
+def build_live(
+    records,
+    transport=None,
+    feed_config=None,
+    config=None,
+    max_pumps=100_000,
+):
+    """Pump a feed into a fresh builder until the stream set completes."""
+    transport = transport if transport is not None else SimTransport(records)
+    feed = TelemetryFeed(transport, feed_config or FeedConfig())
+    builder = IncrementalTrace.for_topology(
+        make_chain_topology(),
+        config or IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS),
+    )
+    for _ in range(max_pumps):
+        feed.pump()
+        builder.ingest(feed)
+        if builder.complete:
+            return builder, feed
+    raise AssertionError("builder never completed")
+
+
+def assert_traces_identical(live: DiagTrace, offline: DiagTrace) -> None:
+    """Field-for-field equality, including dict insertion order."""
+    assert list(live.packets) == list(offline.packets)
+    for pid, expected in offline.packets.items():
+        built = live.packets[pid]
+        assert built.flow == expected.flow
+        assert built.source == expected.source
+        assert built.emitted_ns == expected.emitted_ns
+        assert built.hops == expected.hops
+        assert built.dropped_at == expected.dropped_at
+        assert built.dropped_ns == expected.dropped_ns
+        assert built.exited_ns == expected.exited_ns
+    assert set(live.nfs) == set(offline.nfs)
+    for name, expected in offline.nfs.items():
+        built = live.nfs[name]
+        assert built.arrivals == expected.arrivals
+        assert built.reads == expected.reads
+        assert built.departs == expected.departs
+        assert built.drops == expected.drops
+        assert built.peak_rate_pps == expected.peak_rate_pps
+    assert live.upstreams == offline.upstreams
+    assert live.sources == offline.sources
+
+
+class TestCleanEquivalence:
+    def test_matches_offline_exactly(self, tapped_run):
+        records, offline = tapped_run
+        builder, _feed = build_live(records)
+        assert builder.telemetry is None, "clean input must stay strict"
+        assert_traces_identical(builder, offline)
+        assert builder.records_applied == len(records)
+        assert builder.duplicates == 0 and builder.rejects == 0
+
+    def test_equivalence_independent_of_batching(self, tapped_run):
+        """Tiny buffers and odd pull sizes change the interleaving the
+        builder sees, never the trace it builds."""
+        records, offline = tapped_run
+        builder, _feed = build_live(
+            records, feed_config=FeedConfig(buffer_capacity=64, max_pull=17)
+        )
+        assert builder.telemetry is None
+        assert_traces_identical(builder, offline)
+
+    def test_sealing_monotone_and_conservative(self, tapped_run):
+        records, _offline = tapped_run
+        feed = TelemetryFeed(SimTransport(records), FeedConfig())
+        builder = IncrementalTrace.for_topology(
+            make_chain_topology(),
+            IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS),
+        )
+        sealed_prev = 0
+        for _ in range(100_000):
+            feed.pump()
+            builder.ingest(feed)
+            sealed = builder.sealed_chunks()
+            assert sealed >= sealed_prev, "sealing must never retract"
+            assert sealed <= builder.n_chunks()
+            sealed_prev = sealed
+            if builder.complete:
+                break
+        assert builder.complete
+        assert builder.sealed_chunks() == builder.n_chunks()
+
+
+def _one_packet_records(depart_ns):
+    """An emit at src-main plus a single nat1 hop departing at depart_ns."""
+    flow = tuple(MAIN_FLOW.as_tuple())
+    return [
+        emit_record("src-main", 0, 0, 0, flow),
+        hop_record(
+            "nat1", 0, 0,
+            arrival_ns=max(0, depart_ns - 500),
+            read_ns=max(0, depart_ns - 200),
+            depart_ns=depart_ns,
+        ),
+    ]
+
+
+class TestChunkBoundaries:
+    def test_depart_at_exact_boundary_lands_in_next_chunk(self):
+        builder, _feed = build_live(_one_packet_records(CHUNK_NS))
+        assert builder.n_chunks() == 2
+
+    def test_depart_just_before_boundary_stays_in_chunk(self):
+        builder, _feed = build_live(_one_packet_records(CHUNK_NS - 1))
+        assert builder.n_chunks() == 1
+
+    def test_empty_chunks_still_counted(self):
+        """A long quiet gap yields chunks with no events, not fewer chunks."""
+        flow = tuple(MAIN_FLOW.as_tuple())
+        records = [
+            emit_record("src-main", 0, 0, 0, flow),
+            emit_record("src-main", 1, 10 * CHUNK_NS, 1, flow),
+            hop_record("nat1", 0, 0, 100, 200, 300),
+            hop_record("nat1", 1, 1, 10 * CHUNK_NS, 10 * CHUNK_NS + 1,
+                       10 * CHUNK_NS + 5),
+        ]
+        builder, _feed = build_live(records)
+        assert builder.n_chunks() == 11
+        assert builder.sealed_chunks() == 11
+        assert len(builder.nfs["nat1"].departs) == 2
+
+
+class TestDegradedTelemetry:
+    def test_dropped_records_become_loss_gaps(self, tapped_run):
+        records, _offline = tapped_run
+        transport = FlakyTransport(SimTransport(records), drop_prob=0.05, seed=7)
+        builder, _feed = build_live(transport=transport, records=records)
+        assert builder.telemetry is builder.health
+        assert any(gap.kind == "loss" for gap in builder.health.gaps)
+        assert builder.health.completeness
+        assert all(0.0 < c < 1.0 for c in builder.health.completeness.values())
+        assert builder.ingest_stats()["gaps"] > 0
+
+    def test_duplicates_deduplicated_exactly(self, tapped_run):
+        """Transport-level duplication is absorbed without degrading: the
+        built trace is still bit-equal to offline and stays strict."""
+        records, offline = tapped_run
+        transport = FlakyTransport(SimTransport(records), dup_prob=0.1, seed=3)
+        builder, _feed = build_live(transport=transport, records=records)
+        assert builder.duplicates > 0
+        assert builder.telemetry is None
+        assert_traces_identical(builder, offline)
+
+    def test_dead_stream_quarantined_run_completes(self, tapped_run):
+        records, _offline = tapped_run
+        transport = DeadStreamTransport(
+            SimTransport(records), "src-probe", after_ns=2 * MSEC
+        )
+        builder, _feed = build_live(
+            transport=transport,
+            records=records,
+            config=IngestConfig(
+                chunk_ns=CHUNK_NS,
+                seal_margin_ns=MARGIN_NS,
+                straggler_timeout_ns=1 * MSEC,
+            ),
+        )
+        assert builder.complete
+        assert builder.health.quarantined == {"src-probe"}
+        assert any(gap.kind == "quarantine" for gap in builder.health.gaps)
+        # Probe packets past the death point lost their emit: downstream
+        # hop/exit evidence is a chain-break, never silent corruption.
+        assert any(gap.kind == "chain-break" for gap in builder.health.gaps)
+        assert builder.ingest_stats()["quarantined"] == 1
+
+    def test_dead_stream_without_timeout_blocks_forever(self, tapped_run):
+        """No straggler timeout means the barrier waits — completion never
+        comes, and nothing past the dead stream's watermark is applied."""
+        records, _offline = tapped_run
+        transport = DeadStreamTransport(
+            SimTransport(records), "src-probe", after_ns=2 * MSEC
+        )
+        feed = TelemetryFeed(transport, FeedConfig())
+        builder = IncrementalTrace.for_topology(
+            make_chain_topology(),
+            IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS),
+        )
+        for _ in range(50):
+            feed.pump()
+            builder.ingest(feed)
+        assert not builder.complete
+        assert "src-probe" not in builder.health.quarantined
+
+    def test_malformed_payload_rejected_with_gap(self):
+        records = _one_packet_records(CHUNK_NS) + [
+            TelemetryRecord(stream="nat1", seq=1, kind="hop",
+                            time_ns=CHUNK_NS + 10, pid=0, data=(1,)),
+        ]
+        builder, _feed = build_live(records)
+        assert builder.rejects == 1
+        assert builder.telemetry is builder.health
+
+
+class TestConfigValidation:
+    def test_chunk_ns_must_be_positive(self):
+        with pytest.raises(IngestError, match="chunk_ns"):
+            IngestConfig(chunk_ns=0)
+
+    def test_seal_margin_must_be_non_negative(self):
+        with pytest.raises(IngestError, match="seal_margin_ns"):
+            IngestConfig(seal_margin_ns=-1)
+
+    def test_unknown_record_kind_rejected(self):
+        with pytest.raises(IngestError, match="kind"):
+            TelemetryRecord(stream="a", seq=0, kind="bogus", time_ns=0, pid=0)

@@ -1,0 +1,156 @@
+"""Rolling tally digest: bounded checkpoints on unbounded runs.
+
+Checkpoints carry only ``{crc32, snapshot_offset}`` for the culprit
+tally; the data itself lives in the journal (periodic snapshot records
+plus the replayable chunk records behind them).  These tests pin the
+size regression — checkpoint bytes must not grow with chunk count or
+with the number of distinct culprits seen — and the restore path that
+rebuilds the exact tally from snapshot + replay.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    CrashInjector,
+    CrashPlan,
+    DiagnosisService,
+    ServiceConfig,
+    SimulatedCrash,
+)
+from repro.util.timebase import MSEC, USEC
+from tests.core.test_streaming_fastpath import canonical_bytes
+
+MARGIN_NS = 5 * MSEC
+
+
+def config(tmp_path, chunk_ns=1 * MSEC, **kwargs) -> ServiceConfig:
+    kwargs.setdefault("durable", False)
+    return ServiceConfig(
+        state_dir=tmp_path / "state",
+        chunk_ns=chunk_ns,
+        margin_ns=MARGIN_NS,
+        **kwargs,
+    )
+
+
+def newest_payload(service) -> dict:
+    loaded = next(iter(service.checkpointer.load_ladder()))
+    return loaded.payload
+
+
+class TestBoundedCheckpoints:
+    def test_checkpoint_carries_digest_not_tally(
+        self, tmp_path, interrupt_chain_trace
+    ):
+        service = DiagnosisService(
+            interrupt_chain_trace, config(tmp_path, tally_compact_every=2)
+        )
+        service.run()
+        payload = newest_payload(service)
+        assert "tally" not in payload
+        digest = payload["tally_digest"]
+        assert set(digest) == {"crc32", "snapshot_offset"}
+        assert digest["snapshot_offset"] is not None  # >= one snapshot
+
+    def test_checkpoint_bytes_flat_across_chunk_counts(
+        self, tmp_path, interrupt_chain_trace
+    ):
+        """~100 chunks must checkpoint in the same bytes as ~6: nothing in
+        the payload may scale with run length."""
+        short = DiagnosisService(
+            interrupt_chain_trace, config(tmp_path / "short")
+        )
+        short_report = short.run()
+        long = DiagnosisService(
+            interrupt_chain_trace, config(tmp_path / "long", chunk_ns=50 * USEC)
+        )
+        long_report = long.run()
+        assert long_report.n_chunks >= 100 > short_report.n_chunks
+        assert long_report.stats.checkpoint_bytes <= (
+            short_report.stats.checkpoint_bytes + 256
+        )
+        assert long_report.stats.checkpoint_bytes < 4096
+
+    def test_snapshots_appended_every_n_chunks(
+        self, tmp_path, interrupt_chain_trace
+    ):
+        service = DiagnosisService(
+            interrupt_chain_trace, config(tmp_path, tally_compact_every=2)
+        )
+        report = service.run()
+        snapshots = [
+            body
+            for _index, body in service.journal.records()
+            if body.get("kind") == "tally"
+        ]
+        assert len(snapshots) == report.n_chunks // 2
+        # Snapshot records never leak into the diagnosis stream.
+        assert len(service.journal.diagnoses()) == len(report.diagnoses)
+
+    def test_compact_every_zero_never_snapshots(
+        self, tmp_path, interrupt_chain_trace
+    ):
+        service = DiagnosisService(
+            interrupt_chain_trace, config(tmp_path, tally_compact_every=0)
+        )
+        service.run()
+        assert all(
+            "kind" not in body for _index, body in service.journal.records()
+        )
+        assert newest_payload(service)["tally_digest"]["snapshot_offset"] is None
+
+
+class TestRestoreRebuildsTally:
+    @pytest.fixture(scope="class")
+    def reference(self, interrupt_chain_trace, tmp_path_factory):
+        service = DiagnosisService(
+            interrupt_chain_trace,
+            config(tmp_path_factory.mktemp("tally-ref"), tally_compact_every=2),
+        )
+        report = service.run()
+        return {
+            "tally": report.tally,
+            "canon": canonical_bytes(report.diagnoses),
+            "journal": service.journal.read_bytes(),
+        }
+
+    @pytest.mark.parametrize("compact_every", [0, 2])
+    def test_crash_restore_tally_exact(
+        self, tmp_path, interrupt_chain_trace, reference, compact_every
+    ):
+        """Snapshot + replay (or full replay when snapshots are off)
+        reproduces the crashed run's tally bit-for-bit."""
+        armed = DiagnosisService(
+            interrupt_chain_trace,
+            config(tmp_path, tally_compact_every=compact_every),
+            faults=CrashInjector(CrashPlan("chunk-start", 4)),
+        )
+        with pytest.raises(SimulatedCrash):
+            armed.run()
+        recovered = DiagnosisService(
+            interrupt_chain_trace,
+            config(tmp_path, tally_compact_every=compact_every),
+        )
+        report = recovered.run()
+        assert report.stats.resumes == 1
+        assert report.tally == reference["tally"]
+        assert canonical_bytes(report.diagnoses) == reference["canon"]
+        if compact_every == 2:
+            assert recovered.journal.read_bytes() == reference["journal"]
+
+    def test_compaction_cadence_is_fingerprinted(
+        self, tmp_path, interrupt_chain_trace
+    ):
+        """Changing the snapshot cadence changes where journal offsets
+        land, so resuming across it must be refused, not attempted."""
+        from repro.errors import CheckpointError
+
+        DiagnosisService(
+            interrupt_chain_trace, config(tmp_path, tally_compact_every=2)
+        ).run()
+        with pytest.raises(CheckpointError):
+            DiagnosisService(
+                interrupt_chain_trace, config(tmp_path, tally_compact_every=3)
+            ).run()
