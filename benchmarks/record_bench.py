@@ -271,6 +271,124 @@ def bench_streaming(repeats: int, trace) -> dict:
     }
 
 
+def bench_columnar(repeats: int, trace, threshold_ns: int = 50_000) -> dict:
+    """Columnar-core throughput and shm-dispatch scaling (ISSUE 6).
+
+    End-to-end means everything a cold diagnosis pass pays: building the
+    columnar twin from the object trace, selecting threshold victims from
+    the columns, and serially diagnosing all of them.  Throughput is
+    reported in packet-hops/sec over that wall time.
+
+    The scaling curve times ``diagnose_all`` at 1/2/4/8 workers on the
+    same (>= 1k) victim population and records the per-task dispatch
+    payload of the shared-memory path.  Speedups are whatever this
+    machine delivers — ``cpus`` is recorded next to them, since a
+    single-core container cannot show parallel gains.
+    """
+    cols = trace.columns()
+    if cols is None:
+        return {"skipped": "columnar backend unavailable"}
+    n_hops = int(len(cols.hop_arrival))
+    nf = max(trace.nfs, key=lambda name: len(trace.nfs[name].arrivals))
+
+    def end_to_end():
+        # Cold pass: invalidate the cached columns so the build is billed.
+        trace._columns_cache = None
+        trace._columns_built_at = -1
+        built = trace.columns()
+        victims = VictimSelector(trace).hop_latency_victims_over(
+            threshold_ns, nf=nf
+        )
+        diags = MicroscopeEngine(trace).diagnose_all(victims)
+        return built, victims, diags
+
+    end_to_end_s, (_built, victims, serial_diags) = timed(end_to_end, repeats)
+    reference = canonical_bytes(serial_diags)
+    # Work measure: packet-hops the diagnosis actually examined — every
+    # buildup packet of every victim period plus every attributed pid
+    # across the recursion.  The raw trace size (``n_hops``) understates
+    # the workload by orders of magnitude when victims share hot periods.
+    processed_hops = sum(
+        (d.period.n_input if d.period is not None else 0)
+        + sum(len(c.culprit_pids) for c in d.culprits)
+        for d in serial_diags
+    )
+
+    # Oracle cross-check: the object backend must produce the same bytes
+    # (and shows what the vectorized core replaced).
+    backend_before = os.environ.get("REPRO_TRACE_BACKEND")
+    os.environ["REPRO_TRACE_BACKEND"] = "python"
+    try:
+        oracle_trace = DiagTrace(
+            packets=trace.packets,
+            nfs=trace.nfs,
+            upstreams=trace.upstreams,
+            sources=trace.sources,
+            nf_types=trace.nf_types,
+            telemetry=trace.telemetry,
+        )
+        oracle_s, oracle_diags = timed(
+            lambda: MicroscopeEngine(oracle_trace).diagnose_all(
+                VictimSelector(oracle_trace).hop_latency_victims_over(
+                    threshold_ns, nf=nf
+                )
+            ),
+            max(1, repeats - 2),
+        )
+    finally:
+        if backend_before is None:
+            os.environ.pop("REPRO_TRACE_BACKEND", None)
+        else:
+            os.environ["REPRO_TRACE_BACKEND"] = backend_before
+    if canonical_bytes(oracle_diags) != reference:
+        raise SystemExit("FATAL: columnar backend differs from python oracle")
+
+    scaling = {}
+    serial_1w_s = None
+    for workers in (1, 2, 4, 8):
+        engine = MicroscopeEngine(trace)
+        wall_s, diags = timed(
+            lambda e=engine, w=workers: e.diagnose_all(victims, workers=w),
+            max(1, repeats - 2),
+        )
+        if canonical_bytes(diags) != reference:
+            raise SystemExit(
+                f"FATAL: parallel output differs at {workers} workers"
+            )
+        if workers == 1:
+            serial_1w_s = wall_s
+        entry = {"wall_s": round(wall_s, 6)}
+        if workers > 1:
+            entry["speedup_vs_1w"] = round(serial_1w_s / wall_s, 2)
+            entry["dispatch_mode"] = engine.last_dispatch["mode"]
+            entry["payload_bytes_per_task"] = engine.last_dispatch[
+                "payload_bytes_per_task"
+            ]
+        scaling[f"{workers}w"] = entry
+
+    return {
+        "workload": "interrupt chain 20ms, columnar end-to-end",
+        "threshold_ns": threshold_ns,
+        "victim_nf": nf,
+        "n_victims": len(victims),
+        "n_packet_hops": n_hops,
+        "end_to_end": {
+            "wall_s": round(end_to_end_s, 6),
+            "trace_packet_hops_per_s": round(n_hops / end_to_end_s, 1),
+            "processed_packet_hops": int(processed_hops),
+            "processed_packet_hops_per_s": round(processed_hops / end_to_end_s, 1),
+            "includes": ["columns build", "victim selection", "serial diagnose_all"],
+        },
+        "oracle": {
+            "python_backend_s": round(oracle_s, 6),
+            "columnar_speedup": round(oracle_s / end_to_end_s, 2),
+            "output_identical": True,
+        },
+        "worker_scaling": scaling,
+        "cpus": os.cpu_count(),
+    }
+
+
 def bench_analyzer_build(repeats: int) -> dict:
     """Cold/warm QueuingAnalyzer index build, python vs numpy backend."""
     view = synthetic_view()
@@ -382,6 +500,12 @@ def main() -> int:
     print(json.dumps(service["timings"], indent=2))
     print(json.dumps(service["overhead"], indent=2))
 
+    print("benchmarking columnar core + shm dispatch ...", flush=True)
+    columnar = bench_columnar(args.repeats, trace)
+    if "end_to_end" in columnar:
+        print(json.dumps(columnar["end_to_end"], indent=2))
+        print(json.dumps(columnar["worker_scaling"], indent=2))
+
     print("benchmarking analyzer index build ...", flush=True)
     analyzer_build = bench_analyzer_build(args.repeats)
     print(json.dumps(analyzer_build["timings"], indent=2))
@@ -390,7 +514,7 @@ def main() -> int:
     fast = timings["serial_memoized_cold_s"]
     record = {
         "benchmark": "diagnose_all interrupt-chain 20ms",
-        "issue": 2,
+        "issue": 6,
         "n_victims": len(victims),
         "n_packets": len(trace.packets),
         "timings": {k: round(v, 6) for k, v in sorted(timings.items())},
@@ -419,6 +543,7 @@ def main() -> int:
         "output_identical_across_modes": True,
         "streaming": streaming,
         "service": service,
+        "columnar": columnar,
         "analyzer_build": analyzer_build,
         "environment": {
             "python": platform.python_version(),

@@ -1,14 +1,30 @@
 """Microscope's core diagnosis: queuing periods, scores, propagation,
 recursion, victim selection and reporting."""
 
-from repro.core.diagnosis import CacheStats, Culprit, MicroscopeEngine, VictimDiagnosis
+from repro.core.columnar import (
+    AttachedTrace,
+    ColumnarPathDecomposition,
+    TraceColumns,
+    attach_trace,
+    columnar_enabled,
+    default_trace_backend,
+    share_trace,
+)
+from repro.core.diagnosis import (
+    CacheStats,
+    Culprit,
+    MicroscopeEngine,
+    VictimDiagnosis,
+    resolve_auto_workers,
+)
 from repro.core.explain import explain, explain_many
-from repro.core.local import LocalScores, local_scores
+from repro.core.local import LocalScores, local_scores, local_scores_batch
 from repro.core.propagation import (
     EntityShare,
     PathAttribution,
     PathDecomposition,
     attribute_reductions,
+    make_decomposition,
     propagation_scores,
 )
 from repro.core.queuing import QueuingAnalyzer, QueuingPeriod, periods_from_batches
@@ -24,11 +40,14 @@ from repro.core.report import (
 from repro.core.victims import Victim, VictimSelector
 
 __all__ = [
+    "AttachedTrace",
     "CacheStats",
     "CausalRelation",
     "ChunkResult",
+    "ColumnarPathDecomposition",
     "Culprit",
     "PathDecomposition",
+    "TraceColumns",
     "DiagTrace",
     "EntityShare",
     "LocalScores",
@@ -44,14 +63,21 @@ __all__ = [
     "Victim",
     "VictimDiagnosis",
     "VictimSelector",
+    "attach_trace",
     "attribute_reductions",
     "causal_relations",
+    "columnar_enabled",
+    "default_trace_backend",
     "explain",
     "explain_many",
     "format_ranking",
     "local_scores",
+    "local_scores_batch",
+    "make_decomposition",
     "periods_from_batches",
     "propagation_scores",
     "rank_of_entity",
     "ranked_entities",
+    "resolve_auto_workers",
+    "share_trace",
 ]

@@ -1,0 +1,1059 @@
+"""Zero-copy columnar trace layout (the "fast as the hardware allows" layer).
+
+A :class:`TraceColumns` is the columnar twin of a
+:class:`~repro.core.records.DiagTrace`: packet hops, arrivals, drops and
+exit records flattened into structured numpy arrays, built once per trace
+(lazily, on first use) and shared by every vectorized code path:
+
+* victim selection scans the hop table with one boolean mask instead of a
+  Python loop over every ``PacketHop``,
+* the queuing analyzer's PreSet extraction slices a pid column,
+* :class:`ColumnarPathDecomposition` answers propagation prefix queries
+  from cumulative min/max arrays extended in batch,
+* ``diagnose_all`` resolves the whole depth-0 recursion frontier — every
+  victim's queuing period — in one vectorized pass, and
+* parallel ``diagnose_all`` ships the columns through a POSIX
+  shared-memory block: workers *attach* by name (:func:`attach_trace`)
+  instead of receiving a pickled trace, so the per-task dispatch payload
+  shrinks to a handle plus a victim-range.
+
+Layout
+------
+
+Packet table (row order == ``trace.packets`` insertion order, which every
+constructor makes deterministic): ``pkt_pid``, ``pkt_emitted``,
+``pkt_exited``, ``pkt_dropped_ns`` (−1), ``pkt_dropped_nf`` (code, −1),
+``pkt_source`` (code), ``pkt_flow`` (n×5 five-tuple ints) and the CSR
+offsets ``hop_start`` (length n+1).  Hop table (packet-major, i.e. the
+concatenation of every packet's hop list): ``hop_nf`` (code),
+``hop_arrival``, ``hop_read``, ``hop_depart``.  Per-NF event streams
+mirror ``NFView``'s sorted tuple lists as parallel time/pid arrays.
+
+Backend contract
+----------------
+
+``REPRO_TRACE_BACKEND`` selects ``auto`` (columnar when numpy is
+available — the default), ``columnar`` (require it) or ``python`` (the
+pure-object oracle).  Every vectorized path computes the same integers
+and IEEE-754 doubles in the same order as the object walk it replaces,
+so diagnosis output is bit-identical across backends — pinned by the
+property tests in ``tests/core/test_columnar.py``.  The object model
+stays authoritative: columns are derived data, rebuilt whenever an
+:class:`~repro.ingest.incremental.IncrementalTrace` grew since the last
+build (mutation-counter invalidation).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.records import DiagTrace, NFView, PacketHop, PacketView
+from repro.errors import DiagnosisError, TraceError
+from repro.nfv.packet import FiveTuple
+
+try:  # pragma: no cover - numpy ships with the simulator
+    import numpy as np
+except ImportError:  # pragma: no cover
+    np = None
+
+try:  # pragma: no cover - stdlib, but gate for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+
+_BACKENDS = ("auto", "columnar", "python")
+
+#: Victim ``kind`` codes used by the shared-memory victim table.
+KIND_NAMES: Tuple[str, ...] = ("latency", "drop", "throughput")
+KIND_CODES: Dict[str, int] = {name: i for i, name in enumerate(KIND_NAMES)}
+
+_ALIGN = 64  # array alignment inside shared blocks
+_HEADER = struct.Struct("<Q")  # manifest length prefix
+
+
+def default_trace_backend() -> str:
+    """Process-wide trace backend (``REPRO_TRACE_BACKEND`` or auto)."""
+    backend = os.environ.get("REPRO_TRACE_BACKEND", "auto")
+    if backend not in _BACKENDS:
+        raise DiagnosisError(
+            f"REPRO_TRACE_BACKEND must be one of {_BACKENDS}, got {backend!r}"
+        )
+    return backend
+
+
+def columnar_enabled() -> bool:
+    """Whether vectorized paths should run (backend knob + numpy)."""
+    backend = default_trace_backend()
+    if backend == "python":
+        return False
+    if backend == "columnar":
+        if np is None:
+            raise DiagnosisError(
+                "REPRO_TRACE_BACKEND=columnar requested but numpy is absent"
+            )
+        return True
+    return np is not None
+
+
+class NFColumns:
+    """One NF's sorted event streams as parallel time/pid arrays."""
+
+    __slots__ = (
+        "arr_t", "arr_pid", "read_t", "read_pid",
+        "dep_t", "dep_pid", "drop_t", "drop_pid",
+    )
+
+    def __init__(self, arr_t, arr_pid, read_t, read_pid, dep_t, dep_pid,
+                 drop_t, drop_pid) -> None:
+        self.arr_t = arr_t
+        self.arr_pid = arr_pid
+        self.read_t = read_t
+        self.read_pid = read_pid
+        self.dep_t = dep_t
+        self.dep_pid = dep_pid
+        self.drop_t = drop_t
+        self.drop_pid = drop_pid
+
+
+def _times_pids(stream: Sequence[Tuple[int, int]]):
+    n = len(stream)
+    times = np.fromiter((t for t, _pid in stream), dtype=np.int64, count=n)
+    pids = np.fromiter((pid for _t, pid in stream), dtype=np.int64, count=n)
+    return times, pids
+
+
+class TraceColumns:
+    """Columnar arrays for one trace; see the module docstring for layout."""
+
+    def __init__(
+        self,
+        nf_names: List[str],
+        source_names: List[str],
+        peak_rates: List[float],
+        pkt_pid, pkt_emitted, pkt_exited, pkt_dropped_ns, pkt_dropped_nf,
+        pkt_source, pkt_flow, hop_start,
+        hop_nf, hop_arrival, hop_read, hop_depart,
+        streams: List[NFColumns],
+    ) -> None:
+        self.nf_names = list(nf_names)
+        self.nf_code = {name: i for i, name in enumerate(self.nf_names)}
+        self.source_names = list(source_names)
+        self.source_code = {name: i for i, name in enumerate(self.source_names)}
+        self.peak_rates = list(peak_rates)
+        self.pkt_pid = pkt_pid
+        self.pkt_emitted = pkt_emitted
+        self.pkt_exited = pkt_exited
+        self.pkt_dropped_ns = pkt_dropped_ns
+        self.pkt_dropped_nf = pkt_dropped_nf
+        self.pkt_source = pkt_source
+        self.pkt_flow = pkt_flow
+        self.hop_start = hop_start
+        self.hop_nf = hop_nf
+        self.hop_arrival = hop_arrival
+        self.hop_read = hop_read
+        self.hop_depart = hop_depart
+        self.streams = streams
+        # pid -> row lookup (pids may arrive out of order in live ingest).
+        self._pid_sorted = np.sort(pkt_pid)
+        self._pid_order = np.argsort(pkt_pid, kind="stable")
+        self._first_pos: Dict[int, object] = {}
+        # Lexicographic (value, pid) pairs are packed into one int64 for
+        # vectorized prefix mins; fall back to object tuples when the
+        # trace's timestamps are too large to pack (never in practice).
+        max_pid = int(self._pid_sorted[-1]) if len(self._pid_sorted) else 0
+        self.pid_bits = max(1, max_pid.bit_length())
+        max_t = int(self.hop_arrival.max()) if len(self.hop_arrival) else 0
+        self.enc_ok = self.pid_bits < 62 and max_t < (1 << (62 - self.pid_bits))
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def from_trace(cls, trace: DiagTrace) -> "TraceColumns":
+        """Build columns from the object model (no per-hop objects allocated;
+        every column is filled by a C-level ``fromiter`` pass)."""
+        nf_names = sorted(trace.nfs)
+        nf_code = {name: i for i, name in enumerate(nf_names)}
+        source_names = sorted(trace.sources)
+        source_code = {name: i for i, name in enumerate(source_names)}
+
+        def ncode(name: str) -> int:
+            code = nf_code.get(name)
+            if code is None:  # hand-built traces may hop through unknown NFs
+                code = len(nf_names)
+                nf_code[name] = code
+                nf_names.append(name)
+            return code
+
+        def scode(name: str) -> int:
+            code = source_code.get(name)
+            if code is None:
+                code = len(source_names)
+                source_code[name] = code
+                source_names.append(name)
+            return code
+
+        packets = trace.packets
+        n = len(packets)
+        pkt_pid = np.fromiter((p.pid for p in packets.values()), np.int64, count=n)
+        pkt_emitted = np.fromiter(
+            (p.emitted_ns for p in packets.values()), np.int64, count=n
+        )
+        pkt_exited = np.fromiter(
+            (p.exited_ns for p in packets.values()), np.int64, count=n
+        )
+        pkt_dropped_ns = np.fromiter(
+            (p.dropped_ns for p in packets.values()), np.int64, count=n
+        )
+        pkt_dropped_nf = np.fromiter(
+            (
+                -1 if p.dropped_at is None else ncode(p.dropped_at)
+                for p in packets.values()
+            ),
+            np.int32,
+            count=n,
+        )
+        pkt_source = np.fromiter(
+            (scode(p.source) for p in packets.values()), np.int32, count=n
+        )
+        pkt_flow = np.fromiter(
+            (
+                value
+                for p in packets.values()
+                for value in (
+                    p.flow.src_ip, p.flow.dst_ip,
+                    p.flow.src_port, p.flow.dst_port, p.flow.proto,
+                )
+            ),
+            np.int64,
+            count=5 * n,
+        ).reshape(n, 5)
+        hop_start = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(
+            np.fromiter((len(p.hops) for p in packets.values()), np.int64, count=n),
+            out=hop_start[1:],
+        )
+        total = int(hop_start[-1])
+        hops = (hop for p in packets.values() for hop in p.hops)
+        hop_nf = np.fromiter((ncode(h.nf) for h in hops), np.int32, count=total)
+        hops = (hop for p in packets.values() for hop in p.hops)
+        hop_arrival = np.fromiter((h.arrival_ns for h in hops), np.int64, count=total)
+        hops = (hop for p in packets.values() for hop in p.hops)
+        hop_read = np.fromiter((h.read_ns for h in hops), np.int64, count=total)
+        hops = (hop for p in packets.values() for hop in p.hops)
+        hop_depart = np.fromiter((h.depart_ns for h in hops), np.int64, count=total)
+
+        streams: List[NFColumns] = []
+        peak_rates: List[float] = []
+        for name in nf_names:
+            view = trace.nfs.get(name)
+            if view is None:  # an unknown-NF hop: no event streams exist
+                empty = np.empty(0, dtype=np.int64)
+                streams.append(NFColumns(*([empty] * 8)))
+                peak_rates.append(0.0)
+                continue
+            peak_rates.append(view.peak_rate_pps)
+            arr_t = view.arrival_times()
+            arr_pid = view.arrival_pids()
+            read_t = view.read_times()
+            read_pid = view.read_pids()
+            dep_t, dep_pid = _times_pids(view.departs)
+            drop_t, drop_pid = _times_pids(view.drops)
+            streams.append(
+                NFColumns(
+                    arr_t, arr_pid, read_t, read_pid,
+                    dep_t, dep_pid, drop_t, drop_pid,
+                )
+            )
+        return cls(
+            nf_names, source_names, peak_rates,
+            pkt_pid, pkt_emitted, pkt_exited, pkt_dropped_ns, pkt_dropped_nf,
+            pkt_source, pkt_flow, hop_start,
+            hop_nf, hop_arrival, hop_read, hop_depart,
+            streams,
+        )
+
+    # -- shape ----------------------------------------------------------------
+
+    @property
+    def n_packets(self) -> int:
+        return len(self.pkt_pid)
+
+    @property
+    def n_hops(self) -> int:
+        return len(self.hop_nf)
+
+    @property
+    def nbytes(self) -> int:
+        """Total column bytes (the shared block is this plus a manifest)."""
+        total = 0
+        for _key, array in self._arrays().items():
+            total += array.nbytes
+        return total
+
+    # -- lookups --------------------------------------------------------------
+
+    def rows_for_pids(self, pids: Sequence[int]):
+        """Packet-table rows for ``pids`` (−1 where a pid is absent)."""
+        query = np.asarray(pids, dtype=np.int64)
+        if len(self._pid_sorted) == 0:
+            return np.full(len(query), -1, dtype=np.int64)
+        pos = self._pid_sorted.searchsorted(query)
+        pos = np.minimum(pos, len(self._pid_sorted) - 1)
+        found = self._pid_sorted[pos] == query
+        return np.where(found, self._pid_order[pos], -1)
+
+    def first_hop_pos(self, nf_code: int):
+        """Per packet row: absolute hop index of the first hop at ``nf_code``
+        (−1 when the packet never visits that NF).  Cached per NF — this is
+        the vectorized twin of ``PacketView.hop_position``."""
+        cached = self._first_pos.get(nf_code)
+        if cached is None:
+            first = np.full(self.n_packets, -1, dtype=np.int64)
+            idx = np.flatnonzero(self.hop_nf == nf_code)
+            if len(idx):
+                owner = np.searchsorted(self.hop_start, idx, side="right") - 1
+                owners, first_idx = np.unique(owner, return_index=True)
+                first[owners] = idx[first_idx]
+            self._first_pos[nf_code] = cached = first
+        return cached
+
+    def earliest_emit(self, pids: Sequence[int]) -> Optional[int]:
+        """``min(emitted_ns)`` over the pids present in the trace, or None."""
+        rows = self.rows_for_pids(list(pids))
+        rows = rows[rows >= 0]
+        if not len(rows):
+            return None
+        return int(self.pkt_emitted[rows].min())
+
+    def first_preset_arrival(
+        self, nf_code: int, pids: Sequence[int]
+    ) -> Optional[Tuple[int, int]]:
+        """Earliest ``(pid, arrival_ns)`` among ``pids`` at ``nf_code``.
+
+        Ties keep the first pid in ``pids`` order, exactly like the scan in
+        ``MicroscopeEngine._first_preset_arrival`` (``argmin`` returns the
+        first minimum in array order, which is input order here).
+        """
+        pid_list = list(pids)
+        rows = self.rows_for_pids(pid_list)
+        first = self.first_hop_pos(nf_code)
+        valid = rows >= 0
+        pos = np.where(valid, first[np.maximum(rows, 0)], -1)
+        valid &= pos >= 0
+        if not valid.any():
+            return None
+        arrivals = self.hop_arrival[pos[valid]]
+        pid_arr = np.asarray(pid_list, dtype=np.int64)[valid]
+        best = int(np.argmin(arrivals))
+        return int(pid_arr[best]), int(arrivals[best])
+
+    def latency_victims_over(
+        self, threshold_ns: int, nf_code: Optional[int] = None
+    ) -> Tuple[object, object, object, object]:
+        """``(pids, nf_codes, arrivals, latencies)`` of hops at or over the
+        threshold, in packet-major hop order (== the object-walk order)."""
+        latency = self.hop_depart - self.hop_arrival
+        mask = latency >= threshold_ns
+        if nf_code is not None:
+            mask &= self.hop_nf == nf_code
+        idx = np.flatnonzero(mask)
+        owner = np.searchsorted(self.hop_start, idx, side="right") - 1
+        return (
+            self.pkt_pid[owner], self.hop_nf[idx],
+            self.hop_arrival[idx], latency[idx],
+        )
+
+    def drop_rows(self):
+        """Packet rows with a drop record, in packet row order."""
+        return np.flatnonzero(self.pkt_dropped_nf >= 0)
+
+    # -- shared-memory codec --------------------------------------------------
+
+    def _arrays(self) -> Dict[str, object]:
+        arrays = {
+            "pkt_pid": self.pkt_pid,
+            "pkt_emitted": self.pkt_emitted,
+            "pkt_exited": self.pkt_exited,
+            "pkt_dropped_ns": self.pkt_dropped_ns,
+            "pkt_dropped_nf": self.pkt_dropped_nf,
+            "pkt_source": self.pkt_source,
+            "pkt_flow": self.pkt_flow,
+            "hop_start": self.hop_start,
+            "hop_nf": self.hop_nf,
+            "hop_arrival": self.hop_arrival,
+            "hop_read": self.hop_read,
+            "hop_depart": self.hop_depart,
+        }
+        for i, stream in enumerate(self.streams):
+            for slot in NFColumns.__slots__:
+                arrays[f"nf{i}/{slot}"] = getattr(stream, slot)
+        return arrays
+
+    @classmethod
+    def from_arrays(
+        cls, arrays: Dict[str, object], meta: dict
+    ) -> "TraceColumns":
+        nf_names = meta["nf_names"]
+        streams = [
+            NFColumns(*(arrays[f"nf{i}/{slot}"] for slot in NFColumns.__slots__))
+            for i in range(len(nf_names))
+        ]
+        return cls(
+            nf_names, meta["source_names"], meta["peak_rates"],
+            arrays["pkt_pid"], arrays["pkt_emitted"], arrays["pkt_exited"],
+            arrays["pkt_dropped_ns"], arrays["pkt_dropped_nf"],
+            arrays["pkt_source"], arrays["pkt_flow"], arrays["hop_start"],
+            arrays["hop_nf"], arrays["hop_arrival"], arrays["hop_read"],
+            arrays["hop_depart"],
+            streams,
+        )
+
+
+# -- shared-memory blocks ------------------------------------------------------
+
+
+def _pack_block(arrays: Dict[str, object], meta: dict):
+    """Create a shared-memory block holding ``meta`` plus ``arrays``.
+
+    Layout: ``<u64 manifest length><pickled (meta, specs)><aligned arrays>``
+    where specs lists ``(key, dtype, shape, offset)``.  Returns the open
+    :class:`SharedMemory`; the caller owns close/unlink.
+    """
+    if _shared_memory is None:  # pragma: no cover - stdlib always has it
+        raise TraceError("multiprocessing.shared_memory is unavailable")
+    # Offsets live inside the pickled manifest, so size it in two passes: a
+    # probe pickle with zero offsets plus generous slack fixes the data
+    # base, then the real offsets are pickled into that reserved region.
+    probe = pickle.dumps(
+        (meta, [(key, a.dtype.str, a.shape, 0) for key, a in arrays.items()])
+    )
+    data_base = (
+        (_HEADER.size + len(probe) + 4096 + _ALIGN - 1) // _ALIGN * _ALIGN
+    )
+    specs = []
+    offset = data_base
+    for key, array in arrays.items():
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        specs.append((key, array.dtype.str, array.shape, offset))
+        offset += array.nbytes
+    manifest = pickle.dumps((meta, specs))
+    if _HEADER.size + len(manifest) > data_base:  # pragma: no cover
+        raise TraceError("shared-block manifest exceeded its reserved region")
+    shm = _shared_memory.SharedMemory(create=True, size=max(1, offset))
+    try:
+        shm.buf[: _HEADER.size] = _HEADER.pack(len(manifest))
+        shm.buf[_HEADER.size : _HEADER.size + len(manifest)] = manifest
+        for (key, _dtype, _shape, off), array in zip(specs, arrays.values()):
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf, offset=off)
+            view[...] = array
+        return shm
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+
+
+def _unpack_block(shm) -> Tuple[Dict[str, object], dict]:
+    (length,) = _HEADER.unpack_from(shm.buf, 0)
+    meta, specs = pickle.loads(bytes(shm.buf[_HEADER.size : _HEADER.size + length]))
+    arrays: Dict[str, object] = {}
+    for key, dtype, shape, offset in specs:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+        view.flags.writeable = False
+        arrays[key] = view
+    return arrays, meta
+
+
+def _attach_shm(name: str):
+    """Attach to a block by name; the creator keeps cleanup responsibility.
+
+    CPython registers attaches with the resource tracker too (gh-82300),
+    but workers here fork and share the parent's tracker, whose cache is a
+    set — the re-register collapses and the creator's ``unlink()`` removes
+    the single entry, so no extra bookkeeping is needed.
+    """
+    return _shared_memory.SharedMemory(name=name)
+
+
+def share_trace(trace: DiagTrace):
+    """Copy a trace's columns (plus object metadata) into a shared block.
+
+    Returns the open :class:`SharedMemory`; pass ``.name`` to workers and
+    close+unlink it when they are done.  Raises :class:`TraceError` when
+    the trace has no columnar backend.
+    """
+    cols = trace.columns()
+    if cols is None:
+        raise TraceError("share_trace requires the columnar backend")
+    meta = {
+        "nf_names": cols.nf_names,
+        "source_names": cols.source_names,
+        "peak_rates": cols.peak_rates,
+        "view_names": list(trace.nfs),
+        "upstreams": trace.upstreams,
+        "sources": trace.sources,
+        "nf_types": trace.nf_types,
+        "telemetry": trace.telemetry,
+    }
+    return _pack_block(cols._arrays(), meta)
+
+
+def attach_trace(name: str):
+    """Attach to a :func:`share_trace` block; returns ``(trace, shm)``.
+
+    The returned trace is a :class:`DiagTrace` whose columns are zero-copy
+    views over the block and whose object views (``packets``/``nfs``)
+    materialize lazily — vectorized paths never touch them.  The caller
+    must keep ``shm`` alive as long as the trace is used and ``close()``
+    it afterwards (never ``unlink()``: the creator owns the block).
+    """
+    shm = _attach_shm(name)
+    arrays, meta = _unpack_block(shm)
+    cols = TraceColumns.from_arrays(arrays, meta)
+    trace = AttachedTrace(cols, meta, shm)
+    return trace, shm
+
+
+def share_victims(victims: Sequence, cols: TraceColumns):
+    """Pack a victim list into a shared block (see ``attach_victims``)."""
+    n = len(victims)
+    arrays = {
+        "pid": np.fromiter((v.pid for v in victims), np.int64, count=n),
+        "nf": np.fromiter((cols.nf_code[v.nf] for v in victims), np.int32, count=n),
+        "kind": np.fromiter((KIND_CODES[v.kind] for v in victims), np.int8, count=n),
+        "arrival": np.fromiter((v.arrival_ns for v in victims), np.int64, count=n),
+        "metric": np.fromiter((v.metric for v in victims), np.float64, count=n),
+    }
+    return _pack_block(arrays, {"n": n})
+
+
+def attach_victims(name: str, nf_names: Sequence[str], lo: int, hi: int):
+    """Decode victims ``[lo, hi)`` from a :func:`share_victims` block.
+
+    All fields are decoded to plain Python scalars, so the block is closed
+    before returning the list.
+    """
+    from repro.core.victims import Victim
+
+    shm = _attach_shm(name)
+    try:
+        arrays, _meta = _unpack_block(shm)
+        victims = [
+            Victim(
+                pid=int(arrays["pid"][i]),
+                nf=nf_names[int(arrays["nf"][i])],
+                kind=KIND_NAMES[int(arrays["kind"][i])],
+                arrival_ns=int(arrays["arrival"][i]),
+                metric=float(arrays["metric"][i]),
+            )
+            for i in range(lo, hi)
+        ]
+        return victims
+    finally:
+        try:
+            shm.close()
+        except Exception:  # pragma: no cover - defensive close
+            pass
+
+
+# -- attached (worker-side) trace ----------------------------------------------
+
+
+class ColumnarNFView:
+    """NFView twin backed by column arrays.
+
+    The sorted tuple lists (``arrivals`` and friends) materialize lazily —
+    only legacy object paths (e.g. the pure-Python queuing backend) touch
+    them; every fast path reads the arrays.
+    """
+
+    def __init__(self, name: str, peak_rate_pps: float, cols: NFColumns) -> None:
+        self.name = name
+        self.peak_rate_pps = peak_rate_pps
+        self._cols = cols
+        self._lists: Dict[str, List[Tuple[int, int]]] = {}
+
+    def _list(self, key: str, times, pids) -> List[Tuple[int, int]]:
+        cached = self._lists.get(key)
+        if cached is None:
+            cached = list(zip(times.tolist(), pids.tolist()))
+            self._lists[key] = cached
+        return cached
+
+    @property
+    def arrivals(self) -> List[Tuple[int, int]]:
+        return self._list("arrivals", self._cols.arr_t, self._cols.arr_pid)
+
+    @property
+    def reads(self) -> List[Tuple[int, int]]:
+        return self._list("reads", self._cols.read_t, self._cols.read_pid)
+
+    @property
+    def departs(self) -> List[Tuple[int, int]]:
+        return self._list("departs", self._cols.dep_t, self._cols.dep_pid)
+
+    @property
+    def drops(self) -> List[Tuple[int, int]]:
+        return self._list("drops", self._cols.drop_t, self._cols.drop_pid)
+
+    # Array accessors mirroring NFView's cached-array API.
+
+    def arrival_times(self):
+        return self._cols.arr_t
+
+    def read_times(self):
+        return self._cols.read_t
+
+    def arrival_pids(self):
+        return self._cols.arr_pid
+
+    def read_pids(self):
+        return self._cols.read_pid
+
+    def arrival_time_at(self, idx: int) -> int:
+        return int(self._cols.arr_t[idx])
+
+    def reads_before(self, t_ns: int) -> int:
+        return int(self._cols.read_t.searchsorted(t_ns, side="left"))
+
+    def last_depart_ns(self) -> Optional[int]:
+        if not len(self._cols.dep_t):
+            return None
+        return int(self._cols.dep_t[-1])
+
+    def arrival_index_of(self, pid: int) -> Optional[int]:
+        hits = np.flatnonzero(self._cols.arr_pid == pid)
+        return int(hits[0]) if len(hits) else None
+
+    def arrival_index(self, pid: int, t_ns: int) -> int:
+        """Index of ``(t_ns, pid)`` in the arrival stream (array bisect)."""
+        arr_t = self._cols.arr_t
+        arr_pid = self._cols.arr_pid
+        idx = int(arr_t.searchsorted(t_ns, side="left"))
+        while idx < len(arr_t) and arr_t[idx] == t_ns:
+            if int(arr_pid[idx]) == pid:
+                return idx
+            idx += 1
+        raise TraceError(f"packet {pid} has no arrival at {self.name} t={t_ns}")
+
+
+class _LazyPackets:
+    """Dict-like packet map materializing :class:`PacketView` on demand."""
+
+    def __init__(self, cols: TraceColumns, source_names: Sequence[str]) -> None:
+        self._cols = cols
+        self._sources = source_names
+        self._cache: Dict[int, PacketView] = {}
+        self._rows = {int(pid): row for row, pid in enumerate(cols.pkt_pid.tolist())}
+
+    def _materialize(self, pid: int, row: int) -> PacketView:
+        cols = self._cols
+        start = int(cols.hop_start[row])
+        end = int(cols.hop_start[row + 1])
+        hops = [
+            PacketHop(
+                nf=cols.nf_names[int(cols.hop_nf[i])],
+                arrival_ns=int(cols.hop_arrival[i]),
+                read_ns=int(cols.hop_read[i]),
+                depart_ns=int(cols.hop_depart[i]),
+            )
+            for i in range(start, end)
+        ]
+        dropped_nf = int(cols.pkt_dropped_nf[row])
+        packet = PacketView(
+            pid=pid,
+            flow=FiveTuple(*(int(v) for v in cols.pkt_flow[row])),
+            source=self._sources[int(cols.pkt_source[row])],
+            emitted_ns=int(cols.pkt_emitted[row]),
+            hops=hops,
+            dropped_at=None if dropped_nf < 0 else cols.nf_names[dropped_nf],
+            dropped_ns=int(cols.pkt_dropped_ns[row]),
+            exited_ns=int(cols.pkt_exited[row]),
+        )
+        self._cache[pid] = packet
+        return packet
+
+    def __getitem__(self, pid: int) -> PacketView:
+        packet = self._cache.get(pid)
+        if packet is not None:
+            return packet
+        row = self._rows.get(pid)
+        if row is None:
+            raise KeyError(pid)
+        return self._materialize(pid, row)
+
+    def get(self, pid: int, default=None):
+        try:
+            return self[pid]
+        except KeyError:
+            return default
+
+    def __contains__(self, pid: int) -> bool:
+        return pid in self._rows
+
+    def __iter__(self):
+        return iter(self._rows)
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def keys(self):
+        return self._rows.keys()
+
+    def values(self):
+        return [self[pid] for pid in self._rows]
+
+    def items(self):
+        return [(pid, self[pid]) for pid in self._rows]
+
+
+class AttachedTrace(DiagTrace):
+    """A DiagTrace reconstructed zero-copy from a shared block."""
+
+    def __init__(self, cols: TraceColumns, meta: dict, shm=None) -> None:
+        # Deliberately no super().__init__: the event streams inside the
+        # block are already sorted, and sorting would materialize them.
+        self.packets = _LazyPackets(cols, cols.source_names)
+        view_names = meta.get("view_names")
+        self.nfs = {
+            name: ColumnarNFView(name, cols.peak_rates[i], cols.streams[i])
+            for i, name in enumerate(cols.nf_names)
+            if view_names is None or name in view_names
+        }
+        self.upstreams = meta["upstreams"]
+        self.sources = meta["sources"]
+        self.nf_types = meta.get("nf_types") or {}
+        self.telemetry = meta.get("telemetry")
+        self._columns_cache = cols
+        self._columns_built_at = 0
+        self._mutations = 0
+        self._shm = shm  # keeps the mapping alive as long as the trace
+
+
+# -- vectorized path decomposition ---------------------------------------------
+
+
+class _GrowColumn:
+    """Append-only int64 column with amortized growth."""
+
+    __slots__ = ("buf", "n")
+
+    def __init__(self) -> None:
+        self.buf = np.empty(16, dtype=np.int64)
+        self.n = 0
+
+    def reserve(self, extra: int) -> None:
+        need = self.n + extra
+        if need > len(self.buf):
+            size = len(self.buf)
+            while size < need:
+                size *= 2
+            grown = np.empty(size, dtype=np.int64)
+            grown[: self.n] = self.buf[: self.n]
+            self.buf = grown
+
+    def append(self, values) -> None:
+        batch = len(values)
+        self.reserve(batch)
+        self.buf[self.n : self.n + batch] = values
+        self.n += batch
+
+    def last(self) -> int:
+        return int(self.buf[self.n - 1])
+
+    def at(self, idx: int) -> int:
+        return int(self.buf[idx])
+
+    def view(self):
+        return self.buf[: self.n]
+
+
+def _prefix_append(column: _GrowColumn, values, op) -> None:
+    """Append ``values`` keeping the column a running ``op``-accumulate."""
+    chunk = op.accumulate(values)
+    if column.n:
+        chunk = op(chunk, column.last())
+    column.append(chunk)
+
+
+class _ColumnGroup:
+    """One path's PreSet members with prefix extents in numpy columns.
+
+    Interface-compatible with :class:`repro.core.propagation._PathGroup`
+    (``path``/``pids``/``prefix_count``/``spans``/``first_at``); extents
+    are appended in batch with ``minimum``/``maximum`` accumulates, so
+    extending by a suffix of *b* members costs O(b · hops) C-level work.
+    """
+
+    __slots__ = (
+        "path", "src_map", "pids", "positions",
+        "emit_min", "emit_max", "hop_min", "hop_max",
+        "first_enc", "first_obj", "pid_bits",
+    )
+
+    def __init__(self, path: Tuple[str, ...], codes, pid_bits: int, enc_ok: bool):
+        self.path = path
+        # Duplicate NF names on a looping path report their *first*
+        # occurrence's times (PacketView.upstream_of semantics).
+        first_of: Dict[int, int] = {}
+        self.src_map: List[int] = []
+        for j, code in enumerate(codes):
+            self.src_map.append(first_of.setdefault(int(code), j))
+        self.pids: List[int] = []
+        self.positions = _GrowColumn()
+        self.emit_min = _GrowColumn()
+        self.emit_max = _GrowColumn()
+        n_hops = len(path) - 1
+        self.hop_min = [_GrowColumn() for _ in range(n_hops)]
+        self.hop_max = [_GrowColumn() for _ in range(n_hops)]
+        self.pid_bits = pid_bits
+        # (arrival, pid) lexicographic prefix minimum, packed into int64
+        # when the trace's value ranges allow (enc_ok), else object tuples.
+        self.first_enc = [_GrowColumn() for _ in range(n_hops)] if enc_ok else None
+        self.first_obj: Optional[List[List[Tuple[int, int]]]] = (
+            None if enc_ok else [[] for _ in range(n_hops)]
+        )
+
+    #: Below this batch size the scalar path beats ufunc dispatch overhead
+    #: (incremental PreSet suffixes are usually a handful of packets).
+    SMALL_BATCH = 12
+
+    def add_batch(self, cols: TraceColumns, pids, positions, starts, rows) -> None:
+        """Append a member batch; ``pids``/``positions``/``starts``/``rows``
+        are plain int lists (one entry per new PreSet member)."""
+        if len(pids) <= self.SMALL_BATCH:
+            self._add_small(cols, pids, positions, starts, rows)
+            return
+        pid_arr = np.asarray(pids, dtype=np.int64)
+        s_arr = np.asarray(starts, dtype=np.int64)
+        emit_arr = cols.pkt_emitted[np.asarray(rows, dtype=np.int64)]
+        self.pids.extend(pids)
+        self.positions.append(positions)
+        _prefix_append(self.emit_min, emit_arr, np.minimum)
+        _prefix_append(self.emit_max, emit_arr, np.maximum)
+        for h, src in enumerate(self.src_map):
+            base = s_arr + src
+            departs = cols.hop_depart[base]
+            arrivals = cols.hop_arrival[base]
+            _prefix_append(self.hop_min[h], departs, np.minimum)
+            _prefix_append(self.hop_max[h], departs, np.maximum)
+            if self.first_enc is not None:
+                enc = (arrivals << self.pid_bits) | pid_arr
+                _prefix_append(self.first_enc[h], enc, np.minimum)
+            else:  # pragma: no cover - huge-timestamp fallback
+                firsts = self.first_obj[h]
+                best = firsts[-1] if firsts else None
+                for arrival, pid in zip(arrivals.tolist(), pids):
+                    candidate = (arrival, pid)
+                    if best is None or candidate < best:
+                        best = candidate
+                    firsts.append(best)
+
+    def _add_small(self, cols: TraceColumns, pids, positions, starts, rows) -> None:
+        """Scalar twin of the vectorized append: identical integers, no
+        ufunc dispatch.  Values are gathered once per column (one fancy
+        index + ``tolist``), then the running min/max walks Python ints —
+        bit-identical to the accumulates."""
+        self.pids.extend(pids)
+        self.positions.append(positions)
+        run_min = self.emit_min.last() if self.emit_min.n else None
+        run_max = self.emit_max.last() if self.emit_max.n else None
+        mins: List[int] = []
+        maxs: List[int] = []
+        for emit in cols.pkt_emitted[rows].tolist():
+            run_min = emit if run_min is None else min(run_min, emit)
+            run_max = emit if run_max is None else max(run_max, emit)
+            mins.append(run_min)
+            maxs.append(run_max)
+        self.emit_min.append(mins)
+        self.emit_max.append(maxs)
+        for h, src in enumerate(self.src_map):
+            idxs = [start + src for start in starts]
+            departs = cols.hop_depart[idxs].tolist()
+            arrivals = cols.hop_arrival[idxs].tolist()
+            col_min = self.hop_min[h]
+            col_max = self.hop_max[h]
+            run_min = col_min.last() if col_min.n else None
+            run_max = col_max.last() if col_max.n else None
+            mins = []
+            maxs = []
+            if self.first_enc is not None:
+                col_enc = self.first_enc[h]
+                run_enc = col_enc.last() if col_enc.n else None
+                encs: List[int] = []
+                for pid, depart, arrival in zip(pids, departs, arrivals):
+                    run_min = depart if run_min is None else min(run_min, depart)
+                    run_max = depart if run_max is None else max(run_max, depart)
+                    mins.append(run_min)
+                    maxs.append(run_max)
+                    enc = (arrival << self.pid_bits) | pid
+                    run_enc = enc if run_enc is None else min(run_enc, enc)
+                    encs.append(run_enc)
+                col_enc.append(encs)
+            else:  # pragma: no cover - huge-timestamp fallback
+                firsts = self.first_obj[h]
+                best = firsts[-1] if firsts else None
+                for pid, depart, arrival in zip(pids, departs, arrivals):
+                    run_min = depart if run_min is None else min(run_min, depart)
+                    run_max = depart if run_max is None else max(run_max, depart)
+                    mins.append(run_min)
+                    maxs.append(run_max)
+                    candidate = (arrival, pid)
+                    if best is None or candidate < best:
+                        best = candidate
+                    firsts.append(best)
+            col_min.append(mins)
+            col_max.append(maxs)
+
+    def prefix_count(self, m: int) -> int:
+        return int(self.positions.view().searchsorted(m - 1, side="right"))
+
+    def spans(self, k: int) -> List[float]:
+        last = k - 1
+        result = [float(self.emit_max.at(last) - self.emit_min.at(last))]
+        for h in range(len(self.hop_min)):
+            result.append(float(self.hop_max[h].at(last) - self.hop_min[h].at(last)))
+        return result
+
+    def first_at(self, h: int, k: int) -> Tuple[int, int]:
+        if self.first_enc is not None:
+            packed = self.first_enc[h].at(k - 1)
+            return packed >> self.pid_bits, packed & ((1 << self.pid_bits) - 1)
+        return self.first_obj[h][k - 1]  # pragma: no cover - fallback
+
+
+class ColumnarPathDecomposition:
+    """Vectorized :class:`~repro.core.propagation.PathDecomposition`.
+
+    Same contract — consume PreSet pids in arrival order, answer prefix
+    queries — but member data is gathered from the hop table and prefix
+    extents are maintained as accumulate columns.  Grouping still walks
+    pids in Python (paths are per-packet), yet touches only array scalars:
+    no ``PacketView``/``PacketHop`` is ever materialized.
+    """
+
+    def __init__(self, trace: DiagTrace, victim_nf: str, cols=None) -> None:
+        if cols is None:
+            cols = trace.columns()
+        if cols is None:
+            raise TraceError("ColumnarPathDecomposition requires columns")
+        self.trace = trace
+        self.cols = cols
+        self.victim_nf = victim_nf
+        self._victim_code = cols.nf_code.get(victim_nf)
+        self._groups: Dict[Tuple[int, bytes], _ColumnGroup] = {}
+        self._order: List[_ColumnGroup] = []
+        self.consumed = 0
+
+    def extend(self, pids: Sequence[int]) -> None:
+        cols = self.cols
+        hop_start = cols.hop_start
+        first_pos = (
+            cols.first_hop_pos(self._victim_code)
+            if self._victim_code is not None
+            else None
+        )
+        rows = cols.rows_for_pids(list(pids))
+        # Stage members per touched group, then append each group's batch
+        # with vectorized accumulates.
+        staged: Dict[Tuple[int, bytes], List[List[int]]] = {}
+        for offset, pid in enumerate(pids):
+            position = self.consumed
+            self.consumed += 1
+            row = int(rows[offset])
+            if row < 0:
+                continue
+            start = int(hop_start[row])
+            end = int(hop_start[row + 1])
+            if first_pos is not None:
+                vpos = int(first_pos[row])
+                if vpos >= 0:
+                    end = vpos
+            key = (int(cols.pkt_source[row]), cols.hop_nf[start:end].tobytes())
+            group = self._groups.get(key)
+            if group is None:
+                path = (cols.source_names[key[0]],) + tuple(
+                    cols.nf_names[int(c)] for c in cols.hop_nf[start:end]
+                )
+                group = _ColumnGroup(
+                    path, cols.hop_nf[start:end], cols.pid_bits, cols.enc_ok
+                )
+                self._groups[key] = group
+                self._order.append(group)
+                staged.setdefault(key, [[], [], [], []])
+            batch = staged.get(key)
+            if batch is None:
+                batch = staged[key] = [[], [], [], []]
+            batch[0].append(int(pid))
+            batch[1].append(position)
+            batch[2].append(start)
+            batch[3].append(row)
+        for key, (b_pids, b_pos, b_start, b_rows) in staged.items():
+            self._groups[key].add_batch(cols, b_pids, b_pos, b_start, b_rows)
+
+    def ensure(self, preset_pids: Sequence[int]) -> int:
+        if len(preset_pids) > self.consumed:
+            self.extend(preset_pids[self.consumed :])
+        return len(preset_pids)
+
+    def prefix_groups(self, m: int) -> List[Tuple[_ColumnGroup, int]]:
+        result: List[Tuple[_ColumnGroup, int]] = []
+        for group in self._order:
+            k = group.prefix_count(m)
+            if k:
+                result.append((group, k))
+        return result
+
+
+# -- shared-memory parallel dispatch -------------------------------------------
+
+
+class ShmDispatch:
+    """Per-``diagnose_all`` shared blocks for worker attachment.
+
+    Creates one block for the trace columns and one for the victim table;
+    :meth:`cleanup` closes and unlinks both and is safe to call from any
+    error path (including :class:`BaseException` unwinds like
+    ``SimulatedCrash`` — the caller wraps dispatch in ``try/finally`` so no
+    ``/dev/shm`` segment ever outlives the call).
+    """
+
+    def __init__(self, trace: DiagTrace, victims: Sequence) -> None:
+        cols = trace.columns()
+        if cols is None:
+            raise TraceError("shared-memory dispatch requires the columnar backend")
+        self.nf_names = cols.nf_names
+        self.trace_shm = share_trace(trace)
+        try:
+            self.victims_shm = share_victims(victims, cols)
+        except BaseException:
+            self._unlink(self.trace_shm)
+            raise
+
+    def task_args(self, lo: int, hi: int, engine_params: tuple) -> tuple:
+        return (self.trace_shm.name, self.victims_shm.name, lo, hi, engine_params)
+
+    def payload_bytes(self, lo: int, hi: int, engine_params: tuple) -> int:
+        """Serialized dispatch size per task — what a spawn context would
+        ship (fork ships even less).  Recorded by the benchmarks."""
+        return len(pickle.dumps(self.task_args(lo, hi, engine_params)))
+
+    @staticmethod
+    def _unlink(shm) -> None:
+        for fn in (shm.close, shm.unlink):
+            try:
+                fn()
+            except Exception:
+                pass
+
+    def cleanup(self) -> None:
+        self._unlink(self.victims_shm)
+        self._unlink(self.trace_shm)
+
+
+def shm_available() -> bool:
+    return _shared_memory is not None and np is not None

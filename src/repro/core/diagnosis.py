@@ -28,24 +28,31 @@ result-invariant: every mode computes through the same code path, so
 culprit lists are bit-identical with it on or off.
 
 ``diagnose_all(victims, workers=N)`` additionally shards victims across N
-worker processes (one process per shard, individually watchdogged); each
-worker rebuilds the engine from the (picklable) trace once and shards are
-reassembled in submission order, so output order and content match the
-serial path exactly.
+worker processes (one process per shard, individually watchdogged).  With
+the columnar trace backend the trace crosses the process boundary as a
+shared-memory block — workers attach by name and the per-task dispatch
+payload is a handle plus a victim range; otherwise each worker rebuilds
+the engine from the (picklable) trace.  Shards are reassembled in
+submission order, so output order and content match the serial path
+exactly.  ``workers="auto"`` picks serial below a victim-count threshold
+(pool startup costs more than it saves on small workloads) and records
+the decision in ``cache_stats``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
-from repro.core.local import LocalScores, local_scores
+from repro.core.local import LocalScores, local_scores, local_scores_batch
 from repro.core.propagation import (
     EntityShare,
     PathAttribution,
     PathDecomposition,
+    make_decomposition,
     propagation_scores,
 )
 from repro.core.queuing import QueuingAnalyzer, QueuingPeriod
@@ -56,6 +63,28 @@ from repro.errors import DiagnosisError, TraceError
 
 #: Valid culprit kinds (see :class:`Culprit`).
 CULPRIT_KINDS = ("local", "source", "low-evidence")
+
+#: ``workers="auto"`` stays serial below this victim count: measured pool
+#: startup (fork + engine rebuild or shm attach) costs several ms per
+#: worker, which dwarfs per-victim diagnosis time on small batches.
+AUTO_MIN_VICTIMS = 1024
+
+
+def resolve_auto_workers(
+    n_victims: int, cpus: Optional[int] = None
+) -> Optional[int]:
+    """Worker count for ``workers="auto"``; None means stay serial.
+
+    Serial whenever the machine has fewer than two usable cores or the
+    batch is below :data:`AUTO_MIN_VICTIMS`; otherwise up to four workers,
+    bounded by the core count (more shards than cores only adds dispatch
+    overhead for this CPU-bound workload).
+    """
+    if cpus is None:
+        cpus = os.cpu_count() or 1
+    if cpus < 2 or n_victims < AUTO_MIN_VICTIMS:
+        return None
+    return min(4, cpus)
 
 
 @dataclass(frozen=True)
@@ -142,6 +171,10 @@ class CacheStats:
     #: per-task deadline (``task_timeout_s``): the pool was presumed wedged,
     #: its processes were killed, and the victims were retried serially.
     worker_timeouts: int = 0
+    #: ``workers="auto"`` decisions: batches kept serial (below the victim
+    #: threshold or single-core) vs. batches actually sharded.
+    auto_serial_decisions: int = 0
+    auto_parallel_decisions: int = 0
 
     @property
     def hits(self) -> int:
@@ -193,6 +226,25 @@ class MicroscopeEngine:
         self._decomp_end: Dict[Tuple[str, int], int] = {}
         self._worker_failures = 0
         self._worker_timeouts = 0
+        self._auto_serial = 0
+        self._auto_parallel = 0
+        #: Dispatch telemetry of the most recent parallel ``diagnose_all``:
+        #: ``{"mode": "shm" | "pickle", "payload_bytes_per_task": int}``.
+        self.last_dispatch: Optional[Dict[str, object]] = None
+        # trace.columns() re-reads REPRO_TRACE_BACKEND on every call (so
+        # env switches are honoured between runs); the per-victim hot path
+        # caches the resolution here, keyed on the trace's mutation
+        # counter so live ingest still invalidates it.
+        self._cols_cache = None
+        self._cols_mutations = -1
+
+    def _columns(self):
+        """Cached ``self.trace.columns()`` (see ``_cols_cache`` above)."""
+        mutations = self.trace._mutations
+        if self._cols_mutations != mutations:
+            self._cols_cache = self.trace.columns()
+            self._cols_mutations = mutations
+        return self._cols_cache
 
     @property
     def cache_stats(self) -> CacheStats:
@@ -212,6 +264,8 @@ class MicroscopeEngine:
             evicted_entries=self._evicted_entries,
             worker_failures=self._worker_failures,
             worker_timeouts=self._worker_timeouts,
+            auto_serial_decisions=self._auto_serial,
+            auto_parallel_decisions=self._auto_parallel,
         )
 
     @property
@@ -366,7 +420,7 @@ class MicroscopeEngine:
         decomp = self._decomps.get(key)
         if decomp is None:
             self._decomp_misses += 1
-            decomp = PathDecomposition(self.trace, nf)
+            decomp = make_decomposition(self.trace, nf, cols=self._columns())
             self._decomps[key] = decomp
             self._decomp_gen[key] = self._chunk_generation
         else:
@@ -441,16 +495,22 @@ class MicroscopeEngine:
     def diagnose_all(
         self,
         victims: Sequence[Victim],
-        workers: Optional[int] = None,
+        workers: Union[int, str, None] = None,
         task_timeout_s: Optional[float] = None,
     ) -> List[VictimDiagnosis]:
         """Diagnose every victim, serially or across a process pool.
 
-        ``workers=None`` (or ``0``/``1``) keeps the serial path.  With
-        ``workers=N`` victims are sharded into contiguous chunks across N
-        worker processes; each worker builds its own engine from the trace
-        (handed over by pickling once per worker) and results come back in
-        victim order, identical to the serial output.
+        ``workers=None`` (or ``0``/``1``) keeps the serial path, and
+        ``workers="auto"`` lets :func:`resolve_auto_workers` decide —
+        serial below :data:`AUTO_MIN_VICTIMS` victims or on a single core,
+        with the decision counted in ``cache_stats``.  With ``workers=N``
+        victims are sharded into contiguous chunks across N worker
+        processes; on the columnar backend the trace and victim table
+        cross as shared-memory blocks that workers attach by name (tiny
+        dispatch payloads), otherwise each worker builds its own engine
+        from the trace (handed over by pickling once per worker).  Either
+        way results come back in victim order, identical to the serial
+        output.
 
         ``task_timeout_s`` is a per-shard watchdog: each shard runs in its
         own process, and only a shard that misses the deadline is
@@ -462,9 +522,79 @@ class MicroscopeEngine:
         worker can therefore neither hang the run nor discard its
         siblings' work.
         """
+        if workers == "auto":
+            resolved = resolve_auto_workers(len(victims))
+            if resolved is None:
+                self._auto_serial += 1
+                workers = None
+            else:
+                self._auto_parallel += 1
+                workers = resolved
         if workers is None or workers <= 1 or len(victims) <= 1:
+            if len(victims) > 1:
+                self._prefill_periods(victims)
             return [self.diagnose(victim) for victim in victims]
         return self._diagnose_parallel(victims, workers, task_timeout_s)
+
+    def _prefill_periods(self, victims: Sequence[Victim]) -> None:
+        """Resolve the depth-0 recursion frontier in one vectorized pass.
+
+        All non-drop victims at one NF have their queuing periods gathered
+        from the analyzer index in a single batched call
+        (:meth:`QueuingAnalyzer.periods_for_arrivals`); ``diagnose`` then
+        consumes the parked hints instead of doing per-victim index walks.
+        Periods are not memo-counted, so parking them leaves
+        ``cache_stats`` untouched, and the hints are integer-identical to
+        per-victim lookups.  With memoization on, the resolved buildups'
+        local scores are additionally computed as one vectorized batch
+        (:func:`local_scores_batch`, bit-identical to scalar calls) and
+        seeded into the memo under the same miss accounting the per-victim
+        path would have charged.  Skipped entirely on the object (oracle)
+        backend.
+        """
+        if self._columns() is None:
+            return
+        by_nf: Dict[str, List[Tuple[int, int]]] = {}
+        for victim in victims:
+            if victim.kind == "drop" or victim.nf not in self.trace.nfs:
+                continue
+            by_nf.setdefault(victim.nf, []).append(
+                (victim.pid, victim.arrival_ns)
+            )
+        for nf, pairs in by_nf.items():
+            analyzer = self.analyzer(nf)
+            try:
+                analyzer.periods_for_arrivals(pairs)
+            except TraceError:
+                # A victim arrival outside the stream: drop the partial
+                # batch and let diagnose() surface the error (or not) at
+                # exactly the victim it belongs to.
+                analyzer._period_hints.clear()
+                continue
+            if not self.memoize:
+                continue
+            # Unique buildups that diagnose() would score (queue backed up,
+            # not yet memoized), in hint order.
+            fresh: List[QueuingPeriod] = []
+            seen = set()
+            for pair in pairs:
+                period = analyzer._period_hints.get(pair)
+                if (
+                    period is None
+                    or period.queue_len <= 0
+                    or period in seen
+                    or period in self._local_cache
+                ):
+                    continue
+                seen.add(period)
+                fresh.append(period)
+            if not fresh:
+                continue
+            peak = self._effective_peak(nf)
+            for period, scores in zip(fresh, local_scores_batch(fresh, peak)):
+                self._local_misses += 1  # same charge as the scalar path
+                self._local_cache[period] = scores
+                self._local_gen[period] = self._chunk_generation
 
     def _diagnose_parallel(
         self,
@@ -474,10 +604,11 @@ class MicroscopeEngine:
     ) -> List[VictimDiagnosis]:
         n_shards = min(workers, len(victims))
         shard_size = (len(victims) + n_shards - 1) // n_shards
-        chunks = [
-            list(victims[i : i + shard_size])
+        bounds = [
+            (i, min(i + shard_size, len(victims)))
             for i in range(0, len(victims), shard_size)
         ]
+        chunks = [list(victims[lo:hi]) for lo, hi in bounds]
         # Fork keeps the trace handoff cheap where available (the child
         # inherits it); spawn platforms fall back to pickling via args.
         methods = multiprocessing.get_all_start_methods()
@@ -492,6 +623,21 @@ class MicroscopeEngine:
             self.memoize,
             self.backend,
         )
+        engine_params = init_args[1:]
+        # Columnar traces cross the process boundary as shared-memory
+        # blocks: workers attach by name and the per-task payload is a
+        # handle plus a victim range.  Creation failure (or the object
+        # backend) falls back to the pickled-trace handoff.
+        dispatch = None
+        cols = self._columns()
+        if cols is not None:
+            try:
+                from repro.core.columnar import ShmDispatch, shm_available
+
+                if shm_available():
+                    dispatch = ShmDispatch(self.trace, victims)
+            except Exception:  # pragma: no cover - e.g. /dev/shm exhausted
+                dispatch = None
         # One process + pipe per shard instead of a shared pool: a wedged
         # or crashed shard (OOM kill, segfaulting extension, infinite
         # loop) is terminated *individually* while its siblings' results
@@ -501,48 +647,72 @@ class MicroscopeEngine:
         chunk_wires: List[Optional[List[_Wire]]] = [None] * len(chunks)
         procs = []
         conns = []
-        for chunk in chunks:
-            recv_conn, send_conn = context.Pipe(duplex=False)
-            proc = context.Process(
-                target=_shard_worker_main,
-                args=(send_conn, init_args, chunk),
-                daemon=True,
-            )
-            proc.start()
-            send_conn.close()  # child holds the only writer now
-            procs.append(proc)
-            conns.append(recv_conn)
-        # All shards started together, so they share one wall-clock
-        # deadline; each is given whatever remains of it.
-        deadline = (
-            None if task_timeout_s is None else time.monotonic() + task_timeout_s
-        )
-        for idx, conn in enumerate(conns):
-            try:
-                if deadline is not None:
-                    # poll(0) still harvests a shard that finished after an
-                    # earlier shard burned the remaining budget.
-                    remaining = max(0.0, deadline - time.monotonic())
-                    if not conn.poll(remaining):
-                        self._worker_failures += 1
-                        self._worker_timeouts += 1
-                        procs[idx].terminate()
-                        continue
-                status, payload = conn.recv()
-                if status == "ok":
-                    chunk_wires[idx] = payload
+        try:
+            self.last_dispatch = {
+                "mode": "shm" if dispatch is not None else "pickle",
+                "payload_bytes_per_task": (
+                    None
+                    if dispatch is None
+                    else max(
+                        dispatch.payload_bytes(lo, hi, engine_params)
+                        for lo, hi in bounds
+                    )
+                ),
+            }
+            for (lo, hi), chunk in zip(bounds, chunks):
+                recv_conn, send_conn = context.Pipe(duplex=False)
+                if dispatch is not None:
+                    proc = context.Process(
+                        target=_shm_shard_worker_main,
+                        args=(send_conn,) + dispatch.task_args(lo, hi, engine_params),
+                        daemon=True,
+                    )
                 else:
+                    proc = context.Process(
+                        target=_shard_worker_main,
+                        args=(send_conn, init_args, chunk),
+                        daemon=True,
+                    )
+                proc.start()
+                send_conn.close()  # child holds the only writer now
+                procs.append(proc)
+                conns.append(recv_conn)
+            # All shards started together, so they share one wall-clock
+            # deadline; each is given whatever remains of it.
+            deadline = (
+                None if task_timeout_s is None else time.monotonic() + task_timeout_s
+            )
+            for idx, conn in enumerate(conns):
+                try:
+                    if deadline is not None:
+                        # poll(0) still harvests a shard that finished after an
+                        # earlier shard burned the remaining budget.
+                        remaining = max(0.0, deadline - time.monotonic())
+                        if not conn.poll(remaining):
+                            self._worker_failures += 1
+                            self._worker_timeouts += 1
+                            procs[idx].terminate()
+                            continue
+                    status, payload = conn.recv()
+                    if status == "ok":
+                        chunk_wires[idx] = payload
+                    else:
+                        self._worker_failures += 1
+                except (EOFError, OSError):
+                    # The child died before reporting (crash, kill).
                     self._worker_failures += 1
-            except (EOFError, OSError):
-                # The child died before reporting (crash, kill).
-                self._worker_failures += 1
-            finally:
-                conn.close()
-        for proc in procs:
-            proc.join(timeout=5.0)
-            if proc.is_alive():  # pragma: no cover - stuck in terminate
-                proc.kill()
+                finally:
+                    conn.close()
+            for proc in procs:
                 proc.join(timeout=5.0)
+                if proc.is_alive():  # pragma: no cover - stuck in terminate
+                    proc.kill()
+                    proc.join(timeout=5.0)
+        finally:
+            # BaseException-safe: a SimulatedCrash (or any error) unwinding
+            # through a parallel diagnosis must not leak /dev/shm segments.
+            if dispatch is not None:
+                dispatch.cleanup()
         results: List[VictimDiagnosis] = []
         for chunk, wires in zip(chunks, chunk_wires):
             if wires is None:
@@ -724,6 +894,10 @@ class MicroscopeEngine:
     def _first_preset_arrival(
         self, nf: str, pids: Sequence[int]
     ) -> Optional[Tuple[int, int]]:
+        cols = self._columns()
+        if cols is not None:
+            code = cols.nf_code.get(nf)
+            return None if code is None else cols.first_preset_arrival(code, pids)
         best: Optional[Tuple[int, int]] = None
         packets = self.trace.packets
         for pid in pids:
@@ -745,6 +919,10 @@ class MicroscopeEngine:
         would put the culprit at the epoch and wreck time-gap statistics,
         so the victim's own arrival time stands in instead.
         """
+        cols = self._columns()
+        if cols is not None:
+            earliest = cols.earliest_emit(pids)
+            return fallback_ns if earliest is None else earliest
         times = [
             self.trace.packets[pid].emitted_ns
             for pid in pids
@@ -896,6 +1074,8 @@ def _parallel_worker_init(
 
 def _parallel_worker_diagnose(victims: List[Victim]) -> List[_Wire]:
     assert _WORKER_ENGINE is not None, "worker pool used before initialization"
+    if len(victims) > 1:
+        _WORKER_ENGINE._prefill_periods(victims)
     return [_diagnosis_to_wire(_WORKER_ENGINE.diagnose(victim)) for victim in victims]
 
 
@@ -916,6 +1096,49 @@ def _shard_worker_main(conn, init_args: tuple, victims: List[Victim]) -> None:
             pass
     finally:
         conn.close()
+
+
+def _shm_shard_worker_main(
+    conn,
+    trace_name: str,
+    victims_name: str,
+    lo: int,
+    hi: int,
+    engine_params: tuple,
+) -> None:
+    """Shard entry point for shared-memory dispatch: attach, diagnose, exit.
+
+    The trace materializes zero-copy from the block named ``trace_name``
+    and the victim slice decodes from ``victims_name``; nothing heavier
+    than the two names and the range ever crossed the process boundary.
+    Cleanup responsibility stays with the parent — this side only closes
+    its own mapping (after dropping every array view into it).
+    """
+    global _WORKER_ENGINE
+    shm = None
+    try:
+        from repro.core import columnar
+
+        trace, shm = columnar.attach_trace(trace_name)
+        victims = columnar.attach_victims(
+            victims_name, trace.columns().nf_names, lo, hi
+        )
+        _parallel_worker_init(trace, *engine_params)
+        trace = None
+        conn.send(("ok", _parallel_worker_diagnose(victims)))
+    except BaseException as exc:  # pragma: no cover - crashed-shard path
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+        _WORKER_ENGINE = None  # drop shm-backed array views before close
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - views still referenced
+                pass
 
 
 #: Public aliases: the wire codec doubles as the service's journal format

@@ -17,9 +17,15 @@ preserving the sum invariant.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.core.queuing import QueuingPeriod
 from repro.errors import DiagnosisError
+
+try:  # pragma: no cover - numpy ships with the simulator
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 @dataclass(frozen=True)
@@ -65,3 +71,42 @@ def local_scores(period: QueuingPeriod, peak_rate_pps: float) -> LocalScores:
         expected=expected,
         period=period,
     )
+
+
+def local_scores_batch(
+    periods: Sequence[QueuingPeriod], peak_rate_pps: float
+) -> List[LocalScores]:
+    """Vectorized :func:`local_scores` over whole buildups at one NF.
+
+    Each elementwise float64 op (multiply, divide, subtract, min/max
+    clamp) mirrors the scalar expression structure exactly, so results are
+    IEEE-754 bit-identical to per-period calls — pinned by the backend
+    parity tests.  Falls back to per-period calls without numpy.
+    """
+    if peak_rate_pps <= 0:
+        raise DiagnosisError(f"peak rate must be positive: {peak_rate_pps}")
+    if _np is None or len(periods) < 2:
+        return [local_scores(period, peak_rate_pps) for period in periods]
+    n = len(periods)
+    length = _np.fromiter((p.length_ns for p in periods), _np.float64, count=n)
+    n_input = _np.fromiter((p.n_input for p in periods), _np.float64, count=n)
+    queue_len = _np.fromiter((p.queue_len for p in periods), _np.float64, count=n)
+    if (queue_len < 0).any():
+        bad = periods[int(_np.argmax(queue_len < 0))]
+        raise DiagnosisError(
+            f"negative queue length in period at {bad.nf}: {bad.queue_len}"
+        )
+    expected = peak_rate_pps * length / 1e9
+    si = _np.minimum(queue_len, _np.maximum(0.0, n_input - expected))
+    sp = queue_len - si
+    return [
+        LocalScores(
+            si=float(si[i]),
+            sp=float(sp[i]),
+            n_input=period.n_input,
+            n_processed=period.n_processed,
+            expected=float(expected[i]),
+            period=period,
+        )
+        for i, period in enumerate(periods)
+    ]

@@ -155,6 +155,12 @@ class _PathGroup:
         """How many members sit in the first ``m`` PreSet entries."""
         return bisect.bisect_right(self.positions, m - 1)
 
+    def first_at(self, h: int, k: int) -> Tuple[int, int]:
+        """Earliest (arrival_ns, pid) at hop ``h`` among the first ``k``
+        members — the prefix-min the columnar group answers from packed
+        int64 columns, exposed here under the same name."""
+        return self.hop_first[h][k - 1]
+
     def spans(self, k: int) -> List[float]:
         """[T_source, T_1, ..., T_k] over the first ``k`` members."""
         last = k - 1
@@ -220,6 +226,24 @@ class PathDecomposition:
         return result
 
 
+def make_decomposition(trace: DiagTrace, victim_nf: str, cols=None):
+    """Decomposition for ``(trace, victim_nf)`` on the active backend.
+
+    Columnar when the trace has columns (``REPRO_TRACE_BACKEND``), else
+    the object-walking :class:`PathDecomposition`.  Both answer the same
+    prefix queries with identical integers, so the choice never changes
+    diagnosis output.  ``cols`` lets hot callers pass an already-resolved
+    ``trace.columns()`` and skip the env lookup.
+    """
+    if cols is None:
+        cols = trace.columns()
+    if cols is not None:
+        from repro.core.columnar import ColumnarPathDecomposition
+
+        return ColumnarPathDecomposition(trace, victim_nf, cols=cols)
+    return PathDecomposition(trace, victim_nf)
+
+
 def propagation_scores(
     trace: DiagTrace,
     victim_nf: str,
@@ -241,7 +265,7 @@ def propagation_scores(
         return [], []
 
     if decomposition is None:
-        decomposition = PathDecomposition(trace, victim_nf)
+        decomposition = make_decomposition(trace, victim_nf)
     m = decomposition.ensure(preset_pids)
     groups = decomposition.prefix_groups(m)
 
@@ -286,7 +310,7 @@ def propagation_scores(
             merged_scores[key] = merged_scores.get(key, 0.0) + score
             merged_pids.setdefault(key, []).extend(pids)
             if not is_source:
-                first = group.hop_first[entity_idx - 1][k - 1]
+                first = group.first_at(entity_idx - 1, k)
                 current = merged_first.get(key)
                 if current is None or first < current:
                     merged_first[key] = first

@@ -116,6 +116,10 @@ class QueuingAnalyzer:
         self.generation = 0
         self.preset_cross_hits = 0
         self._preset_gen: Dict[Tuple[int, int], int] = {}
+        # Batched period resolutions (periods_for_arrivals) park their
+        # results here; period_for_arrival consumes a hint before falling
+        # back to the per-arrival lookup.  Values may be None (no period).
+        self._period_hints: Dict[Tuple[int, int], Optional[QueuingPeriod]] = {}
         if backend is None:
             backend = default_backend()
         if backend not in _BACKENDS:
@@ -251,6 +255,11 @@ class QueuingAnalyzer:
         Returns None when the victim found the queue at or below the
         threshold (no queue-based cause at this NF).
         """
+        if self._period_hints:
+            try:
+                return self._period_hints.pop((pid, t_ns))
+            except KeyError:
+                pass
         arrival_idx = self.view.arrival_index(pid, t_ns)
         period_first = int(self._arr_pre_first[arrival_idx])
         if period_first == -1:
@@ -273,12 +282,64 @@ class QueuingAnalyzer:
             period_first, int(self._ev_arrivals[idx]), t_ns, int(self._ev_reads[idx])
         )
 
+    def periods_for_arrivals(
+        self, pairs: Sequence[Tuple[int, int]]
+    ) -> None:
+        """Resolve many ``(pid, t_ns)`` arrivals in one vectorized pass.
+
+        Results (including None for no-period arrivals) are parked in the
+        hint table that :meth:`period_for_arrival` consumes, so batch
+        callers — ``diagnose_all``'s recursion-frontier prefill — keep the
+        per-victim call sites and the memo accounting unchanged.  Each
+        constructed period is integer-identical to the per-arrival path:
+        both gather the same index entries.  No-op on the Python backend
+        (there is nothing to vectorize).
+        """
+        if self.backend != "numpy" or not pairs:
+            return
+        n = len(pairs)
+        idxs = _np.fromiter(
+            (self.view.arrival_index(pid, t) for pid, t in pairs),
+            dtype=_np.int64,
+            count=n,
+        )
+        firsts = self._arr_pre_first[idxs]
+        reads_seen = self._arr_reads_before[idxs]
+        starts = _np.where(firsts >= 0, self.view.arrival_times()[
+            _np.maximum(firsts, 0)
+        ], 0)
+        reads_before_start = _np.searchsorted(
+            self.view.read_times(), starts, side="left"
+        )
+        n_input = idxs - firsts
+        n_processed = reads_seen - reads_before_start
+        name = self.view.name
+        hints = self._period_hints
+        for i, (pid, t_ns) in enumerate(pairs):
+            if firsts[i] < 0:
+                hints[(pid, t_ns)] = None
+                continue
+            processed = int(n_processed[i])
+            if processed < 0:
+                raise DiagnosisError(
+                    f"negative processed count at {name}: {processed}"
+                )
+            hints[(pid, t_ns)] = QueuingPeriod(
+                nf=name,
+                start_ns=int(starts[i]),
+                end_ns=t_ns,
+                first_arrival_idx=int(firsts[i]),
+                last_arrival_idx=int(idxs[i]),
+                n_input=int(n_input[i]),
+                n_processed=processed,
+            )
+
     def _build(
         self, period_first: int, arrival_end: int, end_ns: int, reads_seen: int
     ) -> QueuingPeriod:
-        start_ns = self.view.arrivals[period_first][0]
+        start_ns = self.view.arrival_time_at(period_first)
         # Reads completed before the period started:
-        reads_before_start = bisect.bisect_left(self.view.reads, (start_ns, -1))
+        reads_before_start = self.view.reads_before(start_ns)
         n_input = arrival_end - period_first
         n_processed = reads_seen - reads_before_start
         if n_processed < 0:
@@ -311,12 +372,18 @@ class QueuingAnalyzer:
                     self.preset_cross_hits += 1
                 return cached
             self.preset_misses += 1
-        preset = [
-            pid
-            for _t, pid in self.view.arrivals[
+        pid_array = self.view.arrival_pids() if _np is not None else None
+        if pid_array is not None:
+            preset = pid_array[
                 period.first_arrival_idx : period.last_arrival_idx
+            ].tolist()
+        else:
+            preset = [
+                pid
+                for _t, pid in self.view.arrivals[
+                    period.first_arrival_idx : period.last_arrival_idx
+                ]
             ]
-        ]
         if self.cache_presets:
             self._preset_cache[key] = preset
             self._preset_gen[key] = self.generation
@@ -329,11 +396,11 @@ class QueuingAnalyzer:
         memory — an evicted entry that is referenced again is recomputed
         from the arrival stream with an identical result.
         """
-        arrivals = self.view.arrivals
+        view = self.view
         stale = [
             key
             for key in self._preset_cache
-            if arrivals[key[1] - 1][0] < t_ns
+            if view.arrival_time_at(key[1] - 1) < t_ns
         ]
         for key in stale:
             del self._preset_cache[key]

@@ -150,6 +150,8 @@ class NFView:
     # streaming case — skips the tuple-to-array conversion entirely.
     _arrival_times: Optional[object] = field(default=None, repr=False, compare=False)
     _read_times: Optional[object] = field(default=None, repr=False, compare=False)
+    _arrival_pids: Optional[object] = field(default=None, repr=False, compare=False)
+    _read_pids: Optional[object] = field(default=None, repr=False, compare=False)
 
     def _pid_index(self) -> Dict[int, int]:
         if self._pid_arrival is None or self._pid_arrival_len != len(self.arrivals):
@@ -185,6 +187,44 @@ class NFView:
                 count=len(self.reads),
             )
         return self._read_times
+
+    def arrival_pids(self) -> Optional[object]:
+        """Cached int64 array of arrival pids, aligned with arrival_times()."""
+        if _np is None:
+            return None
+        if self._arrival_pids is None or len(self._arrival_pids) != len(
+            self.arrivals
+        ):
+            self._arrival_pids = _np.fromiter(
+                (pid for _t, pid in self.arrivals),
+                dtype=_np.int64,
+                count=len(self.arrivals),
+            )
+        return self._arrival_pids
+
+    def read_pids(self) -> Optional[object]:
+        """Cached int64 array of read pids, aligned with read_times()."""
+        if _np is None:
+            return None
+        if self._read_pids is None or len(self._read_pids) != len(self.reads):
+            self._read_pids = _np.fromiter(
+                (pid for _t, pid in self.reads),
+                dtype=_np.int64,
+                count=len(self.reads),
+            )
+        return self._read_pids
+
+    def arrival_time_at(self, idx: int) -> int:
+        """Timestamp of arrival ``idx`` (array-backed views avoid tuples)."""
+        return self.arrivals[idx][0]
+
+    def reads_before(self, t_ns: int) -> int:
+        """Number of reads strictly before ``t_ns``."""
+        return bisect.bisect_left(self.reads, (t_ns, -1))
+
+    def last_depart_ns(self) -> Optional[int]:
+        """Timestamp of the final depart here, or None with no departs."""
+        return self.departs[-1][0] if self.departs else None
 
     def arrival_index_of(self, pid: int) -> Optional[int]:
         """Index of ``pid``'s first arrival here, or None if it never arrived."""
@@ -228,11 +268,50 @@ class DiagTrace:
         self.sources = sources
         self.nf_types = nf_types or {}
         self.telemetry = telemetry
+        # Columnar twin (repro.core.columnar.TraceColumns), built lazily on
+        # first use and invalidated by the mutation counter — live ingest
+        # (IncrementalTrace) bumps it on every applied record.
+        self._columns_cache = None
+        self._columns_built_at = -1
+        self._mutations = 0
         for view in nfs.values():
             view.arrivals.sort()
             view.reads.sort()
             view.departs.sort()
             view.drops.sort()
+
+    # -- columnar backend ----------------------------------------------------
+
+    def _mark_mutated(self) -> None:
+        """Record an in-place mutation so cached columns rebuild."""
+        self._mutations += 1
+
+    def columns(self):
+        """This trace's :class:`~repro.core.columnar.TraceColumns`, or None.
+
+        Returns None when ``REPRO_TRACE_BACKEND=python`` or numpy is
+        missing — callers fall back to the object walk (the oracle path).
+        The build is cached and rebuilt only after mutations.
+        """
+        from repro.core import columnar
+
+        if not columnar.columnar_enabled():
+            return None
+        if (
+            self._columns_cache is None
+            or self._columns_built_at != self._mutations
+        ):
+            self._columns_cache = columnar.TraceColumns.from_trace(self)
+            self._columns_built_at = self._mutations
+        return self._columns_cache
+
+    def __getstate__(self):
+        # Columns are derived data; keep legacy pickles (the non-shm
+        # parallel fallback) from shipping them twice.
+        state = self.__dict__.copy()
+        state["_columns_cache"] = None
+        state["_columns_built_at"] = -1
+        return state
 
     # -- constructors --------------------------------------------------------
 

@@ -41,7 +41,7 @@ from __future__ import annotations
 
 import bisect
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.diagnosis import MicroscopeEngine, VictimDiagnosis
 from repro.core.records import DiagTrace, NFView, PacketView
@@ -218,7 +218,7 @@ class StreamingDiagnosis:
         trace: DiagTrace,
         config: Optional[StreamingConfig] = None,
         victim_pct: float = 99.0,
-        workers: Optional[int] = None,
+        workers: Union[int, str, None] = None,
         task_timeout_s: Optional[float] = None,
         victim_threshold_ns: Optional[int] = None,
         **engine_kwargs,
@@ -285,8 +285,9 @@ class StreamingDiagnosis:
     def _end_ns(self) -> int:
         latest = 0
         for view in self.trace.nfs.values():
-            if view.departs:
-                latest = max(latest, view.departs[-1][0])
+            last = view.last_depart_ns()
+            if last is not None:
+                latest = max(latest, last)
         return latest
 
     @staticmethod

@@ -292,6 +292,7 @@ class IncrementalTrace(DiagTrace):
                 source=stream,
                 emitted_ns=record.time_ns,
             )
+            self._mark_mutated()  # cached columns must rebuild
             return True
         view = self.nfs.get(stream)
         if view is None:
@@ -330,6 +331,7 @@ class IncrementalTrace(DiagTrace):
             _insert_sorted(view.drops, (record.time_ns, record.pid))
         else:  # exit
             packet.exited_ns = record.time_ns
+        self._mark_mutated()  # cached columns must rebuild
         return True
 
     def ingest(self, feed: TelemetryFeed) -> int:

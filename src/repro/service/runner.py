@@ -78,8 +78,10 @@ class ServiceConfig:
     #: size stays flat no matter how long the run (0 = snapshot never;
     #: restores then replay the whole journal to rebuild the tally).
     tally_compact_every: int = 8
-    #: Per-chunk diagnosis parallelism (None = serial).
-    workers: Optional[int] = None
+    #: Per-chunk diagnosis parallelism: None = serial, an int = that many
+    #: worker processes, "auto" = serial below the engine's victim-count
+    #: threshold, parallel above it (decision counted in cache_stats).
+    workers: Union[int, str, None] = None
     #: Watchdog deadline per parallel shard; a wedged worker is killed and
     #: its victims retried serially (surfaced as ``worker_timeouts``).
     task_timeout_s: Optional[float] = None

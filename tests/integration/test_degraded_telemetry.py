@@ -54,8 +54,7 @@ LOSS_SWEEP = [0.0, 0.05, 0.10, 0.20, 0.30]
 NOISE = 0.15
 
 
-@pytest.fixture(scope="module")
-def soak_scenario():
+def build_soak_scenario():
     """Intro-style bug scenario tuned to build queues without overflow."""
     topo = Topology()
     topo.add_nf(
@@ -96,6 +95,11 @@ def soak_scenario():
     ).run()
     edges = [EdgeSpec("src", "fw1", 500), EdgeSpec("fw1", "vpn1", 500)]
     return topo, collector.data, edges
+
+
+@pytest.fixture(scope="module")
+def soak_scenario():
+    return build_soak_scenario()
 
 
 def run_pipeline(topo, data, edges, chaos=None, tolerant=True):
