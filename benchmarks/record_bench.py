@@ -389,6 +389,132 @@ def bench_columnar(repeats: int, trace, threshold_ns: int = 50_000) -> dict:
     }
 
 
+def bench_fleet(repeats: int, trace) -> dict:
+    """Fleet-scale execution plane: aggregate throughput at 1/2/4/8
+    pipelines over one shared warm pool (ISSUE 7 tentpole).
+
+    Serial reference is one pipeline with no pool (inline diagnosis, the
+    PR-6 regime); an N-pipeline fleet would cost N× that run serially.
+    The fleet numbers are whatever this machine delivers — ``cpus`` is
+    recorded next to them, and a 1-core container cannot show aggregate
+    speedup (the GIL serializes the pipeline threads and the pool's
+    workers share the single core).  Byte-identity of every pipeline
+    journal with a standalone PR-6 service run is asserted, not assumed.
+
+    The warm-vs-cold comparison isolates the dispatch overhead the pool
+    amortizes: ``diagnose_all`` on an already-warm pool (trace segment
+    registered, workers attached and engine-cached) against the
+    spawn-per-call path (fork + share + attach every call).
+    """
+    import shutil
+    import tempfile
+
+    from repro.fleet import FleetConfig, FleetSupervisor, PipelineSpec, WorkerPool
+    from repro.service import DiagnosisService, ServiceConfig
+
+    cols = trace.columns()
+    if cols is None:
+        return {"skipped": "columnar backend unavailable"}
+    n_hops = int(len(cols.hop_arrival))
+    cfg = dict(chunk_ns=3 * MSEC, margin_ns=10 * MSEC, victim_pct=99.9)
+    pool_workers = min(8, max(2, os.cpu_count() or 1))
+
+    # PR-6 oracle: the journal every fleet pipeline must reproduce.
+    state = tempfile.mkdtemp(prefix="bench-fleet-oracle-")
+    try:
+        oracle = DiagnosisService(
+            trace, ServiceConfig(state_dir=state, durable=False, **cfg)
+        )
+        oracle_report = oracle.run()
+        reference_journal = oracle.journal.read_bytes()
+    finally:
+        shutil.rmtree(state, ignore_errors=True)
+
+    def run_fleet(n: int, workers: int):
+        root = tempfile.mkdtemp(prefix="bench-fleet-")
+        try:
+            specs = [
+                PipelineSpec(name=f"site-{i}", source=trace) for i in range(n)
+            ]
+            report = FleetSupervisor(
+                specs,
+                FleetConfig(
+                    state_dir=root,
+                    pool_workers=workers,
+                    task_timeout_s=60.0,
+                    durable=False,
+                    **cfg,
+                ),
+            ).run()
+            for spec in specs:
+                journal = (
+                    Path(root) / "pipelines" / spec.name / "journal.jsonl"
+                ).read_bytes()
+                if journal != reference_journal:
+                    raise SystemExit(
+                        f"FATAL: fleet pipeline {spec.name} journal differs "
+                        f"from the standalone service at {n} pipelines"
+                    )
+            return report
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    reps = max(1, repeats - 2)
+    serial_s, _ = timed(lambda: run_fleet(1, 0), reps)
+
+    scaling = {}
+    for n in (1, 2, 4, 8):
+        wall_s, report = timed(lambda n=n: run_fleet(n, pool_workers), reps)
+        scaling[f"{n}p"] = {
+            "wall_s": round(wall_s, 6),
+            "aggregate_packet_hops_per_s": round(n * n_hops / wall_s, 1),
+            "speedup_vs_serial": round(n * serial_s / wall_s, 2),
+            "pool": report.pool_stats,
+            "scheduler": report.scheduler_stats,
+        }
+
+    # Dispatch overhead: warm pool vs spawn-per-call on one chunk's worth
+    # of victims.
+    victims = VictimSelector(trace).hop_latency_victims(pct=99.9)
+    serial_ref = canonical_bytes(MicroscopeEngine(trace).diagnose_all(victims))
+    with WorkerPool(2) as pool:
+        engine = MicroscopeEngine(trace)
+        engine.diagnose_all(victims, workers=2, executor=pool)  # warm up
+        warm_s, warm_diags = timed(
+            lambda: engine.diagnose_all(victims, workers=2, executor=pool),
+            repeats,
+        )
+        reuses = pool.stats.trace_reuses
+    spawn_s, spawn_diags = timed(
+        lambda: MicroscopeEngine(trace).diagnose_all(victims, workers=2),
+        reps,
+    )
+    if canonical_bytes(warm_diags) != serial_ref:
+        raise SystemExit("FATAL: warm-pool output differs from serial")
+    if canonical_bytes(spawn_diags) != serial_ref:
+        raise SystemExit("FATAL: spawn-per-call output differs from serial")
+
+    return {
+        "workload": "periodic-interrupt chain 60ms per pipeline",
+        "pool_workers": pool_workers,
+        "n_packet_hops_per_pipeline": n_hops,
+        "n_victims_per_pipeline": oracle_report.stats.victims_diagnosed,
+        "serial_reference": {
+            "single_pipeline_no_pool_s": round(serial_s, 6),
+        },
+        "pipeline_scaling": scaling,
+        "dispatch": {
+            "warm_pool_s": round(warm_s, 6),
+            "spawn_per_call_s": round(spawn_s, 6),
+            "warm_pool_saves_s": round(spawn_s - warm_s, 6),
+            "warm_pool_vs_spawn": round(spawn_s / warm_s, 2),
+            "trace_reuses": reuses,
+        },
+        "journals_identical_to_standalone": True,
+        "cpus": os.cpu_count(),
+    }
+
+
 def bench_analyzer_build(repeats: int) -> dict:
     """Cold/warm QueuingAnalyzer index build, python vs numpy backend."""
     view = synthetic_view()
@@ -506,6 +632,12 @@ def main() -> int:
         print(json.dumps(columnar["end_to_end"], indent=2))
         print(json.dumps(columnar["worker_scaling"], indent=2))
 
+    print("benchmarking fleet execution plane ...", flush=True)
+    fleet = bench_fleet(args.repeats, trace60)
+    if "pipeline_scaling" in fleet:
+        print(json.dumps(fleet["pipeline_scaling"], indent=2))
+        print(json.dumps(fleet["dispatch"], indent=2))
+
     print("benchmarking analyzer index build ...", flush=True)
     analyzer_build = bench_analyzer_build(args.repeats)
     print(json.dumps(analyzer_build["timings"], indent=2))
@@ -514,7 +646,7 @@ def main() -> int:
     fast = timings["serial_memoized_cold_s"]
     record = {
         "benchmark": "diagnose_all interrupt-chain 20ms",
-        "issue": 6,
+        "issue": 7,
         "n_victims": len(victims),
         "n_packets": len(trace.packets),
         "timings": {k: round(v, 6) for k, v in sorted(timings.items())},
@@ -544,6 +676,7 @@ def main() -> int:
         "streaming": streaming,
         "service": service,
         "columnar": columnar,
+        "fleet": fleet,
         "analyzer_build": analyzer_build,
         "environment": {
             "python": platform.python_version(),

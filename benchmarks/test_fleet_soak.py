@@ -1,0 +1,213 @@
+"""Fleet crash soak: 8 flaky live pipelines, random kills, one invariant.
+
+Each trial runs an 8-pipeline fleet — every pipeline a live source over a
+seeded 10%-failure transport — and inflicts one randomly drawn crash:
+either inside a random pipeline (a per-chunk or ingest kill-point) or in
+the supervisor itself (a :data:`FLEET_KILL_POINTS` point).  The crash
+tears the whole fleet down mid-flight; a restarted fleet must converge
+every pipeline's journal to the bytes of a clean single-service run.
+That is the crash-only invariant one level up: kill anything, anywhere,
+restart, and the fleet is indistinguishable from one that never crashed.
+
+Runs in the ``fleet-soak`` CI job (not tier-1: minutes of wall clock).
+A red run reproduces locally with::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/test_fleet_soak.py -q
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.fleet import (  # noqa: E402
+    FleetConfig,
+    FleetSupervisor,
+    PipelineSpec,
+    rollup_from_state_dirs,
+)
+from repro.ingest import (  # noqa: E402
+    FeedConfig,
+    FlakyTransport,
+    IncrementalTrace,
+    IngestConfig,
+    SimTransport,
+    TelemetryFeed,
+)
+from repro.nfv.tap import LiveRecordTap  # noqa: E402
+from repro.service import (  # noqa: E402
+    FLEET_KILL_POINTS,
+    INGEST_KILL_POINTS,
+    KILL_POINTS,
+    CrashInjector,
+    CrashPlan,
+    DiagnosisService,
+    LiveTraceSource,
+    ServiceConfig,
+    SimulatedCrash,
+)
+from repro.util.rng import substream  # noqa: E402
+from repro.util.timebase import MSEC, USEC  # noqa: E402
+from tests.conftest import make_chain_topology, run_interrupt_chain  # noqa: E402
+
+SOAK_SEED = 7777
+N_TRIALS = 4
+N_PIPELINES = 8
+FAIL_PROB = 0.10
+CHUNK_NS = 1 * MSEC
+MARGIN_NS = 5 * MSEC
+THRESHOLD_NS = 300 * USEC
+#: Pipeline-level points a trial may arm (mid-protocol and ingest kills).
+PIPELINE_POINTS = KILL_POINTS + INGEST_KILL_POINTS
+
+
+def make_source(records, flaky_seed: int):
+    """A fresh identically-seeded live source (factories rebuild per run)."""
+    transport = FlakyTransport(
+        SimTransport(records), fail_prob=FAIL_PROB, seed=flaky_seed
+    )
+    feed = TelemetryFeed(transport, FeedConfig(buffer_capacity=4096))
+    builder = IncrementalTrace.for_topology(
+        make_chain_topology(),
+        IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS),
+    )
+    return LiveTraceSource(feed, builder)
+
+
+def fleet_config(root) -> FleetConfig:
+    return FleetConfig(
+        state_dir=root,
+        pool_workers=2,
+        task_timeout_s=60.0,
+        chunk_ns=CHUNK_NS,
+        margin_ns=MARGIN_NS,
+        victim_threshold_ns=THRESHOLD_NS,
+        durable=False,
+    )
+
+
+def make_specs(records, faults_for=None):
+    """8 pipeline specs; ``faults_for`` maps one name to its injector."""
+    faults_for = faults_for or {}
+    return [
+        PipelineSpec(
+            name=f"site-{i}",
+            # Default-arg binding: each factory captures its own seed, and
+            # a restarted fleet rebuilds the identical flaky schedule.
+            source=lambda seed=SOAK_SEED + i: make_source(records, seed),
+            faults=faults_for.get(f"site-{i}"),
+        )
+        for i in range(N_PIPELINES)
+    ]
+
+
+@pytest.fixture(scope="module")
+def records():
+    tap = LiveRecordTap()
+    run_interrupt_chain(duration_ns=8 * MSEC, extra_hooks=[tap])
+    return tap.records
+
+
+@pytest.fixture(scope="module")
+def reference(records, tmp_path_factory):
+    """Clean single-service live run: the journal every pipeline must hit."""
+    service = DiagnosisService(
+        make_source(records, flaky_seed=SOAK_SEED),
+        ServiceConfig(
+            state_dir=tmp_path_factory.mktemp("ref"),
+            chunk_ns=CHUNK_NS,
+            margin_ns=MARGIN_NS,
+            victim_threshold_ns=THRESHOLD_NS,
+            durable=False,
+        ),
+    )
+    report = service.run()
+    assert report.stats.chunks_done == report.n_chunks >= 5
+    return {
+        "journal": service.journal.read_bytes(),
+        "n_chunks": report.n_chunks,
+        "tally": report.tally.to_payload(),
+    }
+
+
+def assert_converged(root, reference):
+    for i in range(N_PIPELINES):
+        journal = (
+            Path(root) / "pipelines" / f"site-{i}" / "journal.jsonl"
+        ).read_bytes()
+        assert journal == reference["journal"], f"site-{i} journal diverged"
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_soak_random_kill_recovers_byte_identical(
+    records, reference, tmp_path, trial
+):
+    rng = substream(SOAK_SEED, f"fleet-soak:{trial}")
+    supervisor_faults = None
+    pipeline_faults = {}
+    if trial % 2 == 0:
+        # Supervisor kill: tear the fleet down outside any pipeline.
+        point = FLEET_KILL_POINTS[int(rng.integers(0, len(FLEET_KILL_POINTS)))]
+        chunk = (
+            int(rng.integers(0, N_PIPELINES))
+            if point == "pipeline-launch"
+            else 0
+        )
+        supervisor_faults = CrashInjector(CrashPlan(point, chunk))
+        label = f"supervisor ({point}, {chunk})"
+    else:
+        # Pipeline kill: crash one random pipeline mid-protocol; the
+        # supervisor must stop the other seven at chunk boundaries.
+        victim = f"site-{int(rng.integers(0, N_PIPELINES))}"
+        point = PIPELINE_POINTS[int(rng.integers(0, len(PIPELINE_POINTS)))]
+        chunk = int(rng.integers(0, max(1, reference["n_chunks"] // 2)))
+        pipeline_faults = {victim: CrashInjector(CrashPlan(point, chunk))}
+        label = f"{victim} ({point}, {chunk})"
+
+    armed = FleetSupervisor(
+        make_specs(records, pipeline_faults),
+        fleet_config(tmp_path),
+        faults=supervisor_faults,
+    )
+    try:
+        armed.run()
+    except SimulatedCrash:
+        pass  # a plan landing past the schedule just completes cleanly
+
+    report = FleetSupervisor(make_specs(records), fleet_config(tmp_path)).run()
+    assert_converged(tmp_path, reference)
+    assert len(report.pipelines) == N_PIPELINES, f"kill at {label}"
+    # The rollup is a pure function of the converged journals.
+    offline = rollup_from_state_dirs(
+        {
+            f"site-{i}": Path(tmp_path) / "pipelines" / f"site-{i}"
+            for i in range(N_PIPELINES)
+        }
+    )
+    assert offline.to_payload() == report.rollup.to_payload()
+    assert offline.victims == N_PIPELINES * reference["tally"]["victims"]
+
+
+def test_clean_fleet_matches_reference_and_transport_bites(
+    records, reference, tmp_path
+):
+    """No kills: 8 flaky pipelines converge in one run, and the 10%-failure
+    transports demonstrably failed (guards against an inert FlakyPlan)."""
+    report = FleetSupervisor(make_specs(records), fleet_config(tmp_path)).run()
+    assert_converged(tmp_path, reference)
+    retries = sum(
+        r.stats.ingest_retries for r in report.pipelines.values()
+    )
+    failures = sum(
+        r.stats.ingest_transport_failures for r in report.pipelines.values()
+    )
+    assert failures > 0 and retries > 0
+    assert report.pool_stats["failures"] == 0
+    assert report.scheduler_stats["admitted"] >= N_PIPELINES

@@ -94,6 +94,14 @@ class CulpritTally:
         )
         return [(kind, loc, entry) for (kind, loc), entry in ranked[:n]]
 
+    def entries(self) -> List[Tuple[Tuple[str, str], TallyEntry]]:
+        """Every (kind, location) entry, sorted — the fleet-rollup feed."""
+        return sorted(self._entries.items())
+
+    def victims_per_nf(self) -> Dict[str, int]:
+        """Victim counts per NF, sorted copy (rollup provenance)."""
+        return dict(sorted(self._victims_per_nf.items()))
+
     def victims_at(self, nf: str) -> int:
         return self._victims_per_nf.get(nf, 0)
 

@@ -48,6 +48,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import weakref
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.records import DiagTrace, NFView, PacketHop, PacketView
@@ -1020,18 +1021,36 @@ class ShmDispatch:
     error path (including :class:`BaseException` unwinds like
     ``SimulatedCrash`` — the caller wraps dispatch in ``try/finally`` so no
     ``/dev/shm`` segment ever outlives the call).
+
+    With ``trace_cache`` (a :class:`SharedTraceCache`) the trace block is
+    *borrowed* instead of created: successive ``diagnose_all`` calls on an
+    unchanged trace reuse one segment, and only the per-call victim block
+    is created and unlinked here.  Unlink responsibility for the borrowed
+    segment stays with the cache's owner (a worker pool or engine
+    ``close()``), which keeps the no-leak guarantee BaseException-safe —
+    the owner's ``try/finally`` spans every call that borrowed from it.
     """
 
-    def __init__(self, trace: DiagTrace, victims: Sequence) -> None:
+    def __init__(
+        self,
+        trace: DiagTrace,
+        victims: Sequence,
+        trace_cache: Optional["SharedTraceCache"] = None,
+    ) -> None:
         cols = trace.columns()
         if cols is None:
             raise TraceError("shared-memory dispatch requires the columnar backend")
         self.nf_names = cols.nf_names
-        self.trace_shm = share_trace(trace)
+        self._owns_trace = trace_cache is None
+        if trace_cache is None:
+            self.trace_shm = share_trace(trace)
+        else:
+            self.trace_shm = trace_cache.segment()
         try:
             self.victims_shm = share_victims(victims, cols)
         except BaseException:
-            self._unlink(self.trace_shm)
+            if self._owns_trace:
+                self._unlink(self.trace_shm)
             raise
 
     def task_args(self, lo: int, hi: int, engine_params: tuple) -> tuple:
@@ -1052,7 +1071,64 @@ class ShmDispatch:
 
     def cleanup(self) -> None:
         self._unlink(self.victims_shm)
-        self._unlink(self.trace_shm)
+        if self._owns_trace:
+            self._unlink(self.trace_shm)
+
+
+class SharedTraceCache:
+    """One reusable :func:`share_trace` segment, mutation-keyed.
+
+    The per-call dispatch path pays a full column copy into a fresh
+    ``/dev/shm`` block on *every* ``diagnose_all`` — wasted work when the
+    trace has not changed between calls (the overwhelmingly common case
+    for a service diagnosing chunk after chunk of one trace).  This cache
+    keys the segment on the trace's mutation counter, exactly like the
+    engine's columns cache: an unchanged trace reuses the same named
+    block, a mutated trace (live ingest grew it) retires the old segment
+    and shares a fresh generation.
+
+    Ownership contract: whoever constructs the cache must call
+    :meth:`close` on every exit path (``try/finally``), which unlinks the
+    live segment.  A ``weakref.finalize`` backstop unlinks on garbage
+    collection too, so even an abandoned cache cannot leak past process
+    exit, but the explicit close is the guarantee the crash tests pin.
+    """
+
+    def __init__(self, trace: DiagTrace) -> None:
+        self.trace = trace
+        self._shm = None
+        self._mutations = -1
+        self._finalizer = None
+        #: Telemetry: how many generation builds vs. reuses served.
+        self.shares = 0
+        self.reuses = 0
+
+    def segment(self):
+        """The live segment for the trace's current contents."""
+        mutations = self.trace._mutations
+        if self._shm is not None and self._mutations == mutations:
+            self.reuses += 1
+            return self._shm
+        self.close()
+        self._shm = share_trace(self.trace)
+        self._mutations = mutations
+        self.shares += 1
+        self._finalizer = weakref.finalize(self, ShmDispatch._unlink, self._shm)
+        return self._shm
+
+    @property
+    def name(self) -> Optional[str]:
+        return None if self._shm is None else self._shm.name
+
+    def close(self) -> None:
+        """Unlink the live segment (idempotent, exception-safe)."""
+        if self._finalizer is not None:
+            self._finalizer.detach()
+            self._finalizer = None
+        if self._shm is not None:
+            ShmDispatch._unlink(self._shm)
+            self._shm = None
+        self._mutations = -1
 
 
 def shm_available() -> bool:

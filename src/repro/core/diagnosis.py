@@ -43,6 +43,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
@@ -71,7 +72,9 @@ AUTO_MIN_VICTIMS = 1024
 
 
 def resolve_auto_workers(
-    n_victims: int, cpus: Optional[int] = None
+    n_victims: int,
+    cpus: Optional[int] = None,
+    concurrent_pipelines: int = 1,
 ) -> Optional[int]:
     """Worker count for ``workers="auto"``; None means stay serial.
 
@@ -79,12 +82,21 @@ def resolve_auto_workers(
     batch is below :data:`AUTO_MIN_VICTIMS`; otherwise up to four workers,
     bounded by the core count (more shards than cores only adds dispatch
     overhead for this CPU-bound workload).
+
+    ``concurrent_pipelines`` is the fleet dimension: N pipelines diagnosing
+    at once share the machine, so each one's slice of the core budget is
+    ``cpus // N`` — otherwise every pipeline would independently claim
+    "up to four workers" and an 8-pipeline fleet would oversubscribe a
+    4-core host 8×.  A pipeline whose slice falls below two cores stays
+    serial (its chunk still overlaps other pipelines' chunks through the
+    shared pool).
     """
     if cpus is None:
         cpus = os.cpu_count() or 1
-    if cpus < 2 or n_victims < AUTO_MIN_VICTIMS:
+    share = cpus // max(1, concurrent_pipelines)
+    if share < 2 or n_victims < AUTO_MIN_VICTIMS:
         return None
-    return min(4, cpus)
+    return min(4, share)
 
 
 @dataclass(frozen=True)
@@ -497,6 +509,8 @@ class MicroscopeEngine:
         victims: Sequence[Victim],
         workers: Union[int, str, None] = None,
         task_timeout_s: Optional[float] = None,
+        executor=None,
+        concurrent_pipelines: int = 1,
     ) -> List[VictimDiagnosis]:
         """Diagnose every victim, serially or across a process pool.
 
@@ -521,15 +535,38 @@ class MicroscopeEngine:
         ``cache_stats.worker_timeouts``/``worker_failures``.  One stuck
         worker can therefore neither hang the run nor discard its
         siblings' work.
+
+        ``executor`` injects a persistent :class:`repro.fleet.WorkerPool`:
+        shards are dispatched to its warm workers instead of spawning a
+        fresh process per shard, and the trace's shared-memory segment is
+        registered once with the pool and reused across calls
+        (mutation-keyed) instead of re-shared and unlinked per call.  With
+        an executor even ``workers=1`` goes through the pool — the point
+        of the fleet plane is that the chunk then computes *outside* this
+        process, so concurrent pipelines overlap despite the GIL.
+        ``concurrent_pipelines`` feeds the ``"auto"`` resolver so N
+        pipelines sharing the host don't oversubscribe it N-fold.
         """
         if workers == "auto":
-            resolved = resolve_auto_workers(len(victims))
+            if concurrent_pipelines > 1:
+                resolved = resolve_auto_workers(
+                    len(victims), concurrent_pipelines=concurrent_pipelines
+                )
+            else:
+                resolved = resolve_auto_workers(len(victims))
+            if resolved is None and executor is not None and len(victims) > 1:
+                # Under a pool, "stay serial" still means "run in one warm
+                # worker": the decision is about shard count, not about
+                # computing inline and serializing the fleet.
+                resolved = 1
             if resolved is None:
                 self._auto_serial += 1
                 workers = None
             else:
                 self._auto_parallel += 1
                 workers = resolved
+        if executor is not None and workers is not None and workers >= 1 and victims:
+            return self._diagnose_pooled(victims, workers, task_timeout_s, executor)
         if workers is None or workers <= 1 or len(victims) <= 1:
             if len(victims) > 1:
                 self._prefill_periods(victims)
@@ -720,6 +757,106 @@ class MicroscopeEngine:
             else:
                 # Workers ship compact wire tuples, not pickled dataclass
                 # trees; reconstruction on this side is deterministic.
+                for victim, wire in zip(chunk, wires):
+                    results.append(_diagnosis_from_wire(victim, wire))
+        return results
+
+    def _diagnose_pooled(
+        self,
+        victims: Sequence[Victim],
+        workers: int,
+        task_timeout_s: Optional[float],
+        executor,
+    ) -> List[VictimDiagnosis]:
+        """Shard dispatch over a persistent worker pool (fleet plane).
+
+        Differences from :meth:`_diagnose_parallel`: no processes are
+        spawned (the pool's warm workers are checked out per shard and
+        returned afterwards), and the trace segment is *registered* with
+        the pool — shared once, attached by name, reused across every call
+        on the unchanged trace — so only the small per-call victim block
+        is created and unlinked here.  Failure semantics are identical:
+        shards that time out have their worker killed (the pool respawns a
+        fresh one) and every shard without a result is retried serially,
+        under the same ``worker_failures``/``worker_timeouts`` accounting.
+
+        Shards are capped at the pool size: submitting more than the pool
+        can hold at once would park this thread in ``submit`` while its
+        own finished-but-unharvested shards pin the workers it is waiting
+        for.
+        """
+        workers = min(workers, executor.size)
+        n_shards = max(1, min(workers, len(victims)))
+        shard_size = (len(victims) + n_shards - 1) // n_shards
+        bounds = [
+            (i, min(i + shard_size, len(victims)))
+            for i in range(0, len(victims), shard_size)
+        ]
+        chunks = [list(victims[lo:hi]) for lo, hi in bounds]
+        init_args = (
+            self.trace,
+            self.max_depth,
+            self.min_score,
+            self._queue_threshold,
+            self.memoize,
+            self.backend,
+        )
+        engine_params = init_args[1:]
+        victims_shm = None
+        trace_name = None
+        cols = self._columns()
+        if cols is not None:
+            try:
+                from repro.core.columnar import share_victims, shm_available
+
+                if shm_available():
+                    trace_name = executor.register_trace(self.trace)
+                    victims_shm = share_victims(victims, cols)
+            except Exception:  # pragma: no cover - e.g. /dev/shm exhausted
+                trace_name = None
+                victims_shm = None
+        chunk_wires: List[Optional[List[_Wire]]] = [None] * len(chunks)
+        try:
+            if victims_shm is not None:
+                tasks = [
+                    ("shm", trace_name, victims_shm.name, lo, hi, engine_params)
+                    for lo, hi in bounds
+                ]
+                payload = max(len(pickle.dumps(t)) for t in tasks)
+            else:
+                tasks = [("pickle", init_args, chunk) for chunk in chunks]
+                payload = None
+            self.last_dispatch = {
+                "mode": "shm" if victims_shm is not None else "pickle",
+                "pooled": True,
+                "payload_bytes_per_task": payload,
+            }
+            pending = [executor.submit(task) for task in tasks]
+            deadline = (
+                None if task_timeout_s is None else time.monotonic() + task_timeout_s
+            )
+            for idx, handle in enumerate(pending):
+                status, wires = handle.result(deadline)
+                if status == "ok":
+                    chunk_wires[idx] = wires
+                elif status == "timeout":
+                    self._worker_failures += 1
+                    self._worker_timeouts += 1
+                else:
+                    self._worker_failures += 1
+        finally:
+            # The borrowed trace segment stays with the pool (unlinked by
+            # ``executor.close()``); the per-call victim block must not
+            # outlive this call on any path, BaseException included.
+            if victims_shm is not None:
+                from repro.core.columnar import ShmDispatch
+
+                ShmDispatch._unlink(victims_shm)
+        results: List[VictimDiagnosis] = []
+        for chunk, wires in zip(chunks, chunk_wires):
+            if wires is None:
+                results.extend(self.diagnose(victim) for victim in chunk)
+            else:
                 for victim, wire in zip(chunk, wires):
                     results.append(_diagnosis_from_wire(victim, wire))
         return results

@@ -221,11 +221,18 @@ class StreamingDiagnosis:
         workers: Union[int, str, None] = None,
         task_timeout_s: Optional[float] = None,
         victim_threshold_ns: Optional[int] = None,
+        executor=None,
+        concurrent_pipelines: int = 1,
         **engine_kwargs,
     ) -> None:
         self.trace = trace
         self.config = config or StreamingConfig()
         self.victim_pct = victim_pct
+        #: Persistent worker pool (fleet plane) forwarded to
+        #: ``diagnose_all``; None keeps the spawn-per-call path.
+        self.executor = executor
+        #: Fleet fan-out hint for the ``workers="auto"`` resolver.
+        self.concurrent_pipelines = concurrent_pipelines
         #: Absolute hop-latency victim threshold.  When set it replaces
         #: the percentile rule with the prefix-stable
         #: ``hop_latency_victims_over`` selection — required in live mode,
@@ -415,7 +422,11 @@ class StreamingDiagnosis:
             victims = self._victims_in(start, chunk_end)
         diagnoses = (
             engine.diagnose_all(
-                victims, workers=self.workers, task_timeout_s=self.task_timeout_s
+                victims,
+                workers=self.workers,
+                task_timeout_s=self.task_timeout_s,
+                executor=self.executor,
+                concurrent_pipelines=self.concurrent_pipelines,
             )
             if victims
             else []
@@ -485,6 +496,8 @@ class StreamingDiagnosis:
                     victims,
                     workers=self.workers,
                     task_timeout_s=self.task_timeout_s,
+                    executor=self.executor,
+                    concurrent_pipelines=self.concurrent_pipelines,
                 )
             else:
                 diagnoses = []

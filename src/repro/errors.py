@@ -63,3 +63,28 @@ class TransportError(TransientError):
     Only after the retry budget is exhausted does it escalate to
     :class:`IngestError`.
     """
+
+
+class FleetError(ServiceError):
+    """The multi-pipeline fleet supervisor hit a non-recoverable condition."""
+
+
+class ServiceStopped(BaseException):
+    """Cooperative wind-down signal for a pipeline running under a supervisor.
+
+    When one pipeline in a fleet crashes, its siblings must stop at their
+    next chunk boundary — *between* committed chunks, never inside one —
+    so a restarted fleet resumes every journal from a clean prefix.  Like
+    :class:`~repro.service.crashsim.SimulatedCrash` this derives from
+    :class:`BaseException`: the service's transient-retry machinery catches
+    ``Exception`` only, and a stop order must never be absorbed by a retry
+    loop.
+    """
+
+    def __init__(self, pipeline: str = "") -> None:
+        super().__init__(
+            f"pipeline {pipeline!r} stopped by its supervisor"
+            if pipeline
+            else "service stopped by its supervisor"
+        )
+        self.pipeline = pipeline

@@ -1,0 +1,32 @@
+"""Fleet-scale execution plane: shared warm worker pool, fair chunk
+scheduling, multi-pipeline supervision, cross-pipeline rollups."""
+
+from repro.fleet.pool import PendingTask, PoolStats, WorkerPool
+from repro.fleet.rollup import (
+    FleetRollup,
+    RollupEntry,
+    rollup_from_state_dirs,
+    tally_from_journal,
+)
+from repro.fleet.supervisor import (
+    FairScheduler,
+    FleetConfig,
+    FleetReport,
+    FleetSupervisor,
+    PipelineSpec,
+)
+
+__all__ = [
+    "FairScheduler",
+    "FleetConfig",
+    "FleetReport",
+    "FleetRollup",
+    "FleetSupervisor",
+    "PendingTask",
+    "PipelineSpec",
+    "PoolStats",
+    "RollupEntry",
+    "WorkerPool",
+    "rollup_from_state_dirs",
+    "tally_from_journal",
+]

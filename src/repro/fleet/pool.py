@@ -1,0 +1,391 @@
+"""Persistent shared worker pool: warm processes, registered traces.
+
+The per-call parallel path in :mod:`repro.core.diagnosis` spawns one
+process per shard and shares/unlinks the trace's shared-memory segment on
+every ``diagnose_all`` — correct, but the spawn + share cost is paid per
+chunk, and a fleet of N pipelines would each pay it independently.
+:class:`WorkerPool` amortizes both:
+
+* **warm workers** — processes are forked once at pool construction and
+  serve tasks over duplex pipes until :meth:`close`.  A worker keeps a
+  small cache of ``(trace segment, engine)`` pairs keyed by segment name,
+  so successive chunks of the same pipeline reuse an already-attached
+  trace *and* an already-warmed engine (memo layers carried across
+  chunks of one call never change results — memoization is
+  result-invariant);
+* **registered traces** — :meth:`register_trace` shares a trace's columns
+  into ``/dev/shm`` once and reuses the segment across calls, keyed on
+  the trace's mutation counter (:class:`~repro.core.columnar.SharedTraceCache`).
+  A mutated trace (live ingest grew it) retires the old segment and
+  registers a fresh generation; workers notice the new name and attach
+  fresh.  Every live segment is unlinked by :meth:`close`, which owners
+  run in ``try/finally`` so the no-``/dev/shm``-leak guarantee survives
+  :class:`BaseException` unwinds (``SimulatedCrash`` included);
+* **checkout fairness** — free workers live in a FIFO queue; concurrent
+  pipeline threads block on checkout and are served in arrival order, so
+  no pipeline can starve another while the pool is saturated.
+
+Failure semantics match the per-call path: a worker that dies or misses
+its deadline is killed and a replacement forked (``respawns`` in
+:class:`PoolStats`); the submitting engine retries the shard serially.
+Workers resolve ``_parallel_worker_init``/``_parallel_worker_diagnose``
+through :mod:`repro.core.diagnosis` module globals at call time, so a
+fork-inherited monkeypatch of either (how the watchdog tests wedge a
+worker) behaves exactly as it does under the per-call path.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field, fields
+from typing import Dict, Optional, Tuple
+
+from repro.errors import FleetError
+
+#: Trace registrations the pool retains (LRU); each holds one /dev/shm
+#: segment plus a strong reference to its trace.
+DEFAULT_MAX_TRACES = 16
+
+#: Attached (segment, engine) pairs one worker caches before evicting the
+#: least recently used — bounds worker-side memory across many pipelines.
+WORKER_CACHE_SLOTS = 4
+
+
+@dataclass
+class PoolStats:
+    """Dispatch telemetry for one pool lifetime (pure ints)."""
+
+    workers: int = 0
+    tasks: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+    #: Trace registry: segments built vs. calls served by a live segment.
+    trace_shares: int = 0
+    trace_reuses: int = 0
+
+    def to_payload(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+
+class _Worker:
+    """One warm worker process and the parent end of its pipe."""
+
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+
+
+class PendingTask:
+    """Handle for one submitted shard; :meth:`result` returns the worker."""
+
+    def __init__(self, pool: "WorkerPool", worker: _Worker) -> None:
+        self._pool = pool
+        self._worker = worker
+        self._done = False
+
+    def result(self, deadline: Optional[float] = None):
+        """``(status, payload)``: ``("ok", wires)``, ``("error", msg)`` or
+        ``("timeout", None)``.
+
+        ``deadline`` is an absolute ``time.monotonic()`` instant shared by
+        sibling shards.  A missed deadline kills this worker (a wedged
+        process never honours a soft shutdown) and forks a replacement;
+        only the expired shard is lost — siblings keep their workers.
+        """
+        if self._done:
+            raise FleetError("pool task result consumed twice")
+        self._done = True
+        worker, pool = self._worker, self._pool
+        try:
+            if deadline is not None:
+                remaining = max(0.0, deadline - time.monotonic())
+                if not worker.conn.poll(remaining):
+                    pool._retire(worker)
+                    pool.stats.timeouts += 1
+                    pool.stats.failures += 1
+                    return ("timeout", None)
+            status, payload = worker.conn.recv()
+        except (EOFError, OSError):
+            # The worker died before reporting (crash, os._exit, kill).
+            pool._retire(worker)
+            pool.stats.failures += 1
+            return ("error", "worker died before reporting")
+        pool._release(worker)
+        if status != "ok":
+            pool.stats.failures += 1
+        return (status, payload)
+
+
+class WorkerPool:
+    """Fleet-wide persistent process pool (see module docstring)."""
+
+    def __init__(
+        self, workers: int = 2, max_traces: int = DEFAULT_MAX_TRACES
+    ) -> None:
+        if workers < 1:
+            raise FleetError(f"pool needs at least one worker, got {workers}")
+        self.size = workers
+        self.max_traces = max_traces
+        methods = multiprocessing.get_all_start_methods()
+        self._context = multiprocessing.get_context(
+            "fork" if "fork" in methods else methods[0]
+        )
+        self._lock = threading.Lock()
+        self._free: "queue.Queue[_Worker]" = queue.Queue()
+        self._workers: list = []
+        #: id(trace) -> (trace, SharedTraceCache); the strong trace
+        #: reference both keeps the cache's mutation key meaningful and
+        #: prevents id() reuse from aliasing two traces.
+        self._traces: "OrderedDict[int, tuple]" = OrderedDict()
+        self.closed = False
+        self.stats = PoolStats(workers=workers)
+        # Start the multiprocessing resource tracker *before* forking
+        # workers: shm attaches register with the tracker (gh-82300), and
+        # only a child that inherited the parent's tracker fd collapses
+        # its registrations into the parent's set — a child that lazily
+        # starts its own tracker would warn about every segment the
+        # parent later unlinks.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - tracker API unavailable
+            pass
+        try:
+            for _ in range(workers):
+                self._free.put(self._spawn())
+        except BaseException:
+            self.close()
+            raise
+
+    # -- worker lifecycle -------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._context.Pipe(duplex=True)
+        proc = self._context.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        worker = _Worker(proc, parent_conn)
+        with self._lock:
+            self._workers.append(worker)
+        return worker
+
+    def _release(self, worker: _Worker) -> None:
+        if self.closed:
+            return
+        self._free.put(worker)
+
+    def _retire(self, worker: _Worker) -> None:
+        """Kill a dead/wedged worker and fork its replacement."""
+        try:
+            worker.proc.terminate()
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():  # pragma: no cover - stuck terminate
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+        except Exception:  # pragma: no cover - already reaped
+            pass
+        try:
+            worker.conn.close()
+        except Exception:
+            pass
+        with self._lock:
+            if worker in self._workers:
+                self._workers.remove(worker)
+        if not self.closed:
+            self.stats.respawns += 1
+            self._free.put(self._spawn())
+
+    # -- trace registry ---------------------------------------------------------
+
+    def register_trace(self, trace) -> str:
+        """Name of the live shared segment for ``trace``'s current contents.
+
+        Shares once, then reuses until the trace mutates (the cache is
+        keyed on ``trace._mutations``); the retired generation is unlinked
+        immediately — attached workers keep their mapping alive until they
+        drop it, which POSIX permits.  Registrations are LRU-capped at
+        ``max_traces``.
+        """
+        from repro.core.columnar import SharedTraceCache
+
+        if self.closed:
+            raise FleetError("register_trace on a closed pool")
+        with self._lock:
+            entry = self._traces.get(id(trace))
+            if entry is None or entry[0] is not trace:
+                entry = (trace, SharedTraceCache(trace))
+                self._traces[id(trace)] = entry
+            self._traces.move_to_end(id(trace))
+            while len(self._traces) > self.max_traces:
+                _key, (_old_trace, old_cache) = self._traces.popitem(last=False)
+                old_cache.close()
+            cache = entry[1]
+            name = cache.segment().name
+            self.stats.trace_shares = sum(
+                c.shares for _t, c in self._traces.values()
+            )
+            self.stats.trace_reuses = sum(
+                c.reuses for _t, c in self._traces.values()
+            )
+            return name
+
+    # -- dispatch ---------------------------------------------------------------
+
+    def submit(self, task: tuple) -> PendingTask:
+        """Check out a free worker (FIFO; blocks when saturated) and send.
+
+        The task is a ``("shm", trace_name, victims_name, lo, hi, params)``
+        or ``("pickle", init_args, victims)`` tuple — the same shapes the
+        per-call shard workers consume.
+        """
+        if self.closed:
+            raise FleetError("submit on a closed pool")
+        worker = self._free.get()
+        self.stats.tasks += 1
+        try:
+            worker.conn.send(task)
+        except (OSError, ValueError):
+            # Send failed (worker died between tasks): retire and retry
+            # once on a fresh worker.
+            self._retire(worker)
+            worker = self._free.get()
+            worker.conn.send(task)
+        return PendingTask(self, worker)
+
+    # -- shutdown ---------------------------------------------------------------
+
+    def close(self) -> None:
+        """Stop every worker and unlink every registered segment.
+
+        Idempotent and BaseException-safe: owners call it in ``finally``
+        so no worker process or ``/dev/shm`` segment outlives the owning
+        scope, however it unwound.
+        """
+        with self._lock:
+            if self.closed:
+                return
+            self.closed = True
+            workers = list(self._workers)
+            self._workers.clear()
+            traces = list(self._traces.values())
+            self._traces.clear()
+        for worker in workers:
+            try:
+                worker.conn.send(None)
+            except Exception:
+                pass
+        for worker in workers:
+            worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():
+                worker.proc.terminate()
+                worker.proc.join(timeout=5.0)
+            if worker.proc.is_alive():  # pragma: no cover - stuck terminate
+                worker.proc.kill()
+                worker.proc.join(timeout=5.0)
+            try:
+                worker.conn.close()
+            except Exception:
+                pass
+        for _trace, cache in traces:
+            cache.close()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> bool:
+        self.close()
+        return False
+
+
+# -- worker side ---------------------------------------------------------------
+
+
+def _pool_worker_main(conn) -> None:
+    """Warm-worker loop: attach, diagnose, answer, repeat until shutdown.
+
+    Engines are cached per ``(trace segment name, engine params)`` so a
+    pipeline's successive chunks skip both the attach and the engine
+    rebuild.  Diagnosis itself goes through the module-global
+    ``_parallel_worker_init``/``_parallel_worker_diagnose`` entry points
+    in :mod:`repro.core.diagnosis` — same code, same monkeypatchability
+    as the per-call shard workers.
+    """
+    import repro.core.diagnosis as diagnosis_mod
+    from repro.core import columnar
+
+    engines: "OrderedDict[tuple, object]" = OrderedDict()
+    segments: Dict[tuple, object] = {}
+
+    def _drop_engine(key: tuple) -> None:
+        engines.pop(key, None)
+        shm = segments.pop(key, None)
+        if shm is not None:
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - views still alive
+                pass
+
+    try:
+        while True:
+            try:
+                task = conn.recv()
+            except (EOFError, OSError):
+                break
+            if task is None:
+                break
+            try:
+                if task[0] == "shm":
+                    _kind, trace_name, victims_name, lo, hi, params = task
+                    key = (trace_name, params)
+                    engine = engines.get(key)
+                    if engine is None:
+                        trace, shm = columnar.attach_trace(trace_name)
+                        segments[key] = shm
+                        diagnosis_mod._parallel_worker_init(trace, *params)
+                        engine = diagnosis_mod._WORKER_ENGINE
+                        engines[key] = engine
+                        while len(engines) > WORKER_CACHE_SLOTS:
+                            _drop_engine(next(iter(engines)))
+                    else:
+                        diagnosis_mod._WORKER_ENGINE = engine
+                    engines.move_to_end(key)
+                    victims = columnar.attach_victims(
+                        victims_name,
+                        engine.trace.columns().nf_names,
+                        lo,
+                        hi,
+                    )
+                    conn.send(("ok", diagnosis_mod._parallel_worker_diagnose(victims)))
+                elif task[0] == "pickle":
+                    _kind, init_args, victims = task
+                    diagnosis_mod._parallel_worker_init(*init_args)
+                    conn.send(("ok", diagnosis_mod._parallel_worker_diagnose(victims)))
+                else:
+                    conn.send(("error", f"unknown task kind {task[0]!r}"))
+            except BaseException as exc:
+                try:
+                    conn.send(("error", repr(exc)))
+                except Exception:  # pragma: no cover - parent gone
+                    pass
+    finally:
+        diagnosis_mod._WORKER_ENGINE = None
+        engines.clear()
+        for shm in segments.values():
+            try:
+                shm.close()
+            except Exception:  # pragma: no cover - views still alive
+                pass
+        try:
+            conn.close()
+        except Exception:
+            pass

@@ -1,0 +1,178 @@
+"""Cross-pipeline rollups: fleet-level causal-pattern reports.
+
+A fleet of per-site pipelines produces one :class:`CulpritTally` each —
+useful per site, but an operator running 14 sites wants "NAT slow path,
+14 sites, 2.1M blame" once, not 14 times.  :class:`FleetRollup` merges
+per-pipeline tallies by ``(kind, location)`` culprit identity and keeps
+*provenance*: which pipelines saw each culprit, and how much blame each
+contributed.
+
+Determinism contract: the rollup is a pure fold over per-pipeline tallies
+in sorted pipeline-name order, and every tally is itself reconstructible
+from its pipeline's journal (:func:`tally_from_journal` replays the chunk
+records exactly the way the service's checkpoint-restore path does).  So
+``rollup(journals)`` is a deterministic function of the journal bytes —
+and since the crash-only invariant makes those bytes restart-independent,
+the fleet report is too: kill anything, restart, same rollup payload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple, Union
+
+from repro.aggregation.tallies import CulpritTally
+from repro.errors import FleetError
+
+_ROLLUP_VERSION = 1
+
+
+@dataclass
+class RollupEntry:
+    """Fleet-wide accumulated blame for one (kind, location) culprit."""
+
+    score: float = 0.0
+    count: int = 0
+    confidence_mass: float = 0.0
+    #: pipeline name -> blame contributed by that pipeline.
+    per_pipeline: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def sites(self) -> int:
+        """How many pipelines saw this culprit at all."""
+        return len(self.per_pipeline)
+
+    @property
+    def mean_confidence(self) -> float:
+        if self.score <= 0:
+            return 1.0
+        return self.confidence_mass / self.score
+
+
+class FleetRollup:
+    """Deterministic merge of per-pipeline culprit tallies."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[Tuple[str, str], RollupEntry] = {}
+        self._victims_per_pipeline: Dict[str, int] = {}
+        self.pipelines: List[str] = []
+        self.victims = 0
+        self.culprits = 0
+        self.total_score = 0.0
+
+    def add(self, pipeline: str, tally: CulpritTally) -> None:
+        """Fold one pipeline's tally in (call in sorted pipeline order)."""
+        if pipeline in self._victims_per_pipeline:
+            raise FleetError(f"pipeline {pipeline!r} already rolled up")
+        self.pipelines.append(pipeline)
+        self._victims_per_pipeline[pipeline] = tally.victims
+        self.victims += tally.victims
+        self.culprits += tally.culprits
+        self.total_score += tally.total_score
+        for key, entry in tally.entries():
+            mine = self._entries.get(key)
+            if mine is None:
+                mine = self._entries[key] = RollupEntry()
+            mine.score += entry.score
+            mine.count += entry.count
+            mine.confidence_mass += entry.confidence_mass
+            mine.per_pipeline[pipeline] = entry.score
+
+    @classmethod
+    def from_tallies(
+        cls, tallies: Mapping[str, CulpritTally]
+    ) -> "FleetRollup":
+        """Roll up ``{pipeline name: tally}`` in sorted-name order, so the
+        float accumulation order — hence the payload — is independent of
+        dict construction order and of which pipeline finished first."""
+        rollup = cls()
+        for name in sorted(tallies):
+            rollup.add(name, tallies[name])
+        return rollup
+
+    # -- queries --------------------------------------------------------------
+
+    def top(self, n: int = 10) -> List[Tuple[str, str, RollupEntry]]:
+        """Heaviest fleet-wide offenders, ties broken lexically."""
+        ranked = sorted(
+            self._entries.items(), key=lambda kv: (-kv[1].score, kv[0])
+        )
+        return [(kind, loc, entry) for (kind, loc), entry in ranked[:n]]
+
+    def entry(self, kind: str, location: str) -> RollupEntry:
+        return self._entries.get((kind, location), RollupEntry())
+
+    def format(self, limit: int = 10) -> str:
+        """Operator view: one line per culprit, with site provenance."""
+        lines = [
+            f"fleet: {len(self.pipelines)} pipelines, "
+            f"{self.victims} victims, {self.total_score:.3f} total blame"
+        ]
+        lines.append(f"{'score':>12}  {'n':>6}  {'sites':>5}  {'conf':>5}  culprit")
+        for kind, location, entry in self.top(limit):
+            lines.append(
+                f"{entry.score:12.3f}  {entry.count:6d}  {entry.sites:5d}  "
+                f"{entry.mean_confidence:5.2f}  [{kind}] {location}, "
+                f"{entry.sites}/{len(self.pipelines)} sites"
+            )
+        return "\n".join(lines)
+
+    # -- canonical payload -----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        """Pure-JSON state, fully sorted: byte-canonical after dumps."""
+        return {
+            "version": _ROLLUP_VERSION,
+            "pipelines": sorted(self.pipelines),
+            "victims": self.victims,
+            "culprits": self.culprits,
+            "total_score": self.total_score,
+            "victims_per_pipeline": dict(
+                sorted(self._victims_per_pipeline.items())
+            ),
+            "entries": [
+                {
+                    "kind": kind,
+                    "location": location,
+                    "score": entry.score,
+                    "count": entry.count,
+                    "confidence_mass": entry.confidence_mass,
+                    "sites": entry.sites,
+                    "per_pipeline": dict(sorted(entry.per_pipeline.items())),
+                }
+                for (kind, location), entry in sorted(self._entries.items())
+            ],
+        }
+
+
+def tally_from_journal(journal_path: Union[str, Path]) -> CulpritTally:
+    """Rebuild one pipeline's tally from its journal alone.
+
+    Replays every chunk record's wire-decoded diagnoses in journal order —
+    the same float-accumulation order the live service used — so the
+    result equals the service's in-memory tally exactly.  This is what
+    makes the fleet rollup recomputable offline from journals: no
+    checkpoint, no live service, just the append-only record of results.
+    """
+    from repro.service.journal import ResultJournal, decode_diagnoses
+
+    journal = ResultJournal(Path(journal_path), durable=False)
+    tally = CulpritTally()
+    for _chunk, body in journal.records():
+        if "kind" in body:
+            continue
+        tally.update(decode_diagnoses(body))
+    return tally
+
+
+def rollup_from_state_dirs(
+    pipeline_dirs: Mapping[str, Union[str, Path]]
+) -> FleetRollup:
+    """Roll up a fleet offline from per-pipeline service state directories."""
+    return FleetRollup.from_tallies(
+        {
+            name: tally_from_journal(Path(directory) / "journal.jsonl")
+            for name, directory in pipeline_dirs.items()
+        }
+    )

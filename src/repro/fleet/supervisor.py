@@ -1,0 +1,390 @@
+"""Fleet supervisor: N concurrent diagnosis pipelines, one service plane.
+
+:class:`FleetSupervisor` runs one :class:`~repro.service.DiagnosisService`
+per :class:`PipelineSpec` (one per NF chain / site / tenant), each in its
+own thread, all sharing
+
+* one persistent :class:`~repro.fleet.pool.WorkerPool` — chunk diagnosis
+  dispatches to warm worker processes, so pipelines genuinely overlap:
+  while pipeline A's chunk computes in a pool process, pipeline B's
+  thread journals/fsyncs its previous chunk and seals ingest for the
+  next one.  Trace segments are registered with the pool once and reused
+  across chunks (mutation-keyed), not re-shared per call;
+* one :class:`FairScheduler` — bounds per-pipeline inflight chunks and
+  admits waiting pipelines in FIFO-fair order, so a heavy pipeline
+  cannot starve the rest while the pool is saturated.  Under
+  *oversubscription* (more pipelines than pool workers) an optional
+  fleet-wide victim budget caps each chunk through the service's
+  existing deterministic shed path — load shedding stays journalled and
+  replayable, never timing-dependent.
+
+Crash-only, one level up: each pipeline keeps its own journal +
+checkpoint directory and its own kill-point injector; the supervisor
+adds :data:`~repro.service.crashsim.FLEET_KILL_POINTS` around launch,
+drain and rollup.  When any pipeline crashes (or a fleet kill-point
+fires), the supervisor sets the shared stop event — sibling pipelines
+raise :class:`~repro.errors.ServiceStopped` at their *next chunk
+boundary*, i.e. between commits — joins everything, and re-raises the
+original crash.  A restarted fleet resumes every pipeline from its
+checkpoints, so per-pipeline journals converge to the same bytes as a
+never-crashed run (pinned by ``benchmarks/test_fleet_soak.py``).
+
+The final :class:`FleetReport` carries per-pipeline reports plus the
+cross-pipeline :class:`~repro.fleet.rollup.FleetRollup` ("NAT slow path,
+14 sites") merged deterministically in sorted pipeline order.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.records import DiagTrace
+from repro.errors import FleetError, ServiceStopped
+from repro.fleet.pool import WorkerPool
+from repro.fleet.rollup import FleetRollup
+from repro.service.runner import DiagnosisService, ServiceConfig, ServiceReport
+
+
+@dataclass
+class PipelineSpec:
+    """One pipeline: a name, a telemetry source, optional overrides.
+
+    ``source`` is a :class:`DiagTrace`, a TelemetrySource, or a zero-arg
+    factory returning either — a factory is called once per supervisor
+    run, which is what live sources need across crash-restarts (each run
+    re-ingests its transport from the beginning).  ``config`` overrides
+    the fleet-derived :class:`ServiceConfig`; ``faults``/``flaky`` are
+    this pipeline's own injectors (crash harness / transient failures).
+    """
+
+    name: str
+    source: object
+    config: Optional[ServiceConfig] = None
+    faults: object = None
+    flaky: object = None
+
+
+@dataclass
+class FleetConfig:
+    """Fleet-wide operating parameters.
+
+    Per-pipeline :class:`ServiceConfig` values not overridden by a spec
+    are derived from here, with ``state_dir`` fixed to
+    ``<state_dir>/pipelines/<name>`` so every pipeline journals and
+    checkpoints in its own directory under one fleet root.
+    """
+
+    state_dir: Union[str, Path]
+    #: Warm worker processes shared by every pipeline (0 = no pool:
+    #: pipelines diagnose inline in their threads, still concurrent for
+    #: the journal/fsync and ingest portions).
+    pool_workers: int = 2
+    #: Per-pipeline ``diagnose_all`` parallelism (shards per chunk).
+    workers: Union[int, str, None] = 1
+    task_timeout_s: Optional[float] = None
+    #: Max chunks one pipeline may have inflight at once (scheduler).
+    max_inflight_chunks: int = 1
+    #: Optional fleet-wide cap on concurrently-inflight chunks across all
+    #: pipelines (None = bounded only by pipeline count).
+    max_concurrent_chunks: Optional[int] = None
+    #: Victim budget per chunk applied to every pipeline when the fleet
+    #: is *oversubscribed* (more pipelines than pool workers).  A pure
+    #: function of this config — never of runtime timing — so the shed
+    #: decisions it causes are deterministic and replay identically
+    #: after a crash.
+    overload_victim_budget: Optional[int] = None
+    #: ServiceConfig passthroughs.
+    chunk_ns: int = 50_000_000
+    margin_ns: int = 100_000_000
+    victim_pct: float = 99.0
+    victim_threshold_ns: Optional[int] = None
+    max_victims_per_chunk: Optional[int] = None
+    tally_compact_every: int = 8
+    durable: bool = True
+
+    def __post_init__(self) -> None:
+        if self.pool_workers < 0:
+            raise FleetError(f"pool_workers must be >= 0: {self.pool_workers}")
+        if self.max_inflight_chunks < 1:
+            raise FleetError(
+                f"max_inflight_chunks must be >= 1: {self.max_inflight_chunks}"
+            )
+
+
+class FairScheduler:
+    """FIFO-fair chunk admission with per-pipeline inflight bounds.
+
+    ``acquire`` blocks until this pipeline holds fewer than
+    ``per_pipeline`` slots and (optionally) fewer than ``max_concurrent``
+    slots are held fleet-wide; among eligible waiters, arrival order
+    wins, so a pipeline that keeps finishing chunks cannot indefinitely
+    overtake one that has been waiting.  Slots gate pacing only — they
+    are released in ``finally`` even when a chunk unwinds with a
+    simulated crash, so no waiter is ever stranded.
+    """
+
+    def __init__(
+        self,
+        per_pipeline: int = 1,
+        max_concurrent: Optional[int] = None,
+    ) -> None:
+        self.per_pipeline = per_pipeline
+        self.max_concurrent = max_concurrent
+        self._cond = threading.Condition()
+        self._inflight: Dict[str, int] = {}
+        self._waiters: List[Tuple[object, str]] = []
+        #: Telemetry: admissions, admissions that had to wait, peak
+        #: concurrently-inflight chunks.
+        self.admitted = 0
+        self.waited = 0
+        self.peak_inflight = 0
+
+    def _next_eligible(self) -> Optional[object]:
+        total = sum(self._inflight.values())
+        if self.max_concurrent is not None and total >= self.max_concurrent:
+            return None
+        for ticket, pipeline in self._waiters:
+            if self._inflight.get(pipeline, 0) < self.per_pipeline:
+                return ticket
+        return None
+
+    def acquire(self, pipeline: str) -> None:
+        ticket = object()
+        with self._cond:
+            self._waiters.append((ticket, pipeline))
+            waited = False
+            while self._next_eligible() is not ticket:
+                waited = True
+                self._cond.wait()
+            self._waiters = [w for w in self._waiters if w[0] is not ticket]
+            self._inflight[pipeline] = self._inflight.get(pipeline, 0) + 1
+            self.admitted += 1
+            if waited:
+                self.waited += 1
+            total = sum(self._inflight.values())
+            if total > self.peak_inflight:
+                self.peak_inflight = total
+
+    def release(self, pipeline: str) -> None:
+        with self._cond:
+            held = self._inflight.get(pipeline, 0)
+            if held <= 0:
+                raise FleetError(f"release without acquire for {pipeline!r}")
+            if held == 1:
+                del self._inflight[pipeline]
+            else:
+                self._inflight[pipeline] = held - 1
+            self._cond.notify_all()
+
+    def stats(self) -> dict:
+        return {
+            "admitted": self.admitted,
+            "waited": self.waited,
+            "peak_inflight": self.peak_inflight,
+        }
+
+
+@dataclass
+class FleetReport:
+    """Final output of :meth:`FleetSupervisor.run`."""
+
+    #: Per-pipeline service reports, keyed by pipeline name.
+    pipelines: Dict[str, ServiceReport]
+    #: Cross-pipeline causal-pattern rollup (sorted-name merge order).
+    rollup: FleetRollup
+    pool_stats: dict
+    scheduler_stats: dict
+
+
+class FleetSupervisor:
+    """Run every pipeline to completion over one shared execution plane."""
+
+    def __init__(
+        self,
+        pipelines: Sequence[PipelineSpec],
+        config: FleetConfig,
+        faults=None,
+        executor: Optional[WorkerPool] = None,
+    ) -> None:
+        if not pipelines:
+            raise FleetError("a fleet needs at least one pipeline")
+        names = [spec.name for spec in pipelines]
+        if len(set(names)) != len(names):
+            raise FleetError(f"duplicate pipeline names: {names}")
+        self.pipelines = list(pipelines)
+        self.config = config
+        #: Fleet-level crash injector (FLEET_KILL_POINTS).
+        self.faults = faults
+        #: Injected shared pool (kept warm across supervisor runs, e.g.
+        #: by the benchmarks); when None the supervisor owns one per run.
+        self._executor = executor
+        state_dirs = [str(self._pipeline_config(s).state_dir) for s in pipelines]
+        if len(set(state_dirs)) != len(state_dirs):
+            raise FleetError(f"pipelines share a state_dir: {state_dirs}")
+
+    # -- per-pipeline wiring ----------------------------------------------------
+
+    def _pipeline_config(self, spec: PipelineSpec) -> ServiceConfig:
+        """The spec's config, or one derived from the fleet defaults —
+        either way with the fleet fan-out and overload budget applied."""
+        cfg = self.config
+        if spec.config is not None:
+            service_cfg = spec.config
+        else:
+            service_cfg = ServiceConfig(
+                state_dir=Path(cfg.state_dir) / "pipelines" / spec.name,
+                chunk_ns=cfg.chunk_ns,
+                margin_ns=cfg.margin_ns,
+                victim_pct=cfg.victim_pct,
+                victim_threshold_ns=cfg.victim_threshold_ns,
+                tally_compact_every=cfg.tally_compact_every,
+                workers=cfg.workers,
+                task_timeout_s=cfg.task_timeout_s,
+                max_victims_per_chunk=cfg.max_victims_per_chunk,
+                durable=cfg.durable,
+            )
+        overrides: dict = {}
+        if service_cfg.concurrent_pipelines == 1 and len(self.pipelines) > 1:
+            overrides["concurrent_pipelines"] = len(self.pipelines)
+        budget = self._overload_budget()
+        if budget is not None and (
+            service_cfg.max_victims_per_chunk is None
+            or service_cfg.max_victims_per_chunk > budget
+        ):
+            overrides["max_victims_per_chunk"] = budget
+        return replace(service_cfg, **overrides) if overrides else service_cfg
+
+    def _overload_budget(self) -> Optional[int]:
+        """Victim budget under oversubscription — config-derived only, so
+        the resulting sheds are deterministic and crash-replayable."""
+        cfg = self.config
+        if cfg.overload_victim_budget is None:
+            return None
+        if cfg.pool_workers and len(self.pipelines) <= cfg.pool_workers:
+            return None
+        return cfg.overload_victim_budget
+
+    @staticmethod
+    def _resolve_source(spec: PipelineSpec):
+        source = spec.source
+        if callable(source) and not isinstance(source, DiagTrace):
+            return source()
+        return source
+
+    # -- run --------------------------------------------------------------------
+
+    def _run_pipeline(
+        self,
+        index: int,
+        service: DiagnosisService,
+        outcomes: Dict[str, ServiceReport],
+        stopped: Dict[str, ServiceStopped],
+        errors: List[Tuple[int, str, BaseException]],
+        stop: threading.Event,
+        lock: threading.Lock,
+    ) -> None:
+        name = service.pipeline
+        try:
+            report = service.run()
+        except ServiceStopped as exc:
+            # Cooperative wind-down after a sibling's crash: not a failure
+            # of *this* pipeline — its journal ends at a clean boundary.
+            with lock:
+                stopped[name] = exc
+        except BaseException as exc:
+            with lock:
+                errors.append((index, name, exc))
+            stop.set()
+        else:
+            with lock:
+                outcomes[name] = report
+
+    def run(self) -> FleetReport:
+        """Run every pipeline; resume each from its checkpoints first.
+
+        Raises the first (by launch order) pipeline crash after winding
+        the rest down at their chunk boundaries; fleet kill-points can
+        additionally crash the supervisor itself around launch, drain and
+        rollup.  Whatever unwinds, the owned pool is closed — no worker
+        process or ``/dev/shm`` segment outlives this call.
+        """
+        faults = self.faults
+        cfg = self.config
+        if faults is not None:
+            faults.kill("fleet-start", 0)
+        pool = self._executor
+        owns_pool = False
+        if pool is None and cfg.pool_workers > 0:
+            pool = WorkerPool(cfg.pool_workers)
+            owns_pool = True
+        scheduler = FairScheduler(
+            per_pipeline=cfg.max_inflight_chunks,
+            max_concurrent=cfg.max_concurrent_chunks,
+        )
+        stop = threading.Event()
+        lock = threading.Lock()
+        outcomes: Dict[str, ServiceReport] = {}
+        stopped: Dict[str, ServiceStopped] = {}
+        errors: List[Tuple[int, str, BaseException]] = []
+        threads: List[threading.Thread] = []
+        try:
+            for index, spec in enumerate(self.pipelines):
+                if faults is not None:
+                    faults.kill("pipeline-launch", index)
+                service = DiagnosisService(
+                    self._resolve_source(spec),
+                    self._pipeline_config(spec),
+                    faults=spec.faults,
+                    flaky=spec.flaky,
+                    executor=pool,
+                    stop_check=stop.is_set,
+                    pipeline=spec.name,
+                    scheduler=scheduler,
+                )
+                thread = threading.Thread(
+                    target=self._run_pipeline,
+                    args=(index, service, outcomes, stopped, errors, stop, lock),
+                    name=f"pipeline-{spec.name}",
+                    daemon=True,
+                )
+                thread.start()
+                threads.append(thread)
+            for thread in threads:
+                thread.join()
+            if faults is not None:
+                faults.kill("fleet-drain", 0)
+            if errors:
+                errors.sort(key=lambda item: item[0])
+                raise errors[0][2]
+            if stopped:  # pragma: no cover - stop without a recorded error
+                raise FleetError(
+                    f"pipelines stopped without a crash: {sorted(stopped)}"
+                )
+            rollup = FleetRollup.from_tallies(
+                {name: report.tally for name, report in outcomes.items()}
+            )
+            report = FleetReport(
+                pipelines=outcomes,
+                rollup=rollup,
+                pool_stats=(
+                    pool.stats.to_payload() if pool is not None else {}
+                ),
+                scheduler_stats=scheduler.stats(),
+            )
+            if faults is not None:
+                faults.kill("fleet-rollup", 0)
+            return report
+        finally:
+            # A supervisor crash (fleet kill-point) lands here with
+            # pipelines still running: order them stopped, wait for their
+            # chunk boundaries, then tear down the pool.  BaseException-
+            # safe: this is the path that keeps /dev/shm clean and worker
+            # processes reaped no matter where the unwind started.
+            stop.set()
+            for thread in threads:
+                thread.join()
+            if owns_pool and pool is not None:
+                pool.close()

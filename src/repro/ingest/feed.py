@@ -33,6 +33,7 @@ record drops and duplications) for soak tests and CI chaos jobs.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from dataclasses import dataclass, field, fields
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
@@ -86,35 +87,66 @@ class FeedStats:
 
 
 class IngestBuffer:
-    """One stream's bounded FIFO of received-but-unapplied records."""
+    """One stream's bounded FIFO of received-but-unapplied records.
+
+    Thread-safe: transports that deliver from their own receive thread
+    (push-style taps) hand records over via :meth:`try_push` while the
+    service thread drains with :meth:`head`/:meth:`pop`, so every state
+    transition — including the shed walk — happens under one lock.
+    ``try_push`` enforces the capacity bound at the handoff itself and
+    refuses (returns False) when full, making the producer's peak
+    occupancy bounded regardless of scheduling; the feed's own
+    :meth:`push` path keeps its tier-1 backpressure / tier-2 shed policy
+    upstream of the buffer and asserts room beforehand, so it never
+    trips the bound.
+    """
 
     def __init__(self, stream: str, capacity: int) -> None:
         self.stream = stream
         self.capacity = capacity
         self._records: Deque[TelemetryRecord] = deque()
+        self._lock = threading.Lock()
         #: Newest received record time (monotone; the stream watermark).
         self.watermark = -1
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __bool__(self) -> bool:
-        return bool(self._records)
+        return len(self) > 0
 
     @property
     def room(self) -> int:
-        return self.capacity - len(self._records)
+        with self._lock:
+            return self.capacity - len(self._records)
 
     def push(self, record: TelemetryRecord) -> None:
+        with self._lock:
+            self._push_locked(record)
+
+    def try_push(self, record: TelemetryRecord) -> bool:
+        """Push unless full; the check and the append are one atomic step
+        (a lock-free check-then-push would let two producers both see one
+        free slot and overfill the buffer)."""
+        with self._lock:
+            if len(self._records) >= self.capacity:
+                return False
+            self._push_locked(record)
+            return True
+
+    def _push_locked(self, record: TelemetryRecord) -> None:
         self._records.append(record)
         if record.time_ns > self.watermark:
             self.watermark = record.time_ns
 
     def head(self) -> Optional[TelemetryRecord]:
-        return self._records[0] if self._records else None
+        with self._lock:
+            return self._records[0] if self._records else None
 
     def pop(self) -> TelemetryRecord:
-        return self._records.popleft()
+        with self._lock:
+            return self._records.popleft()
 
     def shed(self, n: int) -> List[TelemetryRecord]:
         """Shed ``n`` records, oldest evidence (hop) records first.
@@ -127,17 +159,18 @@ class IngestBuffer:
         """
         if n <= 0:
             return []
-        kept: Deque[TelemetryRecord] = deque()
-        shed: List[TelemetryRecord] = []
-        for record in self._records:
-            if len(shed) < n and record.kind == "hop":
-                shed.append(record)
-            else:
-                kept.append(record)
-        while len(shed) < n and kept:
-            shed.append(kept.popleft())
-        self._records = kept
-        return shed
+        with self._lock:
+            kept: Deque[TelemetryRecord] = deque()
+            shed: List[TelemetryRecord] = []
+            for record in self._records:
+                if len(shed) < n and record.kind == "hop":
+                    shed.append(record)
+                else:
+                    kept.append(record)
+            while len(shed) < n and kept:
+                shed.append(kept.popleft())
+            self._records = kept
+            return shed
 
 
 class SimTransport:

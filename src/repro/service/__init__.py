@@ -17,6 +17,7 @@ from repro.service.checkpoint import (
 )
 from repro.service.crashsim import (
     CORRUPT_POINTS,
+    FLEET_KILL_POINTS,
     INGEST_KILL_POINTS,
     KILL_POINTS,
     TORN_POINTS,
@@ -55,6 +56,7 @@ __all__ = [
     "CrashInjector",
     "CrashPlan",
     "DiagnosisService",
+    "FLEET_KILL_POINTS",
     "FixedTraceSource",
     "FlakyPlan",
     "INGEST_KILL_POINTS",

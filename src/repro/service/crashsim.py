@@ -60,6 +60,21 @@ INGEST_KILL_POINTS: Tuple[str, ...] = (
     "after-seal",  # a chunk cleared the barrier, diagnosis not started
 )
 
+#: Kill-points inside the fleet supervisor, outside any one pipeline's
+#: per-chunk protocol.  Their ``chunk`` coordinate is the pipeline index
+#: (launch order) for ``pipeline-launch`` and 0 for the whole-fleet
+#: points.  A supervisor kill tears down every pipeline between chunk
+#: commits (cooperative :class:`~repro.errors.ServiceStopped` at the next
+#: chunk boundary), so a restarted fleet resumes each journal from a
+#: clean prefix — the same byte-identical-recovery invariant, one level
+#: up.
+FLEET_KILL_POINTS: Tuple[str, ...] = (
+    "fleet-start",  # before anything: no pipeline launched
+    "pipeline-launch",  # pipelines [0, i) running, pipeline i not yet
+    "fleet-drain",  # every pipeline joined, rollup not yet built
+    "fleet-rollup",  # rollup built, report not yet returned
+)
+
 #: Kill-points whose fault family is a torn write (prefix of the payload).
 TORN_POINTS: Tuple[str, ...] = ("mid-journal", "mid-checkpoint")
 
@@ -87,10 +102,10 @@ class CrashPlan:
     tear_fraction: float = 0.5
 
     def __post_init__(self) -> None:
-        if self.point not in KILL_POINTS + INGEST_KILL_POINTS:
+        known = KILL_POINTS + INGEST_KILL_POINTS + FLEET_KILL_POINTS
+        if self.point not in known:
             raise ServiceError(
-                f"unknown kill-point {self.point!r}; known: "
-                f"{KILL_POINTS + INGEST_KILL_POINTS}"
+                f"unknown kill-point {self.point!r}; known: {known}"
             )
         if not (0.0 < self.tear_fraction < 1.0):
             raise ServiceError(

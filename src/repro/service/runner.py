@@ -40,7 +40,12 @@ from repro.core.diagnosis import VictimDiagnosis
 from repro.core.records import DiagTrace
 from repro.core.streaming import StreamingConfig, StreamingDiagnosis
 from repro.core.victims import Victim
-from repro.errors import CheckpointError, ServiceError, TransientError
+from repro.errors import (
+    CheckpointError,
+    ServiceError,
+    ServiceStopped,
+    TransientError,
+)
 from repro.service.checkpoint import (
     CHECKPOINT_VERSION,
     Checkpointer,
@@ -82,6 +87,12 @@ class ServiceConfig:
     #: worker processes, "auto" = serial below the engine's victim-count
     #: threshold, parallel above it (decision counted in cache_stats).
     workers: Union[int, str, None] = None
+    #: How many pipelines share the host (fleet fan-out): divides the CPU
+    #: budget the ``workers="auto"`` resolver hands each pipeline, so N
+    #: concurrent services don't oversubscribe the machine N-fold.  Pure
+    #: parallelism hint — never affects results, so it stays out of the
+    #: fingerprint (like ``workers`` itself).
+    concurrent_pipelines: int = 1
     #: Watchdog deadline per parallel shard; a wedged worker is killed and
     #: its victims retried serially (surfaced as ``worker_timeouts``).
     task_timeout_s: Optional[float] = None
@@ -226,6 +237,10 @@ class DiagnosisService:
         sleep: Callable[[float], None] = time.sleep,
         faults=None,
         flaky=None,
+        executor=None,
+        stop_check: Optional[Callable[[], bool]] = None,
+        pipeline: str = "",
+        scheduler=None,
     ) -> None:
         # A bare DiagTrace is the replay path: wrap it in the fixed
         # source so the run loop sees one TelemetrySource shape.
@@ -250,6 +265,21 @@ class DiagnosisService:
         self.sleep = sleep
         self.faults = faults
         self.flaky = flaky
+        #: Persistent worker pool shared across pipelines (fleet mode).
+        #: None keeps the spawn-per-call parallel path — the service never
+        #: creates a pool on its own; injection is the opt-in.
+        self.executor = executor
+        #: Supervisor stop order, polled at chunk boundaries only: a
+        #: sibling pipeline's crash stops this one *between* committed
+        #: chunks, never inside one, via :class:`ServiceStopped`.
+        self.stop_check = stop_check
+        #: Name under the fleet supervisor (diagnostics only).
+        self.pipeline = pipeline
+        #: Fleet fair scheduler: a chunk slot is acquired around each
+        #: chunk's commit protocol, bounding per-pipeline inflight chunks.
+        #: Purely a pacing mechanism — slots gate *when* a chunk runs,
+        #: never what it computes, so output stays schedule-independent.
+        self.scheduler = scheduler
         state_dir = Path(config.state_dir)
         self.checkpointer = Checkpointer(
             state_dir / "checkpoints",
@@ -266,6 +296,8 @@ class DiagnosisService:
             victim_threshold_ns=config.victim_threshold_ns,
             workers=config.workers,
             task_timeout_s=config.task_timeout_s,
+            executor=executor,
+            concurrent_pipelines=config.concurrent_pipelines,
         )
         self.stats = ServiceStats()
         self.tally = CulpritTally()
@@ -423,7 +455,30 @@ class DiagnosisService:
             "rng_state": self._rng.bit_generator.state,
         }
 
+    def _check_stop(self) -> None:
+        """Honour a supervisor stop order at a chunk boundary.
+
+        :class:`ServiceStopped` is BaseException, like a simulated crash:
+        it unwinds past the retry machinery, and because it only ever
+        fires *between* chunk commits the journal/checkpoint pair it
+        leaves behind is exactly what a kill at a chunk boundary leaves —
+        a restart resumes byte-identically.
+        """
+        if self.stop_check is not None and self.stop_check():
+            raise ServiceStopped(self.pipeline)
+
     def _process_chunk(self, index: int, ingest_sheds: Tuple = ()) -> None:
+        self._check_stop()
+        if self.scheduler is not None:
+            self.scheduler.acquire(self.pipeline)
+            try:
+                self._process_chunk_inner(index, ingest_sheds)
+            finally:
+                self.scheduler.release(self.pipeline)
+            return
+        self._process_chunk_inner(index, ingest_sheds)
+
+    def _process_chunk_inner(self, index: int, ingest_sheds: Tuple = ()) -> None:
         faults = self.faults
         if faults is not None:
             faults.kill("chunk-start", index)
@@ -495,6 +550,7 @@ class DiagnosisService:
         faults = self.faults
         processed = next_chunk
         while True:
+            self._check_stop()
             if faults is not None:
                 faults.kill("ingest-pump", processed)
             source.pump()

@@ -227,6 +227,15 @@ class TestAutoWorkers:
         assert resolve_auto_workers(10_000, cpus=1) is None
         assert resolve_auto_workers(10_000, cpus=16) == 4
 
+    def test_resolver_divides_cpus_among_pipelines(self):
+        # N pipelines share the host: each auto decision sees its share,
+        # so a fleet cannot oversubscribe the machine N-fold.
+        assert resolve_auto_workers(10_000, cpus=8, concurrent_pipelines=1) == 4
+        assert resolve_auto_workers(10_000, cpus=8, concurrent_pipelines=2) == 4
+        assert resolve_auto_workers(10_000, cpus=8, concurrent_pipelines=4) == 2
+        assert resolve_auto_workers(10_000, cpus=8, concurrent_pipelines=8) is None
+        assert resolve_auto_workers(10_000, cpus=16, concurrent_pipelines=4) == 4
+
     def test_auto_serial_decision_recorded(self, chain):
         trace, victims = chain
         engine = MicroscopeEngine(trace)

@@ -1,0 +1,43 @@
+"""Fleet fixtures: a shared scenario trace and the no-shm-leak invariant."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.records import DiagTrace
+from repro.core.victims import VictimSelector
+from tests.conftest import run_interrupt_chain
+
+
+def shm_segments():
+    """Names of live POSIX shared-memory segments (Linux: /dev/shm)."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:  # pragma: no cover - non-Linux
+        return set()
+
+
+@pytest.fixture(autouse=True)
+def columnar_backend(monkeypatch):
+    """The warm-pool shm path is a columnar feature; pin the backend so the
+    suite behaves identically under ``REPRO_TRACE_BACKEND=python``."""
+    monkeypatch.setenv("REPRO_TRACE_BACKEND", "columnar")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every fleet test must leave /dev/shm exactly as it found it — the
+    pool holds segments while open, so tests close pools before exiting."""
+    before = shm_segments()
+    yield
+    assert shm_segments() == before
+
+
+@pytest.fixture(scope="module")
+def chain():
+    trace = DiagTrace.from_sim_result(run_interrupt_chain())
+    victims = VictimSelector(trace).hop_latency_victims(pct=98.0)
+    assert victims
+    return trace, victims

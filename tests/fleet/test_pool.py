@@ -1,0 +1,226 @@
+"""WorkerPool: warm workers, registered traces, failure containment.
+
+Pins the fleet execution plane's contracts: pooled dispatch is
+bit-identical to serial, workers and trace segments are reused across
+calls (that is the optimization), dead or wedged workers are replaced
+without losing sibling shards, and no worker process or ``/dev/shm``
+segment survives ``close()`` — on any unwind path, ``SimulatedCrash``
+included (the issue's re-pin of the BaseException-safe unlink).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+import repro.core.diagnosis as diagnosis_mod
+from repro.core.columnar import shm_available
+from repro.core.diagnosis import MicroscopeEngine
+from repro.errors import FleetError
+from repro.fleet import WorkerPool
+from repro.service.crashsim import SimulatedCrash
+from tests.core.test_fastpath import canonical_bytes
+from tests.fleet.conftest import shm_segments
+
+pytestmark = pytest.mark.skipif(
+    not shm_available(), reason="no shared memory / numpy on this platform"
+)
+
+
+class TestPooledDispatch:
+    def test_pooled_matches_serial_bit_for_bit(self, chain):
+        trace, victims = chain
+        serial = MicroscopeEngine(trace).diagnose_all(victims)
+        with WorkerPool(2) as pool:
+            engine = MicroscopeEngine(trace)
+            pooled = engine.diagnose_all(victims, workers=2, executor=pool)
+            assert engine.last_dispatch["mode"] == "shm"
+            assert engine.last_dispatch["pooled"] is True
+        assert canonical_bytes(pooled) == canonical_bytes(serial)
+
+    def test_workers_stay_warm_across_calls(self, chain):
+        trace, victims = chain
+        with WorkerPool(2) as pool:
+            pids_before = sorted(w.proc.pid for w in pool._workers)
+            engine = MicroscopeEngine(trace)
+            first = engine.diagnose_all(victims, workers=2, executor=pool)
+            second = engine.diagnose_all(victims, workers=2, executor=pool)
+            pids_after = sorted(w.proc.pid for w in pool._workers)
+            # Same processes served both calls: nothing was spawned.
+            assert pids_after == pids_before
+            assert pool.stats.respawns == 0
+            # The trace crossed /dev/shm once; the second call reused it.
+            assert pool.stats.trace_shares == 1
+            assert pool.stats.trace_reuses >= 1
+        assert canonical_bytes(first) == canonical_bytes(second)
+
+    def test_shards_clamped_to_pool_size(self, chain):
+        trace, victims = chain
+        with WorkerPool(1) as pool:
+            engine = MicroscopeEngine(trace)
+            # More shards than workers would deadlock submit against its
+            # own unharvested results; the engine must clamp.
+            pooled = engine.diagnose_all(victims, workers=4, executor=pool)
+        assert canonical_bytes(pooled) == canonical_bytes(
+            MicroscopeEngine(trace).diagnose_all(victims)
+        )
+
+    def test_auto_serial_still_runs_in_pool_under_executor(self, chain):
+        trace, victims = chain
+        with WorkerPool(1) as pool:
+            engine = MicroscopeEngine(trace)
+            pooled = engine.diagnose_all(victims, workers="auto", executor=pool)
+            # "auto" on this 1-CPU-share host resolves serial, but with a
+            # pool the chunk still computes out-of-process (one shard).
+            assert engine.last_dispatch["pooled"] is True
+            assert engine.cache_stats.auto_parallel_decisions == 1
+        assert canonical_bytes(pooled) == canonical_bytes(
+            MicroscopeEngine(trace).diagnose_all(victims)
+        )
+
+
+class TestPickleFallback:
+    def test_object_backend_dispatches_pickle_tasks(self, chain, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_BACKEND", "python")
+        trace, victims = chain
+        with WorkerPool(2) as pool:
+            engine = MicroscopeEngine(trace)
+            pooled = engine.diagnose_all(victims, workers=2, executor=pool)
+            assert engine.last_dispatch["mode"] == "pickle"
+            assert engine.last_dispatch["pooled"] is True
+            assert pool.stats.trace_shares == 0
+        assert canonical_bytes(pooled) == canonical_bytes(
+            MicroscopeEngine(trace).diagnose_all(victims)
+        )
+
+
+class TestTraceRegistry:
+    def test_segment_reused_until_trace_mutates(self, chain):
+        trace, _victims = chain
+        with WorkerPool(1) as pool:
+            name1 = pool.register_trace(trace)
+            name2 = pool.register_trace(trace)
+            assert name1 == name2
+            trace._mutations += 1
+            name3 = pool.register_trace(trace)
+            assert name3 != name1
+            # The retired generation was unlinked immediately.
+            assert name1.lstrip("/") not in shm_segments()
+
+    def test_registry_lru_evicts_and_unlinks(self, chain):
+        trace, _victims = chain
+        from repro.core.records import DiagTrace
+        from tests.conftest import run_interrupt_chain
+
+        other = DiagTrace.from_sim_result(run_interrupt_chain(seed=1))
+        with WorkerPool(1, max_traces=1) as pool:
+            name1 = pool.register_trace(trace)
+            name2 = pool.register_trace(other)
+            assert name2 != name1
+            assert name1.lstrip("/") not in shm_segments()
+
+    def test_register_on_closed_pool_raises(self, chain):
+        trace, _victims = chain
+        pool = WorkerPool(1)
+        pool.close()
+        with pytest.raises(FleetError):
+            pool.register_trace(trace)
+
+
+class TestFailureContainment:
+    def test_dead_worker_respawned_and_shard_retried(self, chain, monkeypatch):
+        trace, victims = chain
+        monkeypatch.setattr(
+            diagnosis_mod,
+            "_parallel_worker_diagnose",
+            lambda _victims: os._exit(3),
+        )
+        # The pool forks AFTER the patch, so workers inherit the crash.
+        with WorkerPool(1) as pool:
+            engine = MicroscopeEngine(trace)
+            result = engine.diagnose_all(victims, workers=1, executor=pool)
+            assert engine.cache_stats.worker_failures >= 1
+            assert pool.stats.failures >= 1
+            assert pool.stats.respawns >= 1
+        # The parent's serial retry used the real engine: results intact.
+        assert canonical_bytes(result) == canonical_bytes(
+            MicroscopeEngine(trace).diagnose_all(victims)
+        )
+
+    def test_wedged_worker_killed_on_deadline(self, chain, monkeypatch):
+        trace, victims = chain
+        monkeypatch.setattr(
+            diagnosis_mod,
+            "_parallel_worker_diagnose",
+            lambda _victims: time.sleep(300),
+        )
+        with WorkerPool(1) as pool:
+            engine = MicroscopeEngine(trace)
+            start = time.monotonic()
+            result = engine.diagnose_all(
+                victims, workers=1, task_timeout_s=0.5, executor=pool
+            )
+            assert time.monotonic() - start < 60.0
+            assert engine.cache_stats.worker_timeouts == 1
+            assert pool.stats.timeouts == 1
+            assert pool.stats.respawns >= 1
+        assert canonical_bytes(result) == canonical_bytes(
+            MicroscopeEngine(trace).diagnose_all(victims)
+        )
+
+    def test_worker_error_reply_falls_back_serially(self, chain, monkeypatch):
+        trace, victims = chain
+
+        def explode(_victims):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(diagnosis_mod, "_parallel_worker_diagnose", explode)
+        with WorkerPool(1) as pool:
+            engine = MicroscopeEngine(trace)
+            result = engine.diagnose_all(victims, workers=1, executor=pool)
+            assert engine.cache_stats.worker_failures >= 1
+            # An in-worker exception is answered, not fatal: same worker.
+            assert pool.stats.respawns == 0
+        assert canonical_bytes(result) == canonical_bytes(
+            MicroscopeEngine(trace).diagnose_all(victims)
+        )
+
+
+class TestCleanupContract:
+    def test_close_is_idempotent_and_final(self, chain):
+        trace, victims = chain
+        pool = WorkerPool(2)
+        engine = MicroscopeEngine(trace)
+        engine.diagnose_all(victims, workers=2, executor=pool)
+        procs = [w.proc for w in pool._workers]
+        pool.close()
+        pool.close()
+        assert all(not p.is_alive() for p in procs)
+        with pytest.raises(FleetError):
+            pool.submit(("pickle", (), []))
+
+    def test_simulated_crash_mid_dispatch_leaves_no_segments(
+        self, chain, monkeypatch
+    ):
+        """The issue's re-pin: a BaseException unwinding between share and
+        harvest must not leak the per-call victim block, and the pool's
+        registered trace segment must die with ``close()``."""
+        trace, victims = chain
+        pool = WorkerPool(1)
+        try:
+            engine = MicroscopeEngine(trace)
+
+            def crash(_task):
+                raise SimulatedCrash("chunk-start", 0)
+
+            monkeypatch.setattr(pool, "submit", crash)
+            with pytest.raises(SimulatedCrash):
+                engine.diagnose_all(victims, workers=1, executor=pool)
+            # The victim block is already gone; only the registered trace
+            # segment remains, owned by the still-open pool.
+            assert len(shm_segments()) == 1
+        finally:
+            pool.close()
+        assert shm_segments() == set()

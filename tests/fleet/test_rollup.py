@@ -1,0 +1,115 @@
+"""FleetRollup: deterministic cross-pipeline merges, journal replay.
+
+The rollup's contract is that it is a pure function of the per-pipeline
+journal bytes: merge order is sorted-name (construction-order
+independent), :func:`tally_from_journal` replays a journal into exactly
+the tally the live service held, and :func:`rollup_from_state_dirs`
+therefore reproduces a fleet report offline from state directories alone.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.aggregation.tallies import CulpritTally
+from repro.core.diagnosis import MicroscopeEngine
+from repro.errors import FleetError
+from repro.fleet import (
+    FleetRollup,
+    rollup_from_state_dirs,
+    tally_from_journal,
+)
+from repro.service import DiagnosisService, ServiceConfig
+from repro.util.timebase import MSEC
+
+
+@pytest.fixture(scope="module")
+def tallies(chain):
+    """Three per-pipeline tallies with overlapping but distinct culprits."""
+    trace, victims = chain
+    diagnoses = MicroscopeEngine(trace).diagnose_all(victims)
+    full = CulpritTally()
+    full.update(diagnoses)
+    half = CulpritTally()
+    half.update(diagnoses[: len(diagnoses) // 2])
+    empty = CulpritTally()
+    return {"site-a": full, "site-b": half, "site-c": empty}
+
+
+class TestMergeMath:
+    def test_totals_and_provenance(self, tallies):
+        rollup = FleetRollup.from_tallies(tallies)
+        assert rollup.pipelines == ["site-a", "site-b", "site-c"]
+        assert rollup.victims == sum(t.victims for t in tallies.values())
+        assert rollup.total_score == pytest.approx(
+            sum(t.total_score for t in tallies.values())
+        )
+        (kind, location), entry = tallies["site-a"].entries()[0]
+        merged = rollup.entry(kind, location)
+        expected = (
+            entry.score + tallies["site-b"].entry(kind, location).score
+        )
+        assert merged.score == pytest.approx(expected)
+        assert merged.per_pipeline["site-a"] == pytest.approx(entry.score)
+        assert "site-c" not in merged.per_pipeline
+
+    def test_sites_counts_contributing_pipelines(self, tallies):
+        rollup = FleetRollup.from_tallies(tallies)
+        for _kind, _location, entry in rollup.top(100):
+            assert entry.sites == len(entry.per_pipeline)
+            assert 1 <= entry.sites <= 2  # site-c saw nothing
+
+    def test_merge_is_construction_order_independent(self, tallies):
+        forward = FleetRollup.from_tallies(tallies)
+        reversed_order = FleetRollup.from_tallies(
+            dict(reversed(list(tallies.items())))
+        )
+        assert forward.to_payload() == reversed_order.to_payload()
+
+    def test_duplicate_pipeline_rejected(self, tallies):
+        rollup = FleetRollup()
+        rollup.add("site-a", tallies["site-a"])
+        with pytest.raises(FleetError):
+            rollup.add("site-a", tallies["site-a"])
+
+    def test_format_reports_site_provenance(self, tallies):
+        text = FleetRollup.from_tallies(tallies).format()
+        assert "3 pipelines" in text
+        assert "/3 sites" in text
+
+
+class TestJournalReplay:
+    def test_tally_from_journal_matches_live_service(self, tmp_path, chain):
+        trace, _victims = chain
+        cfg = ServiceConfig(
+            state_dir=tmp_path / "state",
+            chunk_ns=1 * MSEC,
+            margin_ns=5 * MSEC,
+            durable=False,
+            tally_compact_every=2,  # force snapshot records into the journal
+        )
+        report = DiagnosisService(trace, cfg).run()
+        replayed = tally_from_journal(tmp_path / "state" / "journal.jsonl")
+        assert replayed.to_payload() == report.tally.to_payload()
+
+    def test_rollup_from_state_dirs_offline(self, tmp_path, chain):
+        trace, _victims = chain
+        dirs = {}
+        for name in ("east", "west"):
+            cfg = ServiceConfig(
+                state_dir=tmp_path / name,
+                chunk_ns=1 * MSEC,
+                margin_ns=5 * MSEC,
+                durable=False,
+            )
+            DiagnosisService(trace, cfg).run()
+            dirs[name] = tmp_path / name
+        offline = rollup_from_state_dirs(dirs)
+        assert offline.pipelines == ["east", "west"]
+        assert offline.victims > 0
+        # Equal trace, equal config: both sites contributed equally.
+        payload = offline.to_payload()
+        for entry in payload["entries"]:
+            assert entry["per_pipeline"]["east"] == pytest.approx(
+                entry["per_pipeline"]["west"]
+            )
