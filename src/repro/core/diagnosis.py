@@ -780,10 +780,18 @@ class MicroscopeEngine:
         fresh one) and every shard without a result is retried serially,
         under the same ``worker_failures``/``worker_timeouts`` accounting.
 
-        Shards are capped at the pool size: submitting more than the pool
-        can hold at once would park this thread in ``submit`` while its
-        own finished-but-unharvested shards pin the workers it is waiting
-        for.
+        Deadlock discipline (the pool is shared by concurrent pipelines):
+        this thread blocks on checkout only while it holds no workers —
+        the first shard's ``submit`` may wait, every later one is timed.
+        When no worker frees up, the oldest in-flight shard is harvested
+        first (returning our own worker to the pool) and the checkout
+        retried briefly; a still-contended pool means sibling pipelines
+        own the workers, so the shard simply runs inline in this thread
+        (``last_dispatch["inline_shards"]``).  No pipeline ever waits on
+        workers while pinning workers a sibling needs, so N pipelines
+        each dispatching multiple shards over a small pool cannot
+        hold-and-wait each other into a standstill.  Shards are still
+        capped at the pool size — more could never run concurrently.
         """
         workers = min(workers, executor.size)
         n_shards = max(1, min(workers, len(victims)))
@@ -831,19 +839,44 @@ class MicroscopeEngine:
                 "pooled": True,
                 "payload_bytes_per_task": payload,
             }
-            pending = [executor.submit(task) for task in tasks]
             deadline = (
                 None if task_timeout_s is None else time.monotonic() + task_timeout_s
             )
-            for idx, handle in enumerate(pending):
+            inline_shards = 0
+            pending: List[Tuple[int, object]] = []
+
+            def _harvest(h_idx: int, handle) -> None:
                 status, wires = handle.result(deadline)
                 if status == "ok":
-                    chunk_wires[idx] = wires
+                    chunk_wires[h_idx] = wires
                 elif status == "timeout":
                     self._worker_failures += 1
                     self._worker_timeouts += 1
                 else:
                     self._worker_failures += 1
+
+            for idx, task in enumerate(tasks):
+                if not pending:
+                    # Holding no workers: blocking here cannot deadlock
+                    # (see docstring) and FIFO checkout keeps it fair.
+                    handle = executor.submit(task)
+                else:
+                    # Holding workers: never block.  Poll; if saturated,
+                    # free one of our own by harvesting the oldest shard,
+                    # retry briefly, and fall back to inline diagnosis
+                    # when siblings keep the pool contended.
+                    handle = executor.submit(task, timeout=0)
+                    if handle is None:
+                        h_idx, h = pending.pop(0)
+                        _harvest(h_idx, h)
+                        handle = executor.submit(task, timeout=0.05)
+                    if handle is None:
+                        inline_shards += 1
+                        continue
+                pending.append((idx, handle))
+            for h_idx, h in pending:
+                _harvest(h_idx, h)
+            self.last_dispatch["inline_shards"] = inline_shards
         finally:
             # The borrowed trace segment stays with the pool (unlinked by
             # ``executor.close()``); the per-call victim block must not

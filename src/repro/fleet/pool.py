@@ -25,9 +25,22 @@ chunk, and a fleet of N pipelines would each pay it independently.
   pipeline threads block on checkout and are served in arrival order, so
   no pipeline can starve another while the pool is saturated.
 
+Deadlock discipline: :meth:`submit` takes an optional ``timeout`` and
+returns ``None`` when no worker frees up in time.  Callers follow one
+rule — *never block on checkout while holding checked-out workers*.  The
+engine's pooled path blocks only for its first shard (holding nothing)
+and uses timed submits afterwards, falling back to inline diagnosis when
+the pool stays contended, so N pipelines sharing a small pool cannot
+hold-and-wait each other into a standstill.
+
 Failure semantics match the per-call path: a worker that dies or misses
-its deadline is killed and a replacement forked (``respawns`` in
+its deadline is killed and a replacement spawned (``respawns`` in
 :class:`PoolStats`); the submitting engine retries the shard serially.
+Replacements use the ``spawn`` start method: a mid-run respawn happens
+from an already-multithreaded parent (pipeline threads, possibly holding
+locks), where ``fork`` could deadlock the child — only the initial
+workers, forked before any pipeline thread exists, inherit the parent's
+state.
 Workers resolve ``_parallel_worker_init``/``_parallel_worker_diagnose``
 through :mod:`repro.core.diagnosis` module globals at call time, so a
 fork-inherited monkeypatch of either (how the watchdog tests wedge a
@@ -85,9 +98,15 @@ class _Worker:
 class PendingTask:
     """Handle for one submitted shard; :meth:`result` returns the worker."""
 
-    def __init__(self, pool: "WorkerPool", worker: _Worker) -> None:
+    def __init__(
+        self,
+        pool: "WorkerPool",
+        worker: _Worker,
+        segment: Optional[str] = None,
+    ) -> None:
         self._pool = pool
         self._worker = worker
+        self._segment = segment
         self._done = False
 
     def result(self, deadline: Optional[float] = None):
@@ -96,7 +115,7 @@ class PendingTask:
 
         ``deadline`` is an absolute ``time.monotonic()`` instant shared by
         sibling shards.  A missed deadline kills this worker (a wedged
-        process never honours a soft shutdown) and forks a replacement;
+        process never honours a soft shutdown) and spawns a replacement;
         only the expired shard is lost — siblings keep their workers.
         """
         if self._done:
@@ -104,23 +123,27 @@ class PendingTask:
         self._done = True
         worker, pool = self._worker, self._pool
         try:
-            if deadline is not None:
-                remaining = max(0.0, deadline - time.monotonic())
-                if not worker.conn.poll(remaining):
-                    pool._retire(worker)
-                    pool.stats.timeouts += 1
-                    pool.stats.failures += 1
-                    return ("timeout", None)
-            status, payload = worker.conn.recv()
-        except (EOFError, OSError):
-            # The worker died before reporting (crash, os._exit, kill).
-            pool._retire(worker)
-            pool.stats.failures += 1
-            return ("error", "worker died before reporting")
-        pool._release(worker)
-        if status != "ok":
-            pool.stats.failures += 1
-        return (status, payload)
+            try:
+                if deadline is not None:
+                    remaining = max(0.0, deadline - time.monotonic())
+                    if not worker.conn.poll(remaining):
+                        pool._retire(worker)
+                        pool._bump(timeouts=1, failures=1)
+                        return ("timeout", None)
+                status, payload = worker.conn.recv()
+            except (EOFError, OSError):
+                # The worker died before reporting (crash, os._exit, kill).
+                pool._retire(worker)
+                pool._bump(failures=1)
+                return ("error", "worker died before reporting")
+            pool._release(worker)
+            if status != "ok":
+                pool._bump(failures=1)
+            return (status, payload)
+        finally:
+            # This shard no longer references its trace segment — an
+            # evicted generation waiting on it may now be unlinked.
+            pool._decref_segment(self._segment)
 
 
 class WorkerPool:
@@ -137,13 +160,36 @@ class WorkerPool:
         self._context = multiprocessing.get_context(
             "fork" if "fork" in methods else methods[0]
         )
+        # Mid-run respawns happen from a multithreaded parent (pipeline
+        # threads may hold the pool lock or be mid-import), where fork is
+        # unsafe — the forked child can deadlock on an inherited lock.
+        # Initial workers are still forked: __init__ runs before any
+        # pipeline thread exists, and fork inheritance is what lets the
+        # watchdog tests wedge a worker via monkeypatch.
+        self._respawn_context = (
+            multiprocessing.get_context("spawn")
+            if "spawn" in methods
+            else self._context
+        )
         self._lock = threading.Lock()
+        self._stats_lock = threading.Lock()
         self._free: "queue.Queue[_Worker]" = queue.Queue()
         self._workers: list = []
         #: id(trace) -> (trace, SharedTraceCache); the strong trace
         #: reference both keeps the cache's mutation key meaningful and
         #: prevents id() reuse from aliasing two traces.
         self._traces: "OrderedDict[int, tuple]" = OrderedDict()
+        #: segment name -> in-flight shm tasks referencing it.  A segment
+        #: evicted (or generation-retired) while referenced is parked in
+        #: ``_retired_caches`` and unlinked on the last decref, never out
+        #: from under a worker that will attach it by name.
+        self._seg_refs: Dict[str, int] = {}
+        self._retired_caches: Dict[str, object] = {}
+        #: shares/reuses of caches dropped from the registry, folded into
+        #: ``trace_shares``/``trace_reuses`` so eviction never rolls the
+        #: telemetry backwards.
+        self._evicted_shares = 0
+        self._evicted_reuses = 0
         self.closed = False
         self.stats = PoolStats(workers=workers)
         # Start the multiprocessing resource tracker *before* forking
@@ -167,9 +213,10 @@ class WorkerPool:
 
     # -- worker lifecycle -------------------------------------------------------
 
-    def _spawn(self) -> _Worker:
-        parent_conn, child_conn = self._context.Pipe(duplex=True)
-        proc = self._context.Process(
+    def _spawn(self, context=None) -> _Worker:
+        context = context if context is not None else self._context
+        parent_conn, child_conn = context.Pipe(duplex=True)
+        proc = context.Process(
             target=_pool_worker_main, args=(child_conn,), daemon=True
         )
         proc.start()
@@ -179,13 +226,25 @@ class WorkerPool:
             self._workers.append(worker)
         return worker
 
+    def _bump(self, **deltas: int) -> None:
+        """Increment stats counters atomically (pipeline threads race)."""
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self.stats, name, getattr(self.stats, name) + delta)
+
     def _release(self, worker: _Worker) -> None:
         if self.closed:
             return
         self._free.put(worker)
 
     def _retire(self, worker: _Worker) -> None:
-        """Kill a dead/wedged worker and fork its replacement."""
+        """Kill a dead/wedged worker and start its replacement.
+
+        The replacement comes from the ``spawn`` context — by the time a
+        worker dies mid-run the parent has pipeline threads, and forking
+        a multithreaded process can deadlock the child on an inherited
+        lock (Python 3.12+ warns outright).
+        """
         try:
             worker.proc.terminate()
             worker.proc.join(timeout=5.0)
@@ -202,8 +261,8 @@ class WorkerPool:
             if worker in self._workers:
                 self._workers.remove(worker)
         if not self.closed:
-            self.stats.respawns += 1
-            self._free.put(self._spawn())
+            self._bump(respawns=1)
+            self._free.put(self._spawn(self._respawn_context))
 
     # -- trace registry ---------------------------------------------------------
 
@@ -211,56 +270,151 @@ class WorkerPool:
         """Name of the live shared segment for ``trace``'s current contents.
 
         Shares once, then reuses until the trace mutates (the cache is
-        keyed on ``trace._mutations``); the retired generation is unlinked
-        immediately — attached workers keep their mapping alive until they
-        drop it, which POSIX permits.  Registrations are LRU-capped at
-        ``max_traces``.
+        keyed on ``trace._mutations``); retired generations and LRU
+        evictions (``max_traces``) are unlinked immediately *unless* an
+        in-flight task still references the segment by name — a segment a
+        worker has yet to attach is parked and unlinked on the last
+        :meth:`PendingTask.result`, so eviction under a deep registry
+        never yanks a sibling pipeline's dispatch out from under it.
+        Already-attached workers keep their mapping alive across an
+        unlink regardless, which POSIX permits.
         """
         from repro.core.columnar import SharedTraceCache
 
         if self.closed:
             raise FleetError("register_trace on a closed pool")
-        with self._lock:
-            entry = self._traces.get(id(trace))
-            if entry is None or entry[0] is not trace:
-                entry = (trace, SharedTraceCache(trace))
-                self._traces[id(trace)] = entry
-            self._traces.move_to_end(id(trace))
-            while len(self._traces) > self.max_traces:
-                _key, (_old_trace, old_cache) = self._traces.popitem(last=False)
+        to_close = []
+        try:
+            with self._lock:
+                entry = self._traces.get(id(trace))
+                if entry is None or entry[0] is not trace:
+                    entry = (trace, SharedTraceCache(trace))
+                    self._traces[id(trace)] = entry
+                else:
+                    # The cache would retire its generation inside
+                    # segment() below; if in-flight tasks still name the
+                    # old segment, park the whole cache and start fresh.
+                    cache = entry[1]
+                    old_name = cache.name
+                    if (
+                        old_name is not None
+                        and cache._mutations != trace._mutations
+                        and self._seg_refs.get(old_name, 0) > 0
+                    ):
+                        self._park_cache(old_name, cache)
+                        entry = (trace, SharedTraceCache(trace))
+                        self._traces[id(trace)] = entry
+                self._traces.move_to_end(id(trace))
+                while len(self._traces) > self.max_traces:
+                    _key, (_t, old_cache) = self._traces.popitem(last=False)
+                    old_name = old_cache.name
+                    if (
+                        old_name is not None
+                        and self._seg_refs.get(old_name, 0) > 0
+                    ):
+                        self._park_cache(old_name, old_cache)
+                    else:
+                        self._evicted_shares += old_cache.shares
+                        self._evicted_reuses += old_cache.reuses
+                        to_close.append(old_cache)
+                cache = entry[1]
+                name = cache.segment().name
+                with self._stats_lock:
+                    self.stats.trace_shares = self._evicted_shares + sum(
+                        c.shares for _t, c in self._traces.values()
+                    )
+                    self.stats.trace_reuses = self._evicted_reuses + sum(
+                        c.reuses for _t, c in self._traces.values()
+                    )
+                return name
+        finally:
+            # Unlinks are syscalls — do them outside the pool lock.
+            for old_cache in to_close:
                 old_cache.close()
-            cache = entry[1]
-            name = cache.segment().name
-            self.stats.trace_shares = sum(
-                c.shares for _t, c in self._traces.values()
-            )
-            self.stats.trace_reuses = sum(
-                c.reuses for _t, c in self._traces.values()
-            )
-            return name
+
+    def _park_cache(self, name: str, cache) -> None:
+        """Defer a still-referenced cache's unlink to the last decref.
+
+        Caller holds ``self._lock``.  The cache's telemetry is folded
+        into the evicted accumulators here, so parking is invisible in
+        ``trace_shares``/``trace_reuses``.
+        """
+        self._evicted_shares += cache.shares
+        self._evicted_reuses += cache.reuses
+        self._retired_caches[name] = cache
+
+    def _incref_segment(self, name: Optional[str]) -> None:
+        if name is None:
+            return
+        with self._lock:
+            self._seg_refs[name] = self._seg_refs.get(name, 0) + 1
+
+    def _decref_segment(self, name: Optional[str]) -> None:
+        if name is None:
+            return
+        to_close = None
+        with self._lock:
+            held = self._seg_refs.get(name, 0)
+            if held <= 1:
+                self._seg_refs.pop(name, None)
+                to_close = self._retired_caches.pop(name, None)
+            else:
+                self._seg_refs[name] = held - 1
+        if to_close is not None:
+            to_close.close()
 
     # -- dispatch ---------------------------------------------------------------
 
-    def submit(self, task: tuple) -> PendingTask:
-        """Check out a free worker (FIFO; blocks when saturated) and send.
+    def submit(
+        self, task: tuple, timeout: Optional[float] = None
+    ) -> Optional[PendingTask]:
+        """Check out a free worker (FIFO) and send; ``None`` on timeout.
 
-        The task is a ``("shm", trace_name, victims_name, lo, hi, params)``
-        or ``("pickle", init_args, victims)`` tuple — the same shapes the
-        per-call shard workers consume.
+        ``timeout=None`` blocks until a worker frees up — only safe for a
+        caller holding no checked-out workers (see module docstring);
+        ``timeout=0`` polls.  The task is a ``("shm", trace_name,
+        victims_name, lo, hi, params)`` or ``("pickle", init_args,
+        victims)`` tuple — the same shapes the per-call shard workers
+        consume.
         """
         if self.closed:
             raise FleetError("submit on a closed pool")
-        worker = self._free.get()
-        self.stats.tasks += 1
+        worker = self._checkout(timeout)
+        if worker is None:
+            return None
+        self._bump(tasks=1)
         try:
             worker.conn.send(task)
         except (OSError, ValueError):
             # Send failed (worker died between tasks): retire and retry
-            # once on a fresh worker.
+            # once on a fresh worker.  _retire put a replacement in the
+            # queue, so this checkout returns promptly; a short deadline
+            # guards the race where another thread grabs it first.
             self._retire(worker)
-            worker = self._free.get()
-            worker.conn.send(task)
-        return PendingTask(self, worker)
+            worker = self._checkout(timeout=30.0)
+            if worker is None:  # pragma: no cover - replacement raced away
+                raise FleetError("no worker available to retry failed send")
+            try:
+                worker.conn.send(task)
+            except (OSError, ValueError):
+                # Second worker also dead: retire it too (never leak a
+                # checked-out worker — the pool must not shrink) and give
+                # up; the caller's serial fallback covers the shard.
+                self._retire(worker)
+                raise
+        segment = task[1] if task and task[0] == "shm" else None
+        self._incref_segment(segment)
+        return PendingTask(self, worker, segment)
+
+    def _checkout(self, timeout: Optional[float] = None) -> Optional[_Worker]:
+        try:
+            if timeout is None:
+                return self._free.get()
+            if timeout <= 0:
+                return self._free.get_nowait()
+            return self._free.get(timeout=timeout)
+        except queue.Empty:
+            return None
 
     # -- shutdown ---------------------------------------------------------------
 
@@ -279,6 +433,9 @@ class WorkerPool:
             self._workers.clear()
             traces = list(self._traces.values())
             self._traces.clear()
+            retired = list(self._retired_caches.values())
+            self._retired_caches.clear()
+            self._seg_refs.clear()
         for worker in workers:
             try:
                 worker.conn.send(None)
@@ -297,6 +454,8 @@ class WorkerPool:
             except Exception:
                 pass
         for _trace, cache in traces:
+            cache.close()
+        for cache in retired:
             cache.close()
 
     def __enter__(self) -> "WorkerPool":

@@ -11,6 +11,7 @@ included (the issue's re-pin of the BaseException-safe unlink).
 from __future__ import annotations
 
 import os
+import threading
 import time
 
 import pytest
@@ -81,6 +82,55 @@ class TestPooledDispatch:
         )
 
 
+class TestCrossPipelineDispatch:
+    def test_concurrent_multi_shard_pipelines_no_deadlock(self, chain):
+        """Regression: three pipelines each dispatching two shards over a
+        two-worker pool used to hold-and-wait forever — every thread
+        parked in a blocking ``submit`` while pinning a worker its
+        siblings needed.  Dispatch must complete, and every pipeline's
+        output must stay bit-identical to serial."""
+        trace, victims = chain
+        serial = MicroscopeEngine(trace).diagnose_all(victims)
+        results: dict = {}
+        errors: list = []
+
+        def run_pipeline(i: int, pool: WorkerPool) -> None:
+            try:
+                engine = MicroscopeEngine(trace)
+                results[i] = engine.diagnose_all(
+                    victims, workers=2, executor=pool
+                )
+            except BaseException as exc:  # pragma: no cover - fail loudly
+                errors.append(exc)
+
+        with WorkerPool(2) as pool:
+            threads = [
+                threading.Thread(
+                    target=run_pipeline, args=(i, pool), daemon=True
+                )
+                for i in range(3)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=120.0)
+            assert not any(
+                t.is_alive() for t in threads
+            ), "cross-pipeline pooled dispatch deadlocked"
+        assert not errors
+        for i in range(3):
+            assert canonical_bytes(results[i]) == canonical_bytes(serial)
+
+    def test_submit_timeout_returns_none_when_saturated(self, chain):
+        with WorkerPool(1) as pool:
+            worker = pool._free.get()
+            try:
+                assert pool.submit(("pickle", (), []), timeout=0) is None
+                assert pool.submit(("pickle", (), []), timeout=0.05) is None
+            finally:
+                pool._free.put(worker)
+
+
 class TestPickleFallback:
     def test_object_backend_dispatches_pickle_tasks(self, chain, monkeypatch):
         monkeypatch.setenv("REPRO_TRACE_BACKEND", "python")
@@ -121,6 +171,41 @@ class TestTraceRegistry:
             assert name2 != name1
             assert name1.lstrip("/") not in shm_segments()
 
+    def test_eviction_defers_unlink_while_inflight(self, chain):
+        """An evicted segment still named by an in-flight task must not
+        be unlinked until the last harvest drops its reference — and its
+        share telemetry must fold into the pool totals, not vanish."""
+        trace, _victims = chain
+        from repro.core.records import DiagTrace
+        from tests.conftest import run_interrupt_chain
+
+        other = DiagTrace.from_sim_result(run_interrupt_chain(seed=1))
+        with WorkerPool(1, max_traces=1) as pool:
+            name1 = pool.register_trace(trace)
+            pool._incref_segment(name1)  # an in-flight shm task names it
+            name2 = pool.register_trace(other)  # LRU-evicts name1
+            assert name2 != name1
+            assert name1.lstrip("/") in shm_segments()
+            assert pool.stats.trace_shares == 2
+            pool._decref_segment(name1)  # last referencing shard harvested
+            assert name1.lstrip("/") not in shm_segments()
+            assert pool.stats.trace_shares == 2
+
+    def test_mutation_defers_unlink_while_inflight(self, chain):
+        trace, _victims = chain
+        with WorkerPool(1) as pool:
+            name1 = pool.register_trace(trace)
+            pool._incref_segment(name1)
+            trace._mutations += 1
+            name2 = pool.register_trace(trace)
+            assert name2 != name1
+            # The retired generation survives until its reference drops.
+            assert name1.lstrip("/") in shm_segments()
+            pool._decref_segment(name1)
+            assert name1.lstrip("/") not in shm_segments()
+            assert name2.lstrip("/") in shm_segments()
+        assert shm_segments() == set()
+
     def test_register_on_closed_pool_raises(self, chain):
         trace, _victims = chain
         pool = WorkerPool(1)
@@ -130,6 +215,12 @@ class TestTraceRegistry:
 
 
 class TestFailureContainment:
+    def test_respawns_use_spawn_start_method(self, chain):
+        # Mid-run respawns happen from a multithreaded parent, where fork
+        # can deadlock the child on an inherited lock.
+        with WorkerPool(1) as pool:
+            assert pool._respawn_context.get_start_method() == "spawn"
+
     def test_dead_worker_respawned_and_shard_retried(self, chain, monkeypatch):
         trace, victims = chain
         monkeypatch.setattr(
