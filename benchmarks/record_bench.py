@@ -515,6 +515,185 @@ def bench_fleet(repeats: int, trace) -> dict:
     }
 
 
+def bench_endurance(repeats: int) -> dict:
+    """Restart-replay cost vs run length (ISSUE 8 tentpole).
+
+    For each run length, the endurance-enabled live service (watermark
+    pruning, ingest snapshots every 6 chunks, tally budget, journal
+    rotation + compaction) is crashed two chunks before the end and the
+    restart is timed.  With snapshots the restart re-ingests only the
+    suffix past the newest snapshot, so its cost is pinned by the
+    snapshot cadence and stays flat as the run grows; the full-replay
+    variant (snapshots off, same pruning schedule) re-ingests the whole
+    stream and grows linearly.  Both recoveries are asserted
+    byte-identical to an uninterrupted oracle over the overlap of their
+    retained journal ranges.
+    """
+    import shutil
+    import tempfile
+
+    from repro.ingest import (
+        FeedConfig,
+        IncrementalTrace,
+        IngestConfig,
+        SimTransport,
+        TelemetryFeed,
+    )
+    from repro.nfv.tap import LiveRecordTap
+    from repro.service import (
+        CrashInjector,
+        CrashPlan,
+        DiagnosisService,
+        LiveTraceSource,
+        ServiceConfig,
+        SimulatedCrash,
+    )
+    from tests.conftest import make_chain_topology, run_recurring_stall_chain
+
+    chunk_ns = 1 * MSEC
+    margin_ns = 5 * MSEC
+    snapshot_every = 6
+    retain = margin_ns // chunk_ns + 2
+
+    def config(state_dir, bounded: bool) -> ServiceConfig:
+        return ServiceConfig(
+            state_dir=state_dir,
+            chunk_ns=chunk_ns,
+            margin_ns=margin_ns,
+            victim_threshold_ns=300_000,
+            durable=False,
+            tally_compact_every=snapshot_every,
+            tally_budget=8,
+            journal_rotate_bytes=8 * 1024,
+            journal_compact_bytes=32 * 1024,
+            ingest_checkpoint_every=snapshot_every if bounded else 0,
+            replay_retain_chunks=retain,
+        )
+
+    class CountingSimTransport(SimTransport):
+        # Per-process delivery counter.  Snapshot restore carries the
+        # cursor and the feed's cumulative stats across restarts, so
+        # ``ingest_records_pulled`` converges to the record total in
+        # both modes; this counter measures what the *recovery* process
+        # actually re-pulled — the replay cost being benchmarked.
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            self.pulled = 0
+
+        def pull(self, stream, max_n):
+            batch = super().pull(stream, max_n)
+            self.pulled += len(batch)
+            return batch
+
+    def make_source(records):
+        transport = CountingSimTransport(records)
+        feed = TelemetryFeed(transport, FeedConfig())
+        builder = IncrementalTrace.for_topology(
+            make_chain_topology(),
+            IngestConfig(chunk_ns=chunk_ns, seal_margin_ns=margin_ns),
+        )
+        return LiveTraceSource(feed, builder)
+
+    lengths_ms = (16, 32, 48)
+    reps = max(1, repeats - 1)
+    by_length = []
+    for length_ms in lengths_ms:
+        tap = LiveRecordTap()
+        run_recurring_stall_chain(
+            duration_ns=length_ms * MSEC,
+            main_rate=250_000.0,
+            probe_rate=50_000.0,
+            extra_hooks=[tap],
+        )
+        records = tap.records
+        crash_chunk = length_ms - 2
+        row = {"run_ms": length_ms, "n_records": len(records)}
+        base = tempfile.mkdtemp(prefix="bench-endurance-")
+        try:
+            oracle_dir = Path(base) / "oracle"
+            oracle = DiagnosisService(
+                make_source(records), config(oracle_dir, bounded=True)
+            )
+            oracle_report = oracle.run()
+            oracle_bytes = oracle.journal.read_bytes()
+            oracle_rf = oracle.journal.retained_from
+            row["n_chunks"] = oracle_report.n_chunks
+            for mode, bounded in (("bounded", True), ("full_replay", False)):
+                crashed = Path(base) / f"{mode}-crashed"
+                armed = DiagnosisService(
+                    make_source(records),
+                    config(crashed, bounded=bounded),
+                    faults=CrashInjector(
+                        CrashPlan("after-checkpoint", chunk=crash_chunk)
+                    ),
+                )
+                try:
+                    armed.run()
+                    raise SystemExit("FATAL: endurance crash plan never fired")
+                except SimulatedCrash:
+                    pass
+                best = float("inf")
+                for rep in range(reps):
+                    state = Path(base) / f"{mode}-recover-{rep}"
+                    shutil.copytree(crashed, state)
+                    recovered = DiagnosisService(
+                        make_source(records), config(state, bounded=bounded)
+                    )
+                    start = time.perf_counter()
+                    report = recovered.run()
+                    best = min(best, time.perf_counter() - start)
+                    got = recovered.journal.read_bytes()
+                    rf = recovered.journal.retained_from
+                    overlap_ok = (
+                        got == oracle_bytes[rf - oracle_rf:]
+                        if rf >= oracle_rf
+                        else got[oracle_rf - rf:] == oracle_bytes
+                    )
+                    if not overlap_ok:
+                        raise SystemExit(
+                            f"FATAL: {mode} recovery diverges at {length_ms}ms"
+                        )
+                    if report.tally.to_payload() != oracle_report.tally.to_payload():
+                        raise SystemExit(
+                            f"FATAL: {mode} recovery tally diverges at {length_ms}ms"
+                        )
+                    expected = 1 if bounded else 0
+                    if report.stats.bounded_resumes != expected:
+                        raise SystemExit(
+                            f"FATAL: {mode} recovery at {length_ms}ms was not "
+                            f"{'bounded' if bounded else 'a full replay'}"
+                        )
+                    row[f"{mode}_replayed_records"] = (
+                        recovered.source.feed.transport.pulled
+                    )
+                row[f"{mode}_restart_s"] = round(best, 6)
+        finally:
+            shutil.rmtree(base, ignore_errors=True)
+        by_length.append(row)
+    first, last = by_length[0], by_length[-1]
+    return {
+        "workload": "recurring-stall chain, crash 2 chunks before the end",
+        "snapshot_every_chunks": snapshot_every,
+        "by_run_length": by_length,
+        "restart_cost_growth": {
+            # run length grew 3x; a flat bounded restart stays near 1.0
+            # while the full replay tracks the run length.
+            "run_length_ratio": round(last["run_ms"] / first["run_ms"], 2),
+            "bounded_restart_ratio": round(
+                last["bounded_restart_s"] / first["bounded_restart_s"], 2
+            ),
+            "full_replay_restart_ratio": round(
+                last["full_replay_restart_s"] / first["full_replay_restart_s"],
+                2,
+            ),
+            "bounded_replays_suffix_only": (
+                last["bounded_replayed_records"]
+                < 0.5 * last["full_replay_replayed_records"]
+            ),
+        },
+    }
+
+
 def bench_analyzer_build(repeats: int) -> dict:
     """Cold/warm QueuingAnalyzer index build, python vs numpy backend."""
     view = synthetic_view()
@@ -638,6 +817,10 @@ def main() -> int:
         print(json.dumps(fleet["pipeline_scaling"], indent=2))
         print(json.dumps(fleet["dispatch"], indent=2))
 
+    print("benchmarking endurance restart-replay cost ...", flush=True)
+    endurance = bench_endurance(args.repeats)
+    print(json.dumps(endurance["restart_cost_growth"], indent=2))
+
     print("benchmarking analyzer index build ...", flush=True)
     analyzer_build = bench_analyzer_build(args.repeats)
     print(json.dumps(analyzer_build["timings"], indent=2))
@@ -677,6 +860,7 @@ def main() -> int:
         "service": service,
         "columnar": columnar,
         "fleet": fleet,
+        "endurance": endurance,
         "analyzer_build": analyzer_build,
         "environment": {
             "python": platform.python_version(),

@@ -1,0 +1,222 @@
+"""Endurance soak: thousands of chunks, fixed resource ceilings, kills.
+
+A scaled-down week: the live service runs ~2400 fifty-microsecond chunks
+over a recurring-stall workload with every endurance feature on —
+watermark pruning, ingest snapshots, a tally budget, journal rotation
+and compaction — and is SIGKILLed (simulated) every few hundred chunks.
+The invariants:
+
+* every restart is a *bounded* resume (ingest snapshot hit, never a
+  full replay), and re-ingests only a bounded suffix of the telemetry;
+* the retained journal bytes after the final run are identical to an
+  uninterrupted oracle's over the overlap of their retained ranges, and
+  the running tally matches exactly;
+* journal directory bytes, checkpoint bytes, builder state and tally
+  entries all stay under fixed ceilings that do not grow with run
+  length — the bounded-memory/bounded-disk claim, measured not assumed;
+* Python-heap peak (tracemalloc) of the whole soak stays under a fixed
+  budget.
+
+Runs in the ``endurance-soak`` CI job (not tier-1: minutes of wall
+clock).  A red run reproduces locally with::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/test_endurance_soak.py -q
+"""
+
+from __future__ import annotations
+
+import sys
+import tracemalloc
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.ingest import (  # noqa: E402
+    FeedConfig,
+    IncrementalTrace,
+    IngestConfig,
+    SimTransport,
+    TelemetryFeed,
+)
+from repro.nfv.tap import LiveRecordTap  # noqa: E402
+from repro.service import (  # noqa: E402
+    CrashInjector,
+    CrashPlan,
+    DiagnosisService,
+    LiveTraceSource,
+    ServiceConfig,
+    SimulatedCrash,
+)
+from repro.util.timebase import MSEC, USEC  # noqa: E402
+from tests.conftest import make_chain_topology, run_recurring_stall_chain  # noqa: E402
+
+CHUNK_NS = 50 * USEC
+MARGIN_NS = 500 * USEC
+THRESHOLD_NS = 300 * USEC
+DURATION_NS = 120 * MSEC  # ~2400 chunks
+MAIN_RATE = 200_000.0
+PROBE_RATE = 50_000.0
+
+#: (kill-point, chunk) schedule — one simulated power cut every ~600
+#: chunks, landing on protocol points and endurance-maintenance points.
+KILLS = (
+    ("after-checkpoint", 600),
+    ("after-ingest-snapshot", 1200),
+    ("after-journal", 1800),
+)
+
+#: Fixed ceilings.  None of these scale with DURATION_NS — doubling the
+#: run length must not require touching them (that is the claim).
+DISK_CEILING_BYTES = 512 * 1024  # journal dir: active + segments + header
+CHECKPOINT_CEILING_BYTES = 8 * 1024
+SNAPSHOT_CEILING_BYTES = 256 * 1024
+HEAP_CEILING_BYTES = 192 * 1024 * 1024
+TALLY_BUDGET = 8
+
+
+def config(state_dir) -> ServiceConfig:
+    return ServiceConfig(
+        state_dir=state_dir,
+        chunk_ns=CHUNK_NS,
+        margin_ns=MARGIN_NS,
+        victim_threshold_ns=THRESHOLD_NS,
+        durable=False,
+        tally_compact_every=50,
+        tally_budget=TALLY_BUDGET,
+        journal_rotate_bytes=16 * 1024,
+        journal_compact_bytes=64 * 1024,
+        ingest_checkpoint_every=50,
+    )
+
+
+class CountingSimTransport(SimTransport):
+    """SimTransport with a per-process delivery counter.
+
+    Snapshot restore carries the *cursor* (and the feed's cumulative
+    stats) across restarts, so ``ServiceStats.ingest_records_pulled``
+    tracks the logical run and always converges to the record total.
+    This counter is deliberately NOT restored: it measures what one
+    process actually re-pulled — the bounded-replay suffix.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.pulled = 0
+
+    def pull(self, stream, max_n):
+        batch = super().pull(stream, max_n)
+        self.pulled += len(batch)
+        return batch
+
+
+def make_source(records):
+    transport = CountingSimTransport(records)
+    feed = TelemetryFeed(transport, FeedConfig())
+    builder = IncrementalTrace.for_topology(
+        make_chain_topology(),
+        IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS),
+    )
+    return LiveTraceSource(feed, builder)
+
+
+@pytest.fixture(scope="module")
+def records():
+    tap = LiveRecordTap()
+    run_recurring_stall_chain(
+        duration_ns=DURATION_NS,
+        main_rate=MAIN_RATE,
+        probe_rate=PROBE_RATE,
+        extra_hooks=[tap],
+    )
+    return tap.records
+
+
+@pytest.fixture(scope="module")
+def oracle(records, tmp_path_factory):
+    service = DiagnosisService(
+        make_source(records), config(tmp_path_factory.mktemp("oracle"))
+    )
+    report = service.run()
+    assert report.n_chunks >= 2000, f"soak too small: {report.n_chunks} chunks"
+    assert report.stats.journal_rotations >= 5
+    assert report.stats.journal_compactions >= 2
+    assert report.stats.ingest_snapshots >= 20
+    assert report.stats.ingest_evictions > 0
+    return {
+        "journal": service.journal.read_bytes(),
+        "retained_from": service.journal.retained_from,
+        "tally": report.tally.to_payload(),
+        "n_chunks": report.n_chunks,
+        "n_records": len(records),
+    }
+
+
+def assert_overlap_identical(service, report, oracle):
+    got = service.journal.read_bytes()
+    rf, rf2 = oracle["retained_from"], service.journal.retained_from
+    if rf2 >= rf:
+        assert got == oracle["journal"][rf2 - rf:]
+    else:
+        assert got[rf - rf2:] == oracle["journal"]
+    assert report.tally.to_payload() == oracle["tally"]
+
+
+def assert_resources_bounded(service, report):
+    assert service.journal.dir_bytes() <= DISK_CEILING_BYTES
+    assert report.stats.checkpoint_bytes <= CHECKPOINT_CEILING_BYTES
+    assert report.stats.ingest_snapshot_bytes <= SNAPSHOT_CEILING_BYTES
+    assert len(dict(report.tally.entries())) <= TALLY_BUDGET
+    # Watermark pruning keeps builder state to the retain window, not the
+    # whole run.
+    assert len(service.source.builder.packets) < 2_000
+
+
+def test_soak_kills_every_few_hundred_chunks(records, oracle, tmp_path):
+    state_dir = tmp_path / "state"
+    tracemalloc.start()
+    try:
+        for point, chunk in KILLS:
+            armed = DiagnosisService(
+                make_source(records),
+                config(state_dir),
+                faults=CrashInjector(CrashPlan(point, chunk=chunk)),
+            )
+            with pytest.raises(SimulatedCrash):
+                armed.run()
+        final = DiagnosisService(make_source(records), config(state_dir))
+        report = final.run()
+        _current, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+
+    assert_overlap_identical(final, report, oracle)
+    assert report.n_chunks == oracle["n_chunks"]
+    assert report.stats.chunks_done == oracle["n_chunks"]
+    # Stats ride in the checkpoint, so the final report sees all three
+    # recoveries — and every one resumed from an ingest snapshot
+    # (bounded replay, never a full re-ingest).  The transport's
+    # per-process counter shows the final leg re-ingested only a suffix
+    # of the telemetry, while the checkpointed cumulative counter shows
+    # the logical run pulled each record exactly once.
+    assert report.stats.resumes == len(KILLS)
+    assert report.stats.bounded_resumes == len(KILLS)
+    assert report.stats.full_replays == 0
+    assert final.source.feed.transport.pulled < 0.6 * oracle["n_records"]
+    assert report.stats.ingest_records_pulled == oracle["n_records"]
+    assert_resources_bounded(final, report)
+    assert peak <= HEAP_CEILING_BYTES, (
+        f"soak heap peak {peak / 1e6:.1f} MB exceeds the fixed ceiling"
+    )
+
+
+def test_uninterrupted_soak_resources_bounded(records, oracle, tmp_path):
+    """The ceilings hold for the clean run too, not just post-recovery."""
+    service = DiagnosisService(make_source(records), config(tmp_path / "s"))
+    report = service.run()
+    assert_overlap_identical(service, report, oracle)
+    assert_resources_bounded(service, report)

@@ -34,6 +34,7 @@ from repro.core import (
 from repro.errors import (
     AggregationError,
     CheckpointError,
+    StorageError,
     ConfigurationError,
     DiagnosisError,
     ReconstructionError,
@@ -51,6 +52,7 @@ __all__ = [
     "AggregationError",
     "CausalRelation",
     "CheckpointError",
+    "StorageError",
     "ConfigurationError",
     "Culprit",
     "DiagTrace",

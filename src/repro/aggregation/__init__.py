@@ -20,11 +20,18 @@ from repro.aggregation.patterns import (
     Pattern,
     PatternAggregator,
 )
+from repro.aggregation.sketches import (
+    BoundedCulpritTally,
+    BoundedTallyEntry,
+    tally_from_payload,
+)
 from repro.aggregation.tallies import CulpritTally, TallyEntry
 
 __all__ = [
     "AggregationResult",
     "BinaryPortNode",
+    "BoundedCulpritTally",
+    "BoundedTallyEntry",
     "Cluster",
     "CulpritTally",
     "FlowAggregate",
@@ -38,5 +45,6 @@ __all__ = [
     "ProtoNode",
     "ancestors",
     "compress_unidimensional",
+    "tally_from_payload",
     "unidimensional_clusters",
 ]

@@ -1,0 +1,248 @@
+"""Sketch-backed culprit aggregation: flat memory over unbounded runs.
+
+:class:`~repro.aggregation.tallies.CulpritTally` is exact but grows with
+the number of *distinct* ``(kind, location)`` culprit identities seen —
+fine for hours, wrong for an always-on service where a churning workload
+(ephemeral flows, port-scanning sources, rotating tenants) can mint new
+identities forever.  :class:`BoundedCulpritTally` caps the entry table at
+a fixed ``budget`` using a weighted SpaceSaving sketch [Metwally et al.,
+"Efficient computation of frequent and top-k elements in data streams"]:
+
+* while distinct identities fit the budget the tally is **exact** — entry
+  for entry equal to the unbounded tally, every ``score_error`` zero;
+* over budget, inserting a new identity **evicts the minimum-score
+  entry**, and the newcomer inherits the evicted score as both its
+  starting mass and its explicit ``score_error`` — the classic
+  SpaceSaving overestimate.  Every reported score is then an upper bound
+  on the true score, tight to within ``score_error``, and any identity
+  whose true accumulated score exceeds the current minimum entry score is
+  guaranteed to be present (no heavy hitter is ever silently lost);
+* global counters (``victims``, ``culprits``, ``total_score``,
+  ``victims_per_nf``) stay exact — they are O(1) and O(#NFs), not
+  O(#identities).
+
+Determinism contract (the service checkpoints this state): eviction picks
+the minimum ``(score, key)`` with ties broken on the lexically smallest
+key, update order is the service's chunk/diagnosis/culprit order, and the
+payload round-trips floats exactly — so a crash-restored sketch continues
+bit-identically, the same property the exact tally pins.
+
+Error semantics surfaced to operators: per-entry ``score_error`` (and
+``count_error``) bound the overestimate of that entry; the tally-level
+``floor`` (the largest score ever evicted) bounds the true score of any
+*absent* identity.  ``merge`` keeps scores as upper bounds but weakens
+per-entry tightness to the floor — merged sketches are for fleet rollups,
+not for re-checkpointing mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.aggregation.tallies import CulpritTally, TallyEntry
+from repro.core.diagnosis import VictimDiagnosis
+from repro.errors import AggregationError
+
+_PAYLOAD_VERSION = 2
+
+
+@dataclass
+class BoundedTallyEntry(TallyEntry):
+    """A tally entry plus its SpaceSaving overestimation bounds.
+
+    True score lies in ``[score - score_error, score]``; true count in
+    ``[count - count_error, count]``.  Both errors are zero until the
+    entry's identity was ever (re)inserted over a full table.
+    """
+
+    score_error: float = 0.0
+    count_error: int = 0
+
+    @property
+    def exact(self) -> bool:
+        return self.score_error == 0.0 and self.count_error == 0
+
+
+class BoundedCulpritTally(CulpritTally):
+    """Top-k heavy-hitter culprit tally at a hard entry budget."""
+
+    def __init__(self, budget: int) -> None:
+        if budget < 1:
+            raise AggregationError(f"sketch budget must be >= 1: {budget}")
+        super().__init__()
+        self.budget = budget
+        #: Total evictions performed (monitoring: 0 means still exact).
+        self.evictions = 0
+        #: Largest score ever evicted: upper bound on the true score of
+        #: any identity *not* in the table.
+        self.floor = 0.0
+
+    # -- accumulation ---------------------------------------------------------
+
+    def _evict_min(self) -> Tuple[float, int, float]:
+        """Drop the minimum-score entry; returns its (score, count, mass).
+
+        Ties break on the lexically smallest key so eviction — hence the
+        whole sketch state — is a deterministic function of update order.
+        """
+        key = min(self._entries, key=lambda k: (self._entries[k].score, k))
+        entry = self._entries.pop(key)
+        self.evictions += 1
+        if entry.score > self.floor:
+            self.floor = entry.score
+        return entry.score, entry.count, entry.confidence_mass
+
+    def update(self, diagnoses: Iterable[VictimDiagnosis]) -> None:
+        for diagnosis in diagnoses:
+            self.victims += 1
+            nf = diagnosis.victim.nf
+            self._victims_per_nf[nf] = self._victims_per_nf.get(nf, 0) + 1
+            for culprit in diagnosis.culprits:
+                key = (culprit.kind, culprit.location)
+                entry = self._entries.get(key)
+                if entry is None:
+                    if len(self._entries) < self.budget:
+                        entry = self._entries[key] = BoundedTallyEntry()
+                    else:
+                        # SpaceSaving: the newcomer takes over the minimum
+                        # entry's mass and carries it as explicit error.
+                        score, count, mass = self._evict_min()
+                        entry = self._entries[key] = BoundedTallyEntry(
+                            score=score,
+                            count=count,
+                            confidence_mass=mass,
+                            score_error=score,
+                            count_error=count,
+                        )
+                entry.score += culprit.score
+                entry.count += 1
+                entry.confidence_mass += culprit.score * culprit.confidence
+                self.culprits += 1
+                self.total_score += culprit.score
+
+    def merge(self, other: "CulpritTally") -> None:
+        """Fold another tally in, then shrink back to the budget.
+
+        Matching identities add scores (and errors); surplus smallest
+        entries are dropped with their scores folded into ``floor``.
+        The result's present-entry scores remain upper bounds, but
+        per-entry errors are no longer individually tight — use merged
+        sketches for reporting, not as a resumable running state.
+        """
+        for key, entry in other._entries.items():
+            mine = self._entries.get(key)
+            if mine is None:
+                mine = self._entries[key] = BoundedTallyEntry()
+            mine.score += entry.score
+            mine.count += entry.count
+            mine.confidence_mass += entry.confidence_mass
+            mine.score_error += getattr(entry, "score_error", 0.0)
+            mine.count_error += getattr(entry, "count_error", 0)
+        for nf, count in other._victims_per_nf.items():
+            self._victims_per_nf[nf] = self._victims_per_nf.get(nf, 0) + count
+        self.victims += other.victims
+        self.culprits += other.culprits
+        self.total_score += other.total_score
+        if isinstance(other, BoundedCulpritTally):
+            self.evictions += other.evictions
+            if other.floor > self.floor:
+                self.floor = other.floor
+        while len(self._entries) > self.budget:
+            self._evict_min()
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def exact(self) -> bool:
+        """True while no eviction ever happened: entries equal the
+        unbounded tally's, error-free."""
+        return self.evictions == 0
+
+    def absent_score_bound(self) -> float:
+        """Upper bound on the true score of any identity not tallied."""
+        return self.floor
+
+    def format(self, limit: int = 10) -> str:
+        lines = [
+            f"{'score':>12}  {'±err':>10}  {'n':>6}  {'conf':>5}  culprit"
+        ]
+        for kind, location, entry in self.top(limit):
+            err = getattr(entry, "score_error", 0.0)
+            lines.append(
+                f"{entry.score:12.3f}  {err:10.3f}  {entry.count:6d}  "
+                f"{entry.mean_confidence:5.2f}  [{kind}] {location}"
+            )
+        if self.evictions:
+            lines.append(
+                f"(sketch: budget {self.budget}, {self.evictions} evictions,"
+                f" absent-score bound {self.floor:.3f})"
+            )
+        return "\n".join(lines)
+
+    # -- checkpoint payload ----------------------------------------------------
+
+    def to_payload(self) -> dict:
+        return {
+            "version": _PAYLOAD_VERSION,
+            "budget": self.budget,
+            "evictions": self.evictions,
+            "floor": self.floor,
+            "victims": self.victims,
+            "culprits": self.culprits,
+            "total_score": self.total_score,
+            "victims_per_nf": dict(sorted(self._victims_per_nf.items())),
+            "entries": [
+                {
+                    "kind": kind,
+                    "location": location,
+                    "score": entry.score,
+                    "count": entry.count,
+                    "confidence_mass": entry.confidence_mass,
+                    "score_error": entry.score_error,
+                    "count_error": entry.count_error,
+                }
+                for (kind, location), entry in sorted(self._entries.items())
+            ],
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BoundedCulpritTally":
+        if payload.get("version") != _PAYLOAD_VERSION:
+            raise AggregationError(
+                f"unsupported sketch payload version {payload.get('version')!r}"
+            )
+        tally = cls(int(payload["budget"]))
+        tally.evictions = int(payload["evictions"])
+        tally.floor = float(payload["floor"])
+        tally.victims = int(payload["victims"])
+        tally.culprits = int(payload["culprits"])
+        tally.total_score = float(payload["total_score"])
+        tally._victims_per_nf = {
+            nf: int(count) for nf, count in payload["victims_per_nf"].items()
+        }
+        for raw in payload["entries"]:
+            tally._entries[(raw["kind"], raw["location"])] = BoundedTallyEntry(
+                score=float(raw["score"]),
+                count=int(raw["count"]),
+                confidence_mass=float(raw["confidence_mass"]),
+                score_error=float(raw["score_error"]),
+                count_error=int(raw["count_error"]),
+            )
+        return tally
+
+
+def tally_from_payload(payload: dict) -> CulpritTally:
+    """Reconstruct whichever tally class wrote ``payload``.
+
+    The journal's tally snapshots and the compaction header both carry
+    payloads whose ``version`` key identifies the class (1 = exact
+    :class:`CulpritTally`, 2 = :class:`BoundedCulpritTally`), so replay
+    paths restore the same aggregation semantics the service ran with.
+    """
+    version = payload.get("version")
+    if version == 1:
+        return CulpritTally.from_payload(payload)
+    if version == _PAYLOAD_VERSION:
+        return BoundedCulpritTally.from_payload(payload)
+    raise AggregationError(f"unsupported tally payload version {version!r}")

@@ -389,6 +389,26 @@ class StreamingDiagnosis:
         self._engine_chunk = start_chunk
         return engine
 
+    def skip_chunk(self, index: int) -> None:
+        """Advance the carried engine past chunk ``index`` without
+        diagnosing it — the service's dead-letter path.  The advance
+        performs the same generation bump and memo eviction sweep a
+        diagnosed chunk would, so later chunks see the identical engine
+        state (memo entries are result-invariant; only the position and
+        the eviction horizon matter)."""
+        engine = self.engine
+        if engine is None or self._engine_chunk is None:
+            raise DiagnosisError("call open() before skip_chunk()")
+        start, _chunk_end = self.chunk_bounds(index)
+        window_start = max(0, start - self.config.margin_ns)
+        if index == self._engine_chunk + 1:
+            engine.advance_chunk(evict_before_ns=window_start)
+            self._engine_chunk = index
+        elif index != self._engine_chunk:
+            raise DiagnosisError(
+                f"non-sequential chunk {index}: engine is at {self._engine_chunk}"
+            )
+
     def diagnose_chunk(
         self, index: int, victims: Optional[List[Victim]] = None
     ) -> ChunkResult:

@@ -48,6 +48,18 @@ class CheckpointError(ServiceError):
     """No usable checkpoint generation survived validation."""
 
 
+class StorageError(ServiceError):
+    """A durable write failed at the storage layer (ENOSPC, short write).
+
+    Raised by the journal append and checkpoint commit paths after the
+    failed commit has been rolled back atomically: the journal is
+    truncated back to its pre-append offset and the checkpoint temp file
+    is unlinked, so the previous generation remains fully recoverable.
+    The service surfaces it instead of retrying — a full disk is an
+    operator problem, not a transient.
+    """
+
+
 class TransientError(ServiceError):
     """A retryable stage failure (the service backs off and tries again)."""
 

@@ -35,6 +35,11 @@ class RollupEntry:
     score: float = 0.0
     count: int = 0
     confidence_mass: float = 0.0
+    #: Accumulated sketch error bound (zero when every contributing
+    #: pipeline tallied this culprit exactly; see
+    #: :class:`~repro.aggregation.sketches.BoundedCulpritTally`).  The
+    #: true fleet-wide blame lies in ``[score - score_error, score]``.
+    score_error: float = 0.0
     #: pipeline name -> blame contributed by that pipeline.
     per_pipeline: Dict[str, float] = field(default_factory=dict)
 
@@ -42,6 +47,10 @@ class RollupEntry:
     def sites(self) -> int:
         """How many pipelines saw this culprit at all."""
         return len(self.per_pipeline)
+
+    @property
+    def exact(self) -> bool:
+        return self.score_error == 0.0
 
     @property
     def mean_confidence(self) -> float:
@@ -77,6 +86,7 @@ class FleetRollup:
             mine.score += entry.score
             mine.count += entry.count
             mine.confidence_mass += entry.confidence_mass
+            mine.score_error += getattr(entry, "score_error", 0.0)
             mine.per_pipeline[pipeline] = entry.score
 
     @classmethod
@@ -111,10 +121,13 @@ class FleetRollup:
         ]
         lines.append(f"{'score':>12}  {'n':>6}  {'sites':>5}  {'conf':>5}  culprit")
         for kind, location, entry in self.top(limit):
+            error = (
+                "" if entry.exact else f" (±{entry.score_error:.3f} sketch)"
+            )
             lines.append(
                 f"{entry.score:12.3f}  {entry.count:6d}  {entry.sites:5d}  "
                 f"{entry.mean_confidence:5.2f}  [{kind}] {location}, "
-                f"{entry.sites}/{len(self.pipelines)} sites"
+                f"{entry.sites}/{len(self.pipelines)} sites{error}"
             )
         return "\n".join(lines)
 
@@ -138,6 +151,7 @@ class FleetRollup:
                     "score": entry.score,
                     "count": entry.count,
                     "confidence_mass": entry.confidence_mass,
+                    "score_error": entry.score_error,
                     "sites": entry.sites,
                     "per_pipeline": dict(sorted(entry.per_pipeline.items())),
                 }
@@ -151,14 +165,21 @@ def tally_from_journal(journal_path: Union[str, Path]) -> CulpritTally:
 
     Replays every chunk record's wire-decoded diagnoses in journal order —
     the same float-accumulation order the live service used — so the
-    result equals the service's in-memory tally exactly.  This is what
-    makes the fleet rollup recomputable offline from journals: no
-    checkpoint, no live service, just the append-only record of results.
+    result equals the service's in-memory tally exactly.  A compacted
+    journal seeds the replay from its ``COMPACT`` header, which holds the
+    fold of every retired segment's chunk records — so the equality holds
+    across rotation and compaction too.  This is what makes the fleet
+    rollup recomputable offline from journals: no checkpoint, no live
+    service, just the append-only record of results.
     """
+    from repro.aggregation.sketches import tally_from_payload
     from repro.service.journal import ResultJournal, decode_diagnoses
 
     journal = ResultJournal(Path(journal_path), durable=False)
-    tally = CulpritTally()
+    compacted = journal.compacted_tally_payload()
+    tally = (
+        CulpritTally() if compacted is None else tally_from_payload(compacted)
+    )
     for _chunk, body in journal.records():
         if "kind" in body:
             continue

@@ -104,6 +104,15 @@ class FleetConfig:
     max_victims_per_chunk: Optional[int] = None
     tally_compact_every: int = 8
     durable: bool = True
+    #: Endurance passthroughs (see :class:`ServiceConfig`): bounded-memory
+    #: tally budget, journal rotation/compaction thresholds, ingest
+    #: snapshot cadence and retention, poison-chunk dead-lettering.
+    tally_budget: Optional[int] = None
+    journal_rotate_bytes: int = 0
+    journal_compact_bytes: int = 0
+    ingest_checkpoint_every: int = 0
+    replay_retain_chunks: Optional[int] = None
+    dead_letter_chunks: bool = False
 
     def __post_init__(self) -> None:
         if self.pool_workers < 0:
@@ -245,6 +254,12 @@ class FleetSupervisor:
                 task_timeout_s=cfg.task_timeout_s,
                 max_victims_per_chunk=cfg.max_victims_per_chunk,
                 durable=cfg.durable,
+                tally_budget=cfg.tally_budget,
+                journal_rotate_bytes=cfg.journal_rotate_bytes,
+                journal_compact_bytes=cfg.journal_compact_bytes,
+                ingest_checkpoint_every=cfg.ingest_checkpoint_every,
+                replay_retain_chunks=cfg.replay_retain_chunks,
+                dead_letter_chunks=cfg.dead_letter_chunks,
             )
         overrides: dict = {}
         if service_cfg.concurrent_pipelines == 1 and len(self.pipelines) > 1:

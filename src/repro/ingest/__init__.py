@@ -26,8 +26,16 @@ from repro.ingest.feed import (
     TelemetryFeed,
 )
 from repro.ingest.incremental import IncrementalTrace, IngestConfig
+from repro.ingest.watermark import (
+    SNAPSHOT_VERSION,
+    capture_source_state,
+    restore_source_state,
+)
 
 __all__ = [
+    "SNAPSHOT_VERSION",
+    "capture_source_state",
+    "restore_source_state",
     "RECORD_KINDS",
     "TelemetryRecord",
     "drop_record",

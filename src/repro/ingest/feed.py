@@ -85,6 +85,10 @@ class FeedStats:
     def to_payload(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 
+    @classmethod
+    def from_payload(cls, payload: dict) -> "FeedStats":
+        return cls(**{f.name: payload[f.name] for f in fields(cls)})
+
 
 class IngestBuffer:
     """One stream's bounded FIFO of received-but-unapplied records.
@@ -143,6 +147,22 @@ class IngestBuffer:
     def head(self) -> Optional[TelemetryRecord]:
         with self._lock:
             return self._records[0] if self._records else None
+
+    def snapshot(self) -> Tuple[List[TelemetryRecord], int]:
+        """Atomic copy of (buffered records, watermark) for checkpoints."""
+        with self._lock:
+            return list(self._records), self.watermark
+
+    def restore(self, records: List[TelemetryRecord], watermark: int) -> None:
+        """Replace contents with a snapshot (crash-recovery restore)."""
+        if len(records) > self.capacity:
+            raise IngestError(
+                f"snapshot of stream {self.stream!r} holds {len(records)} "
+                f"records, capacity is {self.capacity}"
+            )
+        with self._lock:
+            self._records = deque(records)
+            self.watermark = watermark
 
     def pop(self) -> TelemetryRecord:
         with self._lock:

@@ -117,6 +117,12 @@ class IncrementalTrace(DiagTrace):
         self.records_applied = 0
         self.duplicates = 0
         self.rejects = 0
+        #: Health-gap entries and packets evicted by :meth:`prune_before`
+        #: (the state itself is gone; the cumulative counts keep
+        #: ``ingest_stats`` monotone and are journalled per chunk so
+        #: eviction is auditable).
+        self.gaps_evicted = 0
+        self.packets_evicted = 0
 
     @classmethod
     def for_topology(
@@ -383,11 +389,121 @@ class IncrementalTrace(DiagTrace):
         return max(0, sealed)
 
     def ingest_stats(self) -> Dict[str, int]:
-        """Pure-int ingestion counters (checkpoint/stats safe)."""
+        """Pure-int ingestion counters (checkpoint/stats safe).
+
+        ``gaps`` counts every gap ever recorded — pruning moves old
+        entries from the live list into ``gaps_evicted``, keeping the
+        total monotone across a week of eviction.
+        """
         return {
             "records_applied": self.records_applied,
             "duplicates": self.duplicates,
             "rejects": self.rejects,
-            "gaps": len(self.health.gaps),
+            "gaps": len(self.health.gaps) + self.gaps_evicted,
             "quarantined": len(self.health.quarantined),
+            "evictions": self.packets_evicted + self.gaps_evicted,
         }
+
+    # -- pruning (bounded memory) ----------------------------------------------
+
+    def _queue_empty_cut(self, view: NFView, cut_ns: int) -> int:
+        """Largest ``b <= cut_ns`` where ``view``'s queue is empty at ``b``.
+
+        Queue depth just before ``b`` is ``#{arrivals < b} - #{reads < b}``
+        (drops live in a separate stream and never enter the balance).
+        When it is positive, any empty point must see at most ``j`` (the
+        read count) arrivals, i.e. lie at or below arrival ``j``'s
+        timestamp — jump there and re-test.  The arrival index strictly
+        decreases each round, so this terminates (at 0 in the worst case).
+        """
+        b = cut_ns
+        while b > 0:
+            i = bisect.bisect_left(view.arrivals, (b, -1))
+            j = bisect.bisect_left(view.reads, (b, -1))
+            if i == j:
+                return b
+            b = view.arrivals[j][0]
+        return 0
+
+    def safe_cut(self, cut_ns: int) -> int:
+        """Lower ``cut_ns`` until no NF has a busy period spanning it.
+
+        Pruning is output-invariant only if no queuing interacts across
+        the cut: a packet discarded behind the cut must not change any
+        future window's queue depths or busy-period structure.  At a
+        queue-empty instant every earlier arrival has been read, so
+        removing terminated packets wholly behind it shifts the arrival
+        and read cumulative counts *equally* — depths at and after the
+        cut are untouched.  Under sustained overload the cut can regress
+        far behind the nominal horizon; memory then grows with the busy
+        period, which is the price of exactness (and an overload signal
+        in its own right).
+        """
+        cut = cut_ns
+        for view in self.nfs.values():
+            if cut <= 0:
+                return 0
+            cut = self._queue_empty_cut(view, cut)
+        return max(0, cut)
+
+    def prune_before(self, cut_ns: int) -> Dict[str, int]:
+        """Evict state the diagnosis of future chunks can never touch.
+
+        Drops terminated packets (exited or dropped) whose every event
+        lies strictly before the queue-empty-safe cut, their per-NF view
+        events, and health gaps that ended before the cut (quarantine
+        gaps of a permanently dead stream included — the stream itself
+        stays in ``health.quarantined``, which is bounded by the stream
+        count).  Returns ``{"cut_ns", "packets", "gaps"}``.
+
+        The prune is a pure function of (trace state, cut): replaying it
+        at the same chunk boundary on a crash-restored twin yields the
+        identical pruned state, which is what keeps bounded replay
+        byte-identical to the full-replay oracle.
+        """
+        cut = self.safe_cut(cut_ns)
+        result = {"cut_ns": cut, "packets": 0, "gaps": 0}
+        if cut <= 0:
+            return result
+        evicted: Set[int] = set()
+        for pid, packet in self.packets.items():
+            if packet.exited_ns < 0 and packet.dropped_at is None:
+                continue  # still in flight: future records may attach
+            last = max(
+                packet.emitted_ns,
+                packet.exited_ns,
+                packet.dropped_ns,
+                max((hop.depart_ns for hop in packet.hops), default=0),
+            )
+            if last < cut:
+                evicted.add(pid)
+        for pid in evicted:
+            del self.packets[pid]
+        if evicted:
+            for view in self.nfs.values():
+                view.arrivals[:] = [
+                    e for e in view.arrivals if e[1] not in evicted
+                ]
+                view.reads[:] = [e for e in view.reads if e[1] not in evicted]
+                view.departs[:] = [
+                    e for e in view.departs if e[1] not in evicted
+                ]
+                view.drops[:] = [e for e in view.drops if e[1] not in evicted]
+                # Length-based cache invalidation can miss an equal-length
+                # rewrite; reset explicitly.
+                view._pid_arrival = None
+                view._pid_arrival_len = -1
+                view._arrival_times = None
+                view._read_times = None
+                view._arrival_pids = None
+                view._read_pids = None
+        kept_gaps = [gap for gap in self.health.gaps if gap.end_ns >= cut]
+        result["gaps"] = len(self.health.gaps) - len(kept_gaps)
+        result["packets"] = len(evicted)
+        self.packets_evicted += len(evicted)
+        if result["gaps"]:
+            self.health.gaps[:] = kept_gaps
+            self.gaps_evicted += result["gaps"]
+        if evicted or result["gaps"]:
+            self._mark_mutated()
+        return result

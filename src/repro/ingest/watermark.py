@@ -1,0 +1,424 @@
+"""Watermark snapshots: bounded crash-recovery replay for live ingestion.
+
+Without this module a restarted service re-ingests every transport from
+record zero — deterministic (that is what makes recovery byte-identical)
+but O(run length): after a week of operation a restart replays a week of
+telemetry before diagnosing its first new chunk.  A *watermark snapshot*
+captures the complete ingest-side state at a chunk boundary:
+
+* **transport cursors** — where each per-stream pull left off (plus the
+  fault-injection RNG of a :class:`~repro.ingest.feed.FlakyTransport`,
+  so the replayed fault schedule continues bit-exactly);
+* **feed state** — every buffered-but-unapplied record, per-stream
+  watermarks and stall counters, accumulated :class:`FeedStats`, pending
+  shed accounting, and the backoff RNG;
+* **builder state** — the pruned trace suffix (packets + health), the
+  sequence/time/loss bookkeeping per stream, and the sealing horizon.
+
+Restoring a snapshot into a freshly constructed source reproduces the
+exact in-memory state the crashed process held at that boundary, so
+recovery replays only the records the transport delivered *after* the
+snapshot — O(seal window), independent of run length.  The service pins
+this against full-replay oracle runs: both paths must produce
+byte-identical journals.
+
+Capture is cooperative: a transport that cannot report its position
+(``snapshot_state`` missing and not one of the known wrappers) makes
+:func:`capture_source_state` return None and the service falls back to
+full replay — bounded replay is an optimisation, never a correctness
+requirement.
+
+Everything in a snapshot is pure JSON (ints round-trip exactly; the
+NumPy bit-generator state dicts are JSON-clean the same way the service
+checkpoint already relies on), so snapshots ride the standard
+:class:`~repro.service.checkpoint.Checkpointer` machinery: versioned
+generations, CRC validation, atomic commit, recovery ladder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.collector.health import TelemetryGap
+from repro.core.records import PacketHop, PacketView
+from repro.errors import IngestError
+from repro.ingest.feed import (
+    DeadStreamTransport,
+    FeedStats,
+    FlakyTransport,
+    SimTransport,
+    TelemetryFeed,
+)
+from repro.ingest.incremental import IncrementalTrace
+from repro.ingest.records import TelemetryRecord
+from repro.nfv.packet import FiveTuple
+
+#: Bumped when the snapshot layout changes; mismatches fall back to full
+#: replay instead of mis-restoring.
+SNAPSHOT_VERSION = 1
+
+
+# -- record wire format ---------------------------------------------------------
+
+
+def record_to_wire(record: TelemetryRecord) -> list:
+    return [
+        record.stream,
+        record.seq,
+        record.kind,
+        record.time_ns,
+        record.pid,
+        list(record.data),
+    ]
+
+
+def record_from_wire(wire) -> TelemetryRecord:
+    stream, seq, kind, time_ns, pid, data = wire
+    return TelemetryRecord(
+        stream=stream,
+        seq=int(seq),
+        kind=kind,
+        time_ns=int(time_ns),
+        pid=int(pid),
+        data=tuple(int(x) for x in data),
+    )
+
+
+# -- transports -----------------------------------------------------------------
+
+
+def capture_transport_state(transport) -> Optional[dict]:
+    """Position snapshot of a transport, or None when unsupported.
+
+    The known transports are handled structurally (wrappers recurse into
+    their inner transport); anything else may opt in by exposing its own
+    ``snapshot_state()``/``restore_state()`` pair returning pure JSON.
+    """
+    if isinstance(transport, SimTransport):
+        return {"kind": "sim", "cursors": dict(transport._cursor)}
+    if isinstance(transport, FlakyTransport):
+        inner = capture_transport_state(transport.inner)
+        if inner is None:
+            return None
+        return {
+            "kind": "flaky",
+            "inner": inner,
+            "rng": transport._rng.bit_generator.state,
+            "connected": transport._connected,
+        }
+    if isinstance(transport, DeadStreamTransport):
+        inner = capture_transport_state(transport.inner)
+        if inner is None:
+            return None
+        return {"kind": "dead-wrapper", "inner": inner}
+    snapshot = getattr(transport, "snapshot_state", None)
+    if snapshot is None:
+        return None
+    return snapshot()
+
+
+def restore_transport_state(transport, state: dict) -> None:
+    kind = state.get("kind")
+    if isinstance(transport, SimTransport):
+        if kind != "sim":
+            raise IngestError(f"transport snapshot kind mismatch: {kind!r}")
+        cursors = state["cursors"]
+        if set(cursors) != set(transport._cursor):
+            raise IngestError(
+                "transport snapshot stream set does not match: "
+                f"{sorted(cursors)} vs {sorted(transport._cursor)}"
+            )
+        for stream, cursor in cursors.items():
+            transport._cursor[stream] = int(cursor)
+        return
+    if isinstance(transport, FlakyTransport):
+        if kind != "flaky":
+            raise IngestError(f"transport snapshot kind mismatch: {kind!r}")
+        restore_transport_state(transport.inner, state["inner"])
+        transport._rng.bit_generator.state = state["rng"]
+        transport._connected = bool(state["connected"])
+        return
+    if isinstance(transport, DeadStreamTransport):
+        if kind != "dead-wrapper":
+            raise IngestError(f"transport snapshot kind mismatch: {kind!r}")
+        restore_transport_state(transport.inner, state["inner"])
+        return
+    restore = getattr(transport, "restore_state", None)
+    if restore is None:
+        raise IngestError(
+            f"transport {type(transport).__name__} cannot restore snapshots"
+        )
+    restore(state)
+
+
+# -- feed -----------------------------------------------------------------------
+
+
+def capture_feed_state(feed: TelemetryFeed) -> Optional[dict]:
+    transport = capture_transport_state(feed.transport)
+    if transport is None:
+        return None
+    buffers = {}
+    for stream, buffer in feed.buffers.items():
+        records, watermark = buffer.snapshot()
+        buffers[stream] = {
+            "watermark": watermark,
+            "records": [record_to_wire(r) for r in records],
+        }
+    return {
+        "transport": transport,
+        "buffers": buffers,
+        "stats": feed.stats.to_payload(),
+        "stalls": dict(feed._stalls),
+        "pending_sheds": [list(shed) for shed in feed.pending_sheds],
+        "rng": feed._rng.bit_generator.state,
+    }
+
+
+def restore_feed_state(feed: TelemetryFeed, state: dict) -> None:
+    if set(state["buffers"]) != set(feed.buffers):
+        raise IngestError(
+            "feed snapshot stream set does not match the transport's: "
+            f"{sorted(state['buffers'])} vs {sorted(feed.buffers)}"
+        )
+    restore_transport_state(feed.transport, state["transport"])
+    for stream, snap in state["buffers"].items():
+        feed.buffers[stream].restore(
+            [record_from_wire(w) for w in snap["records"]],
+            int(snap["watermark"]),
+        )
+    feed.stats = FeedStats.from_payload(state["stats"])
+    feed._stalls = {
+        stream: int(count) for stream, count in state["stalls"].items()
+    }
+    feed.pending_sheds = [
+        (shed[0], int(shed[1]), int(shed[2]), shed[3])
+        for shed in state["pending_sheds"]
+    ]
+    feed._rng.bit_generator.state = state["rng"]
+
+
+# -- builder --------------------------------------------------------------------
+
+
+def _packet_to_wire(packet: PacketView) -> list:
+    return [
+        packet.pid,
+        [
+            packet.flow.src_ip,
+            packet.flow.dst_ip,
+            packet.flow.src_port,
+            packet.flow.dst_port,
+            packet.flow.proto,
+        ],
+        packet.source,
+        packet.emitted_ns,
+        [[h.nf, h.arrival_ns, h.read_ns, h.depart_ns] for h in packet.hops],
+        packet.dropped_at,
+        packet.dropped_ns,
+        packet.exited_ns,
+    ]
+
+
+def _packet_from_wire(wire) -> PacketView:
+    pid, flow, source, emitted_ns, hops, dropped_at, dropped_ns, exited_ns = wire
+    packet = PacketView(
+        pid=int(pid),
+        flow=FiveTuple(*(int(x) for x in flow)),
+        source=source,
+        emitted_ns=int(emitted_ns),
+    )
+    for nf, arrival_ns, read_ns, depart_ns in hops:
+        packet.hops.append(
+            PacketHop(
+                nf=nf,
+                arrival_ns=int(arrival_ns),
+                read_ns=int(read_ns),
+                depart_ns=int(depart_ns),
+            )
+        )
+    packet.dropped_at = dropped_at
+    packet.dropped_ns = int(dropped_ns)
+    packet.exited_ns = int(exited_ns)
+    return packet
+
+
+def capture_builder_state(builder: IncrementalTrace) -> dict:
+    """Full JSON image of an :class:`IncrementalTrace`'s mutable state.
+
+    Packets are stored in dict insertion order (= global apply order,
+    which pruning preserves) so the restored trace iterates identically.
+    Per-NF view streams are *not* stored: every view event belongs to a
+    retained packet's hop or drop, so they are rebuilt — and re-sorted
+    into the same ``(time, pid)`` order — from the packet list.
+    """
+    health = builder.health
+    return {
+        "config": {
+            "chunk_ns": builder.config.chunk_ns,
+            "seal_margin_ns": builder.config.seal_margin_ns,
+            "straggler_timeout_ns": builder.config.straggler_timeout_ns,
+        },
+        "next_seq": dict(builder._next_seq),
+        "last_time": dict(builder._last_time),
+        "ok": dict(builder._ok),
+        "lost": dict(builder._lost),
+        "excluded": sorted(builder._excluded),
+        "applied_horizon": builder._applied_horizon,
+        "max_depart_ns": builder._max_depart_ns,
+        "complete": builder._complete,
+        "records_applied": builder.records_applied,
+        "duplicates": builder.duplicates,
+        "rejects": builder.rejects,
+        "gaps_evicted": builder.gaps_evicted,
+        "packets_evicted": builder.packets_evicted,
+        "health": {
+            "completeness": dict(health.completeness),
+            "quarantined": sorted(health.quarantined),
+            "retention": dict(health.retention),
+            "gaps": [
+                [gap.nf, gap.start_ns, gap.end_ns, gap.kind, gap.count]
+                for gap in health.gaps
+            ],
+            "degraded": builder.telemetry is not None,
+        },
+        "packets": [
+            _packet_to_wire(packet) for packet in builder.packets.values()
+        ],
+    }
+
+
+def restore_builder_state(builder: IncrementalTrace, state: dict) -> None:
+    """Restore a snapshot into a freshly constructed (empty) builder."""
+    config = state["config"]
+    if (
+        config["chunk_ns"] != builder.config.chunk_ns
+        or config["seal_margin_ns"] != builder.config.seal_margin_ns
+        or config["straggler_timeout_ns"] != builder.config.straggler_timeout_ns
+    ):
+        raise IngestError(
+            f"ingest snapshot config {config} does not match the builder's"
+        )
+    if builder.packets or builder.records_applied:
+        raise IngestError("ingest snapshots restore into empty builders only")
+    for wire in state["packets"]:
+        packet = _packet_from_wire(wire)
+        if set(hop.nf for hop in packet.hops) - set(builder.nfs):
+            raise IngestError(
+                f"snapshot packet {packet.pid} visits unknown NFs"
+            )
+        builder.packets[packet.pid] = packet
+        for hop in packet.hops:
+            view = builder.nfs[hop.nf]
+            view.arrivals.append((hop.arrival_ns, packet.pid))
+            view.reads.append((hop.read_ns, packet.pid))
+            view.departs.append((hop.depart_ns, packet.pid))
+        if packet.dropped_at is not None:
+            builder.nfs[packet.dropped_at].drops.append(
+                (packet.dropped_ns, packet.pid)
+            )
+    for view in builder.nfs.values():
+        view.arrivals.sort()
+        view.reads.sort()
+        view.departs.sort()
+        view.drops.sort()
+    builder._next_seq = {s: int(v) for s, v in state["next_seq"].items()}
+    builder._last_time = {s: int(v) for s, v in state["last_time"].items()}
+    builder._ok = {s: int(v) for s, v in state["ok"].items()}
+    builder._lost = {s: int(v) for s, v in state["lost"].items()}
+    builder._excluded = set(state["excluded"])
+    builder._applied_horizon = int(state["applied_horizon"])
+    builder._max_depart_ns = int(state["max_depart_ns"])
+    builder._complete = bool(state["complete"])
+    builder.records_applied = int(state["records_applied"])
+    builder.duplicates = int(state["duplicates"])
+    builder.rejects = int(state["rejects"])
+    builder.gaps_evicted = int(state["gaps_evicted"])
+    builder.packets_evicted = int(state["packets_evicted"])
+    health = builder.health
+    health.completeness.clear()
+    health.completeness.update(
+        {s: float(v) for s, v in state["health"]["completeness"].items()}
+    )
+    health.quarantined.clear()
+    health.quarantined.update(state["health"]["quarantined"])
+    health.retention.clear()
+    health.retention.update(
+        {s: float(v) for s, v in state["health"]["retention"].items()}
+    )
+    health.gaps[:] = [
+        TelemetryGap(
+            nf=nf,
+            start_ns=int(start_ns),
+            end_ns=int(end_ns),
+            kind=kind,
+            count=int(count),
+        )
+        for nf, start_ns, end_ns, kind, count in state["health"]["gaps"]
+    ]
+    builder.telemetry = health if state["health"]["degraded"] else None
+    builder._mark_mutated()
+
+
+# -- whole-source capture -------------------------------------------------------
+
+
+def capture_source_state(source) -> Optional[dict]:
+    """Snapshot a live source's ingest state, or None when unsupported.
+
+    The source must expose ``feed``, ``builder``, ``_sheds`` and
+    ``_idle_pumps`` (the :class:`~repro.service.source.LiveTraceSource`
+    shape); the transport must be position-snapshottable.
+    """
+    feed = getattr(source, "feed", None)
+    builder = getattr(source, "builder", None)
+    if feed is None or builder is None:
+        return None
+    feed_state = capture_feed_state(feed)
+    if feed_state is None:
+        return None
+    return {
+        "version": SNAPSHOT_VERSION,
+        "feed": feed_state,
+        "builder": capture_builder_state(builder),
+        "sheds": [list(shed) for shed in source._sheds],
+        "idle_pumps": source._idle_pumps,
+    }
+
+
+def restore_source_state(source, state: dict) -> None:
+    """Restore a captured snapshot into a freshly constructed source.
+
+    All structural validation (version, stream sets, builder config and
+    emptiness) happens *before* the first mutation: a rejected snapshot
+    leaves the source pristine, so the caller can fall back — to an older
+    snapshot generation or to a full transport replay — cleanly.
+    """
+    if state.get("version") != SNAPSHOT_VERSION:
+        raise IngestError(
+            f"unsupported ingest snapshot version {state.get('version')!r}"
+        )
+    config = state["builder"]["config"]
+    builder = source.builder
+    if (
+        config["chunk_ns"] != builder.config.chunk_ns
+        or config["seal_margin_ns"] != builder.config.seal_margin_ns
+        or config["straggler_timeout_ns"] != builder.config.straggler_timeout_ns
+    ):
+        raise IngestError(
+            f"ingest snapshot config {config} does not match the builder's"
+        )
+    if builder.packets or builder.records_applied:
+        raise IngestError("ingest snapshots restore into empty builders only")
+    if set(state["feed"]["buffers"]) != set(source.feed.buffers):
+        raise IngestError(
+            "feed snapshot stream set does not match the transport's: "
+            f"{sorted(state['feed']['buffers'])} vs {sorted(source.feed.buffers)}"
+        )
+    restore_feed_state(source.feed, state["feed"])
+    restore_builder_state(source.builder, state["builder"])
+    source._sheds = [
+        (shed[0], int(shed[1]), int(shed[2]), shed[3])
+        for shed in state["sheds"]
+    ]
+    source._idle_pumps = int(state["idle_pumps"])

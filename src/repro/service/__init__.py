@@ -17,6 +17,7 @@ from repro.service.checkpoint import (
 )
 from repro.service.crashsim import (
     CORRUPT_POINTS,
+    ENDURANCE_KILL_POINTS,
     FLEET_KILL_POINTS,
     INGEST_KILL_POINTS,
     KILL_POINTS,
@@ -26,9 +27,16 @@ from repro.service.crashsim import (
     FlakyPlan,
     SimulatedCrash,
 )
+from repro.service.health import (
+    REPORTS,
+    HealthRegistry,
+    HealthReport,
+    PipelineHealth,
+)
 from repro.service.journal import (
     ResultJournal,
     chunk_record,
+    dead_letter_record,
     decode_diagnoses,
     tally_record,
     victim_from_wire,
@@ -53,6 +61,11 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "CORRUPT_POINTS",
     "Checkpointer",
+    "ENDURANCE_KILL_POINTS",
+    "HealthRegistry",
+    "HealthReport",
+    "PipelineHealth",
+    "REPORTS",
     "CrashInjector",
     "CrashPlan",
     "DiagnosisService",
@@ -71,6 +84,7 @@ __all__ = [
     "TORN_POINTS",
     "canonical_payload_bytes",
     "chunk_record",
+    "dead_letter_record",
     "decode_diagnoses",
     "shed_victims",
     "tally_record",

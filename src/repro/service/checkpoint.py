@@ -31,7 +31,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterator, List, Optional, Union
 
-from repro.errors import CheckpointError
+from repro.errors import CheckpointError, StorageError
 from repro.util.atomicio import atomic_write_bytes, sweep_temp_files
 
 # v2: the full culprit tally left the payload for a journalled snapshot
@@ -117,9 +117,18 @@ class Checkpointer:
         tear = None
         if faults is not None:
             tear = lambda raw: faults.torn_bytes("mid-checkpoint", chunk, raw)
-        self.last_nbytes = atomic_write_bytes(
-            path, data, durable=self.durable, tear=tear
-        )
+        try:
+            self.last_nbytes = atomic_write_bytes(
+                path, data, durable=self.durable, tear=tear
+            )
+        except OSError as exc:
+            # ENOSPC / short write: atomic_write_bytes already unlinked the
+            # temp file and never touched the target, so every committed
+            # generation (and the manifest) is exactly as before the call.
+            raise StorageError(
+                f"checkpoint commit for generation {generation} failed "
+                f"({exc}); previous generation remains recoverable"
+            ) from exc
         if faults is not None:
             faults.kill("after-checkpoint-file", chunk)
         manifest_entries = self._manifest_entries()
@@ -137,11 +146,20 @@ class Checkpointer:
         manifest_entries.sort(key=lambda e: e["generation"])
         kept = manifest_entries[-self.keep :]
         manifest = {"version": CHECKPOINT_VERSION, "generations": kept}
-        atomic_write_bytes(
-            self.directory / _MANIFEST,
-            json.dumps(manifest, indent=2).encode("utf-8"),
-            durable=self.durable,
-        )
+        try:
+            atomic_write_bytes(
+                self.directory / _MANIFEST,
+                json.dumps(manifest, indent=2).encode("utf-8"),
+                durable=self.durable,
+            )
+        except OSError as exc:
+            # The new generation file is now an orphan the old manifest
+            # never references — harmless, same as a crash between the
+            # two writes; the previous generation stays selectable.
+            raise StorageError(
+                f"checkpoint manifest write for generation {generation} "
+                f"failed ({exc}); previous generation remains recoverable"
+            ) from exc
         self._generation = generation
         for entry in manifest_entries[: -self.keep]:
             try:

@@ -75,8 +75,23 @@ FLEET_KILL_POINTS: Tuple[str, ...] = (
     "fleet-rollup",  # rollup built, report not yet returned
 )
 
+#: Kill-points inside the endurance machinery (journal rotation and
+#: compaction, ingest watermark snapshots).  Kept separate from
+#: KILL_POINTS for the same reason as the ingest points: a run with
+#: rotation/compaction/snapshots disabled never passes through them, so
+#: per-chunk coverage asserts must not expect them.  ``chunk`` is the
+#: chunk whose commit triggered the maintenance step.
+ENDURANCE_KILL_POINTS: Tuple[str, ...] = (
+    "journal-rotate",  # active file full, rename into a segment not yet done
+    "after-rotate",  # segment sealed and meta written
+    "journal-compact",  # fold computed, compaction header not yet replaced
+    "mid-compact",  # torn write inside the compaction header temp file
+    "after-compact",  # header committed, retired segments not yet unlinked
+    "after-ingest-snapshot",  # ingest watermark checkpoint committed
+)
+
 #: Kill-points whose fault family is a torn write (prefix of the payload).
-TORN_POINTS: Tuple[str, ...] = ("mid-journal", "mid-checkpoint")
+TORN_POINTS: Tuple[str, ...] = ("mid-journal", "mid-checkpoint", "mid-compact")
 
 #: Kill-points whose fault family is post-commit corruption.
 CORRUPT_POINTS: Tuple[str, ...] = ("corrupt-checkpoint",)
@@ -102,7 +117,12 @@ class CrashPlan:
     tear_fraction: float = 0.5
 
     def __post_init__(self) -> None:
-        known = KILL_POINTS + INGEST_KILL_POINTS + FLEET_KILL_POINTS
+        known = (
+            KILL_POINTS
+            + INGEST_KILL_POINTS
+            + FLEET_KILL_POINTS
+            + ENDURANCE_KILL_POINTS
+        )
         if self.point not in known:
             raise ServiceError(
                 f"unknown kill-point {self.point!r}; known: {known}"

@@ -1,0 +1,357 @@
+"""Live health registry: operator-facing reports over service state dirs.
+
+A week-long always-on deployment needs answers an exception traceback
+cannot give: *is every pipeline healthy, what has degraded, what would a
+restart cost right now, and is memory actually bounded?*  This module
+answers them **offline, from bytes on disk** — the journal (plus its
+compaction header), the checkpoint ladder and the ingest-snapshot ladder
+are the complete observable state of a crash-only service, so health
+reporting needs no hook into the running process and works identically
+on a live, crashed, or long-stopped deployment.
+
+The registry is a name -> generator table (:data:`REPORTS`).  Each
+report renders a deterministic plain-text table over one or more
+pipeline state directories:
+
+``pipeline-summary``
+    One line per pipeline: chunks committed, victims diagnosed/shed,
+    resumes survived, journal and checkpoint sizes.
+``degradation``
+    Telemetry damage and load shedding: quarantined NFs, minimum
+    completeness, gap counts (live + evicted), shed victims, ingest
+    sheds, dead-lettered chunks.
+``replay-cost``
+    What a crash right now would cost: bounded vs full replays so far,
+    the newest ingest snapshot's boundary, and the replay suffix
+    (chunks past that snapshot) a restart would re-ingest.
+``memory-trend``
+    Bounded-memory evidence: tally entries vs budget (with evictions
+    and the sketch error floor), builder state evicted by watermark
+    pruning, journal directory bytes vs logical bytes (rotation +
+    compaction reclaim), ingest snapshot size.
+``top-culprits``
+    The fleet-rollup view with sketch error bars: blame is reported as
+    ``score (±error)`` so an operator can tell exact tallies from
+    budget-bounded ones.
+
+Use :class:`HealthRegistry` pointed at a single service ``state_dir`` or
+at a fleet root (its ``pipelines/*`` children are discovered); ``render``
+produces one report, ``render_all`` the full dashboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.errors import ServiceError
+from repro.service.checkpoint import Checkpointer
+from repro.service.journal import ResultJournal
+
+
+@dataclass
+class PipelineHealth:
+    """Everything the reports need about one pipeline, read once."""
+
+    name: str
+    directory: Path
+    #: ``stats`` payload of the newest valid checkpoint ({} when none).
+    stats: Dict[str, float] = field(default_factory=dict)
+    next_chunk: int = 0
+    has_checkpoint: bool = False
+    #: Journal geometry.
+    journal_bytes: int = 0
+    journal_dir_bytes: int = 0
+    retained_from: int = 0
+    segments: int = 0
+    compaction: Optional[dict] = None
+    #: Derived from journal records (retained range only).
+    chunk_records: int = 0
+    dead_letters: int = 0
+    quarantined_nfs: Tuple[str, ...] = ()
+    min_completeness: float = 1.0
+    last_ingest_evictions: int = 0
+    #: Ingest snapshot ladder (bounded replay).
+    snapshot_chunk: Optional[int] = None
+    snapshot_bytes: int = 0
+
+    @property
+    def replay_suffix_chunks(self) -> Optional[int]:
+        """Chunks a restart would re-ingest past the newest snapshot."""
+        if self.snapshot_chunk is None:
+            return None
+        return max(0, self.next_chunk - self.snapshot_chunk)
+
+
+def _load_pipeline(name: str, directory: Path) -> PipelineHealth:
+    health = PipelineHealth(name=name, directory=directory)
+    journal_path = directory / "journal.jsonl"
+    if journal_path.exists() or journal_path.with_suffix(".d").exists():
+        journal = ResultJournal(journal_path, durable=False)
+        health.journal_bytes = journal.size()
+        health.journal_dir_bytes = journal.dir_bytes()
+        health.retained_from = journal.retained_from
+        health.segments = len(journal.segments())
+        health.compaction = journal.compaction_info()
+        completeness: List[float] = []
+        quarantined: set = set()
+        for _chunk, body in journal.records():
+            kind = body.get("kind")
+            if kind == "chunk_failed":
+                health.dead_letters += 1
+                continue
+            if kind is not None:
+                continue
+            health.chunk_records += 1
+            completeness.append(body.get("telemetry_completeness", 1.0))
+            quarantined.update(body.get("quarantined_nfs", ()))
+            health.last_ingest_evictions = body.get(
+                "ingest_evictions", health.last_ingest_evictions
+            )
+        if completeness:
+            health.min_completeness = min(completeness)
+        health.quarantined_nfs = tuple(sorted(quarantined))
+    checkpoints = directory / "checkpoints"
+    if checkpoints.is_dir():
+        loaded = Checkpointer(checkpoints, durable=False).load_latest()
+        if loaded is not None:
+            health.has_checkpoint = True
+            health.stats = dict(loaded.payload.get("stats", {}))
+            health.next_chunk = loaded.payload.get("next_chunk", 0)
+    ingest_dir = directory / "ingest"
+    if ingest_dir.is_dir():
+        loaded = Checkpointer(ingest_dir, durable=False).load_latest()
+        if loaded is not None and loaded.payload.get("kind") == "ingest":
+            health.snapshot_chunk = loaded.payload.get("next_chunk")
+            newest = ingest_dir / f"ckpt-{loaded.generation:08d}.json"
+            if newest.exists():
+                health.snapshot_bytes = newest.stat().st_size
+    return health
+
+
+class HealthRegistry:
+    """Render registered health reports over one or many pipelines.
+
+    ``root`` is either a single service ``state_dir`` (it contains
+    ``journal.jsonl`` / ``checkpoints``) or a fleet state dir (pipelines
+    discovered under ``<root>/pipelines/*``).
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self._pipelines: Optional[Dict[str, PipelineHealth]] = None
+
+    def _discover(self) -> Dict[str, Tuple[str, Path]]:
+        fleet = self.root / "pipelines"
+        if fleet.is_dir():
+            return {
+                child.name: (child.name, child)
+                for child in sorted(fleet.iterdir())
+                if child.is_dir()
+            }
+        return {self.root.name: (self.root.name, self.root)}
+
+    def pipelines(self) -> Dict[str, PipelineHealth]:
+        """Name -> loaded pipeline health, cached for this registry."""
+        if self._pipelines is None:
+            self._pipelines = {
+                name: _load_pipeline(label, directory)
+                for name, (label, directory) in self._discover().items()
+            }
+        return self._pipelines
+
+    def render(self, report: str) -> str:
+        """Render one registered report by name."""
+        entry = REPORTS.get(report)
+        if entry is None:
+            raise ServiceError(
+                f"unknown health report {report!r}; "
+                f"available: {sorted(REPORTS)}"
+            )
+        return entry.generate(self)
+
+    def render_all(self) -> str:
+        """Every registered report, in registration order."""
+        sections = []
+        for name, entry in REPORTS.items():
+            sections.append(f"== {name}: {entry.description}")
+            sections.append(entry.generate(self))
+        return "\n".join(sections)
+
+
+@dataclass(frozen=True)
+class HealthReport:
+    """One registry entry: a category, a blurb, a render function."""
+
+    name: str
+    category: str
+    description: str
+    generate: Callable[[HealthRegistry], str]
+
+
+#: The registry: report name -> :class:`HealthReport`.  Extend by
+#: constructing a :class:`HealthReport` and assigning it here — the
+#: registry is a plain dict precisely so deployments can add their own
+#: views without touching this module.
+REPORTS: Dict[str, HealthReport] = {}
+
+
+def _register(name: str, category: str, description: str):
+    def wrap(fn: Callable[[HealthRegistry], str]) -> Callable:
+        REPORTS[name] = HealthReport(
+            name=name, category=category, description=description, generate=fn
+        )
+        return fn
+
+    return wrap
+
+
+def _table(header: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = ["  ".join(h.ljust(widths[i]) for i, h in enumerate(header))]
+    for row in rows:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+@_register("pipeline-summary", "overview", "per-pipeline progress and sizes")
+def _pipeline_summary(registry: HealthRegistry) -> str:
+    rows = []
+    for name, p in sorted(registry.pipelines().items()):
+        stats = p.stats
+        rows.append(
+            [
+                name,
+                str(p.next_chunk),
+                str(int(stats.get("victims_diagnosed", 0))),
+                str(int(stats.get("victims_shed", 0))),
+                str(int(stats.get("resumes", 0))),
+                str(p.journal_dir_bytes),
+                str(int(stats.get("checkpoint_bytes", 0))),
+                "yes" if p.has_checkpoint else "no",
+            ]
+        )
+    return _table(
+        [
+            "pipeline",
+            "chunks",
+            "victims",
+            "shed",
+            "resumes",
+            "journal_dir_B",
+            "ckpt_B",
+            "recoverable",
+        ],
+        rows,
+    )
+
+
+@_register("degradation", "telemetry", "quarantine, gaps, sheds, dead letters")
+def _degradation(registry: HealthRegistry) -> str:
+    rows = []
+    for name, p in sorted(registry.pipelines().items()):
+        stats = p.stats
+        rows.append(
+            [
+                name,
+                ",".join(p.quarantined_nfs) or "-",
+                f"{p.min_completeness:.3f}",
+                str(int(stats.get("ingest_gaps", 0))),
+                str(int(stats.get("ingest_sheds", 0))),
+                str(int(stats.get("victims_shed", 0))),
+                str(p.dead_letters),
+            ]
+        )
+    return _table(
+        [
+            "pipeline",
+            "quarantined",
+            "min_compl",
+            "gaps",
+            "ingest_sheds",
+            "victims_shed",
+            "dead_letters",
+        ],
+        rows,
+    )
+
+
+@_register("replay-cost", "recovery", "what a restart costs right now")
+def _replay_cost(registry: HealthRegistry) -> str:
+    rows = []
+    for name, p in sorted(registry.pipelines().items()):
+        stats = p.stats
+        suffix = p.replay_suffix_chunks
+        rows.append(
+            [
+                name,
+                str(int(stats.get("bounded_resumes", 0))),
+                str(int(stats.get("full_replays", 0))),
+                "-" if p.snapshot_chunk is None else str(p.snapshot_chunk),
+                "full" if suffix is None else f"{suffix} chunks",
+                str(int(stats.get("journal_bytes_truncated", 0))),
+            ]
+        )
+    return _table(
+        [
+            "pipeline",
+            "bounded_resumes",
+            "full_replays",
+            "snapshot_at",
+            "replay_suffix",
+            "bytes_truncated",
+        ],
+        rows,
+    )
+
+
+@_register("memory-trend", "resources", "bounded-memory and bounded-disk evidence")
+def _memory_trend(registry: HealthRegistry) -> str:
+    rows = []
+    for name, p in sorted(registry.pipelines().items()):
+        stats = p.stats
+        compaction = p.compaction or {}
+        reclaimed = int(stats.get("journal_bytes_compacted", 0))
+        rows.append(
+            [
+                name,
+                str(int(stats.get("ingest_evictions", 0))),
+                str(int(stats.get("ingest_snapshot_bytes", 0))),
+                str(p.journal_dir_bytes),
+                str(p.journal_bytes),
+                str(p.segments),
+                str(reclaimed or compaction.get("bytes_folded", 0)),
+            ]
+        )
+    return _table(
+        [
+            "pipeline",
+            "state_evicted",
+            "snapshot_B",
+            "journal_dir_B",
+            "journal_logical_B",
+            "segments",
+            "bytes_reclaimed",
+        ],
+        rows,
+    )
+
+
+@_register("top-culprits", "diagnosis", "fleet blame with sketch error bars")
+def _top_culprits(registry: HealthRegistry) -> str:
+    from repro.fleet.rollup import FleetRollup, tally_from_journal
+
+    tallies = {}
+    for name, p in sorted(registry.pipelines().items()):
+        journal_path = p.directory / "journal.jsonl"
+        if journal_path.exists() or journal_path.with_suffix(".d").exists():
+            tallies[name] = tally_from_journal(journal_path)
+    if not tallies:
+        return "(no journals)"
+    return FleetRollup.from_tallies(tallies).format()

@@ -35,6 +35,7 @@ from typing import Callable, List, Optional, Tuple, Union
 
 import zlib
 
+from repro.aggregation.sketches import BoundedCulpritTally, tally_from_payload
 from repro.aggregation.tallies import CulpritTally
 from repro.core.diagnosis import VictimDiagnosis
 from repro.core.records import DiagTrace
@@ -42,10 +43,12 @@ from repro.core.streaming import StreamingConfig, StreamingDiagnosis
 from repro.core.victims import Victim
 from repro.errors import (
     CheckpointError,
+    IngestError,
     ServiceError,
     ServiceStopped,
     TransientError,
 )
+from repro.ingest.watermark import SNAPSHOT_VERSION
 from repro.service.checkpoint import (
     CHECKPOINT_VERSION,
     Checkpointer,
@@ -54,15 +57,18 @@ from repro.service.checkpoint import (
 from repro.service.journal import (
     ResultJournal,
     chunk_record,
+    dead_letter_record,
     decode_diagnoses,
     tally_record,
 )
 from repro.service.source import FixedTraceSource, trace_fingerprint
 from repro.util.rng import substream
 
-# v2: live mode (TelemetrySource-driven), absolute victim thresholds, and
-# the tally digest replacing the inline tally in checkpoint payloads.
-SERVICE_STATE_VERSION = 2
+# v3: sketch-backed aggregation (tally_budget joins the fingerprint —
+# budgeted and exact tallies accumulate differently, so their checkpoints
+# must never cross-resume).  v2 introduced live mode, absolute victim
+# thresholds, and the tally digest.
+SERVICE_STATE_VERSION = 3
 
 
 @dataclass
@@ -109,6 +115,37 @@ class ServiceConfig:
     keep_checkpoints: int = 2
     #: fsync everything (tests on tmpfs may turn this off for speed).
     durable: bool = True
+    #: Bounded memory: entry budget for the culprit tally (None = exact,
+    #: unbounded).  With a budget the tally is a weighted SpaceSaving
+    #: sketch — exact while distinct culprits fit, error-bounded above —
+    #: and the budget joins the fingerprint (it changes journalled tally
+    #: snapshots, so budgeted and exact runs must never cross-resume).
+    tally_budget: Optional[int] = None
+    #: Bounded disk: seal the journal's active file into a segment once it
+    #: reaches this many bytes (0 = never rotate).  Rotation is physical
+    #: layout only — logical offsets and bytes are unchanged.
+    journal_rotate_bytes: int = 0
+    #: Fold sealed segments older than every retained checkpoint's needs
+    #: into the compaction header once they exceed this many bytes
+    #: (0 = never).  Requires ``tally_compact_every > 0``: without tally
+    #: snapshots every checkpoint replays the journal from offset zero,
+    #: pinning the compaction floor there forever.
+    journal_compact_bytes: int = 0
+    #: Bounded replay: snapshot the ingest state (transport cursors, feed
+    #: buffers, builder) every N committed chunks, so recovery replays a
+    #: bounded suffix of the transport instead of the whole run
+    #: (0 = never snapshot; recovery then re-ingests from record zero).
+    ingest_checkpoint_every: int = 0
+    #: Bounded memory, ingest side: prune builder state more than this
+    #: many chunks behind the next chunk at each boundary.  None derives
+    #: ``ceil(margin_ns / chunk_ns) + 2`` when ingest snapshots are on and
+    #: disables pruning otherwise; explicit values are clamped up to the
+    #: margin so no future chunk's window is ever eaten.
+    replay_retain_chunks: Optional[int] = None
+    #: After the retry budget, journal a ``chunk_failed`` dead letter and
+    #: keep going instead of failing the whole service (False = raise,
+    #: the fail-stop default).
+    dead_letter_chunks: bool = False
 
     def fingerprint(self, source) -> dict:
         """Identity stamped into checkpoints: resume must match exactly.
@@ -129,6 +166,7 @@ class ServiceConfig:
             "victim_pct": self.victim_pct,
             "victim_threshold_ns": self.victim_threshold_ns,
             "tally_compact_every": self.tally_compact_every,
+            "tally_budget": self.tally_budget,
             "jitter_seed": self.jitter_seed,
             "trace": source_fp,
         }
@@ -179,6 +217,18 @@ class ServiceStats:
     ingest_reconnects: int = 0
     ingest_sheds: int = 0
     ingest_peak_buffered: int = 0
+    ingest_evictions: int = 0
+    #: Endurance: bounded replay, dead letters, journal rotation.
+    #: ``bounded_resumes``/``full_replays`` classify each live-mode resume
+    #: by whether an ingest snapshot bounded the transport replay.
+    bounded_resumes: int = 0
+    full_replays: int = 0
+    ingest_snapshots: int = 0
+    ingest_snapshot_bytes: int = 0
+    chunks_dead_lettered: int = 0
+    journal_rotations: int = 0
+    journal_compactions: int = 0
+    journal_bytes_compacted: int = 0
 
     def to_payload(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -260,6 +310,13 @@ class DiagnosisService:
                     "live mode requires victim_threshold_ns: percentile "
                     "victim selection is not causal over a growing trace"
                 )
+        if config.journal_compact_bytes and not config.tally_compact_every:
+            raise ServiceError(
+                "journal compaction requires tally snapshots "
+                "(tally_compact_every > 0): without them every checkpoint "
+                "replays the journal from offset zero, so the compaction "
+                "floor never rises"
+            )
         self.config = config
         self.clock = clock
         self.sleep = sleep
@@ -289,6 +346,25 @@ class DiagnosisService:
         self.journal = ResultJournal(
             state_dir / "journal.jsonl", durable=config.durable
         )
+        #: Bounded replay: a second checkpoint ladder for ingest snapshots.
+        #: Strictly an optimization — a lost or unusable snapshot only
+        #: means a full transport replay, never wrong output — so it is
+        #: created only when the feature is on and the source is live.
+        self.ingest_checkpointer: Optional[Checkpointer] = None
+        if config.ingest_checkpoint_every and self.source.live:
+            self.ingest_checkpointer = Checkpointer(
+                state_dir / "ingest",
+                keep=config.keep_checkpoints,
+                durable=config.durable,
+            )
+        retain = config.replay_retain_chunks
+        if retain is None and config.ingest_checkpoint_every:
+            retain = -(-config.margin_ns // config.chunk_ns) + 2
+        if retain is not None:
+            # Never prune into a future chunk's diagnosis window: chunk k's
+            # window reaches margin_ns behind k*chunk_ns.
+            retain = max(retain, -(-config.margin_ns // config.chunk_ns) + 1)
+        self._retain_chunks: Optional[int] = retain
         self.stream = StreamingDiagnosis(
             self.trace,
             StreamingConfig(chunk_ns=config.chunk_ns, margin_ns=config.margin_ns),
@@ -300,7 +376,7 @@ class DiagnosisService:
             concurrent_pipelines=config.concurrent_pipelines,
         )
         self.stats = ServiceStats()
-        self.tally = CulpritTally()
+        self.tally = self._make_tally()
         #: Journal offset of the newest tally snapshot (None = no snapshot
         #: yet; tally rebuilds replay the journal from this point).
         self._tally_ref: Optional[int] = None
@@ -312,6 +388,71 @@ class DiagnosisService:
         self._worker_timeouts_seen = 0
 
     # -- recovery ---------------------------------------------------------------
+
+    def _make_tally(self) -> CulpritTally:
+        """Fresh tally of the configured flavour (exact or budgeted)."""
+        if self.config.tally_budget is not None:
+            return BoundedCulpritTally(budget=self.config.tally_budget)
+        return CulpritTally()
+
+    def _ingest_fingerprint(self) -> dict:
+        """Identity stamped into ingest snapshots.
+
+        Includes the snapshot cadence and retention horizon on top of the
+        service fingerprint: a snapshot taken under a different pruning
+        schedule holds a differently pruned state, and restoring it would
+        diverge from the uninterrupted run it must be byte-identical to.
+        """
+        return {
+            "service": self._fingerprint,
+            "snapshot_version": SNAPSHOT_VERSION,
+            "every": self.config.ingest_checkpoint_every,
+            "retain": self._retain_chunks,
+        }
+
+    def _restore_ingest(self, next_chunk: int) -> None:
+        """Bound the transport replay with the newest usable snapshot.
+
+        Usable means: fingerprint matches, and the snapshot's boundary is
+        at or before the service's resume point (a snapshot *ahead* of the
+        resume point would skip chunks the service still has to diagnose).
+        Anything else — including a fingerprint mismatch, which for the
+        *service* ladder is fatal — just falls back to a full replay:
+        snapshots are an optimization, never a correctness requirement.
+        """
+        if not self.source.live or next_chunk <= 0:
+            return
+        if self.ingest_checkpointer is None:
+            self.stats.full_replays += 1
+            return
+        fingerprint = self._ingest_fingerprint()
+        newest = None
+        restored = False
+        for loaded in self.ingest_checkpointer.load_ladder():
+            if newest is None:
+                newest = loaded
+            payload = loaded.payload
+            if (
+                payload.get("kind") != "ingest"
+                or payload.get("fingerprint") != fingerprint
+                or payload.get("next_chunk", 0) > next_chunk
+            ):
+                continue
+            try:
+                self.source.restore_state(payload["source"])
+            except (IngestError, KeyError, TypeError, ValueError):
+                continue
+            restored = True
+            break
+        if newest is not None:
+            # Continue numbering past the newest valid generation even on
+            # a full replay, so fresh snapshots never collide with stale
+            # files from before the crash.
+            self.ingest_checkpointer.resume_from(newest)
+        if restored:
+            self.stats.bounded_resumes += 1
+        else:
+            self.stats.full_replays += 1
 
     def _restore(self) -> int:
         """Select a resume point; returns the first chunk still to do.
@@ -348,6 +489,7 @@ class DiagnosisService:
                 self.stats.checkpoint_fallbacks += 1
             self.stats.journal_bytes_truncated += discarded
             self.checkpointer.resume_from(loaded)
+            self._restore_ingest(payload["next_chunk"])
             return payload["next_chunk"]
         # Fresh start (possibly because every generation was corrupt).
         self.stats.corrupt_checkpoints += len(self.checkpointer.rejected)
@@ -370,7 +512,7 @@ class DiagnosisService:
         caller falls down the ladder.
         """
         snapshot_offset = digest["snapshot_offset"]
-        tally = CulpritTally()
+        tally = self._make_tally()
         replay_from = 0
         if snapshot_offset is not None:
             _chunk, body, replay_from = self.journal.record_at(snapshot_offset)
@@ -379,7 +521,14 @@ class DiagnosisService:
                     f"checkpoint tally digest points at offset "
                     f"{snapshot_offset}, which is not a tally snapshot"
                 )
-            tally = CulpritTally.from_payload(body["tally"])
+            tally = tally_from_payload(body["tally"])
+        elif self.journal.retained_from:
+            # No snapshot but the journal was compacted: the pre-floor
+            # chunk records live folded inside the compaction header.
+            compacted = self.journal.compacted_tally_payload()
+            if compacted is not None:
+                tally = tally_from_payload(compacted)
+                replay_from = self.journal.retained_from
         for _chunk, body in self.journal.records(start_offset=replay_from):
             if "kind" in body:
                 continue
@@ -467,31 +616,46 @@ class DiagnosisService:
         if self.stop_check is not None and self.stop_check():
             raise ServiceStopped(self.pipeline)
 
-    def _process_chunk(self, index: int, ingest_sheds: Tuple = ()) -> None:
+    def _process_chunk(
+        self, index: int, ingest_sheds: Tuple = (), ingest_evictions: int = 0
+    ) -> None:
         self._check_stop()
         if self.scheduler is not None:
             self.scheduler.acquire(self.pipeline)
             try:
-                self._process_chunk_inner(index, ingest_sheds)
+                self._process_chunk_inner(index, ingest_sheds, ingest_evictions)
             finally:
                 self.scheduler.release(self.pipeline)
             return
-        self._process_chunk_inner(index, ingest_sheds)
+        self._process_chunk_inner(index, ingest_sheds, ingest_evictions)
 
-    def _process_chunk_inner(self, index: int, ingest_sheds: Tuple = ()) -> None:
+    def _process_chunk_inner(
+        self, index: int, ingest_sheds: Tuple = (), ingest_evictions: int = 0
+    ) -> None:
         faults = self.faults
         if faults is not None:
             faults.kill("chunk-start", index)
         victims = self.stream.victims_for_chunk(index)
         kept, shed = shed_victims(victims, self.config.max_victims_per_chunk)
-        result = self._diagnose_with_retry(index, kept)
+        try:
+            result = self._diagnose_with_retry(index, kept)
+        except ServiceError as exc:
+            if not self.config.dead_letter_chunks:
+                raise
+            self._dead_letter_chunk(index, kept, str(exc))
+            return
         self._harvest_worker_stats()
         if faults is not None:
             faults.kill("after-diagnose", index)
         shed_pids = tuple(v.pid for v in shed)
         offset = self.journal.append(
             index,
-            chunk_record(result, shed_pids, ingest_sheds=ingest_sheds),
+            chunk_record(
+                result,
+                shed_pids,
+                ingest_sheds=ingest_sheds,
+                ingest_evictions=ingest_evictions,
+            ),
             faults=faults,
         )
         if faults is not None:
@@ -515,14 +679,100 @@ class DiagnosisService:
         if shed:
             self.stats.victims_shed += len(shed)
             self.stats.shed_chunks += 1
+        self._commit_chunk(index, offset)
+
+    def _dead_letter_chunk(self, index: int, kept: List[Victim], cause: str) -> None:
+        """Journal a poison chunk and move on (opt-in, never silent).
+
+        The dead letter rides the same commit protocol as a diagnosis: a
+        crash anywhere around it truncates and re-runs the chunk, and the
+        re-run — same victims, same exhausted retry budget, same cause
+        string — re-appends the identical record.
+        """
+        faults = self.faults
+        self._harvest_worker_stats()
+        # The carried engine may still be positioned behind the poisoned
+        # chunk (a failure can fire before any diagnosis ran); advance it
+        # so the next chunk's sequential-visit contract holds.
+        self.stream.skip_chunk(index)
+        chunk_ns = self.config.chunk_ns
+        body = dead_letter_record(
+            cause=cause,
+            attempts=self.config.max_retries + 1,
+            start_ns=index * chunk_ns,
+            end_ns=(index + 1) * chunk_ns,
+            victims=kept,
+        )
+        offset = self.journal.append(index, body, faults=faults)
+        if faults is not None:
+            faults.kill("after-journal", index)
+        self.stats.chunks_done += 1
+        self.stats.chunks_dead_lettered += 1
+        self._commit_chunk(index, offset)
+
+    def _commit_chunk(self, index: int, offset: int) -> None:
+        """Common commit tail: checkpoint, then bound the journal's disk."""
+        faults = self.faults
         self.stats.journal_bytes = offset
         self.stats.checkpoints_written += 1
         self.checkpointer.save(
             self._checkpoint_payload(index + 1, offset), faults=faults, chunk=index
         )
         self.stats.checkpoint_bytes = self.checkpointer.last_nbytes
+        self._maintain_journal(index)
         if faults is not None:
             faults.kill("after-checkpoint", index)
+
+    def _maintain_journal(self, index: int) -> None:
+        """Rotate and compact the journal inside fixed disk bounds.
+
+        Runs after the checkpoint commits so the compaction floor sees the
+        freshest ladder.  Both operations change physical layout only —
+        logical offsets and ``read_bytes()`` over the retained range are
+        untouched — so a crash at any point here recovers like a crash at
+        the chunk boundary.
+        """
+        config = self.config
+        if config.journal_rotate_bytes and self.journal.maybe_rotate(
+            config.journal_rotate_bytes, faults=self.faults, chunk_index=index
+        ):
+            self.stats.journal_rotations += 1
+        if not config.journal_compact_bytes:
+            return
+        sealed = sum(seg["nbytes"] for seg in self.journal.segments())
+        if sealed < config.journal_compact_bytes:
+            return
+        floor = self._compaction_floor()
+        if floor is None or floor <= self.journal.retained_from:
+            return
+        reclaimed = self.journal.compact(
+            floor,
+            seed_tally=self._make_tally(),
+            faults=self.faults,
+            chunk_index=index,
+        )
+        if reclaimed:
+            self.stats.journal_compactions += 1
+            self.stats.journal_bytes_compacted += reclaimed
+
+    def _compaction_floor(self) -> Optional[int]:
+        """Lowest journal offset any retained checkpoint could still need.
+
+        Every rung may truncate to its ``journal_offset`` and replay its
+        tally from ``snapshot_offset``; compaction must never eat either.
+        A rung without a tally snapshot replays from offset zero and pins
+        the floor there.
+        """
+        floor: Optional[int] = None
+        for loaded in self.checkpointer.load_ladder():
+            payload = loaded.payload
+            if payload.get("fingerprint") != self._fingerprint:
+                continue
+            need = payload["journal_offset"]
+            snapshot = payload["tally_digest"]["snapshot_offset"]
+            need = 0 if snapshot is None else min(need, snapshot)
+            floor = need if floor is None else min(floor, need)
+        return floor
 
     # -- live mode --------------------------------------------------------------
 
@@ -532,6 +782,51 @@ class DiagnosisService:
             name = f"ingest_{key}"
             if hasattr(self.stats, name):
                 setattr(self.stats, name, value)
+
+    def _maintain_ingest(self, index: int) -> None:
+        """Prune ingest state and maybe snapshot it, at a chunk boundary.
+
+        Runs *before* chunk ``index`` is diagnosed so the cumulative
+        eviction counter journalled with the chunk is path-independent:
+        pruning is convergent (one prune at the current cut reaches the
+        same state and the same cumulative counts as the sequence of
+        per-boundary prunes a never-interrupted run performed), so a
+        restart that re-ingested without intermediate prunes catches up
+        with a single prune here and journals identical bytes.
+        """
+        source = self.source
+        if not source.live:
+            return
+        if self._retain_chunks is not None:
+            cut = (index - self._retain_chunks) * self.config.chunk_ns
+            if cut > 0:
+                source.prune_before(cut)
+                self._sync_ingest_stats()
+        every = self.config.ingest_checkpoint_every
+        if (
+            self.ingest_checkpointer is None
+            or not every
+            or index == 0
+            or index % every
+        ):
+            return
+        state = source.snapshot_state()
+        if state is None:
+            return  # transport can't report its position: full replay only
+        payload = {
+            "version": CHECKPOINT_VERSION,
+            "kind": "ingest",
+            "fingerprint": self._ingest_fingerprint(),
+            "next_chunk": index,
+            "source": state,
+        }
+        # faults=None: the mid-checkpoint tear points belong to the service
+        # ladder; the endurance suite crashes here via its own kill-point.
+        self.ingest_checkpointer.save(payload, faults=None, chunk=index)
+        self.stats.ingest_snapshots += 1
+        self.stats.ingest_snapshot_bytes = self.ingest_checkpointer.last_nbytes
+        if self.faults is not None:
+            self.faults.kill("after-ingest-snapshot", index)
 
     def _run_live(self, next_chunk: int) -> int:
         """Pump the source and diagnose chunks as the barrier seals them.
@@ -561,6 +856,10 @@ class DiagnosisService:
                 index = processed
                 if faults is not None:
                     faults.kill("after-seal", index)
+                # Boundary maintenance first: prune state no future chunk
+                # can touch (and maybe snapshot the ingest side), so the
+                # eviction counter journalled below is already current.
+                self._maintain_ingest(index)
                 # The trace grew since the last chunk: re-select victims
                 # (prefix-stable, so old chunks' victims never change) and
                 # re-open a fresh engine over the current trace contents.
@@ -569,7 +868,9 @@ class DiagnosisService:
                 self._worker_failures_seen = 0
                 self._worker_timeouts_seen = 0
                 self._process_chunk(
-                    index, ingest_sheds=source.sheds_for_chunk(index)
+                    index,
+                    ingest_sheds=source.sheds_for_chunk(index),
+                    ingest_evictions=self.stats.ingest_evictions,
                 )
                 processed += 1
             if source.exhausted() and processed >= source.final_chunks():

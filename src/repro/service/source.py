@@ -72,6 +72,10 @@ class FixedTraceSource:
     ``sheds_for_chunk(i)``  overload sheds whose timestamps fall in chunk i
     ``ingest_stats()`` pure-int/float ingestion counters
     ``fingerprint()``  restart-stable identity for checkpoint validation
+    ``supports_snapshot()``  bounded-replay snapshots available
+    ``snapshot_state()``  JSON ingest state at the current boundary (or None)
+    ``restore_state(s)``  restore a snapshot into this fresh source
+    ``prune_before(cut)``  evict state no future chunk's diagnosis can touch
     """
 
     live = False
@@ -82,6 +86,18 @@ class FixedTraceSource:
 
     def pump(self) -> bool:
         return False
+
+    def supports_snapshot(self) -> bool:
+        return False  # the whole trace is already here; nothing to replay
+
+    def snapshot_state(self) -> Optional[dict]:
+        return None
+
+    def restore_state(self, state: dict) -> None:
+        raise IngestError("fixed traces do not restore ingest snapshots")
+
+    def prune_before(self, cut_ns: int) -> Dict[str, int]:
+        return {"cut_ns": 0, "packets": 0, "gaps": 0}
 
     def sealed_through(self) -> int:
         return self.final_chunks()
@@ -204,6 +220,41 @@ class LiveTraceSource:
             "nfs": sorted(self.builder.nfs),
             "sources": sorted(self.builder.sources),
         }
+
+    # -- bounded replay ---------------------------------------------------------
+
+    def supports_snapshot(self) -> bool:
+        """True when the transport can report and restore its position."""
+        from repro.ingest.watermark import capture_transport_state
+
+        return capture_transport_state(self.feed.transport) is not None
+
+    def snapshot_state(self) -> Optional[dict]:
+        """Complete ingest-side state at the current chunk boundary."""
+        from repro.ingest.watermark import capture_source_state
+
+        return capture_source_state(self)
+
+    def restore_state(self, state: dict) -> None:
+        """Restore a snapshot into this freshly constructed source."""
+        from repro.ingest.watermark import restore_source_state
+
+        restore_source_state(self, state)
+
+    def prune_before(self, cut_ns: int) -> Dict[str, int]:
+        """Evict builder state and shed accounting behind the cut.
+
+        Only sheds strictly below the cut are dropped: every future
+        ``sheds_for_chunk`` query targets chunks at or past the cut, so
+        the journalled per-chunk shed lists are unchanged.
+        """
+        result = self.builder.prune_before(cut_ns)
+        cut = result["cut_ns"]
+        if cut > 0 and self._sheds:
+            kept = [shed for shed in self._sheds if shed[2] >= cut]
+            result["sheds"] = len(self._sheds) - len(kept)
+            self._sheds = kept
+        return result
 
 
 def trace_from_collected(

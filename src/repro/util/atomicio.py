@@ -25,6 +25,17 @@ def fsync_dir(directory: Union[str, Path]) -> None:
         os.close(fd)
 
 
+def _write_payload(handle, payload: bytes) -> None:
+    """Single write seam so fault-injection tests can simulate ENOSPC.
+
+    Monkeypatching this to raise :class:`OSError` models a full disk or a
+    short write inside :func:`atomic_write_bytes`; the temp file is then
+    unlinked and the target is never touched, so callers observe an
+    atomically failed commit with the previous content intact.
+    """
+    handle.write(payload)
+
+
 def atomic_write_bytes(
     path: Union[str, Path],
     data: bytes,
@@ -52,7 +63,7 @@ def atomic_write_bytes(
     )
     try:
         with os.fdopen(fd, "wb") as handle:
-            handle.write(payload)
+            _write_payload(handle, payload)
             handle.flush()
             if durable:
                 os.fsync(handle.fileno())

@@ -1,0 +1,207 @@
+"""Bounded culprit tallies: exact below budget, error-bounded above.
+
+The pinned properties (ISSUE 8, bounded memory):
+
+* below budget the sketch is indistinguishable from the exact tally —
+  entry for entry, zero error, ``exact`` true;
+* above budget every reported score is an upper bound on the true score,
+  tight to within the entry's ``score_error``, the table never exceeds
+  the budget, and any absent identity's true score is bounded by
+  ``absent_score_bound()``;
+* global counters stay exact regardless of evictions;
+* payloads round-trip bit-exactly and ``tally_from_payload`` dispatches
+  on the version key.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aggregation import (
+    BoundedCulpritTally,
+    BoundedTallyEntry,
+    CulpritTally,
+    tally_from_payload,
+)
+from repro.core.diagnosis import Culprit, VictimDiagnosis
+from repro.core.victims import Victim
+from repro.errors import AggregationError
+
+LOCATIONS = [f"nf{i:02d}" for i in range(12)]
+BUDGET = 5
+
+
+def diag(location: str, score: float, confidence: float = 1.0):
+    victim = Victim(pid=0, nf="v0", kind="latency", arrival_ns=0, metric=1.0)
+    culprit = Culprit(
+        kind="local",
+        location=location,
+        score=score,
+        culprit_pids=(0,),
+        victim_pid=0,
+        victim_nf="v0",
+        depth=0,
+        culprit_time_ns=0,
+        confidence=confidence,
+    )
+    return VictimDiagnosis(victim=victim, culprits=[culprit])
+
+
+updates = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=len(LOCATIONS) - 1),
+        st.floats(min_value=0.001, max_value=100.0, allow_nan=False),
+    ),
+    min_size=0,
+    max_size=60,
+)
+
+
+def apply(tally, stream):
+    for index, score in stream:
+        tally.update([diag(LOCATIONS[index], score)])
+
+
+def true_scores(stream):
+    scores = {}
+    for index, score in stream:
+        key = ("local", LOCATIONS[index])
+        scores[key] = scores.get(key, 0.0) + score
+    return scores
+
+
+class TestExactBelowBudget:
+    @given(stream=updates)
+    @settings(max_examples=60, deadline=None)
+    def test_entries_equal_unbounded_tally(self, stream):
+        distinct = {i for i, _ in stream}
+        stream = [
+            (i, s) for i, s in stream if i in sorted(distinct)[:BUDGET]
+        ]
+        bounded = BoundedCulpritTally(budget=BUDGET)
+        exact = CulpritTally()
+        apply(bounded, stream)
+        apply(exact, stream)
+        assert bounded.exact
+        assert bounded.evictions == 0
+        assert dict(
+            (k, (e.score, e.count, e.confidence_mass))
+            for k, e in bounded.entries()
+        ) == dict(
+            (k, (e.score, e.count, e.confidence_mass))
+            for k, e in exact.entries()
+        )
+        for _key, entry in bounded.entries():
+            assert entry.exact
+            assert entry.score_error == 0.0
+            assert entry.count_error == 0
+
+
+class TestErrorBoundsAboveBudget:
+    @given(stream=updates)
+    @settings(max_examples=60, deadline=None)
+    def test_scores_are_tight_upper_bounds(self, stream):
+        bounded = BoundedCulpritTally(budget=BUDGET)
+        apply(bounded, stream)
+        truth = true_scores(stream)
+        present = dict(bounded.entries())
+        assert len(present) <= BUDGET
+        for key, entry in present.items():
+            true = truth.get(key, 0.0)
+            assert entry.score >= true - 1e-9, "reported score underestimates"
+            assert entry.score - entry.score_error <= true + 1e-9, (
+                "error bound is not tight"
+            )
+        for key, true in truth.items():
+            if key not in present:
+                assert true <= bounded.absent_score_bound() + 1e-9, (
+                    "absent identity exceeds the advertised bound"
+                )
+
+    @given(stream=updates)
+    @settings(max_examples=60, deadline=None)
+    def test_global_counters_stay_exact(self, stream):
+        bounded = BoundedCulpritTally(budget=BUDGET)
+        exact = CulpritTally()
+        apply(bounded, stream)
+        apply(exact, stream)
+        assert bounded.victims == exact.victims
+        assert bounded.culprits == exact.culprits
+        assert bounded.total_score == pytest.approx(exact.total_score)
+
+
+class TestPayload:
+    @given(stream=updates)
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_is_bit_exact(self, stream):
+        bounded = BoundedCulpritTally(budget=BUDGET)
+        apply(bounded, stream)
+        payload = bounded.to_payload()
+        restored = tally_from_payload(payload)
+        assert isinstance(restored, BoundedCulpritTally)
+        assert restored.to_payload() == payload
+        # A restored sketch continues identically: same next eviction.
+        apply(bounded, [(11, 50.0)])
+        apply(restored, [(11, 50.0)])
+        assert restored.to_payload() == bounded.to_payload()
+
+    def test_dispatch_on_version(self):
+        exact = CulpritTally()
+        exact.update([diag("nf00", 2.0)])
+        restored = tally_from_payload(exact.to_payload())
+        assert type(restored) is CulpritTally
+        assert restored.to_payload() == exact.to_payload()
+        with pytest.raises(AggregationError):
+            tally_from_payload({"version": 99})
+
+    def test_budget_validation(self):
+        with pytest.raises(AggregationError):
+            BoundedCulpritTally(budget=0)
+
+
+class TestMerge:
+    def test_merge_keeps_upper_bounds_and_budget(self):
+        left = BoundedCulpritTally(budget=3)
+        right = BoundedCulpritTally(budget=3)
+        stream_l = [(0, 5.0), (1, 4.0), (2, 3.0), (3, 10.0)]
+        stream_r = [(0, 2.0), (4, 8.0), (5, 1.0), (6, 6.0)]
+        apply(left, stream_l)
+        apply(right, stream_r)
+        merged_total = left.total_score + right.total_score
+        left.merge(right)
+        truth = true_scores(stream_l + stream_r)
+        assert len(dict(left.entries())) <= 3
+        assert left.total_score == pytest.approx(merged_total)
+        for key, entry in left.entries():
+            assert entry.score >= truth.get(key, 0.0) - 1e-9
+
+    def test_merge_accumulates_errors(self):
+        left = BoundedCulpritTally(budget=2)
+        right = BoundedCulpritTally(budget=2)
+        apply(left, [(0, 1.0), (1, 2.0), (2, 3.0)])  # forces an eviction
+        apply(right, [(2, 1.0)])
+        assert left.evictions >= 1
+        errors_before = {
+            k: e.score_error for k, e in left.entries()
+        }
+        left.merge(right)
+        for key, entry in left.entries():
+            assert entry.score_error >= errors_before.get(key, 0.0) - 1e-9
+
+
+class TestFormat:
+    def test_format_reports_sketch_status(self):
+        bounded = BoundedCulpritTally(budget=2)
+        apply(bounded, [(0, 1.0), (1, 2.0), (2, 3.0)])
+        text = bounded.format()
+        assert "±err" in text
+        assert "budget 2" in text
+        assert "absent-score bound" in text
+
+    def test_entry_exact_flag(self):
+        entry = BoundedTallyEntry(score=1.0)
+        assert entry.exact
+        entry.score_error = 0.5
+        assert not entry.exact

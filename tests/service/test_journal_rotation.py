@@ -1,0 +1,324 @@
+"""Journal rotation, compaction, and storage-failure tests.
+
+The bounded-disk contract: rotation and compaction change the journal's
+*physical* layout but never its logical byte stream (rotation) or its
+recomputable aggregate (compaction).  Storage failures — ENOSPC, short
+writes — must fail atomically: the journal still matches the last
+committed checkpoint, and the previous checkpoint generation stays
+recoverable.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+
+import pytest
+
+from repro.aggregation import CulpritTally
+from repro.core.diagnosis import MicroscopeEngine
+from repro.core.streaming import StreamingConfig, StreamingDiagnosis
+from repro.errors import ServiceError, StorageError
+from repro.service.checkpoint import Checkpointer
+from repro.service.crashsim import CrashInjector, CrashPlan, SimulatedCrash
+from repro.service.journal import ResultJournal, chunk_record
+from repro.fleet.rollup import tally_from_journal
+from repro.util.timebase import MSEC
+
+
+@pytest.fixture(scope="module")
+def chunk_results():
+    # The recurring-stall workload spreads victims across many chunks, so
+    # rotation produces enough segments to compact twice.
+    from tests.conftest import run_recurring_stall_chain
+    from repro.core.records import DiagTrace
+
+    trace = DiagTrace.from_sim_result(run_recurring_stall_chain())
+    streaming = StreamingDiagnosis(
+        trace,
+        StreamingConfig(chunk_ns=1 * MSEC, margin_ns=5 * MSEC),
+        victim_pct=99.0,
+    )
+    return [c for c in streaming.chunks() if c.diagnoses]
+
+
+def fill(journal, chunk_results, rotate_bytes=0):
+    """Append every chunk result, rotating after each append when asked."""
+    offsets = []
+    for i, result in enumerate(chunk_results):
+        offsets.append(journal.append(i, chunk_record(result)))
+        if rotate_bytes:
+            journal.maybe_rotate(rotate_bytes)
+    return offsets
+
+
+class TestRotationPreservesLogicalStream:
+    def test_rotated_bytes_and_offsets_identical(self, tmp_path, chunk_results):
+        plain = ResultJournal(tmp_path / "plain.jsonl", durable=False)
+        rotated = ResultJournal(tmp_path / "rotated.jsonl", durable=False)
+        plain_offsets = fill(plain, chunk_results)
+        rotated_offsets = fill(rotated, chunk_results, rotate_bytes=1)
+        assert len(rotated.segments()) >= 2, "rotation never triggered"
+        assert rotated_offsets == plain_offsets
+        assert rotated.read_bytes() == plain.read_bytes()
+        assert rotated.size() == plain.size()
+        assert list(rotated.records()) == list(plain.records())
+
+    def test_record_at_spans_segments(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        offsets = fill(journal, chunk_results, rotate_bytes=1)
+        starts = [0] + offsets[:-1]
+        for i, start in enumerate(starts):
+            chunk_index, _body, nxt = journal.record_at(start)
+            assert chunk_index == i
+            assert nxt == offsets[i]
+
+    def test_reopen_sees_same_stream(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        before = journal.read_bytes()
+        reopened = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        assert reopened.read_bytes() == before
+        assert reopened.segments() == journal.segments()
+        assert reopened.verify_chain() == len(journal.segments())
+
+    def test_missing_meta_healed_from_bytes(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        segments = journal.segments()
+        # Model a crash between the rename and the meta write: the meta is
+        # a derived cache, so deleting it must be invisible after reopen.
+        meta = journal.segment_dir / f"seg-{segments[0]['index']:08d}.meta.json"
+        meta.unlink()
+        reopened = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        assert reopened.segments() == segments
+        assert reopened.verify_chain() == len(segments)
+
+    def test_torn_meta_healed_from_bytes(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        segments = journal.segments()
+        meta = journal.segment_dir / f"seg-{segments[0]['index']:08d}.meta.json"
+        meta.write_bytes(meta.read_bytes()[:10])
+        reopened = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        assert reopened.segments() == segments
+
+    def test_truncate_into_sealed_segment_unseals(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        offsets = fill(journal, chunk_results, rotate_bytes=1)
+        cut = offsets[0]  # inside what is now a sealed segment
+        oracle = journal.read_bytes()[:cut]
+        discarded = journal.truncate_to(cut)
+        assert discarded == offsets[-1] - cut
+        assert journal.size() == cut
+        assert journal.read_bytes() == oracle
+        # Re-appending after the unseal continues the same logical stream.
+        offset = journal.append(1, chunk_record(chunk_results[1]))
+        fresh = ResultJournal(tmp_path / "fresh.jsonl", durable=False)
+        fresh.append(0, chunk_record(chunk_results[0]))
+        fresh.append(1, chunk_record(chunk_results[1]))
+        assert journal.read_bytes() == fresh.read_bytes()
+        assert offset == fresh.size()
+
+
+class TestCompaction:
+    def test_folds_only_segments_below_floor(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        offsets = fill(journal, chunk_results, rotate_bytes=1)
+        segments = journal.segments()
+        floor = segments[1]["base_offset"] + segments[1]["nbytes"]
+        reclaimed = journal.compact(floor)
+        assert reclaimed == segments[0]["nbytes"] + segments[1]["nbytes"]
+        assert journal.retained_from == floor
+        assert journal.size() == offsets[-1]  # logical end unchanged
+        info = journal.compaction_info()
+        assert info["segments_folded"] == 2
+        assert info["bytes_folded"] == reclaimed
+        assert [s["index"] for s in journal.segments()] == [
+            s["index"] for s in segments[2:]
+        ]
+
+    def test_tally_from_journal_survives_compaction(
+        self, tmp_path, chunk_results
+    ):
+        plain = ResultJournal(tmp_path / "plain.jsonl", durable=False)
+        fill(plain, chunk_results)
+        oracle = tally_from_journal(plain.path).to_payload()
+
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        segments = journal.segments()
+        journal.compact(segments[1]["base_offset"] + segments[1]["nbytes"])
+        assert journal.compacted_tally_payload() is not None
+        assert tally_from_journal(journal.path).to_payload() == oracle
+        # A second fold keeps folding into the same header.
+        journal.compact(segments[2]["base_offset"] + segments[2]["nbytes"])
+        assert tally_from_journal(journal.path).to_payload() == oracle
+
+    def test_reads_below_floor_raise(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        seg = journal.segments()[0]
+        journal.compact(seg["base_offset"] + seg["nbytes"])
+        floor = journal.retained_from
+        with pytest.raises(ServiceError, match="compacted away"):
+            list(journal.records(0))
+        with pytest.raises(ServiceError, match="compacted away"):
+            journal.record_at(0)
+        with pytest.raises(ServiceError, match="compacted away"):
+            journal.truncate_to(floor - 1)
+
+    def test_crash_after_header_sweeps_orphans_on_reopen(
+        self, tmp_path, chunk_results
+    ):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        seg = journal.segments()[0]
+        floor = seg["base_offset"] + seg["nbytes"]
+        faults = CrashInjector(CrashPlan(point="after-compact", chunk=7))
+        with pytest.raises(SimulatedCrash):
+            journal.compact(floor, faults=faults, chunk_index=7)
+        # Header committed, unlink never ran: the retired segment is an
+        # orphan below the floor.
+        orphan = journal.segment_dir / f"seg-{seg['index']:08d}.jsonl"
+        assert orphan.exists()
+        reopened = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        assert not orphan.exists(), "orphan not swept on reopen"
+        assert reopened.retained_from == floor
+        assert reopened.verify_chain() == len(reopened.segments())
+
+    def test_crash_before_header_changes_nothing(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        seg = journal.segments()[0]
+        before = journal.read_bytes()
+        faults = CrashInjector(CrashPlan(point="journal-compact", chunk=7))
+        with pytest.raises(SimulatedCrash):
+            journal.compact(
+                seg["base_offset"] + seg["nbytes"], faults=faults, chunk_index=7
+            )
+        reopened = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        assert reopened.retained_from == 0
+        assert reopened.read_bytes() == before
+
+    def test_torn_header_write_changes_nothing(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        seg = journal.segments()[0]
+        before = journal.read_bytes()
+        faults = CrashInjector(CrashPlan(point="mid-compact", chunk=7))
+        with pytest.raises(SimulatedCrash):
+            journal.compact(
+                seg["base_offset"] + seg["nbytes"], faults=faults, chunk_index=7
+            )
+        # The torn temp file must not be visible as a compaction header.
+        reopened = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        assert reopened.retained_from == 0
+        assert reopened.compacted_tally_payload() is None
+        assert reopened.read_bytes() == before
+
+    def test_compact_without_candidates_is_noop(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results)  # never rotated: nothing sealed
+        assert journal.compact(journal.size()) == 0
+        assert journal.compaction_info() is None
+
+
+class TestStorageFailures:
+    def test_enospc_mid_append_rolls_back(
+        self, tmp_path, chunk_results, monkeypatch
+    ):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        journal.append(0, chunk_record(chunk_results[0]))
+        before = journal.read_bytes()
+        size = journal.size()
+
+        def no_space(handle, data):
+            handle.write(data[: len(data) // 2])  # a short write lands...
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.service.journal._write_all", no_space)
+        with pytest.raises(StorageError, match="rolled back"):
+            journal.append(1, chunk_record(chunk_results[1]))
+        assert journal.size() == size
+        assert journal.read_bytes() == before
+        monkeypatch.undo()
+        # The device recovered: appending resumes the identical stream.
+        journal.append(1, chunk_record(chunk_results[1]))
+        fresh = ResultJournal(tmp_path / "fresh.jsonl", durable=False)
+        fresh.append(0, chunk_record(chunk_results[0]))
+        fresh.append(1, chunk_record(chunk_results[1]))
+        assert journal.read_bytes() == fresh.read_bytes()
+
+    def test_enospc_in_checkpoint_keeps_previous_generation(
+        self, tmp_path, monkeypatch
+    ):
+        checkpointer = Checkpointer(tmp_path / "checkpoints", durable=False)
+        payload = {"version": 1, "next_chunk": 1, "journal_offset": 10}
+        checkpointer.save(dict(payload))
+
+        def no_space(handle, data):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.util.atomicio._write_payload", no_space)
+        with pytest.raises(StorageError):
+            checkpointer.save({"version": 1, "next_chunk": 2})
+        monkeypatch.undo()
+        loaded = Checkpointer(
+            tmp_path / "checkpoints", durable=False
+        ).load_latest()
+        assert loaded is not None
+        assert loaded.payload["next_chunk"] == 1
+
+    def test_enospc_in_compaction_header_changes_nothing(
+        self, tmp_path, chunk_results, monkeypatch
+    ):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        seg = journal.segments()[0]
+        before = journal.read_bytes()
+
+        def no_space(handle, data):
+            raise OSError(errno.ENOSPC, "No space left on device")
+
+        monkeypatch.setattr("repro.util.atomicio._write_payload", no_space)
+        with pytest.raises(StorageError, match="compaction header"):
+            journal.compact(seg["base_offset"] + seg["nbytes"])
+        monkeypatch.undo()
+        reopened = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        assert reopened.retained_from == 0
+        assert reopened.read_bytes() == before
+
+
+class TestLayoutValidation:
+    def test_segment_gap_detected(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        segments = journal.segments()
+        victim = journal.segment_dir / f"seg-{segments[1]['index']:08d}.jsonl"
+        victim.unlink()
+        with pytest.raises(ServiceError, match="segment gap"):
+            ResultJournal(tmp_path / "journal.jsonl", durable=False)
+
+    def test_corrupt_compaction_header_raises(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        seg = journal.segments()[0]
+        journal.compact(seg["base_offset"] + seg["nbytes"])
+        header = journal.segment_dir / "COMPACT.json"
+        header.write_bytes(b"{not json")
+        with pytest.raises(ServiceError, match="corrupt compaction header"):
+            ResultJournal(tmp_path / "journal.jsonl", durable=False)
+
+    def test_chain_verification_detects_bitflip(self, tmp_path, chunk_results):
+        journal = ResultJournal(tmp_path / "journal.jsonl", durable=False)
+        fill(journal, chunk_results, rotate_bytes=1)
+        seg_path = (
+            journal.segment_dir
+            / f"seg-{journal.segments()[0]['index']:08d}.jsonl"
+        )
+        raw = bytearray(seg_path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        seg_path.write_bytes(bytes(raw))
+        with pytest.raises(ServiceError, match="chain verification"):
+            journal.verify_chain()
