@@ -694,6 +694,100 @@ def bench_endurance(repeats: int) -> dict:
     }
 
 
+def bench_net(repeats: int) -> dict:
+    """Ingestion throughput across transports (ISSUE 9).
+
+    The same tapped record set is driven through a feed + drain loop
+    three ways — in-process ``SimTransport``, loopback TCP, and a
+    Unix-domain socket (both via ``RecordSender`` ->
+    ``SocketIngestServer``) — and records/sec is recorded for each, so
+    the wire protocol's overhead over the in-process baseline is pinned
+    in the trajectory.  Delivery equality across the three is asserted
+    before any timing is trusted.
+    """
+    import tempfile
+    import threading
+
+    from repro.ingest import FeedConfig, SimTransport, TelemetryFeed
+    from repro.net import RecordSender, SenderConfig, SocketIngestServer
+    from repro.nfv.tap import LiveRecordTap
+
+    tap = LiveRecordTap()
+    run_interrupt_chain(duration_ns=12 * MSEC, extra_hooks=[tap])
+    records = tap.records
+    streams = sorted({r.stream for r in records})
+
+    def drain(transport) -> int:
+        feed = TelemetryFeed(transport, FeedConfig())
+        total = 0
+        idle = 0
+        while not feed.exhausted():
+            progressed = feed.pump()
+            popped = 0
+            for buffer in feed.buffers.values():
+                while buffer:
+                    buffer.pop()
+                    popped += 1
+            total += popped
+            idle = 0 if (progressed or popped) else idle + 1
+            assert idle < 100_000, "ingest stalled"
+        return total
+
+    def run_socket(path=None) -> float:
+        if path is not None:
+            server = SocketIngestServer(streams, path=path)
+        else:
+            server = SocketIngestServer(streams)
+        with server:
+            def push():
+                sender = RecordSender(
+                    server.address, streams, SenderConfig(jitter_seed=1)
+                )
+                sender.push_all(records)
+                sender.finish()
+                sender.close()
+
+            start = time.perf_counter()
+            thread = threading.Thread(target=push, daemon=True)
+            thread.start()
+            delivered = drain(server.transport())
+            thread.join(timeout=120)
+            elapsed = time.perf_counter() - start
+        assert delivered == len(records), f"lost records: {delivered}"
+        return elapsed
+
+    timings = {}
+
+    def best(key, fn):
+        timings[key] = min(fn() for _ in range(max(1, repeats)))
+
+    def run_sim() -> float:
+        start = time.perf_counter()
+        delivered = drain(SimTransport(records))
+        elapsed = time.perf_counter() - start
+        assert delivered == len(records)
+        return elapsed
+
+    best("sim_inprocess_s", run_sim)
+    best("loopback_tcp_s", run_socket)
+    with tempfile.TemporaryDirectory() as tmp:
+        best("unix_socket_s", lambda: run_socket(Path(tmp) / "bench.sock"))
+
+    rates = {
+        key[: -len("_s")] + "_records_per_s": round(len(records) / value)
+        for key, value in timings.items()
+    }
+    return {
+        "n_records": len(records),
+        "n_streams": len(streams),
+        "timings": {k: round(v, 6) for k, v in sorted(timings.items())},
+        "rates": rates,
+        "tcp_overhead_vs_inprocess": round(
+            timings["loopback_tcp_s"] / timings["sim_inprocess_s"], 2
+        ),
+    }
+
+
 def bench_analyzer_build(repeats: int) -> dict:
     """Cold/warm QueuingAnalyzer index build, python vs numpy backend."""
     view = synthetic_view()
@@ -821,6 +915,10 @@ def main() -> int:
     endurance = bench_endurance(args.repeats)
     print(json.dumps(endurance["restart_cost_growth"], indent=2))
 
+    print("benchmarking network ingestion plane ...", flush=True)
+    net = bench_net(args.repeats)
+    print(json.dumps(net["rates"], indent=2))
+
     print("benchmarking analyzer index build ...", flush=True)
     analyzer_build = bench_analyzer_build(args.repeats)
     print(json.dumps(analyzer_build["timings"], indent=2))
@@ -861,6 +959,7 @@ def main() -> int:
         "columnar": columnar,
         "fleet": fleet,
         "endurance": endurance,
+        "net": net,
         "analyzer_build": analyzer_build,
         "environment": {
             "python": platform.python_version(),

@@ -1,0 +1,229 @@
+"""Network ingestion soak: chaos on the wire, kills in the service.
+
+Each trial pushes the tapped record set through four concurrent
+``RecordSender``s (one per telemetry stream), all routed through a
+``ChaosProxy`` injecting seeded byte-level faults at a 10% rate —
+connection resets, torn frames, duplicated and reordered frames, delay —
+into a ``SocketIngestServer`` feeding a live ``DiagnosisService``.  A
+randomly drawn kill (per-chunk protocol or ingest-path) crashes the
+service mid-run; the crash takes the server and its dedup state down
+with it, the senders are restarted from their full record logs against a
+fresh listener, and the recovered service must converge to a journal
+byte-identical to the clean in-process live reference (which the tier-1
+suite pins byte-identical to offline diagnosis).
+
+Runs in the ``net-soak`` CI job (not tier-1: sockets + chaos, minutes of
+wall clock).  A red run reproduces locally with::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/test_net_soak.py -q
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.errors import IngestError, PeerGone  # noqa: E402
+from repro.ingest import (  # noqa: E402
+    FeedConfig,
+    IncrementalTrace,
+    IngestConfig,
+    SimTransport,
+    TelemetryFeed,
+)
+from repro.net import (  # noqa: E402
+    ChaosConfig,
+    ChaosProxy,
+    RecordSender,
+    SenderConfig,
+    SocketIngestServer,
+)
+from repro.nfv.tap import LiveRecordTap  # noqa: E402
+from repro.service import (  # noqa: E402
+    INGEST_KILL_POINTS,
+    KILL_POINTS,
+    CrashInjector,
+    CrashPlan,
+    DiagnosisService,
+    LiveTraceSource,
+    ServiceConfig,
+    SimulatedCrash,
+)
+from repro.util.rng import substream  # noqa: E402
+from repro.util.timebase import MSEC, USEC  # noqa: E402
+from tests.conftest import make_chain_topology, run_interrupt_chain  # noqa: E402
+from tests.core.test_streaming_fastpath import canonical_bytes  # noqa: E402
+
+SOAK_SEED = 9911
+N_TRIALS = 4
+FAULT_RATE = 0.10
+CHUNK_NS = 1 * MSEC
+MARGIN_NS = 5 * MSEC
+THRESHOLD_NS = 300 * USEC
+
+#: Kill points a socket-fed service actually passes through (the torn /
+#: corrupt families need durable=True and are covered by crash_soak).
+SERVICE_POINTS = tuple(
+    p for p in KILL_POINTS + INGEST_KILL_POINTS
+    if p not in ("mid-journal", "mid-checkpoint", "corrupt-checkpoint")
+)
+
+
+def config(state_dir) -> ServiceConfig:
+    return ServiceConfig(
+        state_dir=state_dir,
+        chunk_ns=CHUNK_NS,
+        margin_ns=MARGIN_NS,
+        victim_threshold_ns=THRESHOLD_NS,
+        durable=False,
+    )
+
+
+def socket_source(server):
+    feed = TelemetryFeed(server.transport(), FeedConfig())
+    builder = IncrementalTrace.for_topology(
+        make_chain_topology(),
+        IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS),
+    )
+    return LiveTraceSource(feed, builder)
+
+
+class SenderFleet:
+    """Four senders (one per stream) pushing through one address."""
+
+    def __init__(self, address, by_stream, seed):
+        self.threads = []
+        for i, (stream, records) in enumerate(sorted(by_stream.items())):
+            thread = threading.Thread(
+                target=self._run_one,
+                args=(address, stream, records, seed + i),
+                name=f"soak-sender-{stream}",
+                daemon=True,
+            )
+            thread.start()
+            self.threads.append(thread)
+
+    @staticmethod
+    def _run_one(address, stream, records, seed):
+        try:
+            sender = RecordSender(
+                address, [stream],
+                SenderConfig(
+                    jitter_seed=seed, name=f"soak-{stream}",
+                    backoff_base_s=0.002, backoff_cap_s=0.05,
+                    ack_timeout_s=2.0,
+                ),
+            )
+            sender.push_all(records)
+            sender.finish(timeout_s=120.0)
+            sender.close()
+        except (PeerGone, IngestError):
+            pass  # server torn down by a service kill: expected
+
+    def join(self, timeout_s=120.0):
+        for thread in self.threads:
+            thread.join(timeout=timeout_s)
+        return not any(t.is_alive() for t in self.threads)
+
+
+@pytest.fixture(scope="module")
+def by_stream():
+    tap = LiveRecordTap()
+    run_interrupt_chain(duration_ns=12 * MSEC, extra_hooks=[tap])
+    split = {}
+    for record in tap.records:
+        split.setdefault(record.stream, []).append(record)
+    assert len(split) == 4  # four streams -> four senders
+    return split
+
+
+@pytest.fixture(scope="module")
+def reference(by_stream, tmp_path_factory):
+    """Clean in-process live run: the byte target for every trial."""
+    records = [r for recs in by_stream.values() for r in recs]
+    feed = TelemetryFeed(SimTransport(records), FeedConfig())
+    builder = IncrementalTrace.for_topology(
+        make_chain_topology(),
+        IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS),
+    )
+    service = DiagnosisService(
+        LiveTraceSource(feed, builder), config(tmp_path_factory.mktemp("ref"))
+    )
+    report = service.run()
+    assert report.stats.chunks_done == report.n_chunks >= 8
+    return {
+        "canon": canonical_bytes(report.diagnoses),
+        "journal": service.journal.read_bytes(),
+        "n_chunks": report.n_chunks,
+    }
+
+
+def run_attempt(by_stream, state_dir, chaos_seed, sender_seed, faults=None):
+    """One service incarnation with a fresh server/proxy/sender fleet."""
+    streams = sorted(by_stream)
+    server = SocketIngestServer(streams)
+    proxy = ChaosProxy(
+        server.address, ChaosConfig.uniform(FAULT_RATE, seed=chaos_seed)
+    )
+    fleet = SenderFleet(proxy.address, by_stream, seed=sender_seed)
+    service = DiagnosisService(
+        socket_source(server), config(state_dir), faults=faults
+    )
+    try:
+        report = service.run()
+        return service, report, proxy.stats
+    finally:
+        proxy.close()
+        server.close()
+        assert fleet.join(), "a sender thread failed to wind down"
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_soak_chaos_wire_with_service_kills(
+    by_stream, reference, tmp_path, trial
+):
+    rng = substream(SOAK_SEED, f"net-soak:{trial}")
+    plan = CrashPlan(
+        point=SERVICE_POINTS[int(rng.integers(0, len(SERVICE_POINTS)))],
+        chunk=int(rng.integers(0, reference["n_chunks"] // 2)),
+    )
+    try:
+        run_attempt(
+            by_stream, tmp_path,
+            chaos_seed=SOAK_SEED + 100 * trial,
+            sender_seed=SOAK_SEED + 1000 * trial,
+            faults=CrashInjector(plan),
+        )
+    except SimulatedCrash:
+        pass  # plans landing past the pump schedule just complete
+    service, report, chaos = run_attempt(
+        by_stream, tmp_path,
+        chaos_seed=SOAK_SEED + 100 * trial + 1,
+        sender_seed=SOAK_SEED + 1000 * trial + 10,
+    )
+    assert service.journal.read_bytes() == reference["journal"], (
+        f"trial {trial}: journal diverged under ({plan.point}, {plan.chunk})"
+    )
+    assert canonical_bytes(report.diagnoses) == reference["canon"]
+    assert report.stats.chunks_done == reference["n_chunks"]
+
+
+def test_chaos_actually_bites(by_stream, reference, tmp_path):
+    """Guard against a silently inert proxy: at 10% the pinned seed must
+    tear, reset, duplicate and reorder — and the journal still matches."""
+    service, report, chaos = run_attempt(
+        by_stream, tmp_path, chaos_seed=SOAK_SEED, sender_seed=SOAK_SEED
+    )
+    assert chaos.faults > 0
+    assert chaos.resets + chaos.partials > 0
+    assert chaos.dups + chaos.reorders > 0
+    assert service.journal.read_bytes() == reference["journal"]
+    assert report.stats.chunks_done == reference["n_chunks"]

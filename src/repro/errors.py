@@ -77,6 +77,37 @@ class TransportError(TransientError):
     """
 
 
+class FrameError(TransportError):
+    """A wire frame failed validation (bad magic, CRC mismatch, short
+    read, oversized length).
+
+    Raised by the :mod:`repro.net.frames` decoder.  A corrupt frame
+    poisons the whole byte stream after it — the only safe response is to
+    drop the connection and reconnect, which the sender's resume protocol
+    turns into a resend from the receiver-acked sequence.
+    """
+
+
+class PeerGone(TransportError):
+    """The remote peer disconnected or went silent (EOF, heartbeat
+    timeout, connection reset).
+
+    Distinct from :class:`TransportError` proper so retry accounting can
+    tell *errors* (garbled frames, injected faults) from *absence* (a
+    collector that died or a link that dropped): the feed counts them
+    separately in :class:`~repro.ingest.feed.FeedStats` and health
+    reports surface dead peers as staleness, not corruption.
+    """
+
+
+class ProtocolError(IngestError):
+    """The remote peer violated the wire protocol (unknown frame type in
+    a context where skipping is unsafe, an ack regression, a stream the
+    receiver never offered).  Non-recoverable by reconnecting: something
+    is wrong with the software on one end, not with the network.
+    """
+
+
 class FleetError(ServiceError):
     """The multi-pipeline fleet supervisor hit a non-recoverable condition."""
 

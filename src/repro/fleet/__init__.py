@@ -1,6 +1,7 @@
 """Fleet-scale execution plane: shared warm worker pool, fair chunk
 scheduling, multi-pipeline supervision, cross-pipeline rollups."""
 
+from repro.fleet.listeners import FleetListeners
 from repro.fleet.pool import PendingTask, PoolStats, WorkerPool
 from repro.fleet.rollup import (
     FleetRollup,
@@ -19,6 +20,7 @@ from repro.fleet.supervisor import (
 __all__ = [
     "FairScheduler",
     "FleetConfig",
+    "FleetListeners",
     "FleetReport",
     "FleetRollup",
     "FleetSupervisor",

@@ -1,0 +1,113 @@
+"""Per-pipeline socket listeners for a fleet deployment.
+
+A fleet supervisor runs many pipelines; with the network ingestion plane
+each pipeline gets its *own* :class:`~repro.net.server.SocketIngestServer`
+— collectors for NF group A must not share a connection (or a credit
+pool, or a failure domain) with group B.  :class:`FleetListeners` owns
+that set: it opens one server per pipeline, hands out the matching
+:class:`~repro.fleet.supervisor.PipelineSpec` source factories (each run
+builds a fresh feed + builder over the server's pull transport — the
+crash-restart model the supervisor already expects), and wires every
+server into a :class:`~repro.service.health.HealthRegistry` so the
+``transport`` report shows live per-stream state for the whole fleet.
+
+The servers outlive individual pipeline runs on purpose: a pipeline that
+crashes and restarts re-ingests from its server's still-connected
+senders (which replay from their own record logs), while the listening
+socket — the thing remote collectors hold an address for — never moves.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence
+
+from repro.errors import IngestError
+from repro.ingest.feed import FeedConfig, TelemetryFeed
+from repro.ingest.incremental import IncrementalTrace, IngestConfig
+from repro.net.server import ServerConfig, SocketIngestServer
+from repro.service.source import LiveTraceSource
+
+
+class FleetListeners:
+    """One ingest server per pipeline, plus their source factories.
+
+    ``topologies`` maps pipeline name -> the
+    :class:`~repro.nfv.topology.Topology` whose streams that pipeline
+    ingests; every pipeline listens on its own ephemeral TCP port
+    (``addresses`` exposes them for collectors), or on its own
+    Unix-domain socket when ``socket_dir`` is given.
+    """
+
+    def __init__(
+        self,
+        topologies: Mapping[str, object],
+        ingest_config: IngestConfig,
+        feed_config: Optional[FeedConfig] = None,
+        server_config: Optional[ServerConfig] = None,
+        host: str = "127.0.0.1",
+        socket_dir=None,
+    ) -> None:
+        if not topologies:
+            raise IngestError("a fleet needs at least one pipeline")
+        self.ingest_config = ingest_config
+        self.feed_config = feed_config or FeedConfig()
+        self._topologies = dict(topologies)
+        self.servers: Dict[str, SocketIngestServer] = {}
+        for name, topology in sorted(self._topologies.items()):
+            streams = self._streams_of(topology)
+            if socket_dir is not None:
+                self.servers[name] = SocketIngestServer(
+                    streams,
+                    path=str(socket_dir / f"{name}.sock"),
+                    config=server_config,
+                )
+            else:
+                self.servers[name] = SocketIngestServer(
+                    streams, host=host, config=server_config
+                )
+
+    @staticmethod
+    def _streams_of(topology) -> Sequence[str]:
+        return tuple(sorted(topology.nfs)) + tuple(sorted(topology.sources))
+
+    @property
+    def addresses(self) -> Dict[str, object]:
+        """Pipeline name -> the address collectors should connect to."""
+        return {name: server.address for name, server in self.servers.items()}
+
+    def source_factory(self, pipeline: str) -> Callable[[], LiveTraceSource]:
+        """A zero-arg factory for ``PipelineSpec.source``: every call —
+        i.e. every (re)start of the pipeline — builds a fresh feed and
+        builder over the same listening server."""
+        server = self.servers[pipeline]
+        topology = self._topologies[pipeline]
+
+        def build() -> LiveTraceSource:
+            feed = TelemetryFeed(server.transport(), self.feed_config)
+            builder = IncrementalTrace.for_topology(
+                topology, self.ingest_config
+            )
+            return LiveTraceSource(feed, builder)
+
+        return build
+
+    def attach_to(self, registry) -> None:
+        """Wire every server into a health registry's transport report."""
+        for name, server in self.servers.items():
+            registry.attach_transport(name, server)
+
+    def transport_stats(self) -> Dict[str, Dict[str, dict]]:
+        return {
+            name: server.transport_stats()
+            for name, server in sorted(self.servers.items())
+        }
+
+    def close(self) -> None:
+        for server in self.servers.values():
+            server.close()
+
+    def __enter__(self) -> "FleetListeners":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

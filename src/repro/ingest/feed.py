@@ -38,8 +38,9 @@ from collections import deque
 from dataclasses import dataclass, field, fields
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import IngestError, TransportError
+from repro.errors import IngestError, PeerGone, TransportError
 from repro.ingest.records import TelemetryRecord
+from repro.util.retry import RetryPolicy, retry_call
 from repro.util.rng import substream
 
 
@@ -74,7 +75,13 @@ class FeedStats:
     """Everything the feed did, pure ints/floats (checkpoint-safe)."""
 
     records: int = 0
+    #: Transport *errors*: garbled frames, injected faults, timeouts.
     transport_failures: int = 0
+    #: Peer *absence*: EOF-style disconnects and heartbeat-dead peers
+    #: (:class:`~repro.errors.PeerGone`).  Kept apart from failures so
+    #: the taxonomy survives into socket transports: a collector that
+    #: died and a link that corrupts bytes are different operator pages.
+    disconnects: int = 0
     retries: int = 0
     reconnects: int = 0
     backoff_total_s: float = 0.0
@@ -87,7 +94,11 @@ class FeedStats:
 
     @classmethod
     def from_payload(cls, payload: dict) -> "FeedStats":
-        return cls(**{f.name: payload[f.name] for f in fields(cls)})
+        # Tolerate payloads from before a counter existed (old snapshots):
+        # missing counters restore to their zero default.
+        return cls(
+            **{f.name: payload[f.name] for f in fields(cls) if f.name in payload}
+        )
 
 
 class IngestBuffer:
@@ -313,7 +324,9 @@ class FlakyTransport:
 
     def pull(self, stream: str, max_n: int) -> List[TelemetryRecord]:
         if not self._connected:
-            raise TransportError(f"transport disconnected (stream {stream!r})")
+            # Absence, not corruption: pulls against a dropped connection
+            # are the dead-peer shape, counted as disconnects by the feed.
+            raise PeerGone(f"transport disconnected (stream {stream!r})")
         if self.fail_prob and float(self._rng.random()) < self.fail_prob:
             self._connected = False
             raise TransportError(f"injected pull failure on stream {stream!r}")
@@ -360,38 +373,43 @@ class TelemetryFeed:
         self.pending_sheds: List[Tuple[str, int, int, str]] = []
         self._rng = substream(self.config.jitter_seed, "ingest-backoff")
         self._stalls: Dict[str, int] = {stream: 0 for stream in self.buffers}
+        self._retry_policy = RetryPolicy(
+            max_retries=self.config.max_retries,
+            base_s=self.config.backoff_base_s,
+            cap_s=self.config.backoff_cap_s,
+        )
 
     # -- transport side ---------------------------------------------------------
 
-    def _backoff(self, attempt: int) -> float:
-        delay = min(
-            self.config.backoff_cap_s,
-            self.config.backoff_base_s * (2.0**attempt),
-        )
-        return delay * (0.5 + float(self._rng.random()))
+    def _on_pull_failure(self, exc: BaseException, attempt: int) -> None:
+        """Per-failure accounting + reconnect (the retry helper's hook)."""
+        if isinstance(exc, PeerGone):
+            self.stats.disconnects += 1
+        else:
+            self.stats.transport_failures += 1
+        reconnect = getattr(self.transport, "reconnect", None)
+        if reconnect is not None:
+            reconnect()
+            self.stats.reconnects += 1
+
+    def _on_pull_retry(self, delay: float) -> None:
+        self.stats.retries += 1
+        self.stats.backoff_total_s += delay
 
     def _pull_with_retry(self, stream: str, max_n: int) -> List[TelemetryRecord]:
-        attempt = 0
-        while True:
-            try:
-                return self.transport.pull(stream, max_n)
-            except TransportError as exc:
-                self.stats.transport_failures += 1
-                reconnect = getattr(self.transport, "reconnect", None)
-                if reconnect is not None:
-                    reconnect()
-                    self.stats.reconnects += 1
-                if attempt >= self.config.max_retries:
-                    raise IngestError(
-                        f"stream {stream!r} failed after {attempt + 1} pull "
-                        f"attempts: {exc}"
-                    ) from exc
-                delay = self._backoff(attempt)
-                self.stats.retries += 1
-                self.stats.backoff_total_s += delay
-                if self.sleep is not None:
-                    self.sleep(delay)
-                attempt += 1
+        return retry_call(
+            lambda: self.transport.pull(stream, max_n),
+            self._retry_policy,
+            self._rng,
+            sleep=self.sleep,
+            retry_on=TransportError,
+            on_failure=self._on_pull_failure,
+            on_retry=self._on_pull_retry,
+            give_up=lambda exc, attempts: IngestError(
+                f"stream {stream!r} failed after {attempts} pull "
+                f"attempts: {exc}"
+            ),
+        )
 
     def pump(self) -> bool:
         """One ingestion round over every stream; True if anything arrived.

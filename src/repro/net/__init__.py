@@ -1,0 +1,80 @@
+"""Network ingestion plane: framed push transports over real sockets.
+
+Everything before this package moved telemetry inside one process; here
+records survive an actual network.  The pieces:
+
+* :mod:`repro.net.frames` — the wire protocol: length-prefixed,
+  CRC-framed messages carrying :class:`~repro.ingest.records.TelemetryRecord`
+  batches and the control traffic (hello/welcome, acks + credits,
+  heartbeats, end-of-stream);
+* :mod:`repro.net.sender` — the collector side: a
+  :class:`~repro.net.sender.RecordSender` with per-stream sequence
+  numbers, a bounded send queue, heartbeats, and exponential-backoff
+  reconnect that *resumes from the receiver-acked sequence* —
+  at-least-once delivery;
+* :mod:`repro.net.server` — the diagnosis side: a
+  :class:`~repro.net.server.SocketIngestServer` (TCP and Unix-domain)
+  whose accept loop feeds per-stream buffers behind receiver-side
+  dedup, exposed to the service as a
+  :class:`~repro.net.server.SocketTransport` implementing the existing
+  pull-transport protocol with credit-based backpressure;
+* :mod:`repro.net.chaos` — a :class:`~repro.net.chaos.ChaosProxy` that
+  sits between sender and server injecting seeded byte-level faults
+  (resets, partial frames, delay, duplicated and reordered frames) —
+  the crashsim philosophy extended to the wire.
+
+The invariant the whole plane defends: at-least-once delivery plus
+receiver-side dedup yields exactly-once, in-order application per
+stream, so sealed chunks — and therefore journal bytes — are identical
+to the same telemetry ingested offline, no matter what the network did.
+"""
+
+from repro.net.frames import (
+    FRAME_ACK,
+    FRAME_DATA,
+    FRAME_EOS,
+    FRAME_HEARTBEAT,
+    FRAME_HELLO,
+    FRAME_WELCOME,
+    MAX_FRAME_BYTES,
+    Frame,
+    FrameDecoder,
+    encode_frame,
+    records_from_payload,
+    records_to_payload,
+    split_frames,
+)
+from repro.net.sender import RecordSender, SenderConfig, SenderStats
+from repro.net.server import (
+    ServerConfig,
+    ServerStats,
+    SocketIngestServer,
+    SocketTransport,
+)
+from repro.net.chaos import ChaosConfig, ChaosProxy, ChaosStats
+
+__all__ = [
+    "FRAME_ACK",
+    "FRAME_DATA",
+    "FRAME_EOS",
+    "FRAME_HEARTBEAT",
+    "FRAME_HELLO",
+    "FRAME_WELCOME",
+    "MAX_FRAME_BYTES",
+    "Frame",
+    "FrameDecoder",
+    "encode_frame",
+    "records_from_payload",
+    "records_to_payload",
+    "split_frames",
+    "RecordSender",
+    "SenderConfig",
+    "SenderStats",
+    "ServerConfig",
+    "ServerStats",
+    "SocketIngestServer",
+    "SocketTransport",
+    "ChaosConfig",
+    "ChaosProxy",
+    "ChaosStats",
+]

@@ -1,0 +1,332 @@
+"""A byte-level chaos proxy for the network ingestion plane.
+
+:class:`ChaosProxy` sits between a :class:`~repro.net.sender.RecordSender`
+and a :class:`~repro.net.server.SocketIngestServer` and injects seeded
+faults into the client-to-server byte stream: abrupt connection resets,
+torn (partial) frames, per-frame delay, duplicated frames, and reordered
+frames.  It is the crashsim philosophy extended to the wire — every
+fault is drawn from a :func:`~repro.util.rng.substream` keyed by the
+connection index, so a soak run's entire fault schedule replays from one
+seed.
+
+The proxy parses frame *boundaries* only (:func:`~repro.net.frames.split_frames`)
+— like a real middlebox it never validates CRCs or decodes payloads, so
+whatever damage it inflicts is detected by the endpoints, which is the
+property under test: no fault schedule may change the journal bytes the
+service ultimately writes.
+
+Exactly one ``rng.random()`` is drawn per forwarded frame to pick the
+fault (plus one more for the fault's parameter where one is needed);
+this draw discipline is load-bearing — it is what makes a fault schedule
+a pure function of ``(seed, connection index, frame index)``.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import struct
+import threading
+from dataclasses import dataclass, field, fields
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import IngestError
+from repro.net.frames import split_frames
+from repro.util.rng import substream
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Per-frame fault probabilities (evaluated in this order, one draw:
+    reset, partial-then-reset, duplicate, reorder, delay, else clean)."""
+
+    reset_prob: float = 0.0
+    partial_prob: float = 0.0
+    dup_prob: float = 0.0
+    reorder_prob: float = 0.0
+    delay_prob: float = 0.0
+    #: Upper bound of the uniform per-frame delay.
+    max_delay_s: float = 0.005
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        total = (
+            self.reset_prob
+            + self.partial_prob
+            + self.dup_prob
+            + self.reorder_prob
+            + self.delay_prob
+        )
+        if not 0.0 <= total <= 1.0:
+            raise IngestError(
+                f"fault probabilities must sum into [0, 1]: {total}"
+            )
+
+    @classmethod
+    def uniform(cls, fault_rate: float, seed: int = 0) -> "ChaosConfig":
+        """Split an overall fault rate evenly across the five faults."""
+        each = fault_rate / 5.0
+        return cls(
+            reset_prob=each,
+            partial_prob=each,
+            dup_prob=each,
+            reorder_prob=each,
+            delay_prob=each,
+            seed=seed,
+        )
+
+
+@dataclass
+class ChaosStats:
+    """What the proxy did to the traffic."""
+
+    connections: int = 0
+    frames: int = 0
+    resets: int = 0
+    partials: int = 0
+    dups: int = 0
+    reorders: int = 0
+    delays: int = 0
+    bytes_upstream: int = 0
+    bytes_downstream: int = 0
+
+    def to_payload(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def faults(self) -> int:
+        return self.resets + self.partials + self.dups + self.reorders
+
+
+class _Pipe:
+    """One proxied connection: the client socket and its upstream."""
+
+    def __init__(self, client: socket.socket, upstream: socket.socket) -> None:
+        self.client = client
+        self.upstream = upstream
+        self.lock = threading.Lock()
+        self.alive = True
+
+    def kill(self, abrupt: bool = True) -> None:
+        with self.lock:
+            if not self.alive:
+                return
+            self.alive = False
+        if abrupt:
+            # RST instead of FIN: the sender sees ECONNRESET, the
+            # harsher of the two disconnect flavours.
+            try:
+                self.client.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            except OSError:
+                pass
+        for sock in (self.client, self.upstream):
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+class ChaosProxy:
+    """A fault-injecting TCP proxy in front of an ingest server.
+
+    ``target`` is the real server's address — a ``(host, port)`` tuple
+    or a Unix-domain socket path.  The proxy itself always listens on
+    TCP (``address`` exposes the bound ``(host, port)``); senders
+    connect to the proxy instead of the server.
+    """
+
+    def __init__(
+        self,
+        target: Union[str, os.PathLike, Tuple[str, int]],
+        config: Optional[ChaosConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.target = target
+        self.config = config or ChaosConfig()
+        self.stats = ChaosStats()
+        self._lock = threading.Lock()
+        self._pipes: List[_Pipe] = []
+        self._closed = False
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, port))
+        self._sock.listen(16)
+        self.address: Tuple[str, int] = self._sock.getsockname()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="chaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    def _connect_upstream(self) -> socket.socket:
+        if isinstance(self.target, tuple):
+            return socket.create_connection(self.target, timeout=5.0)
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(5.0)
+        sock.connect(os.fspath(self.target))
+        sock.settimeout(None)
+        return sock
+
+    def _accept_loop(self) -> None:
+        while True:
+            try:
+                client, _addr = self._sock.accept()
+            except OSError:
+                return
+            if self._closed:
+                client.close()
+                return
+            try:
+                upstream = self._connect_upstream()
+            except OSError:
+                client.close()
+                continue
+            client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            pipe = _Pipe(client, upstream)
+            with self._lock:
+                self.stats.connections += 1
+                conn_index = self.stats.connections
+                self._pipes.append(pipe)
+            threading.Thread(
+                target=self._upstream_loop,
+                args=(pipe, conn_index),
+                name=f"chaos-up-{conn_index}",
+                daemon=True,
+            ).start()
+            threading.Thread(
+                target=self._downstream_loop,
+                args=(pipe,),
+                name=f"chaos-down-{conn_index}",
+                daemon=True,
+            ).start()
+
+    # -- client -> server: the faulted direction --------------------------------
+
+    def _forward(self, pipe: _Pipe, data: bytes) -> bool:
+        try:
+            pipe.upstream.sendall(data)
+        except OSError:
+            pipe.kill(abrupt=False)
+            return False
+        with self._lock:
+            self.stats.bytes_upstream += len(data)
+        return True
+
+    def _upstream_loop(self, pipe: _Pipe, conn_index: int) -> None:
+        rng = substream(self.config.seed, f"chaos-conn-{conn_index}")
+        cfg = self.config
+        buffer = bytearray()
+        held: Optional[bytes] = None
+        frame_index = 0
+        try:
+            while pipe.alive:
+                try:
+                    data = pipe.client.recv(65536)
+                except OSError:
+                    break
+                if not data:
+                    break
+                buffer.extend(data)
+                for frame in split_frames(buffer):
+                    with self._lock:
+                        self.stats.frames += 1
+                    frame_index += 1
+                    u = rng.random()
+                    edge = cfg.reset_prob
+                    if u < edge:
+                        with self._lock:
+                            self.stats.resets += 1
+                        pipe.kill()
+                        return
+                    edge += cfg.partial_prob
+                    if u < edge:
+                        # Tear the frame: a strict prefix, then RST.
+                        cut = 1 + int(rng.random() * (len(frame) - 1))
+                        with self._lock:
+                            self.stats.partials += 1
+                        self._forward(pipe, frame[:cut])
+                        pipe.kill()
+                        return
+                    edge += cfg.dup_prob
+                    if u < edge:
+                        with self._lock:
+                            self.stats.dups += 1
+                        if not self._forward(pipe, frame + frame):
+                            return
+                        continue
+                    edge += cfg.reorder_prob
+                    # Never hold a connection's first frame: that is the
+                    # HELLO, and displacing it would make the server
+                    # refuse the unannounced traffic in front of it on
+                    # every single reconnect — a livelock, not a fault.
+                    if u < edge and held is None and frame_index > 1:
+                        # Hold this frame; it goes out after the next.
+                        with self._lock:
+                            self.stats.reorders += 1
+                        held = frame
+                        continue
+                    edge += cfg.delay_prob
+                    if u < edge:
+                        with self._lock:
+                            self.stats.delays += 1
+                        threading.Event().wait(rng.random() * cfg.max_delay_s)
+                    out = frame if held is None else frame + held
+                    held = None
+                    if not self._forward(pipe, out):
+                        return
+            # Client went away cleanly: flush anything held back plus
+            # unparseable tail bytes, then pass the EOF upstream.
+            tail = (held or b"") + bytes(buffer)
+            if tail:
+                self._forward(pipe, tail)
+        finally:
+            pipe.kill(abrupt=False)
+
+    # -- server -> client: forwarded verbatim -----------------------------------
+
+    def _downstream_loop(self, pipe: _Pipe) -> None:
+        try:
+            while pipe.alive:
+                try:
+                    data = pipe.upstream.recv(65536)
+                except OSError:
+                    break
+                if not data:
+                    break
+                try:
+                    pipe.client.sendall(data)
+                except OSError:
+                    break
+                with self._lock:
+                    self.stats.bytes_downstream += len(data)
+        finally:
+            pipe.kill(abrupt=False)
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pipes = list(self._pipes)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        for pipe in pipes:
+            pipe.kill(abrupt=False)
+
+    def __enter__(self) -> "ChaosProxy":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

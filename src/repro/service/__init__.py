@@ -21,6 +21,7 @@ from repro.service.crashsim import (
     FLEET_KILL_POINTS,
     INGEST_KILL_POINTS,
     KILL_POINTS,
+    NET_KILL_POINTS,
     TORN_POINTS,
     CrashInjector,
     CrashPlan,
@@ -76,6 +77,7 @@ __all__ = [
     "KILL_POINTS",
     "LiveTraceSource",
     "LoadedCheckpoint",
+    "NET_KILL_POINTS",
     "ResultJournal",
     "ServiceConfig",
     "ServiceReport",

@@ -90,6 +90,20 @@ ENDURANCE_KILL_POINTS: Tuple[str, ...] = (
     "after-ingest-snapshot",  # ingest watermark checkpoint committed
 )
 
+#: Kill-points inside the network sender (:mod:`repro.net.sender`),
+#: reached at connect/send/ack boundaries.  Their ``chunk`` coordinate is
+#: the sender's frame counter at the moment the point is reached, so a
+#: plan can kill a sender at *every* frame boundary of a given record
+#: set.  Killing here models a collector process dying mid-push; the
+#: reconnect-with-resume protocol plus receiver-side dedup must keep
+#: sealed chunks byte-identical regardless of which boundary died.
+NET_KILL_POINTS: Tuple[str, ...] = (
+    "net-connect",  # WELCOME processed, resume state applied
+    "net-before-send",  # batch chosen, DATA frame not yet on the wire
+    "net-after-send",  # DATA frame sent, ack not yet received
+    "net-after-ack",  # an ACK/WELCOME was applied (pending pruned)
+)
+
 #: Kill-points whose fault family is a torn write (prefix of the payload).
 TORN_POINTS: Tuple[str, ...] = ("mid-journal", "mid-checkpoint", "mid-compact")
 
@@ -122,6 +136,7 @@ class CrashPlan:
             + INGEST_KILL_POINTS
             + FLEET_KILL_POINTS
             + ENDURANCE_KILL_POINTS
+            + NET_KILL_POINTS
         )
         if self.point not in known:
             raise ServiceError(

@@ -33,6 +33,15 @@ pipeline state directories:
     The fleet-rollup view with sketch error bars: blame is reported as
     ``score (±error)`` so an operator can tell exact tallies from
     budget-bounded ones.
+``transport``
+    The network ingestion plane: per-pipeline reconnect/disconnect/retry
+    counters from the checkpointed stats payload, and — when a live
+    :class:`~repro.net.server.SocketIngestServer` is attached via
+    :meth:`HealthRegistry.attach_transport` — per-stream connection
+    state, acked sequence, buffered depth, and heartbeat age straight
+    from the accept loop.  The disk half works on a dead deployment like
+    every other report; the live half exists because peer liveness is
+    the one thing bytes on disk cannot show.
 
 Use :class:`HealthRegistry` pointed at a single service ``state_dir`` or
 at a fleet root (its ``pipelines/*`` children are discovered); ``render``
@@ -141,6 +150,21 @@ class HealthRegistry:
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root)
         self._pipelines: Optional[Dict[str, PipelineHealth]] = None
+        #: pipeline name -> live ingest server (duck-typed: anything
+        #: with ``transport_stats()``), see :meth:`attach_transport`.
+        self._transports: Dict[str, object] = {}
+
+    def attach_transport(self, pipeline: str, server) -> None:
+        """Attach a live ingest server so the ``transport`` report can
+        show per-stream connection state alongside the on-disk counters.
+
+        ``server`` is duck-typed — it needs a ``transport_stats()``
+        returning ``{stream: {state, acked_seq, buffered, eos,
+        heartbeat_age_s, connects}}`` (the shape
+        :meth:`repro.net.server.SocketIngestServer.transport_stats`
+        produces).  Detached registries render the disk half only.
+        """
+        self._transports[pipeline] = server
 
     def _discover(self) -> Dict[str, Tuple[str, Path]]:
         fleet = self.root / "pipelines"
@@ -338,6 +362,61 @@ def _memory_trend(registry: HealthRegistry) -> str:
             "journal_logical_B",
             "segments",
             "bytes_reclaimed",
+        ],
+        rows,
+    )
+
+
+@_register("transport", "network", "push-transport connection and resume state")
+def _transport(registry: HealthRegistry) -> str:
+    rows = []
+    for name, p in sorted(registry.pipelines().items()):
+        stats = p.stats
+        server = registry._transports.get(name)
+        if server is None:
+            rows.append(
+                [
+                    name,
+                    "-",
+                    "(offline)",
+                    "-",
+                    "-",
+                    "-",
+                    str(int(stats.get("ingest_reconnects", 0))),
+                    str(int(stats.get("ingest_disconnects", 0))),
+                    str(int(stats.get("ingest_transport_failures", 0))),
+                    str(int(stats.get("ingest_retries", 0))),
+                ]
+            )
+            continue
+        for stream, info in sorted(server.transport_stats().items()):
+            age = info.get("heartbeat_age_s")
+            rows.append(
+                [
+                    name,
+                    stream,
+                    str(info.get("state", "?")),
+                    str(info.get("acked_seq", -1)),
+                    str(info.get("buffered", 0)),
+                    f"{age:.1f}s" if age is not None else "-",
+                    str(int(stats.get("ingest_reconnects", 0))),
+                    str(int(stats.get("ingest_disconnects", 0))),
+                    str(int(stats.get("ingest_transport_failures", 0))),
+                    str(int(stats.get("ingest_retries", 0))),
+                ]
+            )
+    return _table(
+        [
+            "pipeline",
+            "stream",
+            "state",
+            "acked_seq",
+            "buffered",
+            "hb_age",
+            "reconnects",
+            "disconnects",
+            "xport_fails",
+            "retries",
         ],
         rows,
     )

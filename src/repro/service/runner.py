@@ -62,6 +62,7 @@ from repro.service.journal import (
     tally_record,
 )
 from repro.service.source import FixedTraceSource, trace_fingerprint
+from repro.util.retry import RetryPolicy, backoff_delay, retry_call
 from repro.util.rng import substream
 
 # v3: sketch-backed aggregation (tally_budget joins the fingerprint —
@@ -213,6 +214,7 @@ class ServiceStats:
     ingest_gaps: int = 0
     ingest_quarantined: int = 0
     ingest_transport_failures: int = 0
+    ingest_disconnects: int = 0
     ingest_retries: int = 0
     ingest_reconnects: int = 0
     ingest_sheds: int = 0
@@ -382,6 +384,11 @@ class DiagnosisService:
         self._tally_ref: Optional[int] = None
         self._fingerprint = config.fingerprint(self.source)
         self._rng = substream(config.jitter_seed, "service-backoff")
+        self._retry_policy = RetryPolicy(
+            max_retries=config.max_retries,
+            base_s=config.backoff_base_s,
+            cap_s=config.backoff_cap_s,
+        )
         # Engine worker counters are absolute per engine instance; the
         # service accumulates deltas so they survive engine re-opens.
         self._worker_failures_seen = 0
@@ -543,35 +550,42 @@ class DiagnosisService:
     # -- per-chunk protocol -----------------------------------------------------
 
     def _backoff(self, attempt: int) -> float:
-        delay = min(
-            self.config.backoff_cap_s,
-            self.config.backoff_base_s * (2.0**attempt),
-        )
-        return delay * (0.5 + float(self._rng.random()))
+        return backoff_delay(self._retry_policy, attempt, self._rng)
 
     def _diagnose_with_retry(self, index: int, victims: List[Victim]):
         """Retry transient chunk failures with jittered backoff.
 
         Catches ``Exception`` only: :class:`SimulatedCrash` (and real
-        SIGKILL) are BaseException and always unwind the process.
+        SIGKILL) are BaseException and always unwind the process.  The
+        jitter comes from the checkpointed RNG via the shared
+        :mod:`repro.util.retry` helper, so restored runs replay the
+        identical delay schedule.
         """
-        attempt = 0
-        while True:
-            try:
-                if self.flaky is not None and self.flaky.should_fail(index):
-                    raise TransientError(f"injected transient failure in chunk {index}")
-                return self.stream.diagnose_chunk(index, victims=victims)
-            except Exception as exc:
-                self.stats.transient_failures += 1
-                if attempt >= self.config.max_retries:
-                    raise ServiceError(
-                        f"chunk {index} failed after {attempt + 1} attempts: {exc}"
-                    ) from exc
-                delay = self._backoff(attempt)
-                self.stats.retries += 1
-                self.stats.backoff_total_s += delay
-                self.sleep(delay)
-                attempt += 1
+
+        def attempt_chunk():
+            if self.flaky is not None and self.flaky.should_fail(index):
+                raise TransientError(f"injected transient failure in chunk {index}")
+            return self.stream.diagnose_chunk(index, victims=victims)
+
+        def on_failure(exc: BaseException, attempt: int) -> None:
+            self.stats.transient_failures += 1
+
+        def on_retry(delay: float) -> None:
+            self.stats.retries += 1
+            self.stats.backoff_total_s += delay
+
+        return retry_call(
+            attempt_chunk,
+            self._retry_policy,
+            self._rng,
+            sleep=self.sleep,
+            retry_on=Exception,
+            on_failure=on_failure,
+            on_retry=on_retry,
+            give_up=lambda exc, attempts: ServiceError(
+                f"chunk {index} failed after {attempts} attempts: {exc}"
+            ),
+        )
 
     def _harvest_worker_stats(self) -> None:
         engine = self.stream.engine

@@ -206,6 +206,7 @@ class LiveTraceSource:
             {
                 "records_pulled": feed.records,
                 "transport_failures": feed.transport_failures,
+                "disconnects": feed.disconnects,
                 "retries": feed.retries,
                 "reconnects": feed.reconnects,
                 "sheds": feed.sheds,

@@ -6,6 +6,7 @@ from repro.util.atomicio import (
     fsync_dir,
     sweep_temp_files,
 )
+from repro.util.retry import RetryPolicy, backoff_delay, retry_call
 from repro.util.rng import generator, substream
 from repro.util.stats import (
     RollingStats,
@@ -35,8 +36,11 @@ __all__ = [
     "MSEC",
     "SEC",
     "USEC",
+    "RetryPolicy",
     "RollingStats",
     "Summary",
+    "backoff_delay",
+    "retry_call",
     "Welford",
     "argsort_desc",
     "atomic_write_bytes",

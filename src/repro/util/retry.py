@@ -1,0 +1,94 @@
+"""Shared retry policy: jittered exponential backoff over an explicit RNG.
+
+Three subsystems retry transient failures the same way — the ingest feed
+around transport pulls, the diagnosis service around chunk attempts, and
+the network sender around reconnects — and all three need the *same*
+determinism property: the backoff jitter comes from a caller-owned
+checkpointed RNG, so a crash-restarted process that restores the RNG
+state replays the identical delay schedule.  This module is that one
+implementation.
+
+The contract that keeps restored runs bit-identical:
+
+* :func:`backoff_delay` draws **exactly one** ``rng.random()`` per call —
+  callers checkpoint the RNG's bit-generator state, so the draw count per
+  retry is part of the on-disk format and must never change;
+* the delay formula is ``min(cap, base * 2**attempt) * (0.5 + u)`` with
+  ``u`` uniform in [0, 1) — the exact formula the feed and the service
+  shipped with, preserved so existing checkpoints and seeded soak tests
+  replay unchanged.
+
+:class:`RetryPolicy` is pure configuration (safe to share across
+components); the RNG and the failure accounting stay with the caller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Type, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Jittered-exponential-backoff parameters (pure config, no state)."""
+
+    #: Re-attempts after the first failure (total attempts = retries + 1).
+    max_retries: int = 8
+    #: First backoff delay, seconds (doubled each further attempt).
+    base_s: float = 0.01
+    #: Backoff ceiling, seconds (the exponential saturates here).
+    cap_s: float = 1.0
+
+
+def backoff_delay(policy: RetryPolicy, attempt: int, rng) -> float:
+    """Delay before re-attempt ``attempt`` (0-based), jittered by ``rng``.
+
+    Draws exactly one ``rng.random()`` — see the module contract.
+    """
+    delay = min(policy.cap_s, policy.base_s * (2.0 ** attempt))
+    return delay * (0.5 + float(rng.random()))
+
+
+def retry_call(
+    fn: Callable[[], T],
+    policy: RetryPolicy,
+    rng,
+    sleep: Optional[Callable[[float], None]] = None,
+    retry_on: Type[BaseException] = Exception,
+    on_failure: Optional[Callable[[BaseException, int], None]] = None,
+    on_retry: Optional[Callable[[float], None]] = None,
+    give_up: Optional[Callable[[BaseException, int], Exception]] = None,
+) -> T:
+    """Call ``fn`` until it succeeds or the retry budget is exhausted.
+
+    ``retry_on`` bounds what is retried; anything else — including
+    :class:`BaseException` crashes like
+    :class:`~repro.service.crashsim.SimulatedCrash` — propagates
+    immediately, preserving the crash-only discipline.
+
+    ``on_failure(exc, attempt)`` fires on *every* caught failure (the
+    caller's accounting hook, e.g. counting transport failures and
+    triggering a reconnect); ``on_retry(delay)`` fires only when a retry
+    is actually scheduled, with the jittered delay about to be slept.
+    When the budget is gone, ``give_up(exc, attempts)`` builds the
+    terminal exception (default: re-raise the last failure).
+    """
+    attempt = 0
+    while True:
+        try:
+            return fn()
+        except retry_on as exc:
+            if on_failure is not None:
+                on_failure(exc, attempt)
+            if attempt >= policy.max_retries:
+                if give_up is not None:
+                    raise give_up(exc, attempt + 1) from exc
+                raise
+            delay = backoff_delay(policy, attempt, rng)
+            if on_retry is not None:
+                on_retry(delay)
+            if sleep is not None:
+                sleep(delay)
+            attempt += 1

@@ -158,6 +158,48 @@ class TestRetryReconnect:
             assert 0.5 * nominal <= delay <= 1.5 * nominal
         assert sleeps[2] > sleeps[0]
 
+    def test_peer_gone_counted_as_disconnect_not_failure(self):
+        """The failure taxonomy: absence (PeerGone — EOF, dead peer,
+        dropped connection) and corruption/errors (TransportError) land
+        in separate FeedStats counters, so an operator can tell a flappy
+        peer from a damaged wire."""
+        from repro.errors import PeerGone
+
+        class _DeadPeerTransport(_AlwaysFailTransport):
+            def pull(self, stream, max_n):
+                raise PeerGone("peer went away")
+
+        feed = TelemetryFeed(
+            _DeadPeerTransport(), FeedConfig(max_retries=2),
+            sleep=lambda s: None,
+        )
+        with pytest.raises(IngestError):
+            feed.pump()
+        assert feed.stats.disconnects == 3
+        assert feed.stats.transport_failures == 0
+
+    def test_flaky_disconnected_state_is_peer_gone(self):
+        """FlakyTransport's dropped-connection state raises PeerGone
+        (absence), distinct from its injected TransportError pulls."""
+        from repro.errors import PeerGone
+
+        transport = FlakyTransport(SimTransport(hop_burst("a", 4)))
+        transport._connected = False
+        with pytest.raises(PeerGone):
+            transport.pull("a", 4)
+
+    def test_feed_stats_payload_tolerates_missing_new_fields(self):
+        """Snapshots written before the disconnects counter existed must
+        still restore (the field defaults) — FeedStats payload layout is
+        part of the ingest-checkpoint on-disk format."""
+        from repro.ingest.feed import FeedStats
+
+        payload = FeedStats(records=7, transport_failures=2).to_payload()
+        del payload["disconnects"]
+        restored = FeedStats.from_payload(payload)
+        assert restored.records == 7
+        assert restored.disconnects == 0
+
 
 class TestStallTracking:
     def test_silent_stream_counts_as_stalled(self):

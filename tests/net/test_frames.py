@@ -1,0 +1,169 @@
+"""Wire protocol: framing round-trips, damage detection, boundary splits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import FrameError
+from repro.ingest import emit_record, exit_record, hop_record
+from repro.net import (
+    FRAME_ACK,
+    FRAME_DATA,
+    FRAME_EOS,
+    FRAME_HEARTBEAT,
+    FRAME_HELLO,
+    FRAME_WELCOME,
+    MAX_FRAME_BYTES,
+    FrameDecoder,
+    encode_frame,
+    records_from_payload,
+    records_to_payload,
+    split_frames,
+)
+from repro.net.frames import HEADER_BYTES, MAGIC
+
+
+def sample_records(stream: str = "a", n: int = 5):
+    records = []
+    for seq in range(n):
+        t = 1000 + seq * 10
+        if seq == 0:
+            records.append(emit_record(stream, seq, t, seq, (1, 2, 3, 4)))
+        elif seq == n - 1:
+            records.append(exit_record(stream, seq, t, seq))
+        else:
+            records.append(
+                hop_record(
+                    stream, seq, seq,
+                    arrival_ns=t, read_ns=t + 1, depart_ns=t + 2,
+                )
+            )
+    return records
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "frame_type,payload",
+        [
+            (FRAME_HELLO, {"streams": ["a", "b"], "sender": "s1"}),
+            (FRAME_WELCOME, {"acked": {"a": 3}, "credit": {"a": 100}}),
+            (FRAME_ACK, {"acked": {"a": -1}, "credit": {"a": 0}}),
+            (FRAME_HEARTBEAT, {}),
+            (FRAME_EOS, {"s": "a", "final_seq": 12}),
+        ],
+    )
+    def test_control_frames(self, frame_type, payload):
+        decoder = FrameDecoder()
+        decoder.feed(encode_frame(frame_type, payload))
+        frame = decoder.next_frame()
+        assert frame.type == frame_type
+        assert frame.payload == payload
+        assert decoder.next_frame() is None
+        assert decoder.pending_bytes == 0
+
+    def test_data_records_round_trip(self):
+        records = sample_records("nat1", 7)
+        wire = encode_frame(FRAME_DATA, records_to_payload("nat1", records))
+        decoder = FrameDecoder()
+        decoder.feed(wire)
+        frame = decoder.next_frame()
+        stream, decoded = records_from_payload(frame.payload)
+        assert stream == "nat1"
+        assert decoded == records
+
+    def test_byte_at_a_time_reassembly(self):
+        frames = [
+            encode_frame(FRAME_HEARTBEAT, {}),
+            encode_frame(FRAME_DATA, records_to_payload("a", sample_records())),
+            encode_frame(FRAME_EOS, {"s": "a", "final_seq": 5}),
+        ]
+        decoder = FrameDecoder()
+        seen = []
+        for byte in b"".join(frames):
+            decoder.feed(bytes([byte]))
+            frame = decoder.next_frame()
+            if frame is not None:
+                seen.append(frame.type)
+        assert seen == [FRAME_HEARTBEAT, FRAME_DATA, FRAME_EOS]
+        assert decoder.frames == 3
+
+    def test_canonical_encoding_is_deterministic(self):
+        records = sample_records("a", 3)
+        a = encode_frame(FRAME_DATA, records_to_payload("a", records))
+        b = encode_frame(FRAME_DATA, records_to_payload("a", records))
+        assert a == b
+
+
+class TestDamageDetection:
+    def test_bad_magic(self):
+        wire = bytearray(encode_frame(FRAME_HEARTBEAT, {}))
+        wire[0] ^= 0xFF
+        decoder = FrameDecoder()
+        decoder.feed(bytes(wire))
+        with pytest.raises(FrameError, match="magic"):
+            decoder.next_frame()
+
+    def test_flipped_payload_byte_fails_crc(self):
+        wire = bytearray(
+            encode_frame(FRAME_DATA, records_to_payload("a", sample_records()))
+        )
+        wire[HEADER_BYTES + 4] ^= 0x01
+        decoder = FrameDecoder()
+        decoder.feed(bytes(wire))
+        with pytest.raises(FrameError, match="CRC"):
+            decoder.next_frame()
+
+    def test_flipped_type_byte_fails_crc(self):
+        wire = bytearray(encode_frame(FRAME_HEARTBEAT, {}))
+        wire[len(MAGIC)] = FRAME_EOS  # valid type, wrong CRC now
+        decoder = FrameDecoder()
+        decoder.feed(bytes(wire))
+        with pytest.raises(FrameError, match="CRC"):
+            decoder.next_frame()
+
+    def test_oversized_length_rejected_before_buffering(self):
+        import struct
+
+        header = MAGIC + struct.pack(">BLL", FRAME_DATA, MAX_FRAME_BYTES + 1, 0)
+        decoder = FrameDecoder()
+        decoder.feed(header)
+        with pytest.raises(FrameError, match="ceiling"):
+            decoder.next_frame()
+
+    def test_truncated_frame_waits_instead_of_erroring(self):
+        wire = encode_frame(FRAME_DATA, records_to_payload("a", sample_records()))
+        decoder = FrameDecoder()
+        decoder.feed(wire[:-3])
+        assert decoder.next_frame() is None  # incomplete, not damaged
+        decoder.feed(wire[-3:])
+        assert decoder.next_frame().type == FRAME_DATA
+
+    def test_malformed_data_payload(self):
+        with pytest.raises(FrameError, match="malformed"):
+            records_from_payload({"s": "a", "r": [[0, 99, 1, 2, []]]})
+        with pytest.raises(FrameError, match="malformed"):
+            records_from_payload({"r": []})
+
+
+class TestSplitFrames:
+    def test_splits_exact_boundaries(self):
+        frames = [
+            encode_frame(FRAME_HEARTBEAT, {}),
+            encode_frame(FRAME_DATA, records_to_payload("a", sample_records())),
+        ]
+        buffer = bytearray(b"".join(frames))
+        assert split_frames(buffer) == frames
+        assert buffer == bytearray()
+
+    def test_partial_tail_left_in_buffer(self):
+        whole = encode_frame(FRAME_HEARTBEAT, {})
+        partial = encode_frame(FRAME_EOS, {"s": "a", "final_seq": 1})[:-2]
+        buffer = bytearray(whole + partial)
+        assert split_frames(buffer) == [whole]
+        assert bytes(buffer) == partial
+
+    def test_unparseable_bytes_passed_as_opaque_blob(self):
+        garbage = b"\x00" * 40
+        buffer = bytearray(garbage)
+        assert split_frames(buffer) == [garbage]
+        assert buffer == bytearray()

@@ -1,0 +1,122 @@
+"""The transport health report and the fleet's per-pipeline listeners."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.records import DiagTrace
+from repro.ingest import FeedConfig, IngestConfig
+from repro.net import RecordSender, SenderConfig, ServerConfig, SocketIngestServer
+from repro.fleet import FleetListeners
+from repro.nfv.tap import LiveRecordTap
+from repro.service import DiagnosisService, HealthRegistry, ServiceConfig
+from repro.util.timebase import MSEC, USEC
+from tests.conftest import make_chain_topology, run_interrupt_chain
+from tests.net.test_resume import (
+    sender_thread,
+    service_config,
+    socket_source,
+)
+
+
+@pytest.fixture(scope="module")
+def tapped():
+    tap = LiveRecordTap()
+    run_interrupt_chain(duration_ns=12 * MSEC, extra_hooks=[tap])
+    return tap.records
+
+
+class TestTransportReport:
+    def test_offline_rows_from_state_dir_bytes(self, tapped, tmp_path):
+        streams = sorted({r.stream for r in tapped})
+        with SocketIngestServer(streams) as server:
+            thread = sender_thread(server.address, tapped)
+            service = DiagnosisService(
+                socket_source(server), service_config(tmp_path)
+            )
+            service.run()
+            thread.join(timeout=60)
+        registry = HealthRegistry(tmp_path / "state")
+        rendered = registry.render("transport")
+        assert "(offline)" in rendered  # no live server attached
+        assert "reconnects" in rendered
+        # Part of render_all alongside every other report.
+        assert "transport" in registry.render_all()
+
+    def test_live_rows_when_server_attached(self, tapped, tmp_path):
+        streams = sorted({r.stream for r in tapped})
+        with SocketIngestServer(streams) as server:
+            thread = sender_thread(server.address, tapped)
+            service = DiagnosisService(
+                socket_source(server), service_config(tmp_path)
+            )
+            service.run()
+            thread.join(timeout=60)
+            registry = HealthRegistry(tmp_path / "state")
+            registry.attach_transport("state", server)
+            rendered = registry.render("transport")
+            for stream in streams:
+                assert stream in rendered
+            assert "(offline)" not in rendered
+            # The acked sequences in the report are the real cursors.
+            stats = server.transport_stats()
+            assert str(stats[streams[0]]["acked_seq"]) in rendered
+
+
+class TestFleetListeners:
+    def test_one_server_per_pipeline_with_sources(self, tmp_path):
+        topo = make_chain_topology()
+        listeners = FleetListeners(
+            {"east": topo, "west": make_chain_topology()},
+            IngestConfig(chunk_ns=1 * MSEC, seal_margin_ns=5 * MSEC),
+        )
+        with listeners:
+            assert sorted(listeners.addresses) == ["east", "west"]
+            east, west = (
+                listeners.addresses["east"],
+                listeners.addresses["west"],
+            )
+            assert east != west  # isolated listeners, isolated failure domains
+            factory = listeners.source_factory("east")
+            first, second = factory(), factory()
+            assert first is not second  # fresh feed+builder per (re)start
+            assert first.feed.transport.server is listeners.servers["east"]
+            registry = HealthRegistry(tmp_path)
+            listeners.attach_to(registry)
+            assert registry._transports["west"] is listeners.servers["west"]
+            stats = listeners.transport_stats()
+            assert set(stats) == {"east", "west"}
+            assert stats["east"]["nat1"]["state"] == "never"
+
+    def test_unix_domain_listeners(self, tmp_path):
+        listeners = FleetListeners(
+            {"p0": make_chain_topology()},
+            IngestConfig(chunk_ns=1 * MSEC, seal_margin_ns=5 * MSEC),
+            socket_dir=tmp_path,
+        )
+        with listeners:
+            address = listeners.addresses["p0"]
+            assert str(address).endswith("p0.sock")
+
+    def test_listener_feeds_a_pipeline_end_to_end(self, tapped, tmp_path):
+        listeners = FleetListeners(
+            {"solo": make_chain_topology()},
+            IngestConfig(chunk_ns=1 * MSEC, seal_margin_ns=5 * MSEC),
+        )
+        with listeners:
+            thread = sender_thread(listeners.addresses["solo"], tapped)
+            service = DiagnosisService(
+                listeners.source_factory("solo")(),
+                ServiceConfig(
+                    state_dir=tmp_path / "state",
+                    chunk_ns=1 * MSEC,
+                    margin_ns=5 * MSEC,
+                    victim_threshold_ns=300 * USEC,
+                    durable=False,
+                ),
+            )
+            report = service.run()
+            thread.join(timeout=60)
+        assert report.n_chunks > 0

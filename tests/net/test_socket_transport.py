@@ -1,0 +1,248 @@
+"""SocketIngestServer + RecordSender: the pull contract over real sockets.
+
+End-to-end invariant: a feed + builder over the socket transport sees
+the exact record sequence a SimTransport run sees — same sealed chunks,
+same ingest stats, zero builder-level duplicates — because the server
+dedups and reorders behind the pull interface.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import IngestError, PeerGone
+from repro.ingest import (
+    FeedConfig,
+    IncrementalTrace,
+    IngestConfig,
+    SimTransport,
+    TelemetryFeed,
+    hop_record,
+)
+from repro.net import (
+    FRAME_HELLO,
+    RecordSender,
+    SenderConfig,
+    ServerConfig,
+    SocketIngestServer,
+    encode_frame,
+)
+
+
+def burst(stream: str, n: int, start_ns: int = 0, step_ns: int = 10):
+    return [
+        hop_record(
+            stream, seq, seq,
+            arrival_ns=start_ns + seq * step_ns,
+            read_ns=start_ns + seq * step_ns + 1,
+            depart_ns=start_ns + seq * step_ns + 2,
+        )
+        for seq in range(n)
+    ]
+
+
+def drain_all(feed: TelemetryFeed):
+    """Pump + pop until every stream is at EOS; returns records per stream."""
+    out = {name: [] for name in feed.buffers}
+    idle = 0
+    while not feed.exhausted():
+        progressed = feed.pump()
+        popped = 0
+        for name, buffer in feed.buffers.items():
+            while buffer:
+                out[name].append(buffer.pop())
+                popped += 1
+        idle = 0 if (progressed or popped) else idle + 1
+        assert idle < 20_000, "feed stalled"
+    return out
+
+
+def send_async(address, records, **config_kwargs):
+    streams = sorted({r.stream for r in records})
+    config_kwargs.setdefault("jitter_seed", 5)
+    done = {}
+
+    def run():
+        sender = RecordSender(address, streams, SenderConfig(**config_kwargs))
+        sender.push_all(records)
+        sender.finish()
+        sender.close()
+        done["stats"] = sender.stats
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    return thread, done
+
+
+class TestEndToEnd:
+    @pytest.mark.parametrize("family", ["tcp", "unix"])
+    def test_delivery_matches_sim_transport(self, family, tmp_path):
+        records = burst("a", 400) + burst("b", 150)
+        if family == "unix":
+            server = SocketIngestServer(["a", "b"], path=tmp_path / "ingest.sock")
+        else:
+            server = SocketIngestServer(["a", "b"])
+        with server:
+            thread, done = send_async(server.address, records)
+            live = drain_all(TelemetryFeed(server.transport(), FeedConfig()))
+            thread.join(timeout=30)
+            assert "stats" in done, "sender did not finish"
+        ref = drain_all(TelemetryFeed(SimTransport(records), FeedConfig()))
+        assert live == ref
+        assert done["stats"].records_acked == len(records)
+
+    def test_sealed_chunks_match_offline(self):
+        records = burst("a", 2000, step_ns=500) + burst("b", 2000, step_ns=500)
+        config = IngestConfig(chunk_ns=100_000, seal_margin_ns=50_000)
+
+        def build(transport):
+            feed = TelemetryFeed(transport, FeedConfig())
+            builder = IncrementalTrace(
+                packets={}, nfs={}, upstreams={}, sources={"a", "b"},
+                config=config,
+            )
+            idle = 0
+            while not builder.complete:
+                progressed = feed.pump() or builder.ingest(feed)
+                idle = 0 if progressed else idle + 1
+                assert idle < 20_000, "stalled"
+            return builder
+
+        with SocketIngestServer(["a", "b"]) as server:
+            thread, done = send_async(server.address, records)
+            live = build(server.transport())
+            thread.join(timeout=30)
+            assert "stats" in done
+        ref = build(SimTransport(records))
+        assert live.sealed_chunks() == ref.sealed_chunks()
+        assert live.ingest_stats() == ref.ingest_stats()
+        assert live.ingest_stats()["duplicates"] == 0
+
+
+class TestBackpressure:
+    def test_server_memory_bounded_by_credit(self):
+        # A feed that never pulls: the server must hold at most
+        # `capacity` records per stream no matter how many the sender
+        # has queued — the rest wait (unacked) at the sender.
+        records = burst("a", 5000)
+        with SocketIngestServer(
+            ["a"], config=ServerConfig(capacity=128)
+        ) as server:
+            sender = RecordSender(
+                server.address, ["a"],
+                SenderConfig(jitter_seed=1, ack_timeout_s=0.1,
+                             backoff_base_s=0.001, backoff_cap_s=0.01),
+            )
+            sender.push_all(records)
+            for _ in range(6):
+                try:
+                    sender.pump()
+                except PeerGone:
+                    pytest.fail("server vanished under backpressure")
+            state = server.transport_stats()["a"]
+            assert state["buffered"] <= 128
+            assert sender.pending_records() >= 5000 - 128
+            # Now drain: credit flows back and everything arrives.
+            transport = server.transport()
+            got = []
+            deadline = time.monotonic() + 30
+            while len(got) < 5000:
+                got.extend(transport.pull("a", 512))
+                try:
+                    sender.pump()
+                except PeerGone:
+                    pass
+                assert time.monotonic() < deadline, "drain stalled"
+            assert [r.seq for r in got] == list(range(5000))
+            sender.close()
+
+
+class TestTransportContract:
+    def test_reset_refuses(self):
+        with SocketIngestServer(["a"]) as server:
+            with pytest.raises(IngestError, match="cannot replay"):
+                server.transport().reset()
+
+    def test_pull_after_close_raises_peer_gone(self):
+        server = SocketIngestServer(["a"])
+        transport = server.transport()
+        server.close()
+        with pytest.raises(PeerGone):
+            transport.pull("a", 10)
+
+    def test_streams_sorted_and_at_eos_progression(self):
+        records = burst("b", 3) + burst("a", 3)
+        with SocketIngestServer(["b", "a"]) as server:
+            transport = server.transport()
+            assert transport.streams() == ("a", "b")
+            assert not transport.at_eos("a")
+            thread, done = send_async(server.address, records)
+            got = {"a": [], "b": []}
+            deadline = time.monotonic() + 30
+            while not (transport.at_eos("a") and transport.at_eos("b")):
+                for name in got:
+                    got[name].extend(transport.pull(name, 16))
+                assert time.monotonic() < deadline, "EOS never reached"
+            thread.join(timeout=10)
+            assert [r.seq for r in got["a"]] == [0, 1, 2]
+            assert [r.seq for r in got["b"]] == [0, 1, 2]
+
+
+class TestPeerLiveness:
+    def test_silent_peer_reported_dead(self):
+        with SocketIngestServer(
+            ["a"], config=ServerConfig(heartbeat_timeout_s=0.05)
+        ) as server:
+            raw = socket.create_connection(server.address, timeout=5)
+            raw.sendall(
+                encode_frame(FRAME_HELLO, {"streams": ["a"], "sender": "t"})
+            )
+            deadline = time.monotonic() + 5
+            while server.transport_stats()["a"]["state"] == "never":
+                assert time.monotonic() < deadline
+                time.sleep(0.005)
+            time.sleep(0.1)  # exceed the heartbeat timeout, silently
+            assert server.transport_stats()["a"]["state"] == "dead"
+            assert server.dead_streams() == ("a",)
+            raw.close()
+
+    def test_heartbeats_keep_peer_live(self):
+        records = burst("a", 10)
+        with SocketIngestServer(
+            ["a"], config=ServerConfig(heartbeat_timeout_s=0.4)
+        ) as server:
+            sender = RecordSender(
+                server.address, ["a"],
+                SenderConfig(jitter_seed=2, heartbeat_interval_s=0.05),
+            )
+            sender.push_all(records)
+            deadline = time.monotonic() + 5
+            while sender.pending_records() > 0:
+                sender.pump()
+                assert time.monotonic() < deadline
+            transport = server.transport()
+            got = transport.pull("a", 100)
+            assert len(got) == 10
+            # Idle but heartbeating: stays live well past several
+            # heartbeat intervals.
+            for _ in range(5):
+                sender.pump()
+                time.sleep(0.06)
+            assert server.transport_stats()["a"]["state"] == "live"
+            assert server.stats.heartbeats > 0
+            sender.close()
+
+    def test_hello_with_unknown_stream_refused(self):
+        with SocketIngestServer(["a"]) as server:
+            sender = RecordSender(
+                server.address, ["zz"],
+                SenderConfig(jitter_seed=3, max_retries=1,
+                             backoff_base_s=0.001, ack_timeout_s=0.3),
+            )
+            with pytest.raises(PeerGone):
+                sender.connect()
+            sender.close()

@@ -1,0 +1,146 @@
+"""The shared retry helper: draw discipline, filtering, hooks.
+
+The contract under test is stronger than "it retries": the jitter
+formula and its exactly-one-draw-per-retry discipline are an on-disk
+format — checkpointed RNG state replays through this code, so any extra
+or missing draw would silently fork a resumed run's schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import IngestError, TransportError
+from repro.util import RetryPolicy, backoff_delay, retry_call, substream
+
+
+class TestBackoffDelay:
+    def test_formula_and_one_draw_per_call(self):
+        policy = RetryPolicy(base_s=0.1, cap_s=10.0)
+        rng = substream(7, "retry-test")
+        ref = substream(7, "retry-test")
+        for attempt in range(6):
+            delay = backoff_delay(policy, attempt, rng)
+            nominal = min(10.0, 0.1 * (2.0**attempt))
+            assert delay == nominal * (0.5 + ref.random())
+
+    def test_cap_applies_before_jitter(self):
+        policy = RetryPolicy(base_s=1.0, cap_s=2.0)
+        rng = substream(0, "cap")
+        assert backoff_delay(policy, 10, rng) <= 2.0 * 1.5
+
+
+class TestRetryCall:
+    def test_success_after_failures(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransportError("flap")
+            return "ok"
+
+        assert (
+            retry_call(
+                flaky,
+                RetryPolicy(max_retries=8),
+                substream(1, "t"),
+                sleep=sleeps.append,
+                retry_on=TransportError,
+            )
+            == "ok"
+        )
+        assert len(calls) == 3
+        assert len(sleeps) == 2  # no sleep after the success
+
+    def test_gives_up_with_built_exception(self):
+        def always():
+            raise TransportError("down")
+
+        with pytest.raises(IngestError, match="after 3 attempts"):
+            retry_call(
+                always,
+                RetryPolicy(max_retries=2),
+                substream(1, "t"),
+                sleep=lambda s: None,
+                retry_on=TransportError,
+                give_up=lambda exc, attempts: IngestError(
+                    f"after {attempts} attempts: {exc}"
+                ),
+            )
+
+    def test_unlisted_exceptions_propagate_immediately(self):
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise ValueError("not transient")
+
+        with pytest.raises(ValueError):
+            retry_call(
+                wrong_kind,
+                RetryPolicy(max_retries=8),
+                substream(1, "t"),
+                sleep=lambda s: None,
+                retry_on=TransportError,
+            )
+        assert len(calls) == 1
+
+    def test_base_exceptions_never_retried(self):
+        class Crash(BaseException):
+            pass
+
+        def crashes():
+            raise Crash()
+
+        with pytest.raises(Crash):
+            retry_call(
+                crashes,
+                RetryPolicy(max_retries=8),
+                substream(1, "t"),
+                sleep=lambda s: None,
+            )
+
+    def test_hooks_fire_in_order(self):
+        events = []
+
+        def flaky():
+            if len([e for e in events if e[0] == "fail"]) < 2:
+                raise TransportError("flap")
+            return 42
+
+        retry_call(
+            flaky,
+            RetryPolicy(max_retries=8),
+            substream(2, "t"),
+            sleep=lambda s: events.append(("sleep", s)),
+            retry_on=TransportError,
+            on_failure=lambda exc, attempt: events.append(("fail", attempt)),
+            on_retry=lambda delay: events.append(("retry", delay)),
+        )
+        kinds = [e[0] for e in events]
+        assert kinds == ["fail", "retry", "sleep", "fail", "retry", "sleep"]
+        # on_retry's delay is what gets slept
+        assert events[1][1] == events[2][1]
+
+    def test_draws_match_feed_backoff_history(self):
+        # Two independent retry_call users with the same seed and policy
+        # must draw the identical jitter sequence: the helper is the
+        # single source of truth the refactor pinned.
+        policy = RetryPolicy(max_retries=3, base_s=0.01, cap_s=1.0)
+        seen = {"a": [], "b": []}
+        for label in ("a", "b"):
+
+            def always():
+                raise TransportError("down")
+
+            with pytest.raises(TransportError):
+                retry_call(
+                    always,
+                    policy,
+                    substream(9, "same-stream"),
+                    sleep=seen[label].append,
+                    retry_on=TransportError,
+                )
+        assert seen["a"] == seen["b"]
