@@ -788,6 +788,113 @@ def bench_net(repeats: int) -> dict:
     }
 
 
+def bench_clock(repeats: int) -> dict:
+    """Per-record cost of the online clock layer (ISSUE 10).
+
+    The same tapped record set is ingested three ways — clock models
+    disabled (the PR-9 regime), enabled over clean clocks (the production
+    steady state: envelope updates and monotone repairs on every record,
+    no faults), and enabled while two streams drift past tolerance (fault
+    detection, quarantine accounting and confidence discounting all
+    active).  Per-record nanoseconds are recorded for each, so the tax of
+    the always-on time layer — and the marginal cost of an actual fault
+    storm — stay pinned in the trajectory.
+    """
+    from repro.ingest import (
+        FeedConfig,
+        IncrementalTrace,
+        IngestConfig,
+        SimTransport,
+        TelemetryFeed,
+    )
+    from repro.nfv.tap import LiveRecordTap
+    from repro.time import (
+        ClockChaos,
+        ClockChaosTransport,
+        ClockConfig,
+        ClockSchedule,
+    )
+    from repro.util.timebase import USEC
+    from tests.conftest import make_chain_topology
+
+    tap = LiveRecordTap()
+    run_interrupt_chain(duration_ns=12 * MSEC, extra_hooks=[tap])
+    records = tap.records
+    chunk_ns, margin_ns = 1 * MSEC, 5 * MSEC
+    clock_cfg = ClockConfig(
+        window_ns=200 * USEC,
+        deadband_ns=500,
+        drift_tolerance_ppm=200.0,
+        step_tolerance_ns=100 * USEC,
+        freeze_records=2048,
+    )
+    drift = ClockChaos(
+        {
+            "nat1": ClockSchedule(kind="drift", ppm=400.0),
+            "vpn1": ClockSchedule(kind="drift", ppm=-250.0),
+        }
+    )
+
+    def run(clock, chaos=None):
+        transport = SimTransport(records)
+        if chaos is not None:
+            transport = ClockChaosTransport(transport, chaos)
+        feed = TelemetryFeed(transport, FeedConfig())
+        builder = IncrementalTrace.for_topology(
+            make_chain_topology(),
+            IngestConfig(
+                chunk_ns=chunk_ns, seal_margin_ns=margin_ns, clock=clock
+            ),
+        )
+        idle = 0
+        while not builder.complete:
+            progressed = feed.pump()
+            applied = builder.ingest(feed)
+            idle = 0 if (progressed or applied) else idle + 1
+            assert idle < 100_000, "clocked ingest stalled"
+        return builder
+
+    timings = {}
+    builders = {}
+    for key, clock, chaos in (
+        ("disabled", None, None),
+        ("enabled_clean", clock_cfg, None),
+        ("enabled_drift", clock_cfg, drift),
+    ):
+        timings[key], builders[key] = timed(
+            lambda c=clock, x=chaos: run(c, x), repeats
+        )
+    clean = builders["enabled_clean"].clock
+    drifted = builders["enabled_drift"].clock
+    if clean.faults:
+        raise SystemExit("FATAL: clean clocks reported faults")
+    if not drifted.faults:
+        raise SystemExit("FATAL: drifting clocks reported no faults")
+    per_record = {
+        key: round(value / len(records) * 1e9, 1)
+        for key, value in timings.items()
+    }
+    return {
+        "workload": "interrupt chain 12ms, full feed->builder ingest",
+        "n_records": len(records),
+        "timings": {f"{k}_s": round(v, 6) for k, v in sorted(timings.items())},
+        "per_record_ns": per_record,
+        "overhead": {
+            "clean_vs_disabled_ns_per_record": round(
+                per_record["enabled_clean"] - per_record["disabled"], 1
+            ),
+            "drift_vs_clean_ns_per_record": round(
+                per_record["enabled_drift"] - per_record["enabled_clean"], 1
+            ),
+        },
+        "drift_run": {
+            "faults": len(drifted.faults),
+            "repairs": drifted.repairs,
+            "fault_kinds": sorted({f.kind for f in drifted.faults}),
+        },
+    }
+
+
 def bench_analyzer_build(repeats: int) -> dict:
     """Cold/warm QueuingAnalyzer index build, python vs numpy backend."""
     view = synthetic_view()
@@ -919,6 +1026,11 @@ def main() -> int:
     net = bench_net(args.repeats)
     print(json.dumps(net["rates"], indent=2))
 
+    print("benchmarking online clock layer ...", flush=True)
+    clock = bench_clock(args.repeats)
+    print(json.dumps(clock["per_record_ns"], indent=2))
+    print(json.dumps(clock["overhead"], indent=2))
+
     print("benchmarking analyzer index build ...", flush=True)
     analyzer_build = bench_analyzer_build(args.repeats)
     print(json.dumps(analyzer_build["timings"], indent=2))
@@ -960,6 +1072,7 @@ def main() -> int:
         "fleet": fleet,
         "endurance": endurance,
         "net": net,
+        "clock": clock,
         "analyzer_build": analyzer_build,
         "environment": {
             "python": platform.python_version(),

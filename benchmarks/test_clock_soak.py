@@ -1,0 +1,286 @@
+"""Clock-fault soak: faulty sender clocks, chaos on the wire, kills in
+the service.
+
+Each trial pushes the tapped record set through four concurrent
+``RecordSender``s whose host clocks are all faulted — two drifting
+(+400 / -250 ppm), one NTP-style backward step, one frozen — through a
+``ChaosProxy`` injecting seeded byte-level faults at a 10% rate into a
+``SocketIngestServer`` feeding a live ``DiagnosisService`` with the
+online clock models enabled.  A randomly drawn kill (per-chunk protocol,
+ingest-path, or one of the new clock points) crashes the service
+mid-run; the senders are restarted from their full record logs against a
+fresh listener (their warp schedules are pure functions of true time, so
+the replay is byte-identical), and the recovered service must converge
+to a journal byte-identical to the clean in-process reference running
+the *same* fault schedules.
+
+Runs in the ``clock-soak`` CI job (not tier-1: sockets + chaos, minutes
+of wall clock).  A red run reproduces locally with::
+
+    PYTHONPATH=src:. python -m pytest benchmarks/test_clock_soak.py -q
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+for entry in (str(REPO_ROOT / "src"), str(REPO_ROOT)):
+    if entry not in sys.path:
+        sys.path.insert(0, entry)
+
+from repro.errors import IngestError, PeerGone  # noqa: E402
+from repro.ingest import (  # noqa: E402
+    FeedConfig,
+    IncrementalTrace,
+    IngestConfig,
+    SimTransport,
+    TelemetryFeed,
+)
+from repro.net import (  # noqa: E402
+    ChaosConfig,
+    ChaosProxy,
+    RecordSender,
+    SenderConfig,
+    SocketIngestServer,
+)
+from repro.nfv.tap import LiveRecordTap  # noqa: E402
+from repro.service import (  # noqa: E402
+    CLOCK_KILL_POINTS,
+    INGEST_KILL_POINTS,
+    KILL_POINTS,
+    CrashInjector,
+    CrashPlan,
+    DiagnosisService,
+    LiveTraceSource,
+    ServiceConfig,
+    SimulatedCrash,
+)
+from repro.time import (  # noqa: E402
+    ClockChaos,
+    ClockChaosTransport,
+    ClockConfig,
+    ClockSchedule,
+)
+from repro.util.rng import substream  # noqa: E402
+from repro.util.timebase import MSEC, USEC  # noqa: E402
+from tests.conftest import make_chain_topology, run_interrupt_chain  # noqa: E402
+from tests.core.test_streaming_fastpath import canonical_bytes  # noqa: E402
+
+SOAK_SEED = 7331
+N_TRIALS = 4
+FAULT_RATE = 0.10
+CHUNK_NS = 1 * MSEC
+MARGIN_NS = 5 * MSEC
+THRESHOLD_NS = 300 * USEC
+
+#: Test-scale model config (the default 5 ms envelope window would span
+#: the whole 12 ms workload): 200 us windows, tight deadband, freeze
+#: threshold above clean burst scale but crossed well before EOS.
+CLOCK_CFG = ClockConfig(
+    window_ns=200 * USEC,
+    deadband_ns=500,
+    drift_tolerance_ppm=200.0,
+    step_tolerance_ns=100 * USEC,
+    freeze_records=256,
+)
+
+#: Every stream's host clock is faulted.  The drifts ride the two NF
+#: streams (pairs are grounded at the repaired source emit, so drift is
+#: an NF-side observable; a uniformly drifting source *is* the time
+#: base) and both exceed the 200 ppm tolerance; the NTP-style backward
+#: step hits a source (raw-regression detection is stream-local), and
+#: the frozen source keeps emitting long enough to cross
+#: ``freeze_records``.
+CLOCK_SCHEDULES = {
+    "nat1": ClockSchedule(kind="drift", ppm=400.0),
+    "vpn1": ClockSchedule(kind="drift", ppm=-250.0),
+    "src-main": ClockSchedule(kind="step", start_ns=4 * MSEC, step_ns=-1 * MSEC),
+    "src-probe": ClockSchedule(kind="freeze", start_ns=6 * MSEC),
+}
+
+#: Kill points a socket-fed service actually passes through, now
+#: including the clock-layer ones (the torn / corrupt families need
+#: durable=True and are covered by crash_soak).
+SERVICE_POINTS = tuple(
+    p for p in KILL_POINTS + INGEST_KILL_POINTS + CLOCK_KILL_POINTS
+    if p not in ("mid-journal", "mid-checkpoint", "corrupt-checkpoint")
+)
+
+
+def config(state_dir) -> ServiceConfig:
+    return ServiceConfig(
+        state_dir=state_dir,
+        chunk_ns=CHUNK_NS,
+        margin_ns=MARGIN_NS,
+        victim_threshold_ns=THRESHOLD_NS,
+        durable=False,
+        # Snapshots every other chunk so recovery exercises clock state
+        # riding the ingest snapshot ladder, not just cold replay.
+        ingest_checkpoint_every=2,
+    )
+
+
+def make_builder() -> IncrementalTrace:
+    return IncrementalTrace.for_topology(
+        make_chain_topology(),
+        IngestConfig(
+            chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS, clock=CLOCK_CFG
+        ),
+    )
+
+
+def socket_source(server):
+    feed = TelemetryFeed(server.transport(), FeedConfig())
+    return LiveTraceSource(feed, make_builder())
+
+
+class FaultyClockFleet:
+    """Four senders, each warping its stream through its own schedule."""
+
+    def __init__(self, address, by_stream, seed):
+        self.threads = []
+        for i, (stream, records) in enumerate(sorted(by_stream.items())):
+            thread = threading.Thread(
+                target=self._run_one,
+                args=(address, stream, records, seed + i),
+                name=f"clock-soak-sender-{stream}",
+                daemon=True,
+            )
+            thread.start()
+            self.threads.append(thread)
+
+    @staticmethod
+    def _run_one(address, stream, records, seed):
+        try:
+            sender = RecordSender(
+                address, [stream],
+                SenderConfig(
+                    jitter_seed=seed, name=f"clock-soak-{stream}",
+                    backoff_base_s=0.002, backoff_cap_s=0.05,
+                    ack_timeout_s=2.0,
+                ),
+                clock_chaos=ClockChaos({stream: CLOCK_SCHEDULES[stream]}),
+            )
+            sender.push_all(records)
+            sender.finish(timeout_s=120.0)
+            sender.close()
+        except (PeerGone, IngestError):
+            pass  # server torn down by a service kill: expected
+
+    def join(self, timeout_s=120.0):
+        for thread in self.threads:
+            thread.join(timeout=timeout_s)
+        return not any(t.is_alive() for t in self.threads)
+
+
+@pytest.fixture(scope="module")
+def by_stream():
+    tap = LiveRecordTap()
+    run_interrupt_chain(duration_ns=12 * MSEC, extra_hooks=[tap])
+    split = {}
+    for record in tap.records:
+        split.setdefault(record.stream, []).append(record)
+    assert set(split) == set(CLOCK_SCHEDULES)  # every stream is faulted
+    return split
+
+
+@pytest.fixture(scope="module")
+def reference(by_stream, tmp_path_factory):
+    """In-process live run under the same fault schedules: the byte
+    target for every trial (senders warp records identically because the
+    warp is a pure function of the raw timestamp)."""
+    records = [r for recs in by_stream.values() for r in recs]
+    transport = ClockChaosTransport(
+        SimTransport(records), ClockChaos(CLOCK_SCHEDULES)
+    )
+    feed = TelemetryFeed(transport, FeedConfig())
+    source = LiveTraceSource(feed, make_builder())
+    service = DiagnosisService(source, config(tmp_path_factory.mktemp("ref")))
+    report = service.run()
+    assert report.stats.chunks_done == report.n_chunks >= 8
+    # The fault families must actually land: one fault per faulted
+    # stream, the frozen source quarantined, everyone else discounted.
+    builder = source.builder
+    stats = builder.clock.stream_stats()
+    assert stats["nat1"]["fault_kinds"] == "drift"
+    assert stats["vpn1"]["fault_kinds"] == "drift"
+    assert stats["src-main"]["fault_kinds"] == "step-back"
+    assert stats["src-probe"]["fault_kinds"] == "freeze"
+    assert stats["src-probe"]["frozen"]
+    assert "src-probe" in builder.health.quarantined
+    assert report.stats.ingest_clock_faults >= 4
+    assert report.stats.ingest_clock_repairs > 0
+    return {
+        "canon": canonical_bytes(report.diagnoses),
+        "journal": service.journal.read_bytes(),
+        "n_chunks": report.n_chunks,
+    }
+
+
+def run_attempt(by_stream, state_dir, chaos_seed, sender_seed, faults=None):
+    """One service incarnation with a fresh server/proxy/sender fleet."""
+    streams = sorted(by_stream)
+    server = SocketIngestServer(streams)
+    proxy = ChaosProxy(
+        server.address, ChaosConfig.uniform(FAULT_RATE, seed=chaos_seed)
+    )
+    fleet = FaultyClockFleet(proxy.address, by_stream, seed=sender_seed)
+    service = DiagnosisService(
+        socket_source(server), config(state_dir), faults=faults
+    )
+    try:
+        report = service.run()
+        return service, report, proxy.stats
+    finally:
+        proxy.close()
+        server.close()
+        assert fleet.join(), "a sender thread failed to wind down"
+
+
+@pytest.mark.parametrize("trial", range(N_TRIALS))
+def test_soak_faulty_clocks_with_service_kills(
+    by_stream, reference, tmp_path, trial
+):
+    rng = substream(SOAK_SEED, f"clock-soak:{trial}")
+    plan = CrashPlan(
+        point=SERVICE_POINTS[int(rng.integers(0, len(SERVICE_POINTS)))],
+        chunk=int(rng.integers(0, reference["n_chunks"] // 2)),
+    )
+    try:
+        run_attempt(
+            by_stream, tmp_path,
+            chaos_seed=SOAK_SEED + 100 * trial,
+            sender_seed=SOAK_SEED + 1000 * trial,
+            faults=CrashInjector(plan),
+        )
+    except SimulatedCrash:
+        pass  # plans landing past the pump schedule just complete
+    service, report, chaos = run_attempt(
+        by_stream, tmp_path,
+        chaos_seed=SOAK_SEED + 100 * trial + 1,
+        sender_seed=SOAK_SEED + 1000 * trial + 10,
+    )
+    assert service.journal.read_bytes() == reference["journal"], (
+        f"trial {trial}: journal diverged under ({plan.point}, {plan.chunk})"
+    )
+    assert canonical_bytes(report.diagnoses) == reference["canon"]
+    assert report.stats.chunks_done == reference["n_chunks"]
+
+
+def test_wire_chaos_bites_while_clocks_fault(by_stream, reference, tmp_path):
+    """Guard against a silently inert layer: at 10% the pinned seed must
+    tear, reset and reorder frames *while* every sender clock misbehaves
+    — and the journal still matches the in-process reference."""
+    service, report, chaos = run_attempt(
+        by_stream, tmp_path, chaos_seed=SOAK_SEED, sender_seed=SOAK_SEED
+    )
+    assert chaos.faults > 0
+    assert chaos.resets + chaos.partials > 0
+    assert report.stats.ingest_clock_faults >= 4
+    assert service.journal.read_bytes() == reference["journal"]
+    assert report.stats.chunks_done == reference["n_chunks"]

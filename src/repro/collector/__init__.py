@@ -10,8 +10,10 @@ from repro.collector.chaos import (
 from repro.collector.clock import (
     ClockAlignment,
     ClockSkew,
+    DriftEstimate,
     align_records,
     apply_clock_skew,
+    estimate_edge_drift,
     estimate_offsets,
 )
 from repro.collector.compression import (
@@ -59,8 +61,10 @@ __all__ = [
     "inject_chaos",
     "ClockAlignment",
     "ClockSkew",
+    "DriftEstimate",
     "align_records",
     "apply_clock_skew",
+    "estimate_edge_drift",
     "estimate_offsets",
     "CollectedData",
     "DEFAULT_PER_BATCH_NS",

@@ -15,7 +15,12 @@ a crashed dumper, or a skewed server clock would corrupt real records:
   time-sorted invariant every decoder and matcher assumes,
 * **garbage** — IPIDs are replaced with random bytes (memory corruption),
 * **clock drift** — an *unmodelled* per-NF linear drift, unlike the
-  constant offsets :mod:`repro.collector.clock` knows how to recover.
+  constant offsets :mod:`repro.collector.clock` knows how to recover,
+* **clock schedules** — arbitrary per-NF clock trajectories (NTP steps
+  backward or forward, frozen clocks, drift ramps) expressed as
+  :class:`~repro.time.chaos.ClockSchedule`, the same pure warp the live
+  ingestion chaos uses, so batch-mode and live-mode clock soaks share
+  one fault vocabulary.
 
 Everything is driven by seeded substreams (per NF, per fault class), so a
 chaos run is exactly reproducible and adding a fault class never perturbs
@@ -37,6 +42,7 @@ from repro.collector.runtime import (
     SourceRecord,
 )
 from repro.errors import ConfigurationError
+from repro.time.chaos import ClockSchedule
 from repro.util.rng import substream
 
 _MAX_IPID = 65_535
@@ -51,7 +57,11 @@ class ChaosConfig:
     ``garbage_rate`` per record.  ``drop_rates`` overrides the global drop
     rate for named NFs (a single flaky collector).  ``drift_ppm`` applies
     an unmodelled linear clock drift to named NFs: a record at true time
-    ``t`` is stamped ``t + t * ppm / 1e6``.  ``seed`` fixes every draw.
+    ``t`` is stamped ``t + t * ppm / 1e6``.  ``clock_schedules`` warps
+    named NFs' batch timestamps through an arbitrary
+    :class:`~repro.time.chaos.ClockSchedule` (NTP step, freeze, ramp) —
+    applied after ``drift_ppm``, so both can compose.  ``seed`` fixes
+    every draw.
     """
 
     drop_rate: float = 0.0
@@ -61,6 +71,7 @@ class ChaosConfig:
     reorder_rate: float = 0.0
     garbage_rate: float = 0.0
     drift_ppm: Mapping[str, float] = field(default_factory=dict)
+    clock_schedules: Mapping[str, ClockSchedule] = field(default_factory=dict)
     #: Also drop source emission logs and exit records at ``drop_rate``
     #: (the generator's log and the exit NF's five-tuple records are
     #: telemetry too).
@@ -93,6 +104,7 @@ class ChaosConfig:
             or self.reorder_rate
             or self.garbage_rate
             or self.drift_ppm
+            or self.clock_schedules
         )
 
 
@@ -106,6 +118,9 @@ class ChaosReport:
     batches_reordered: Dict[str, int] = field(default_factory=dict)
     records_garbled: Dict[str, int] = field(default_factory=dict)
     drifted: Dict[str, float] = field(default_factory=dict)
+    #: NF -> schedule kind (``step`` / ``freeze`` / ``ramp`` / ``drift``)
+    #: for clock-schedule warps that actually changed a timestamp.
+    clock_faulted: Dict[str, str] = field(default_factory=dict)
     source_records_dropped: int = 0
     exit_records_dropped: int = 0
 
@@ -133,6 +148,7 @@ class ChaosReport:
         ):
             names.update(counter)
         names.update(self.drifted)
+        names.update(self.clock_faulted)
         return tuple(sorted(names))
 
 
@@ -152,7 +168,8 @@ def _chaos_batches(
     report: ChaosReport,
 ) -> List[BatchRecord]:
     """Apply per-batch and per-record faults to one stream, in fault order
-    drop -> garbage -> truncate -> duplicate -> reorder -> drift."""
+    drop -> garbage -> truncate -> duplicate -> reorder -> drift ->
+    clock schedule."""
     drop = config.nf_drop_rate(nf)
     out: List[BatchRecord] = []
     for batch in batches:
@@ -202,6 +219,15 @@ def _chaos_batches(
             )
             for b in out
         ]
+    schedule = config.clock_schedules.get(nf)
+    if schedule is not None:
+        warped = [
+            BatchRecord(time_ns=schedule.warp(b.time_ns), ipids=b.ipids)
+            for b in out
+        ]
+        if any(w.time_ns != b.time_ns for w, b in zip(warped, out)):
+            report.clock_faulted[nf] = schedule.kind
+        out = warped
     return out
 
 
@@ -244,27 +270,83 @@ def inject_chaos(data: CollectedData, config: ChaosConfig) -> ChaosResult:
     return ChaosResult(data=corrupted, report=report)
 
 
+def _parse_clock_spec(spec: str) -> Tuple[str, ClockSchedule]:
+    """One ``family:nf:value[@at_ns]`` clause of ``REPRO_CHAOS_CLOCK``.
+
+    * ``drift:<nf>:<ppm>`` — constant rate error from t=0;
+    * ``step:<nf>:<step_ns>@<at_ns>`` — NTP step (negative = backward);
+    * ``freeze:<nf>:<duration_ns>@<at_ns>`` — clock pinned for a while
+      (duration 0 = frozen forever).
+    """
+    try:
+        family, nf, value = spec.split(":", 2)
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"bad REPRO_CHAOS_CLOCK clause {spec!r}: want family:nf:value"
+        ) from exc
+    at_ns = 0
+    if "@" in value:
+        value, at = value.rsplit("@", 1)
+        try:
+            at_ns = int(at)
+        except ValueError as exc:
+            raise ConfigurationError(
+                f"bad REPRO_CHAOS_CLOCK start time {at!r} in {spec!r}"
+            ) from exc
+    try:
+        if family == "drift":
+            return nf, ClockSchedule(kind="drift", start_ns=at_ns, ppm=float(value))
+        if family == "step":
+            return nf, ClockSchedule(kind="step", start_ns=at_ns, step_ns=int(value))
+        if family == "freeze":
+            return nf, ClockSchedule(
+                kind="freeze", start_ns=at_ns, freeze_ns=int(value)
+            )
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"bad REPRO_CHAOS_CLOCK value {value!r} in {spec!r}"
+        ) from exc
+    raise ConfigurationError(
+        f"unknown REPRO_CHAOS_CLOCK family {family!r} in {spec!r} "
+        f"(want drift, step, or freeze)"
+    )
+
+
 def chaos_from_env(environ: Optional[Mapping[str, str]] = None) -> Optional[ChaosConfig]:
     """Build a config from ``REPRO_CHAOS_*`` variables, or None when unset.
 
-    ``REPRO_CHAOS_LOSS`` (record drop rate, e.g. ``0.10``) activates it;
-    ``REPRO_CHAOS_SEED`` (default 0) fixes the draws.  CI uses this to run
-    the degraded-telemetry suite under a fixed 10% loss.
+    ``REPRO_CHAOS_LOSS`` (record drop rate, e.g. ``0.10``) or
+    ``REPRO_CHAOS_CLOCK`` (comma-separated ``family:nf:value[@at_ns]``
+    clauses, e.g. ``drift:nat1:400,step:vpn1:-1000000@2000000``)
+    activates it; ``REPRO_CHAOS_SEED`` (default 0) fixes the draws.  CI
+    uses this to run the degraded-telemetry suite under a fixed 10% loss
+    and the clock soak under injected skew.
     """
     import os
 
     env = os.environ if environ is None else environ
     loss = env.get("REPRO_CHAOS_LOSS")
-    if loss is None:
+    clock = env.get("REPRO_CHAOS_CLOCK")
+    if loss is None and clock is None:
         return None
-    try:
-        rate = float(loss)
-    except ValueError as exc:
-        raise ConfigurationError(f"bad REPRO_CHAOS_LOSS {loss!r}") from exc
+    rate = 0.0
+    if loss is not None:
+        try:
+            rate = float(loss)
+        except ValueError as exc:
+            raise ConfigurationError(f"bad REPRO_CHAOS_LOSS {loss!r}") from exc
+    schedules: Dict[str, ClockSchedule] = {}
+    if clock is not None:
+        for spec in clock.split(","):
+            spec = spec.strip()
+            if not spec:
+                continue
+            nf, schedule = _parse_clock_spec(spec)
+            schedules[nf] = schedule
     try:
         seed = int(env.get("REPRO_CHAOS_SEED", "0"))
     except ValueError as exc:
         raise ConfigurationError(
             f"bad REPRO_CHAOS_SEED {env.get('REPRO_CHAOS_SEED')!r}"
         ) from exc
-    return ChaosConfig(drop_rate=rate, seed=seed)
+    return ChaosConfig(drop_rate=rate, clock_schedules=schedules, seed=seed)

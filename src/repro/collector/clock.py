@@ -31,6 +31,7 @@ from repro.collector.runtime import (
     SourceRecord,
 )
 from repro.errors import TraceError
+from repro.time.model import fit_lower_envelope
 
 
 @dataclass(frozen=True)
@@ -94,14 +95,15 @@ def apply_clock_skew(
     return skewed
 
 
-def _edge_offset_estimate(
+def _matched_diffs(
     data: CollectedData, edge: EdgeSpec
-) -> Optional[int]:
-    """Estimate offset(dst) - offset(src) from matched min edge delay.
+) -> List[Tuple[int, int]]:
+    """Per-match ``(tx_time, rx_time - tx_time)`` pairs along an edge.
 
-    Uses the per-IPID earliest-match heuristic: for each TX record, the
-    first later RX record at the destination with the same IPID bounds the
-    one-way delay from below.  The minimum over all pairs cancels queueing.
+    Uses the per-IPID nearest-candidate heuristic: for each TX record, the
+    closest RX records at the destination with the same IPID bound the
+    one-way delay.  IPID collisions across hosts create occasional *false*
+    matches with arbitrary differences; callers must tolerate them.
     """
     src_items: List[Tuple[int, int]] = []  # (time, ipid)
     if edge.src in data.sources:
@@ -118,7 +120,7 @@ def _edge_offset_estimate(
             ]
     dst_records = data.nfs.get(edge.dst)
     if not src_items or dst_records is None:
-        return None
+        return []
     # Index destination RX by ipid -> sorted times.
     rx_by_ipid: Dict[int, List[int]] = {}
     for batch in dst_records.rx:
@@ -126,12 +128,7 @@ def _edge_offset_estimate(
             rx_by_ipid.setdefault(ipid, []).append(batch.time_ns)
     import bisect
 
-    # Nearest-candidate differences.  IPID collisions across hosts create
-    # occasional *false* matches with arbitrary differences, so a plain
-    # minimum is not robust; instead find the densest cluster of
-    # differences (true matches pile up just above delay + offset, since
-    # empty-queue forwardings are common) and take its lower edge.
-    diffs: List[int] = []
+    matches: List[Tuple[int, int]] = []
     for tx_time, ipid in src_items:
         times = rx_by_ipid.get(ipid)
         if not times:
@@ -141,10 +138,19 @@ def _edge_offset_estimate(
             times[j] - tx_time for j in (idx - 1, idx, idx + 1) if 0 <= j < len(times)
         ]
         if candidates:
-            diffs.append(min(candidates, key=abs))
-    if not diffs:
-        return None
-    diffs.sort()
+            matches.append((tx_time, min(candidates, key=abs)))
+    return matches
+
+
+def _cluster_lower_edge(diffs: List[int]) -> int:
+    """Lower edge of the densest cluster of sorted differences.
+
+    True matches pile up just above delay + offset (empty-queue
+    forwardings are common) while false IPID matches scatter arbitrarily,
+    so a plain minimum is not robust; the densest 200 us cluster isolates
+    the true matches and its 10th-percentile edge shrugs off a stray false
+    match sitting just below the pile.
+    """
     window_ns = 200_000
     best_count = 0
     best_span = (0, 0)
@@ -158,11 +164,99 @@ def _edge_offset_estimate(
         if count > best_count:
             best_count = count
             best_span = (lo, hi)
-    # Lower edge of the densest cluster, taken at its 10th percentile so a
-    # stray false match just below the cluster cannot drag the edge down.
     lo, hi = best_span
-    edge_idx = lo + (hi - lo) // 10
-    return diffs[edge_idx] - edge.delay_ns
+    return diffs[lo + (hi - lo) // 10]
+
+
+def _edge_offset_estimate(
+    data: CollectedData, edge: EdgeSpec
+) -> Optional[int]:
+    """Estimate offset(dst) - offset(src) from matched min edge delay.
+
+    Uses the per-IPID earliest-match heuristic: for each TX record, the
+    first later RX record at the destination with the same IPID bounds the
+    one-way delay from below.  The minimum over all pairs cancels queueing.
+    """
+    diffs = sorted(d for _, d in _matched_diffs(data, edge))
+    if not diffs:
+        return None
+    return _cluster_lower_edge(diffs) - edge.delay_ns
+
+
+@dataclass(frozen=True)
+class DriftEstimate:
+    """Offset *and* drift of dst's clock relative to src's, from one edge.
+
+    The static :func:`_edge_offset_estimate` collapses a whole capture to
+    one number, which under relative drift is an average over the capture
+    span; this fits a line through per-window envelope minima instead (the
+    same :func:`repro.time.model.fit_lower_envelope` the online ingest
+    models use), recovering the offset at the capture's live edge plus the
+    drift rate and a max-residual uncertainty bound.
+    """
+
+    src: str
+    dst: str
+    #: Reference time (newest window minimum, TX-local nanoseconds).
+    t_ref_ns: int
+    #: offset(dst) - offset(src) at ``t_ref_ns``, propagation removed.
+    offset_ns: float
+    drift_ppm: float
+    #: Largest deviation of any window minimum from the fitted line.
+    residual_ns: float
+    windows: int
+    samples: int
+
+    def offset_at(self, t_ns: int) -> float:
+        return self.offset_ns + (t_ns - self.t_ref_ns) * self.drift_ppm / 1e6
+
+
+def estimate_edge_drift(
+    data: CollectedData,
+    edge: EdgeSpec,
+    window_ns: int = 1_000_000,
+    slack_ns: int = 1_000_000,
+) -> Optional[DriftEstimate]:
+    """Fit offset + drift for one edge from windowed envelope minima.
+
+    Matches records as :func:`_edge_offset_estimate` does, drops false
+    IPID matches further than ``slack_ns`` from the densest-cluster edge
+    (the band must cover the drift excursion over the capture: the 1 ms
+    default absorbs +/-1000 ppm over a one-second capture), then takes the
+    minimum difference per ``window_ns`` of TX time and least-squares fits
+    the minima.  Returns ``None`` when nothing matches.
+    """
+    if window_ns <= 0:
+        raise TraceError("window_ns must be positive")
+    matches = _matched_diffs(data, edge)
+    if not matches:
+        return None
+    base = _cluster_lower_edge(sorted(d for _, d in matches))
+    kept = [
+        (t, d) for t, d in matches if base - slack_ns <= d <= base + slack_ns
+    ]
+    if not kept:
+        return None
+    minima: Dict[int, Tuple[int, int]] = {}
+    for t, d in kept:
+        bucket = t // window_ns
+        current = minima.get(bucket)
+        if current is None or d < current[1]:
+            minima[bucket] = (t, d)
+    points = [minima[bucket] for bucket in sorted(minima)]
+    t_ref, intercept, drift_ppm, residual = fit_lower_envelope(
+        [(t, float(d)) for t, d in points]
+    )
+    return DriftEstimate(
+        src=edge.src,
+        dst=edge.dst,
+        t_ref_ns=t_ref,
+        offset_ns=intercept - edge.delay_ns,
+        drift_ppm=drift_ppm,
+        residual_ns=residual,
+        windows=len(points),
+        samples=len(kept),
+    )
 
 
 @dataclass
@@ -180,13 +274,17 @@ def estimate_offsets(
     data: CollectedData,
     edges: Sequence[EdgeSpec],
     reference: str,
+    require_connected: bool = False,
 ) -> ClockAlignment:
     """Recover per-node clock offsets from edge records.
 
     Builds a spanning tree over the (undirected) edge graph rooted at
     ``reference`` and accumulates pairwise estimates.  Nodes unreachable
     from the reference keep offset 0 (and a missing-edge estimate leaves
-    its subtree unaligned rather than failing the whole pass).
+    its subtree unaligned rather than failing the whole pass) — unless
+    ``require_connected`` is set, in which case any node named by an edge
+    that the spanning tree cannot reach raises :class:`TraceError`
+    instead of silently staying in its own time domain.
     """
     pair: Dict[Tuple[str, str], Optional[int]] = {}
     for edge in edges:
@@ -210,6 +308,16 @@ def estimate_offsets(
             # estimate = offset(dst) - offset(src)
             alignment.offsets_ns[other] = base + estimate if forward else base - estimate
             frontier.append(other)
+    if require_connected:
+        nodes = {reference}
+        for edge in edges:
+            nodes.add(edge.src)
+            nodes.add(edge.dst)
+        unreachable = sorted(nodes - alignment.offsets_ns.keys())
+        if unreachable:
+            raise TraceError(
+                "clock alignment cannot reach: " + ", ".join(unreachable)
+            )
     return alignment
 
 

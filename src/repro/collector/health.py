@@ -28,7 +28,7 @@ from typing import Dict, List, Set
 from repro.errors import TraceError
 
 #: Gap kinds recorded by the tolerant reconstructor.
-GAP_KINDS = ("loss", "reorder", "quarantine", "chain-break")
+GAP_KINDS = ("loss", "reorder", "quarantine", "chain-break", "clock")
 
 
 @dataclass(frozen=True)
@@ -39,7 +39,9 @@ class TelemetryGap:
     showed up in the NF's streams), ``'reorder'`` (timestamps arrived out
     of order and were re-sorted), ``'quarantine'`` (the whole stream
     failed validation and was excluded), ``'chain-break'`` (packet chains
-    could not be followed through this NF).  ``count`` is the number of
+    could not be followed through this NF), ``'clock'`` (the NF's clock
+    faulted — stepped, froze, or drifted out of bounds — so timestamps in
+    this region are repaired estimates).  ``count`` is the number of
     affected records (0 when unknown).
     """
 
@@ -85,6 +87,11 @@ class TelemetryHealth:
     quarantined: Set[str] = field(default_factory=set)
     gaps: List[TelemetryGap] = field(default_factory=list)
     retention: Dict[str, float] = field(default_factory=dict)
+    #: Multiplicative discount from clock faults (absent NF = 1.0).
+    #: Kept separate from ``completeness`` — a clock fault does not mean
+    #: records went missing, it means their *timestamps* are repaired
+    #: estimates; both discount confidence, only loss discounts retention.
+    clock_confidence: Dict[str, float] = field(default_factory=dict)
 
     @classmethod
     def perfect(cls) -> "TelemetryHealth":
@@ -94,7 +101,7 @@ class TelemetryHealth:
         """Evidence confidence for records collected at ``nf`` in [0, 1]."""
         if nf in self.quarantined:
             return 0.0
-        return self.completeness.get(nf, 1.0)
+        return self.completeness.get(nf, 1.0) * self.clock_confidence.get(nf, 1.0)
 
     def nf_retention(self, nf: str) -> float:
         """Fraction of ``nf``'s true traffic present in the trace.
@@ -115,9 +122,10 @@ class TelemetryHealth:
         """The weakest NF's confidence (1.0 on a fully healthy pass)."""
         if self.quarantined:
             return 0.0
-        if not self.completeness:
+        if not self.completeness and not self.clock_confidence:
             return 1.0
-        return min(self.completeness.values())
+        nfs = set(self.completeness) | set(self.clock_confidence)
+        return min(self.nf_confidence(nf) for nf in nfs)
 
     @property
     def degraded(self) -> bool:
@@ -127,6 +135,7 @@ class TelemetryHealth:
             or self.gaps
             or any(value < 1.0 for value in self.completeness.values())
             or any(value < 1.0 for value in self.retention.values())
+            or any(value < 1.0 for value in self.clock_confidence.values())
         )
 
     def gaps_at(self, nf: str) -> List[TelemetryGap]:
@@ -148,9 +157,13 @@ class TelemetryHealth:
         retention = dict(self.retention)
         for nf, value in other.retention.items():
             retention[nf] = min(value, retention.get(nf, 1.0))
+        clock_confidence = dict(self.clock_confidence)
+        for nf, value in other.clock_confidence.items():
+            clock_confidence[nf] = min(value, clock_confidence.get(nf, 1.0))
         return TelemetryHealth(
             completeness=completeness,
             quarantined=self.quarantined | other.quarantined,
             gaps=self.gaps + other.gaps,
             retention=retention,
+            clock_confidence=clock_confidence,
         )

@@ -424,6 +424,23 @@ class StreamingDiagnosis:
         engine = self.engine
         if engine is None or self._engine_chunk is None:
             raise DiagnosisError("call open() before diagnose_chunk()")
+        # A live clocked trace pins the health state frozen at this chunk's
+        # seal cut for the duration of diagnosis: confidence and health
+        # fields then depend only on the sealed prefix, never on telemetry
+        # that raced in while the chunk sat in the diagnosis queue.
+        pin = getattr(self.trace, "pin_chunk_telemetry", None)
+        if pin is not None:
+            pin(index)
+        try:
+            return self._diagnose_chunk_pinned(index, victims)
+        finally:
+            if pin is not None:
+                self.trace.unpin_chunk_telemetry()
+
+    def _diagnose_chunk_pinned(
+        self, index: int, victims: Optional[List[Victim]]
+    ) -> ChunkResult:
+        engine = self.engine
         start, chunk_end = self.chunk_bounds(index)
         window_start = max(0, start - self.config.margin_ns)
         # Capture before the advance so the eviction sweep's carried/evicted

@@ -41,7 +41,7 @@ explicit.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, replace as dc_replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.collector.health import TelemetryGap, TelemetryHealth
@@ -50,6 +50,11 @@ from repro.errors import IngestError
 from repro.ingest.feed import TelemetryFeed
 from repro.ingest.records import TelemetryRecord
 from repro.nfv.packet import FiveTuple
+from repro.time.model import ClockBank, ClockConfig, ClockFault
+
+#: Sentinel for "no chunk telemetry pinned" (None is a valid pin: it
+#: means the health state at that chunk's seal cut was still clean).
+_UNPINNED = object()
 
 
 @dataclass
@@ -65,6 +70,12 @@ class IngestConfig:
     #: Quarantine a stalled stream once the fastest stream leads it by
     #: this much (None = wait forever; the default for clean transports).
     straggler_timeout_ns: Optional[int] = None
+    #: Enable online clock-fault tolerance (None keeps the literal legacy
+    #: drain path, byte-identical to pre-clock behaviour).  With a
+    #: :class:`~repro.time.model.ClockConfig`, per-stream clock models
+    #: repair timestamps, raise typed faults, and widen the sealing
+    #: barrier by each stream's uncertainty bound.
+    clock: Optional[ClockConfig] = None
 
     def __post_init__(self) -> None:
         if self.chunk_ns <= 0:
@@ -106,6 +117,19 @@ class IncrementalTrace(DiagTrace):
         )
         self.config = config or IngestConfig()
         self.health = TelemetryHealth()
+        #: Health state frozen at each chunk's seal cut (clocked mode).
+        #: Live cumulative health keeps evolving from records *beyond* a
+        #: sealed chunk's barrier, and how far beyond depends on delivery
+        #: pacing — so diagnosing a chunk against live health would bake
+        #: transport timing into the journal bytes.  The snapshot taken
+        #: exactly when the admitted prefix first covers the chunk's
+        #: barrier is a pure function of the record streams.
+        self._chunk_health: Dict[int, Optional[TelemetryHealth]] = {}
+        self._next_health_chunk = 0
+        #: Per-stream online clock models (None in legacy strict mode).
+        self.clock: Optional[ClockBank] = (
+            ClockBank(self.config.clock) if self.config.clock is not None else None
+        )
         self._next_seq: Dict[str, int] = {}
         self._last_time: Dict[str, int] = {}
         self._ok: Dict[str, int] = {}
@@ -123,6 +147,24 @@ class IncrementalTrace(DiagTrace):
         #: eviction is auditable).
         self.gaps_evicted = 0
         self.packets_evicted = 0
+        #: Topological depth per node (sources 0, NFs 1 + max upstream).
+        #: Depths strictly increase along any packet path, so they give
+        #: each hop a batching-independent position in ``packet.hops``
+        #: even when a clock-fault transient lets the pick-min merge
+        #: admit a downstream hop before an upstream one (see
+        #: :meth:`_apply`).
+        self._depth: Dict[str, int] = {name: 0 for name in sources}
+        for _ in range(len(upstreams) + 1):
+            changed = False
+            for nf, preds in upstreams.items():
+                depth = 1 + max(
+                    (self._depth.get(pred, 0) for pred in preds), default=0
+                )
+                if self._depth.get(nf) != depth:
+                    self._depth[nf] = depth
+                    changed = True
+            if not changed:
+                break
 
     @classmethod
     def for_topology(
@@ -145,10 +187,80 @@ class IncrementalTrace(DiagTrace):
 
     # -- health accounting ------------------------------------------------------
 
+    #: Class-level default so the ``telemetry`` property works during
+    #: ``DiagTrace.__init__`` (which assigns the attribute before this
+    #: subclass's ``__init__`` body runs).
+    _pinned_telemetry = _UNPINNED
+
+    @property
+    def telemetry(self):
+        """Live health (or None while strict) — or the pinned per-chunk
+        snapshot while a chunk diagnosis is in flight."""
+        if self._pinned_telemetry is not _UNPINNED:
+            return self._pinned_telemetry
+        return self._telemetry
+
+    @telemetry.setter
+    def telemetry(self, value) -> None:
+        self._telemetry = value
+
+    def _seal_barrier_ns(self, index: int) -> int:
+        """Horizon value at which chunk ``index`` counts as sealed."""
+        return (index + 1) * self.config.chunk_ns + self.config.seal_margin_ns
+
+    def _snapshot_health_through(self, rep_ns: int) -> None:
+        """Freeze health for every chunk whose barrier is at/below ``rep_ns``.
+
+        Called before admitting a record whose repaired key reaches a
+        pending barrier (and after each drain for barriers no buffered
+        record reached): the admitted prefix at that instant is exactly
+        the records repairing strictly below the barrier, so the frozen
+        state is identical for every delivery pacing.
+        """
+        while self._seal_barrier_ns(self._next_health_chunk) <= rep_ns:
+            if self._telemetry is None:
+                snapshot = None
+            else:
+                health = self.health
+                snapshot = TelemetryHealth(
+                    completeness=dict(health.completeness),
+                    quarantined=set(health.quarantined),
+                    gaps=list(health.gaps),
+                    retention=dict(health.retention),
+                    clock_confidence=dict(health.clock_confidence),
+                )
+            self._chunk_health[self._next_health_chunk] = snapshot
+            self._next_health_chunk += 1
+
+    def telemetry_for_chunk(self, index: int):
+        """The health state chunk ``index`` must be diagnosed against.
+
+        Clocked mode returns the seal-cut snapshot (falling back to the
+        final state for chunks only sealed by EOS); legacy mode returns
+        the live health — its only degradation sources are final by the
+        time a chunk seals.  Entries behind ``index`` are dropped:
+        diagnosis is sequential, only retries revisit a chunk.
+        """
+        if self.clock is None:
+            return self.telemetry
+        for old in [k for k in self._chunk_health if k < index]:
+            del self._chunk_health[old]
+        if index in self._chunk_health:
+            return self._chunk_health[index]
+        return self._telemetry
+
+    def pin_chunk_telemetry(self, index: int) -> None:
+        """Make ``telemetry`` read chunk ``index``'s seal-cut snapshot."""
+        self._pinned_telemetry = _UNPINNED
+        self._pinned_telemetry = self.telemetry_for_chunk(index)
+
+    def unpin_chunk_telemetry(self) -> None:
+        self._pinned_telemetry = _UNPINNED
+
     def _degrade(self) -> None:
         """Attach the health object on first degradation (strict until then)."""
-        if self.telemetry is None:
-            self.telemetry = self.health
+        if self._telemetry is None:
+            self._telemetry = self.health
 
     def _account_loss(self, stream: str, count: int) -> None:
         self._lost[stream] = self._lost.get(stream, 0) + count
@@ -197,6 +309,39 @@ class IncrementalTrace(DiagTrace):
                 self.health.quarantined.add(stream)
                 self._gap(stream, max(0, wm), max_wm, "quarantine", count=0)
 
+    def _effective_watermark(self, stream: str, wm: int) -> int:
+        """The stream's watermark on the repaired clock, minus uncertainty.
+
+        This is where clock uncertainty widens the sealing barrier: the
+        horizon is the min over effective watermarks, so each stream
+        holds the barrier back by exactly its own uncertainty bound — a
+        record whose true (repaired) time lands below the horizon can no
+        longer be in flight even if the sender's clock overstated it.
+        """
+        if self.clock is None:
+            return wm
+        return self.clock.effective_watermark(stream, wm)
+
+    def _stream_floor(self, stream: str, feed: TelemetryFeed) -> int:
+        """Lower bound on this stream's future *admission* times.
+
+        The model-based effective watermark alone can deadlock a small
+        buffer after a step repair: uncertainty pushes the stream's
+        barrier contribution below the repaired times of its own
+        buffered records, the heads become ineligible, the full buffer
+        backpressures all pulls, and the raw watermark can never
+        advance.  But the buffer is FIFO and admission clamps
+        monotonically, so no future record from this stream can ever be
+        admitted below its buffered head's repaired time — the head's
+        repaired time is a sound floor that breaks the cycle.
+        """
+        wm = self._effective_watermark(stream, feed.watermark(stream))
+        if self.clock is not None:
+            buffer = feed.buffers[stream]
+            if len(buffer):
+                wm = max(wm, self._repair_time(stream, buffer.head().time_ns))
+        return wm
+
     def _horizon(self, feed: TelemetryFeed) -> Optional[int]:
         """Min watermark over streams that can still deliver; None = no limit."""
         horizon: Optional[int] = None
@@ -205,7 +350,7 @@ class IncrementalTrace(DiagTrace):
             if stream in self._excluded or feed.at_eos(stream):
                 continue
             unconstrained = False
-            wm = feed.watermark(stream)
+            wm = self._stream_floor(stream, feed)
             if horizon is None or wm < horizon:
                 horizon = wm
         if unconstrained:
@@ -280,6 +425,200 @@ class IncrementalTrace(DiagTrace):
         batch.sort(key=lambda record: record.merge_key)
         return batch
 
+    # -- clocked ingestion -------------------------------------------------------
+    #
+    # With clock models enabled the "pop everything below the horizon,
+    # sort, apply" drain no longer works: the sort key is the *repaired*
+    # timestamp, and the repair function evolves as records are admitted.
+    # Instead records merge one at a time — repeatedly pick the eligible
+    # stream head with the minimal repaired key, pop it, and admit it
+    # inline (observations strictly after its repair is fixed, so the key
+    # used for ordering always equals the time that gets applied).
+    #
+    # Determinism argument: a stream's model mutates only when one of its
+    # own records is admitted, in sequence order, and pair observations
+    # read the packet's already-*repaired* source emit (source clocks
+    # define the reference plane, and a packet's emit is always admitted
+    # before any of its hops can pair).  The repaired key of stream
+    # ``s``'s ``k``-th record is therefore a pure function of per-stream
+    # record prefixes — independent of transport batching — which is
+    # what keeps sealed chunks byte-identical across crash/restart and
+    # socket-timing variation.
+
+    def _repair_time(self, stream: str, raw_ns: int) -> int:
+        """Raw timestamp → repaired timestamp (model + monotone clamp).
+
+        The clamp against the stream's last *repaired* time guarantees
+        per-stream monotonicity even while the model estimate moves, so
+        already-sealed chunks can never be contradicted by a later
+        repair.  (In clocked mode ``_last_time`` stores repaired times.)
+        """
+        assert self.clock is not None
+        rep = raw_ns - self.clock.offset_at(stream, raw_ns)
+        return max(rep, self._last_time.get(stream, 0))
+
+    def _clock_faults(self, stream: str, at_ns: int, faults: List[ClockFault]) -> None:
+        """Turn detected faults into gaps, discounts, and quarantine."""
+        config = self.config.clock
+        for fault in faults:
+            discount = (
+                config.drift_discount
+                if fault.kind == "drift"
+                else config.fault_discount
+            )
+            previous = self.health.clock_confidence.get(stream, 1.0)
+            self.health.clock_confidence[stream] = previous * discount
+            self._gap(stream, at_ns, at_ns, "clock", count=0)
+            if fault.kind == "freeze" and config.freeze_quarantines:
+                # A frozen clock carries no timing information, and the
+                # barrier must stop waiting for its watermark.
+                self._excluded.add(stream)
+                self.health.quarantined.add(stream)
+
+    def _admit_clocked(self, record: TelemetryRecord) -> bool:
+        """Repair, observe, and apply one popped record (clocked mode)."""
+        stream = record.stream
+        raw = record.time_ns
+        rep = self._repair_time(stream, raw)
+        self._last_time[stream] = rep
+        local_faults = self.clock.observe_local(stream, raw)
+        self._clock_faults(stream, rep, local_faults)
+        if stream in self._excluded:
+            # The freeze that quarantined the stream fired on this very
+            # record: its timestamp is meaningless, discard it.
+            self.rejects += 1
+            return False
+        if (
+            record.kind == "hop"
+            and len(record.data) == 2
+            and 0 <= record.data[0] <= record.data[1] <= raw
+        ):
+            packet = self.packets.get(record.pid)
+            if packet is not None:
+                # Huygens pair: the packet's repaired source emit is the
+                # TX side, this NF's raw arrival the RX side.  Path
+                # latency and queueing only add, so per-window minima
+                # trace the stream's offset against the source reference
+                # plane.  Grounding at the emit — rather than the
+                # nearest upstream hop — matters twice over: the emit is
+                # always admitted before any hop of its packet can pair
+                # (the pair set is a pure function of per-stream record
+                # prefixes, independent of transport batching), and an
+                # upstream NF's clock fault cannot leak into this
+                # stream's model through the reference.
+                pair_faults = self.clock.observe_pair(
+                    stream, packet.emitted_ns, record.data[0]
+                )
+                self._clock_faults(stream, rep, pair_faults)
+        delta = rep - raw
+        if delta != 0:
+            self.clock.repairs += 1
+            if record.kind == "hop" and len(record.data) == 2:
+                arrival = max(0, record.data[0] + delta)
+                read = max(0, record.data[1] + delta)
+                read = min(read, rep)
+                arrival = min(arrival, read)
+                record = dc_replace(record, time_ns=rep, data=(arrival, read))
+            else:
+                record = dc_replace(record, time_ns=rep)
+        return self._apply(record)
+
+    def _drain_clocked(self, feed: TelemetryFeed, horizon: Optional[int]) -> int:
+        """Pick-min merge: admit eligible heads in repaired-key order.
+
+        Same tie rule as :meth:`_drain`, on the repaired clock: records
+        *at* the horizon drain only for streams named at or below the
+        smallest live stream whose effective watermark equals the
+        horizon — later-named streams' horizon records could still be
+        preceded by that stream's future deliveries.
+        """
+        tie_limit: Optional[str] = None
+        if horizon is not None:
+            for stream in sorted(feed.buffers):
+                if stream in self._excluded or feed.at_eos(stream):
+                    continue
+                wm = self._stream_floor(stream, feed)
+                if wm == horizon:
+                    tie_limit = stream
+                    break
+        applied = 0
+        while True:
+            best_key: Optional[Tuple[int, str, int]] = None
+            for stream in feed.buffers:
+                if stream in self._excluded:
+                    continue
+                buffer = feed.buffers[stream]
+                if not buffer:
+                    continue
+                head = buffer.head()
+                rep = self._repair_time(stream, head.time_ns)
+                if horizon is not None:
+                    if rep > horizon:
+                        continue
+                    if rep == horizon and tie_limit is not None and stream > tie_limit:
+                        continue
+                key = (rep, stream, head.seq)
+                if best_key is None or key < best_key:
+                    best_key = key
+            if best_key is None:
+                break
+            # Freeze per-chunk health before the admitted prefix crosses
+            # a pending seal barrier (see _snapshot_health_through).
+            self._snapshot_health_through(best_key[0])
+            stream = best_key[1]
+            record = feed.buffers[stream].pop()
+            expected = self._next_seq.get(stream, 0)
+            if record.seq < expected:
+                self.duplicates += 1
+                continue
+            if record.seq > expected:
+                missing = record.seq - expected
+                self._gap(
+                    stream,
+                    self._last_time.get(stream, 0),
+                    best_key[0],
+                    "loss",
+                    count=missing,
+                )
+                self._account_loss(stream, missing)
+            self._next_seq[stream] = record.seq + 1
+            if self._admit_clocked(record):
+                applied += 1
+                self._ok[stream] = self._ok.get(stream, 0) + 1
+                if stream in self.health.completeness:
+                    ok = self._ok[stream]
+                    lost = self._lost.get(stream, 0)
+                    self.health.completeness[stream] = ok / (ok + lost)
+        for stream in sorted(self._excluded):
+            buffer = feed.buffers.get(stream)
+            if buffer is None:
+                continue
+            while buffer:
+                buffer.pop()
+                self.rejects += 1
+        return applied
+
+    def _ingest_clocked(self, feed: TelemetryFeed) -> int:
+        self._quarantine_stragglers(feed)
+        horizon = self._horizon(feed)
+        applied = self._drain_clocked(feed, horizon)
+        self.records_applied += applied
+        if horizon is not None and horizon > self._applied_horizon:
+            self._applied_horizon = horizon
+            # Chunks the horizon sealed without any buffered record at or
+            # past their barrier: the admitted prefix is still exactly
+            # "everything below the barrier" (no future record can admit
+            # below the horizon), so the cut is the same one the in-drain
+            # trigger would have taken.
+            self._snapshot_health_through(self._applied_horizon)
+        if horizon is None and all(
+            stream in self._excluded
+            or (feed.at_eos(stream) and not feed.buffers[stream])
+            for stream in feed.buffers
+        ):
+            self._complete = True
+        return applied
+
     def _apply(self, record: TelemetryRecord) -> bool:
         stream = record.stream
         if record.pid < 0:
@@ -318,14 +657,27 @@ class IncrementalTrace(DiagTrace):
             if not 0 <= arrival_ns <= read_ns <= record.time_ns:
                 self._reject(record, "loss")
                 return False
-            packet.hops.append(
-                PacketHop(
-                    nf=stream,
-                    arrival_ns=arrival_ns,
-                    read_ns=read_ns,
-                    depart_ns=record.time_ns,
-                )
+            hop = PacketHop(
+                nf=stream,
+                arrival_ns=arrival_ns,
+                read_ns=read_ns,
+                depart_ns=record.time_ns,
             )
+            hops = packet.hops
+            depth = self._depth.get(stream, 0)
+            # Hops normally arrive in path order and this is a plain
+            # append.  During a clock-fault transient the merge can admit
+            # a downstream hop first (the faulted stream's floor briefly
+            # over-advances the horizon); placing each hop at its
+            # topological position keeps the packet's path order — and
+            # therefore the sealed bytes — independent of that race.
+            index = len(hops)
+            while index > 0 and self._depth.get(hops[index - 1].nf, 0) > depth:
+                index -= 1
+            if index == len(hops):
+                hops.append(hop)
+            else:
+                hops.insert(index, hop)
             _insert_sorted(view.arrivals, (arrival_ns, record.pid))
             _insert_sorted(view.reads, (read_ns, record.pid))
             _insert_sorted(view.departs, (record.time_ns, record.pid))
@@ -346,6 +698,8 @@ class IncrementalTrace(DiagTrace):
         Returns the number of records applied.  Call after each
         ``feed.pump()``; safe to call when nothing advanced.
         """
+        if self.clock is not None:
+            return self._ingest_clocked(feed)
         self._quarantine_stragglers(feed)
         horizon = self._horizon(feed)
         applied = 0
@@ -395,7 +749,7 @@ class IncrementalTrace(DiagTrace):
         entries from the live list into ``gaps_evicted``, keeping the
         total monotone across a week of eviction.
         """
-        return {
+        stats = {
             "records_applied": self.records_applied,
             "duplicates": self.duplicates,
             "rejects": self.rejects,
@@ -403,6 +757,9 @@ class IncrementalTrace(DiagTrace):
             "quarantined": len(self.health.quarantined),
             "evictions": self.packets_evicted + self.gaps_evicted,
         }
+        if self.clock is not None:
+            stats.update(self.clock.stats())
+        return stats
 
     # -- pruning (bounded memory) ----------------------------------------------
 
@@ -506,4 +863,8 @@ class IncrementalTrace(DiagTrace):
             self.gaps_evicted += result["gaps"]
         if evicted or result["gaps"]:
             self._mark_mutated()
+        # Seal-cut health snapshots for chunks behind the cut can never
+        # be diagnosed again (the cut trails the replay-retain boundary).
+        for index in [k for k in self._chunk_health if k < cut // self.config.chunk_ns]:
+            del self._chunk_health[index]
         return result

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from repro.collector.health import TelemetryGap
+from repro.collector.health import TelemetryGap, TelemetryHealth
 from repro.core.records import PacketHop, PacketView
 from repro.errors import IngestError
 from repro.ingest.feed import (
@@ -52,10 +52,12 @@ from repro.ingest.feed import (
 from repro.ingest.incremental import IncrementalTrace
 from repro.ingest.records import TelemetryRecord
 from repro.nfv.packet import FiveTuple
+from repro.time.model import ClockBank
 
 #: Bumped when the snapshot layout changes; mismatches fall back to full
-#: replay instead of mis-restoring.
-SNAPSHOT_VERSION = 1
+#: replay instead of mis-restoring.  Version 2 added the clock-model
+#: state (per-stream envelopes, fault ledger, clock confidence).
+SNAPSHOT_VERSION = 2
 
 
 # -- record wire format ---------------------------------------------------------
@@ -243,6 +245,59 @@ def _packet_from_wire(wire) -> PacketView:
     return packet
 
 
+def _builder_config_payload(config) -> dict:
+    return {
+        "chunk_ns": config.chunk_ns,
+        "seal_margin_ns": config.seal_margin_ns,
+        "straggler_timeout_ns": config.straggler_timeout_ns,
+        "clock": None if config.clock is None else config.clock.to_payload(),
+    }
+
+
+def _check_builder_config(builder: IncrementalTrace, config: dict) -> None:
+    if config != _builder_config_payload(builder.config):
+        raise IngestError(
+            f"ingest snapshot config {config} does not match the builder's"
+        )
+
+
+def _health_to_wire(health) -> Optional[dict]:
+    """Wire image of one (possibly absent) frozen TelemetryHealth."""
+    if health is None:
+        return None
+    return {
+        "completeness": dict(health.completeness),
+        "quarantined": sorted(health.quarantined),
+        "retention": dict(health.retention),
+        "clock_confidence": dict(health.clock_confidence),
+        "gaps": [
+            [gap.nf, gap.start_ns, gap.end_ns, gap.kind, gap.count]
+            for gap in health.gaps
+        ],
+    }
+
+
+def _health_from_wire(wire) -> Optional[TelemetryHealth]:
+    if wire is None:
+        return None
+    return TelemetryHealth(
+        completeness={s: float(v) for s, v in wire["completeness"].items()},
+        quarantined=set(wire["quarantined"]),
+        gaps=[
+            TelemetryGap(
+                nf=nf,
+                start_ns=int(start_ns),
+                end_ns=int(end_ns),
+                kind=kind,
+                count=int(count),
+            )
+            for nf, start_ns, end_ns, kind, count in wire["gaps"]
+        ],
+        retention={s: float(v) for s, v in wire["retention"].items()},
+        clock_confidence={s: float(v) for s, v in wire["clock_confidence"].items()},
+    )
+
+
 def capture_builder_state(builder: IncrementalTrace) -> dict:
     """Full JSON image of an :class:`IncrementalTrace`'s mutable state.
 
@@ -254,11 +309,8 @@ def capture_builder_state(builder: IncrementalTrace) -> dict:
     """
     health = builder.health
     return {
-        "config": {
-            "chunk_ns": builder.config.chunk_ns,
-            "seal_margin_ns": builder.config.seal_margin_ns,
-            "straggler_timeout_ns": builder.config.straggler_timeout_ns,
-        },
+        "config": _builder_config_payload(builder.config),
+        "clock": None if builder.clock is None else builder.clock.to_payload(),
         "next_seq": dict(builder._next_seq),
         "last_time": dict(builder._last_time),
         "ok": dict(builder._ok),
@@ -276,12 +328,21 @@ def capture_builder_state(builder: IncrementalTrace) -> dict:
             "completeness": dict(health.completeness),
             "quarantined": sorted(health.quarantined),
             "retention": dict(health.retention),
+            "clock_confidence": dict(health.clock_confidence),
             "gaps": [
                 [gap.nf, gap.start_ns, gap.end_ns, gap.kind, gap.count]
                 for gap in health.gaps
             ],
             "degraded": builder.telemetry is not None,
         },
+        # Seal-cut health snapshots for sealed-but-undiagnosed chunks:
+        # a restored service diagnoses those chunks without re-crossing
+        # their barriers, so the cuts must travel with the state.
+        "chunk_health": [
+            [index, _health_to_wire(snapshot)]
+            for index, snapshot in sorted(builder._chunk_health.items())
+        ],
+        "next_health_chunk": builder._next_health_chunk,
         "packets": [
             _packet_to_wire(packet) for packet in builder.packets.values()
         ],
@@ -290,15 +351,7 @@ def capture_builder_state(builder: IncrementalTrace) -> dict:
 
 def restore_builder_state(builder: IncrementalTrace, state: dict) -> None:
     """Restore a snapshot into a freshly constructed (empty) builder."""
-    config = state["config"]
-    if (
-        config["chunk_ns"] != builder.config.chunk_ns
-        or config["seal_margin_ns"] != builder.config.seal_margin_ns
-        or config["straggler_timeout_ns"] != builder.config.straggler_timeout_ns
-    ):
-        raise IngestError(
-            f"ingest snapshot config {config} does not match the builder's"
-        )
+    _check_builder_config(builder, state["config"])
     if builder.packets or builder.records_applied:
         raise IngestError("ingest snapshots restore into empty builders only")
     for wire in state["packets"]:
@@ -346,6 +399,17 @@ def restore_builder_state(builder: IncrementalTrace, state: dict) -> None:
     health.retention.update(
         {s: float(v) for s, v in state["health"]["retention"].items()}
     )
+    health.clock_confidence.clear()
+    health.clock_confidence.update(
+        {
+            s: float(v)
+            for s, v in state["health"].get("clock_confidence", {}).items()
+        }
+    )
+    clock_state = state.get("clock")
+    builder.clock = (
+        None if clock_state is None else ClockBank.from_payload(clock_state)
+    )
     health.gaps[:] = [
         TelemetryGap(
             nf=nf,
@@ -357,6 +421,11 @@ def restore_builder_state(builder: IncrementalTrace, state: dict) -> None:
         for nf, start_ns, end_ns, kind, count in state["health"]["gaps"]
     ]
     builder.telemetry = health if state["health"]["degraded"] else None
+    builder._chunk_health = {
+        int(index): _health_from_wire(wire)
+        for index, wire in state.get("chunk_health", [])
+    }
+    builder._next_health_chunk = int(state.get("next_health_chunk", 0))
     builder._mark_mutated()
 
 
@@ -398,16 +467,8 @@ def restore_source_state(source, state: dict) -> None:
         raise IngestError(
             f"unsupported ingest snapshot version {state.get('version')!r}"
         )
-    config = state["builder"]["config"]
     builder = source.builder
-    if (
-        config["chunk_ns"] != builder.config.chunk_ns
-        or config["seal_margin_ns"] != builder.config.seal_margin_ns
-        or config["straggler_timeout_ns"] != builder.config.straggler_timeout_ns
-    ):
-        raise IngestError(
-            f"ingest snapshot config {config} does not match the builder's"
-        )
+    _check_builder_config(builder, state["builder"]["config"])
     if builder.packets or builder.records_applied:
         raise IngestError("ingest snapshots restore into empty builders only")
     if set(state["feed"]["buffers"]) != set(source.feed.buffers):

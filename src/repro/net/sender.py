@@ -155,6 +155,12 @@ class RecordSender:
     ``sleep`` and ``clock`` are injectable for tests; ``faults`` is an
     optional crash injector honouring the ``kill(point, chunk)``
     protocol of :class:`~repro.service.crashsim.CrashInjector`.
+
+    ``clock_chaos`` is an optional :class:`~repro.time.chaos.ClockChaos`:
+    pushed records are warped through their stream's fault schedule
+    before they enter the send queue, so the fault originates at the
+    sender's host clock — upstream of framing, resume and dedup, exactly
+    where a real drifting or stepping collector clock lives.
     """
 
     def __init__(
@@ -165,6 +171,7 @@ class RecordSender:
         sleep: Optional[Callable[[float], None]] = None,
         clock: Callable[[], float] = time.monotonic,
         faults=None,
+        clock_chaos=None,
     ) -> None:
         if not streams:
             raise IngestError("a record sender needs at least one stream")
@@ -173,6 +180,7 @@ class RecordSender:
         self.sleep = sleep if sleep is not None else time.sleep
         self.clock = clock
         self.faults = faults
+        self.clock_chaos = clock_chaos
         self.stats = SenderStats()
         self._streams: Dict[str, _StreamOut] = {
             name: _StreamOut(name) for name in streams
@@ -205,6 +213,11 @@ class RecordSender:
 
     def push(self, record: TelemetryRecord) -> None:
         """Enqueue one record for delivery (does no I/O)."""
+        if self.clock_chaos is not None:
+            # Warp before queueing: a crashed-and-resumed sender replays
+            # the identical warped record (the warp is a pure function of
+            # the true timestamp), so clock chaos adds no nondeterminism.
+            record = self.clock_chaos.warp_record(record)
         state = self._streams.get(record.stream)
         if state is None:
             raise IngestError(

@@ -16,6 +16,7 @@ from repro.service.checkpoint import (
     canonical_payload_bytes,
 )
 from repro.service.crashsim import (
+    CLOCK_KILL_POINTS,
     CORRUPT_POINTS,
     ENDURANCE_KILL_POINTS,
     FLEET_KILL_POINTS,
@@ -60,6 +61,7 @@ from repro.service.source import (
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "CLOCK_KILL_POINTS",
     "CORRUPT_POINTS",
     "Checkpointer",
     "ENDURANCE_KILL_POINTS",

@@ -104,6 +104,18 @@ NET_KILL_POINTS: Tuple[str, ...] = (
     "net-after-ack",  # an ACK/WELCOME was applied (pending pruned)
 )
 
+#: Kill-points inside the clock-model update path (clocked ingestion
+#: only; a run with ``IngestConfig.clock=None`` never passes through
+#: them).  ``chunk`` is the pump counter at the moment the point is
+#: reached.  Killing here pins that the clock envelopes, fault ledger and
+#: confidence discounts ride the snapshot ladder: a restart mid-model-
+#: update must converge to the same repaired timestamps and therefore
+#: byte-identical sealed chunks.
+CLOCK_KILL_POINTS: Tuple[str, ...] = (
+    "clock-update",  # a stream's envelope fit advanced this pump
+    "clock-fault",  # a clock fault was detected this pump
+)
+
 #: Kill-points whose fault family is a torn write (prefix of the payload).
 TORN_POINTS: Tuple[str, ...] = ("mid-journal", "mid-checkpoint", "mid-compact")
 
@@ -137,6 +149,7 @@ class CrashPlan:
             + FLEET_KILL_POINTS
             + ENDURANCE_KILL_POINTS
             + NET_KILL_POINTS
+            + CLOCK_KILL_POINTS
         )
         if self.point not in known:
             raise ServiceError(

@@ -42,10 +42,20 @@ pipeline state directories:
     from the accept loop.  The disk half works on a dead deployment like
     every other report; the live half exists because peer liveness is
     the one thing bytes on disk cannot show.
+``clock``
+    The time domain: per-stream clock-model state (offset, drift,
+    uncertainty bound, fault history, frozen flag) from the newest
+    ingest snapshot's serialized :class:`~repro.time.model.ClockBank` —
+    or straight from a live builder attached via
+    :meth:`HealthRegistry.attach_builder`.  Falls back to the
+    checkpointed ``ingest_clock_*`` counters when no snapshot carries
+    model state.
 
 Use :class:`HealthRegistry` pointed at a single service ``state_dir`` or
 at a fleet root (its ``pipelines/*`` children are discovered); ``render``
-produces one report, ``render_all`` the full dashboard.
+produces one report, ``render_all`` the full dashboard.  The module is
+also a CLI — ``python -m repro.service.health <root> [report]`` renders
+the dashboard (or one report) from state-dir bytes alone.
 """
 
 from __future__ import annotations
@@ -84,6 +94,9 @@ class PipelineHealth:
     #: Ingest snapshot ladder (bounded replay).
     snapshot_chunk: Optional[int] = None
     snapshot_bytes: int = 0
+    #: Serialized :class:`~repro.time.model.ClockBank` from the newest
+    #: ingest snapshot (None when clock models were off or no snapshot).
+    clock_payload: Optional[dict] = None
 
     @property
     def replay_suffix_chunks(self) -> Optional[int]:
@@ -136,6 +149,11 @@ def _load_pipeline(name: str, directory: Path) -> PipelineHealth:
             newest = ingest_dir / f"ckpt-{loaded.generation:08d}.json"
             if newest.exists():
                 health.snapshot_bytes = newest.stat().st_size
+            source = loaded.payload.get("source") or {}
+            builder = source.get("builder") or {}
+            clock = builder.get("clock")
+            if isinstance(clock, dict):
+                health.clock_payload = clock
     return health
 
 
@@ -153,6 +171,9 @@ class HealthRegistry:
         #: pipeline name -> live ingest server (duck-typed: anything
         #: with ``transport_stats()``), see :meth:`attach_transport`.
         self._transports: Dict[str, object] = {}
+        #: pipeline name -> live trace builder (duck-typed: anything
+        #: with a ``clock`` attribute), see :meth:`attach_builder`.
+        self._builders: Dict[str, object] = {}
 
     def attach_transport(self, pipeline: str, server) -> None:
         """Attach a live ingest server so the ``transport`` report can
@@ -165,6 +186,17 @@ class HealthRegistry:
         produces).  Detached registries render the disk half only.
         """
         self._transports[pipeline] = server
+
+    def attach_builder(self, pipeline: str, builder) -> None:
+        """Attach a live trace builder so the ``clock`` report can show
+        the current model state instead of the last-snapshot state.
+
+        ``builder`` is duck-typed — it needs a ``clock`` attribute that
+        is either None (models off) or a
+        :class:`~repro.time.model.ClockBank` (the
+        :class:`~repro.ingest.incremental.IncrementalTrace` shape).
+        """
+        self._builders[pipeline] = builder
 
     def _discover(self) -> Dict[str, Tuple[str, Path]]:
         fleet = self.root / "pipelines"
@@ -422,6 +454,75 @@ def _transport(registry: HealthRegistry) -> str:
     )
 
 
+@_register("clock", "time", "per-stream clock-model offset, drift, faults")
+def _clock(registry: HealthRegistry) -> str:
+    from repro.time.model import ClockBank
+
+    rows = []
+    for name, p in sorted(registry.pipelines().items()):
+        bank: Optional[ClockBank] = None
+        origin = "snapshot"
+        builder = registry._builders.get(name)
+        if builder is not None and getattr(builder, "clock", None) is not None:
+            bank = builder.clock
+            origin = "live"
+        elif p.clock_payload is not None:
+            bank = ClockBank.from_payload(p.clock_payload)
+        if bank is None:
+            stats = p.stats
+            faults = int(stats.get("ingest_clock_faults", 0))
+            if faults or int(stats.get("ingest_clock_updates", 0)):
+                # Counters survive in the checkpoint even when no ingest
+                # snapshot carries the serialized models.
+                rows.append(
+                    [
+                        name,
+                        "(all)",
+                        "counters",
+                        "-",
+                        "-",
+                        str(int(stats.get("ingest_clock_uncertainty_ns", 0))),
+                        str(faults),
+                        "-",
+                        "-",
+                    ]
+                )
+            else:
+                rows.append([name, "-", "(off)", "-", "-", "-", "-", "-", "-"])
+            continue
+        stream_rows = bank.stream_stats()
+        if not stream_rows:
+            rows.append([name, "-", origin, "0", "0.0", "0", "0", "-", "no"])
+        for stream, info in sorted(stream_rows.items()):
+            rows.append(
+                [
+                    name,
+                    stream,
+                    origin,
+                    str(info["offset_ns"]),
+                    f"{info['drift_ppm']:.1f}",
+                    str(info["uncertainty_ns"]),
+                    str(info["faults"]),
+                    info["fault_kinds"] or "-",
+                    "yes" if info["frozen"] else "no",
+                ]
+            )
+    return _table(
+        [
+            "pipeline",
+            "stream",
+            "state",
+            "offset_ns",
+            "drift_ppm",
+            "uncert_ns",
+            "faults",
+            "fault_kinds",
+            "frozen",
+        ],
+        rows,
+    )
+
+
 @_register("top-culprits", "diagnosis", "fleet blame with sketch error bars")
 def _top_culprits(registry: HealthRegistry) -> str:
     from repro.fleet.rollup import FleetRollup, tally_from_journal
@@ -434,3 +535,40 @@ def _top_culprits(registry: HealthRegistry) -> str:
     if not tallies:
         return "(no journals)"
     return FleetRollup.from_tallies(tallies).format()
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI: ``python -m repro.service.health <root> [report]``.
+
+    Renders the full dashboard (or a single named report) over a service
+    state dir or fleet root, purely from bytes on disk — usable against
+    a live, crashed, or stopped deployment alike.
+    """
+    import sys
+
+    args = list(sys.argv[1:] if argv is None else argv)
+    if not args or args[0] in ("-h", "--help"):
+        print(
+            "usage: python -m repro.service.health <state-dir> [report]\n"
+            f"reports: {', '.join(REPORTS)}",
+            file=sys.stderr,
+        )
+        return 2 if not args else 0
+    root = Path(args[0])
+    if not root.is_dir():
+        print(f"not a directory: {root}", file=sys.stderr)
+        return 2
+    registry = HealthRegistry(root)
+    try:
+        if len(args) > 1:
+            print(registry.render(args[1]))
+        else:
+            print(registry.render_all())
+    except ServiceError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -220,6 +220,11 @@ class ServiceStats:
     ingest_sheds: int = 0
     ingest_peak_buffered: int = 0
     ingest_evictions: int = 0
+    #: Clock-fault tolerance (zero when clock models are disabled).
+    ingest_clock_faults: int = 0
+    ingest_clock_repairs: int = 0
+    ingest_clock_updates: int = 0
+    ingest_clock_uncertainty_ns: int = 0
     #: Endurance: bounded replay, dead letters, journal rotation.
     #: ``bounded_resumes``/``full_replays`` classify each live-mode resume
     #: by whether an ingest snapshot bounded the transport replay.
@@ -393,6 +398,10 @@ class DiagnosisService:
         # service accumulates deltas so they survive engine re-opens.
         self._worker_failures_seen = 0
         self._worker_timeouts_seen = 0
+        # High-water marks for the clock kill-points: a point fires when
+        # the synced absolute counter moves past what this run has seen.
+        self._clock_updates_seen = 0
+        self._clock_faults_seen = 0
 
     # -- recovery ---------------------------------------------------------------
 
@@ -866,6 +875,18 @@ class DiagnosisService:
             if faults is not None:
                 faults.kill("ingest-apply", processed)
             self._sync_ingest_stats()
+            # Clock kill-points: fire when this pump advanced a clock
+            # model or detected a fault — the crash lands between the
+            # model update and the chunk commit, the exact window the
+            # snapshot ladder must make invisible.
+            if self.stats.ingest_clock_updates > self._clock_updates_seen:
+                self._clock_updates_seen = self.stats.ingest_clock_updates
+                if faults is not None:
+                    faults.kill("clock-update", processed)
+            if self.stats.ingest_clock_faults > self._clock_faults_seen:
+                self._clock_faults_seen = self.stats.ingest_clock_faults
+                if faults is not None:
+                    faults.kill("clock-fault", processed)
             while processed < source.sealed_through():
                 index = processed
                 if faults is not None:

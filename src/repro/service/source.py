@@ -216,10 +216,15 @@ class LiveTraceSource:
         return stats
 
     def fingerprint(self) -> dict:
+        clock = self.builder.config.clock
         return {
             "live": True,
             "nfs": sorted(self.builder.nfs),
             "sources": sorted(self.builder.sources),
+            # Clock repair changes applied timestamps, so a journal
+            # written with models on must not be resumed with them off
+            # (or under different model parameters) and vice versa.
+            "clock": None if clock is None else clock.to_payload(),
         }
 
     # -- bounded replay ---------------------------------------------------------

@@ -1,0 +1,45 @@
+"""Time-domain robustness: online clock models, faults, and chaos.
+
+The distributed ingestion plane (PR 9) trusts sender timestamps: the
+min-watermark seal barrier, victim timespans and cross-NF propagation
+attribution all read them as one coherent clock.  This package makes
+that trust earned instead of assumed:
+
+* :mod:`repro.time.model` — per-stream streaming clock models (windowed
+  Huygens-style lower-envelope offset + drift estimation over matched
+  edge pairs), typed :class:`ClockFault` events for steps, freezes and
+  out-of-bound drift, and per-stream uncertainty bounds that widen the
+  sealing barrier.
+* :mod:`repro.time.chaos` — seeded per-sender clock fault schedules
+  (constant drift, ramp, NTP step forward/backward, freeze) injectable
+  at the :class:`~repro.net.sender.RecordSender` and
+  :class:`~repro.ingest.feed.SimTransport` layers.
+"""
+
+from repro.time.model import (
+    FAULT_KINDS,
+    ClockBank,
+    ClockConfig,
+    ClockFault,
+    StreamClockModel,
+    fit_lower_envelope,
+)
+from repro.time.chaos import (
+    SCHEDULE_KINDS,
+    ClockChaos,
+    ClockChaosTransport,
+    ClockSchedule,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "SCHEDULE_KINDS",
+    "ClockBank",
+    "ClockChaos",
+    "ClockChaosTransport",
+    "ClockConfig",
+    "ClockFault",
+    "ClockSchedule",
+    "StreamClockModel",
+    "fit_lower_envelope",
+]

@@ -1,0 +1,190 @@
+"""Seeded clock-fault schedules for senders and transports.
+
+A :class:`ClockSchedule` is a pure function of the true timestamp: the
+same record always warps to the same faulty time no matter how pulls are
+batched or how often a crashed sender replays it.  That purity is what
+lets the clock soak demand byte-identical sealed chunks across
+kill/restart — the fault injection itself introduces no nondeterminism.
+
+Schedules model the four real-world clock fault families:
+
+* ``drift``  — constant frequency error of ``ppm`` starting at ``start_ns``.
+* ``ramp``   — drift that ramps linearly from 0 to ``ppm`` over
+  ``ramp_ns`` (a warming oscillator), then holds.
+* ``step``   — an NTP-style step of ``step_ns`` (either sign) at
+  ``start_ns``.
+* ``freeze`` — the clock reads ``start_ns`` for ``freeze_ns`` (forever
+  when 0), then resumes with the true clock.
+
+Injection points:
+
+* :class:`ClockChaos` warps :class:`~repro.ingest.records.TelemetryRecord`
+  timestamps per stream — handed to ``RecordSender(clock_chaos=...)`` so
+  faults originate at the remote sender, upstream of framing, exactly
+  where real clock faults live.
+* :class:`ClockChaosTransport` wraps any pull transport (usually
+  :class:`~repro.ingest.feed.SimTransport`) for in-process tests, with
+  snapshot/restore delegation so it rides the watermark ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # runtime-import-free: repro.ingest imports repro.collector,
+    # whose chaos module imports this one — a cycle unless the record type
+    # stays annotation-only (dataclasses.replace works on any instance).
+    from repro.ingest.records import TelemetryRecord
+
+SCHEDULE_KINDS = ("drift", "ramp", "step", "freeze")
+
+
+@dataclass(frozen=True)
+class ClockSchedule:
+    """One sender's clock-fault trajectory, as a pure warp of true time."""
+
+    kind: str
+    #: When the fault engages, in true-clock nanoseconds.
+    start_ns: int = 0
+    #: Frequency error for ``drift``/``ramp``.
+    ppm: float = 0.0
+    #: Ramp duration for ``ramp``.
+    ramp_ns: int = 0
+    #: Step size (signed) for ``step``.
+    step_ns: int = 0
+    #: Freeze duration for ``freeze`` (0 = frozen forever).
+    freeze_ns: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in SCHEDULE_KINDS:
+            raise ConfigurationError(f"unknown clock schedule kind {self.kind!r}")
+        if self.start_ns < 0:
+            raise ConfigurationError(f"start_ns must be >= 0: {self.start_ns}")
+        if self.kind == "ramp" and self.ramp_ns <= 0:
+            raise ConfigurationError("ramp schedules need a positive ramp_ns")
+        if self.kind == "step" and self.step_ns == 0:
+            raise ConfigurationError("step schedules need a non-zero step_ns")
+        if self.freeze_ns < 0:
+            raise ConfigurationError(f"freeze_ns must be >= 0: {self.freeze_ns}")
+
+    def warp(self, t_ns: int) -> int:
+        """Faulty clock reading for true time ``t_ns``."""
+        if t_ns < self.start_ns:
+            return t_ns
+        dt = t_ns - self.start_ns
+        if self.kind == "drift":
+            return t_ns + int(dt * self.ppm / 1e6)
+        if self.kind == "ramp":
+            # Frequency error grows linearly from 0 to ppm over ramp_ns;
+            # the accumulated offset is the integral of that frequency.
+            if dt <= self.ramp_ns:
+                return t_ns + int(self.ppm / 1e6 * dt * dt / (2.0 * self.ramp_ns))
+            settled = self.ppm / 1e6 * (self.ramp_ns / 2.0 + (dt - self.ramp_ns))
+            return t_ns + int(settled)
+        if self.kind == "step":
+            return t_ns + self.step_ns
+        # freeze
+        if self.freeze_ns == 0 or dt < self.freeze_ns:
+            return self.start_ns
+        return t_ns
+
+    def to_payload(self) -> dict:
+        return {
+            "kind": self.kind,
+            "start_ns": self.start_ns,
+            "ppm": self.ppm,
+            "ramp_ns": self.ramp_ns,
+            "step_ns": self.step_ns,
+            "freeze_ns": self.freeze_ns,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ClockSchedule":
+        return cls(**payload)
+
+
+class ClockChaos:
+    """Per-stream clock schedules applied to telemetry records."""
+
+    def __init__(self, schedules: Mapping[str, ClockSchedule]) -> None:
+        self.schedules: Dict[str, ClockSchedule] = dict(schedules)
+
+    def schedule_for(self, stream: str) -> Optional[ClockSchedule]:
+        return self.schedules.get(stream)
+
+    def warp_record(self, record: TelemetryRecord) -> TelemetryRecord:
+        """Warp one record's timestamps through its stream's schedule.
+
+        Hop records carry ``(arrival_ns, read_ns)`` in ``data`` with the
+        departure in ``time_ns``; all three come off the same host clock,
+        so all three warp.  Freezes can collapse the ordering, so the
+        warped triple is re-clamped to ``0 <= arrival <= read <= depart``
+        — a faulty clock must still produce structurally valid records,
+        or the fault would be rejected at parse time instead of reaching
+        the clock models it is meant to exercise.
+        """
+        schedule = self.schedules.get(record.stream)
+        if schedule is None:
+            return record
+        depart = schedule.warp(record.time_ns)
+        if record.kind == "hop" and len(record.data) >= 2:
+            arrival = schedule.warp(record.data[0])
+            read = schedule.warp(record.data[1])
+            read = min(read, depart)
+            arrival = max(0, min(arrival, read))
+            data = (arrival, read) + tuple(record.data[2:])
+            return replace(record, time_ns=max(0, depart), data=data)
+        return replace(record, time_ns=max(0, depart))
+
+    def warp_batch(
+        self, records: Sequence[TelemetryRecord]
+    ) -> List[TelemetryRecord]:
+        return [self.warp_record(record) for record in records]
+
+
+class ClockChaosTransport:
+    """Wrap a pull transport, warping record timestamps on the way out.
+
+    Structurally transparent: delegates stream topology, EOS, reset and
+    reconnection to the inner transport, and snapshots as a tagged
+    wrapper around the inner transport's state so crash/restore replays
+    the identical warped stream.
+    """
+
+    def __init__(self, inner, chaos: ClockChaos) -> None:
+        self.inner = inner
+        self.chaos = chaos
+
+    @property
+    def can_backpressure(self) -> bool:
+        return getattr(self.inner, "can_backpressure", False)
+
+    def streams(self) -> List[str]:
+        return self.inner.streams()
+
+    def pull(self, stream: str, max_records: int) -> List[TelemetryRecord]:
+        return self.chaos.warp_batch(self.inner.pull(stream, max_records))
+
+    def at_eos(self, stream: str) -> bool:
+        return self.inner.at_eos(stream)
+
+    def reset(self) -> None:
+        self.inner.reset()
+
+    def reconnect(self) -> None:
+        reconnect = getattr(self.inner, "reconnect", None)
+        if reconnect is not None:
+            reconnect()
+
+    def snapshot_state(self) -> dict:
+        from repro.ingest.watermark import capture_transport_state
+
+        return {"kind": "clock-chaos", "inner": capture_transport_state(self.inner)}
+
+    def restore_state(self, state: dict) -> None:
+        from repro.ingest.watermark import restore_transport_state
+
+        restore_transport_state(self.inner, state["inner"])

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.collector.chaos import ChaosConfig, chaos_from_env, inject_chaos
+from repro.time import ClockSchedule
 from repro.collector.runtime import (
     BatchRecord,
     CollectedData,
@@ -198,6 +199,49 @@ class TestInjection:
         assert len(spared.data.exits) == len(data.exits)
 
 
+class TestClockSchedules:
+    def test_step_shifts_all_batches(self):
+        data = make_data()
+        sched = ClockSchedule(kind="step", start_ns=0, step_ns=-700)
+        result = inject_chaos(data, ChaosConfig(clock_schedules={"nat1": sched}))
+        for ours, theirs in zip(result.data.nfs["nat1"].rx, data.nfs["nat1"].rx):
+            assert ours.time_ns == theirs.time_ns - 700
+        assert result.report.clock_faulted == {"nat1": "step"}
+        assert "nat1" in result.report.touched_nfs
+        # Unscheduled NFs untouched.
+        assert snapshot(result.data)[0]["vpn1"] == snapshot(data)[0]["vpn1"]
+
+    def test_freeze_flattens_timestamps(self):
+        data = make_data()
+        sched = ClockSchedule(kind="freeze", start_ns=5_000)
+        result = inject_chaos(data, ChaosConfig(clock_schedules={"vpn1": sched}))
+        frozen = [b.time_ns for b in result.data.nfs["vpn1"].rx if b.time_ns >= 5_000]
+        assert frozen and all(t == 5_000 for t in frozen)
+        assert result.report.clock_faulted == {"vpn1": "freeze"}
+
+    def test_composes_with_drift_ppm(self):
+        """Schedules apply after the legacy constant drift, so both warp."""
+        data = make_data()
+        sched = ClockSchedule(kind="step", start_ns=0, step_ns=100)
+        result = inject_chaos(
+            data,
+            ChaosConfig(drift_ppm={"nat1": 10_000.0}, clock_schedules={"nat1": sched}),
+        )
+        original = data.nfs["nat1"].rx[-1].time_ns
+        drifted = original + int(original * 10_000.0 / 1e6)
+        assert result.data.nfs["nat1"].rx[-1].time_ns == sched.warp(drifted)
+        assert result.report.drifted == {"nat1": 10_000.0}
+        assert result.report.clock_faulted == {"nat1": "step"}
+
+    def test_ineffective_schedule_not_reported(self):
+        """A schedule that never changes a timestamp (starts after the
+        capture ends) must not claim the NF was faulted."""
+        data = make_data()
+        sched = ClockSchedule(kind="step", start_ns=10**12, step_ns=500)
+        result = inject_chaos(data, ChaosConfig(clock_schedules={"nat1": sched}))
+        assert result.report.clock_faulted == {}
+
+
 class TestEnvConfig:
     def test_unset_returns_none(self):
         assert chaos_from_env({}) is None
@@ -223,3 +267,44 @@ class TestEnvConfig:
     def test_bad_values_rejected(self, env):
         with pytest.raises(ConfigurationError):
             chaos_from_env(env)
+
+    def test_clock_alone_activates(self):
+        config = chaos_from_env({"REPRO_CHAOS_CLOCK": "drift:nat1:500"})
+        assert config is not None
+        assert config.drop_rate == 0.0
+        assert config.clock_schedules["nat1"] == ClockSchedule(
+            kind="drift", ppm=500.0
+        )
+        assert config.active
+
+    def test_parses_all_families_with_start(self):
+        config = chaos_from_env(
+            {
+                "REPRO_CHAOS_CLOCK": (
+                    "drift:nat1:250,step:vpn1:-1000000@2000000,"
+                    "freeze:fw1:500000@3000000"
+                ),
+                "REPRO_CHAOS_LOSS": "0.05",
+            }
+        )
+        assert config.clock_schedules["nat1"].kind == "drift"
+        step = config.clock_schedules["vpn1"]
+        assert (step.kind, step.step_ns, step.start_ns) == ("step", -1_000_000, 2_000_000)
+        freeze = config.clock_schedules["fw1"]
+        assert (freeze.kind, freeze.freeze_ns, freeze.start_ns) == (
+            "freeze", 500_000, 3_000_000,
+        )
+        assert config.drop_rate == pytest.approx(0.05)
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "wobble:nat1:100",  # unknown family
+            "drift:nat1",  # missing value
+            "drift:nat1:fast",  # non-numeric value
+            "step:nat1:500@soon",  # bad start time
+        ],
+    )
+    def test_bad_clock_clauses_rejected(self, spec):
+        with pytest.raises(ConfigurationError):
+            chaos_from_env({"REPRO_CHAOS_CLOCK": spec})

@@ -1,0 +1,180 @@
+"""Property tests for the static cross-server clock estimator.
+
+Hypothesis generates random NF trees x random per-node offsets and checks
+the round-trip the docstring promises: when every edge observes its
+queueing floor densely (zero-queue forwardings are common in real NF
+chains, and the estimator's densest-cluster 10th-percentile edge needs
+them), ``estimate_offsets`` recovers each node's offset relative to the
+reference *exactly*.  Disconnected graphs must raise ``TraceError`` under
+``require_connected`` instead of silently emitting garbage offsets, and
+``estimate_edge_drift`` must recover a linear relative drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.collector import (
+    CollectedData,
+    DriftEstimate,
+    EdgeSpec,
+    NFRecords,
+    SourceRecord,
+    estimate_edge_drift,
+    estimate_offsets,
+)
+from repro.collector.clock import _edge_offset_estimate
+from repro.collector.runtime import BatchRecord
+from repro.errors import TraceError
+
+#: (n_nodes, parent indices, offsets, delays) for a random tree: node 0
+#: is the source/reference, node i > 0 hangs off parent[i-1] < i.
+trees = st.integers(min_value=2, max_value=6).flatmap(
+    lambda n: st.tuples(
+        st.just(n),
+        st.tuples(*[st.integers(min_value=0, max_value=i) for i in range(n - 1)]),
+        st.lists(
+            st.integers(min_value=-5_000_000, max_value=5_000_000),
+            min_size=n, max_size=n,
+        ),
+        st.lists(
+            st.integers(min_value=0, max_value=100_000),
+            min_size=n - 1, max_size=n - 1,
+        ),
+    )
+)
+
+
+def node_name(i: int) -> str:
+    return f"n{i}"
+
+
+def build_tree_data(n, parents, offsets, delays, pairs_per_edge=40):
+    """Synthesize CollectedData for the tree, with dense queueing floors.
+
+    Every 10th match gets a positive queueing delay; the rest sit exactly
+    on the floor, so the densest cluster's lower edge is the true offset.
+    IPIDs are globally unique — collision robustness is the dense-cluster
+    heuristic's job and is pinned by the existing unit tests.
+    """
+    edges = []
+    data = CollectedData(nfs={}, sources={}, exits=[], max_batch=64)
+    data.sources[node_name(0)] = []
+    for i in range(1, n):
+        data.nfs[node_name(i)] = NFRecords(rx=[], tx={})
+    next_ipid = 0
+    for child in range(1, n):
+        parent = parents[child - 1]
+        src, dst = node_name(parent), node_name(child)
+        delay = delays[child - 1]
+        edges.append(EdgeSpec(src=src, dst=dst, delay_ns=delay))
+        for k in range(pairs_per_edge):
+            ipid = next_ipid
+            next_ipid += 1
+            t_true = k * 50_000
+            tx_local = t_true + offsets[parent]
+            queue = 30_000 if k % 10 == 9 else 0
+            rx_local = t_true + delay + queue + offsets[child]
+            if parent == 0:
+                data.sources[src].append(
+                    SourceRecord(time_ns=tx_local, ipid=ipid, flow=0, target=dst)
+                )
+            else:
+                data.nfs[src].tx.setdefault(dst, []).append(
+                    BatchRecord(time_ns=tx_local, ipids=(ipid,))
+                )
+            data.nfs[dst].rx.append(BatchRecord(time_ns=rx_local, ipids=(ipid,)))
+    for records in data.nfs.values():
+        records.rx.sort(key=lambda b: b.time_ns)
+        for batches in records.tx.values():
+            batches.sort(key=lambda b: b.time_ns)
+    data.sources[node_name(0)].sort(key=lambda r: r.time_ns)
+    return data, edges
+
+
+class TestOffsetRecoveryProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(trees)
+    def test_random_tree_exact_recovery(self, tree):
+        n, parents, offsets, delays = tree
+        data, edges = build_tree_data(n, parents, offsets, delays)
+        alignment = estimate_offsets(data, edges, node_name(0))
+        assert set(alignment.offsets_ns) == {node_name(i) for i in range(n)}
+        for i in range(n):
+            expected = offsets[i] - offsets[0]
+            assert alignment.offsets_ns[node_name(i)] == expected, (i, tree)
+
+    @settings(max_examples=30, deadline=None)
+    @given(trees)
+    def test_per_edge_estimate_exact(self, tree):
+        n, parents, offsets, delays = tree
+        data, edges = build_tree_data(n, parents, offsets, delays)
+        for edge, child in zip(edges, range(1, n)):
+            parent = parents[child - 1]
+            estimate = _edge_offset_estimate(data, edge)
+            assert estimate == offsets[child] - offsets[parent]
+
+    @settings(max_examples=20, deadline=None)
+    @given(trees)
+    def test_disconnected_raises_when_required(self, tree):
+        n, parents, offsets, delays = tree
+        data, edges = build_tree_data(n, parents, offsets, delays)
+        # An island edge between two nodes no records ever mention: its
+        # estimate is None, so the island stays unreachable.
+        island = [EdgeSpec(src="island-a", dst="island-b", delay_ns=0)]
+        lenient = estimate_offsets(data, edges + island, node_name(0))
+        assert "island-a" not in lenient.offsets_ns
+        assert lenient.correction_for("island-a") == 0  # silent default
+        with pytest.raises(TraceError, match="island-a"):
+            estimate_offsets(
+                data, edges + island, node_name(0), require_connected=True
+            )
+
+    def test_reference_alone_is_connected(self):
+        data = CollectedData(nfs={}, sources={}, exits=[], max_batch=64)
+        alignment = estimate_offsets(data, [], "solo", require_connected=True)
+        assert alignment.offsets_ns == {"solo": 0}
+
+
+class TestDriftEstimateProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        drift_ppm=st.integers(min_value=-1000, max_value=1000),
+        offset_ns=st.integers(min_value=-2_000_000, max_value=2_000_000),
+        delay_ns=st.integers(min_value=0, max_value=50_000),
+    )
+    def test_linear_drift_recovered(self, drift_ppm, offset_ns, delay_ns):
+        """dst's clock runs at (1 + drift) relative to src: the windowed
+        envelope fit recovers both the rate and the offset at any time."""
+        data = CollectedData(nfs={}, sources={}, exits=[], max_batch=64)
+        data.sources["src"] = []
+        rx = []
+        for i in range(400):
+            t = i * 10_000  # 4 ms capture
+            data.sources["src"].append(
+                SourceRecord(time_ns=t, ipid=i, flow=0, target="nf")
+            )
+            skew = offset_ns + t * drift_ppm // 1_000_000
+            rx.append(BatchRecord(time_ns=t + delay_ns + skew, ipids=(i,)))
+        data.nfs["nf"] = NFRecords(rx=rx, tx={})
+        edge = EdgeSpec(src="src", dst="nf", delay_ns=delay_ns)
+        estimate = estimate_edge_drift(data, edge, window_ns=400_000)
+        assert isinstance(estimate, DriftEstimate)
+        assert estimate.drift_ppm == pytest.approx(drift_ppm, abs=5)
+        assert estimate.offset_at(0) == pytest.approx(offset_ns, abs=2_000)
+        assert estimate.windows == 10
+        assert estimate.samples == 400
+
+    def test_no_matches_returns_none(self):
+        data = CollectedData(nfs={}, sources={}, exits=[], max_batch=64)
+        edge = EdgeSpec(src="ghost", dst="nowhere", delay_ns=0)
+        assert estimate_edge_drift(data, edge) is None
+
+    def test_bad_window_raises(self):
+        data = CollectedData(nfs={}, sources={}, exits=[], max_batch=64)
+        with pytest.raises(TraceError, match="window_ns"):
+            estimate_edge_drift(
+                data, EdgeSpec(src="a", dst="b", delay_ns=0), window_ns=0
+            )

@@ -1,0 +1,382 @@
+"""Clock-fault tolerance through the ingest builder and the service.
+
+Pins the tentpole invariants of the time-domain robustness layer:
+
+* **Clean-clock identity** — enabling the clock models on a healthy
+  stream changes nothing: the built trace is byte-for-byte the offline
+  trace, under default and test-scale configs, under any batching.
+* **Batching invariance under chaos** — for every fault family (backward
+  step, forward step, drift, ramp, freeze) the applied trace and the
+  final clock-model state are pure functions of the per-stream record
+  prefixes, identical across transport batchings.
+* **Graceful degradation** — faults surface as typed ``clock`` telemetry
+  gaps plus multiplicative confidence discounts (quarantine for
+  freezes), never as silent corruption; upstream faults do not mirror
+  into downstream streams' models.
+* **Crash-safety** — a service killed at the new ``clock-update`` /
+  ``clock-fault`` kill points recovers to a byte-identical journal, the
+  clock state riding the ingest snapshot ladder.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+import pytest
+
+from repro.core.records import DiagTrace
+from repro.ingest import (
+    FeedConfig,
+    IncrementalTrace,
+    IngestConfig,
+    SimTransport,
+    TelemetryFeed,
+)
+from repro.nfv.tap import LiveRecordTap
+from repro.service import (
+    CLOCK_KILL_POINTS,
+    CrashInjector,
+    CrashPlan,
+    DiagnosisService,
+    HealthRegistry,
+    LiveTraceSource,
+    ServiceConfig,
+    SimulatedCrash,
+)
+from repro.time import ClockChaos, ClockChaosTransport, ClockConfig, ClockSchedule
+from repro.util.timebase import MSEC, USEC
+from tests.conftest import make_chain_topology, run_interrupt_chain
+from tests.core.test_streaming_fastpath import canonical_bytes
+
+CHUNK_NS = 1 * MSEC
+MARGIN_NS = 5 * MSEC
+
+#: Test-scale model config: 200 us envelope windows (the default 5 ms
+#: window would span the whole workload), tight deadband, and a freeze
+#: threshold above clean-trace burst scale but reachable mid-run.
+CFG = ClockConfig(
+    window_ns=200 * USEC,
+    deadband_ns=500,
+    drift_tolerance_ppm=200.0,
+    step_tolerance_ns=100 * USEC,
+    freeze_records=256,
+)
+
+#: One schedule per fault family, all targeting the nat1 sender.
+SCHEDULES = {
+    "step-back": ClockSchedule(kind="step", start_ns=2 * MSEC, step_ns=-1 * MSEC),
+    "step-forward": ClockSchedule(kind="step", start_ns=2 * MSEC, step_ns=1 * MSEC),
+    "drift": ClockSchedule(kind="drift", ppm=2000.0),
+    "ramp": ClockSchedule(kind="ramp", start_ns=1 * MSEC, ppm=1500.0, ramp_ns=1 * MSEC),
+    "freeze": ClockSchedule(kind="freeze", start_ns=2 * MSEC),
+}
+
+
+@pytest.fixture(scope="module")
+def tapped_run():
+    """(records, offline trace) from one tapped interrupt-chain run."""
+    tap = LiveRecordTap()
+    result = run_interrupt_chain(extra_hooks=[tap])
+    return tap.records, DiagTrace.from_sim_result(result)
+
+
+def build(transport, clock=None, feed_config=None, max_pumps=200_000):
+    feed = TelemetryFeed(transport, feed_config or FeedConfig())
+    builder = IncrementalTrace.for_topology(
+        make_chain_topology(),
+        IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS, clock=clock),
+    )
+    for _ in range(max_pumps):
+        feed.pump()
+        builder.ingest(feed)
+        if builder.complete:
+            return builder
+    raise AssertionError("builder never completed")
+
+
+def trace_fp(trace):
+    """Applied-event fingerprint: per-NF event streams + packet map."""
+    nfs = {
+        name: (tuple(nf.arrivals), tuple(nf.reads), tuple(nf.departs), tuple(nf.drops))
+        for name, nf in trace.nfs.items()
+    }
+    packets = {
+        pid: (p.emitted_ns, tuple(p.hops), p.exited_ns, p.dropped_ns)
+        for pid, p in trace.packets.items()
+    }
+    return nfs, packets
+
+
+def clock_fp(builder):
+    return json.dumps(builder.clock.to_payload(), sort_keys=True)
+
+
+def chaos_transport(records, label):
+    return ClockChaosTransport(
+        SimTransport(records), ClockChaos({"nat1": SCHEDULES[label]})
+    )
+
+
+class TestCleanIdentity:
+    def test_enabled_equals_disabled_equals_offline(self, tapped_run):
+        records, offline = tapped_run
+        plain = build(SimTransport(records))
+        clocked = build(SimTransport(records), clock=CFG)
+        small = build(
+            SimTransport(records),
+            clock=CFG,
+            feed_config=FeedConfig(buffer_capacity=64, max_pull=17),
+        )
+        assert trace_fp(clocked) == trace_fp(plain) == trace_fp(offline)
+        assert trace_fp(small) == trace_fp(offline)
+        # Clean input stays strict: no gaps, no discounts, no repairs.
+        assert clocked.telemetry is None
+        assert clocked.health.clock_confidence == {}
+        assert clocked.clock.faults == []
+
+    def test_default_config_identity(self, tapped_run):
+        """The shipping defaults are also identity on a clean trace (the
+        deadband absorbs envelope jitter)."""
+        records, offline = tapped_run
+        clocked = build(SimTransport(records), clock=ClockConfig())
+        assert trace_fp(clocked) == trace_fp(offline)
+        assert clocked.clock.faults == []
+
+
+class TestChaosFamilies:
+    @pytest.fixture(scope="class")
+    def family_runs(self, tapped_run):
+        """Each family built under two batchings, once per class."""
+        records, _offline = tapped_run
+        runs = {}
+        for label in SCHEDULES:
+            wide = build(chaos_transport(records, label), clock=CFG)
+            narrow = build(
+                chaos_transport(records, label),
+                clock=CFG,
+                feed_config=FeedConfig(buffer_capacity=64, max_pull=17),
+            )
+            runs[label] = (wide, narrow)
+        return runs
+
+    @pytest.mark.parametrize("label", sorted(SCHEDULES))
+    def test_batching_invariant(self, family_runs, label):
+        """Sealed output and model state are independent of transport
+        batching — the property that makes crash/restart byte-identical
+        even while a chaos schedule is active."""
+        wide, narrow = family_runs[label]
+        assert trace_fp(wide) == trace_fp(narrow)
+        assert clock_fp(wide) == clock_fp(narrow)
+
+    @pytest.mark.parametrize("label", sorted(SCHEDULES))
+    def test_fault_surfaced_and_discounted(self, family_runs, label):
+        wide, _narrow = family_runs[label]
+        gaps = Counter((g.nf, g.kind) for g in wide.health.gaps)
+        assert gaps[("nat1", "clock")] == 1, "fault must surface as a clock gap"
+        discount = 0.9 if label in ("drift", "ramp") else 0.5
+        assert wide.health.clock_confidence == {"nat1": discount}
+        assert wide.health.nf_confidence("nat1") <= discount
+
+    @pytest.mark.parametrize("label", sorted(SCHEDULES))
+    def test_no_mirror_faults_downstream(self, family_runs, label):
+        """nat1's clock fault must not leak into vpn1's model: pairs are
+        grounded at the packet's repaired source emit, so downstream
+        models never reference the faulted stream."""
+        wide, _narrow = family_runs[label]
+        stats = wide.clock.stream_stats()
+        for stream, row in stats.items():
+            if stream != "nat1":
+                assert row["faults"] == 0, (stream, row)
+
+    def test_step_back_repaired_exactly(self, family_runs):
+        wide, _ = family_runs["step-back"]
+        row = wide.clock.stream_stats()["nat1"]
+        assert row["offset_ns"] == -1 * MSEC
+        assert row["fault_kinds"] == "step-back"
+        assert not row["frozen"]
+        # Accepted degradation: the step boundary leaves exactly one
+        # chain-break where a repaired hop lands before its arrival.
+        gaps = Counter((g.nf, g.kind) for g in wide.health.gaps)
+        assert gaps[("nat1", "chain-break")] == 1
+
+    def test_step_forward_repaired_exactly(self, family_runs):
+        wide, _ = family_runs["step-forward"]
+        row = wide.clock.stream_stats()["nat1"]
+        assert row["offset_ns"] == 1 * MSEC
+        assert row["fault_kinds"] == "step-forward"
+        gaps = Counter(g.kind for g in wide.health.gaps)
+        assert gaps["chain-break"] == 0
+
+    def test_drift_fitted_within_tolerance(self, family_runs):
+        wide, _ = family_runs["drift"]
+        row = wide.clock.stream_stats()["nat1"]
+        assert row["drift_ppm"] == pytest.approx(2000.0, rel=0.01)
+        assert row["fault_kinds"] == "drift"
+        assert row["uncertainty_ns"] > 0
+
+    def test_ramp_fitted_at_settled_rate(self, family_runs):
+        wide, _ = family_runs["ramp"]
+        row = wide.clock.stream_stats()["nat1"]
+        assert row["drift_ppm"] == pytest.approx(1500.0, rel=0.01)
+
+    def test_freeze_quarantines(self, family_runs):
+        wide, _ = family_runs["freeze"]
+        row = wide.clock.stream_stats()["nat1"]
+        assert row["frozen"]
+        assert row["fault_kinds"] == "freeze"
+        assert "nat1" in wide.health.quarantined
+        assert wide.health.nf_confidence("nat1") == 0.0
+        # Pre-latch records (freeze_records - 1 of them) applied with the
+        # frozen timestamp; their chain-breaks are the accepted, visible
+        # cost of the detection latency.
+        gaps = Counter((g.nf, g.kind) for g in wide.health.gaps)
+        assert 0 < gaps[("nat1", "chain-break")] < CFG.freeze_records
+
+
+def service_config(tmp_path, **kwargs) -> ServiceConfig:
+    kwargs.setdefault("chunk_ns", CHUNK_NS)
+    kwargs.setdefault("margin_ns", MARGIN_NS)
+    kwargs.setdefault("victim_threshold_ns", 300 * USEC)
+    kwargs.setdefault("durable", False)
+    kwargs.setdefault("ingest_checkpoint_every", 2)
+    return ServiceConfig(state_dir=tmp_path / "state", **kwargs)
+
+
+class TestServiceUnderClockChaos:
+    """A live service with a drifting sender: crash-safe, observable."""
+
+    @pytest.fixture(scope="class")
+    def long_records(self):
+        # 12 ms so chunks seal progressively while the clock model is
+        # still updating (the kill points fire between pump and commit).
+        tap = LiveRecordTap()
+        run_interrupt_chain(duration_ns=12 * MSEC, extra_hooks=[tap])
+        return tap.records
+
+    def drift_source(self, records):
+        feed = TelemetryFeed(chaos_transport(records, "drift"), FeedConfig())
+        builder = IncrementalTrace.for_topology(
+            make_chain_topology(),
+            IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS, clock=CFG),
+        )
+        return LiveTraceSource(feed, builder)
+
+    @pytest.fixture(scope="class")
+    def drift_reference(self, long_records, tmp_path_factory):
+        service = DiagnosisService(
+            self.drift_source(long_records),
+            service_config(tmp_path_factory.mktemp("drift-ref")),
+        )
+        report = service.run()
+        assert report.stats.ingest_clock_faults >= 1
+        assert report.stats.ingest_clock_updates > 0
+        assert report.stats.ingest_clock_repairs > 0
+        return {
+            "journal": service.journal.read_bytes(),
+            "canon": canonical_bytes(report.diagnoses),
+            "state": service.config.state_dir,
+            "n_chunks": report.n_chunks,
+        }
+
+    @pytest.fixture(scope="class")
+    def clock_points_visited(self, long_records, tmp_path_factory):
+        """(point, chunk) pairs an unarmed injector sees — both clock
+        kill points must be reachable under drift chaos."""
+        injector = CrashInjector()
+        DiagnosisService(
+            self.drift_source(long_records),
+            service_config(tmp_path_factory.mktemp("visits")),
+            faults=injector,
+        ).run()
+        visited = set(injector.visited)
+        assert set(CLOCK_KILL_POINTS) <= {point for point, _chunk in visited}
+        return visited
+
+    @pytest.mark.parametrize("point", CLOCK_KILL_POINTS)
+    def test_kill_at_clock_point_recovers_identically(
+        self, long_records, tmp_path, drift_reference, clock_points_visited, point
+    ):
+        chunk = min(c for p, c in clock_points_visited if p == point)
+        armed = DiagnosisService(
+            self.drift_source(long_records),
+            service_config(tmp_path),
+            faults=CrashInjector(CrashPlan(point, chunk=chunk)),
+        )
+        with pytest.raises(SimulatedCrash):
+            armed.run()
+        recovered = DiagnosisService(
+            self.drift_source(long_records), service_config(tmp_path)
+        )
+        report = recovered.run()
+        assert recovered.journal.read_bytes() == drift_reference["journal"]
+        assert canonical_bytes(report.diagnoses) == drift_reference["canon"]
+        # The clock points can fire before the first checkpoint exists, in
+        # which case recovery is a (still byte-identical) cold start.
+        assert report.stats.chunks_done == drift_reference["n_chunks"]
+
+    def test_clock_state_rides_snapshot_ladder(self, drift_reference):
+        """The newest ingest snapshot carries the full clock bank; the
+        offline health report reads it from state-dir bytes alone."""
+        registry = HealthRegistry(drift_reference["state"])
+        rendered = registry.render("clock")
+        assert "nat1" in rendered and "drift" in rendered
+        assert "snapshot" in rendered
+
+    def test_live_report_prefers_attached_builder(
+        self, long_records, drift_reference, tmp_path
+    ):
+        source = self.drift_source(long_records)
+        DiagnosisService(source, service_config(tmp_path)).run()
+        registry = HealthRegistry(tmp_path / "state")
+        registry.attach_builder("state", source.builder)
+        rendered = registry.render("clock")
+        assert "live" in rendered and "nat1" in rendered
+
+
+class TestHealthCLI:
+    """`python -m repro.service.health <root> [report]` renders any
+    registered report from state-dir bytes alone."""
+
+    def test_usage_exits_2(self, capsys):
+        from repro.service.health import main
+
+        assert main([]) == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err and "clock" in err
+
+    def test_help_exits_0(self, capsys):
+        from repro.service.health import main
+
+        assert main(["-h"]) == 0
+        assert "usage:" in capsys.readouterr().err
+
+    def test_missing_root_exits_2(self, tmp_path, capsys):
+        from repro.service.health import main
+
+        assert main([str(tmp_path / "nope")]) == 2
+
+    def test_unknown_report_exits_2(self, tmp_path, capsys):
+        from repro.service.health import main
+
+        assert main([str(tmp_path), "no-such-report"]) == 2
+
+    def test_renders_single_report_and_dashboard(self, tapped_run, tmp_path, capsys):
+        from repro.service.health import main
+
+        records, _offline = tapped_run
+        feed = TelemetryFeed(chaos_transport(records, "drift"), FeedConfig())
+        builder = IncrementalTrace.for_topology(
+            make_chain_topology(),
+            IngestConfig(chunk_ns=CHUNK_NS, seal_margin_ns=MARGIN_NS, clock=CFG),
+        )
+        DiagnosisService(
+            LiveTraceSource(feed, builder), service_config(tmp_path)
+        ).run()
+        state = str(tmp_path / "state")
+        assert main([state, "clock"]) == 0
+        out = capsys.readouterr().out
+        assert "nat1" in out and "drift" in out
+        assert main([state]) == 0
+        dashboard = capsys.readouterr().out
+        assert "== clock:" in dashboard and "== pipeline-summary:" in dashboard

@@ -1,0 +1,180 @@
+"""Unit tests for seeded clock-fault schedules and their injection points.
+
+Pins the exact warp arithmetic per fault family (the soak's byte-identity
+claims lean on schedules being pure functions of true time), record-level
+warping with structural re-clamping, and the transport wrapper's
+delegation + snapshot/restore.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.ingest import SimTransport, emit_record, hop_record
+from repro.time import SCHEDULE_KINDS, ClockChaos, ClockChaosTransport, ClockSchedule
+
+MSEC = 1_000_000
+
+
+class TestScheduleValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"kind": "wobble"},
+            {"kind": "drift", "start_ns": -1},
+            {"kind": "ramp", "ppm": 100.0},  # no ramp_ns
+            {"kind": "step"},  # no step_ns
+            {"kind": "freeze", "freeze_ns": -5},
+        ],
+    )
+    def test_rejects_bad_schedules(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClockSchedule(**kwargs)
+
+    def test_known_kinds(self):
+        assert SCHEDULE_KINDS == ("drift", "ramp", "step", "freeze")
+
+    def test_payload_round_trip(self):
+        sched = ClockSchedule(kind="ramp", start_ns=5, ppm=250.0, ramp_ns=100)
+        assert ClockSchedule.from_payload(sched.to_payload()) == sched
+
+
+class TestWarpExactness:
+    def test_identity_before_start(self):
+        for kind, kwargs in [
+            ("drift", {"ppm": 1000.0}),
+            ("step", {"step_ns": 500}),
+            ("freeze", {}),
+        ]:
+            sched = ClockSchedule(kind=kind, start_ns=1 * MSEC, **kwargs)
+            assert sched.warp(999_999) == 999_999
+
+    def test_drift(self):
+        sched = ClockSchedule(kind="drift", ppm=1000.0)
+        assert sched.warp(1 * MSEC) == 1 * MSEC + 1000
+        assert sched.warp(2 * MSEC) == 2 * MSEC + 2000
+        # Negative ppm runs slow.
+        slow = ClockSchedule(kind="drift", ppm=-500.0)
+        assert slow.warp(2 * MSEC) == 2 * MSEC - 1000
+
+    def test_step_both_signs(self):
+        fwd = ClockSchedule(kind="step", start_ns=1 * MSEC, step_ns=250)
+        back = ClockSchedule(kind="step", start_ns=1 * MSEC, step_ns=-250)
+        assert fwd.warp(1 * MSEC) == 1 * MSEC + 250
+        assert back.warp(3 * MSEC) == 3 * MSEC - 250
+
+    def test_ramp_integral(self):
+        # Frequency ramps 0 -> 1000 ppm over 1 ms: accumulated offset at
+        # the ramp end is the triangle area ppm/1e6 * ramp/2 = 500 ns,
+        # then grows at the full rate.
+        sched = ClockSchedule(kind="ramp", ppm=1000.0, ramp_ns=1 * MSEC)
+        assert sched.warp(1 * MSEC) == 1 * MSEC + 500
+        assert sched.warp(2 * MSEC) == 2 * MSEC + 1500
+        # Halfway through the ramp: quarter of the triangle area.
+        assert sched.warp(MSEC // 2) == MSEC // 2 + 125
+
+    def test_freeze_and_resume(self):
+        sched = ClockSchedule(kind="freeze", start_ns=1 * MSEC, freeze_ns=2 * MSEC)
+        assert sched.warp(1 * MSEC) == 1 * MSEC
+        assert sched.warp(2_500_000) == 1 * MSEC
+        assert sched.warp(3 * MSEC) == 3 * MSEC  # thawed
+
+    def test_freeze_forever(self):
+        sched = ClockSchedule(kind="freeze", start_ns=1 * MSEC)
+        assert sched.warp(100 * MSEC) == 1 * MSEC
+
+    def test_purity(self):
+        """Same true time always warps identically — the property that
+        makes crashed-sender replay byte-identical."""
+        sched = ClockSchedule(kind="ramp", ppm=777.0, ramp_ns=3 * MSEC)
+        times = [0, 1, 999_999, 1 * MSEC, 2_345_678, 10 * MSEC]
+        assert [sched.warp(t) for t in times] == [sched.warp(t) for t in times]
+
+
+class TestWarpRecord:
+    def test_unscheduled_stream_untouched(self):
+        chaos = ClockChaos({"other": ClockSchedule(kind="step", step_ns=100)})
+        record = emit_record("s", 0, 1000, pid=1, flow_tuple=(1, 2))
+        assert chaos.warp_record(record) is record
+
+    def test_emit_warps_time_only(self):
+        chaos = ClockChaos({"s": ClockSchedule(kind="step", step_ns=100)})
+        record = emit_record("s", 0, 1000, pid=1, flow_tuple=(1, 2))
+        warped = chaos.warp_record(record)
+        assert warped.time_ns == 1100
+        assert (warped.stream, warped.seq, warped.pid, warped.data) == (
+            record.stream,
+            record.seq,
+            record.pid,
+            record.data,
+        )
+
+    def test_hop_warps_all_three_timestamps(self):
+        chaos = ClockChaos({"s": ClockSchedule(kind="drift", ppm=1000.0)})
+        record = hop_record("s", 0, pid=1, arrival_ns=1 * MSEC, read_ns=2 * MSEC,
+                            depart_ns=3 * MSEC)
+        warped = chaos.warp_record(record)
+        assert warped.data == (1 * MSEC + 1000, 2 * MSEC + 2000)
+        assert warped.time_ns == 3 * MSEC + 3000
+
+    def test_freeze_collapse_reclamped(self):
+        """A freeze that lands between read and depart collapses the
+        ordering; the warped triple must still parse as a valid hop."""
+        chaos = ClockChaos(
+            {"s": ClockSchedule(kind="freeze", start_ns=1_500_000, freeze_ns=0)}
+        )
+        record = hop_record("s", 0, pid=1, arrival_ns=1 * MSEC, read_ns=2 * MSEC,
+                            depart_ns=3 * MSEC)
+        warped = chaos.warp_record(record)
+        arrival, read = warped.data
+        assert 0 <= arrival <= read <= warped.time_ns
+
+    def test_warp_batch_preserves_order_and_length(self):
+        chaos = ClockChaos({"s": ClockSchedule(kind="drift", ppm=100.0)})
+        records = [emit_record("s", i, i * 1000, pid=i, flow_tuple=(1,))
+                   for i in range(10)]
+        warped = chaos.warp_batch(records)
+        assert len(warped) == 10
+        assert [r.seq for r in warped] == list(range(10))
+
+
+class TestChaosTransport:
+    def records(self):
+        return [emit_record("a", i, (i + 1) * MSEC, pid=i, flow_tuple=(1,))
+                for i in range(6)] + \
+               [emit_record("b", i, (i + 1) * MSEC, pid=100 + i, flow_tuple=(2,))
+                for i in range(6)]
+
+    def chaos(self):
+        return ClockChaos({"a": ClockSchedule(kind="drift", ppm=1000.0)})
+
+    def test_delegation_and_warp(self):
+        inner = SimTransport(self.records())
+        transport = ClockChaosTransport(inner, self.chaos())
+        assert transport.streams() == inner.streams()
+        pulled = transport.pull("a", 100)
+        assert [r.time_ns for r in pulled] == [
+            (i + 1) * MSEC + (i + 1) * 1000 for i in range(6)
+        ]
+        # Unscheduled stream passes through unwarped.
+        assert [r.time_ns for r in transport.pull("b", 100)] == [
+            (i + 1) * MSEC for i in range(6)
+        ]
+        assert transport.at_eos("a") and transport.at_eos("b")
+
+    def test_snapshot_restore_replays_identically(self):
+        transport = ClockChaosTransport(SimTransport(self.records()), self.chaos())
+        first = transport.pull("a", 3)
+        state = transport.snapshot_state()
+        assert state["kind"] == "clock-chaos"
+        rest = transport.pull("a", 100)
+        transport.restore_state(state)
+        assert transport.pull("a", 100) == rest
+        assert first[0].time_ns == 1 * MSEC + 1000
+
+    def test_reset_delegates(self):
+        transport = ClockChaosTransport(SimTransport(self.records()), self.chaos())
+        all_a = transport.pull("a", 100)
+        transport.reset()
+        assert transport.pull("a", 100) == all_a

@@ -1,0 +1,317 @@
+"""Unit tests for the online per-stream clock models.
+
+Exercises the model in isolation with hand-built observation sequences:
+envelope fitting, drift tracking, step and freeze fault detection, the
+deadband identity for clean clocks, and exact snapshot round-trips.  The
+integration story (models driving repair inside the ingest builder) lives
+in ``tests/ingest/test_clock_ingest.py``.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, TraceError
+from repro.time import (
+    FAULT_KINDS,
+    ClockBank,
+    ClockConfig,
+    ClockFault,
+    StreamClockModel,
+    fit_lower_envelope,
+)
+
+USEC = 1_000
+
+#: Small-scale config used throughout: 100 us windows, no deadband, so a
+#: handful of synthetic pairs is enough to drive the fit.
+CFG = ClockConfig(
+    window_ns=100 * USEC,
+    windows=8,
+    min_window_samples=2,
+    deadband_ns=0,
+    drift_tolerance_ppm=200.0,
+    step_tolerance_ns=5 * USEC,
+    freeze_records=4,
+)
+
+
+def feed_pairs(model, n_windows, diff_fn, per_window=4):
+    """Feed ``per_window`` matched pairs per window; diff_fn(rx) -> diff."""
+    for w in range(n_windows):
+        for k in range(per_window):
+            rx = w * CFG.window_ns + (k + 1) * (CFG.window_ns // (per_window + 1))
+            model.observe_pair(rx - diff_fn(rx), rx)
+
+
+class TestFitLowerEnvelope:
+    def test_empty_raises(self):
+        with pytest.raises(TraceError, match="empty envelope"):
+            fit_lower_envelope([])
+
+    def test_single_point_flat(self):
+        assert fit_lower_envelope([(1000, 42.0)]) == (1000, 42.0, 0.0, 0.0)
+
+    def test_exact_line_recovery(self):
+        # y = 100 + 0.001 * t  (1000 ppm) sampled without noise.
+        points = [(t, 100.0 + 0.001 * t) for t in range(0, 1_000_000, 100_000)]
+        t_ref, offset, drift_ppm, residual = fit_lower_envelope(points)
+        assert t_ref == points[-1][0]
+        assert offset == pytest.approx(100.0 + 0.001 * t_ref)
+        assert drift_ppm == pytest.approx(1000.0)
+        assert residual == pytest.approx(0.0, abs=1e-6)
+
+    def test_constant_points_zero_drift(self):
+        points = [(t, 7.0) for t in (10, 20, 30)]
+        _t, offset, drift_ppm, residual = fit_lower_envelope(points)
+        assert (offset, drift_ppm, residual) == (7.0, 0.0, 0.0)
+
+    def test_residual_is_max_abs_deviation(self):
+        # Two co-linear points plus one 30 above the line's best fit
+        # cannot fit exactly; residual reports the worst point.
+        points = [(0, 0.0), (100, 0.0), (200, 30.0)]
+        *_fit, residual = fit_lower_envelope(points)
+        assert residual > 0
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window_ns": 0},
+            {"windows": 1},
+            {"min_window_samples": 0},
+            {"deadband_ns": -1},
+            {"step_tolerance_ns": 0},
+            {"freeze_records": 1},
+            {"drift_discount": 1.5},
+            {"fault_discount": -0.1},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClockConfig(**kwargs)
+
+    def test_payload_round_trip(self):
+        assert ClockConfig.from_payload(CFG.to_payload()) == CFG
+
+    def test_fault_kind_validated(self):
+        with pytest.raises(TraceError, match="unknown clock fault"):
+            ClockFault(stream="s", kind="wobble", at_ns=0)
+
+    def test_fault_payload_round_trip(self):
+        fault = ClockFault(stream="s", kind="drift", at_ns=123, magnitude=250.5)
+        assert ClockFault.from_payload(fault.to_payload()) == fault
+        assert set(FAULT_KINDS) == {"step-forward", "step-back", "freeze", "drift"}
+
+
+class TestCleanStream:
+    def test_constant_diff_repairs_to_identity(self):
+        """Constant offset is indistinguishable from propagation: the
+        baseline absorbs it and the model repairs nothing."""
+        model = StreamClockModel("s", CFG)
+        feed_pairs(model, 6, lambda rx: 3 * USEC)
+        assert model.have_fit
+        assert model.offset_at(600 * USEC) == 0
+        assert model.uncertainty_ns == 0
+        assert model.faults == 0
+
+    def test_jitter_within_deadband_still_identity(self):
+        cfg = ClockConfig(
+            window_ns=100 * USEC,
+            min_window_samples=2,
+            deadband_ns=2 * USEC,
+            step_tolerance_ns=5 * USEC,
+        )
+        model = StreamClockModel("s", cfg)
+        # Envelope minima wobble by < deadband across windows.
+        feed_pairs(model, 6, lambda rx: 3 * USEC + (rx // cfg.window_ns) % 2 * 500)
+        assert model.offset_at(600 * USEC) == 0
+        assert model.uncertainty_ns == 0
+
+    def test_thin_windows_discarded(self):
+        model = StreamClockModel("s", CFG)
+        # One pair per window < min_window_samples=2: never fits.
+        for w in range(6):
+            rx = w * CFG.window_ns + 10
+            model.observe_pair(rx - 1000, rx)
+        assert not model.have_fit
+        assert model.uncertainty_ns == 0
+
+
+class TestDrift:
+    def test_drift_tracked_and_faulted_once(self):
+        model = StreamClockModel("s", CFG)
+        # diff grows at 1000 ppm (local clock runs fast), with 50 ns of
+        # per-window envelope jitter so the fit has a real residual.
+        feed_pairs(model, 10, lambda rx: rx // 1000 + (rx // CFG.window_ns) % 2 * 50)
+        assert model.have_fit
+        assert model.fit_drift_ppm == pytest.approx(1000.0, rel=0.05)
+        assert model.drift_faulted
+        assert model.faults == 1  # latched: one fault per stream, not per window
+        # The repair tracks the accumulated drift at the live edge.
+        t = 10 * CFG.window_ns
+        assert model.offset_at(t) == pytest.approx(t / 1000, rel=0.1)
+        # Out-of-bound drift engages the uncertainty bound: fit residual
+        # plus deadband (zero here, so exactly the residual).
+        assert model.uncertainty_ns == int(round(model.fit_residual))
+        assert model.uncertainty_ns > 0
+
+    def test_bounded_drift_not_faulted(self):
+        model = StreamClockModel("s", CFG)
+        feed_pairs(model, 10, lambda rx: rx // 10_000)  # 100 ppm < 200 tolerance
+        assert model.have_fit
+        assert not model.drift_faulted and model.faults == 0
+
+    def test_drift_fault_via_bank_is_typed(self):
+        bank = ClockBank(CFG)
+        faults = []
+        for w in range(10):
+            for k in range(4):
+                rx = w * CFG.window_ns + (k + 1) * 20 * USEC
+                faults += bank.observe_pair("s", rx - rx // 1000, rx)
+        kinds = [f.kind for f in faults]
+        assert kinds == ["drift"]
+        assert faults[0].stream == "s"
+        assert faults[0].magnitude == pytest.approx(1000.0, rel=0.05)
+
+
+class TestSteps:
+    def test_backward_step_detected_debias_and_latched(self):
+        model = StreamClockModel("s", CFG)
+        for t in range(0, 11_000, 1000):
+            assert model.observe_local(t) == []
+        # The clock steps back 8 us (>= 5 us tolerance).  The observable
+        # regression under-measures the step by one cadence (1000 ns);
+        # the de-bias adds it back.
+        faults = model.observe_local(2000)
+        assert faults == [("step-back", 9000.0)]
+        assert model.step_offset_ns == -9000
+        assert model.uncertainty_ns >= CFG.step_tolerance_ns
+        # Latched: further pre-maximum records do not re-fire.
+        assert model.observe_local(2500) == []
+        assert model.faults == 1
+        # Re-passing the old maximum unlatches.
+        assert model.observe_local(12_000) == []
+        assert not model.in_back_step
+
+    def test_small_regression_not_a_step(self):
+        model = StreamClockModel("s", CFG)
+        model.observe_local(10_000)
+        assert model.observe_local(8000) == []  # 2 us < tolerance
+        assert model.faults == 0
+
+    def test_forward_step_from_envelope_rebases(self):
+        model = StreamClockModel("s", CFG)
+        feed_pairs(model, 5, lambda rx: 1000)
+        assert model.have_fit and model.faults == 0
+        # The envelope level jumps +50 us, far past tolerance + residual.
+        # Feeding through window 6 finalizes the first post-step window
+        # (a window closes when the next one opens), which is where the
+        # jump is detected and rebased.
+        collected = []
+        for w in range(5, 7):
+            for k in range(4):
+                rx = w * CFG.window_ns + (k + 1) * 20 * USEC
+                collected += model.observe_pair(rx - 51 * USEC, rx)
+        assert ("step-forward", pytest.approx(50_000.0)) in collected
+        # Rebase: the post-step level is the new offset and the jump
+        # rides the uncertainty bound until clean windows decay it.
+        assert model.offset_at(10 * CFG.window_ns) == pytest.approx(50_000, abs=1000)
+        assert model.uncertainty_ns >= 50_000
+
+    def test_step_cover_decays_on_clean_windows(self):
+        model = StreamClockModel("s", CFG)
+        feed_pairs(model, 5, lambda rx: 1000)
+        for w in range(5, 16):
+            for k in range(4):
+                rx = w * CFG.window_ns + (k + 1) * 20 * USEC
+                model.observe_pair(rx - 51 * USEC, rx)
+        # Each clean post-step window halves the cover: 55 us through
+        # nine halvings leaves ~107 ns, and the barrier has relaxed.
+        assert 0 < model.step_cover_ns < 1000
+        assert model.uncertainty_ns < 2000
+
+
+class TestFreeze:
+    def test_freeze_fires_at_threshold_once(self):
+        model = StreamClockModel("s", CFG)
+        model.observe_local(1000)
+        faults = []
+        for _ in range(6):
+            faults += model.observe_local(1000)
+        assert faults == [("freeze", float(CFG.freeze_records))]
+        assert model.frozen
+        assert model.faults == 1
+
+    def test_repeating_timestamp_below_threshold_ok(self):
+        model = StreamClockModel("s", CFG)
+        model.observe_local(1000)
+        for _ in range(CFG.freeze_records - 2):
+            assert model.observe_local(1000) == []
+        assert not model.frozen
+        # An advancing timestamp resets the run.
+        model.observe_local(2000)
+        assert model.freeze_run == 1
+
+
+class TestBank:
+    def test_lazy_models_and_stats(self):
+        bank = ClockBank(CFG)
+        assert bank.offset_at("ghost", 0) == 0
+        assert bank.uncertainty("ghost") == 0
+        assert bank.effective_watermark("ghost", 500) == 500
+        bank.observe_local("s", 1000)
+        assert set(bank.stats()) == {
+            "clock_faults",
+            "clock_repairs",
+            "clock_updates",
+            "clock_uncertainty_ns",
+        }
+
+    def test_effective_watermark_widens_by_uncertainty(self):
+        bank = ClockBank(CFG)
+        for w in range(10):
+            for k in range(4):
+                rx = w * CFG.window_ns + (k + 1) * 20 * USEC
+                jitter = (rx // CFG.window_ns) % 2 * 50
+                bank.observe_pair("s", rx - rx // 1000 - jitter, rx)
+        model = bank.model("s")
+        wm = 10 * CFG.window_ns
+        assert model.uncertainty_ns > 0
+        assert (
+            bank.effective_watermark("s", wm)
+            == wm - model.offset_at(wm) - model.uncertainty_ns
+        )
+
+    def test_stream_stats_rows(self):
+        bank = ClockBank(CFG)
+        for w in range(10):
+            for k in range(4):
+                rx = w * CFG.window_ns + (k + 1) * 20 * USEC
+                bank.observe_pair("s", rx - rx // 1000, rx)
+        row = bank.stream_stats()["s"]
+        assert row["faults"] == 1
+        assert row["fault_kinds"] == "drift"
+        assert row["drift_ppm"] == pytest.approx(1000.0, rel=0.05)
+        assert row["frozen"] is False
+
+    def test_payload_round_trip_exact(self):
+        bank = ClockBank(CFG)
+        bank.observe_local("a", 1000)
+        for w in range(10):
+            for k in range(4):
+                rx = w * CFG.window_ns + (k + 1) * 20 * USEC
+                bank.observe_pair("a", rx - rx // 1000, rx)
+        bank.observe_local("b", 5000)
+        bank.repairs = 17
+        payload = bank.to_payload()
+        # JSON round-trip exactly (floats survive, per fit_lower_envelope).
+        restored = ClockBank.from_payload(json.loads(json.dumps(payload)))
+        assert restored.to_payload() == payload
+        t = 11 * CFG.window_ns
+        assert restored.offset_at("a", t) == bank.offset_at("a", t)
+        assert restored.uncertainty("a") == bank.uncertainty("a")
+        assert [f.kind for f in restored.faults] == [f.kind for f in bank.faults]
